@@ -1,0 +1,211 @@
+//! Table 1 of the paper: the MPI × OpenMP configurations of every application.
+//!
+//! | Application | Conf. 1 | Conf. 2 | Conf. 3 |
+//! |---|---|---|---|
+//! | NEST        | 2 × 16 | 4 × 8 | — |
+//! | CoreNeuron  | 2 × 16 | 4 × 8 | — |
+//! | Pils        | 2 × 16 | 2 × 1 | 2 × 4 |
+//! | STREAM      | 2 × 2  | —     | — |
+//!
+//! All applications ask for two nodes and distribute their MPI processes among
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// The four evaluation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// The NEST spiking neural-network simulator.
+    Nest,
+    /// The CoreNeuron simulator.
+    CoreNeuron,
+    /// The Pils compute-bound synthetic benchmark.
+    Pils,
+    /// The STREAM memory-bandwidth benchmark.
+    Stream,
+}
+
+impl AppKind {
+    /// Display name used in tables (matches the paper's naming).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::Nest => "NEST",
+            AppKind::CoreNeuron => "CoreNeuron",
+            AppKind::Pils => "Pils",
+            AppKind::Stream => "STREAM",
+        }
+    }
+
+    /// `true` for the long-running neuro-simulators (the "simulation" role of
+    /// use case 1).
+    pub fn is_simulator(&self) -> bool {
+        matches!(self, AppKind::Nest | AppKind::CoreNeuron)
+    }
+}
+
+/// One application configuration: how many MPI tasks, how many OpenMP threads
+/// per task. The paper always uses two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppConfig {
+    /// Which application.
+    pub kind: AppKind,
+    /// Configuration index (1-based, matching "Conf. 1" … "Conf. 3").
+    pub conf: usize,
+    /// Number of MPI tasks (total, across the two nodes).
+    pub mpi_tasks: usize,
+    /// OpenMP/OmpSs threads per MPI task.
+    pub threads_per_task: usize,
+    /// Number of nodes the job asks for.
+    pub nodes: usize,
+}
+
+impl AppConfig {
+    /// Creates a two-node configuration.
+    pub const fn new(kind: AppKind, conf: usize, mpi_tasks: usize, threads_per_task: usize) -> Self {
+        AppConfig {
+            kind,
+            conf,
+            mpi_tasks,
+            threads_per_task,
+            nodes: 2,
+        }
+    }
+
+    /// Label like `"NEST Conf. 1 (2x16)"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} Conf. {} ({}x{})",
+            self.kind.name(),
+            self.conf,
+            self.mpi_tasks,
+            self.threads_per_task
+        )
+    }
+
+    /// Short label like `"Conf. 1"`.
+    pub fn short_label(&self) -> String {
+        format!("Conf. {}", self.conf)
+    }
+
+    /// Total CPUs the configuration asks for (tasks × threads).
+    pub fn requested_cpus(&self) -> usize {
+        self.mpi_tasks * self.threads_per_task
+    }
+
+    /// MPI tasks placed on each node (block distribution).
+    pub fn tasks_per_node(&self) -> usize {
+        self.mpi_tasks.div_ceil(self.nodes)
+    }
+
+    /// CPUs requested per node.
+    pub fn cpus_per_node(&self) -> usize {
+        self.tasks_per_node() * self.threads_per_task
+    }
+}
+
+/// The complete Table 1.
+pub struct Table1;
+
+impl Table1 {
+    /// NEST Conf. 1: 2 MPI × 16 OpenMP.
+    pub const NEST_CONF1: AppConfig = AppConfig::new(AppKind::Nest, 1, 2, 16);
+    /// NEST Conf. 2: 4 MPI × 8 OpenMP.
+    pub const NEST_CONF2: AppConfig = AppConfig::new(AppKind::Nest, 2, 4, 8);
+    /// CoreNeuron Conf. 1: 2 MPI × 16 OpenMP.
+    pub const CORENEURON_CONF1: AppConfig = AppConfig::new(AppKind::CoreNeuron, 1, 2, 16);
+    /// CoreNeuron Conf. 2: 4 MPI × 8 OpenMP.
+    pub const CORENEURON_CONF2: AppConfig = AppConfig::new(AppKind::CoreNeuron, 2, 4, 8);
+    /// Pils Conf. 1: 2 MPI × 16 OmpSs (full nodes, reference case).
+    pub const PILS_CONF1: AppConfig = AppConfig::new(AppKind::Pils, 1, 2, 16);
+    /// Pils Conf. 2: 2 MPI × 1 OmpSs.
+    pub const PILS_CONF2: AppConfig = AppConfig::new(AppKind::Pils, 2, 2, 1);
+    /// Pils Conf. 3: 2 MPI × 4 OmpSs.
+    pub const PILS_CONF3: AppConfig = AppConfig::new(AppKind::Pils, 3, 2, 4);
+    /// STREAM Conf. 1: 2 MPI × 2 OpenMP.
+    pub const STREAM_CONF1: AppConfig = AppConfig::new(AppKind::Stream, 1, 2, 2);
+
+    /// Every configuration of Table 1, row by row.
+    pub fn all() -> Vec<AppConfig> {
+        vec![
+            Self::NEST_CONF1,
+            Self::NEST_CONF2,
+            Self::CORENEURON_CONF1,
+            Self::CORENEURON_CONF2,
+            Self::PILS_CONF1,
+            Self::PILS_CONF2,
+            Self::PILS_CONF3,
+            Self::STREAM_CONF1,
+        ]
+    }
+
+    /// The configurations of one application.
+    pub fn of(kind: AppKind) -> Vec<AppConfig> {
+        Self::all().into_iter().filter(|c| c.kind == kind).collect()
+    }
+
+    /// The simulator configurations (NEST and CoreNeuron).
+    pub fn simulators() -> Vec<AppConfig> {
+        Self::all()
+            .into_iter()
+            .filter(|c| c.kind.is_simulator())
+            .collect()
+    }
+
+    /// The analytics configurations (Pils and STREAM) used in use case 1.
+    pub fn analytics() -> Vec<AppConfig> {
+        Self::all()
+            .into_iter()
+            .filter(|c| !c.kind.is_simulator())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        assert_eq!(Table1::NEST_CONF1.mpi_tasks, 2);
+        assert_eq!(Table1::NEST_CONF1.threads_per_task, 16);
+        assert_eq!(Table1::NEST_CONF2.mpi_tasks, 4);
+        assert_eq!(Table1::NEST_CONF2.threads_per_task, 8);
+        assert_eq!(Table1::PILS_CONF2.threads_per_task, 1);
+        assert_eq!(Table1::PILS_CONF3.threads_per_task, 4);
+        assert_eq!(Table1::STREAM_CONF1.requested_cpus(), 4);
+        assert_eq!(Table1::all().len(), 8);
+    }
+
+    #[test]
+    fn every_config_uses_two_nodes() {
+        for config in Table1::all() {
+            assert_eq!(config.nodes, 2, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn per_node_breakdown() {
+        // NEST Conf. 1: one 16-thread task per node -> 16 CPUs per node.
+        assert_eq!(Table1::NEST_CONF1.tasks_per_node(), 1);
+        assert_eq!(Table1::NEST_CONF1.cpus_per_node(), 16);
+        // NEST Conf. 2: two 8-thread tasks per node -> 16 CPUs per node.
+        assert_eq!(Table1::NEST_CONF2.tasks_per_node(), 2);
+        assert_eq!(Table1::NEST_CONF2.cpus_per_node(), 16);
+        // Pils Conf. 2 only asks for one CPU per node.
+        assert_eq!(Table1::PILS_CONF2.cpus_per_node(), 1);
+        // STREAM asks for two CPUs per node.
+        assert_eq!(Table1::STREAM_CONF1.cpus_per_node(), 2);
+    }
+
+    #[test]
+    fn labels_and_groupings() {
+        assert_eq!(Table1::NEST_CONF1.label(), "NEST Conf. 1 (2x16)");
+        assert_eq!(Table1::PILS_CONF3.short_label(), "Conf. 3");
+        assert_eq!(Table1::of(AppKind::Pils).len(), 3);
+        assert_eq!(Table1::simulators().len(), 4);
+        assert_eq!(Table1::analytics().len(), 4);
+        assert!(AppKind::Nest.is_simulator());
+        assert!(!AppKind::Stream.is_simulator());
+        assert_eq!(AppKind::CoreNeuron.name(), "CoreNeuron");
+    }
+}

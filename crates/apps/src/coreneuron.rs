@@ -1,0 +1,117 @@
+//! The CoreNeuron-like mini-app.
+//!
+//! CoreNeuron shares NEST's static data partition but adds a distinct,
+//! memory-intensive initialization phase: Figure 13 shows lower cycles-per-µs
+//! ("green color at beginning of CoreNeuron simulator shows lower cycles in
+//! memory intensive initialization phase"). [`CoreNeuronSim`] therefore runs a
+//! low-parallelism initialization stage before the iterative update loop.
+
+use drom_metrics::Tracer;
+use drom_ompsim::{DromOmptTool, OmpRuntime};
+
+use crate::config::{AppConfig, Table1};
+use crate::kernel::busy_work;
+use crate::simulator::{SimReport, StaticPartitionSim};
+
+/// One rank of the CoreNeuron-like simulator.
+#[derive(Debug, Clone)]
+pub struct CoreNeuronSim {
+    /// The Table-1 configuration this rank belongs to.
+    pub config: AppConfig,
+    engine: StaticPartitionSim,
+    /// Work units burned by the (low-parallelism) initialization phase.
+    init_work: u64,
+    /// Threads used during initialization (memory-bound, so few).
+    init_threads: usize,
+}
+
+impl CoreNeuronSim {
+    /// Creates a rank for the given configuration.
+    pub fn new(config: AppConfig) -> Self {
+        let engine = StaticPartitionSim::new(config.threads_per_task)
+            .with_neurons_per_chunk(384)
+            .with_work(4_500)
+            .with_iterations(25);
+        CoreNeuronSim {
+            config,
+            engine,
+            init_work: 200_000,
+            init_threads: 2,
+        }
+    }
+
+    /// CoreNeuron Conf. 1 (2 × 16).
+    pub fn conf1() -> Self {
+        Self::new(Table1::CORENEURON_CONF1)
+    }
+
+    /// CoreNeuron Conf. 2 (4 × 8).
+    pub fn conf2() -> Self {
+        Self::new(Table1::CORENEURON_CONF2)
+    }
+
+    /// Scales the run down (or up).
+    pub fn scaled(mut self, iterations: usize, work_per_subchunk: u64, init_work: u64) -> Self {
+        self.engine = self
+            .engine
+            .clone()
+            .with_iterations(iterations)
+            .with_work(work_per_subchunk);
+        self.init_work = init_work;
+        self
+    }
+
+    /// The underlying iterative engine.
+    pub fn engine(&self) -> &StaticPartitionSim {
+        &self.engine
+    }
+
+    /// Runs this rank: the initialization phase first (on a reduced team,
+    /// reproducing its limited parallelism), then the iterative update loop.
+    pub fn run_rank(
+        &self,
+        runtime: &OmpRuntime,
+        tool: Option<&DromOmptTool>,
+        tracer: Option<&Tracer>,
+        process_index: usize,
+    ) -> SimReport {
+        // Memory-bound initialization: only a couple of threads are useful.
+        let init_share = self.init_work / self.init_threads.max(1) as u64;
+        let saved_threads = runtime.max_threads();
+        runtime.set_num_threads(self.init_threads.min(saved_threads));
+        runtime.parallel(|_ctx| {
+            busy_work(init_share);
+        });
+        runtime.set_num_threads(saved_threads);
+
+        self.engine.run_rank(runtime, tool, tracer, process_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppKind;
+
+    #[test]
+    fn configurations_match_table1() {
+        assert_eq!(CoreNeuronSim::conf1().config.threads_per_task, 16);
+        assert_eq!(CoreNeuronSim::conf2().config.mpi_tasks, 4);
+        assert_eq!(CoreNeuronSim::conf1().config.kind, AppKind::CoreNeuron);
+        assert_eq!(CoreNeuronSim::conf1().engine().chunks, 16);
+    }
+
+    #[test]
+    fn init_phase_runs_before_iterations() {
+        let rt = OmpRuntime::new(4);
+        let sim = CoreNeuronSim::new(AppConfig::new(AppKind::CoreNeuron, 1, 1, 4))
+            .scaled(3, 400, 5_000);
+        let report = sim.run_rank(&rt, None, None, 0);
+        assert_eq!(report.iterations_done, 3);
+        // The team size during the iterations is back to the full pool.
+        assert_eq!(report.team_sizes, vec![4, 4, 4]);
+        assert_eq!(rt.max_threads(), 4, "init phase restores the team size");
+        // Regions: 1 init + 3 iterations.
+        assert_eq!(rt.regions_executed(), 4);
+    }
+}

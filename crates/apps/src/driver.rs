@@ -1,0 +1,172 @@
+//! The generic malleable-application driver of Listing 1.
+//!
+//! Listing 1 of the paper shows the minimal pattern an application follows to
+//! become DROM-responsive without a supported programming model: initialise
+//! DLB, poll DROM before each malleable phase, adapt, compute, finalise.
+//! [`MalleableDriver`] packages that pattern: it owns the DROM process handle,
+//! an OpenMP-like runtime sized to the node, and the DROM OMPT tool, and runs a
+//! user-provided iteration body between malleability points.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use drom_core::{DromEnviron, DromProcess, DromResult, Pid};
+use drom_cpuset::CpuSet;
+use drom_ompsim::{DromOmptTool, OmpRuntime};
+use drom_shmem::NodeShmem;
+
+/// Timing record of one iteration of the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationReport {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Team size used for the iteration.
+    pub team_size: usize,
+    /// Wall-clock duration of the iteration body.
+    pub duration: Duration,
+    /// Whether a DROM mask change was applied right before this iteration.
+    pub mask_changed: bool,
+}
+
+/// Summary of a whole driver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Per-iteration records.
+    pub iterations: Vec<IterationReport>,
+    /// Total wall-clock duration.
+    pub total: Duration,
+    /// Mask changes applied during the run.
+    pub mask_changes: u64,
+}
+
+impl RunReport {
+    /// Team size of the last iteration (None for empty runs).
+    pub fn final_team_size(&self) -> Option<usize> {
+        self.iterations.last().map(|i| i.team_size)
+    }
+}
+
+/// Owns the pieces a malleable iterative application needs.
+pub struct MalleableDriver {
+    process: Arc<DromProcess>,
+    runtime: OmpRuntime,
+    tool: Arc<DromOmptTool>,
+}
+
+impl MalleableDriver {
+    /// Initialises DLB for `pid` with `initial_mask` on `shmem` and builds a
+    /// runtime sized to the node.
+    pub fn init(pid: Pid, initial_mask: CpuSet, shmem: Arc<NodeShmem>) -> DromResult<Self> {
+        let node_cpus = shmem.node_cpus();
+        let process = Arc::new(DromProcess::init(pid, initial_mask, shmem)?);
+        let runtime = OmpRuntime::new(node_cpus.max(1));
+        let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+        Ok(MalleableDriver {
+            process,
+            runtime,
+            tool,
+        })
+    }
+
+    /// Initialises the driver for a process launched through `DROM_PreInit`
+    /// (e.g. by `drom-slurm`'s `Srun`).
+    pub fn from_environ(environ: &DromEnviron, shmem: Arc<NodeShmem>) -> DromResult<Self> {
+        Self::init(environ.pid, environ.mask.clone(), shmem)
+    }
+
+    /// The DROM process handle.
+    pub fn process(&self) -> &Arc<DromProcess> {
+        &self.process
+    }
+
+    /// The OpenMP-like runtime.
+    pub fn runtime(&self) -> &OmpRuntime {
+        &self.runtime
+    }
+
+    /// The DROM OMPT tool (poll/apply entry point).
+    pub fn tool(&self) -> &Arc<DromOmptTool> {
+        &self.tool
+    }
+
+    /// Runs `iterations` iterations of `body`, polling DROM before each one
+    /// (Listing 1's `DLB_PollDROM` + `modify_num_resources` pattern).
+    pub fn run_iterations<F>(&self, iterations: usize, body: F) -> RunReport
+    where
+        F: Fn(&OmpRuntime, usize),
+    {
+        let start = Instant::now();
+        let mut reports = Vec::with_capacity(iterations);
+        let changes_before = self.tool.mask_changes();
+        for iteration in 0..iterations {
+            let mask_changed = self.tool.poll_and_apply();
+            let team_size = self.runtime.max_threads();
+            let t0 = Instant::now();
+            body(&self.runtime, iteration);
+            reports.push(IterationReport {
+                iteration,
+                team_size,
+                duration: t0.elapsed(),
+                mask_changed,
+            });
+        }
+        RunReport {
+            iterations: reports,
+            total: start.elapsed(),
+            mask_changes: self.tool.mask_changes() - changes_before,
+        }
+    }
+
+    /// Finalises DLB (unregisters the process).
+    pub fn finalize(self) -> DromResult<()> {
+        self.process.finalize()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_core::{DromAdmin, DromFlags};
+
+    #[test]
+    fn listing1_pattern_adapts_between_iterations() {
+        let shmem = Arc::new(NodeShmem::new("n", 8));
+        let driver = MalleableDriver::init(1, CpuSet::first_n(8), Arc::clone(&shmem)).unwrap();
+        assert_eq!(driver.process().num_cpus(), 8);
+
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        // Shrink after the first iteration has been set up: we post it now and
+        // the driver applies it at its next malleability point.
+        admin
+            .set_process_mask(1, &CpuSet::first_n(2), DromFlags::default())
+            .unwrap();
+
+        let report = driver.run_iterations(3, |rt, _i| {
+            rt.parallel(|_ctx| {
+                crate::kernel::busy_work(100);
+            });
+        });
+        assert_eq!(report.iterations.len(), 3);
+        assert_eq!(report.mask_changes, 1);
+        assert!(report.iterations[0].mask_changed);
+        assert_eq!(report.iterations[0].team_size, 2);
+        assert_eq!(report.final_team_size(), Some(2));
+        assert!(report.total >= report.iterations.iter().map(|i| i.duration).sum());
+
+        driver.finalize().unwrap();
+        assert!(shmem.pid_list().is_empty());
+    }
+
+    #[test]
+    fn from_environ_adopts_reserved_mask() {
+        let shmem = Arc::new(NodeShmem::new("n", 8));
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let (environ, _) = admin
+            .pre_init(9, &CpuSet::from_range(2..6).unwrap(), DromFlags::default())
+            .unwrap();
+        let driver = MalleableDriver::from_environ(&environ, Arc::clone(&shmem)).unwrap();
+        assert_eq!(driver.process().num_cpus(), 4);
+        assert_eq!(driver.runtime().max_threads(), 4);
+    }
+}

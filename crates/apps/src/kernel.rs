@@ -1,0 +1,92 @@
+//! Computational kernels used by the executable mini-apps.
+//!
+//! The kernels are deliberately simple and deterministic: the point is not to
+//! simulate neurons but to occupy CPUs for a controllable amount of work so
+//! that malleability effects (imbalance, saturation) are observable and
+//! repeatable in tests and traces.
+
+/// Performs `units` units of compute-bound work and returns a checksum (so the
+/// optimiser cannot remove the loop). One unit is a short dependent-arithmetic
+/// chain, roughly a few nanoseconds on current hardware.
+pub fn busy_work(units: u64) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..units {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407 ^ i);
+        acc ^= acc >> 29;
+    }
+    std::hint::black_box(acc)
+}
+
+/// The STREAM triad (`a[i] = b[i] + scalar * c[i]`) over the given slices.
+/// Returns the number of bytes moved (three arrays touched per element).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn stream_triad(a: &mut [f64], b: &[f64], c: &[f64], scalar: f64) -> usize {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    for i in 0..a.len() {
+        a[i] = b[i] + scalar * c[i];
+    }
+    std::hint::black_box(a.len() * 3 * std::mem::size_of::<f64>())
+}
+
+/// A tiny leaky-integrate-and-fire style update used by the neuro-simulator
+/// mini-apps: advances `neurons` membrane potentials one step and returns the
+/// number that "spiked". Deterministic for a given input.
+pub fn lif_step(potentials: &mut [f64], input_current: f64, threshold: f64) -> usize {
+    let mut spikes = 0;
+    for v in potentials.iter_mut() {
+        *v = *v * 0.95 + input_current;
+        if *v >= threshold {
+            *v = 0.0;
+            spikes += 1;
+        }
+    }
+    std::hint::black_box(spikes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_work_is_deterministic_and_scales() {
+        assert_eq!(busy_work(1000), busy_work(1000));
+        assert_ne!(busy_work(1000), busy_work(1001));
+        assert_eq!(busy_work(0), busy_work(0));
+    }
+
+    #[test]
+    fn triad_computes_and_counts_bytes() {
+        let mut a = vec![0.0; 8];
+        let b = vec![1.0; 8];
+        let c = vec![2.0; 8];
+        let bytes = stream_triad(&mut a, &b, &c, 3.0);
+        assert!(a.iter().all(|&x| (x - 7.0).abs() < 1e-12));
+        assert_eq!(bytes, 8 * 3 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn triad_length_mismatch_panics() {
+        let mut a = vec![0.0; 4];
+        let b = vec![0.0; 5];
+        let c = vec![0.0; 4];
+        stream_triad(&mut a, &b, &c, 1.0);
+    }
+
+    #[test]
+    fn lif_step_spikes_above_threshold() {
+        let mut v = vec![0.0, 0.9, 2.0];
+        let spikes = lif_step(&mut v, 0.2, 1.0);
+        // 2.0*0.95+0.2 = 2.1 >= 1.0 spikes; 0.9*0.95+0.2 = 1.055 spikes too.
+        assert_eq!(spikes, 2);
+        assert_eq!(v[2], 0.0);
+        // The sub-threshold neuron integrates.
+        assert!((v[0] - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! The evaluation workloads of the DROM paper.
+//!
+//! Section 6 uses four applications:
+//!
+//! * **NEST** — a spiking neural-network simulator (MPI + OpenMP), modified to
+//!   be malleable; its data is statically partitioned by the initial thread
+//!   count, which causes imbalance when threads are removed (Figure 5).
+//! * **CoreNeuron** — a neuron simulator (MPI + OpenMP) with the same static
+//!   partition property plus a memory-intensive initialization phase.
+//! * **Pils** — a compute-bound synthetic benchmark (MPI + OmpSs) standing in
+//!   for an in-situ analytics/visualization tool.
+//! * **STREAM** — the memory-bandwidth benchmark (MPI + OpenMP), configured so
+//!   that beyond two CPUs per node its performance stays constant.
+//!
+//! This crate provides two complementary reproductions of each:
+//!
+//! * **Executable mini-apps** ([`nest`], [`coreneuron`], [`pils`], [`stream`])
+//!   built on the `drom-ompsim`/`drom-mpisim` substrates. They really run on
+//!   threads, really poll DROM, and really show the imbalance / saturation
+//!   effects — scaled down so they execute in milliseconds.
+//! * **Analytical performance models** ([`perfmodel`]) calibrated to the
+//!   paper's reported magnitudes, used by the discrete-event simulator
+//!   (`drom-sim`) to replay the full-scale experiments in virtual time.
+//!
+//! [`config`] holds Table 1 (the MPI × OpenMP configurations of every
+//! application), and [`driver`] the generic "malleable iterative application"
+//! loop of Listing 1 (init DLB, poll DROM each iteration, adapt, compute).
+
+pub mod config;
+pub mod coreneuron;
+pub mod driver;
+pub mod kernel;
+pub mod nest;
+pub mod perfmodel;
+pub mod pils;
+pub mod simulator;
+pub mod stream;
+
+pub use config::{AppConfig, AppKind, Table1};
+pub use coreneuron::CoreNeuronSim;
+pub use driver::{IterationReport, MalleableDriver, RunReport};
+pub use nest::NestSim;
+pub use perfmodel::{AppModel, PerfModel};
+pub use pils::Pils;
+pub use simulator::{SimReport, StaticPartitionSim};
+pub use stream::Stream;

@@ -1,0 +1,109 @@
+//! The NEST-like mini-app: a malleable spiking-network simulator rank.
+//!
+//! NEST 2.12 was made malleable for the paper by adding `DLB_PollDROM` calls at
+//! the safe points of its update loop, but "its data is statically partitioned
+//! according to the maximum number of computational resources during
+//! initialization", which produces the imbalance of Figure 5 when threads are
+//! removed. [`NestSim`] wraps [`StaticPartitionSim`] with NEST's configuration
+//! defaults.
+
+use drom_metrics::Tracer;
+use drom_ompsim::{DromOmptTool, OmpRuntime};
+
+use crate::config::{AppConfig, Table1};
+use crate::simulator::{SimReport, StaticPartitionSim};
+
+/// One rank of the NEST-like simulator.
+#[derive(Debug, Clone)]
+pub struct NestSim {
+    /// The Table-1 configuration this rank belongs to.
+    pub config: AppConfig,
+    engine: StaticPartitionSim,
+}
+
+impl NestSim {
+    /// Creates a rank for the given configuration (defaults to Conf. 1).
+    pub fn new(config: AppConfig) -> Self {
+        let engine = StaticPartitionSim::new(config.threads_per_task)
+            .with_neurons_per_chunk(512)
+            .with_work(4_000)
+            .with_iterations(25);
+        NestSim { config, engine }
+    }
+
+    /// NEST Conf. 1 (2 × 16).
+    pub fn conf1() -> Self {
+        Self::new(Table1::NEST_CONF1)
+    }
+
+    /// NEST Conf. 2 (4 × 8).
+    pub fn conf2() -> Self {
+        Self::new(Table1::NEST_CONF2)
+    }
+
+    /// Scales the run down (or up): iterations and per-sub-chunk work.
+    pub fn scaled(mut self, iterations: usize, work_per_subchunk: u64) -> Self {
+        self.engine = self
+            .engine
+            .clone()
+            .with_iterations(iterations)
+            .with_work(work_per_subchunk);
+        self
+    }
+
+    /// Switches to the fully malleable variant (the improvement the paper
+    /// anticipates: "A fully malleable NEST version that doesn't partition data
+    /// according to initial number of threads would improve this result").
+    pub fn fully_malleable(mut self) -> Self {
+        self.engine = self.engine.clone().fully_malleable();
+        self
+    }
+
+    /// The underlying engine configuration.
+    pub fn engine(&self) -> &StaticPartitionSim {
+        &self.engine
+    }
+
+    /// Runs this rank on `runtime`, polling DROM through `tool` at every
+    /// iteration when provided.
+    pub fn run_rank(
+        &self,
+        runtime: &OmpRuntime,
+        tool: Option<&DromOmptTool>,
+        tracer: Option<&Tracer>,
+        process_index: usize,
+    ) -> SimReport {
+        self.engine.run_rank(runtime, tool, tracer, process_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppKind;
+
+    #[test]
+    fn configurations_match_table1() {
+        assert_eq!(NestSim::conf1().config.threads_per_task, 16);
+        assert_eq!(NestSim::conf2().config.mpi_tasks, 4);
+        assert_eq!(NestSim::conf1().config.kind, AppKind::Nest);
+        assert_eq!(NestSim::conf1().engine().chunks, 16);
+        assert_eq!(NestSim::conf2().engine().chunks, 8);
+    }
+
+    #[test]
+    fn scaled_run_executes() {
+        let rt = OmpRuntime::new(4);
+        // Scale down to a 4-thread pool for the test.
+        let sim = NestSim::new(AppConfig::new(AppKind::Nest, 1, 1, 4)).scaled(3, 500);
+        let report = sim.run_rank(&rt, None, None, 0);
+        assert_eq!(report.iterations_done, 3);
+        assert_eq!(report.team_sizes, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn fully_malleable_flag_propagates() {
+        let sim = NestSim::conf1().fully_malleable();
+        assert!(sim.engine().fully_malleable);
+    }
+}

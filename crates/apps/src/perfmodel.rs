@@ -1,0 +1,380 @@
+//! Calibrated analytical performance models of the evaluation applications.
+//!
+//! The paper's experiments ran on MareNostrum III; we cannot reproduce the
+//! absolute wall-clock numbers, so the discrete-event simulator (`drom-sim`)
+//! replays the workloads using these models. Each model encodes the *mechanism*
+//! the paper identifies for its application, so the serial-vs-DROM comparisons
+//! keep the paper's shape:
+//!
+//! * **Static data partition** (NEST, CoreNeuron): data is split into as many
+//!   chunks as the *initial* thread count; when DROM removes threads the
+//!   orphaned chunks are redistributed with limited granularity (Figure 5 shows
+//!   a removed thread's data being computed by four of the survivors), so the
+//!   effective parallelism drops below the CPU count.
+//! * **Thread-count locality** : IPC decreases slightly with more threads per
+//!   task ("increasing IPC switching from Conf. 1 to Conf. 2"), so 4×8 runs a
+//!   bit faster than 2×16 for the same CPU total.
+//! * **Memory-bound saturation** (STREAM): "over two CPUs per node performance
+//!   keeps constant".
+//! * **Initialization phase** (CoreNeuron): a memory-intensive start with low
+//!   cycles-per-µs (the green region of Figure 13).
+//!
+//! The absolute calibration constants (total work per application) are chosen
+//! so the simulated Serial-scenario run times land in the same few-thousand
+//! second range as the paper's plots; `EXPERIMENTS.md` records the resulting
+//! paper-vs-measured comparison for every figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AppConfig, AppKind};
+
+/// Nominal core frequency of the modelled machine in cycles per microsecond
+/// (MareNostrum III Sandy Bridge nodes ran at 2.6 GHz).
+pub const NOMINAL_CYCLES_PER_US: f64 = 2600.0;
+
+/// Granularity with which orphaned static-partition chunks can be
+/// redistributed: Figure 5 shows a removed thread's chunk being picked up by
+/// four survivors, i.e. quarter-chunk granularity.
+pub const CHUNK_SPLIT: f64 = 4.0;
+
+/// The analytical model of one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Which application this models.
+    pub kind: AppKind,
+    /// Total work in core-seconds (at full per-thread efficiency) for a fixed
+    /// workload; ignored when [`Self::work_per_requested_cpu`] is set.
+    pub total_work_core_s: f64,
+    /// For benchmarks whose problem size is configured per run (Pils), the
+    /// work is this many core-seconds per requested CPU.
+    pub work_per_requested_cpu: Option<f64>,
+    /// Per-extra-thread efficiency penalty within a task (locality/synchronisation).
+    pub thread_efficiency_penalty: f64,
+    /// `true` if the data is statically partitioned by the initial thread count.
+    pub static_partition: bool,
+    /// Memory-bound saturation: at most this many CPUs per task contribute.
+    pub saturation_cpus_per_task: Option<usize>,
+    /// Fraction of the work that belongs to a low-parallelism initialization phase.
+    pub init_fraction: f64,
+    /// Effective CPUs per task during the initialization phase.
+    pub init_parallelism: f64,
+    /// IPC at one thread per task.
+    pub base_ipc: f64,
+    /// IPC lost per extra thread per task.
+    pub ipc_locality_penalty: f64,
+}
+
+impl AppModel {
+    /// The calibrated model of each evaluation application.
+    pub fn for_kind(kind: AppKind) -> Self {
+        match kind {
+            AppKind::Nest => AppModel {
+                kind,
+                total_work_core_s: 60_000.0,
+                work_per_requested_cpu: None,
+                thread_efficiency_penalty: 0.004,
+                static_partition: true,
+                saturation_cpus_per_task: None,
+                init_fraction: 0.02,
+                init_parallelism: 4.0,
+                base_ipc: 1.20,
+                ipc_locality_penalty: 0.006,
+            },
+            AppKind::CoreNeuron => AppModel {
+                kind,
+                total_work_core_s: 66_000.0,
+                work_per_requested_cpu: None,
+                thread_efficiency_penalty: 0.005,
+                static_partition: true,
+                saturation_cpus_per_task: None,
+                init_fraction: 0.05,
+                init_parallelism: 4.0,
+                base_ipc: 1.35,
+                ipc_locality_penalty: 0.007,
+            },
+            AppKind::Pils => AppModel {
+                kind,
+                total_work_core_s: 6_400.0,
+                work_per_requested_cpu: Some(200.0),
+                thread_efficiency_penalty: 0.002,
+                static_partition: false,
+                saturation_cpus_per_task: None,
+                init_fraction: 0.0,
+                init_parallelism: 1.0,
+                base_ipc: 1.60,
+                ipc_locality_penalty: 0.004,
+            },
+            AppKind::Stream => AppModel {
+                kind,
+                total_work_core_s: 1_200.0,
+                work_per_requested_cpu: None,
+                thread_efficiency_penalty: 0.0,
+                static_partition: false,
+                saturation_cpus_per_task: Some(2),
+                init_fraction: 0.0,
+                init_parallelism: 1.0,
+                base_ipc: 0.55,
+                ipc_locality_penalty: 0.0,
+            },
+        }
+    }
+
+    /// Total work (core-seconds) of a run with the given configuration.
+    pub fn total_work(&self, config: &AppConfig) -> f64 {
+        match self.work_per_requested_cpu {
+            Some(per_cpu) => per_cpu * config.requested_cpus() as f64,
+            None => self.total_work_core_s,
+        }
+    }
+
+    /// Work belonging to the initialization phase.
+    pub fn init_work(&self, config: &AppConfig) -> f64 {
+        self.total_work(config) * self.init_fraction
+    }
+
+    /// Per-task parallel-efficiency factor for `threads` active threads.
+    pub fn efficiency(&self, threads: f64) -> f64 {
+        (1.0 - self.thread_efficiency_penalty * (threads - 1.0).max(0.0)).max(0.05)
+    }
+
+    /// Effective parallelism of one task that currently owns `cpus` CPUs, given
+    /// that it initially started with `initial_threads` threads.
+    ///
+    /// For statically partitioned applications the orphaned chunks limit the
+    /// achievable parallelism; otherwise every CPU contributes (up to the
+    /// memory-bound saturation point).
+    pub fn effective_parallelism(&self, cpus: usize, initial_threads: usize) -> f64 {
+        if cpus == 0 {
+            return 0.0;
+        }
+        let mut effective = cpus as f64;
+        if let Some(saturation) = self.saturation_cpus_per_task {
+            effective = effective.min(saturation as f64);
+        }
+        if self.static_partition && cpus < initial_threads {
+            // initial_threads chunks, each splittable into CHUNK_SPLIT pieces,
+            // spread over `cpus` threads: the busiest thread gets
+            // ceil(chunks*split / cpus) / split chunks.
+            let subchunks = (initial_threads as f64) * CHUNK_SPLIT;
+            let per_thread = (subchunks / cpus as f64).ceil() / CHUNK_SPLIT;
+            effective = effective.min(initial_threads as f64 / per_thread);
+        }
+        effective
+    }
+
+    /// Work completed per second by the whole job when every task owns
+    /// `cpus_per_task` CPUs (steady, non-initialization phase).
+    pub fn rate(&self, config: &AppConfig, cpus_per_task: usize) -> f64 {
+        let per_task =
+            self.effective_parallelism(cpus_per_task, config.threads_per_task)
+                * self.efficiency(cpus_per_task.min(config.threads_per_task) as f64);
+        per_task * config.mpi_tasks as f64
+    }
+
+    /// Work completed per second during the initialization phase.
+    pub fn init_rate(&self, config: &AppConfig, cpus_per_task: usize) -> f64 {
+        let per_task = (cpus_per_task as f64).min(self.init_parallelism);
+        per_task * config.mpi_tasks as f64
+    }
+
+    /// Execution time (seconds) when the per-task CPU count never changes.
+    pub fn execution_time(&self, config: &AppConfig, cpus_per_task: usize) -> f64 {
+        let total = self.total_work(config);
+        let init = self.init_work(config);
+        let main = total - init;
+        let mut time = 0.0;
+        if init > 0.0 {
+            time += init / self.init_rate(config, cpus_per_task).max(1e-9);
+        }
+        time += main / self.rate(config, cpus_per_task).max(1e-9);
+        time
+    }
+
+    /// Modelled IPC of a thread when its task runs `threads_per_task` threads.
+    pub fn ipc(&self, threads_per_task: usize) -> f64 {
+        (self.base_ipc
+            - self.ipc_locality_penalty * (threads_per_task.saturating_sub(1)) as f64)
+            .max(0.1)
+    }
+
+    /// Modelled cycles per microsecond of a thread running at the given
+    /// utilization (1.0 = always running on its core).
+    pub fn cycles_per_us(&self, utilization: f64) -> f64 {
+        NOMINAL_CYCLES_PER_US * utilization.clamp(0.0, 1.0)
+    }
+}
+
+/// Convenience holder of all four models.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    nest: AppModel,
+    coreneuron: AppModel,
+    pils: AppModel,
+    stream: AppModel,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfModel {
+    /// Builds the calibrated model set.
+    pub fn new() -> Self {
+        PerfModel {
+            nest: AppModel::for_kind(AppKind::Nest),
+            coreneuron: AppModel::for_kind(AppKind::CoreNeuron),
+            pils: AppModel::for_kind(AppKind::Pils),
+            stream: AppModel::for_kind(AppKind::Stream),
+        }
+    }
+
+    /// The model of one application.
+    pub fn of(&self, kind: AppKind) -> &AppModel {
+        match kind {
+            AppKind::Nest => &self.nest,
+            AppKind::CoreNeuron => &self.coreneuron,
+            AppKind::Pils => &self.pils,
+            AppKind::Stream => &self.stream,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Table1;
+
+    #[test]
+    fn nest_conf1_runs_about_two_thousand_seconds() {
+        let model = AppModel::for_kind(AppKind::Nest);
+        let t = model.execution_time(&Table1::NEST_CONF1, 16);
+        assert!((1800.0..2400.0).contains(&t), "NEST Conf. 1 time was {t}");
+    }
+
+    #[test]
+    fn conf2_is_slightly_faster_than_conf1() {
+        // The paper observes higher IPC (and slightly better time) for 4x8.
+        for kind in [AppKind::Nest, AppKind::CoreNeuron] {
+            let model = AppModel::for_kind(kind);
+            let confs = Table1::of(kind);
+            let t1 = model.execution_time(&confs[0], confs[0].threads_per_task);
+            let t2 = model.execution_time(&confs[1], confs[1].threads_per_task);
+            assert!(t2 < t1, "{kind:?}: conf2 ({t2}) should beat conf1 ({t1})");
+            assert!(t1 / t2 < 1.20, "{kind:?}: the gap should stay small");
+            assert!(model.ipc(8) > model.ipc(16));
+        }
+    }
+
+    #[test]
+    fn pils_runtime_is_roughly_constant_across_configs() {
+        let model = AppModel::for_kind(AppKind::Pils);
+        let times: Vec<f64> = Table1::of(AppKind::Pils)
+            .iter()
+            .map(|c| model.execution_time(c, c.threads_per_task))
+            .collect();
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.15,
+            "Pils run time should be roughly constant, got {times:?}"
+        );
+        assert!((150.0..350.0).contains(&times[0]));
+    }
+
+    #[test]
+    fn stream_saturates_at_two_cpus_per_task() {
+        let model = AppModel::for_kind(AppKind::Stream);
+        let t2 = model.execution_time(&Table1::STREAM_CONF1, 2);
+        let t8 = model.execution_time(&Table1::STREAM_CONF1, 8);
+        assert!((t2 - t8).abs() < 1e-6, "extra CPUs must not speed STREAM up");
+        let t1 = model.execution_time(&Table1::STREAM_CONF1, 1);
+        assert!(t1 > t2, "one CPU per task is slower than two");
+    }
+
+    #[test]
+    fn static_partition_penalises_partial_shrink() {
+        let model = AppModel::for_kind(AppKind::Nest);
+        // Started with 16 threads.
+        let full = model.effective_parallelism(16, 16);
+        assert!((full - 16.0).abs() < 1e-9);
+        // Removing one thread costs more than one thread's worth of throughput.
+        let fifteen = model.effective_parallelism(15, 16);
+        assert!(fifteen < 13.0, "15 CPUs should be well below 15 effective, got {fifteen}");
+        // Exactly half the threads divides evenly: no imbalance beyond the halving.
+        let eight = model.effective_parallelism(8, 16);
+        assert!((eight - 8.0).abs() < 1e-9);
+        // Monotonic in the CPU count.
+        let twelve = model.effective_parallelism(12, 16);
+        assert!(twelve <= 16.0 && twelve >= eight);
+        // A non-partitioned app loses nothing.
+        let pils = AppModel::for_kind(AppKind::Pils);
+        assert!((pils.effective_parallelism(15, 16) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cpus_means_zero_rate() {
+        let model = AppModel::for_kind(AppKind::Nest);
+        assert_eq!(model.effective_parallelism(0, 16), 0.0);
+        assert_eq!(model.rate(&Table1::NEST_CONF1, 0), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_cycles_are_bounded() {
+        let model = AppModel::for_kind(AppKind::CoreNeuron);
+        assert!(model.ipc(1) > model.ipc(16));
+        assert!(model.ipc(1000) >= 0.1);
+        assert_eq!(model.cycles_per_us(1.0), NOMINAL_CYCLES_PER_US);
+        assert_eq!(model.cycles_per_us(2.0), NOMINAL_CYCLES_PER_US);
+        assert_eq!(model.cycles_per_us(-1.0), 0.0);
+    }
+
+    #[test]
+    fn perfmodel_lookup() {
+        let pm = PerfModel::new();
+        assert_eq!(pm.of(AppKind::Nest).kind, AppKind::Nest);
+        assert_eq!(pm.of(AppKind::Stream).kind, AppKind::Stream);
+        assert!(pm.of(AppKind::CoreNeuron).init_fraction > pm.of(AppKind::Nest).init_fraction);
+    }
+
+    #[test]
+    fn use_case_1_shape_nest_plus_pils() {
+        // Reproduce the scenario arithmetic used by Figure 4 and check the
+        // qualitative claims: DROM total run time beats Serial, the analytics
+        // response collapses, the simulation degrades only a little.
+        let nest = AppModel::for_kind(AppKind::Nest);
+        let pils = AppModel::for_kind(AppKind::Pils);
+        let nest_conf = Table1::NEST_CONF1;
+        let pils_conf = Table1::PILS_CONF2;
+
+        // Keep both scenarios on the same footing by ignoring the (small)
+        // initialization phase: the DROM arithmetic below models only the
+        // steady-state rate.
+        let nest_alone = nest.total_work(&nest_conf) / nest.rate(&nest_conf, 16);
+        let pils_alone = pils.execution_time(&pils_conf, 1);
+
+        // Serial: analytics waits for the simulation.
+        let serial_total = nest_alone + pils_alone;
+
+        // DROM: the analytics takes one CPU per node from the simulation.
+        let shrunk_rate = nest.rate(&nest_conf, 15);
+        let full_rate = nest.rate(&nest_conf, 16);
+        let work_during_overlap = shrunk_rate * pils_alone;
+        let nest_drom =
+            pils_alone + (nest.total_work(&nest_conf) - work_during_overlap) / full_rate;
+        let drom_total = nest_drom.max(pils_alone);
+
+        assert!(drom_total < serial_total, "DROM must improve total run time");
+        let improvement = (serial_total - drom_total) / serial_total * 100.0;
+        assert!(
+            (1.0..20.0).contains(&improvement),
+            "total run time improvement should be moderate, got {improvement:.1}%"
+        );
+        let nest_degradation = (nest_drom - nest_alone) / nest_alone * 100.0;
+        assert!(
+            (0.0..10.0).contains(&nest_degradation),
+            "NEST should degrade only slightly, got {nest_degradation:.1}%"
+        );
+    }
+}

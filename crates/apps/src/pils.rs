@@ -1,0 +1,147 @@
+//! The Pils-like mini-app: a compute-bound synthetic analytics workload.
+//!
+//! Pils "is a synthetic benchmark, doing computation-intensive operations …
+//! In our experiments, we use it to simulate a compute bound parallel data
+//! analytics." It is task-parallel (MPI + OmpSs), so it has no static
+//! partition problem: whatever team it is given, work is dealt out dynamically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use drom_ompsim::{DromOmptTool, OmpRuntime, Schedule};
+
+use crate::config::{AppConfig, Table1};
+use crate::kernel::busy_work;
+
+/// Result of one Pils rank run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PilsReport {
+    /// Wall-clock duration.
+    pub duration_us: u64,
+    /// Work packages executed (checksum of coverage).
+    pub packages_done: u64,
+    /// Team size observed at each outer step.
+    pub team_sizes: Vec<usize>,
+}
+
+/// One rank of the Pils-like benchmark.
+#[derive(Debug, Clone)]
+pub struct Pils {
+    /// The Table-1 configuration this rank belongs to.
+    pub config: AppConfig,
+    /// Number of outer steps (each is a malleability point).
+    pub steps: usize,
+    /// Independent work packages per step.
+    pub packages_per_step: usize,
+    /// Compute units per package.
+    pub work_per_package: u64,
+}
+
+impl Pils {
+    /// Creates a rank for the given configuration.
+    pub fn new(config: AppConfig) -> Self {
+        Pils {
+            config,
+            steps: 10,
+            packages_per_step: 64,
+            work_per_package: 3_000,
+        }
+    }
+
+    /// Pils Conf. 1 (2 × 16), the full-node reference case.
+    pub fn conf1() -> Self {
+        Self::new(Table1::PILS_CONF1)
+    }
+
+    /// Pils Conf. 2 (2 × 1).
+    pub fn conf2() -> Self {
+        Self::new(Table1::PILS_CONF2)
+    }
+
+    /// Pils Conf. 3 (2 × 4).
+    pub fn conf3() -> Self {
+        Self::new(Table1::PILS_CONF3)
+    }
+
+    /// Scales the run.
+    pub fn scaled(mut self, steps: usize, packages_per_step: usize, work: u64) -> Self {
+        self.steps = steps.max(1);
+        self.packages_per_step = packages_per_step.max(1);
+        self.work_per_package = work;
+        self
+    }
+
+    /// Runs this rank on `runtime`, polling DROM through `tool` at every outer
+    /// step (OmpSs would poll at every task scheduling point anyway).
+    pub fn run_rank(&self, runtime: &OmpRuntime, tool: Option<&DromOmptTool>) -> PilsReport {
+        let start = Instant::now();
+        let packages_done = AtomicU64::new(0);
+        let mut team_sizes = Vec::with_capacity(self.steps);
+        for _step in 0..self.steps {
+            if let Some(tool) = tool {
+                tool.poll_and_apply();
+            }
+            team_sizes.push(runtime.max_threads());
+            // Dynamic (task-like) scheduling: no static partition, so any team
+            // size stays balanced.
+            runtime.parallel_for(
+                0..self.packages_per_step,
+                Schedule::Dynamic { chunk: 1 },
+                |_pkg| {
+                    busy_work(self.work_per_package);
+                    packages_done.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        PilsReport {
+            duration_us: start.elapsed().as_micros() as u64,
+            packages_done: packages_done.load(Ordering::Relaxed),
+            team_sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppKind;
+    use drom_core::{DromAdmin, DromFlags, DromProcess};
+    use drom_cpuset::CpuSet;
+    use drom_shmem::NodeShmem;
+    use std::sync::Arc;
+
+    #[test]
+    fn configurations_match_table1() {
+        assert_eq!(Pils::conf1().config.threads_per_task, 16);
+        assert_eq!(Pils::conf2().config.threads_per_task, 1);
+        assert_eq!(Pils::conf3().config.threads_per_task, 4);
+        assert_eq!(Pils::conf1().config.kind, AppKind::Pils);
+    }
+
+    #[test]
+    fn all_packages_execute_regardless_of_team() {
+        let rt = OmpRuntime::new(4);
+        let pils = Pils::conf3().scaled(3, 40, 200);
+        let report = pils.run_rank(&rt, None);
+        assert_eq!(report.packages_done, 3 * 40);
+        assert_eq!(report.team_sizes, vec![4, 4, 4]);
+        assert!(report.duration_us > 0);
+    }
+
+    #[test]
+    fn expansion_is_picked_up_at_the_next_step() {
+        let shmem = Arc::new(NodeShmem::new("n", 8));
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(8);
+        let tool = drom_ompsim::DromOmptTool::new(Arc::clone(&process), Arc::clone(rt.settings()));
+        // The job starts on 2 CPUs; the manager later gives it 6.
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(0..6).unwrap(), DromFlags::default())
+            .unwrap();
+        let report = Pils::conf2().scaled(2, 16, 100).run_rank(&rt, Some(&tool));
+        assert_eq!(report.team_sizes[0], 6, "the first step already sees the grant");
+        assert_eq!(report.packages_done, 32);
+    }
+}

@@ -1,0 +1,348 @@
+//! The shared engine of the two neuro-simulator mini-apps.
+//!
+//! Both NEST and CoreNeuron share the property that matters for DROM: "its
+//! data is statically partitioned according to the maximum number of
+//! computational resources during initialization … when applying malleability
+//! to shrink NEST, the tasks not computed by the removed thread are computed by
+//! some of the remaining resources, creating imbalance" (Section 6.1 and
+//! Figure 5). [`StaticPartitionSim`] reproduces that structure: the neuron
+//! population is split into as many chunks as the *initial* thread count, each
+//! chunk further divisible into four sub-chunks, and every iteration processes
+//! all sub-chunks on whatever team the runtime currently has.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use drom_metrics::{ThreadState, Tracer};
+use drom_ompsim::{DromOmptTool, OmpRuntime};
+
+use crate::kernel::{busy_work, lif_step};
+
+/// How many sub-chunks each static chunk can be split into when redistributing
+/// work to a smaller team (matches `perfmodel::CHUNK_SPLIT`).
+pub const SUBCHUNKS_PER_CHUNK: usize = 4;
+
+/// Result of running one rank of a static-partition simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Wall-clock duration of the run.
+    pub duration: std::time::Duration,
+    /// Busy time (µs) accumulated by each thread slot of the runtime.
+    pub per_thread_busy_us: Vec<u64>,
+    /// Sub-chunks processed by each thread slot (deterministic work counter).
+    pub per_thread_subchunks: Vec<u64>,
+    /// Team size observed at each iteration.
+    pub team_sizes: Vec<usize>,
+    /// Iterations executed.
+    pub iterations_done: usize,
+    /// Total spikes produced (checksum; deterministic for a given setup).
+    pub total_spikes: u64,
+}
+
+impl SimReport {
+    fn ratio(values: &[f64]) -> f64 {
+        let active: Vec<f64> = values.iter().copied().filter(|&b| b > 0.0).collect();
+        if active.is_empty() {
+            return 1.0;
+        }
+        let max = active.iter().cloned().fold(0.0f64, f64::max);
+        let avg = active.iter().sum::<f64>() / active.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Imbalance of the run measured on wall-clock busy time: max per-thread
+    /// busy time over the average of the threads that did any work
+    /// (1.0 = perfectly balanced). This is the Figure 5 metric.
+    pub fn imbalance(&self) -> f64 {
+        Self::ratio(
+            &self
+                .per_thread_busy_us
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Imbalance measured on the deterministic work counters (sub-chunks per
+    /// thread); independent of timer noise, used by the tests.
+    pub fn work_imbalance(&self) -> f64 {
+        Self::ratio(
+            &self
+                .per_thread_subchunks
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// One rank of a hybrid (MPI × OpenMP) neuro-simulator with a static data
+/// partition.
+#[derive(Debug, Clone)]
+pub struct StaticPartitionSim {
+    /// Number of static chunks (fixed at the *initial* thread count).
+    pub chunks: usize,
+    /// Neurons per chunk (size of the per-chunk state updated every iteration).
+    pub neurons_per_chunk: usize,
+    /// Extra compute-bound work units per sub-chunk per iteration.
+    pub work_per_subchunk: u64,
+    /// Iterations (simulation time steps) to run.
+    pub iterations: usize,
+    /// If `true`, the data is repartitioned to the current team size at every
+    /// iteration — the "fully malleable" variant the paper says would remove
+    /// the imbalance.
+    pub fully_malleable: bool,
+}
+
+impl StaticPartitionSim {
+    /// Creates a rank-level simulator with `initial_threads` static chunks.
+    pub fn new(initial_threads: usize) -> Self {
+        StaticPartitionSim {
+            chunks: initial_threads.max(1),
+            neurons_per_chunk: 256,
+            work_per_subchunk: 2_000,
+            iterations: 20,
+            fully_malleable: false,
+        }
+    }
+
+    /// Sets the number of iterations.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// Sets the per-sub-chunk compute work.
+    pub fn with_work(mut self, units: u64) -> Self {
+        self.work_per_subchunk = units;
+        self
+    }
+
+    /// Sets the neurons per chunk.
+    pub fn with_neurons_per_chunk(mut self, neurons: usize) -> Self {
+        self.neurons_per_chunk = neurons.max(1);
+        self
+    }
+
+    /// Switches to the fully malleable (repartitioning) variant.
+    pub fn fully_malleable(mut self) -> Self {
+        self.fully_malleable = true;
+        self
+    }
+
+    /// Runs this rank's iterations on `runtime`.
+    ///
+    /// At the top of every iteration the rank polls DROM (through `tool`, when
+    /// given) exactly like Listing 1 of the paper; the OMPT integration would
+    /// poll at the parallel construct anyway, but the explicit poll lets
+    /// non-OMPT configurations stay malleable too. `tracer`, when given,
+    /// receives per-thread running/idle state events and per-process mask
+    /// changes (this is the data behind Figure 5).
+    pub fn run_rank(
+        &self,
+        runtime: &OmpRuntime,
+        tool: Option<&DromOmptTool>,
+        tracer: Option<&Tracer>,
+        process_index: usize,
+    ) -> SimReport {
+        let pool = runtime.settings().pool_size();
+        let busy_us: Vec<AtomicU64> = (0..pool).map(|_| AtomicU64::new(0)).collect();
+        let subchunk_counts: Vec<AtomicU64> = (0..pool).map(|_| AtomicU64::new(0)).collect();
+        let mut neurons: Vec<Vec<f64>> =
+            vec![vec![0.5; self.neurons_per_chunk]; self.chunks];
+        let neuron_chunks: Vec<Mutex<&mut Vec<f64>>> =
+            neurons.iter_mut().map(Mutex::new).collect();
+        let mut team_sizes = Vec::with_capacity(self.iterations);
+        let total_spikes = AtomicU64::new(0);
+
+        let start = Instant::now();
+        for iteration in 0..self.iterations {
+            // Malleability point (Listing 1): poll DROM before the parallel
+            // region and adapt the team if the mask changed.
+            if let Some(tool) = tool {
+                if tool.poll_and_apply() {
+                    if let Some(tracer) = tracer {
+                        tracer.mask_change(
+                            start.elapsed().as_micros() as u64,
+                            process_index,
+                            &tool.process().current_mask(),
+                        );
+                    }
+                }
+            }
+            let team_size = runtime.max_threads();
+            team_sizes.push(team_size);
+
+            // The static partition: `chunks * SUBCHUNKS_PER_CHUNK` sub-chunks,
+            // distributed round-robin over the current team. In the fully
+            // malleable variant the partition follows the team size instead.
+            let effective_chunks = if self.fully_malleable {
+                team_size
+            } else {
+                self.chunks
+            };
+            let total_subchunks = effective_chunks * SUBCHUNKS_PER_CHUNK;
+
+            runtime.parallel(|ctx| {
+                let t0 = Instant::now();
+                if let Some(tracer) = tracer {
+                    tracer.state(
+                        start.elapsed().as_micros() as u64,
+                        process_index,
+                        ctx.thread_num,
+                        ThreadState::Running,
+                    );
+                }
+                let mut spikes_local = 0u64;
+                let mut sub = ctx.thread_num;
+                while sub < total_subchunks {
+                    let chunk = (sub / SUBCHUNKS_PER_CHUNK).min(self.chunks - 1);
+                    // Update this chunk's neuron state (the sub-chunk updates a
+                    // quarter of the chunk) and burn the compute work.
+                    {
+                        let mut chunk_state = neuron_chunks[chunk].lock();
+                        let len = chunk_state.len();
+                        let lo = (sub % SUBCHUNKS_PER_CHUNK) * len / SUBCHUNKS_PER_CHUNK;
+                        let hi = ((sub % SUBCHUNKS_PER_CHUNK) + 1) * len / SUBCHUNKS_PER_CHUNK;
+                        spikes_local +=
+                            lif_step(&mut chunk_state[lo..hi], 0.35, 1.0) as u64;
+                    }
+                    busy_work(self.work_per_subchunk);
+                    subchunk_counts[ctx.thread_num].fetch_add(1, Ordering::Relaxed);
+                    sub += ctx.team_size;
+                }
+                total_spikes.fetch_add(spikes_local, Ordering::Relaxed);
+                busy_us[ctx.thread_num]
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                if let Some(tracer) = tracer {
+                    tracer.state(
+                        start.elapsed().as_micros() as u64,
+                        process_index,
+                        ctx.thread_num,
+                        ThreadState::Idle,
+                    );
+                }
+            });
+            let _ = iteration;
+        }
+
+        SimReport {
+            duration: start.elapsed(),
+            per_thread_busy_us: busy_us.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            per_thread_subchunks: subchunk_counts
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            team_sizes,
+            iterations_done: self.iterations,
+            total_spikes: total_spikes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_core::{DromAdmin, DromFlags, DromProcess};
+    use drom_cpuset::CpuSet;
+    use drom_shmem::NodeShmem;
+    use std::sync::Arc;
+
+    fn small_sim(threads: usize) -> StaticPartitionSim {
+        StaticPartitionSim::new(threads)
+            .with_iterations(4)
+            .with_work(200)
+            .with_neurons_per_chunk(64)
+    }
+
+    #[test]
+    fn runs_all_iterations_and_reports() {
+        let rt = OmpRuntime::new(4);
+        let report = small_sim(4).run_rank(&rt, None, None, 0);
+        assert_eq!(report.iterations_done, 4);
+        assert_eq!(report.team_sizes, vec![4, 4, 4, 4]);
+        assert_eq!(report.per_thread_busy_us.len(), 4);
+        assert!(report.per_thread_busy_us.iter().all(|&b| b > 0));
+        // 4 chunks x 4 sub-chunks x 4 iterations = 64 sub-chunks, 16 each.
+        assert_eq!(report.per_thread_subchunks, vec![16, 16, 16, 16]);
+        assert!(report.total_spikes > 0);
+        assert!(report.imbalance() >= 1.0);
+        assert!((report.work_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_partition_shows_imbalance_after_shrink() {
+        // 4 chunks but only 3 threads: one thread carries extra sub-chunks.
+        let rt = OmpRuntime::new(4);
+        rt.set_num_threads(3);
+        let report = small_sim(4).with_iterations(6).run_rank(&rt, None, None, 0);
+        assert_eq!(report.team_sizes[0], 3);
+        // Thread 3 never ran.
+        assert_eq!(report.per_thread_subchunks[3], 0);
+        assert_eq!(report.per_thread_busy_us[3], 0);
+        // 16 sub-chunks over 3 threads -> 6/5/5 per iteration.
+        assert_eq!(
+            report.per_thread_subchunks[..3],
+            [36, 30, 30],
+            "round-robin distribution of orphaned sub-chunks"
+        );
+        assert!(
+            report.work_imbalance() > 1.1,
+            "expected visible imbalance, got {}",
+            report.work_imbalance()
+        );
+    }
+
+    #[test]
+    fn fully_malleable_variant_rebalances() {
+        let rt = OmpRuntime::new(4);
+        rt.set_num_threads(3);
+        let report = small_sim(4)
+            .with_iterations(6)
+            .fully_malleable()
+            .run_rank(&rt, None, None, 0);
+        assert!(
+            (report.work_imbalance() - 1.0).abs() < 1e-12,
+            "fully malleable run should be balanced, got {}",
+            report.work_imbalance()
+        );
+    }
+
+    #[test]
+    fn drom_shrink_is_applied_at_iteration_boundary() {
+        let shmem = Arc::new(NodeShmem::new("n", 8));
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(8), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(8);
+        let tool = DromOmptTool::new(Arc::clone(&process), Arc::clone(rt.settings()));
+        // Post the shrink before the run starts: the first iteration already
+        // observes it.
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(0..4).unwrap(), DromFlags::default())
+            .unwrap();
+        let tracer = Tracer::new();
+        let report = small_sim(8).run_rank(&rt, Some(&tool), Some(&tracer), 0);
+        assert_eq!(report.team_sizes[0], 4);
+        assert!(report.team_sizes.iter().all(|&t| t == 4));
+        // The mask change was traced.
+        assert!(tracer
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, drom_metrics::EventKind::MaskChange { .. })));
+    }
+
+    #[test]
+    fn spike_counts_are_deterministic_for_fixed_team() {
+        let rt = OmpRuntime::new(2);
+        let a = small_sim(2).run_rank(&rt, None, None, 0);
+        let b = small_sim(2).run_rank(&rt, None, None, 0);
+        assert_eq!(a.total_spikes, b.total_spikes);
+    }
+}

@@ -1,0 +1,62 @@
+//! CPU-set algebra and the task/affinity distribution algorithms, including
+//! the socket-aware vs round-robin vs packed ablation (Section 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_cpuset::distribution::{co_allocate, equipartition, RunningTask};
+use drom_cpuset::{parse_cpu_list, CpuSet, DistributionPolicy, Topology};
+
+fn bench_cpuset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpuset_ops");
+
+    group.bench_function("set_iterate_64", |b| {
+        let set = CpuSet::first_n(64);
+        b.iter(|| set.iter().sum::<usize>());
+    });
+
+    group.bench_function("union_intersection", |b| {
+        let a = CpuSet::from_range(0..48).unwrap();
+        let bset = CpuSet::from_range(16..64).unwrap();
+        b.iter(|| {
+            let u = a.union(&bset);
+            let i = a.intersection(&bset);
+            (u.count(), i.count())
+        });
+    });
+
+    group.bench_function("parse_format_roundtrip", |b| {
+        let set = CpuSet::from_cpus([0, 1, 2, 3, 8, 10, 11, 30, 31, 32, 63]).unwrap();
+        b.iter(|| parse_cpu_list(&set.to_string()).unwrap());
+    });
+
+    let topo = Topology::marenostrum3_node();
+    for policy in [
+        DistributionPolicy::Packed,
+        DistributionPolicy::RoundRobinSockets,
+        DistributionPolicy::SocketAware,
+    ] {
+        group.bench_function(format!("equipartition_4_tasks_{policy:?}"), |b| {
+            b.iter(|| equipartition(&topo.node_mask(), 4, &topo, policy));
+        });
+    }
+
+    group.bench_function("co_allocate_2_running_2_new", |b| {
+        let running = vec![
+            RunningTask { job_id: 1, task_id: 0, mask: CpuSet::from_range(0..8).unwrap() },
+            RunningTask { job_id: 1, task_id: 1, mask: CpuSet::from_range(8..16).unwrap() },
+        ];
+        b.iter(|| {
+            co_allocate(
+                &topo.node_mask(),
+                &running,
+                2,
+                &topo,
+                DistributionPolicy::SocketAware,
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpuset);
+criterion_main!(benches);

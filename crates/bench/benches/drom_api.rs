@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the DROM administrator API: attach, pid list, get/set
+//! mask, pre-init/post-finalize. Backs the paper's "efficient … without any
+//! overhead" claim for the API itself (Section 3).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::{DromAdmin, DromFlags, DromProcess};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+fn bench_drom_api(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drom_api");
+    group.sample_size(30);
+
+    group.bench_function("attach_detach", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        b.iter(|| {
+            let admin = DromAdmin::attach(Arc::clone(&shmem));
+            admin.detach().unwrap();
+        });
+    });
+
+    group.bench_function("get_pid_list_8_procs", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let _procs: Vec<_> = (0..8)
+            .map(|i| {
+                DromProcess::init(i as u32 + 1, CpuSet::from_cpus([i * 2, i * 2 + 1]).unwrap(), Arc::clone(&shmem))
+                    .unwrap()
+            })
+            .collect();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        b.iter(|| admin.get_pid_list().unwrap());
+    });
+
+    group.bench_function("get_process_mask", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let _proc = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        b.iter(|| admin.get_process_mask(1, DromFlags::default()).unwrap());
+    });
+
+    group.bench_function("set_mask_then_poll", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let small = CpuSet::from_range(0..8).unwrap();
+        let full = CpuSet::first_n(16);
+        let mut flip = false;
+        b.iter(|| {
+            let mask = if flip { &full } else { &small };
+            flip = !flip;
+            admin.set_process_mask(1, mask, DromFlags::default()).unwrap();
+            proc.poll_drom().unwrap();
+        });
+    });
+
+    group.bench_function("preinit_register_postfinalize", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let mut pid = 100u32;
+        b.iter(|| {
+            pid += 1;
+            let (environ, _) = admin
+                .pre_init(pid, &CpuSet::from_range(0..4).unwrap(), DromFlags::default())
+                .unwrap();
+            let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+            child.finalize().unwrap();
+            let _ = admin.post_finalize(pid, DromFlags::default());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_drom_api);
+criterion_main!(benches);

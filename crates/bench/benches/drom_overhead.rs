@@ -1,0 +1,43 @@
+//! The paper's "no visible overhead" check (Section 6): the NEST-like mini-app
+//! running with DLB/DROM attached but never reconfigured, versus running
+//! without DLB at all, on exclusive resources.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_apps::{AppConfig, AppKind, NestSim};
+use drom_core::DromProcess;
+use drom_cpuset::CpuSet;
+use drom_ompsim::{DromOmptTool, OmpRuntime};
+use drom_shmem::NodeShmem;
+
+fn small_nest() -> NestSim {
+    NestSim::new(AppConfig::new(AppKind::Nest, 1, 1, 4)).scaled(4, 2_000)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drom_overhead");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(4));
+
+    group.bench_function("nest_rank_without_dlb", |b| {
+        let rt = OmpRuntime::new(4);
+        let nest = small_nest();
+        b.iter(|| nest.run_rank(&rt, None, None, 0));
+    });
+
+    group.bench_function("nest_rank_with_idle_drom", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 4));
+        let process = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(4);
+        let tool = DromOmptTool::attach(&rt, process);
+        let nest = small_nest();
+        b.iter(|| nest.run_rank(&rt, Some(&tool), None, 0));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end cost of regenerating the paper's figures from the discrete-event
+//! simulator (one full use-case-1 pair and the use-case-2 workload).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_apps::Table1;
+use drom_bench::{use_case2, UseCase1Result};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("use_case1_nest_pils_pair", |b| {
+        b.iter(|| UseCase1Result::run(Table1::NEST_CONF1, Table1::PILS_CONF2));
+    });
+
+    group.bench_function("use_case2_workload", |b| {
+        b.iter(use_case2);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! LeWI lend/borrow/reclaim cycle cost (the other DLB module, Section 3.1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::{DromProcess, Lewi};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+fn bench_lewi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lewi");
+    group.sample_size(30);
+
+    group.bench_function("lend_reclaim_cycle", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let a = Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
+        let lewi = Lewi::new(Arc::clone(&a));
+        b.iter(|| {
+            lewi.enter_blocking(1).unwrap();
+            lewi.exit_blocking().unwrap();
+        });
+    });
+
+    group.bench_function("lend_borrow_reclaim_two_processes", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let a = Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
+        let bb = Arc::new(DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap());
+        let lewi_a = Lewi::new(Arc::clone(&a));
+        let lewi_b = Lewi::new(Arc::clone(&bb));
+        b.iter(|| {
+            lewi_a.enter_blocking(1).unwrap();
+            lewi_b.borrow(4).unwrap();
+            lewi_a.exit_blocking().unwrap();
+            bb.poll_drom().unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lewi);
+criterion_main!(benches);

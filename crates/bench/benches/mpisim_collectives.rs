@@ -1,0 +1,60 @@
+//! MPI-like collectives with and without the DROM PMPI hook installed — the
+//! interception cost the paper calls negligible (Section 4.3).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::DromProcess;
+use drom_cpuset::CpuSet;
+use drom_mpisim::{DromPmpiHook, MpiWorld};
+use drom_shmem::NodeShmem;
+
+fn bench_mpisim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_collectives");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("barrier_x100_4_ranks_no_hook", |b| {
+        b.iter(|| {
+            MpiWorld::new(4).run(|comm| {
+                for _ in 0..100 {
+                    comm.barrier();
+                }
+            })
+        });
+    });
+
+    group.bench_function("barrier_x100_4_ranks_with_drom_hook", |b| {
+        b.iter(|| {
+            let shmem = Arc::new(NodeShmem::new("node0", 16));
+            let shmem_ref = &shmem;
+            MpiWorld::new(4).run(move |comm| {
+                let pid = 10 + comm.rank() as u32;
+                let mask = CpuSet::from_cpus([comm.rank()]).unwrap();
+                let process = Arc::new(DromProcess::init(pid, mask, Arc::clone(shmem_ref)).unwrap());
+                comm.add_hook(DromPmpiHook::for_process(process));
+                for _ in 0..100 {
+                    comm.barrier();
+                }
+            })
+        });
+    });
+
+    group.bench_function("allreduce_x100_4_ranks", |b| {
+        b.iter(|| {
+            MpiWorld::new(4).run(|comm| {
+                let mut acc = 0.0;
+                for i in 0..100 {
+                    acc += comm.allreduce_sum(i as f64);
+                }
+                acc
+            })
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpisim);
+criterion_main!(benches);

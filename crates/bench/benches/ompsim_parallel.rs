@@ -1,0 +1,63 @@
+//! OpenMP-like runtime: fork/join cost, team resize + rebind cost, and the
+//! overhead added by the DROM OMPT tool when nothing changes (Section 4.1).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::DromProcess;
+use drom_cpuset::CpuSet;
+use drom_ompsim::{DromOmptTool, OmpRuntime, Schedule};
+use drom_shmem::NodeShmem;
+
+fn bench_ompsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ompsim_parallel");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fork_join_4_threads", |b| {
+        let rt = OmpRuntime::new(4);
+        b.iter(|| rt.parallel(|_ctx| {}));
+    });
+
+    group.bench_function("fork_join_with_resize", |b| {
+        let rt = OmpRuntime::new(8);
+        let mut size = 2;
+        b.iter(|| {
+            size = if size == 2 { 8 } else { 2 };
+            rt.set_num_threads(size);
+            rt.parallel(|_ctx| {});
+        });
+    });
+
+    group.bench_function("fork_join_with_idle_drom_tool", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 4));
+        let process = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(4);
+        let _tool = DromOmptTool::attach(&rt, process);
+        b.iter(|| rt.parallel(|_ctx| {}));
+    });
+
+    group.bench_function("parallel_for_static_4096", |b| {
+        let rt = OmpRuntime::new(4);
+        b.iter(|| {
+            rt.parallel_for(0..4096, Schedule::Static, |i| {
+                std::hint::black_box(i);
+            })
+        });
+    });
+
+    group.bench_function("parallel_for_dynamic_4096", |b| {
+        let rt = OmpRuntime::new(4);
+        b.iter(|| {
+            rt.parallel_for(0..4096, Schedule::Dynamic { chunk: 64 }, |i| {
+                std::hint::black_box(i);
+            })
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ompsim);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of the polling malleability point: a `DLB_PollDROM` that finds nothing
+//! versus one that applies a new mask (the paper's polling-based receiver,
+//! Section 3.1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::{DromAdmin, DromFlags, DromProcess};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+fn bench_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poll_drom");
+    group.sample_size(50);
+
+    group.bench_function("poll_no_update", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        b.iter(|| proc.poll_drom().unwrap());
+    });
+
+    group.bench_function("poll_with_update", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let small = CpuSet::from_range(0..8).unwrap();
+        let full = CpuSet::first_n(16);
+        let mut flip = false;
+        b.iter(|| {
+            let mask = if flip { &full } else { &small };
+            flip = !flip;
+            admin.set_process_mask(1, mask, DromFlags::default()).unwrap();
+            proc.poll_drom().unwrap().unwrap()
+        });
+    });
+
+    group.bench_function("has_pending_check", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        b.iter(|| proc.has_pending_update().unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared-memory registry operations, including contended access from several
+//! threads (the lock-protected per-node segment of Section 3.1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+fn bench_shmem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_ops");
+    group.sample_size(30);
+
+    group.bench_function("register_unregister", |b| {
+        let shmem = NodeShmem::new("n", 64);
+        b.iter(|| {
+            shmem.register(1, CpuSet::first_n(16)).unwrap();
+            shmem.unregister(1).unwrap();
+        });
+    });
+
+    group.bench_function("effective_mask_lookup", |b| {
+        let shmem = NodeShmem::new("n", 64);
+        for i in 0..8u32 {
+            shmem
+                .register(i + 1, CpuSet::from_cpus([(i as usize) * 2]).unwrap())
+                .unwrap();
+        }
+        b.iter(|| shmem.effective_mask(4).unwrap());
+    });
+
+    group.bench_function("free_cpus_8_procs", |b| {
+        let shmem = NodeShmem::new("n", 64);
+        for i in 0..8u32 {
+            shmem
+                .register(i + 1, CpuSet::from_cpus([(i as usize) * 2]).unwrap())
+                .unwrap();
+        }
+        b.iter(|| shmem.free_cpus());
+    });
+
+    group.bench_function("contended_polls_4_threads", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 64));
+        for i in 0..4u32 {
+            shmem
+                .register(i + 1, CpuSet::from_cpus([i as usize * 4]).unwrap())
+                .unwrap();
+        }
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for i in 0..4u32 {
+                    let shmem = Arc::clone(&shmem);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            shmem.poll(i + 1).unwrap();
+                        }
+                    });
+                }
+            });
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shmem);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 6: individual response times of NEST and Pils in the NEST + Pils
+//! workload, Serial vs DROM.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig06_nest_pils_response`
+
+use drom_apps::AppKind;
+use drom_bench::{emit, filter_analytics, improvement_table, use_case1_sweep};
+use drom_metrics::Scenario;
+
+fn main() {
+    let sweep = use_case1_sweep(AppKind::Nest);
+    let mut rows = Vec::new();
+    for r in filter_analytics(&sweep, AppKind::Pils) {
+        for job in [r.simulation_name().to_string(), r.analytics_name().to_string()] {
+            rows.push((
+                format!("{} / {}", r.label(), job),
+                r.response_s(Scenario::Serial, &job),
+                r.response_s(Scenario::Drom, &job),
+            ));
+        }
+    }
+    emit(&improvement_table(
+        "Figure 6: individual response times, NEST + Pils workload",
+        "[s]",
+        &rows,
+    ));
+}

@@ -1,0 +1,45 @@
+//! Figure 7: total run time (left) and response times (right) of the
+//! NEST + STREAM workload, Serial vs DROM.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig07_nest_stream`
+
+use drom_apps::AppKind;
+use drom_bench::{emit, filter_analytics, improvement_table, use_case1_sweep};
+use drom_metrics::Scenario;
+
+fn main() {
+    let sweep = use_case1_sweep(AppKind::Nest);
+    let stream_pairs = filter_analytics(&sweep, AppKind::Stream);
+
+    let runtime_rows: Vec<(String, f64, f64)> = stream_pairs
+        .iter()
+        .map(|r| {
+            (
+                r.label(),
+                r.total_run_time_s(Scenario::Serial),
+                r.total_run_time_s(Scenario::Drom),
+            )
+        })
+        .collect();
+    emit(&improvement_table(
+        "Figure 7 (left): NEST + STREAM total run time",
+        "[s]",
+        &runtime_rows,
+    ));
+
+    let mut response_rows = Vec::new();
+    for r in &stream_pairs {
+        for job in [r.simulation_name().to_string(), r.analytics_name().to_string()] {
+            response_rows.push((
+                format!("{} / {}", r.label(), job),
+                r.response_s(Scenario::Serial, &job),
+                r.response_s(Scenario::Drom, &job),
+            ));
+        }
+    }
+    emit(&improvement_table(
+        "Figure 7 (right): NEST + STREAM response times",
+        "[s]",
+        &response_rows,
+    ));
+}

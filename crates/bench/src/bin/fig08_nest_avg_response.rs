@@ -1,0 +1,27 @@
+//! Figure 8: average response time of every NEST workload (NEST x {Pils
+//! Conf. 1-3, STREAM}), Serial vs DROM.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig08_nest_avg_response`
+
+use drom_apps::AppKind;
+use drom_bench::{emit, improvement_table, use_case1_sweep};
+use drom_metrics::Scenario;
+
+fn main() {
+    let sweep = use_case1_sweep(AppKind::Nest);
+    let rows: Vec<(String, f64, f64)> = sweep
+        .iter()
+        .map(|r| {
+            (
+                r.label(),
+                r.average_response_s(Scenario::Serial),
+                r.average_response_s(Scenario::Drom),
+            )
+        })
+        .collect();
+    emit(&improvement_table(
+        "Figure 8: average response time of NEST workloads",
+        "[s]",
+        &rows,
+    ));
+}

@@ -1,0 +1,27 @@
+//! Figure 9: total run time of the CoreNeuron + Pils workload, Serial vs DROM, for
+//! every (CoreNeuron configuration, Pils configuration) pair.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig09_neuron_pils_runtime`
+
+use drom_apps::AppKind;
+use drom_bench::{emit, filter_analytics, improvement_table, use_case1_sweep};
+use drom_metrics::Scenario;
+
+fn main() {
+    let sweep = use_case1_sweep(AppKind::CoreNeuron);
+    let rows: Vec<(String, f64, f64)> = filter_analytics(&sweep, AppKind::Pils)
+        .iter()
+        .map(|r| {
+            (
+                r.label(),
+                r.total_run_time_s(Scenario::Serial),
+                r.total_run_time_s(Scenario::Drom),
+            )
+        })
+        .collect();
+    emit(&improvement_table(
+        "Figure 9: CoreNeuron + Pils workload total run time",
+        "[s]",
+        &rows,
+    ));
+}

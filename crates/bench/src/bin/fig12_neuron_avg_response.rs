@@ -1,0 +1,27 @@
+//! Figure 12: average response time of every CoreNeuron workload (CoreNeuron x {Pils
+//! Conf. 1-3, STREAM}), Serial vs DROM.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig12_neuron_avg_response`
+
+use drom_apps::AppKind;
+use drom_bench::{emit, improvement_table, use_case1_sweep};
+use drom_metrics::Scenario;
+
+fn main() {
+    let sweep = use_case1_sweep(AppKind::CoreNeuron);
+    let rows: Vec<(String, f64, f64)> = sweep
+        .iter()
+        .map(|r| {
+            (
+                r.label(),
+                r.average_response_s(Scenario::Serial),
+                r.average_response_s(Scenario::Drom),
+            )
+        })
+        .collect();
+    emit(&improvement_table(
+        "Figure 12: average response time of CoreNeuron workloads",
+        "[s]",
+        &rows,
+    ));
+}

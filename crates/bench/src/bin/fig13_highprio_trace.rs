@@ -1,0 +1,50 @@
+//! Figure 13: the high-priority use case traces — cycles per microsecond over
+//! time for both jobs, Serial scenario vs DROM scenario, plus the total run
+//! time comparison (the paper reports a 2.5% improvement).
+//!
+//! Run with: `cargo run -p drom-bench --bin fig13_highprio_trace`
+
+use drom_bench::{emit, improvement_table, use_case2};
+use drom_metrics::export::series_to_ascii;
+use drom_metrics::Scenario;
+use drom_sim::job_cycles_series;
+
+fn main() {
+    let (workload, serial, drom) = use_case2();
+
+    emit(&improvement_table(
+        "Figure 13: use case 2 total run time",
+        "[s]",
+        &[(
+            "NEST Conf. 1 + CoreNeuron Conf. 1".to_string(),
+            serial.report.total_run_time() as f64 / 1e6,
+            drom.report.total_run_time() as f64 / 1e6,
+        )],
+    ));
+
+    println!("cycles per microsecond over time (one row per job, 0..2600 scale):\n");
+    for (scenario, result) in [(Scenario::Serial, &serial), (Scenario::Drom, &drom)] {
+        let bin = result.makespan_s() / 80.0;
+        let series: Vec<Vec<f64>> = workload
+            .iter()
+            .map(|job| job_cycles_series(result, job.id, bin))
+            .collect();
+        let labels: Vec<String> = workload
+            .iter()
+            .map(|job| format!("{:>6} | {}", scenario.label(), job.name))
+            .collect();
+        print!("{}", series_to_ascii(&labels, &series, 80));
+        println!();
+    }
+
+    // Numeric series (first bins) for inspection / CSV-style consumption.
+    if std::env::args().any(|a| a == "--csv") {
+        for (scenario, result) in [(Scenario::Serial, &serial), (Scenario::Drom, &drom)] {
+            for job in &workload {
+                let series = job_cycles_series(result, job.id, result.makespan_s() / 40.0);
+                let values: Vec<String> = series.iter().map(|v| format!("{v:.0}")).collect();
+                println!("{},{},{}", scenario.label(), job.name, values.join(","));
+            }
+        }
+    }
+}

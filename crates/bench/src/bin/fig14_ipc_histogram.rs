@@ -1,0 +1,44 @@
+//! Figure 14: histograms of instructions-per-cycle for NEST and CoreNeuron in
+//! the high-priority use case, Serial scenario vs DROM scenario.
+//!
+//! The paper's takeaway is that the two scenarios are "comparable in terms of
+//! IPC", with the DROM runs showing a slightly *higher* most-frequent IPC for
+//! the threads that run with fewer OpenMP threads per rank. The harness prints
+//! one histogram per (job, scenario) and the most-frequent-IPC summary.
+//!
+//! Run with: `cargo run -p drom-bench --bin fig14_ipc_histogram`
+
+use drom_bench::{emit, use_case2};
+use drom_metrics::{Histogram, Scenario, Table};
+use drom_sim::ipc_samples;
+
+fn main() {
+    let (workload, serial, drom) = use_case2();
+
+    let mut summary = Table::new(
+        "Figure 14: IPC summary (most frequent / mean)",
+        &["job", "scenario", "mode IPC", "mean IPC", "samples"],
+    );
+
+    for (scenario, result) in [(Scenario::Serial, &serial), (Scenario::Drom, &drom)] {
+        for job in &workload {
+            let samples = ipc_samples(result, job.id, 50.0);
+            let histogram = Histogram::from_samples(0.0, 2.0, 40, &samples);
+            summary.add_row(&[
+                job.name.clone(),
+                scenario.label().to_string(),
+                format!("{:.3}", histogram.mode_value()),
+                format!("{:.3}", histogram.mean()),
+                histogram.total().to_string(),
+            ]);
+            println!(
+                "--- {} / {} (IPC distribution) ---",
+                job.name,
+                scenario.label()
+            );
+            print!("{}", histogram.to_ascii(50));
+            println!();
+        }
+    }
+    emit(&summary);
+}

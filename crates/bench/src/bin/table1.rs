@@ -1,0 +1,25 @@
+//! Regenerates Table 1 of the paper: the application configurations used by
+//! the evaluation (MPI tasks x OpenMP threads per configuration).
+//!
+//! Run with: `cargo run -p drom-bench --bin table1` (add `--csv` for CSV).
+
+use drom_apps::Table1;
+use drom_bench::emit;
+use drom_metrics::Table;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: use case application configurations",
+        &["Application", "Conf.", "MPI tasks", "OpenMP threads", "CPUs/node"],
+    );
+    for config in Table1::all() {
+        table.add_row(&[
+            config.kind.name().to_string(),
+            config.short_label(),
+            config.mpi_tasks.to_string(),
+            config.threads_per_task.to_string(),
+            config.cpus_per_node().to_string(),
+        ]);
+    }
+    emit(&table);
+}

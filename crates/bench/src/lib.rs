@@ -1,0 +1,205 @@
+//! Shared experiment harness for the per-figure binaries and the benches.
+//!
+//! Every figure of the paper's evaluation compares the *Serial* and *DROM*
+//! scenarios over some set of application configurations. This crate holds the
+//! sweep logic once; the `fig*` binaries in `src/bin/` select the slice of the
+//! sweep their figure plots and print it as a table (and CSV on request).
+
+use drom_apps::{AppConfig, AppKind, Table1};
+use drom_metrics::{Scenario, Table};
+use drom_sim::{
+    high_priority_workload, in_situ_workload, SimJob, SimulationResult, WorkloadSimulator,
+};
+
+/// Delay (seconds) after which the analytics job of use case 1 is submitted.
+pub const ANALYTICS_DELAY_S: f64 = 100.0;
+/// Delay (seconds) after which the high-priority job of use case 2 is submitted.
+pub const HIGH_PRIORITY_DELAY_S: f64 = 200.0;
+
+/// One cell of the use-case-1 sweep: a (simulation, analytics) configuration
+/// pair simulated under both scenarios.
+pub struct UseCase1Result {
+    /// The simulation configuration (NEST or CoreNeuron).
+    pub simulation: AppConfig,
+    /// The analytics configuration (Pils or STREAM).
+    pub analytics: AppConfig,
+    /// The workload that was simulated.
+    pub workload: Vec<SimJob>,
+    /// Serial-scenario result.
+    pub serial: SimulationResult,
+    /// DROM-scenario result.
+    pub drom: SimulationResult,
+}
+
+impl UseCase1Result {
+    /// Runs one (simulation, analytics) pair under both scenarios.
+    pub fn run(simulation: AppConfig, analytics: AppConfig) -> Self {
+        let workload = in_situ_workload(simulation, analytics, ANALYTICS_DELAY_S);
+        let serial = WorkloadSimulator::new(Scenario::Serial).run(&workload);
+        let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+        UseCase1Result {
+            simulation,
+            analytics,
+            workload,
+            serial,
+            drom,
+        }
+    }
+
+    /// Row label like `"NEST Conf. 1 + Pils Conf. 2"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} + {} {}",
+            self.simulation.kind.name(),
+            self.simulation.short_label(),
+            self.analytics.kind.name(),
+            self.analytics.short_label()
+        )
+    }
+
+    /// Name of the simulation job inside the workload.
+    pub fn simulation_name(&self) -> &str {
+        &self.workload[0].name
+    }
+
+    /// Name of the analytics job inside the workload.
+    pub fn analytics_name(&self) -> &str {
+        &self.workload[1].name
+    }
+
+    /// Total run time of a scenario in seconds.
+    pub fn total_run_time_s(&self, scenario: Scenario) -> f64 {
+        self.result(scenario).report.total_run_time() as f64 / 1e6
+    }
+
+    /// Average response time of a scenario in seconds.
+    pub fn average_response_s(&self, scenario: Scenario) -> f64 {
+        self.result(scenario).report.average_response_time() / 1e6
+    }
+
+    /// Response time of one job (by name) in seconds.
+    pub fn response_s(&self, scenario: Scenario, job_name: &str) -> f64 {
+        self.result(scenario)
+            .report
+            .response_time_of(job_name)
+            .unwrap_or(0) as f64
+            / 1e6
+    }
+
+    /// The result of one scenario.
+    pub fn result(&self, scenario: Scenario) -> &SimulationResult {
+        match scenario {
+            Scenario::Serial => &self.serial,
+            _ => &self.drom,
+        }
+    }
+}
+
+/// Runs the use-case-1 sweep for one simulator against every analytics
+/// configuration of the paper (Pils Conf. 1–3 and STREAM).
+pub fn use_case1_sweep(simulator: AppKind) -> Vec<UseCase1Result> {
+    let sim_configs = Table1::of(simulator);
+    let analytics = Table1::analytics();
+    let mut results = Vec::new();
+    for sim_config in &sim_configs {
+        for ana_config in &analytics {
+            results.push(UseCase1Result::run(*sim_config, *ana_config));
+        }
+    }
+    results
+}
+
+/// Restricts a sweep to one analytics kind (e.g. only Pils pairs).
+pub fn filter_analytics(results: &[UseCase1Result], kind: AppKind) -> Vec<&UseCase1Result> {
+    results
+        .iter()
+        .filter(|r| r.analytics.kind == kind)
+        .collect()
+}
+
+/// The use-case-2 workload simulated under both scenarios.
+pub fn use_case2() -> (Vec<SimJob>, SimulationResult, SimulationResult) {
+    let workload = high_priority_workload(HIGH_PRIORITY_DELAY_S);
+    let serial = WorkloadSimulator::new(Scenario::Serial).run(&workload);
+    let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+    (workload, serial, drom)
+}
+
+/// Builds the standard "Serial vs DROM vs improvement" table for a
+/// lower-is-better metric given `(label, serial, drom)` rows.
+pub fn improvement_table(title: &str, metric: &str, rows: &[(String, f64, f64)]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "workload",
+            &format!("Serial {metric}"),
+            &format!("DROM {metric}"),
+            "improvement [%]",
+        ],
+    );
+    for (label, serial, drom) in rows {
+        let improvement = drom_metrics::workload::percent_improvement(*serial, *drom);
+        table.add_row(&[
+            label.clone(),
+            format!("{serial:.0}"),
+            format!("{drom:.0}"),
+            format!("{improvement:+.1}"),
+        ]);
+    }
+    table
+}
+
+/// Prints a table and, when `--csv` was passed on the command line, its CSV
+/// form as well.
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+    if std::env::args().any(|a| a == "--csv") {
+        println!("{}", table.to_csv());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_case1_sweep_covers_all_pairs() {
+        let results = use_case1_sweep(AppKind::Nest);
+        // 2 NEST configurations x 4 analytics configurations.
+        assert_eq!(results.len(), 8);
+        assert_eq!(filter_analytics(&results, AppKind::Pils).len(), 6);
+        assert_eq!(filter_analytics(&results, AppKind::Stream).len(), 2);
+        for r in &results {
+            assert!(r.total_run_time_s(Scenario::Serial) > 0.0);
+            assert!(r.total_run_time_s(Scenario::Drom) > 0.0);
+            assert!(r.label().contains("NEST"));
+            assert!(r.response_s(Scenario::Drom, r.analytics_name()) > 0.0);
+            assert!(r.response_s(Scenario::Serial, r.simulation_name()) > 0.0);
+            assert!(r.average_response_s(Scenario::Drom) > 0.0);
+        }
+    }
+
+    #[test]
+    fn use_case2_runs_both_scenarios() {
+        let (workload, serial, drom) = use_case2();
+        assert_eq!(workload.len(), 2);
+        assert!(serial.report.total_run_time() > 0);
+        assert!(drom.report.total_run_time() > 0);
+    }
+
+    #[test]
+    fn improvement_table_formats_rows() {
+        let table = improvement_table(
+            "demo",
+            "[s]",
+            &[
+                ("a".to_string(), 100.0, 90.0),
+                ("b".to_string(), 50.0, 55.0),
+            ],
+        );
+        let text = table.render();
+        assert!(text.contains("+10.0"));
+        assert!(text.contains("-10.0"));
+        assert_eq!(table.num_rows(), 2);
+    }
+}

@@ -1,0 +1,348 @@
+//! The administrator-side DROM API (`DROM_Attach` … `DROM_PostFinalize`).
+//!
+//! An *administrator process* is any process that attaches to a node's DLB
+//! shared memory to query or modify the masks of the processes running there:
+//! SLURM's `slurmd`/`slurmstepd` in the paper's integration, or a user-written
+//! tool. [`DromAdmin`] is that handle. One administrator manages one node; a
+//! multi-node launcher creates one per node (Section 3.2: "one administrator
+//! process must be created for each node that requires management").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use drom_cpuset::CpuSet;
+use drom_shmem::{MaskUpdate, NodeShmem, Pid, ProcessEntry, ShmemStats};
+
+use crate::error::{DromError, DromResult};
+use crate::flags::DromFlags;
+
+/// Outcome of a `set_process_mask` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetMaskReport {
+    /// `true` if a pending mask was posted; `false` when the requested mask was
+    /// already the process's effective mask (the C API's `DLB_NOUPDT`).
+    pub updated: bool,
+    /// Shrinks posted to other processes whose CPUs were stolen.
+    pub victims: Vec<MaskUpdate>,
+}
+
+/// The environment a pre-initialized child process needs to register itself
+/// under the reserved entry — the analogue of the `next_environ` argument of
+/// `DROM_PreInit` (in the C implementation this travels as environment
+/// variables across `fork`/`exec`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DromEnviron {
+    /// The pid reserved by the administrator.
+    pub pid: Pid,
+    /// The node whose shared memory holds the reservation.
+    pub node: String,
+    /// The mask reserved for the process.
+    pub mask: CpuSet,
+}
+
+/// Administrator handle attached to one node's DROM shared memory.
+///
+/// Dropping the handle detaches automatically; calling any method after
+/// [`detach`](Self::detach) returns [`DromError::Finalized`].
+pub struct DromAdmin {
+    shmem: Arc<NodeShmem>,
+    attached: AtomicBool,
+}
+
+impl DromAdmin {
+    /// Attaches to the node's shared memory (`DROM_Attach`).
+    pub fn attach(shmem: Arc<NodeShmem>) -> Self {
+        shmem.attach();
+        DromAdmin {
+            shmem,
+            attached: AtomicBool::new(true),
+        }
+    }
+
+    fn check_attached(&self) -> DromResult<()> {
+        if self.attached.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(DromError::Finalized)
+        }
+    }
+
+    /// Detaches from the shared memory (`DROM_Detach`).
+    ///
+    /// Further calls on this handle fail with [`DromError::Finalized`].
+    pub fn detach(&self) -> DromResult<()> {
+        self.check_attached()?;
+        self.attached.store(false, Ordering::Release);
+        self.shmem.detach()?;
+        Ok(())
+    }
+
+    /// The node this administrator manages.
+    pub fn node_name(&self) -> &str {
+        self.shmem.node_name()
+    }
+
+    /// The shared-memory segment this administrator is attached to.
+    pub fn shmem(&self) -> &Arc<NodeShmem> {
+        &self.shmem
+    }
+
+    /// Lists the pids registered with DROM on this node (`DROM_GetPidList`).
+    pub fn get_pid_list(&self) -> DromResult<Vec<Pid>> {
+        self.check_attached()?;
+        Ok(self.shmem.pid_list())
+    }
+
+    /// Returns the *effective* mask of `pid` — the mask it will run with once
+    /// it consumes any pending update (`DROM_GetProcessMask`).
+    pub fn get_process_mask(&self, pid: Pid, _flags: DromFlags) -> DromResult<CpuSet> {
+        self.check_attached()?;
+        Ok(self.shmem.effective_mask(pid)?)
+    }
+
+    /// Returns the mask `pid` is running with right now, ignoring pending
+    /// updates.
+    pub fn get_current_mask(&self, pid: Pid) -> DromResult<CpuSet> {
+        self.check_attached()?;
+        Ok(self.shmem.current_mask(pid)?)
+    }
+
+    /// Returns a full snapshot of the process entry (state, masks, counters).
+    pub fn get_process_entry(&self, pid: Pid) -> DromResult<ProcessEntry> {
+        self.check_attached()?;
+        Ok(self.shmem.entry(pid)?)
+    }
+
+    /// Posts a new mask for `pid` (`DROM_SetProcessMask`).
+    ///
+    /// With [`DromFlags::with_steal`] the CPUs being added may be taken from
+    /// other processes (they receive a pending shrink, reported in
+    /// [`SetMaskReport::victims`]). With [`DromFlags::with_sync`] the call
+    /// blocks until the target consumes the update or the flag's timeout
+    /// expires.
+    pub fn set_process_mask(
+        &self,
+        pid: Pid,
+        mask: &CpuSet,
+        flags: DromFlags,
+    ) -> DromResult<SetMaskReport> {
+        self.check_attached()?;
+        let outcome = if flags.sync() {
+            self.shmem
+                .set_pending_mask_sync(pid, mask.clone(), flags.steal(), flags.sync_timeout())?
+        } else {
+            self.shmem
+                .set_pending_mask(pid, mask.clone(), flags.steal())?
+        };
+        Ok(SetMaskReport {
+            updated: outcome.updated,
+            victims: outcome.victims,
+        })
+    }
+
+    /// Reserves `mask` for a process about to be launched (`DROM_PreInit`).
+    ///
+    /// If the CPUs are currently held by running processes and
+    /// [`DromFlags::with_steal`] is set, those processes are shrunk ("making
+    /// room in the node", Section 3.2). The returned [`DromEnviron`] must be
+    /// handed to the child so it registers under the reserved entry.
+    pub fn pre_init(
+        &self,
+        pid: Pid,
+        mask: &CpuSet,
+        flags: DromFlags,
+    ) -> DromResult<(DromEnviron, Vec<MaskUpdate>)> {
+        self.check_attached()?;
+        let victims = self
+            .shmem
+            .preregister(pid, mask.clone(), flags.steal())?;
+        Ok((
+            DromEnviron {
+                pid,
+                node: self.shmem.node_name().to_string(),
+                mask: mask.clone(),
+            },
+            victims,
+        ))
+    }
+
+    /// Finalizes a previously pre-initialized (or plainly registered) process
+    /// (`DROM_PostFinalize`), cleaning its entry from the shared memory.
+    ///
+    /// Returns the pending expansions posted to the original owners of the
+    /// released CPUs (empty if nobody is waiting for them). Calling it for a
+    /// process that already cleaned up after itself returns
+    /// [`DromError::NoSuchProcess`], which the caller may ignore — the paper
+    /// notes "it is always recommended to call this function to clean the
+    /// data" precisely because the job scheduler cannot know.
+    pub fn post_finalize(&self, pid: Pid, _flags: DromFlags) -> DromResult<Vec<MaskUpdate>> {
+        self.check_attached()?;
+        Ok(self.shmem.unregister(pid)?)
+    }
+
+    /// CPUs of the node not assigned to any registered process.
+    pub fn free_cpus(&self) -> DromResult<CpuSet> {
+        self.check_attached()?;
+        Ok(self.shmem.free_cpus())
+    }
+
+    /// Statistics of the node's shared memory.
+    pub fn stats(&self) -> DromResult<ShmemStats> {
+        self.check_attached()?;
+        Ok(self.shmem.stats())
+    }
+}
+
+impl Drop for DromAdmin {
+    fn drop(&mut self) {
+        if self.attached.swap(false, Ordering::AcqRel) {
+            let _ = self.shmem.detach();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::DromProcess;
+
+    fn node() -> Arc<NodeShmem> {
+        Arc::new(NodeShmem::new("test-node", 16))
+    }
+
+    #[test]
+    fn attach_query_detach() {
+        let shmem = node();
+        let app = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        assert_eq!(admin.node_name(), "test-node");
+        assert_eq!(admin.get_pid_list().unwrap(), vec![1]);
+        assert_eq!(admin.get_process_mask(1, DromFlags::default()).unwrap().count(), 16);
+        admin.detach().unwrap();
+        assert_eq!(admin.get_pid_list(), Err(DromError::Finalized));
+        assert_eq!(admin.detach(), Err(DromError::Finalized));
+        drop(app);
+    }
+
+    #[test]
+    fn drop_detaches() {
+        let shmem = node();
+        {
+            let _admin = DromAdmin::attach(Arc::clone(&shmem));
+            assert_eq!(shmem.attachments(), 1);
+        }
+        assert_eq!(shmem.attachments(), 0);
+    }
+
+    #[test]
+    fn set_mask_reports_noupdate() {
+        let shmem = node();
+        let _app = DromProcess::init(1, CpuSet::first_n(8), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let report = admin
+            .set_process_mask(1, &CpuSet::first_n(8), DromFlags::default())
+            .unwrap();
+        assert!(!report.updated);
+        let report = admin
+            .set_process_mask(1, &CpuSet::first_n(4), DromFlags::default())
+            .unwrap();
+        assert!(report.updated);
+        assert!(report.victims.is_empty());
+    }
+
+    #[test]
+    fn set_mask_with_steal_reports_victims() {
+        let shmem = node();
+        let app1 = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let _app2 = DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        // Growing pid 2 into pid 1's CPUs requires the steal flag.
+        let err = admin
+            .set_process_mask(2, &CpuSet::from_range(4..16).unwrap(), DromFlags::default())
+            .unwrap_err();
+        assert!(matches!(err, DromError::Permission { owner: 1, .. }));
+        let report = admin
+            .set_process_mask(
+                2,
+                &CpuSet::from_range(4..16).unwrap(),
+                DromFlags::default().with_steal(),
+            )
+            .unwrap();
+        assert!(report.updated);
+        assert_eq!(report.victims.len(), 1);
+        assert_eq!(report.victims[0].pid, 1);
+        assert_eq!(app1.poll_drom().unwrap().unwrap(), CpuSet::from_range(0..4).unwrap());
+    }
+
+    #[test]
+    fn preinit_and_postfinalize_cycle() {
+        let shmem = node();
+        let sim = DromProcess::init(10, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+
+        // Reserve half the node for a new process, stealing from pid 10.
+        let (environ, victims) = admin
+            .pre_init(
+                20,
+                &CpuSet::from_range(8..16).unwrap(),
+                DromFlags::default().with_steal(),
+            )
+            .unwrap();
+        assert_eq!(environ.pid, 20);
+        assert_eq!(environ.node, "test-node");
+        assert_eq!(victims.len(), 1);
+        assert_eq!(sim.poll_drom().unwrap().unwrap().count(), 8);
+
+        // The child registers through the environ and adopts the reservation.
+        let child =
+            DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+        assert_eq!(child.current_mask().count(), 8);
+
+        // The child finishes; the scheduler calls post_finalize and pid 10 is
+        // offered its CPUs back.
+        child.finalize().unwrap();
+        let err = admin.post_finalize(20, DromFlags::default()).unwrap_err();
+        assert_eq!(err, DromError::NoSuchProcess { pid: 20 });
+        // pid 10 got a pending expansion when the child finalized itself.
+        assert_eq!(sim.poll_drom().unwrap().unwrap().count(), 16);
+    }
+
+    #[test]
+    fn post_finalize_cleans_entry_when_child_did_not() {
+        let shmem = node();
+        let _sim = DromProcess::init(10, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .pre_init(30, &CpuSet::from_range(8..16).unwrap(), DromFlags::default())
+            .unwrap();
+        // The child never started; the scheduler still cleans the entry.
+        assert!(admin.get_pid_list().unwrap().contains(&30));
+        admin.post_finalize(30, DromFlags::default()).unwrap();
+        assert!(!admin.get_pid_list().unwrap().contains(&30));
+    }
+
+    #[test]
+    fn free_cpus_and_stats() {
+        let shmem = node();
+        let _app = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        assert_eq!(admin.free_cpus().unwrap(), CpuSet::from_range(8..16).unwrap());
+        assert_eq!(admin.stats().unwrap().registers, 1);
+    }
+
+    #[test]
+    fn unknown_pid_errors() {
+        let shmem = node();
+        let admin = DromAdmin::attach(shmem);
+        assert_eq!(
+            admin.get_process_mask(99, DromFlags::default()),
+            Err(DromError::NoSuchProcess { pid: 99 })
+        );
+        assert_eq!(
+            admin.post_finalize(99, DromFlags::default()),
+            Err(DromError::NoSuchProcess { pid: 99 })
+        );
+    }
+}

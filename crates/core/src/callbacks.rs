@@ -1,0 +1,165 @@
+//! Asynchronous mode: a helper thread that applies mask updates via callbacks.
+//!
+//! By default the receiver side of DROM is polling-based: the application (or
+//! the intercepted programming-model runtime) calls `DLB_PollDROM` at its
+//! malleability points. Section 3.1 of the paper notes this "relies exclusively
+//! on the frequency of the programming model invocation" and that DLB
+//! "alternatively implements an asynchronous mode for the receiver using a
+//! helper thread and a callback system". [`AsyncListener`] is that mode: it
+//! subscribes to the process's mask updates, consumes them as soon as they are
+//! posted and invokes a user callback with the new mask.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+
+use crate::error::DromResult;
+use crate::process::DromProcess;
+use drom_cpuset::CpuSet;
+
+/// How often the helper thread re-checks the stop flag while idle.
+const IDLE_CHECK_PERIOD: Duration = Duration::from_millis(10);
+
+/// Helper thread applying DROM mask updates asynchronously.
+///
+/// The listener owns a subscription to the process's update channel. Whenever
+/// an administrator posts a new mask the helper thread consumes it (performing
+/// the `poll` on behalf of the application) and invokes the callback with the
+/// new mask. Dropping the listener (or calling [`stop`](Self::stop)) shuts the
+/// helper thread down.
+pub struct AsyncListener {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<u64>>,
+    process: Arc<DromProcess>,
+}
+
+impl AsyncListener {
+    /// Spawns the helper thread for `process`, invoking `callback` with every
+    /// new mask the process receives.
+    pub fn spawn<F>(process: Arc<DromProcess>, callback: F) -> DromResult<Self>
+    where
+        F: Fn(&CpuSet) + Send + 'static,
+    {
+        let rx = process.shmem().subscribe(process.pid());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_process = Arc::clone(&process);
+        let handle = std::thread::Builder::new()
+            .name(format!("drom-async-{}", process.pid()))
+            .spawn(move || {
+                let mut applied: u64 = 0;
+                loop {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match rx.recv_timeout(IDLE_CHECK_PERIOD) {
+                        Ok(_update) => {
+                            // Consume the pending mask on behalf of the
+                            // application and notify it through the callback.
+                            if let Ok(Some(mask)) = thread_process.poll_drom() {
+                                callback(&mask);
+                                applied += 1;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                applied
+            })
+            .expect("spawning the DROM helper thread");
+        Ok(AsyncListener {
+            stop,
+            handle: Some(handle),
+            process,
+        })
+    }
+
+    /// Stops the helper thread and returns how many updates it applied.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.process.shmem().unsubscribe(self.process.pid());
+        match self.handle.take() {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for AsyncListener {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DromAdmin;
+    use crate::flags::DromFlags;
+    use drom_shmem::NodeShmem;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn callback_receives_updates_without_polling() {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = Arc::new(DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap());
+        let observed: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let observed_cb = Arc::clone(&observed);
+        let listener = AsyncListener::spawn(Arc::clone(&proc), move |mask| {
+            observed_cb.lock().push(mask.count());
+        })
+        .unwrap();
+
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        // Use the synchronous flag: the call returns once the helper thread
+        // has consumed the update, so no explicit poll is ever needed.
+        admin
+            .set_process_mask(
+                1,
+                &CpuSet::from_range(0..8).unwrap(),
+                DromFlags::default().with_sync_timeout(Duration::from_secs(2)),
+            )
+            .unwrap();
+        admin
+            .set_process_mask(
+                1,
+                &CpuSet::from_range(0..12).unwrap(),
+                DromFlags::default().with_sync_timeout(Duration::from_secs(2)),
+            )
+            .unwrap();
+
+        let applied = listener.stop();
+        assert_eq!(applied, 2);
+        assert_eq!(observed.lock().as_slice(), &[8, 12]);
+        assert_eq!(proc.current_mask().count(), 12);
+    }
+
+    #[test]
+    fn listener_stops_cleanly_when_idle() {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let listener = AsyncListener::spawn(Arc::clone(&proc), |_| {}).unwrap();
+        assert_eq!(listener.stop(), 0);
+    }
+
+    #[test]
+    fn drop_stops_the_helper_thread() {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        {
+            let _listener = AsyncListener::spawn(Arc::clone(&proc), |_| {}).unwrap();
+        }
+        // After the listener is gone a plain poll still works.
+        assert_eq!(proc.poll_drom().unwrap(), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! DROM error codes.
+//!
+//! The original C interface returns integer DLB error codes (`DLB_SUCCESS`,
+//! `DLB_ERR_NOPROC`, `DLB_ERR_PDIRTY`, `DLB_ERR_PERM`, `DLB_ERR_TIMEOUT`, …).
+//! The Rust API returns `Result<T, DromError>`; [`DromError::code`] exposes the
+//! numeric code for callers that mirror the C convention (e.g. trace tooling).
+
+use std::fmt;
+
+use drom_shmem::{Pid, ShmemError};
+
+/// Convenience alias used across the crate.
+pub type DromResult<T> = Result<T, DromError>;
+
+/// Errors returned by the DROM API and the DLB application runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DromError {
+    /// The target pid is not registered in the node (`DLB_ERR_NOPROC`).
+    NoSuchProcess {
+        /// The pid that was looked up.
+        pid: Pid,
+    },
+    /// The process is already registered (`DLB_ERR_INIT`).
+    AlreadyInitialized {
+        /// The pid registered twice.
+        pid: Pid,
+    },
+    /// The target still has an unconsumed pending mask (`DLB_ERR_PDIRTY`).
+    PendingDirty {
+        /// The pid with the unconsumed mask.
+        pid: Pid,
+    },
+    /// The requested CPUs belong to another process and stealing was not
+    /// requested (`DLB_ERR_PERM`).
+    Permission {
+        /// One offending CPU.
+        cpu: usize,
+        /// The process owning it.
+        owner: Pid,
+    },
+    /// The mask refers to CPUs outside the node (`DLB_ERR_NOMEM` in DLB terms:
+    /// the request does not fit the shared-memory node description).
+    OutOfNode {
+        /// The offending CPU.
+        cpu: usize,
+        /// Number of CPUs in the node.
+        node_cpus: usize,
+    },
+    /// A synchronous operation timed out (`DLB_ERR_TIMEOUT`).
+    Timeout {
+        /// The unresponsive pid.
+        pid: Pid,
+    },
+    /// The operation would leave a process with an empty mask, which DROM
+    /// refuses (`DLB_ERR_PERM`).
+    WouldStarve {
+        /// The process that would end up with no CPUs.
+        pid: Pid,
+    },
+    /// The caller is not attached / not initialised (`DLB_ERR_NOINIT`).
+    NotInitialized,
+    /// The handle was already finalized and cannot be used again
+    /// (`DLB_ERR_DISBLD`).
+    Finalized,
+}
+
+impl DromError {
+    /// The DLB-style numeric code of this error (negative, like the C API).
+    pub fn code(&self) -> i32 {
+        match self {
+            DromError::NoSuchProcess { .. } => -10,
+            DromError::AlreadyInitialized { .. } => -11,
+            DromError::PendingDirty { .. } => -12,
+            DromError::Permission { .. } => -13,
+            DromError::OutOfNode { .. } => -14,
+            DromError::Timeout { .. } => -15,
+            DromError::WouldStarve { .. } => -16,
+            DromError::NotInitialized => -17,
+            DromError::Finalized => -18,
+        }
+    }
+
+    /// The symbolic DLB-style name of this error.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DromError::NoSuchProcess { .. } => "DLB_ERR_NOPROC",
+            DromError::AlreadyInitialized { .. } => "DLB_ERR_INIT",
+            DromError::PendingDirty { .. } => "DLB_ERR_PDIRTY",
+            DromError::Permission { .. } => "DLB_ERR_PERM",
+            DromError::OutOfNode { .. } => "DLB_ERR_NOMEM",
+            DromError::Timeout { .. } => "DLB_ERR_TIMEOUT",
+            DromError::WouldStarve { .. } => "DLB_ERR_PERM",
+            DromError::NotInitialized => "DLB_ERR_NOINIT",
+            DromError::Finalized => "DLB_ERR_DISBLD",
+        }
+    }
+}
+
+impl fmt::Display for DromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DromError::NoSuchProcess { pid } => write!(f, "{}: pid {pid} not found", self.name()),
+            DromError::AlreadyInitialized { pid } => {
+                write!(f, "{}: pid {pid} already initialized", self.name())
+            }
+            DromError::PendingDirty { pid } => {
+                write!(f, "{}: pid {pid} has an unconsumed pending mask", self.name())
+            }
+            DromError::Permission { cpu, owner } => {
+                write!(f, "{}: cpu {cpu} owned by pid {owner}", self.name())
+            }
+            DromError::OutOfNode { cpu, node_cpus } => write!(
+                f,
+                "{}: cpu {cpu} outside node of {node_cpus} cpus",
+                self.name()
+            ),
+            DromError::Timeout { pid } => {
+                write!(f, "{}: pid {pid} did not reach a malleability point", self.name())
+            }
+            DromError::WouldStarve { pid } => {
+                write!(f, "{}: operation would leave pid {pid} with no CPUs", self.name())
+            }
+            DromError::NotInitialized => write!(f, "{}: not attached/initialized", self.name()),
+            DromError::Finalized => write!(f, "{}: handle already finalized", self.name()),
+        }
+    }
+}
+
+impl std::error::Error for DromError {}
+
+impl From<ShmemError> for DromError {
+    fn from(err: ShmemError) -> Self {
+        match err {
+            ShmemError::ProcessNotFound { pid } => DromError::NoSuchProcess { pid },
+            ShmemError::AlreadyRegistered { pid } => DromError::AlreadyInitialized { pid },
+            ShmemError::PendingMaskNotConsumed { pid } => DromError::PendingDirty { pid },
+            ShmemError::CpuConflict { cpu, owner } => DromError::Permission { cpu, owner },
+            ShmemError::CpuOutOfNode { cpu, node_cpus } => {
+                DromError::OutOfNode { cpu, node_cpus }
+            }
+            ShmemError::Timeout { pid } => DromError::Timeout { pid },
+            ShmemError::EmptyMask { pid } => DromError::WouldStarve { pid },
+            ShmemError::NotAttached => DromError::NotInitialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_negative_and_distinct() {
+        let errors = [
+            DromError::NoSuchProcess { pid: 1 },
+            DromError::AlreadyInitialized { pid: 1 },
+            DromError::PendingDirty { pid: 1 },
+            DromError::Permission { cpu: 0, owner: 1 },
+            DromError::OutOfNode { cpu: 0, node_cpus: 1 },
+            DromError::Timeout { pid: 1 },
+            DromError::WouldStarve { pid: 1 },
+            DromError::NotInitialized,
+            DromError::Finalized,
+        ];
+        let mut codes: Vec<i32> = errors.iter().map(|e| e.code()).collect();
+        assert!(codes.iter().all(|&c| c < 0));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len());
+    }
+
+    #[test]
+    fn conversion_from_shmem_errors() {
+        assert_eq!(
+            DromError::from(ShmemError::ProcessNotFound { pid: 3 }),
+            DromError::NoSuchProcess { pid: 3 }
+        );
+        assert_eq!(
+            DromError::from(ShmemError::CpuConflict { cpu: 2, owner: 9 }),
+            DromError::Permission { cpu: 2, owner: 9 }
+        );
+        assert_eq!(
+            DromError::from(ShmemError::NotAttached),
+            DromError::NotInitialized
+        );
+        assert_eq!(
+            DromError::from(ShmemError::EmptyMask { pid: 4 }),
+            DromError::WouldStarve { pid: 4 }
+        );
+    }
+
+    #[test]
+    fn display_includes_symbolic_name() {
+        let err = DromError::PendingDirty { pid: 7 };
+        assert!(err.to_string().contains("DLB_ERR_PDIRTY"));
+        assert!(err.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,153 @@
+//! Option flags for the DROM administrator calls.
+//!
+//! The C interface takes a `dlb_drom_flags_t` bitset that selects "whether the
+//! function call is synchronous or asynchronous, whether to steal the CPUs from
+//! other processes, etc." (Section 3.2). [`DromFlags`] reproduces that bitset
+//! with a small builder-style API so call sites read naturally:
+//!
+//! ```
+//! use drom_core::DromFlags;
+//! let flags = DromFlags::default().with_steal().with_sync();
+//! assert!(flags.steal());
+//! assert!(flags.sync());
+//! assert!(!flags.return_stolen());
+//! ```
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Default timeout used by synchronous operations when none is given.
+pub const DEFAULT_SYNC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Bitset of options accepted by the DROM administrator calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DromFlags {
+    bits: u32,
+    /// Timeout (in microseconds) used when [`sync`](Self::sync) is set; zero
+    /// means [`DEFAULT_SYNC_TIMEOUT`].
+    sync_timeout_us: u64,
+}
+
+impl DromFlags {
+    const SYNC: u32 = 1 << 0;
+    const STEAL: u32 = 1 << 1;
+    const RETURN_STOLEN: u32 = 1 << 2;
+    const NO_BLOCK: u32 = 1 << 3;
+
+    /// No options: asynchronous, non-stealing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a synchronous call: the administrator blocks until the target
+    /// process consumes the new mask (or the timeout expires).
+    pub fn with_sync(mut self) -> Self {
+        self.bits |= Self::SYNC;
+        self
+    }
+
+    /// Synchronous call with an explicit timeout.
+    pub fn with_sync_timeout(mut self, timeout: Duration) -> Self {
+        self.bits |= Self::SYNC;
+        self.sync_timeout_us = timeout.as_micros().min(u64::MAX as u128) as u64;
+        self
+    }
+
+    /// Allows taking CPUs currently owned by other processes (posting them a
+    /// pending shrink).
+    pub fn with_steal(mut self) -> Self {
+        self.bits |= Self::STEAL;
+        self
+    }
+
+    /// When finalizing a pre-initialized process, return the CPUs it used to
+    /// the processes they were stolen from.
+    pub fn with_return_stolen(mut self) -> Self {
+        self.bits |= Self::RETURN_STOLEN;
+        self
+    }
+
+    /// Never block, even for operations that would normally wait briefly.
+    pub fn with_no_block(mut self) -> Self {
+        self.bits |= Self::NO_BLOCK;
+        self
+    }
+
+    /// `true` if the call should block until the target applies the change.
+    pub fn sync(&self) -> bool {
+        self.bits & Self::SYNC != 0
+    }
+
+    /// `true` if CPUs may be stolen from other processes.
+    pub fn steal(&self) -> bool {
+        self.bits & Self::STEAL != 0
+    }
+
+    /// `true` if stolen CPUs should be returned on finalize.
+    pub fn return_stolen(&self) -> bool {
+        self.bits & Self::RETURN_STOLEN != 0
+    }
+
+    /// `true` if the call must never block.
+    pub fn no_block(&self) -> bool {
+        self.bits & Self::NO_BLOCK != 0
+    }
+
+    /// Timeout for synchronous calls.
+    pub fn sync_timeout(&self) -> Duration {
+        if self.sync_timeout_us == 0 {
+            DEFAULT_SYNC_TIMEOUT
+        } else {
+            Duration::from_micros(self.sync_timeout_us)
+        }
+    }
+
+    /// Raw bit representation (compatible with a C-style ABI).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_flags_are_clear() {
+        let f = DromFlags::default();
+        assert!(!f.sync());
+        assert!(!f.steal());
+        assert!(!f.return_stolen());
+        assert!(!f.no_block());
+        assert_eq!(f.bits(), 0);
+        assert_eq!(f.sync_timeout(), DEFAULT_SYNC_TIMEOUT);
+    }
+
+    #[test]
+    fn builder_sets_bits() {
+        let f = DromFlags::new().with_steal().with_return_stolen();
+        assert!(f.steal());
+        assert!(f.return_stolen());
+        assert!(!f.sync());
+    }
+
+    #[test]
+    fn sync_timeout_roundtrip() {
+        let f = DromFlags::new().with_sync_timeout(Duration::from_millis(250));
+        assert!(f.sync());
+        assert_eq!(f.sync_timeout(), Duration::from_millis(250));
+        // Plain sync falls back to the default timeout.
+        let g = DromFlags::new().with_sync();
+        assert_eq!(g.sync_timeout(), DEFAULT_SYNC_TIMEOUT);
+    }
+
+    #[test]
+    fn flags_are_independent() {
+        let f = DromFlags::new().with_no_block();
+        assert!(f.no_block());
+        assert!(!f.steal());
+        let g = f.with_steal();
+        assert!(g.no_block() && g.steal());
+    }
+}

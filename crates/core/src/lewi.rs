@@ -1,0 +1,230 @@
+//! LeWI — the Lend When Idle module of DLB.
+//!
+//! DROM lives next to LeWI inside the DLB framework (Figure 1 of the paper):
+//! LeWI "acts as a dynamic load balancer for a single application that suffers
+//! from processes' load imbalance by adjusting the number of threads per
+//! process when needed". The mechanism is simple: when a process enters a
+//! blocking region (typically an MPI call) it *lends* its CPUs to a node-wide
+//! idle pool; other processes of the node may *borrow* them; when the lender
+//! resumes it *reclaims* its own CPUs.
+//!
+//! [`Lewi`] wraps a [`DromProcess`] with that policy. It is used by the MPI
+//! interception layer (`drom-mpisim`) to lend CPUs around blocking collectives,
+//! and exercised directly by the `lewi` benchmark.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use drom_cpuset::CpuSet;
+
+use crate::error::DromResult;
+use crate::process::DromProcess;
+
+/// Counters describing LeWI activity for one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LewiStats {
+    /// Times the process entered a blocking region and lent CPUs.
+    pub lend_events: u64,
+    /// Total CPUs lent across all events.
+    pub cpus_lent: u64,
+    /// Times the process borrowed CPUs from the pool.
+    pub borrow_events: u64,
+    /// Total CPUs borrowed.
+    pub cpus_borrowed: u64,
+    /// Times the process reclaimed its CPUs on resume.
+    pub reclaim_events: u64,
+}
+
+/// Lend-When-Idle policy wrapper around a DROM process.
+pub struct Lewi {
+    process: Arc<DromProcess>,
+    enabled: AtomicBool,
+    /// CPUs currently lent by this process (so we know what to reclaim).
+    lent: Mutex<CpuSet>,
+    stats: Mutex<LewiStats>,
+}
+
+impl Lewi {
+    /// Creates the LeWI wrapper (enabled by default).
+    pub fn new(process: Arc<DromProcess>) -> Self {
+        Lewi {
+            process,
+            enabled: AtomicBool::new(true),
+            lent: Mutex::new(CpuSet::new()),
+            stats: Mutex::new(LewiStats::default()),
+        }
+    }
+
+    /// The process this policy drives.
+    pub fn process(&self) -> &Arc<DromProcess> {
+        &self.process
+    }
+
+    /// Enables the policy (lend/borrow calls become effective).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disables the policy: subsequent calls become no-ops that lend or borrow
+    /// nothing. Useful to compare "DLB loaded but idle" against the baseline.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// `true` if the policy is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Called when the process enters a blocking region: lends every CPU but
+    /// `keep` (at least one) to the node idle pool. Returns the CPUs lent.
+    pub fn enter_blocking(&self, keep: usize) -> DromResult<CpuSet> {
+        if !self.is_enabled() {
+            return Ok(CpuSet::new());
+        }
+        let keep = keep.max(1);
+        let mask = self.process.current_mask();
+        if mask.count() <= keep {
+            return Ok(CpuSet::new());
+        }
+        let kept = mask.truncated(keep);
+        let lendable = mask.difference(&kept);
+        let lent = self.process.lend_cpus(&lendable)?;
+        if !lent.is_empty() {
+            let mut stats = self.stats.lock();
+            stats.lend_events += 1;
+            stats.cpus_lent += lent.count() as u64;
+            let mut lent_set = self.lent.lock();
+            *lent_set = lent_set.union(&lent);
+        }
+        Ok(lent)
+    }
+
+    /// Called when the process leaves a blocking region: reclaims its own CPUs
+    /// (idle ones come back immediately as a pending update; borrowed ones are
+    /// requested back from the borrowers).
+    pub fn exit_blocking(&self) -> DromResult<CpuSet> {
+        if !self.is_enabled() {
+            return Ok(CpuSet::new());
+        }
+        let had_lent = { self.lent.lock().clone() };
+        if had_lent.is_empty() {
+            return Ok(CpuSet::new());
+        }
+        let recovered = self.process.reclaim_cpus()?;
+        {
+            let mut stats = self.stats.lock();
+            stats.reclaim_events += 1;
+        }
+        // Consume the pending expansion so the caller sees its CPUs again.
+        let _ = self.process.poll_drom()?;
+        let mut lent_set = self.lent.lock();
+        *lent_set = lent_set.difference(&self.process.current_mask());
+        Ok(recovered)
+    }
+
+    /// Opportunistically borrows up to `max_cpus` from the node idle pool
+    /// (e.g. when a process detects it is the bottleneck).
+    pub fn borrow(&self, max_cpus: usize) -> DromResult<CpuSet> {
+        if !self.is_enabled() {
+            return Ok(CpuSet::new());
+        }
+        let borrowed = self.process.borrow_cpus(max_cpus)?;
+        if !borrowed.is_empty() {
+            let mut stats = self.stats.lock();
+            stats.borrow_events += 1;
+            stats.cpus_borrowed += borrowed.count() as u64;
+        }
+        Ok(borrowed)
+    }
+
+    /// Snapshot of the LeWI counters.
+    pub fn stats(&self) -> LewiStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_shmem::NodeShmem;
+
+    fn two_processes() -> (Arc<DromProcess>, Arc<DromProcess>) {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let a = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
+        let b = Arc::new(
+            DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn lend_borrow_reclaim_cycle() {
+        let (a, b) = two_processes();
+        let lewi_a = Lewi::new(Arc::clone(&a));
+        let lewi_b = Lewi::new(Arc::clone(&b));
+
+        // Process A enters MPI_Barrier: it lends all but one CPU.
+        let lent = lewi_a.enter_blocking(1).unwrap();
+        assert_eq!(lent.count(), 7);
+        assert_eq!(a.num_cpus(), 1);
+
+        // Process B is the straggler: it borrows four extra CPUs.
+        let borrowed = lewi_b.borrow(4).unwrap();
+        assert_eq!(borrowed.count(), 4);
+        assert_eq!(b.num_cpus(), 12);
+
+        // Process A leaves the barrier and reclaims.
+        lewi_a.exit_blocking().unwrap();
+        // The three CPUs still in the pool are back immediately.
+        assert!(a.num_cpus() >= 4);
+        // The borrower is asked to shrink at its next poll.
+        let new_b = b.poll_drom().unwrap().unwrap();
+        assert_eq!(new_b.count(), 8);
+
+        let stats_a = lewi_a.stats();
+        assert_eq!(stats_a.lend_events, 1);
+        assert_eq!(stats_a.cpus_lent, 7);
+        assert_eq!(stats_a.reclaim_events, 1);
+        let stats_b = lewi_b.stats();
+        assert_eq!(stats_b.borrow_events, 1);
+        assert_eq!(stats_b.cpus_borrowed, 4);
+    }
+
+    #[test]
+    fn disabled_lewi_is_a_noop() {
+        let (a, _b) = two_processes();
+        let lewi = Lewi::new(Arc::clone(&a));
+        lewi.disable();
+        assert!(!lewi.is_enabled());
+        assert!(lewi.enter_blocking(1).unwrap().is_empty());
+        assert!(lewi.borrow(4).unwrap().is_empty());
+        assert!(lewi.exit_blocking().unwrap().is_empty());
+        assert_eq!(a.num_cpus(), 8);
+        assert_eq!(lewi.stats(), LewiStats::default());
+        lewi.enable();
+        assert!(lewi.is_enabled());
+    }
+
+    #[test]
+    fn enter_blocking_keeps_at_least_one_cpu() {
+        let (a, _b) = two_processes();
+        let lewi = Lewi::new(Arc::clone(&a));
+        lewi.enter_blocking(0).unwrap();
+        assert_eq!(a.num_cpus(), 1);
+        // Entering again with nothing left to lend is a no-op.
+        assert!(lewi.enter_blocking(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn exit_without_lend_is_noop() {
+        let (a, _b) = two_processes();
+        let lewi = Lewi::new(Arc::clone(&a));
+        assert!(lewi.exit_blocking().unwrap().is_empty());
+        assert_eq!(lewi.stats().reclaim_events, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Victim-selection policies: which running processes give up CPUs when a new
+//! job needs room in the node.
+//!
+//! The paper's SLURM integration always applies equipartition ("for fairness,
+//! computational resources are equally partitioned among running jobs"), but
+//! the conclusions explicitly call out that "the simplicity of DROM APIs gives
+//! more freedom to the scheduler, that can implement malleable scheduling
+//! techniques, for instance by choosing one or multiple specific jobs to share
+//! computational nodes, or … by choosing as victim nodes the ones with lower
+//! utilization". This module provides a small family of such policies so the
+//! scheduler layer (and the ablation benchmarks) can compare them.
+
+use drom_cpuset::CpuSet;
+use drom_shmem::{Pid, ProcessEntry};
+
+/// A shrink decision for one process: the mask it should be left with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkRequest {
+    /// The process to shrink.
+    pub pid: Pid,
+    /// The mask the process keeps (a subset of its previous effective mask).
+    pub new_mask: CpuSet,
+    /// The CPUs taken away from it.
+    pub taken: CpuSet,
+}
+
+/// How victims are chosen when `needed` CPUs must be freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VictimPolicy {
+    /// Every process ends up with (roughly) the same number of CPUs: take from
+    /// the largest until the requested amount is freed or everything is level.
+    /// This is the paper's fairness policy.
+    Equipartition,
+    /// Take CPUs from the process with the most CPUs first, one round at a
+    /// time, keeping at least one CPU per process.
+    LargestFirst,
+    /// Take CPUs from the most recently registered processes first (the idea
+    /// being that older jobs have more accumulated state worth preserving).
+    YoungestFirst,
+}
+
+/// Chooses which CPUs to take from the given processes so that `needed` CPUs
+/// become free, following `policy`.
+///
+/// Only processes in the `entries` slice are candidates; every returned
+/// [`ShrinkRequest::new_mask`] keeps at least one CPU. If the processes cannot
+/// free `needed` CPUs without starving someone, as many CPUs as possible are
+/// freed (the caller can check the total of `taken`).
+pub fn choose_victims(
+    entries: &[ProcessEntry],
+    needed: usize,
+    policy: VictimPolicy,
+) -> Vec<ShrinkRequest> {
+    if needed == 0 || entries.is_empty() {
+        return Vec::new();
+    }
+    // Working copy of (pid, mask, registration order).
+    let mut working: Vec<(Pid, CpuSet, u64)> = entries
+        .iter()
+        .map(|e| (e.pid, e.effective_mask().clone(), e.registration_seq))
+        .collect();
+    let original: Vec<(Pid, CpuSet)> = working
+        .iter()
+        .map(|(pid, mask, _)| (*pid, mask.clone()))
+        .collect();
+
+    let mut remaining = needed;
+    match policy {
+        VictimPolicy::Equipartition | VictimPolicy::LargestFirst => {
+            // Repeatedly take one CPU from the process with the most CPUs.
+            while remaining > 0 {
+                let candidate = working
+                    .iter_mut()
+                    .filter(|(_, mask, _)| mask.count() > 1)
+                    .max_by_key(|(_, mask, _)| mask.count());
+                let Some((_, mask, _)) = candidate else { break };
+                // Remove the highest CPU so the survivor keeps a stable prefix.
+                let last = mask.last().expect("mask has more than one CPU");
+                mask.clear(last).expect("cpu within range");
+                remaining -= 1;
+            }
+        }
+        VictimPolicy::YoungestFirst => {
+            // Sort by registration order, newest first, and drain each down to
+            // one CPU before moving to the next.
+            let mut order: Vec<usize> = (0..working.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(working[i].2));
+            'outer: for idx in order {
+                while working[idx].1.count() > 1 {
+                    if remaining == 0 {
+                        break 'outer;
+                    }
+                    let last = working[idx].1.last().expect("non-empty mask");
+                    working[idx].1.clear(last).expect("cpu within range");
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    // Emit one request per process whose mask actually changed.
+    working
+        .into_iter()
+        .zip(original.into_iter())
+        .filter(|((_, new_mask, _), (_, old_mask))| new_mask != old_mask)
+        .map(|((pid, new_mask, _), (_, old_mask))| ShrinkRequest {
+            taken: old_mask.difference(&new_mask),
+            pid,
+            new_mask,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_shmem::NodeShmem;
+
+    /// Builds process entries by registering pids with the given masks.
+    fn entries(masks: &[(Pid, std::ops::Range<usize>)]) -> Vec<ProcessEntry> {
+        let shmem = NodeShmem::new("n", 64);
+        for (pid, range) in masks {
+            shmem
+                .register(*pid, CpuSet::from_range(range.clone()).unwrap())
+                .unwrap();
+        }
+        masks.iter().map(|(pid, _)| shmem.entry(*pid).unwrap()).collect()
+    }
+
+    fn total_taken(requests: &[ShrinkRequest]) -> usize {
+        requests.iter().map(|r| r.taken.count()).sum()
+    }
+
+    #[test]
+    fn equipartition_takes_from_largest() {
+        let es = entries(&[(1, 0..12), (2, 12..16)]);
+        let requests = choose_victims(&es, 4, VictimPolicy::Equipartition);
+        assert_eq!(total_taken(&requests), 4);
+        // All four CPUs come from pid 1 (12 CPUs vs 4).
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].pid, 1);
+        assert_eq!(requests[0].new_mask.count(), 8);
+        // The kept mask is a prefix of the original.
+        assert!(requests[0].new_mask.is_subset_of(&CpuSet::from_range(0..12).unwrap()));
+    }
+
+    #[test]
+    fn equipartition_levels_several_processes() {
+        let es = entries(&[(1, 0..8), (2, 8..16)]);
+        let requests = choose_victims(&es, 8, VictimPolicy::Equipartition);
+        assert_eq!(total_taken(&requests), 8);
+        // Both processes end up with 4 CPUs.
+        for r in &requests {
+            assert_eq!(r.new_mask.count(), 4);
+        }
+    }
+
+    #[test]
+    fn never_starves_a_process() {
+        let es = entries(&[(1, 0..2), (2, 2..4)]);
+        // Asking for more than can be freed: each process keeps one CPU.
+        let requests = choose_victims(&es, 10, VictimPolicy::Equipartition);
+        assert_eq!(total_taken(&requests), 2);
+        for r in &requests {
+            assert_eq!(r.new_mask.count(), 1);
+        }
+    }
+
+    #[test]
+    fn youngest_first_drains_newest() {
+        let es = entries(&[(1, 0..8), (2, 8..16)]);
+        // pid 2 registered later, so it is drained first.
+        let requests = choose_victims(&es, 6, VictimPolicy::YoungestFirst);
+        assert_eq!(total_taken(&requests), 6);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].pid, 2);
+        assert_eq!(requests[0].new_mask.count(), 2);
+    }
+
+    #[test]
+    fn youngest_first_spills_to_older() {
+        let es = entries(&[(1, 0..8), (2, 8..16)]);
+        // Need more than the youngest can give (it keeps one CPU).
+        let requests = choose_victims(&es, 10, VictimPolicy::YoungestFirst);
+        assert_eq!(total_taken(&requests), 10);
+        let by_pid: std::collections::HashMap<Pid, &ShrinkRequest> =
+            requests.iter().map(|r| (r.pid, r)).collect();
+        assert_eq!(by_pid[&2].new_mask.count(), 1);
+        assert_eq!(by_pid[&1].new_mask.count(), 5);
+    }
+
+    #[test]
+    fn zero_needed_or_no_entries() {
+        let es = entries(&[(1, 0..8)]);
+        assert!(choose_victims(&es, 0, VictimPolicy::Equipartition).is_empty());
+        assert!(choose_victims(&[], 4, VictimPolicy::Equipartition).is_empty());
+    }
+
+    #[test]
+    fn taken_and_new_mask_partition_old_mask() {
+        let es = entries(&[(1, 0..10), (2, 10..16)]);
+        for policy in [
+            VictimPolicy::Equipartition,
+            VictimPolicy::LargestFirst,
+            VictimPolicy::YoungestFirst,
+        ] {
+            let requests = choose_victims(&es, 5, policy);
+            for r in &requests {
+                let original = es.iter().find(|e| e.pid == r.pid).unwrap();
+                let reunion = r.new_mask.union(&r.taken);
+                assert_eq!(&reunion, original.effective_mask(), "policy {policy:?}");
+                assert!(r.new_mask.is_disjoint(&r.taken));
+                assert!(!r.new_mask.is_empty());
+            }
+            assert_eq!(total_taken(&requests), 5, "policy {policy:?}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The application-side DLB runtime: registration, polling and finalization.
+//!
+//! Every process of a DROM-managed application holds one [`DromProcess`]. In
+//! the original implementation this state is created by `DLB_Init` (either
+//! called explicitly by the application, as in Listing 1 of the paper, or
+//! implicitly by the intercepted programming-model runtime) and the process
+//! then observes administrator decisions through `DLB_PollDROM` — or through
+//! the asynchronous helper thread, see [`crate::callbacks::AsyncListener`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use drom_cpuset::CpuSet;
+use drom_shmem::{MaskUpdate, NodeShmem, Pid};
+
+use crate::api::DromEnviron;
+use crate::error::{DromError, DromResult};
+
+/// Counters describing one process's interaction with DROM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// `poll_drom` invocations.
+    pub polls: u64,
+    /// Polls that returned a new mask.
+    pub updates: u64,
+}
+
+/// Application-side handle of a DROM-managed process.
+///
+/// The handle caches the mask the process is currently running with; the cache
+/// is refreshed by [`poll_drom`](Self::poll_drom). Dropping the handle
+/// finalizes the process (unregistering it from the node shared memory) unless
+/// [`finalize`](Self::finalize) was already called.
+pub struct DromProcess {
+    pid: Pid,
+    shmem: Arc<NodeShmem>,
+    mask: Mutex<CpuSet>,
+    finalized: AtomicBool,
+    polls: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl DromProcess {
+    /// Registers the process in the node's DROM shared memory (`DLB_Init`).
+    ///
+    /// If an administrator pre-initialized this pid, the pre-reserved mask is
+    /// adopted and `initial_mask` is ignored (this is how a `DROM_PreInit` +
+    /// `fork`/`exec` launch ends up with the mask the scheduler chose).
+    pub fn init(pid: Pid, initial_mask: CpuSet, shmem: Arc<NodeShmem>) -> DromResult<Self> {
+        let adopted = shmem.register(pid, initial_mask)?;
+        Ok(DromProcess {
+            pid,
+            shmem,
+            mask: Mutex::new(adopted),
+            finalized: AtomicBool::new(false),
+            polls: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a process launched through `DROM_PreInit`, using the
+    /// environment handed down by the administrator.
+    pub fn init_from_environ(environ: &DromEnviron, shmem: Arc<NodeShmem>) -> DromResult<Self> {
+        Self::init(environ.pid, environ.mask.clone(), shmem)
+    }
+
+    fn check_live(&self) -> DromResult<()> {
+        if self.finalized.load(Ordering::Acquire) {
+            Err(DromError::Finalized)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The process identifier this handle registered with.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The node shared memory this process is registered in.
+    pub fn shmem(&self) -> &Arc<NodeShmem> {
+        &self.shmem
+    }
+
+    /// The mask the process is currently running with (local cached view).
+    pub fn current_mask(&self) -> CpuSet {
+        self.mask.lock().clone()
+    }
+
+    /// Number of CPUs the process is currently running with.
+    pub fn num_cpus(&self) -> usize {
+        self.mask.lock().count()
+    }
+
+    /// Polls the shared memory for a pending mask update (`DLB_PollDROM`).
+    ///
+    /// Returns `Ok(Some(mask))` when an administrator posted a new mask since
+    /// the last poll — the caller must then adapt its thread count and
+    /// affinity — and `Ok(None)` when nothing changed.
+    pub fn poll_drom(&self) -> DromResult<Option<CpuSet>> {
+        self.check_live()?;
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        match self.shmem.poll(self.pid)? {
+            Some(mask) => {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                *self.mask.lock() = mask.clone();
+                Ok(Some(mask))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `true` if an administrator posted a mask this process has not applied
+    /// yet (a poll would return `Some`).
+    pub fn has_pending_update(&self) -> DromResult<bool> {
+        self.check_live()?;
+        Ok(self.shmem.has_pending(self.pid)?)
+    }
+
+    /// Unregisters the process from the shared memory (`DLB_Finalize`).
+    ///
+    /// Returns the expansions posted to the original owners of the CPUs this
+    /// process releases. The handle becomes unusable afterwards.
+    pub fn finalize(&self) -> DromResult<Vec<MaskUpdate>> {
+        self.check_live()?;
+        self.finalized.store(true, Ordering::Release);
+        Ok(self.shmem.unregister(self.pid)?)
+    }
+
+    /// Interaction counters for this handle.
+    pub fn stats(&self) -> ProcessStats {
+        ProcessStats {
+            polls: self.polls.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LeWI primitives (used by the `Lewi` policy wrapper)
+    // ------------------------------------------------------------------
+
+    /// Lends `cpus` to the node idle pool; returns the CPUs actually lent.
+    pub fn lend_cpus(&self, cpus: &CpuSet) -> DromResult<CpuSet> {
+        self.check_live()?;
+        let lent = self.shmem.lend_cpus(self.pid, cpus)?;
+        let mut mask = self.mask.lock();
+        *mask = mask.difference(&lent);
+        Ok(lent)
+    }
+
+    /// Borrows up to `max_cpus` CPUs from the node idle pool.
+    pub fn borrow_cpus(&self, max_cpus: usize) -> DromResult<CpuSet> {
+        self.check_live()?;
+        let borrowed = self.shmem.borrow_cpus(self.pid, max_cpus)?;
+        let mut mask = self.mask.lock();
+        *mask = mask.union(&borrowed);
+        Ok(borrowed)
+    }
+
+    /// Reclaims the CPUs this process originally owns; CPUs still idle return
+    /// immediately (as a pending update), borrowed ones are posted as pending
+    /// shrinks to the borrowers.
+    pub fn reclaim_cpus(&self) -> DromResult<CpuSet> {
+        self.check_live()?;
+        Ok(self.shmem.reclaim_cpus(self.pid)?)
+    }
+}
+
+impl Drop for DromProcess {
+    fn drop(&mut self) {
+        if !self.finalized.swap(true, Ordering::AcqRel) {
+            let _ = self.shmem.unregister(self.pid);
+        }
+    }
+}
+
+impl std::fmt::Debug for DromProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DromProcess")
+            .field("pid", &self.pid)
+            .field("node", &self.shmem.node_name())
+            .field("mask", &self.current_mask())
+            .field("finalized", &self.finalized.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DromAdmin;
+    use crate::flags::DromFlags;
+
+    fn node() -> Arc<NodeShmem> {
+        Arc::new(NodeShmem::new("n", 16))
+    }
+
+    #[test]
+    fn init_poll_finalize() {
+        let shmem = node();
+        let proc = DromProcess::init(5, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        assert_eq!(proc.pid(), 5);
+        assert_eq!(proc.num_cpus(), 16);
+        assert_eq!(proc.poll_drom().unwrap(), None);
+        assert!(!proc.has_pending_update().unwrap());
+
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(5, &CpuSet::first_n(4), DromFlags::default())
+            .unwrap();
+        assert!(proc.has_pending_update().unwrap());
+        let mask = proc.poll_drom().unwrap().unwrap();
+        assert_eq!(mask.count(), 4);
+        assert_eq!(proc.current_mask(), mask);
+        let stats = proc.stats();
+        assert_eq!(stats.polls, 2);
+        assert_eq!(stats.updates, 1);
+
+        proc.finalize().unwrap();
+        assert_eq!(proc.poll_drom(), Err(DromError::Finalized));
+        assert_eq!(proc.finalize(), Err(DromError::Finalized));
+    }
+
+    #[test]
+    fn double_init_same_pid_fails() {
+        let shmem = node();
+        let _a = DromProcess::init(5, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap();
+        assert_eq!(
+            DromProcess::init(5, CpuSet::from_range(4..8).unwrap(), Arc::clone(&shmem)).unwrap_err(),
+            DromError::AlreadyInitialized { pid: 5 }
+        );
+    }
+
+    #[test]
+    fn drop_unregisters() {
+        let shmem = node();
+        {
+            let _proc = DromProcess::init(5, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap();
+            assert_eq!(shmem.pid_list(), vec![5]);
+        }
+        assert!(shmem.pid_list().is_empty());
+    }
+
+    #[test]
+    fn lend_borrow_reclaim_through_process() {
+        let shmem = node();
+        let a = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let b = DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
+
+        let lent = a.lend_cpus(&CpuSet::from_range(4..8).unwrap()).unwrap();
+        assert_eq!(lent.count(), 4);
+        assert_eq!(a.num_cpus(), 4);
+
+        let borrowed = b.borrow_cpus(4).unwrap();
+        assert_eq!(borrowed.count(), 4);
+        assert_eq!(b.num_cpus(), 12);
+
+        a.reclaim_cpus().unwrap();
+        // The borrower is asked to give the CPUs back at its next poll.
+        let new_b = b.poll_drom().unwrap().unwrap();
+        assert_eq!(new_b.count(), 8);
+    }
+
+    #[test]
+    fn init_from_environ_adopts_reserved_mask() {
+        let shmem = node();
+        let _running = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        let (environ, _) = admin
+            .pre_init(2, &CpuSet::from_range(12..16).unwrap(), DromFlags::default().with_steal())
+            .unwrap();
+        let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+        assert_eq!(child.current_mask(), CpuSet::from_range(12..16).unwrap());
+    }
+}

@@ -1,0 +1,474 @@
+//! A fixed-capacity CPU bitmask, the analogue of `cpu_set_t`.
+//!
+//! The original DROM interface passes process masks around as opaque
+//! `dlb_cpu_set_t` values that are cast back to the glibc `cpu_set_t` bitset.
+//! [`CpuSet`] reproduces that data structure in safe Rust: a bitset over CPU
+//! identifiers `0..MAX_CPUS`, with the usual set algebra (union, intersection,
+//! difference), iteration in ascending CPU order and a compact textual form
+//! (`"0-3,8,10-11"`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of CPUs representable in a [`CpuSet`].
+///
+/// The glibc default for `cpu_set_t` is 1024 bits; we keep the same capacity so
+/// that every mask the original implementation could express is expressible
+/// here.
+pub const MAX_CPUS: usize = 1024;
+
+const WORD_BITS: usize = 64;
+const NUM_WORDS: usize = MAX_CPUS / WORD_BITS;
+
+/// Errors produced by [`CpuSet`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuSetError {
+    /// A CPU identifier was out of the representable range `0..MAX_CPUS`.
+    CpuOutOfRange {
+        /// The offending CPU id.
+        cpu: usize,
+    },
+    /// A textual mask could not be parsed.
+    Parse {
+        /// Human readable description of the parse failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for CpuSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuSetError::CpuOutOfRange { cpu } => {
+                write!(f, "cpu {cpu} out of range (max {MAX_CPUS})")
+            }
+            CpuSetError::Parse { message } => write!(f, "cpu list parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuSetError {}
+
+/// A set of CPU identifiers, stored as a fixed-size bitmask.
+///
+/// `CpuSet` is `Copy`-free but cheap to clone (128 bytes). All operations are
+/// O(`MAX_CPUS`/64) at worst; membership tests are O(1).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuSet {
+    words: [u64; NUM_WORDS],
+}
+
+impl Default for CpuSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuSet {
+    /// Creates an empty CPU set.
+    pub fn new() -> Self {
+        CpuSet {
+            words: [0; NUM_WORDS],
+        }
+    }
+
+    /// Creates a set containing exactly the CPUs `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_CPUS`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_CPUS, "first_n({n}) exceeds MAX_CPUS ({MAX_CPUS})");
+        let mut set = CpuSet::new();
+        for cpu in 0..n {
+            set.words[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+        }
+        set
+    }
+
+    /// Creates a set from an inclusive-exclusive range of CPU ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuSetError::CpuOutOfRange`] if the range exceeds `MAX_CPUS`.
+    pub fn from_range(range: std::ops::Range<usize>) -> Result<Self, CpuSetError> {
+        if range.end > MAX_CPUS {
+            return Err(CpuSetError::CpuOutOfRange { cpu: range.end - 1 });
+        }
+        let mut set = CpuSet::new();
+        for cpu in range {
+            set.words[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+        }
+        Ok(set)
+    }
+
+    /// Creates a set from an iterator of CPU ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuSetError::CpuOutOfRange`] on the first out-of-range id.
+    pub fn from_cpus<I: IntoIterator<Item = usize>>(cpus: I) -> Result<Self, CpuSetError> {
+        let mut set = CpuSet::new();
+        for cpu in cpus {
+            set.set(cpu)?;
+        }
+        Ok(set)
+    }
+
+    /// Adds `cpu` to the set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuSetError::CpuOutOfRange`] if `cpu >= MAX_CPUS`.
+    pub fn set(&mut self, cpu: usize) -> Result<(), CpuSetError> {
+        if cpu >= MAX_CPUS {
+            return Err(CpuSetError::CpuOutOfRange { cpu });
+        }
+        self.words[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+        Ok(())
+    }
+
+    /// Removes `cpu` from the set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuSetError::CpuOutOfRange`] if `cpu >= MAX_CPUS`.
+    pub fn clear(&mut self, cpu: usize) -> Result<(), CpuSetError> {
+        if cpu >= MAX_CPUS {
+            return Err(CpuSetError::CpuOutOfRange { cpu });
+        }
+        self.words[cpu / WORD_BITS] &= !(1u64 << (cpu % WORD_BITS));
+        Ok(())
+    }
+
+    /// Removes every CPU from the set.
+    pub fn clear_all(&mut self) {
+        self.words = [0; NUM_WORDS];
+    }
+
+    /// Returns `true` if `cpu` belongs to the set.
+    ///
+    /// Out-of-range CPUs are reported as not present.
+    pub fn is_set(&self, cpu: usize) -> bool {
+        if cpu >= MAX_CPUS {
+            return false;
+        }
+        self.words[cpu / WORD_BITS] & (1u64 << (cpu % WORD_BITS)) != 0
+    }
+
+    /// Number of CPUs in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no CPUs.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Lowest CPU id in the set, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Highest CPU id in the set, if any.
+    pub fn last(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(i * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Returns the `n`-th lowest CPU in the set (0-based), if present.
+    pub fn nth(&self, n: usize) -> Option<usize> {
+        self.iter().nth(n)
+    }
+
+    /// Set union (`self | other`).
+    pub fn union(&self, other: &CpuSet) -> CpuSet {
+        let mut out = CpuSet::new();
+        for i in 0..NUM_WORDS {
+            out.words[i] = self.words[i] | other.words[i];
+        }
+        out
+    }
+
+    /// Set intersection (`self & other`).
+    pub fn intersection(&self, other: &CpuSet) -> CpuSet {
+        let mut out = CpuSet::new();
+        for i in 0..NUM_WORDS {
+            out.words[i] = self.words[i] & other.words[i];
+        }
+        out
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &CpuSet) -> CpuSet {
+        let mut out = CpuSet::new();
+        for i in 0..NUM_WORDS {
+            out.words[i] = self.words[i] & !other.words[i];
+        }
+        out
+    }
+
+    /// Symmetric difference (`self ^ other`).
+    pub fn symmetric_difference(&self, other: &CpuSet) -> CpuSet {
+        let mut out = CpuSet::new();
+        for i in 0..NUM_WORDS {
+            out.words[i] = self.words[i] ^ other.words[i];
+        }
+        out
+    }
+
+    /// Returns `true` if every CPU in `self` also belongs to `other`.
+    pub fn is_subset_of(&self, other: &CpuSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the two sets have no CPU in common.
+    pub fn is_disjoint(&self, other: &CpuSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over the CPU ids in ascending order.
+    pub fn iter(&self) -> CpuSetIter<'_> {
+        CpuSetIter {
+            set: self,
+            word: 0,
+            bits: self.words[0],
+        }
+    }
+
+    /// Collects the CPU ids into a vector, in ascending order.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Keeps only the lowest `n` CPUs of the set, dropping the rest.
+    ///
+    /// This mirrors how the task/affinity plugin shrinks a running job's mask:
+    /// the kept CPUs are a prefix of the previous mask so the surviving threads
+    /// do not migrate.
+    pub fn truncated(&self, n: usize) -> CpuSet {
+        let mut out = CpuSet::new();
+        for cpu in self.iter().take(n) {
+            // cpu < MAX_CPUS because it came out of a valid set.
+            out.words[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet[{}]", crate::parse::format_cpu_list(self))
+    }
+}
+
+impl fmt::Display for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::parse::format_cpu_list(self))
+    }
+}
+
+impl FromIterator<usize> for CpuSet {
+    /// Builds a set from CPU ids, silently ignoring out-of-range values.
+    ///
+    /// Prefer [`CpuSet::from_cpus`] when out-of-range ids should be an error.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = CpuSet::new();
+        for cpu in iter {
+            if cpu < MAX_CPUS {
+                set.words[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+            }
+        }
+        set
+    }
+}
+
+/// Iterator over the CPUs of a [`CpuSet`], in ascending order.
+pub struct CpuSetIter<'a> {
+    set: &'a CpuSet,
+    word: usize,
+    bits: u64,
+}
+
+impl<'a> Iterator for CpuSetIter<'a> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * WORD_BITS + bit);
+            }
+            self.word += 1;
+            if self.word >= NUM_WORDS {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CpuSet {
+    type Item = usize;
+    type IntoIter = CpuSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let set = CpuSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.count(), 0);
+        assert_eq!(set.first(), None);
+        assert_eq!(set.last(), None);
+    }
+
+    #[test]
+    fn set_and_test_single_cpu() {
+        let mut set = CpuSet::new();
+        set.set(5).unwrap();
+        assert!(set.is_set(5));
+        assert!(!set.is_set(4));
+        assert_eq!(set.count(), 1);
+        assert_eq!(set.first(), Some(5));
+        assert_eq!(set.last(), Some(5));
+    }
+
+    #[test]
+    fn clear_removes_cpu() {
+        let mut set = CpuSet::first_n(8);
+        set.clear(3).unwrap();
+        assert!(!set.is_set(3));
+        assert_eq!(set.count(), 7);
+    }
+
+    #[test]
+    fn out_of_range_set_is_error() {
+        let mut set = CpuSet::new();
+        assert_eq!(
+            set.set(MAX_CPUS),
+            Err(CpuSetError::CpuOutOfRange { cpu: MAX_CPUS })
+        );
+        assert_eq!(
+            set.clear(MAX_CPUS + 10),
+            Err(CpuSetError::CpuOutOfRange { cpu: MAX_CPUS + 10 })
+        );
+        assert!(!set.is_set(MAX_CPUS + 1));
+    }
+
+    #[test]
+    fn first_n_builds_prefix() {
+        let set = CpuSet::first_n(16);
+        assert_eq!(set.count(), 16);
+        assert_eq!(set.first(), Some(0));
+        assert_eq!(set.last(), Some(15));
+        assert!(set.is_set(15));
+        assert!(!set.is_set(16));
+    }
+
+    #[test]
+    fn from_range_matches_manual() {
+        let set = CpuSet::from_range(8..16).unwrap();
+        assert_eq!(set.count(), 8);
+        assert_eq!(set.first(), Some(8));
+        assert_eq!(set.last(), Some(15));
+        assert!(CpuSet::from_range(0..MAX_CPUS + 1).is_err());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = CpuSet::from_range(0..8).unwrap();
+        let b = CpuSet::from_range(4..12).unwrap();
+        assert_eq!(a.union(&b).count(), 12);
+        assert_eq!(a.intersection(&b).to_vec(), vec![4, 5, 6, 7]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            a.symmetric_difference(&b).to_vec(),
+            vec![0, 1, 2, 3, 8, 9, 10, 11]
+        );
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = CpuSet::from_range(0..4).unwrap();
+        let b = CpuSet::from_range(0..8).unwrap();
+        let c = CpuSet::from_range(8..16).unwrap();
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(CpuSet::new().is_subset_of(&a));
+        assert!(CpuSet::new().is_disjoint(&a));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let set = CpuSet::from_cpus([63, 0, 64, 127, 5]).unwrap();
+        assert_eq!(set.to_vec(), vec![0, 5, 63, 64, 127]);
+    }
+
+    #[test]
+    fn nth_cpu() {
+        let set = CpuSet::from_cpus([2, 4, 8, 16]).unwrap();
+        assert_eq!(set.nth(0), Some(2));
+        assert_eq!(set.nth(2), Some(8));
+        assert_eq!(set.nth(4), None);
+    }
+
+    #[test]
+    fn truncated_keeps_lowest_prefix() {
+        let set = CpuSet::from_cpus([1, 3, 5, 7, 9]).unwrap();
+        let t = set.truncated(3);
+        assert_eq!(t.to_vec(), vec![1, 3, 5]);
+        // Truncating beyond the size keeps everything.
+        assert_eq!(set.truncated(100), set);
+        // Truncating to zero empties the set.
+        assert!(set.truncated(0).is_empty());
+    }
+
+    #[test]
+    fn from_iter_ignores_out_of_range() {
+        let set: CpuSet = [1usize, 2, MAX_CPUS + 5].into_iter().collect();
+        assert_eq!(set.to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let set = CpuSet::from_cpus([0, 1, 2, 3, 8, 10, 11]).unwrap();
+        assert_eq!(set.to_string(), "0-3,8,10-11");
+    }
+
+    #[test]
+    fn word_boundary_cpus() {
+        // CPUs around the 64-bit word boundary must behave like any other.
+        let set = CpuSet::from_cpus([62, 63, 64, 65]).unwrap();
+        assert_eq!(set.count(), 4);
+        assert_eq!(set.to_vec(), vec![62, 63, 64, 65]);
+        let hi = CpuSet::from_cpus([MAX_CPUS - 1]).unwrap();
+        assert_eq!(hi.last(), Some(MAX_CPUS - 1));
+    }
+}

@@ -1,0 +1,737 @@
+//! CPU distribution algorithms used by the DROM-enabled `task/affinity` plugin.
+//!
+//! Section 5 of the paper describes what the modified SLURM plugin does when a
+//! new job is launched on a node that already runs a DROM-enabled job:
+//!
+//! * "CPUs distribution is done to maintain running and new processes balanced
+//!   in the number of CPUs for each task" — per-task masks differ by at most
+//!   one CPU ([`balanced_sizes`]).
+//! * "The algorithm also distributes CPUs trying to keep applications in
+//!   separate sockets in order to improve data locality" —
+//!   [`DistributionPolicy::SocketAware`].
+//! * "for fairness, computational resources are equally partitioned among
+//!   running jobs" — [`co_allocate`] gives every job (running or new) an equal
+//!   share of the node.
+//! * When a job finishes, `release_resources` "redistributes free CPUs to still
+//!   running tasks" — [`redistribute_freed`].
+//!
+//! The same functions are used by the real-execution path (`drom-slurm`) and by
+//! the discrete-event simulator (`drom-sim`), so both modes place tasks
+//! identically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpuset::CpuSet;
+use crate::topology::Topology;
+
+/// How CPUs are laid out when a mask is split into parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionPolicy {
+    /// Contiguous assignment in CPU-id order, ignoring sockets.
+    Packed,
+    /// Interleave CPUs across sockets (worst locality; used as an ablation
+    /// baseline for the socket-aware policy).
+    RoundRobinSockets,
+    /// Align parts to socket boundaries whenever a part fits entirely in the
+    /// free space of one socket. This is the policy described in the paper.
+    SocketAware,
+}
+
+impl Default for DistributionPolicy {
+    fn default() -> Self {
+        DistributionPolicy::SocketAware
+    }
+}
+
+/// A task already running on the node, identified by job and task index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunningTask {
+    /// Job the task belongs to.
+    pub job_id: u64,
+    /// Task index within the job (the MPI rank on this node).
+    pub task_id: usize,
+    /// The mask the task currently owns.
+    pub mask: CpuSet,
+}
+
+/// The placement decision computed by [`co_allocate`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DistributionPlan {
+    /// New (shrunk) masks for the tasks that were already running. Every mask
+    /// is a subset of the task's previous mask unless the node had to be
+    /// re-balanced from scratch.
+    pub updated_running: Vec<RunningTask>,
+    /// Masks for the tasks of the newly launched job, in task order.
+    pub new_tasks: Vec<CpuSet>,
+}
+
+impl DistributionPlan {
+    /// Union of every mask in the plan.
+    pub fn total_mask(&self) -> CpuSet {
+        let mut total = CpuSet::new();
+        for t in &self.updated_running {
+            total = total.union(&t.mask);
+        }
+        for m in &self.new_tasks {
+            total = total.union(m);
+        }
+        total
+    }
+
+    /// Returns `true` if no two masks in the plan overlap (no
+    /// oversubscription), which is the invariant DROM placement guarantees.
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = CpuSet::new();
+        for mask in self
+            .updated_running
+            .iter()
+            .map(|t| &t.mask)
+            .chain(self.new_tasks.iter())
+        {
+            if !seen.is_disjoint(mask) {
+                return false;
+            }
+            seen = seen.union(mask);
+        }
+        true
+    }
+}
+
+/// Splits `total` units into `parts` sizes that differ by at most one,
+/// with the larger sizes first.
+///
+/// `balanced_sizes(16, 3)` is `[6, 5, 5]`; `balanced_sizes(3, 5)` is
+/// `[1, 1, 1, 0, 0]`.
+pub fn balanced_sizes(total: usize, parts: usize) -> Vec<usize> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+/// Partitions the CPUs of `available` into `parts` disjoint masks of balanced
+/// size, following `policy`.
+///
+/// The union of the returned masks is exactly `available`; sizes follow
+/// [`balanced_sizes`]. With more parts than CPUs the trailing parts are empty.
+pub fn equipartition(
+    available: &CpuSet,
+    parts: usize,
+    topo: &Topology,
+    policy: DistributionPolicy,
+) -> Vec<CpuSet> {
+    let sizes = balanced_sizes(available.count(), parts);
+    split_with_sizes(available, &sizes, topo, policy)
+}
+
+/// Partitions `available` into parts of the given `sizes` (which must sum to at
+/// most `available.count()`), following `policy`.
+pub fn split_with_sizes(
+    available: &CpuSet,
+    sizes: &[usize],
+    topo: &Topology,
+    policy: DistributionPolicy,
+) -> Vec<CpuSet> {
+    match policy {
+        DistributionPolicy::Packed => split_packed(available, sizes),
+        DistributionPolicy::RoundRobinSockets => split_round_robin(available, sizes, topo),
+        DistributionPolicy::SocketAware => split_socket_aware(available, sizes, topo),
+    }
+}
+
+fn split_packed(available: &CpuSet, sizes: &[usize]) -> Vec<CpuSet> {
+    let cpus = available.to_vec();
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut cursor = 0usize;
+    for &size in sizes {
+        let take = size.min(cpus.len().saturating_sub(cursor));
+        let mask: CpuSet = cpus[cursor..cursor + take].iter().copied().collect();
+        cursor += take;
+        out.push(mask);
+    }
+    out
+}
+
+fn split_round_robin(available: &CpuSet, sizes: &[usize], topo: &Topology) -> Vec<CpuSet> {
+    // Build a CPU order that alternates between sockets: s0c0, s1c0, s0c1, ...
+    let mut per_socket: Vec<Vec<usize>> = topo
+        .sockets()
+        .iter()
+        .map(|s| s.cpus.intersection(available).to_vec())
+        .collect();
+    // CPUs that are in `available` but outside the topology (defensive).
+    let known: CpuSet = per_socket.iter().flatten().copied().collect();
+    let mut leftover = available.difference(&known).to_vec();
+    let mut order = Vec::with_capacity(available.count());
+    let mut idx = 0usize;
+    while order.len() < available.count() - leftover.len() {
+        let socket = idx % per_socket.len().max(1);
+        if let Some(cpu) = per_socket.get_mut(socket).and_then(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        }) {
+            order.push(cpu);
+        }
+        idx += 1;
+        // Guard against an infinite loop if some sockets are exhausted.
+        if idx > 4 * crate::MAX_CPUS {
+            break;
+        }
+    }
+    order.append(&mut leftover);
+    let interleaved: CpuSet = order.iter().copied().collect();
+    debug_assert_eq!(interleaved.count(), available.count());
+    // Now deal the interleaved order out in contiguous chunks per part.
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut cursor = 0usize;
+    for &size in sizes {
+        let take = size.min(order.len().saturating_sub(cursor));
+        let mask: CpuSet = order[cursor..cursor + take].iter().copied().collect();
+        cursor += take;
+        out.push(mask);
+    }
+    out
+}
+
+fn split_socket_aware(available: &CpuSet, sizes: &[usize], topo: &Topology) -> Vec<CpuSet> {
+    // Free CPUs per socket, in socket order; CPUs unknown to the topology are
+    // treated as an extra pseudo-socket at the end.
+    let mut free: Vec<Vec<usize>> = topo
+        .sockets()
+        .iter()
+        .map(|s| s.cpus.intersection(available).to_vec())
+        .collect();
+    let known: CpuSet = free.iter().flatten().copied().collect();
+    let outside = available.difference(&known).to_vec();
+    if !outside.is_empty() {
+        free.push(outside);
+    }
+
+    let mut out: Vec<CpuSet> = vec![CpuSet::new(); sizes.len()];
+    // Process the largest parts first so that whole-socket parts get aligned
+    // before the small ones fragment the sockets.
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+
+    for part in order {
+        let mut need = sizes[part];
+        if need == 0 {
+            continue;
+        }
+        let mut mask = CpuSet::new();
+        // 1. Prefer the socket with the *smallest* free count that still fits
+        //    the whole part (best fit keeps big sockets available for big
+        //    parts and minimises fragmentation).
+        while need > 0 {
+            let fitting = free
+                .iter()
+                .enumerate()
+                .filter(|(_, cpus)| cpus.len() >= need)
+                .min_by_key(|(_, cpus)| cpus.len())
+                .map(|(i, _)| i);
+            let source = match fitting {
+                Some(i) => i,
+                // 2. Otherwise drain the socket with the most free CPUs.
+                None => match free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, cpus)| !cpus.is_empty())
+                    .max_by_key(|(_, cpus)| cpus.len())
+                    .map(|(i, _)| i)
+                {
+                    Some(i) => i,
+                    None => break,
+                },
+            };
+            let take = need.min(free[source].len());
+            for cpu in free[source].drain(..take) {
+                // The CPU came from `available`, so it is in range.
+                let _ = mask.set(cpu);
+            }
+            need -= take;
+        }
+        out[part] = mask;
+    }
+    out
+}
+
+/// Computes the placement for co-allocating a new job of `new_job_tasks` tasks
+/// on a node whose CPUs are `node_mask` and where `running` tasks already
+/// execute.
+///
+/// Resources are equally partitioned among the distinct jobs (running jobs plus
+/// the new one); within a job the share is balanced across its tasks. Running
+/// tasks keep a subset of their current mask whenever their new share allows
+/// it, so applying the plan never migrates a surviving thread.
+pub fn co_allocate(
+    node_mask: &CpuSet,
+    running: &[RunningTask],
+    new_job_tasks: usize,
+    topo: &Topology,
+    policy: DistributionPolicy,
+) -> DistributionPlan {
+    let mut jobs: Vec<u64> = running.iter().map(|t| t.job_id).collect();
+    jobs.sort_unstable();
+    jobs.dedup();
+    let num_jobs = jobs.len() + 1;
+    // Fair shares (the paper's equipartition among jobs), repaired so that no
+    // job receives fewer CPUs than it has tasks whenever the node is large
+    // enough: fairness must never starve a running task.
+    let minimums: Vec<usize> = jobs
+        .iter()
+        .map(|id| running.iter().filter(|t| t.job_id == *id).count())
+        .chain(std::iter::once(new_job_tasks))
+        .collect();
+    let mut job_shares = balanced_sizes(node_mask.count(), num_jobs);
+    if minimums.iter().sum::<usize>() <= node_mask.count() {
+        while let Some(deficient) = (0..num_jobs).find(|&i| job_shares[i] < minimums[i]) {
+            let donor = (0..num_jobs)
+                .filter(|&j| job_shares[j] > minimums[j])
+                .max_by_key(|&j| job_shares[j] - minimums[j]);
+            let Some(donor) = donor else { break };
+            job_shares[donor] -= 1;
+            job_shares[deficient] += 1;
+        }
+    }
+
+    // The new job takes the *last* share so running jobs keep the larger
+    // remainder shares (they were there first).
+    let new_job_share = *job_shares.last().unwrap_or(&0);
+
+    let mut plan = DistributionPlan::default();
+    let mut taken = CpuSet::new();
+
+    // Shrink every running job into its share, preferring CPUs it already owns.
+    for (job_idx, job_id) in jobs.iter().enumerate() {
+        let share = job_shares[job_idx];
+        let tasks: Vec<&RunningTask> = running.iter().filter(|t| t.job_id == *job_id).collect();
+        let task_sizes = balanced_sizes(share, tasks.len());
+        for (task, &size) in tasks.iter().zip(task_sizes.iter()) {
+            // Keep a prefix of the CPUs the task already owns (minimises
+            // migration), but never CPUs already handed to another task.
+            let own = task.mask.difference(&taken);
+            let mut mask = own.truncated(size);
+            if mask.count() < size {
+                // The task's current mask cannot provide its full share (it was
+                // running on fewer CPUs than its fair share); top it up from
+                // whatever is still free on the node.
+                let free = node_mask.difference(&taken).difference(&mask);
+                let extra = size - mask.count();
+                let top_up =
+                    split_with_sizes(&free, &[extra], topo, policy).pop().unwrap_or_default();
+                mask = mask.union(&top_up);
+            }
+            taken = taken.union(&mask);
+            plan.updated_running.push(RunningTask {
+                job_id: *job_id,
+                task_id: task.task_id,
+                mask,
+            });
+        }
+    }
+
+    // The new job receives its share out of the remaining CPUs.
+    let free = node_mask.difference(&taken);
+    let new_share = new_job_share.min(free.count());
+    let task_sizes = balanced_sizes(new_share, new_job_tasks);
+    plan.new_tasks = split_with_sizes(&free, &task_sizes, topo, policy);
+    plan
+}
+
+/// Redistributes the CPUs freed by a finished job among the tasks that keep
+/// running, expanding their masks while keeping per-task counts balanced.
+///
+/// Returns the updated masks (every returned mask is a superset of the task's
+/// previous mask). Tasks with the fewest CPUs are topped up first.
+pub fn redistribute_freed(
+    running: &[RunningTask],
+    freed: &CpuSet,
+    topo: &Topology,
+    policy: DistributionPolicy,
+) -> Vec<RunningTask> {
+    if running.is_empty() {
+        return Vec::new();
+    }
+    let mut updated: Vec<RunningTask> = running.to_vec();
+    // Hand the freed CPUs out one socket-aware chunk at a time: compute how
+    // many extra CPUs each task should receive so the final counts are as
+    // balanced as possible.
+    let current: Vec<usize> = updated.iter().map(|t| t.mask.count()).collect();
+    let total_after: usize = current.iter().sum::<usize>() + freed.count();
+    let target = balanced_targets(&current, total_after);
+    let extras: Vec<usize> = target
+        .iter()
+        .zip(current.iter())
+        .map(|(t, c)| t.saturating_sub(*c))
+        .collect();
+    let chunks = split_with_sizes(freed, &extras, topo, policy);
+    for (task, chunk) in updated.iter_mut().zip(chunks.into_iter()) {
+        task.mask = task.mask.union(&chunk);
+    }
+    updated
+}
+
+/// Computes per-task target sizes that sum to `total_after`, are each at least
+/// the task's current size, and are as equal as possible.
+fn balanced_targets(current: &[usize], total_after: usize) -> Vec<usize> {
+    let n = current.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut target = current.to_vec();
+    let mut remaining = total_after.saturating_sub(current.iter().sum::<usize>());
+    // Repeatedly give one CPU to the smallest task.
+    while remaining > 0 {
+        let (idx, _) = target
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v)
+            .expect("non-empty");
+        target[idx] += 1;
+        remaining -= 1;
+    }
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mn3() -> Topology {
+        Topology::marenostrum3_node()
+    }
+
+    #[test]
+    fn balanced_sizes_basic() {
+        assert_eq!(balanced_sizes(16, 2), vec![8, 8]);
+        assert_eq!(balanced_sizes(16, 3), vec![6, 5, 5]);
+        assert_eq!(balanced_sizes(3, 5), vec![1, 1, 1, 0, 0]);
+        assert_eq!(balanced_sizes(0, 3), vec![0, 0, 0]);
+        assert!(balanced_sizes(5, 0).is_empty());
+    }
+
+    #[test]
+    fn equipartition_two_tasks_socket_aware() {
+        let topo = mn3();
+        let parts = equipartition(&topo.node_mask(), 2, &topo, DistributionPolicy::SocketAware);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].count(), 8);
+        assert_eq!(parts[1].count(), 8);
+        assert!(parts[0].is_disjoint(&parts[1]));
+        // Each task should live entirely in one socket.
+        assert_eq!(topo.sockets_spanned(&parts[0]), 1);
+        assert_eq!(topo.sockets_spanned(&parts[1]), 1);
+    }
+
+    #[test]
+    fn equipartition_four_tasks_covers_node() {
+        let topo = mn3();
+        for policy in [
+            DistributionPolicy::Packed,
+            DistributionPolicy::RoundRobinSockets,
+            DistributionPolicy::SocketAware,
+        ] {
+            let parts = equipartition(&topo.node_mask(), 4, &topo, policy);
+            let mut union = CpuSet::new();
+            for p in &parts {
+                assert_eq!(p.count(), 4, "policy {policy:?}");
+                assert!(union.is_disjoint(p), "policy {policy:?}");
+                union = union.union(p);
+            }
+            assert_eq!(union, topo.node_mask(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn socket_aware_keeps_parts_within_sockets_when_possible() {
+        let topo = mn3();
+        // Four parts of four CPUs each: each fits in half a socket, so none
+        // should span two sockets.
+        let parts = equipartition(&topo.node_mask(), 4, &topo, DistributionPolicy::SocketAware);
+        for p in &parts {
+            assert_eq!(topo.sockets_spanned(p), 1, "part {p} spans sockets");
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_across_sockets() {
+        let topo = mn3();
+        let parts = equipartition(
+            &topo.node_mask(),
+            2,
+            &topo,
+            DistributionPolicy::RoundRobinSockets,
+        );
+        // With interleaving, each part touches both sockets.
+        assert_eq!(topo.sockets_spanned(&parts[0]), 2);
+        assert_eq!(topo.sockets_spanned(&parts[1]), 2);
+    }
+
+    #[test]
+    fn packed_is_contiguous() {
+        let topo = mn3();
+        let parts = equipartition(&topo.node_mask(), 2, &topo, DistributionPolicy::Packed);
+        assert_eq!(parts[0].to_vec(), (0..8).collect::<Vec<_>>());
+        assert_eq!(parts[1].to_vec(), (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equipartition_more_parts_than_cpus() {
+        let topo = Topology::small_node();
+        let parts = equipartition(&topo.node_mask(), 6, &topo, DistributionPolicy::SocketAware);
+        assert_eq!(parts.len(), 6);
+        let non_empty = parts.iter().filter(|p| !p.is_empty()).count();
+        assert_eq!(non_empty, 4);
+        let total: usize = parts.iter().map(|p| p.count()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn co_allocate_shares_node_fairly() {
+        let topo = mn3();
+        // Job 1: one task owning the whole node (the paper's Figure 2 scenario).
+        let running = vec![RunningTask {
+            job_id: 1,
+            task_id: 0,
+            mask: topo.node_mask(),
+        }];
+        let plan = co_allocate(
+            &topo.node_mask(),
+            &running,
+            2,
+            &topo,
+            DistributionPolicy::SocketAware,
+        );
+        assert_eq!(plan.updated_running.len(), 1);
+        assert_eq!(plan.new_tasks.len(), 2);
+        // Equipartition among two jobs: 8 CPUs each.
+        assert_eq!(plan.updated_running[0].mask.count(), 8);
+        assert_eq!(plan.new_tasks[0].count(), 4);
+        assert_eq!(plan.new_tasks[1].count(), 4);
+        assert!(plan.is_disjoint());
+        assert_eq!(plan.total_mask(), topo.node_mask());
+        // The running job keeps a subset of what it had.
+        assert!(plan.updated_running[0].mask.is_subset_of(&running[0].mask));
+    }
+
+    #[test]
+    fn co_allocate_running_tasks_keep_subset_of_mask() {
+        let topo = mn3();
+        // Job 7 has two tasks of 8 CPUs each.
+        let running = vec![
+            RunningTask {
+                job_id: 7,
+                task_id: 0,
+                mask: CpuSet::from_range(0..8).unwrap(),
+            },
+            RunningTask {
+                job_id: 7,
+                task_id: 1,
+                mask: CpuSet::from_range(8..16).unwrap(),
+            },
+        ];
+        let plan = co_allocate(
+            &topo.node_mask(),
+            &running,
+            2,
+            &topo,
+            DistributionPolicy::SocketAware,
+        );
+        for (before, after) in running.iter().zip(plan.updated_running.iter()) {
+            assert_eq!(after.mask.count(), 4);
+            assert!(after.mask.is_subset_of(&before.mask));
+        }
+        assert!(plan.is_disjoint());
+        assert_eq!(plan.total_mask().count(), 16);
+    }
+
+    #[test]
+    fn co_allocate_three_jobs() {
+        let topo = mn3();
+        let running = vec![
+            RunningTask {
+                job_id: 1,
+                task_id: 0,
+                mask: CpuSet::from_range(0..8).unwrap(),
+            },
+            RunningTask {
+                job_id: 2,
+                task_id: 0,
+                mask: CpuSet::from_range(8..16).unwrap(),
+            },
+        ];
+        let plan = co_allocate(
+            &topo.node_mask(),
+            &running,
+            1,
+            &topo,
+            DistributionPolicy::SocketAware,
+        );
+        // 16 CPUs among 3 jobs: 6, 5, 5 (new job gets the last share of 5).
+        let mut counts: Vec<usize> = plan.updated_running.iter().map(|t| t.mask.count()).collect();
+        counts.push(plan.new_tasks[0].count());
+        assert_eq!(counts.iter().sum::<usize>(), 16);
+        assert_eq!(*counts.iter().max().unwrap(), 6);
+        assert_eq!(*counts.iter().min().unwrap(), 5);
+        assert!(plan.is_disjoint());
+    }
+
+    #[test]
+    fn redistribute_freed_balances_counts() {
+        let topo = mn3();
+        let running = vec![
+            RunningTask {
+                job_id: 2,
+                task_id: 0,
+                mask: CpuSet::from_range(0..4).unwrap(),
+            },
+            RunningTask {
+                job_id: 2,
+                task_id: 1,
+                mask: CpuSet::from_range(4..8).unwrap(),
+            },
+        ];
+        let freed = CpuSet::from_range(8..16).unwrap();
+        let updated = redistribute_freed(&running, &freed, &topo, DistributionPolicy::SocketAware);
+        assert_eq!(updated.len(), 2);
+        for (before, after) in running.iter().zip(updated.iter()) {
+            assert!(before.mask.is_subset_of(&after.mask));
+            assert_eq!(after.mask.count(), 8);
+        }
+        let union = updated[0].mask.union(&updated[1].mask);
+        assert_eq!(union, topo.node_mask());
+        assert!(updated[0].mask.is_disjoint(&updated[1].mask));
+    }
+
+    #[test]
+    fn redistribute_freed_uneven_start() {
+        let topo = mn3();
+        let running = vec![
+            RunningTask {
+                job_id: 3,
+                task_id: 0,
+                mask: CpuSet::from_range(0..2).unwrap(),
+            },
+            RunningTask {
+                job_id: 3,
+                task_id: 1,
+                mask: CpuSet::from_range(2..8).unwrap(),
+            },
+        ];
+        let freed = CpuSet::from_range(8..12).unwrap();
+        let updated = redistribute_freed(&running, &freed, &topo, DistributionPolicy::SocketAware);
+        // 12 CPUs total; the smaller task is topped up first: counts 6 and 6.
+        assert_eq!(updated[0].mask.count(), 6);
+        assert_eq!(updated[1].mask.count(), 6);
+    }
+
+    #[test]
+    fn redistribute_with_no_running_tasks() {
+        let topo = mn3();
+        let freed = topo.node_mask();
+        assert!(redistribute_freed(&[], &freed, &topo, DistributionPolicy::SocketAware).is_empty());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Equipartition always returns disjoint parts whose union is the input.
+            #[test]
+            fn prop_equipartition_is_partition(
+                ncpus in 1usize..64,
+                parts in 1usize..10,
+                policy_idx in 0usize..3,
+            ) {
+                let policy = [
+                    DistributionPolicy::Packed,
+                    DistributionPolicy::RoundRobinSockets,
+                    DistributionPolicy::SocketAware,
+                ][policy_idx];
+                let topo = Topology::homogeneous(2, 32, 64).unwrap();
+                let avail = CpuSet::first_n(ncpus);
+                let result = equipartition(&avail, parts, &topo, policy);
+                prop_assert_eq!(result.len(), parts);
+                let mut union = CpuSet::new();
+                for p in &result {
+                    prop_assert!(union.is_disjoint(p));
+                    union = union.union(p);
+                }
+                prop_assert_eq!(union, avail);
+                // Sizes differ by at most one.
+                let counts: Vec<usize> = result.iter().map(|p| p.count()).collect();
+                let max = *counts.iter().max().unwrap();
+                let min = *counts.iter().min().unwrap();
+                prop_assert!(max - min <= 1);
+            }
+
+            /// Co-allocation never oversubscribes and never exceeds the node.
+            #[test]
+            fn prop_co_allocate_disjoint(
+                running_jobs in 1usize..4,
+                tasks_per_job in 1usize..4,
+                new_tasks in 1usize..5,
+            ) {
+                let topo = Topology::marenostrum3_node();
+                let node = topo.node_mask();
+                // Build running tasks by equipartitioning the node among the
+                // running jobs and their tasks.
+                let job_masks = equipartition(&node, running_jobs, &topo, DistributionPolicy::SocketAware);
+                let mut running = Vec::new();
+                for (j, jm) in job_masks.iter().enumerate() {
+                    let task_masks = equipartition(jm, tasks_per_job, &topo, DistributionPolicy::SocketAware);
+                    for (t, tm) in task_masks.into_iter().enumerate() {
+                        running.push(RunningTask { job_id: j as u64 + 1, task_id: t, mask: tm });
+                    }
+                }
+                let plan = co_allocate(&node, &running, new_tasks, &topo, DistributionPolicy::SocketAware);
+                prop_assert!(plan.is_disjoint());
+                prop_assert!(plan.total_mask().is_subset_of(&node));
+                // Every running task's new mask is a subset of its old one.
+                for after in &plan.updated_running {
+                    let before = running.iter()
+                        .find(|t| t.job_id == after.job_id && t.task_id == after.task_id)
+                        .unwrap();
+                    prop_assert!(after.mask.is_subset_of(&before.mask));
+                }
+            }
+
+            /// Redistribution only ever grows masks and consumes all freed CPUs
+            /// that are needed to reach balance.
+            #[test]
+            fn prop_redistribute_grows(
+                ntasks in 1usize..5,
+                freed_cpus in 0usize..8,
+            ) {
+                let topo = Topology::marenostrum3_node();
+                let initial = equipartition(
+                    &CpuSet::from_range(0..8).unwrap(),
+                    ntasks,
+                    &topo,
+                    DistributionPolicy::SocketAware,
+                );
+                let running: Vec<RunningTask> = initial.iter().enumerate()
+                    .map(|(i, m)| RunningTask { job_id: 1, task_id: i, mask: m.clone() })
+                    .collect();
+                let freed = CpuSet::from_range(8..8 + freed_cpus).unwrap();
+                let updated = redistribute_freed(&running, &freed, &topo, DistributionPolicy::SocketAware);
+                prop_assert_eq!(updated.len(), running.len());
+                let mut total_after = 0usize;
+                for (b, a) in running.iter().zip(updated.iter()) {
+                    prop_assert!(b.mask.is_subset_of(&a.mask));
+                    total_after += a.mask.count();
+                }
+                let total_before: usize = running.iter().map(|t| t.mask.count()).sum();
+                prop_assert_eq!(total_after, total_before + freed.count());
+            }
+        }
+    }
+}

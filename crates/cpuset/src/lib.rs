@@ -1,0 +1,38 @@
+//! CPU sets, hardware topology and mask-distribution algorithms.
+//!
+//! This crate is the lowest layer of the DROM reproduction. It provides the
+//! analogue of the GNU C library `cpu_set_t` used by the original DLB/DROM
+//! implementation ([`CpuSet`]), a model of the node hardware the paper runs on
+//! ([`Topology`], including a MareNostrum III preset of two 8-core sockets per
+//! node), and the CPU-distribution algorithms that the paper's SLURM
+//! `task/affinity` plugin uses to place co-allocated jobs inside a node
+//! ([`distribution`]).
+//!
+//! # Example
+//!
+//! ```
+//! use drom_cpuset::{CpuSet, Topology};
+//! use drom_cpuset::distribution::{equipartition, DistributionPolicy};
+//!
+//! // A MareNostrum III node: 2 sockets x 8 cores.
+//! let topo = Topology::marenostrum3_node();
+//! assert_eq!(topo.num_cpus(), 16);
+//!
+//! // Partition the node between two tasks, socket-aware.
+//! let parts = equipartition(&topo.node_mask(), 2, &topo, DistributionPolicy::SocketAware);
+//! assert_eq!(parts.len(), 2);
+//! assert_eq!(parts[0].count(), 8);
+//! assert_eq!(parts[1].count(), 8);
+//! // The two halves are disjoint and cover the node.
+//! assert!(parts[0].intersection(&parts[1]).is_empty());
+//! ```
+
+pub mod cpuset;
+pub mod distribution;
+pub mod parse;
+pub mod topology;
+
+pub use cpuset::{CpuSet, CpuSetError, MAX_CPUS};
+pub use distribution::{DistributionPolicy, DistributionPlan};
+pub use parse::{format_cpu_list, parse_cpu_list};
+pub use topology::{Socket, Topology, TopologyError};

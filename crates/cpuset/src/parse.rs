@@ -1,0 +1,183 @@
+//! Textual representation of CPU lists (`"0-3,8,10-11"`).
+//!
+//! SLURM, taskset and the DLB command-line tools all exchange CPU masks in this
+//! compact "cpu list" syntax. The parser accepts single CPUs (`"4"`), inclusive
+//! ranges (`"0-7"`), comma-separated combinations of both, and the empty string
+//! (the empty mask). Whitespace around items is ignored.
+
+use crate::cpuset::{CpuSet, CpuSetError};
+
+/// Parses a CPU-list string such as `"0-3,8,10-11"` into a [`CpuSet`].
+///
+/// # Errors
+///
+/// Returns [`CpuSetError::Parse`] on malformed input (empty range bounds,
+/// non-numeric items, inverted ranges) and [`CpuSetError::CpuOutOfRange`] when
+/// a CPU id exceeds the capacity of [`CpuSet`].
+///
+/// # Example
+///
+/// ```
+/// use drom_cpuset::parse_cpu_list;
+/// let set = parse_cpu_list("0-2, 5").unwrap();
+/// assert_eq!(set.to_vec(), vec![0, 1, 2, 5]);
+/// assert!(parse_cpu_list("").unwrap().is_empty());
+/// ```
+pub fn parse_cpu_list(input: &str) -> Result<CpuSet, CpuSetError> {
+    let mut set = CpuSet::new();
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Ok(set);
+    }
+    for item in trimmed.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(CpuSetError::Parse {
+                message: format!("empty item in cpu list {input:?}"),
+            });
+        }
+        if let Some((lo, hi)) = item.split_once('-') {
+            let lo: usize = lo.trim().parse().map_err(|_| CpuSetError::Parse {
+                message: format!("invalid range start {lo:?}"),
+            })?;
+            let hi: usize = hi.trim().parse().map_err(|_| CpuSetError::Parse {
+                message: format!("invalid range end {hi:?}"),
+            })?;
+            if hi < lo {
+                return Err(CpuSetError::Parse {
+                    message: format!("inverted range {item:?}"),
+                });
+            }
+            for cpu in lo..=hi {
+                set.set(cpu)?;
+            }
+        } else {
+            let cpu: usize = item.parse().map_err(|_| CpuSetError::Parse {
+                message: format!("invalid cpu id {item:?}"),
+            })?;
+            set.set(cpu)?;
+        }
+    }
+    Ok(set)
+}
+
+/// Formats a [`CpuSet`] as a compact CPU-list string.
+///
+/// Consecutive CPUs are collapsed into ranges; the empty set formats as `""`.
+///
+/// # Example
+///
+/// ```
+/// use drom_cpuset::{CpuSet, format_cpu_list};
+/// let set = CpuSet::from_cpus([0, 1, 2, 3, 8, 10, 11]).unwrap();
+/// assert_eq!(format_cpu_list(&set), "0-3,8,10-11");
+/// ```
+pub fn format_cpu_list(set: &CpuSet) -> String {
+    let mut out = String::new();
+    let cpus = set.to_vec();
+    let mut i = 0;
+    while i < cpus.len() {
+        let start = cpus[i];
+        let mut end = start;
+        while i + 1 < cpus.len() && cpus[i + 1] == end + 1 {
+            end = cpus[i + 1];
+            i += 1;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&start.to_string());
+        } else {
+            out.push_str(&format!("{start}-{end}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_single_cpus() {
+        assert_eq!(parse_cpu_list("3").unwrap().to_vec(), vec![3]);
+        assert_eq!(parse_cpu_list("0,2,4").unwrap().to_vec(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn parse_ranges() {
+        assert_eq!(parse_cpu_list("0-3").unwrap().to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            parse_cpu_list("0-1,4-5").unwrap().to_vec(),
+            vec![0, 1, 4, 5]
+        );
+    }
+
+    #[test]
+    fn parse_with_whitespace() {
+        assert_eq!(
+            parse_cpu_list("  0 - 2 , 5 ").unwrap().to_vec(),
+            vec![0, 1, 2, 5]
+        );
+    }
+
+    #[test]
+    fn parse_empty_is_empty_set() {
+        assert!(parse_cpu_list("").unwrap().is_empty());
+        assert!(parse_cpu_list("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_cpu_list("a").is_err());
+        assert!(parse_cpu_list("1,,2").is_err());
+        assert!(parse_cpu_list("5-2").is_err());
+        assert!(parse_cpu_list("0-99999").is_err());
+        assert!(parse_cpu_list("-3").is_err());
+    }
+
+    #[test]
+    fn format_collapses_ranges() {
+        let set = CpuSet::from_cpus([0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(format_cpu_list(&set), "0-7");
+        let set = CpuSet::from_cpus([0, 2, 4]).unwrap();
+        assert_eq!(format_cpu_list(&set), "0,2,4");
+        assert_eq!(format_cpu_list(&CpuSet::new()), "");
+    }
+
+    proptest! {
+        /// Formatting then re-parsing any set of small CPU ids is the identity.
+        #[test]
+        fn prop_format_parse_roundtrip(cpus in proptest::collection::btree_set(0usize..256, 0..64)) {
+            let set = CpuSet::from_cpus(cpus.iter().copied()).unwrap();
+            let text = format_cpu_list(&set);
+            let reparsed = parse_cpu_list(&text).unwrap();
+            prop_assert_eq!(reparsed, set);
+        }
+
+        /// The formatted representation never contains adjacent CPUs written
+        /// as separate items (ranges are always collapsed).
+        #[test]
+        fn prop_format_is_canonical(cpus in proptest::collection::btree_set(0usize..128, 0..32)) {
+            let set = CpuSet::from_cpus(cpus.iter().copied()).unwrap();
+            let text = format_cpu_list(&set);
+            // Parse the items back and check no two consecutive singletons are adjacent.
+            let items: Vec<&str> = text.split(',').filter(|s| !s.is_empty()).collect();
+            for window in items.windows(2) {
+                let end_of_first: usize = match window[0].split_once('-') {
+                    Some((_, hi)) => hi.parse().unwrap(),
+                    None => window[0].parse().unwrap(),
+                };
+                let start_of_second: usize = match window[1].split_once('-') {
+                    Some((lo, _)) => lo.parse().unwrap(),
+                    None => window[1].parse().unwrap(),
+                };
+                prop_assert!(start_of_second > end_of_first + 1,
+                    "items {:?} and {:?} should have been merged", window[0], window[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Node hardware topology: sockets and cores.
+//!
+//! The paper's evaluation machine is MareNostrum III: each node has two Intel
+//! Sandy Bridge sockets with eight cores each (16 CPUs per node, no SMT) and
+//! 128 GB of memory. The SLURM `task/affinity` plugin described in Section 5
+//! distributes CPUs "trying to keep applications in separate sockets in order
+//! to improve data locality", so the distribution algorithms need to know which
+//! CPUs share a socket. [`Topology`] captures exactly that information.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpuset::CpuSet;
+
+/// Errors produced when constructing or querying a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The topology would contain zero CPUs.
+    EmptyTopology,
+    /// The topology would exceed [`crate::MAX_CPUS`] CPUs.
+    TooManyCpus {
+        /// Requested number of CPUs.
+        requested: usize,
+    },
+    /// A CPU id was queried that does not belong to the topology.
+    UnknownCpu {
+        /// The offending CPU id.
+        cpu: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyTopology => write!(f, "topology has no CPUs"),
+            TopologyError::TooManyCpus { requested } => {
+                write!(f, "topology with {requested} CPUs exceeds capacity")
+            }
+            TopologyError::UnknownCpu { cpu } => write!(f, "cpu {cpu} not in topology"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A physical socket (package) within a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Socket {
+    /// Socket index within the node, starting at 0.
+    pub id: usize,
+    /// CPUs belonging to this socket.
+    pub cpus: CpuSet,
+}
+
+impl Socket {
+    /// Number of CPUs in this socket.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.count()
+    }
+}
+
+/// The CPU topology of a single compute node.
+///
+/// CPUs are numbered consecutively: socket 0 holds CPUs
+/// `0..cores_per_socket`, socket 1 the next `cores_per_socket`, and so on —
+/// the same compact numbering SLURM uses for its node abstraction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    sockets: Vec<Socket>,
+    cores_per_socket: usize,
+    memory_gib: usize,
+}
+
+impl Topology {
+    /// Builds a homogeneous topology of `num_sockets` sockets with
+    /// `cores_per_socket` cores each and `memory_gib` GiB of node memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyTopology`] when either dimension is zero
+    /// and [`TopologyError::TooManyCpus`] when the total exceeds the `CpuSet`
+    /// capacity.
+    pub fn homogeneous(
+        num_sockets: usize,
+        cores_per_socket: usize,
+        memory_gib: usize,
+    ) -> Result<Self, TopologyError> {
+        if num_sockets == 0 || cores_per_socket == 0 {
+            return Err(TopologyError::EmptyTopology);
+        }
+        let total = num_sockets * cores_per_socket;
+        if total > crate::MAX_CPUS {
+            return Err(TopologyError::TooManyCpus { requested: total });
+        }
+        let mut sockets = Vec::with_capacity(num_sockets);
+        for s in 0..num_sockets {
+            let lo = s * cores_per_socket;
+            let hi = lo + cores_per_socket;
+            sockets.push(Socket {
+                id: s,
+                cpus: CpuSet::from_range(lo..hi).expect("range checked above"),
+            });
+        }
+        Ok(Topology {
+            sockets,
+            cores_per_socket,
+            memory_gib,
+        })
+    }
+
+    /// The MareNostrum III node used in the paper's evaluation: two Sandy
+    /// Bridge sockets of eight cores and 128 GB DDR3.
+    pub fn marenostrum3_node() -> Self {
+        Topology::homogeneous(2, 8, 128).expect("static MN3 topology is valid")
+    }
+
+    /// A small topology convenient for tests: one socket of four cores.
+    pub fn small_node() -> Self {
+        Topology::homogeneous(1, 4, 16).expect("static small topology is valid")
+    }
+
+    /// Total number of CPUs in the node.
+    pub fn num_cpus(&self) -> usize {
+        self.sockets.len() * self.cores_per_socket
+    }
+
+    /// Number of sockets in the node.
+    pub fn num_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Number of cores per socket.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Node memory in GiB (informational; DROM never partitions memory).
+    pub fn memory_gib(&self) -> usize {
+        self.memory_gib
+    }
+
+    /// The sockets of the node.
+    pub fn sockets(&self) -> &[Socket] {
+        &self.sockets
+    }
+
+    /// A mask containing every CPU of the node.
+    pub fn node_mask(&self) -> CpuSet {
+        CpuSet::first_n(self.num_cpus())
+    }
+
+    /// Returns the socket index owning `cpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownCpu`] for CPUs outside the node.
+    pub fn socket_of(&self, cpu: usize) -> Result<usize, TopologyError> {
+        if cpu >= self.num_cpus() {
+            return Err(TopologyError::UnknownCpu { cpu });
+        }
+        Ok(cpu / self.cores_per_socket)
+    }
+
+    /// The CPUs of socket `socket`, or an empty set for unknown sockets.
+    pub fn socket_mask(&self, socket: usize) -> CpuSet {
+        self.sockets
+            .get(socket)
+            .map(|s| s.cpus.clone())
+            .unwrap_or_default()
+    }
+
+    /// Counts, per socket, how many CPUs of `mask` fall in that socket.
+    ///
+    /// Used by the distribution algorithms and by locality metrics ("how many
+    /// sockets does this task span?").
+    pub fn cpus_per_socket(&self, mask: &CpuSet) -> Vec<usize> {
+        self.sockets
+            .iter()
+            .map(|s| s.cpus.intersection(mask).count())
+            .collect()
+    }
+
+    /// Number of distinct sockets touched by `mask`.
+    pub fn sockets_spanned(&self, mask: &CpuSet) -> usize {
+        self.cpus_per_socket(mask)
+            .into_iter()
+            .filter(|&n| n > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mn3_topology_shape() {
+        let topo = Topology::marenostrum3_node();
+        assert_eq!(topo.num_cpus(), 16);
+        assert_eq!(topo.num_sockets(), 2);
+        assert_eq!(topo.cores_per_socket(), 8);
+        assert_eq!(topo.memory_gib(), 128);
+        assert_eq!(topo.node_mask().count(), 16);
+    }
+
+    #[test]
+    fn socket_membership() {
+        let topo = Topology::marenostrum3_node();
+        assert_eq!(topo.socket_of(0).unwrap(), 0);
+        assert_eq!(topo.socket_of(7).unwrap(), 0);
+        assert_eq!(topo.socket_of(8).unwrap(), 1);
+        assert_eq!(topo.socket_of(15).unwrap(), 1);
+        assert!(topo.socket_of(16).is_err());
+    }
+
+    #[test]
+    fn socket_masks_partition_node() {
+        let topo = Topology::marenostrum3_node();
+        let s0 = topo.socket_mask(0);
+        let s1 = topo.socket_mask(1);
+        assert_eq!(s0.count(), 8);
+        assert_eq!(s1.count(), 8);
+        assert!(s0.is_disjoint(&s1));
+        assert_eq!(s0.union(&s1), topo.node_mask());
+        assert!(topo.socket_mask(2).is_empty());
+    }
+
+    #[test]
+    fn cpus_per_socket_counts() {
+        let topo = Topology::marenostrum3_node();
+        let mask = CpuSet::from_cpus([0, 1, 2, 8, 9]).unwrap();
+        assert_eq!(topo.cpus_per_socket(&mask), vec![3, 2]);
+        assert_eq!(topo.sockets_spanned(&mask), 2);
+        let one_socket = CpuSet::from_range(0..4).unwrap();
+        assert_eq!(topo.sockets_spanned(&one_socket), 1);
+        assert_eq!(topo.sockets_spanned(&CpuSet::new()), 0);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert_eq!(
+            Topology::homogeneous(0, 8, 1),
+            Err(TopologyError::EmptyTopology)
+        );
+        assert_eq!(
+            Topology::homogeneous(2, 0, 1),
+            Err(TopologyError::EmptyTopology)
+        );
+        assert!(matches!(
+            Topology::homogeneous(64, 64, 1),
+            Err(TopologyError::TooManyCpus { .. })
+        ));
+    }
+
+    #[test]
+    fn homogeneous_numbering_is_contiguous() {
+        let topo = Topology::homogeneous(4, 4, 64).unwrap();
+        assert_eq!(topo.num_cpus(), 16);
+        assert_eq!(topo.socket_mask(2).to_vec(), vec![8, 9, 10, 11]);
+        for cpu in 0..16 {
+            assert_eq!(topo.socket_of(cpu).unwrap(), cpu / 4);
+        }
+    }
+}

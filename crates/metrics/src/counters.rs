@@ -1,0 +1,229 @@
+//! Hardware-counter model: instructions, cycles, IPC and cycles per µs.
+//!
+//! The paper reports two per-thread counters obtained from Extrae traces:
+//!
+//! * *IPC* — "number of instructions completed per processor cycle by a
+//!   specific thread" (Figure 14).
+//! * *Cycles per microsecond* — "number of processor's cycles per microsecond
+//!   dedicated to the specific thread" (Figure 13), effectively the share of a
+//!   core the thread received.
+//!
+//! On the reproduction side these counters are produced either by the
+//! executable mini-apps (which count abstract "work units" as instructions) or
+//! by the analytical models in `drom-apps::perfmodel`. The arithmetic here is
+//! the same either way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeUs;
+
+/// One sample of a thread's counters over an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Start of the sampled interval.
+    pub start: TimeUs,
+    /// End of the sampled interval (exclusive, `end > start`).
+    pub end: TimeUs,
+    /// Instructions retired by the thread during the interval.
+    pub instructions: u64,
+    /// Core cycles consumed by the thread during the interval.
+    pub cycles: u64,
+}
+
+impl CounterSample {
+    /// Length of the interval in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Instructions per cycle for this sample (0 when no cycles were consumed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per microsecond for this sample (0 for empty intervals).
+    pub fn cycles_per_us(&self) -> f64 {
+        let dur = self.duration_us();
+        if dur == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / dur as f64
+        }
+    }
+}
+
+/// Accumulated counters of one thread, as a sequence of samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadCounters {
+    /// Identifier of the thread within its process.
+    pub thread: usize,
+    samples: Vec<CounterSample>,
+}
+
+impl ThreadCounters {
+    /// Creates an empty counter series for `thread`.
+    pub fn new(thread: usize) -> Self {
+        ThreadCounters {
+            thread,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample. Samples may be appended out of order; queries sort by
+    /// start time lazily when needed.
+    pub fn record(&mut self, sample: CounterSample) {
+        self.samples.push(sample);
+    }
+
+    /// Convenience: record an interval from raw values.
+    pub fn record_interval(&mut self, start: TimeUs, end: TimeUs, instructions: u64, cycles: u64) {
+        self.record(CounterSample {
+            start,
+            end,
+            instructions,
+            cycles,
+        });
+    }
+
+    /// The recorded samples in insertion order.
+    pub fn samples(&self) -> &[CounterSample] {
+        &self.samples
+    }
+
+    /// Total instructions across all samples.
+    pub fn total_instructions(&self) -> u64 {
+        self.samples.iter().map(|s| s.instructions).sum()
+    }
+
+    /// Total cycles across all samples.
+    pub fn total_cycles(&self) -> u64 {
+        self.samples.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Aggregate IPC over the whole series.
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / cycles as f64
+        }
+    }
+
+    /// Per-sample IPC values (for histogramming, Figure 14).
+    pub fn ipc_samples(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.ipc()).collect()
+    }
+
+    /// Average cycles per microsecond over the covered time span.
+    pub fn cycles_per_us(&self) -> f64 {
+        let span: u64 = self.samples.iter().map(|s| s.duration_us()).sum();
+        if span == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / span as f64
+        }
+    }
+
+    /// Cycles-per-µs binned over wall-clock time (for the Figure 13 timeline).
+    ///
+    /// Returns one value per bin of width `bin_us` covering `[0, horizon_us)`;
+    /// samples are attributed to bins proportionally to their overlap.
+    pub fn cycles_per_us_series(&self, bin_us: TimeUs, horizon_us: TimeUs) -> Vec<f64> {
+        if bin_us == 0 || horizon_us == 0 {
+            return Vec::new();
+        }
+        let nbins = horizon_us.div_ceil(bin_us) as usize;
+        let mut cycles_per_bin = vec![0.0f64; nbins];
+        for s in &self.samples {
+            let dur = s.duration_us();
+            if dur == 0 {
+                continue;
+            }
+            let rate = s.cycles as f64 / dur as f64;
+            let mut t = s.start;
+            while t < s.end && t < horizon_us {
+                let bin = (t / bin_us) as usize;
+                let bin_end = ((bin as u64 + 1) * bin_us).min(s.end).min(horizon_us);
+                let overlap = bin_end - t;
+                cycles_per_bin[bin] += rate * overlap as f64;
+                t = bin_end;
+            }
+        }
+        cycles_per_bin
+            .into_iter()
+            .map(|c| c / bin_us as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_ipc_and_rate() {
+        let s = CounterSample {
+            start: 0,
+            end: 100,
+            instructions: 150_000,
+            cycles: 100_000,
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.cycles_per_us() - 1000.0).abs() < 1e-9);
+        assert_eq!(s.duration_us(), 100);
+    }
+
+    #[test]
+    fn zero_division_is_zero() {
+        let s = CounterSample {
+            start: 5,
+            end: 5,
+            instructions: 10,
+            cycles: 0,
+        };
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cycles_per_us(), 0.0);
+        assert_eq!(ThreadCounters::new(0).ipc(), 0.0);
+        assert_eq!(ThreadCounters::new(0).cycles_per_us(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_over_samples() {
+        let mut tc = ThreadCounters::new(3);
+        tc.record_interval(0, 100, 100, 200);
+        tc.record_interval(100, 200, 300, 200);
+        assert_eq!(tc.total_instructions(), 400);
+        assert_eq!(tc.total_cycles(), 400);
+        assert!((tc.ipc() - 1.0).abs() < 1e-12);
+        assert!((tc.cycles_per_us() - 2.0).abs() < 1e-12);
+        assert_eq!(tc.ipc_samples().len(), 2);
+        assert_eq!(tc.thread, 3);
+    }
+
+    #[test]
+    fn series_binning_attributes_overlap() {
+        let mut tc = ThreadCounters::new(0);
+        // 1000 cycles uniformly over [0, 100): 10 cycles/us.
+        tc.record_interval(0, 100, 0, 1000);
+        // 400 cycles uniformly over [150, 250): 4 cycles/us.
+        tc.record_interval(150, 250, 0, 400);
+        let series = tc.cycles_per_us_series(100, 300);
+        assert_eq!(series.len(), 3);
+        assert!((series[0] - 10.0).abs() < 1e-9);
+        // Second bin gets half of the second sample: 50us * 4 = 200 cycles / 100us.
+        assert!((series[1] - 2.0).abs() < 1e-9);
+        assert!((series[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_with_zero_bin_is_empty() {
+        let tc = ThreadCounters::new(0);
+        assert!(tc.cycles_per_us_series(0, 100).is_empty());
+        assert!(tc.cycles_per_us_series(10, 0).is_empty());
+    }
+}

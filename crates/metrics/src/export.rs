@@ -1,0 +1,218 @@
+//! Export of traces and series: CSV, a Paraver-like text format and ASCII
+//! timelines for the experiment harnesses.
+//!
+//! The paper's Figures 5 and 13 are Paraver screenshots; this module emits the
+//! same information as data. The Paraver-like record format follows the spirit
+//! of the `.prv` state records (`state:process:thread:start:end:value`) without
+//! claiming byte compatibility — it is meant to be diffable and easy to plot.
+
+use std::fmt::Write as _;
+
+use crate::timeline::{ThreadState, Timeline};
+use crate::tracer::{EventKind, TraceEvent};
+
+/// Numeric value used for a thread state in the Paraver-like export, matching
+/// the conventional Paraver state palette (1 = running, 0 = idle, 3 = blocked).
+pub fn state_code(state: ThreadState) -> u32 {
+    match state {
+        ThreadState::Idle => 0,
+        ThreadState::Running => 1,
+        ThreadState::Blocked => 3,
+        ThreadState::NotCreated => 7,
+    }
+}
+
+/// Serialises a timeline as Paraver-like state records, one per line:
+/// `1:<process>:<thread>:<start>:<end>:<state_code>`.
+pub fn timeline_to_prv(timeline: &Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "#Paraver-like trace (reproduction) horizon_us={}",
+        timeline.horizon()
+    );
+    for (process, thread) in timeline.threads() {
+        for interval in timeline.intervals(process, thread) {
+            let _ = writeln!(
+                out,
+                "1:{}:{}:{}:{}:{}",
+                process,
+                thread,
+                interval.start,
+                interval.end,
+                state_code(interval.state)
+            );
+        }
+    }
+    out
+}
+
+/// Serialises raw trace events as CSV
+/// (`time_us,process,thread,kind,a,b`): state events carry the state code in
+/// column `a`, counter events carry instructions/cycles, mask changes the CPU
+/// count, user events key/value.
+pub fn events_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("time_us,process,thread,kind,a,b\n");
+    for e in events {
+        let (kind, a, b) = match &e.kind {
+            EventKind::State(s) => ("state", state_code(*s) as i64, 0),
+            EventKind::Counters {
+                instructions,
+                cycles,
+            } => ("counters", *instructions as i64, *cycles as i64),
+            EventKind::MaskChange { mask } => ("mask", mask.count() as i64, 0),
+            EventKind::User { key, value } => ("user", *key as i64, *value),
+        };
+        let _ = writeln!(out, "{},{},{},{},{},{}", e.time, e.process, e.thread, kind, a, b);
+    }
+    out
+}
+
+/// Renders a timeline as an ASCII strip chart: one row per thread, one column
+/// per time bucket (`#` running, `.` idle, `b` blocked, space not created).
+///
+/// This is the textual stand-in for the Paraver windows of Figures 5 and 13.
+pub fn timeline_to_ascii(timeline: &Timeline, columns: usize) -> String {
+    let horizon = timeline.horizon().max(1);
+    let columns = columns.max(1);
+    let mut out = String::new();
+    for (process, thread) in timeline.threads() {
+        let mut row = vec![' '; columns];
+        for interval in timeline.intervals(process, thread) {
+            let c = match interval.state {
+                ThreadState::Running => '#',
+                ThreadState::Idle => '.',
+                ThreadState::Blocked => 'b',
+                ThreadState::NotCreated => ' ',
+            };
+            let start_col = (interval.start as u128 * columns as u128 / horizon as u128) as usize;
+            let end_col =
+                ((interval.end as u128 * columns as u128).div_ceil(horizon as u128)) as usize;
+            for cell in row
+                .iter_mut()
+                .take(end_col.min(columns))
+                .skip(start_col.min(columns))
+            {
+                *cell = c;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "p{:<2} t{:<3} |{}|",
+            process,
+            thread,
+            row.into_iter().collect::<String>()
+        );
+    }
+    out
+}
+
+/// Renders a numeric series as a compact ASCII sparkline-style bar chart, one
+/// row per labelled series (used by the fig13 harness for cycles/µs).
+pub fn series_to_ascii(labels: &[String], series: &[Vec<f64>], width: usize) -> String {
+    const GLYPHS: [char; 5] = [' ', '.', ':', '+', '#'];
+    let max = series
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (label, values) in labels.iter().zip(series.iter()) {
+        let mut row = String::new();
+        // Resample to `width` columns.
+        for col in 0..width {
+            let idx = if values.is_empty() {
+                None
+            } else {
+                Some(col * values.len() / width)
+            };
+            let v = idx.and_then(|i| values.get(i)).copied().unwrap_or(0.0);
+            let level = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            row.push(GLYPHS[level.min(GLYPHS.len() - 1)]);
+        }
+        let _ = writeln!(out, "{label:<24} |{row}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::StateInterval;
+    use crate::tracer::Tracer;
+
+    fn sample_timeline() -> Timeline {
+        let mut t = Timeline::new(100);
+        t.push(0, 0, StateInterval { start: 0, end: 100, state: ThreadState::Running });
+        t.push(0, 1, StateInterval { start: 0, end: 50, state: ThreadState::Running });
+        t.push(0, 1, StateInterval { start: 50, end: 100, state: ThreadState::Idle });
+        t
+    }
+
+    #[test]
+    fn prv_export_has_one_record_per_interval() {
+        let prv = timeline_to_prv(&sample_timeline());
+        let records: Vec<&str> = prv.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(records.len(), 3);
+        assert!(records[0].starts_with("1:0:0:0:100:1"));
+        assert!(prv.starts_with("#Paraver-like"));
+    }
+
+    #[test]
+    fn csv_export_covers_all_kinds() {
+        let tracer = Tracer::new();
+        tracer.state(0, 0, 0, ThreadState::Running);
+        tracer.counters(10, 0, 0, 100, 80);
+        tracer.mask_change(20, 0, &drom_cpuset::CpuSet::first_n(4));
+        tracer.user(30, 0, 1, 9, -1);
+        let csv = events_to_csv(&tracer.events());
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("state"));
+        assert!(csv.contains("counters"));
+        assert!(csv.contains("mask"));
+        assert!(csv.contains("user"));
+        assert!(csv.lines().any(|l| l.contains("mask,4,0")));
+    }
+
+    #[test]
+    fn ascii_timeline_shows_idle_and_running() {
+        let text = timeline_to_ascii(&sample_timeline(), 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(!lines[0].contains('.'));
+        assert!(lines[1].contains('#'));
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn ascii_series_has_one_row_per_label() {
+        let labels = vec!["NEST".to_string(), "CoreNeuron".to_string()];
+        let series = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        let text = series_to_ascii(&labels, &series, 12);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("NEST"));
+        assert!(text.contains("CoreNeuron"));
+    }
+
+    #[test]
+    fn ascii_series_with_empty_values() {
+        let text = series_to_ascii(&["empty".to_string()], &[vec![]], 5);
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn state_codes_are_distinct() {
+        let codes = [
+            state_code(ThreadState::Idle),
+            state_code(ThreadState::Running),
+            state_code(ThreadState::Blocked),
+            state_code(ThreadState::NotCreated),
+        ];
+        let mut sorted = codes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixed-bin histograms — the data behind the IPC histograms of Figure 14.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over a fixed numeric range with equally sized bins.
+///
+/// Values below the range land in the first bin, values above it in the last
+/// bin (saturating), so no sample is ever silently dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value <= self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Builds a histogram directly from samples.
+    pub fn from_samples(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> Self {
+        let mut h = Histogram::new(lo, hi, bins);
+        h.extend(samples.iter().copied());
+        h
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all added samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Lower bound of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * (i as f64 + 0.5) / self.counts.len() as f64
+    }
+
+    /// Index of the most populated bin (ties resolved to the lowest index).
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Value at the center of the most populated bin — the "most frequent IPC"
+    /// that Figure 14's blue dots represent.
+    pub fn mode_value(&self) -> f64 {
+        self.bin_center(self.mode_bin())
+    }
+
+    /// Normalised frequencies per bin (sum to 1 when non-empty).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Renders the histogram as ASCII rows (`bin_center count bar`), for the
+    /// experiment harnesses.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{:>8.3} | {:>8} | {}\n",
+                self.bin_center(i),
+                c,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn samples_fall_into_expected_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 4);
+        h.add(0.1); // bin 0
+        h.add(0.6); // bin 1
+        h.add(1.2); // bin 2
+        h.add(1.9); // bin 3
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(10.0);
+        h.add(1.0);
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn mode_and_mean() {
+        let h = Histogram::from_samples(0.0, 4.0, 4, &[0.5, 2.5, 2.6, 2.7, 3.5]);
+        assert_eq!(h.mode_bin(), 2);
+        assert!((h.mode_value() - 2.5).abs() < 1e-12);
+        assert!((h.mean() - (0.5 + 2.5 + 2.6 + 2.7 + 3.5) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = Histogram::from_samples(0.0, 1.0, 5, &[0.1, 0.3, 0.5, 0.7, 0.9, 0.95]);
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let empty = Histogram::new(0.0, 1.0, 5);
+        assert_eq!(empty.frequencies(), vec![0.0; 5]);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn ascii_rendering_has_one_row_per_bin() {
+        let h = Histogram::from_samples(0.0, 1.0, 3, &[0.1, 0.2, 0.9]);
+        let text = h.to_ascii(10);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    proptest! {
+        /// Every added sample is counted exactly once, wherever it lands.
+        #[test]
+        fn prop_total_matches_samples(samples in proptest::collection::vec(-10.0f64..10.0, 0..200)) {
+            let h = Histogram::from_samples(0.0, 1.0, 7, &samples);
+            prop_assert_eq!(h.total(), samples.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+        }
+
+        /// Bin centers are within the histogram range and increasing.
+        #[test]
+        fn prop_bin_centers_monotonic(bins in 1usize..32) {
+            let h = Histogram::new(-3.0, 5.0, bins);
+            let centers: Vec<f64> = (0..bins).map(|i| h.bin_center(i)).collect();
+            for w in centers.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(centers[0] > -3.0 && centers[bins - 1] < 5.0);
+        }
+    }
+}

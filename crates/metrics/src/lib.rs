@@ -1,0 +1,38 @@
+//! Metrics, tracing and reporting for the DROM reproduction.
+//!
+//! The paper's evaluation reports system-level metrics (total run time,
+//! per-job response time, average response time) obtained from SLURM logs and
+//! application-level metrics (IPC, cycles per microsecond, per-thread state
+//! timelines) obtained by tracing with Extrae and visualising with Paraver.
+//! This crate provides the equivalents:
+//!
+//! * [`counters`] — a simple hardware-counter model (instructions, cycles →
+//!   IPC and cycles/µs), fed either by the executable mini-apps or by the
+//!   analytical performance models.
+//! * [`tracer`] — an Extrae-like per-thread event tracer.
+//! * [`timeline`] — per-thread state timelines and utilization, the data behind
+//!   the Paraver views of Figures 5 and 13.
+//! * [`histogram`] — fixed-bin histograms, the data behind Figure 14.
+//! * [`workload`] — job records, response times and workload reports, the data
+//!   behind Figures 4, 6–12 and 15.
+//! * [`export`] — CSV and Paraver-like text export plus ASCII charts for the
+//!   experiment harnesses.
+//! * [`table`] — aligned text tables used by every `fig*` harness binary.
+
+pub mod counters;
+pub mod export;
+pub mod histogram;
+pub mod table;
+pub mod timeline;
+pub mod tracer;
+pub mod workload;
+
+pub use counters::{CounterSample, ThreadCounters};
+pub use histogram::Histogram;
+pub use table::Table;
+pub use timeline::{StateInterval, ThreadState, Timeline};
+pub use tracer::{EventKind, TraceEvent, Tracer};
+pub use workload::{JobRecord, Scenario, WorkloadReport};
+
+/// Virtual time in microseconds, used consistently across traces and reports.
+pub type TimeUs = u64;

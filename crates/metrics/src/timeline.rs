@@ -1,0 +1,273 @@
+//! Per-thread state timelines and utilization — the data behind the Paraver
+//! views of Figures 5 and 13.
+//!
+//! Figure 5 of the paper shows "simulator's threads on Y-axis. When thread 16
+//! is removed, its data is computed by first 4 threads, while the others report
+//! lower utilization (white idle spaces)". A [`Timeline`] is that picture as
+//! data: for each thread, the sequence of state intervals, from which
+//! utilization (the fraction of time spent running) and per-thread busy time
+//! are derived.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tracer::{EventKind, TraceEvent};
+use crate::TimeUs;
+
+/// Execution state of a thread at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Executing application work.
+    Running,
+    /// Alive but with nothing to execute (the "white idle spaces" of Fig. 5).
+    Idle,
+    /// Blocked in communication or synchronisation.
+    Blocked,
+    /// Removed from the team (the CPU was taken away by DROM).
+    NotCreated,
+}
+
+/// A maximal interval during which a thread stayed in one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateInterval {
+    /// Interval start.
+    pub start: TimeUs,
+    /// Interval end (exclusive).
+    pub end: TimeUs,
+    /// State during the interval.
+    pub state: ThreadState,
+}
+
+impl StateInterval {
+    /// Interval length in microseconds.
+    pub fn duration(&self) -> TimeUs {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// State timelines of every thread of one process (or of a whole workload when
+/// threads are numbered globally).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Interval list per (process, thread) pair, keyed for deterministic order.
+    intervals: BTreeMap<(usize, usize), Vec<StateInterval>>,
+    /// End of the observation window.
+    horizon: TimeUs,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with a given horizon (end of observation).
+    pub fn new(horizon: TimeUs) -> Self {
+        Timeline {
+            intervals: BTreeMap::new(),
+            horizon,
+        }
+    }
+
+    /// Builds per-thread timelines from a trace event stream.
+    ///
+    /// Only [`EventKind::State`] events are considered. Each thread's last
+    /// state is extended until `horizon` (or the last event time if later).
+    pub fn from_events(events: &[TraceEvent], horizon: TimeUs) -> Self {
+        let mut sorted: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::State(_)))
+            .collect();
+        sorted.sort_by_key(|e| e.time);
+        let horizon = sorted
+            .last()
+            .map(|e| e.time.max(horizon))
+            .unwrap_or(horizon);
+
+        let mut timeline = Timeline::new(horizon);
+        // Current open state per (process, thread).
+        let mut open: BTreeMap<(usize, usize), (TimeUs, ThreadState)> = BTreeMap::new();
+        for event in sorted {
+            let key = (event.process, event.thread);
+            let EventKind::State(state) = &event.kind else {
+                continue;
+            };
+            if let Some((start, prev_state)) = open.insert(key, (event.time, *state)) {
+                if event.time > start {
+                    timeline.push(key.0, key.1, StateInterval {
+                        start,
+                        end: event.time,
+                        state: prev_state,
+                    });
+                }
+            }
+        }
+        // Close every open interval at the horizon.
+        for ((process, thread), (start, state)) in open {
+            if horizon > start {
+                timeline.push(process, thread, StateInterval {
+                    start,
+                    end: horizon,
+                    state,
+                });
+            }
+        }
+        timeline
+    }
+
+    /// Appends an interval to a thread's timeline.
+    pub fn push(&mut self, process: usize, thread: usize, interval: StateInterval) {
+        self.horizon = self.horizon.max(interval.end);
+        self.intervals
+            .entry((process, thread))
+            .or_default()
+            .push(interval);
+    }
+
+    /// End of the observation window.
+    pub fn horizon(&self) -> TimeUs {
+        self.horizon
+    }
+
+    /// The (process, thread) pairs present in the timeline, in order.
+    pub fn threads(&self) -> Vec<(usize, usize)> {
+        self.intervals.keys().copied().collect()
+    }
+
+    /// Intervals of a thread (empty if unknown).
+    pub fn intervals(&self, process: usize, thread: usize) -> &[StateInterval] {
+        self.intervals
+            .get(&(process, thread))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Time a thread spent in `state`.
+    pub fn time_in_state(&self, process: usize, thread: usize, state: ThreadState) -> TimeUs {
+        self.intervals(process, thread)
+            .iter()
+            .filter(|i| i.state == state)
+            .map(|i| i.duration())
+            .sum()
+    }
+
+    /// Fraction of the observation window a thread spent running, in `[0, 1]`.
+    pub fn utilization(&self, process: usize, thread: usize) -> f64 {
+        if self.horizon == 0 {
+            return 0.0;
+        }
+        self.time_in_state(process, thread, ThreadState::Running) as f64 / self.horizon as f64
+    }
+
+    /// Utilization of every thread, in thread order.
+    pub fn utilization_per_thread(&self) -> Vec<((usize, usize), f64)> {
+        self.threads()
+            .into_iter()
+            .map(|(p, t)| ((p, t), self.utilization(p, t)))
+            .collect()
+    }
+
+    /// Average utilization over all threads (0 when empty).
+    pub fn average_utilization(&self) -> f64 {
+        let per_thread = self.utilization_per_thread();
+        if per_thread.is_empty() {
+            return 0.0;
+        }
+        per_thread.iter().map(|(_, u)| u).sum::<f64>() / per_thread.len() as f64
+    }
+
+    /// Imbalance metric: maximum running time across threads divided by the
+    /// average running time (1.0 = perfectly balanced, like the paper's
+    /// discussion of NEST's static data partition in Figure 5).
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .threads()
+            .into_iter()
+            .map(|(p, t)| self.time_in_state(p, t, ThreadState::Running) as f64)
+            .collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        let avg = busy.iter().sum::<f64>() / busy.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn interval_duration() {
+        let i = StateInterval {
+            start: 10,
+            end: 30,
+            state: ThreadState::Running,
+        };
+        assert_eq!(i.duration(), 20);
+    }
+
+    #[test]
+    fn build_from_events_closes_at_horizon() {
+        let tracer = Tracer::new();
+        tracer.state(0, 0, 0, ThreadState::Running);
+        tracer.state(50, 0, 0, ThreadState::Idle);
+        tracer.state(0, 0, 1, ThreadState::Running);
+        let timeline = Timeline::from_events(&tracer.events(), 100);
+        assert_eq!(timeline.horizon(), 100);
+        assert_eq!(timeline.threads(), vec![(0, 0), (0, 1)]);
+        assert_eq!(timeline.time_in_state(0, 0, ThreadState::Running), 50);
+        assert_eq!(timeline.time_in_state(0, 0, ThreadState::Idle), 50);
+        assert_eq!(timeline.time_in_state(0, 1, ThreadState::Running), 100);
+        assert!((timeline.utilization(0, 0) - 0.5).abs() < 1e-12);
+        assert!((timeline.utilization(0, 1) - 1.0).abs() < 1e-12);
+        assert!((timeline.average_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_uneven_work() {
+        let mut timeline = Timeline::new(100);
+        timeline.push(0, 0, StateInterval { start: 0, end: 100, state: ThreadState::Running });
+        timeline.push(0, 1, StateInterval { start: 0, end: 50, state: ThreadState::Running });
+        timeline.push(0, 1, StateInterval { start: 50, end: 100, state: ThreadState::Idle });
+        // max = 100, avg = 75 -> imbalance = 1.333…
+        assert!((timeline.imbalance() - 100.0 / 75.0).abs() < 1e-9);
+        // Perfectly balanced case.
+        let mut even = Timeline::new(10);
+        even.push(0, 0, StateInterval { start: 0, end: 10, state: ThreadState::Running });
+        even.push(0, 1, StateInterval { start: 0, end: 10, state: ThreadState::Running });
+        assert!((even.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_defaults() {
+        let timeline = Timeline::new(0);
+        assert_eq!(timeline.average_utilization(), 0.0);
+        assert_eq!(timeline.imbalance(), 1.0);
+        assert!(timeline.threads().is_empty());
+        assert!(timeline.intervals(0, 0).is_empty());
+        assert_eq!(timeline.utilization(3, 4), 0.0);
+    }
+
+    #[test]
+    fn unordered_events_are_sorted() {
+        let events = vec![
+            TraceEvent { time: 50, process: 0, thread: 0, kind: EventKind::State(ThreadState::Blocked) },
+            TraceEvent { time: 0, process: 0, thread: 0, kind: EventKind::State(ThreadState::Running) },
+        ];
+        let timeline = Timeline::from_events(&events, 80);
+        assert_eq!(timeline.time_in_state(0, 0, ThreadState::Running), 50);
+        assert_eq!(timeline.time_in_state(0, 0, ThreadState::Blocked), 30);
+    }
+
+    #[test]
+    fn non_state_events_are_ignored() {
+        let tracer = Tracer::new();
+        tracer.counters(0, 0, 0, 100, 100);
+        tracer.user(10, 0, 0, 1, 1);
+        let timeline = Timeline::from_events(&tracer.events(), 100);
+        assert!(timeline.threads().is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Extrae-like event tracer.
+//!
+//! The paper obtains application metrics "by tracing the use cases using
+//! Extrae and visualizing traces with Paraver". The reproduction's tracer
+//! collects the same kind of per-thread event stream: thread state changes,
+//! counter samples, CPU-mask changes and free-form user events. The
+//! [`timeline`](crate::timeline) module turns the stream into state intervals
+//! and utilization figures; [`export`](crate::export) writes it out.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use drom_cpuset::CpuSet;
+
+use crate::timeline::ThreadState;
+use crate::TimeUs;
+
+/// What happened at a trace point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The thread switched to a new state (running, idle, blocked, …).
+    State(ThreadState),
+    /// Counter sample covering the interval since the previous sample.
+    Counters {
+        /// Instructions retired since the previous counter event.
+        instructions: u64,
+        /// Cycles consumed since the previous counter event.
+        cycles: u64,
+    },
+    /// The process's CPU mask changed (a DROM malleability event).
+    MaskChange {
+        /// The new mask.
+        mask: CpuSet,
+    },
+    /// Free-form numeric event (the Extrae "user event" analogue).
+    User {
+        /// Event type identifier.
+        key: u32,
+        /// Event value.
+        value: i64,
+    },
+}
+
+/// One record of the trace: when, which thread, what.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Timestamp of the event.
+    pub time: TimeUs,
+    /// Process identifier (application-level, e.g. the MPI rank).
+    pub process: usize,
+    /// Thread identifier within the process.
+    pub thread: usize,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// Thread-safe collector of trace events.
+///
+/// Cloning a `Tracer` clones a handle to the same underlying buffer, so every
+/// thread of the traced application can record without further coordination.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    enabled: Arc<Mutex<bool>>,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer with an empty buffer.
+    pub fn new() -> Self {
+        Tracer {
+            events: Arc::new(Mutex::new(Vec::new())),
+            enabled: Arc::new(Mutex::new(true)),
+        }
+    }
+
+    /// Creates a tracer that discards every event (zero-overhead runs).
+    pub fn disabled() -> Self {
+        Tracer {
+            events: Arc::new(Mutex::new(Vec::new())),
+            enabled: Arc::new(Mutex::new(false)),
+        }
+    }
+
+    /// `true` if events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        *self.enabled.lock()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        *self.enabled.lock() = enabled;
+    }
+
+    /// Records a raw event.
+    pub fn record(&self, event: TraceEvent) {
+        if self.is_enabled() {
+            self.events.lock().push(event);
+        }
+    }
+
+    /// Records a thread state change.
+    pub fn state(&self, time: TimeUs, process: usize, thread: usize, state: ThreadState) {
+        self.record(TraceEvent {
+            time,
+            process,
+            thread,
+            kind: EventKind::State(state),
+        });
+    }
+
+    /// Records a counter sample.
+    pub fn counters(
+        &self,
+        time: TimeUs,
+        process: usize,
+        thread: usize,
+        instructions: u64,
+        cycles: u64,
+    ) {
+        self.record(TraceEvent {
+            time,
+            process,
+            thread,
+            kind: EventKind::Counters {
+                instructions,
+                cycles,
+            },
+        });
+    }
+
+    /// Records a CPU-mask change of a process (thread 0 by convention).
+    pub fn mask_change(&self, time: TimeUs, process: usize, mask: &CpuSet) {
+        self.record(TraceEvent {
+            time,
+            process,
+            thread: 0,
+            kind: EventKind::MaskChange { mask: mask.clone() },
+        });
+    }
+
+    /// Records a free-form user event.
+    pub fn user(&self, time: TimeUs, process: usize, thread: usize, key: u32, value: i64) {
+        self.record(TraceEvent {
+            time,
+            process,
+            thread,
+            kind: EventKind::User { key, value },
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` if no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Returns a copy of the events sorted by time (stable for equal times).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.lock().clone();
+        events.sort_by_key(|e| e.time);
+        events
+    }
+
+    /// Returns the events of one process, sorted by time.
+    pub fn events_of_process(&self, process: usize) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.process == process)
+            .collect()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts_events() {
+        let tracer = Tracer::new();
+        tracer.state(200, 0, 1, ThreadState::Idle);
+        tracer.state(100, 0, 0, ThreadState::Running);
+        tracer.counters(150, 0, 0, 1000, 800);
+        assert_eq!(tracer.len(), 3);
+        let events = tracer.events();
+        assert_eq!(events[0].time, 100);
+        assert_eq!(events[1].time, 150);
+        assert_eq!(events[2].time, 200);
+    }
+
+    #[test]
+    fn disabled_tracer_discards() {
+        let tracer = Tracer::disabled();
+        tracer.state(0, 0, 0, ThreadState::Running);
+        assert!(tracer.is_empty());
+        tracer.set_enabled(true);
+        tracer.state(1, 0, 0, ThreadState::Running);
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_buffer() {
+        let tracer = Tracer::new();
+        let clone = tracer.clone();
+        clone.user(5, 1, 0, 42, -7);
+        assert_eq!(tracer.len(), 1);
+        assert_eq!(
+            tracer.events()[0].kind,
+            EventKind::User { key: 42, value: -7 }
+        );
+    }
+
+    #[test]
+    fn filter_by_process_and_clear() {
+        let tracer = Tracer::new();
+        tracer.state(1, 0, 0, ThreadState::Running);
+        tracer.state(2, 1, 0, ThreadState::Running);
+        tracer.mask_change(3, 1, &CpuSet::first_n(4));
+        assert_eq!(tracer.events_of_process(1).len(), 2);
+        assert_eq!(tracer.events_of_process(0).len(), 1);
+        tracer.clear();
+        assert!(tracer.is_empty());
+    }
+}

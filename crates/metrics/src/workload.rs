@@ -1,0 +1,228 @@
+//! Workload-level metrics: job records, response times and reports.
+//!
+//! The paper's system metrics (Section 6) are:
+//!
+//! * *Total run time* — "time to complete the workload, calculated as last job
+//!   end time minus first job submission time".
+//! * *Response time* — "a sum of job's wait time in scheduler's queue and job's
+//!   execution time".
+//! * *Average response time* — "arithmetic mean of response times of all the
+//!   jobs in the workload".
+//!
+//! [`JobRecord`] and [`WorkloadReport`] compute exactly those definitions, and
+//! [`percent_improvement`] expresses the DROM-vs-Serial comparisons the figures
+//! report ("up to 48% improvement in average response time").
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeUs;
+
+/// Which scheduling mode produced a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Jobs run one after another; a new job waits for resources to be free.
+    Serial,
+    /// Jobs are co-allocated through the DROM-enabled task/affinity plugin.
+    Drom,
+    /// Jobs are co-allocated without shrinking (CPUSET-only oversubscription),
+    /// the related-work baseline used as an ablation.
+    Oversubscribed,
+}
+
+impl Scenario {
+    /// Human-readable label used in tables and CSV headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Serial => "Serial",
+            Scenario::Drom => "DROM",
+            Scenario::Oversubscribed => "Oversub",
+        }
+    }
+}
+
+/// Timing record of one job in a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job name (e.g. `"NEST Conf. 1"`).
+    pub name: String,
+    /// Submission time.
+    pub submit: TimeUs,
+    /// Time the job started executing.
+    pub start: TimeUs,
+    /// Time the job finished.
+    pub end: TimeUs,
+}
+
+impl JobRecord {
+    /// Creates a record, clamping inconsistent times (start ≥ submit,
+    /// end ≥ start).
+    pub fn new(name: impl Into<String>, submit: TimeUs, start: TimeUs, end: TimeUs) -> Self {
+        let start = start.max(submit);
+        let end = end.max(start);
+        JobRecord {
+            name: name.into(),
+            submit,
+            start,
+            end,
+        }
+    }
+
+    /// Time spent waiting in the scheduler queue.
+    pub fn wait_time(&self) -> TimeUs {
+        self.start - self.submit
+    }
+
+    /// Execution time.
+    pub fn run_time(&self) -> TimeUs {
+        self.end - self.start
+    }
+
+    /// Response time = wait time + execution time.
+    pub fn response_time(&self) -> TimeUs {
+        self.end - self.submit
+    }
+}
+
+/// The measured outcome of running one workload under one scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// The scheduling mode used.
+    pub scenario: Scenario,
+    /// Per-job records.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl WorkloadReport {
+    /// Creates a report from job records.
+    pub fn new(scenario: Scenario, jobs: Vec<JobRecord>) -> Self {
+        WorkloadReport { scenario, jobs }
+    }
+
+    /// Total run time: last job end minus first job submission (0 when empty).
+    pub fn total_run_time(&self) -> TimeUs {
+        let first_submit = self.jobs.iter().map(|j| j.submit).min();
+        let last_end = self.jobs.iter().map(|j| j.end).max();
+        match (first_submit, last_end) {
+            (Some(s), Some(e)) => e.saturating_sub(s),
+            _ => 0,
+        }
+    }
+
+    /// Arithmetic mean of job response times (0 when empty).
+    pub fn average_response_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(|j| j.response_time() as f64)
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Response time of the job named `name`, if present.
+    pub fn response_time_of(&self, name: &str) -> Option<TimeUs> {
+        self.jobs
+            .iter()
+            .find(|j| j.name == name)
+            .map(|j| j.response_time())
+    }
+
+    /// Run time of the job named `name`, if present.
+    pub fn run_time_of(&self, name: &str) -> Option<TimeUs> {
+        self.jobs.iter().find(|j| j.name == name).map(|j| j.run_time())
+    }
+}
+
+/// Percentage improvement of `measured` over `baseline` for a metric where
+/// lower is better: positive means `measured` is faster/shorter.
+///
+/// `percent_improvement(100.0, 92.0)` is `8.0`; a regression yields a negative
+/// number. Returns 0 when the baseline is 0.
+pub fn percent_improvement(baseline: f64, measured: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - measured) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, submit: TimeUs, start: TimeUs, end: TimeUs) -> JobRecord {
+        JobRecord::new(name, submit, start, end)
+    }
+
+    #[test]
+    fn job_record_metrics() {
+        let j = record("sim", 10, 30, 130);
+        assert_eq!(j.wait_time(), 20);
+        assert_eq!(j.run_time(), 100);
+        assert_eq!(j.response_time(), 120);
+    }
+
+    #[test]
+    fn job_record_clamps_inconsistent_times() {
+        let j = record("x", 100, 50, 10);
+        assert_eq!(j.wait_time(), 0);
+        assert_eq!(j.run_time(), 0);
+        assert_eq!(j.response_time(), 0);
+    }
+
+    #[test]
+    fn report_totals_match_paper_definitions() {
+        // Serial scenario of use case 1: analytics waits for the simulation.
+        let serial = WorkloadReport::new(
+            Scenario::Serial,
+            vec![
+                record("simulation", 0, 0, 2000),
+                record("analytics", 100, 2000, 2200),
+            ],
+        );
+        assert_eq!(serial.total_run_time(), 2200);
+        // responses: 2000 and 2100 -> 2050
+        assert!((serial.average_response_time() - 2050.0).abs() < 1e-9);
+        assert_eq!(serial.response_time_of("analytics"), Some(2100));
+        assert_eq!(serial.run_time_of("analytics"), Some(200));
+        assert_eq!(serial.response_time_of("missing"), None);
+
+        // DROM scenario: the analytics starts immediately.
+        let drom = WorkloadReport::new(
+            Scenario::Drom,
+            vec![
+                record("simulation", 0, 0, 2050),
+                record("analytics", 100, 100, 310),
+            ],
+        );
+        assert_eq!(drom.total_run_time(), 2050);
+        let improvement = percent_improvement(
+            serial.average_response_time(),
+            drom.average_response_time(),
+        );
+        // The analytics response collapses, so the average improves a lot.
+        assert!(improvement > 40.0, "improvement was {improvement}");
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = WorkloadReport::new(Scenario::Drom, vec![]);
+        assert_eq!(r.total_run_time(), 0);
+        assert_eq!(r.average_response_time(), 0.0);
+    }
+
+    #[test]
+    fn percent_improvement_signs() {
+        assert!((percent_improvement(100.0, 92.0) - 8.0).abs() < 1e-12);
+        assert!(percent_improvement(100.0, 110.0) < 0.0);
+        assert_eq!(percent_improvement(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(Scenario::Serial.label(), "Serial");
+        assert_eq!(Scenario::Drom.label(), "DROM");
+        assert_eq!(Scenario::Oversubscribed.label(), "Oversub");
+    }
+}

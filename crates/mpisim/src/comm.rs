@@ -1,0 +1,413 @@
+//! Per-rank communicator: typed point-to-point messages and collectives.
+//!
+//! All user-visible operations run the rank's registered [`PmpiHook`]s before
+//! and after the call; the point-to-point traffic that *implements* the
+//! collectives does not, so a profiler sees one event per MPI call, exactly
+//! like the real PMPI interface.
+//!
+//! Collectives must be invoked by every rank of the world in the same order
+//! (the usual MPI requirement); user message tags must be non-negative —
+//! negative tags are reserved for the collective implementation.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pmpi::{MpiCall, PmpiHook};
+
+/// Tag used by the internal gather phase of collectives.
+const TAG_COLLECT: i32 = -1;
+/// Tag used by the internal release/broadcast phase of collectives.
+const TAG_RELEASE: i32 = -2;
+
+struct Envelope {
+    src: usize,
+    tag: i32,
+    payload: Box<dyn Any + Send>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    available: Condvar,
+}
+
+/// State shared by every rank of a world.
+pub(crate) struct WorldShared {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+}
+
+impl WorldShared {
+    pub(crate) fn new(size: usize) -> Arc<Self> {
+        Arc::new(WorldShared {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+        })
+    }
+}
+
+/// The communicator handed to each rank's body.
+pub struct MpiComm {
+    rank: usize,
+    node: String,
+    shared: Arc<WorldShared>,
+    hooks: Mutex<Vec<Arc<dyn PmpiHook>>>,
+}
+
+impl MpiComm {
+    pub(crate) fn new(rank: usize, node: String, shared: Arc<WorldShared>) -> Self {
+        MpiComm {
+            rank,
+            node,
+            shared,
+            hooks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The name of the node this rank is mapped to (set by the world builder;
+    /// defaults to `"node0"`).
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Installs a PMPI hook on this rank (the preloaded-profiler analogue).
+    pub fn add_hook(&self, hook: Arc<dyn PmpiHook>) {
+        self.hooks.lock().push(hook);
+    }
+
+    /// Removes every installed hook.
+    pub fn clear_hooks(&self) {
+        self.hooks.lock().clear();
+    }
+
+    fn hooks_before(&self, call: MpiCall) {
+        for hook in self.hooks.lock().iter() {
+            hook.before(self.rank, call);
+        }
+    }
+
+    fn hooks_after(&self, call: MpiCall) {
+        for hook in self.hooks.lock().iter() {
+            hook.after(self.rank, call);
+        }
+    }
+
+    /// Runs `body` wrapped in the hooks of `call`; used for Init/Finalize
+    /// notifications and internally by every public operation.
+    pub fn intercepted<R>(&self, call: MpiCall, body: impl FnOnce() -> R) -> R {
+        self.hooks_before(call);
+        let result = body();
+        self.hooks_after(call);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Raw point-to-point (no hooks): the transport under the public API.
+    // ------------------------------------------------------------------
+
+    fn send_raw<T: Send + 'static>(&self, dest: usize, tag: i32, value: T) {
+        assert!(dest < self.shared.size, "destination rank {dest} out of range");
+        let mailbox = &self.shared.mailboxes[dest];
+        mailbox.queue.lock().push_back(Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(value),
+        });
+        mailbox.available.notify_all();
+    }
+
+    fn recv_raw<T: Send + 'static>(&self, src: usize, tag: i32) -> T {
+        assert!(src < self.shared.size, "source rank {src} out of range");
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock();
+        loop {
+            if let Some(pos) = queue.iter().position(|e| e.src == src && e.tag == tag) {
+                let envelope = queue.remove(pos).expect("position found above");
+                return *envelope
+                    .payload
+                    .downcast::<T>()
+                    .unwrap_or_else(|_| panic!(
+                        "type mismatch receiving message from rank {src} tag {tag}"
+                    ));
+            }
+            mailbox.available.wait(&mut queue);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `value` to `dest` with a user `tag` (must be non-negative).
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: i32, value: T) {
+        assert!(tag >= 0, "negative tags are reserved for collectives");
+        self.intercepted(MpiCall::Send, || self.send_raw(dest, tag, value));
+    }
+
+    /// Receives a message of type `T` from `src` with the given `tag`,
+    /// blocking until it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matching message has a different payload type.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: i32) -> T {
+        assert!(tag >= 0, "negative tags are reserved for collectives");
+        self.intercepted(MpiCall::Recv, || self.recv_raw(src, tag))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        self.intercepted(MpiCall::Barrier, || {
+            self.collect_release(|| (), |_| ());
+        });
+    }
+
+    /// Broadcast from `root`: the root passes `Some(value)`, every rank
+    /// (including the root) returns the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root passes `None`.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        self.intercepted(MpiCall::Bcast, || {
+            if self.rank == root {
+                let value = value.expect("the broadcast root must provide a value");
+                for dest in 0..self.shared.size {
+                    if dest != root {
+                        self.send_raw(dest, TAG_RELEASE, value.clone());
+                    }
+                }
+                value
+            } else {
+                self.recv_raw::<T>(root, TAG_RELEASE)
+            }
+        })
+    }
+
+    /// Gather to `root`: returns `Some(values)` (indexed by rank) on the root
+    /// and `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        self.intercepted(MpiCall::Gather, || {
+            if self.rank == root {
+                let mut slots: Vec<Option<T>> = (0..self.shared.size).map(|_| None).collect();
+                slots[root] = Some(value);
+                for src in 0..self.shared.size {
+                    if src != root {
+                        slots[src] = Some(self.recv_raw::<T>(src, TAG_COLLECT));
+                    }
+                }
+                Some(slots.into_iter().map(|v| v.expect("all ranks gathered")).collect())
+            } else {
+                self.send_raw(root, TAG_COLLECT, value);
+                None
+            }
+        })
+    }
+
+    /// All-reduce with an arbitrary associative operation: every rank returns
+    /// the reduction of every rank's `value`.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.intercepted(MpiCall::Allreduce, || {
+            self.collect_release(
+                || value.clone(),
+                |values| {
+                    let mut iter = values.into_iter();
+                    let first = iter.next().expect("world has at least one rank");
+                    iter.fold(first, &op)
+                },
+            )
+        })
+    }
+
+    /// All-reduce summation of `f64` contributions.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// All-reduce maximum of `f64` contributions.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.allreduce(value, f64::max)
+    }
+
+    /// Reduce to `root` (summation): `Some(total)` on root, `None` elsewhere.
+    pub fn reduce_sum(&self, root: usize, value: f64) -> Option<f64> {
+        self.intercepted(MpiCall::Allreduce, || {
+            if self.rank == root {
+                let mut total = value;
+                for src in 0..self.shared.size {
+                    if src != root {
+                        total += self.recv_raw::<f64>(src, TAG_COLLECT);
+                    }
+                }
+                Some(total)
+            } else {
+                self.send_raw(root, TAG_COLLECT, value);
+                None
+            }
+        })
+    }
+
+    /// Generic collect-to-zero + release pattern used by barrier and
+    /// allreduce: every rank contributes `contribution()`, rank 0 combines the
+    /// ordered contributions with `combine` and the result is released to all.
+    fn collect_release<T, C, F>(&self, contribution: C, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        C: FnOnce() -> T,
+        F: FnOnce(Vec<T>) -> T,
+    {
+        if self.rank == 0 {
+            let mut values: Vec<T> = Vec::with_capacity(self.shared.size);
+            values.push(contribution());
+            for src in 1..self.shared.size {
+                values.push(self.recv_raw::<T>(src, TAG_COLLECT));
+            }
+            let result = combine(values);
+            for dest in 1..self.shared.size {
+                self.send_raw(dest, TAG_RELEASE, result.clone());
+            }
+            result
+        } else {
+            self.send_raw(0, TAG_COLLECT, contribution());
+            self.recv_raw::<T>(0, TAG_RELEASE)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmpi::PmpiRecorder;
+    use crate::world::MpiWorld;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = MpiWorld::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                let data: Vec<f64> = comm.recv(0, 7);
+                data.iter().sum()
+            }
+        });
+        assert_eq!(results, vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn messages_match_on_tag() {
+        let results = MpiWorld::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1; the receiver asks for tag 1 first.
+                comm.send(1, 2, 20u64);
+                comm.send(1, 1, 10u64);
+                0
+            } else {
+                let first: u64 = comm.recv(0, 1);
+                let second: u64 = comm.recv(0, 2);
+                assert_eq!((first, second), (10, 20));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_and_collectives() {
+        let results = MpiWorld::new(4).run(|comm| {
+            comm.barrier();
+            let b = comm.bcast(2, if comm.rank() == 2 { Some(41u32) } else { None });
+            assert_eq!(b, 41);
+            let gathered = comm.gather(0, comm.rank() as u32);
+            if comm.rank() == 0 {
+                assert_eq!(gathered.unwrap(), vec![0, 1, 2, 3]);
+            } else {
+                assert!(gathered.is_none());
+            }
+            let total = comm.allreduce_sum(1.0);
+            assert_eq!(total, 4.0);
+            let max = comm.allreduce_max(comm.rank() as f64);
+            assert_eq!(max, 3.0);
+            let reduced = comm.reduce_sum(1, comm.rank() as f64);
+            if comm.rank() == 1 {
+                assert_eq!(reduced, Some(6.0));
+            }
+            comm.allreduce(comm.rank(), usize::max)
+        });
+        assert_eq!(results, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn hooks_fire_once_per_call() {
+        let recorders: Vec<_> = MpiWorld::new(2).run(|comm| {
+            let recorder = PmpiRecorder::new();
+            comm.add_hook(recorder.clone());
+            comm.barrier();
+            comm.barrier();
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u8);
+            } else {
+                let _: u8 = comm.recv(0, 0);
+            }
+            comm.clear_hooks();
+            comm.barrier(); // not recorded
+            recorder
+        });
+        assert_eq!(recorders[0].count(MpiCall::Barrier), 2);
+        assert_eq!(recorders[1].count(MpiCall::Barrier), 2);
+        assert_eq!(recorders[0].count(MpiCall::Send), 1);
+        assert_eq!(recorders[1].count(MpiCall::Recv), 1);
+        assert_eq!(recorders[0].count(MpiCall::Recv), 0);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let results = MpiWorld::new(1).run(|comm| {
+            comm.barrier();
+            assert_eq!(comm.size(), 1);
+            assert_eq!(comm.bcast(0, Some(5u8)), 5);
+            assert_eq!(comm.gather(0, 9u8), Some(vec![9]));
+            comm.allreduce_sum(2.5)
+        });
+        assert_eq!(results, vec![2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn recv_wrong_type_panics() {
+        MpiWorld::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u8);
+            } else {
+                let _: u64 = comm.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn negative_user_tags_rejected() {
+        MpiWorld::new(1).run(|comm| comm.send(0, -5, 1u8));
+    }
+}

@@ -1,0 +1,163 @@
+//! The DROM ↔ MPI integration: a PMPI hook that polls DROM around MPI calls.
+//!
+//! "For DROM purposes, MPI interception is only used to poll DLB and check if
+//! there are some pending actions to be taken" (Section 4.3). The hook
+//! therefore does two things, both optional and both per process:
+//!
+//! * invoke a *poller* before and after every intercepted call — typically
+//!   `DromOmptTool::poll_and_apply` when the process also runs the
+//!   OpenMP-like runtime, or `DromProcess::poll_drom` for a plain MPI process;
+//! * drive LeWI around blocking calls: lend CPUs on entry, reclaim on exit,
+//!   which is the original purpose DLB's MPI interception was built for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use drom_core::{DromProcess, Lewi};
+
+use crate::pmpi::{MpiCall, PmpiHook};
+
+/// PMPI hook implementing the DROM (and optionally LeWI) behaviour.
+pub struct DromPmpiHook {
+    poller: Box<dyn Fn() + Send + Sync>,
+    lewi: Option<Arc<Lewi>>,
+    polls: AtomicU64,
+}
+
+impl DromPmpiHook {
+    /// Creates a hook that invokes `poller` before and after every MPI call.
+    ///
+    /// The poller is whatever applies pending DROM actions for this process —
+    /// usually a clone of the OMPT tool's `poll_and_apply`.
+    pub fn new<F>(poller: F) -> Arc<Self>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        Arc::new(DromPmpiHook {
+            poller: Box::new(poller),
+            lewi: None,
+            polls: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a hook for a plain MPI process (no shared-memory runtime): the
+    /// poller simply consumes pending masks so the process's view stays
+    /// current.
+    pub fn for_process(process: Arc<DromProcess>) -> Arc<Self> {
+        Self::new(move || {
+            let _ = process.poll_drom();
+        })
+    }
+
+    /// Adds LeWI behaviour: CPUs are lent on entry to blocking calls and
+    /// reclaimed on exit.
+    pub fn with_lewi(self: Arc<Self>, lewi: Arc<Lewi>) -> Arc<Self> {
+        // Arc::try_unwrap would fail if the hook is already shared; build a new
+        // value instead, reusing the poll counter.
+        Arc::new(DromPmpiHook {
+            poller: Box::new({
+                let inner = Arc::clone(&self);
+                move || (inner.poller)()
+            }),
+            lewi: Some(lewi),
+            polls: AtomicU64::new(self.polls.load(Ordering::Relaxed)),
+        })
+    }
+
+    /// Number of polls performed through this hook.
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+}
+
+impl PmpiHook for DromPmpiHook {
+    fn before(&self, _rank: usize, call: MpiCall) {
+        if call.is_blocking() {
+            if let Some(lewi) = &self.lewi {
+                let _ = lewi.enter_blocking(1);
+            }
+        }
+        (self.poller)();
+        self.polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn after(&self, _rank: usize, call: MpiCall) {
+        if call.is_blocking() {
+            if let Some(lewi) = &self.lewi {
+                let _ = lewi.exit_blocking();
+            }
+        }
+        (self.poller)();
+        self.polls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::MpiWorld;
+    use drom_core::{DromAdmin, DromFlags};
+    use drom_cpuset::CpuSet;
+    use drom_shmem::{NodeShmem, ShmemManager};
+
+    #[test]
+    fn polls_happen_around_every_call() {
+        let shmem = Arc::new(NodeShmem::new("node0", 16));
+        let shmem_for_ranks = Arc::clone(&shmem);
+        let hooks = MpiWorld::new(2).run(move |comm| {
+            let pid = 100 + comm.rank() as u32;
+            let mask = CpuSet::from_range(comm.rank() * 8..(comm.rank() + 1) * 8).unwrap();
+            let process =
+                Arc::new(DromProcess::init(pid, mask, Arc::clone(&shmem_for_ranks)).unwrap());
+            let hook = DromPmpiHook::for_process(Arc::clone(&process));
+            comm.add_hook(hook.clone());
+            comm.barrier();
+            comm.barrier();
+            (hook, process)
+        });
+        for (hook, _process) in &hooks {
+            // before+after for two barriers = 4 polls.
+            assert_eq!(hook.polls(), 4);
+        }
+    }
+
+    #[test]
+    fn pending_mask_is_consumed_at_an_mpi_call() {
+        let manager = ShmemManager::new();
+        let shmem = manager.get_or_create("node0", 16);
+        let running =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap());
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(0..4).unwrap(), DromFlags::default())
+            .unwrap();
+
+        // A single-rank world whose hook polls on behalf of `running`.
+        MpiWorld::new(1).run(|comm| {
+            comm.add_hook(DromPmpiHook::for_process(Arc::clone(&running)));
+            comm.barrier();
+        });
+        assert_eq!(running.num_cpus(), 4, "the MPI interception applied the new mask");
+    }
+
+    #[test]
+    fn lewi_lends_and_reclaims_around_blocking_calls() {
+        let shmem = Arc::new(NodeShmem::new("node0", 16));
+        let a = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
+        let lewi = Arc::new(Lewi::new(Arc::clone(&a)));
+        let hook = DromPmpiHook::for_process(Arc::clone(&a)).with_lewi(Arc::clone(&lewi));
+
+        MpiWorld::new(1).run(|comm| {
+            comm.add_hook(hook.clone());
+            comm.barrier();
+        });
+        // After the barrier the CPUs are back and LeWI recorded one cycle.
+        assert_eq!(a.num_cpus(), 8);
+        let stats = lewi.stats();
+        assert_eq!(stats.lend_events, 1);
+        assert_eq!(stats.reclaim_events, 1);
+        assert_eq!(stats.cpus_lent, 7);
+    }
+}

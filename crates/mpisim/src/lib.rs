@@ -1,0 +1,45 @@
+//! An MPI-like message-passing layer with PMPI-style interception.
+//!
+//! The paper integrates DROM with MPI only as an *interception* mechanism:
+//! "DLB supports MPI interception and acts as an application profiler but it
+//! does not implement malleability at process level, i.e., MPI processes are
+//! never decreased or increased, nor any program data is ever moved between
+//! processes. For DROM purposes, MPI interception is only used to poll DLB and
+//! check if there are some pending actions" (Section 4.3).
+//!
+//! This crate provides the substrate needed to reproduce that behaviour
+//! without an MPI installation:
+//!
+//! * [`MpiWorld`] runs a fixed number of ranks, each on its own OS thread,
+//!   exchanging typed messages through per-rank mailboxes;
+//! * [`MpiComm`] offers the point-to-point and collective operations the
+//!   evaluation applications need (`send`/`recv`, `barrier`, `bcast`,
+//!   `gather`, `allreduce`);
+//! * every operation runs the registered [`PmpiHook`]s before and after the
+//!   call — the PMPI profiling interface — which is where the DROM polling
+//!   ([`DromPmpiHook`]) and the LeWI lend/reclaim around blocking calls live.
+//!
+//! The number of ranks is fixed for the lifetime of a world: process-level
+//! malleability is intentionally *not* provided, mirroring the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use drom_mpisim::MpiWorld;
+//!
+//! let sums = MpiWorld::new(4).run(|comm| {
+//!     // Every rank contributes its rank id; all ranks see the total.
+//!     comm.allreduce_sum(comm.rank() as f64)
+//! });
+//! assert_eq!(sums, vec![6.0, 6.0, 6.0, 6.0]);
+//! ```
+
+pub mod comm;
+pub mod drom_hook;
+pub mod pmpi;
+pub mod world;
+
+pub use comm::MpiComm;
+pub use drom_hook::DromPmpiHook;
+pub use pmpi::{MpiCall, PmpiHook, PmpiRecorder};
+pub use world::MpiWorld;

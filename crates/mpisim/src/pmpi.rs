@@ -1,0 +1,118 @@
+//! The PMPI-style interception layer.
+//!
+//! PMPI lets a profiler wrap every MPI call and "run custom code before and
+//! after the real MPI call". DLB uses those wrappers as extra malleability
+//! points. [`PmpiHook`] is the trait a profiler implements; hooks are installed
+//! per rank (per process, exactly like a preloaded PMPI library) through
+//! [`MpiComm::add_hook`](crate::comm::MpiComm::add_hook).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// The MPI operations the interception layer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiCall {
+    /// `MPI_Init` (the rank entered the world).
+    Init,
+    /// `MPI_Finalize` (the rank is about to leave the world).
+    Finalize,
+    /// `MPI_Send` and friends.
+    Send,
+    /// `MPI_Recv` and friends.
+    Recv,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Gather`.
+    Gather,
+    /// `MPI_Allreduce` / `MPI_Reduce`.
+    Allreduce,
+}
+
+impl MpiCall {
+    /// `true` for operations that may block waiting for other ranks — the
+    /// calls around which LeWI lends and reclaims CPUs.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Recv | MpiCall::Barrier | MpiCall::Bcast | MpiCall::Gather | MpiCall::Allreduce
+        )
+    }
+}
+
+/// A PMPI interceptor: invoked on the calling rank's thread before and after
+/// every MPI operation.
+pub trait PmpiHook: Send + Sync {
+    /// Runs before the MPI call executes.
+    fn before(&self, rank: usize, call: MpiCall);
+    /// Runs after the MPI call completed.
+    fn after(&self, rank: usize, call: MpiCall);
+}
+
+/// A hook that records every interception, for tests and overhead benchmarks.
+#[derive(Default)]
+pub struct PmpiRecorder {
+    events: Mutex<Vec<(usize, MpiCall, bool)>>,
+}
+
+impl PmpiRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Recorded events as `(rank, call, is_before)` triples, in order.
+    pub fn events(&self) -> Vec<(usize, MpiCall, bool)> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded `before` events for a given call type.
+    pub fn count(&self, call: MpiCall) -> usize {
+        self.events
+            .lock()
+            .iter()
+            .filter(|(_, c, before)| *c == call && *before)
+            .count()
+    }
+}
+
+impl PmpiHook for PmpiRecorder {
+    fn before(&self, rank: usize, call: MpiCall) {
+        self.events.lock().push((rank, call, true));
+    }
+
+    fn after(&self, rank: usize, call: MpiCall) {
+        self.events.lock().push((rank, call, false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(MpiCall::Barrier.is_blocking());
+        assert!(MpiCall::Recv.is_blocking());
+        assert!(MpiCall::Allreduce.is_blocking());
+        assert!(!MpiCall::Send.is_blocking());
+        assert!(!MpiCall::Init.is_blocking());
+        assert!(!MpiCall::Finalize.is_blocking());
+    }
+
+    #[test]
+    fn recorder_counts_before_events() {
+        let rec = PmpiRecorder::new();
+        rec.before(0, MpiCall::Barrier);
+        rec.after(0, MpiCall::Barrier);
+        rec.before(1, MpiCall::Barrier);
+        rec.after(1, MpiCall::Barrier);
+        rec.before(0, MpiCall::Send);
+        assert_eq!(rec.count(MpiCall::Barrier), 2);
+        assert_eq!(rec.count(MpiCall::Send), 1);
+        assert_eq!(rec.count(MpiCall::Recv), 0);
+        assert_eq!(rec.events().len(), 5);
+    }
+}

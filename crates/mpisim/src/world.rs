@@ -1,0 +1,174 @@
+//! The MPI world: spawning ranks and mapping them to nodes.
+
+use std::sync::Arc;
+
+use crate::comm::{MpiComm, WorldShared};
+
+/// Describes a fixed-size MPI world and runs rank bodies on it.
+///
+/// The number of ranks is immutable, mirroring the paper's explicit choice not
+/// to implement process-level malleability.
+#[derive(Debug, Clone)]
+pub struct MpiWorld {
+    size: usize,
+    rank_nodes: Vec<String>,
+}
+
+impl MpiWorld {
+    /// Creates a world of `size` ranks, all mapped to `"node0"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "an MPI world needs at least one rank");
+        MpiWorld {
+            size,
+            rank_nodes: vec!["node0".to_string(); size],
+        }
+    }
+
+    /// Maps ranks to nodes round-robin over `nodes` — the usual block/cyclic
+    /// `srun` distribution is not needed by the evaluation, which always
+    /// distributes ranks evenly across its two nodes.
+    ///
+    /// With 4 ranks and nodes `["node0", "node1"]`, ranks 0 and 1 land on
+    /// `node0`, ranks 2 and 3 on `node1` (block distribution).
+    pub fn with_nodes(mut self, nodes: &[&str]) -> Self {
+        assert!(!nodes.is_empty(), "node list must not be empty");
+        let per_node = self.size.div_ceil(nodes.len());
+        self.rank_nodes = (0..self.size)
+            .map(|rank| nodes[(rank / per_node).min(nodes.len() - 1)].to_string())
+            .collect();
+        self
+    }
+
+    /// Explicit per-rank node mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping length differs from the world size.
+    pub fn with_rank_nodes(mut self, mapping: Vec<String>) -> Self {
+        assert_eq!(mapping.len(), self.size, "one node name per rank required");
+        self.rank_nodes = mapping;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The node each rank is mapped to.
+    pub fn rank_nodes(&self) -> &[String] {
+        &self.rank_nodes
+    }
+
+    /// Runs `body` once per rank, each on its own OS thread, and returns the
+    /// per-rank results indexed by rank.
+    ///
+    /// The closure may borrow from the caller's stack (the world uses scoped
+    /// threads). A panic in any rank is propagated to the caller with its
+    /// original payload.
+    pub fn run<T, F>(&self, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&MpiComm) -> T + Send + Sync,
+    {
+        let shared = WorldShared::new(self.size);
+        let body = &body;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for rank in 0..self.size {
+                let shared = Arc::clone(&shared);
+                let node = self.rank_nodes[rank].clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("mpi-rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            let comm = MpiComm::new(rank, node, shared);
+                            body(&comm)
+                        })
+                        .expect("spawning an MPI rank thread"),
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(value) => value,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids_and_sizes() {
+        let world = MpiWorld::new(3);
+        assert_eq!(world.size(), 3);
+        let ranks = world.run(|comm| {
+            assert_eq!(comm.size(), 3);
+            comm.rank()
+        });
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn block_distribution_over_nodes() {
+        let world = MpiWorld::new(4).with_nodes(&["node0", "node1"]);
+        assert_eq!(
+            world.rank_nodes(),
+            &["node0", "node0", "node1", "node1"]
+        );
+        let nodes = world.run(|comm| comm.node().to_string());
+        assert_eq!(nodes, vec!["node0", "node0", "node1", "node1"]);
+    }
+
+    #[test]
+    fn uneven_distribution_assigns_every_rank() {
+        let world = MpiWorld::new(5).with_nodes(&["a", "b"]);
+        assert_eq!(world.rank_nodes(), &["a", "a", "a", "b", "b"]);
+    }
+
+    #[test]
+    fn explicit_mapping() {
+        let world =
+            MpiWorld::new(2).with_rank_nodes(vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(world.rank_nodes(), &["x", "y"]);
+    }
+
+    #[test]
+    fn run_can_borrow_caller_data() {
+        let data = vec![10u64, 20, 30, 40];
+        let world = MpiWorld::new(4);
+        let out = world.run(|comm| data[comm.rank()] * 2);
+        assert_eq!(out, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = MpiWorld::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node name per rank")]
+    fn wrong_mapping_length_panics() {
+        let _ = MpiWorld::new(3).with_rank_nodes(vec!["a".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank failure")]
+    fn rank_panics_propagate() {
+        MpiWorld::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                panic!("rank failure");
+            }
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! The DROM ↔ OpenMP integration: an OMPT tool that polls DROM at every
+//! parallel construct and adapts the team.
+//!
+//! This is the piece that makes applications malleable "in a completely
+//! transparent way to the user": the tool registers itself with the runtime
+//! (the analogue of DLB registering as an OMPT monitoring tool when the
+//! library is pre-loaded), and at every `parallel_begin` it checks the node
+//! shared memory for a pending mask. When one is found, the team size becomes
+//! the number of CPUs of the new mask and the binding follows it, so the very
+//! region that is about to start already runs on the resources the scheduler
+//! decided.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use drom_core::DromProcess;
+
+use crate::ompt::OmptTool;
+use crate::runtime::{OmpRuntime, TeamSettings};
+
+/// OMPT tool that applies DROM mask updates to an [`OmpRuntime`].
+pub struct DromOmptTool {
+    process: Arc<DromProcess>,
+    settings: Arc<TeamSettings>,
+    mask_changes: AtomicU64,
+    polls: AtomicU64,
+}
+
+impl DromOmptTool {
+    /// Creates the tool for a DROM process and a runtime's team settings.
+    pub fn new(process: Arc<DromProcess>, settings: Arc<TeamSettings>) -> Arc<Self> {
+        // Start from the mask the process currently owns.
+        settings.apply_mask(&process.current_mask());
+        Arc::new(DromOmptTool {
+            process,
+            settings,
+            mask_changes: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates the tool and registers it with `runtime` in one step — the
+    /// equivalent of pre-loading DLB under an OMPT-capable OpenMP runtime.
+    pub fn attach(runtime: &OmpRuntime, process: Arc<DromProcess>) -> Arc<Self> {
+        let tool = Self::new(process, Arc::clone(runtime.settings()));
+        runtime.register_tool(tool.clone());
+        tool
+    }
+
+    /// The DROM process this tool polls.
+    pub fn process(&self) -> &Arc<DromProcess> {
+        &self.process
+    }
+
+    /// Number of mask changes applied so far.
+    pub fn mask_changes(&self) -> u64 {
+        self.mask_changes.load(Ordering::Relaxed)
+    }
+
+    /// Number of DROM polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Polls DROM once and applies any pending mask (also usable outside the
+    /// OMPT callbacks, e.g. from an explicit `DLB_PollDROM` call site).
+    pub fn poll_and_apply(&self) -> bool {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        match self.process.poll_drom() {
+            Ok(Some(mask)) => {
+                self.settings.apply_mask(&mask);
+                self.mask_changes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl OmptTool for DromOmptTool {
+    fn parallel_begin(&self, _region_id: u64, _requested_team_size: usize) {
+        self.poll_and_apply();
+    }
+
+    fn implicit_task(&self, _region_id: u64, _thread_num: usize) {}
+
+    fn parallel_end(&self, _region_id: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_core::{DromAdmin, DromFlags};
+    use drom_cpuset::CpuSet;
+    use drom_shmem::NodeShmem;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn team_follows_drom_mask_changes() {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(16);
+        let tool = DromOmptTool::attach(&rt, Arc::clone(&process));
+        assert_eq!(rt.max_threads(), 16);
+
+        let team_sizes = Mutex::new(Vec::new());
+        let record = |ctx: &crate::runtime::ParallelContext| {
+            if ctx.thread_num == 0 {
+                team_sizes.lock().push(ctx.team_size);
+            }
+        };
+
+        // First region: full node.
+        rt.parallel(record);
+
+        // The resource manager shrinks the job to 4 CPUs.
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(0..4).unwrap(), DromFlags::default())
+            .unwrap();
+
+        // Second region: the OMPT hook polls DROM and the team shrinks.
+        rt.parallel(record);
+        // Third region: CPUs given back.
+        admin
+            .set_process_mask(1, &CpuSet::first_n(8), DromFlags::default())
+            .unwrap();
+        rt.parallel(record);
+
+        assert_eq!(team_sizes.into_inner(), vec![16, 4, 8]);
+        assert_eq!(tool.mask_changes(), 2);
+        assert!(tool.polls() >= 3);
+        assert_eq!(tool.process().num_cpus(), 8);
+    }
+
+    #[test]
+    fn binding_follows_the_new_mask() {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(8);
+        let _tool = DromOmptTool::attach(&rt, Arc::clone(&process));
+
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(4..8).unwrap(), DromFlags::default())
+            .unwrap();
+
+        let cpus = Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            cpus.lock().push(ctx.bound_cpu);
+        });
+        let mut observed = cpus.into_inner();
+        observed.sort_unstable();
+        assert_eq!(
+            observed,
+            vec![Some(4), Some(5), Some(6), Some(7)],
+            "threads are pinned to the CPUs of the new mask"
+        );
+    }
+
+    #[test]
+    fn poll_and_apply_without_updates_is_false() {
+        let shmem = Arc::new(NodeShmem::new("n", 4));
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let rt = OmpRuntime::new(4);
+        let tool = DromOmptTool::new(process, Arc::clone(rt.settings()));
+        assert!(!tool.poll_and_apply());
+        assert_eq!(tool.mask_changes(), 0);
+    }
+}

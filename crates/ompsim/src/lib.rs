@@ -1,0 +1,41 @@
+//! An OpenMP/OmpSs-like shared-memory runtime with OMPT-style tool callbacks.
+//!
+//! The paper integrates DROM with OpenMP through OMPT: "If the OpenMP runtime
+//! implements this interface, DLB can register itself as a monitoring tool when
+//! the library is loaded. Then, DLB can set callbacks that will be
+//! automatically invoked for each parallel construct and implicit task
+//! creation allowing to modify the number of resources accordingly"
+//! (Section 4.1). Rust has no OpenMP, so this crate provides the minimal
+//! runtime that honours the same contract:
+//!
+//! * a persistent worker pool executing fork-join *parallel regions*
+//!   ([`OmpRuntime::parallel`], [`OmpRuntime::parallel_for`]);
+//! * a mutable team size (`omp_set_num_threads` ↔
+//!   [`OmpRuntime::set_num_threads`]) that only takes effect at the **next**
+//!   parallel construct — exactly the malleability latency the paper accepts;
+//! * per-thread CPU binding derived from a [`CpuSet`](drom_cpuset::CpuSet);
+//! * an OMPT-style tool interface ([`OmptTool`]) with `parallel_begin`,
+//!   `implicit_task` and `parallel_end` callbacks;
+//! * the DROM tool ([`DromOmptTool`]) that polls DROM at every parallel
+//!   construct and adapts the team size and binding, making any application
+//!   running on this runtime malleable with no source changes.
+//!
+//! # Example
+//!
+//! ```
+//! use drom_ompsim::OmpRuntime;
+//!
+//! let rt = OmpRuntime::new(4);
+//! let sum: usize = rt.parallel_reduce_sum(0..100, |i| i);
+//! assert_eq!(sum, (0..100).sum());
+//! ```
+
+pub mod drom_tool;
+pub mod ompt;
+pub mod runtime;
+pub mod schedule;
+
+pub use drom_tool::DromOmptTool;
+pub use ompt::{OmptEvent, OmptRecorder, OmptTool};
+pub use runtime::{OmpRuntime, ParallelContext, TeamSettings};
+pub use schedule::Schedule;

@@ -1,0 +1,128 @@
+//! The OMPT-style tool interface.
+//!
+//! OMPT (OpenMP Tools, Technical Report 4 / OpenMP 5.0) lets an external tool
+//! register callbacks that the runtime invokes on parallel-region and implicit
+//! task events. DLB uses exactly three of them to implement DROM and LeWI
+//! without touching the application. [`OmptTool`] is that interface;
+//! [`OmptRecorder`] is a simple recording implementation used by tests and by
+//! the overhead benchmarks.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Events delivered to an OMPT tool, in the order the runtime produces them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmptEvent {
+    /// A parallel region is about to start with the given team size.
+    ParallelBegin {
+        /// Identifier of the region (monotonically increasing).
+        region_id: u64,
+        /// Number of threads the region will run with.
+        team_size: usize,
+    },
+    /// An implicit task (one team member) started executing.
+    ImplicitTask {
+        /// Region the task belongs to.
+        region_id: u64,
+        /// Team-local thread number.
+        thread_num: usize,
+    },
+    /// A parallel region finished.
+    ParallelEnd {
+        /// Identifier of the region.
+        region_id: u64,
+    },
+}
+
+/// An OMPT tool: the runtime invokes these callbacks around every parallel
+/// construct. Implementations must be thread-safe — `implicit_task` is called
+/// concurrently from every team member.
+pub trait OmptTool: Send + Sync {
+    /// Called on the master thread right before a team is formed. This is the
+    /// malleability point used by DROM: the tool may change the runtime's team
+    /// size and binding here and the *current* region already honours it.
+    fn parallel_begin(&self, region_id: u64, requested_team_size: usize);
+
+    /// Called by each team member when it starts its implicit task.
+    fn implicit_task(&self, region_id: u64, thread_num: usize);
+
+    /// Called on the master thread after the team joined.
+    fn parallel_end(&self, region_id: u64);
+}
+
+/// A tool that records every event it receives; useful in tests and to measure
+/// the pure callback overhead.
+#[derive(Default)]
+pub struct OmptRecorder {
+    events: Mutex<Vec<OmptEvent>>,
+}
+
+impl OmptRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// The recorded events so far (implicit-task events of the same region may
+    /// appear in any order relative to each other).
+    pub fn events(&self) -> Vec<OmptEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl OmptTool for OmptRecorder {
+    fn parallel_begin(&self, region_id: u64, requested_team_size: usize) {
+        self.events.lock().push(OmptEvent::ParallelBegin {
+            region_id,
+            team_size: requested_team_size,
+        });
+    }
+
+    fn implicit_task(&self, region_id: u64, thread_num: usize) {
+        self.events.lock().push(OmptEvent::ImplicitTask {
+            region_id,
+            thread_num,
+        });
+    }
+
+    fn parallel_end(&self, region_id: u64) {
+        self.events.lock().push(OmptEvent::ParallelEnd { region_id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_collects_events_in_order() {
+        let recorder = OmptRecorder::new();
+        recorder.parallel_begin(1, 4);
+        recorder.implicit_task(1, 0);
+        recorder.implicit_task(1, 1);
+        recorder.parallel_end(1);
+        let events = recorder.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            OmptEvent::ParallelBegin {
+                region_id: 1,
+                team_size: 4
+            }
+        );
+        assert_eq!(events[3], OmptEvent::ParallelEnd { region_id: 1 });
+        assert!(!recorder.is_empty());
+        assert_eq!(recorder.len(), 4);
+    }
+}

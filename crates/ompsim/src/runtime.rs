@@ -1,0 +1,580 @@
+//! The fork-join runtime: a persistent worker pool, parallel regions and
+//! work-sharing loops.
+//!
+//! The runtime mirrors the parts of an OpenMP implementation that matter for
+//! DROM:
+//!
+//! * the team size is read **when a parallel region starts**, so changes made
+//!   through [`TeamSettings`] (by the application, by an OMPT tool, or by the
+//!   DROM integration) take effect at the next `#pragma omp parallel`, exactly
+//!   like `omp_set_num_threads`;
+//! * every team member is (logically) bound to one CPU of the current binding
+//!   mask, reproducing DLB's "each active thread will be pinned to a specific
+//!   CPU to avoid any oversubscription";
+//! * an OMPT tool registered with [`OmpRuntime::register_tool`] receives
+//!   `parallel_begin`, `implicit_task` and `parallel_end` callbacks.
+//!
+//! Nested parallelism is not supported: a `parallel` call made from inside a
+//! region runs its body sequentially on the calling thread (the OpenMP default
+//! of `OMP_NESTED=false`).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use drom_cpuset::CpuSet;
+
+use crate::ompt::OmptTool;
+use crate::schedule::Schedule;
+
+thread_local! {
+    /// Set while the current thread executes inside a parallel region, so
+    /// nested `parallel` calls degrade to sequential execution.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mutable team configuration shared between the runtime, the application and
+/// any registered tool (this is what the DROM integration adjusts).
+pub struct TeamSettings {
+    pool_size: usize,
+    max_threads: AtomicUsize,
+    binding: Mutex<CpuSet>,
+}
+
+impl TeamSettings {
+    fn new(pool_size: usize) -> Self {
+        TeamSettings {
+            pool_size,
+            max_threads: AtomicUsize::new(pool_size),
+            binding: Mutex::new(CpuSet::first_n(pool_size)),
+        }
+    }
+
+    /// Number of worker threads the pool was created with (the hard ceiling).
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Sets the team size used by the *next* parallel region
+    /// (`omp_set_num_threads`). Values are clamped to `1..=pool_size`.
+    pub fn set_num_threads(&self, n: usize) {
+        let clamped = n.clamp(1, self.pool_size);
+        self.max_threads.store(clamped, Ordering::Release);
+    }
+
+    /// The team size the next parallel region will use (`omp_get_max_threads`).
+    pub fn max_threads(&self) -> usize {
+        self.max_threads.load(Ordering::Acquire)
+    }
+
+    /// Sets the CPU binding mask without changing the team size.
+    pub fn set_binding(&self, mask: &CpuSet) {
+        *self.binding.lock() = mask.clone();
+    }
+
+    /// The current binding mask.
+    pub fn binding(&self) -> CpuSet {
+        self.binding.lock().clone()
+    }
+
+    /// Applies a DROM mask update: the team size becomes the number of CPUs in
+    /// the mask and the binding follows the mask. This is the action the paper
+    /// describes as "a call to `omp_set_num_threads` and, optionally, a rebind
+    /// of threads".
+    pub fn apply_mask(&self, mask: &CpuSet) {
+        self.set_binding(mask);
+        self.set_num_threads(mask.count().max(1));
+    }
+}
+
+/// Per-thread view of the team inside a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelContext {
+    /// Team-local thread number (`omp_get_thread_num`).
+    pub thread_num: usize,
+    /// Team size of this region (`omp_get_num_threads`).
+    pub team_size: usize,
+    /// Identifier of the region (monotonically increasing).
+    pub region_id: u64,
+    /// CPU this team member is bound to, if the binding mask has enough CPUs.
+    pub bound_cpu: Option<usize>,
+}
+
+/// A region handed to the worker pool. The closure reference is lifetime-erased
+/// to `'static`; soundness is guaranteed because `OmpRuntime::parallel` does
+/// not return before every team member finished executing it.
+struct RegionJob {
+    func: &'static (dyn Fn(&ParallelContext) + Sync),
+    team_size: usize,
+    region_id: u64,
+    binding: Vec<Option<usize>>,
+    tool: Option<Arc<dyn OmptTool>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl RegionJob {
+    fn run_member(&self, thread_num: usize) {
+        let ctx = ParallelContext {
+            thread_num,
+            team_size: self.team_size,
+            region_id: self.region_id,
+            bound_cpu: self.binding.get(thread_num).copied().flatten(),
+        };
+        if let Some(tool) = &self.tool {
+            tool.implicit_task(self.region_id, thread_num);
+        }
+        IN_PARALLEL.with(|flag| flag.set(true));
+        (self.func)(&ctx);
+        IN_PARALLEL.with(|flag| flag.set(false));
+    }
+
+    fn finish_member(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_workers(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+enum WorkerMsg {
+    Run {
+        job: Arc<RegionJob>,
+        thread_num: usize,
+    },
+    Shutdown,
+}
+
+struct Worker {
+    tx: Sender<WorkerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The OpenMP-like runtime: a worker pool plus team settings.
+pub struct OmpRuntime {
+    settings: Arc<TeamSettings>,
+    workers: Vec<Worker>,
+    tool: Mutex<Option<Arc<dyn OmptTool>>>,
+    next_region: AtomicU64,
+    regions_executed: AtomicU64,
+}
+
+impl OmpRuntime {
+    /// Creates a runtime with a pool of `pool_size` worker threads (the master
+    /// thread participates in every team as thread 0, so the pool only needs
+    /// `pool_size - 1` spawned workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0`.
+    pub fn new(pool_size: usize) -> Self {
+        assert!(pool_size > 0, "the team needs at least one thread");
+        let workers = (1..pool_size)
+            .map(|i| {
+                let (tx, rx) = unbounded::<WorkerMsg>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("omp-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                WorkerMsg::Run { job, thread_num } => {
+                                    job.run_member(thread_num);
+                                    job.finish_member();
+                                }
+                                WorkerMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawning an OpenMP-like worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        OmpRuntime {
+            settings: Arc::new(TeamSettings::new(pool_size)),
+            workers,
+            tool: Mutex::new(None),
+            next_region: AtomicU64::new(1),
+            regions_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared team settings (used by tools, the DROM integration and the
+    /// application itself).
+    pub fn settings(&self) -> &Arc<TeamSettings> {
+        &self.settings
+    }
+
+    /// Shorthand for [`TeamSettings::set_num_threads`].
+    pub fn set_num_threads(&self, n: usize) {
+        self.settings.set_num_threads(n);
+    }
+
+    /// Shorthand for [`TeamSettings::max_threads`].
+    pub fn max_threads(&self) -> usize {
+        self.settings.max_threads()
+    }
+
+    /// Registers (or replaces) the OMPT tool.
+    pub fn register_tool(&self, tool: Arc<dyn OmptTool>) {
+        *self.tool.lock() = Some(tool);
+    }
+
+    /// Removes the registered OMPT tool, if any.
+    pub fn unregister_tool(&self) {
+        *self.tool.lock() = None;
+    }
+
+    /// Number of parallel regions executed so far.
+    pub fn regions_executed(&self) -> u64 {
+        self.regions_executed.load(Ordering::Relaxed)
+    }
+
+    /// Executes `f` once per team member, fork-join style
+    /// (`#pragma omp parallel`).
+    ///
+    /// The team size is the current `max_threads` value; the registered OMPT
+    /// tool's `parallel_begin` runs first and may still change it (that is the
+    /// DROM malleability point). Nested calls run sequentially.
+    pub fn parallel<F>(&self, f: F)
+    where
+        F: Fn(&ParallelContext) + Sync,
+    {
+        let region_id = self.next_region.fetch_add(1, Ordering::Relaxed);
+        self.regions_executed.fetch_add(1, Ordering::Relaxed);
+
+        // Nested region: run sequentially on the calling thread.
+        if IN_PARALLEL.with(|flag| flag.get()) {
+            let ctx = ParallelContext {
+                thread_num: 0,
+                team_size: 1,
+                region_id,
+                bound_cpu: None,
+            };
+            f(&ctx);
+            return;
+        }
+
+        let tool = self.tool.lock().clone();
+        if let Some(tool) = &tool {
+            tool.parallel_begin(region_id, self.settings.max_threads());
+        }
+        // Read the team configuration *after* the tool ran: a DROM update
+        // applied in parallel_begin is honoured by this very region.
+        let team_size = self.settings.max_threads().min(self.settings.pool_size);
+        let binding_mask = self.settings.binding();
+        let binding: Vec<Option<usize>> = (0..team_size)
+            .map(|i| binding_mask.nth(i))
+            .collect();
+
+        // SAFETY: the reference to `f` is erased to 'static so it can travel to
+        // the worker threads, but `parallel` blocks until every team member has
+        // finished running it (wait_workers below), so the reference never
+        // outlives the closure.
+        let func: &(dyn Fn(&ParallelContext) + Sync) = &f;
+        let func: &'static (dyn Fn(&ParallelContext) + Sync) =
+            unsafe { std::mem::transmute(func) };
+
+        let job = Arc::new(RegionJob {
+            func,
+            team_size,
+            region_id,
+            binding,
+            tool: tool.clone(),
+            remaining: Mutex::new(team_size.saturating_sub(1)),
+            done: Condvar::new(),
+        });
+
+        for thread_num in 1..team_size {
+            self.workers[thread_num - 1]
+                .tx
+                .send(WorkerMsg::Run {
+                    job: Arc::clone(&job),
+                    thread_num,
+                })
+                .expect("worker thread alive");
+        }
+        // The master is team member 0.
+        job.run_member(0);
+        job.wait_workers();
+
+        if let Some(tool) = &tool {
+            tool.parallel_end(region_id);
+        }
+    }
+
+    /// Work-sharing loop over `range` (`#pragma omp parallel for`).
+    ///
+    /// `body` is called once per iteration index, from whichever team member
+    /// the schedule assigns it to.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, schedule: Schedule, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let total = range.end.saturating_sub(range.start);
+        let start = range.start;
+        match schedule {
+            Schedule::Static => {
+                self.parallel(|ctx| {
+                    let (lo, hi) = Schedule::static_block(total, ctx.team_size, ctx.thread_num);
+                    for i in lo..hi {
+                        body(start + i);
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let cursor = AtomicUsize::new(0);
+                self.parallel(|_ctx| loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= total {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(total);
+                    for i in lo..hi {
+                        body(start + i);
+                    }
+                });
+            }
+            Schedule::Guided => {
+                let cursor = AtomicUsize::new(0);
+                self.parallel(|ctx| loop {
+                    let lo = cursor.load(Ordering::Relaxed);
+                    if lo >= total {
+                        break;
+                    }
+                    let chunk = Schedule::guided_chunk(total - lo, ctx.team_size);
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= total {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(total);
+                    for i in lo..hi {
+                        body(start + i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Convenience parallel map-reduce: applies `map` to every index of `range`
+    /// and sums the results (static schedule).
+    pub fn parallel_reduce_sum<T, F>(&self, range: std::ops::Range<usize>, map: F) -> T
+    where
+        T: Send + std::iter::Sum<T>,
+        F: Fn(usize) -> T + Sync,
+    {
+        let total = range.end.saturating_sub(range.start);
+        let start = range.start;
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        self.parallel(|ctx| {
+            let (lo, hi) = Schedule::static_block(total, ctx.team_size, ctx.thread_num);
+            let partial: T = (lo..hi).map(|i| map(start + i)).sum();
+            partials.lock().push(partial);
+        });
+        partials.into_inner().into_iter().sum()
+    }
+}
+
+impl Drop for OmpRuntime {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ompt::{OmptEvent, OmptRecorder};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallel_runs_every_team_member_once() {
+        let rt = OmpRuntime::new(4);
+        let counter = AtomicUsize::new(0);
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            seen.lock().push(ctx.thread_num);
+            assert_eq!(ctx.team_size, 4);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        let mut threads = seen.into_inner();
+        threads.sort_unstable();
+        assert_eq!(threads, vec![0, 1, 2, 3]);
+        assert_eq!(rt.regions_executed(), 1);
+    }
+
+    #[test]
+    fn set_num_threads_takes_effect_at_next_region() {
+        let rt = OmpRuntime::new(8);
+        let observed = Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            if ctx.thread_num == 0 {
+                observed.lock().push(ctx.team_size);
+            }
+        });
+        rt.set_num_threads(3);
+        rt.parallel(|ctx| {
+            if ctx.thread_num == 0 {
+                observed.lock().push(ctx.team_size);
+            }
+        });
+        assert_eq!(observed.into_inner(), vec![8, 3]);
+    }
+
+    #[test]
+    fn set_num_threads_is_clamped() {
+        let rt = OmpRuntime::new(4);
+        rt.set_num_threads(0);
+        assert_eq!(rt.max_threads(), 1);
+        rt.set_num_threads(100);
+        assert_eq!(rt.max_threads(), 4);
+    }
+
+    #[test]
+    fn parallel_can_borrow_stack_data() {
+        let rt = OmpRuntime::new(4);
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = Mutex::new(0u64);
+        rt.parallel(|ctx| {
+            let (lo, hi) = Schedule::static_block(data.len(), ctx.team_size, ctx.thread_num);
+            let local: u64 = data[lo..hi].iter().sum();
+            *sum.lock() += local;
+        });
+        assert_eq!(sum.into_inner(), (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_for_static_and_dynamic_cover_range() {
+        let rt = OmpRuntime::new(4);
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Dynamic { chunk: 0 },
+            Schedule::Guided,
+        ] {
+            let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+            rt.parallel_for(0..200, schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} schedule {schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_sum_matches_serial() {
+        let rt = OmpRuntime::new(3);
+        let parallel: u64 = rt.parallel_reduce_sum(0..10_000, |i| i as u64);
+        assert_eq!(parallel, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let rt = OmpRuntime::new(1);
+        let counter = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            assert_eq!(ctx.team_size, 1);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_parallel_runs_sequentially() {
+        let rt = OmpRuntime::new(4);
+        let inner_sizes = Mutex::new(Vec::new());
+        rt.parallel(|_outer| {
+            rt.parallel(|inner| {
+                inner_sizes.lock().push(inner.team_size);
+            });
+        });
+        let sizes = inner_sizes.into_inner();
+        assert_eq!(sizes.len(), 4, "each outer member ran the inner region");
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn binding_follows_mask() {
+        let rt = OmpRuntime::new(4);
+        rt.settings()
+            .apply_mask(&CpuSet::from_cpus([2, 5, 9]).unwrap());
+        assert_eq!(rt.max_threads(), 3);
+        let bindings = Mutex::new(Vec::new());
+        rt.parallel(|ctx| {
+            bindings.lock().push((ctx.thread_num, ctx.bound_cpu));
+        });
+        let mut b = bindings.into_inner();
+        b.sort_unstable();
+        assert_eq!(
+            b,
+            vec![(0, Some(2)), (1, Some(5)), (2, Some(9))]
+        );
+    }
+
+    #[test]
+    fn ompt_tool_receives_events_and_can_resize() {
+        let rt = OmpRuntime::new(8);
+        let recorder = OmptRecorder::new();
+        rt.register_tool(recorder.clone());
+        rt.parallel(|_| {});
+        let events = recorder.events();
+        assert!(matches!(
+            events[0],
+            OmptEvent::ParallelBegin { team_size: 8, .. }
+        ));
+        assert!(matches!(events.last().unwrap(), OmptEvent::ParallelEnd { .. }));
+        let implicit = events
+            .iter()
+            .filter(|e| matches!(e, OmptEvent::ImplicitTask { .. }))
+            .count();
+        assert_eq!(implicit, 8);
+
+        // A tool that resizes the team in parallel_begin affects that region.
+        struct Shrinker(Arc<TeamSettings>);
+        impl OmptTool for Shrinker {
+            fn parallel_begin(&self, _id: u64, _size: usize) {
+                self.0.set_num_threads(2);
+            }
+            fn implicit_task(&self, _id: u64, _thread: usize) {}
+            fn parallel_end(&self, _id: u64) {}
+        }
+        rt.register_tool(Arc::new(Shrinker(Arc::clone(rt.settings()))));
+        let count = AtomicUsize::new(0);
+        rt.parallel(|ctx| {
+            assert_eq!(ctx.team_size, 2);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        rt.unregister_tool();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_pool_panics() {
+        let _ = OmpRuntime::new(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Loop scheduling policies for `parallel_for`.
+//!
+//! OpenMP's `schedule(static|dynamic|guided)` clauses decide how loop
+//! iterations map onto team members. The NEST-like application uses the static
+//! schedule to reproduce the paper's imbalance effect (a removed thread's
+//! iterations fall onto a subset of the survivors); the synthetic benchmarks
+//! use dynamic scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// How the iterations of a `parallel_for` are distributed over the team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Contiguous blocks of `total / team_size` iterations per thread
+    /// (OpenMP `schedule(static)`).
+    Static,
+    /// Threads grab fixed-size chunks from a shared counter
+    /// (OpenMP `schedule(dynamic, chunk)`).
+    Dynamic {
+        /// Chunk size; 0 is treated as 1.
+        chunk: usize,
+    },
+    /// Threads grab exponentially decreasing chunks
+    /// (OpenMP `schedule(guided)`).
+    Guided,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static
+    }
+}
+
+impl Schedule {
+    /// Computes the static block `[start, end)` of iterations for
+    /// `thread_num` out of `team_size` over `total` iterations.
+    ///
+    /// Blocks are balanced: the first `total % team_size` threads get one extra
+    /// iteration, like `schedule(static)` in every mainstream runtime.
+    pub fn static_block(total: usize, team_size: usize, thread_num: usize) -> (usize, usize) {
+        if team_size == 0 || thread_num >= team_size {
+            return (0, 0);
+        }
+        let base = total / team_size;
+        let extra = total % team_size;
+        let start = thread_num * base + thread_num.min(extra);
+        let len = base + usize::from(thread_num < extra);
+        (start, start + len)
+    }
+
+    /// Next chunk size for a guided schedule given the remaining iteration
+    /// count and the team size (at least 1).
+    pub fn guided_chunk(remaining: usize, team_size: usize) -> usize {
+        (remaining / (2 * team_size.max(1))).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_blocks_partition_range() {
+        let total = 103;
+        let team = 8;
+        let mut covered = vec![false; total];
+        for t in 0..team {
+            let (s, e) = Schedule::static_block(total, team, t);
+            for item in covered.iter_mut().take(e).skip(s) {
+                assert!(!*item, "iteration covered twice");
+                *item = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn static_block_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..5)
+            .map(|t| {
+                let (s, e) = Schedule::static_block(17, 5, t);
+                e - s
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 17);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn degenerate_static_blocks() {
+        assert_eq!(Schedule::static_block(10, 0, 0), (0, 0));
+        assert_eq!(Schedule::static_block(10, 4, 7), (0, 0));
+        assert_eq!(Schedule::static_block(0, 4, 2), (0, 0));
+    }
+
+    #[test]
+    fn guided_chunk_shrinks_but_stays_positive() {
+        assert!(Schedule::guided_chunk(1000, 4) > Schedule::guided_chunk(100, 4));
+        assert_eq!(Schedule::guided_chunk(0, 4), 1);
+        assert_eq!(Schedule::guided_chunk(3, 0), 1);
+    }
+
+    #[test]
+    fn default_is_static() {
+        assert_eq!(Schedule::default(), Schedule::Static);
+    }
+
+    proptest! {
+        /// Static blocks always form a partition of `0..total`.
+        #[test]
+        fn prop_static_partition(total in 0usize..500, team in 1usize..17) {
+            let mut next_expected = 0usize;
+            for t in 0..team {
+                let (s, e) = Schedule::static_block(total, team, t);
+                prop_assert_eq!(s, next_expected);
+                prop_assert!(e >= s);
+                next_expected = e;
+            }
+            prop_assert_eq!(next_expected, total);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Errors returned by the shared-memory registry.
+//!
+//! These map closely onto the DLB error codes that the original DROM API
+//! returns (`DLB_ERR_NOPROC`, `DLB_ERR_PDIRTY`, `DLB_ERR_PERM`,
+//! `DLB_ERR_TIMEOUT`, …); `drom-core` converts them into its public
+//! [`DromError`](https://docs.rs/) equivalents.
+
+use std::fmt;
+
+use crate::registry::Pid;
+
+/// Errors produced by [`NodeShmem`](crate::NodeShmem) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmemError {
+    /// The target process is not registered in this node's shared memory
+    /// (`DLB_ERR_NOPROC`).
+    ProcessNotFound {
+        /// The pid that was looked up.
+        pid: Pid,
+    },
+    /// A process with this pid is already registered (`DLB_ERR_INIT`).
+    AlreadyRegistered {
+        /// The pid that was registered twice.
+        pid: Pid,
+    },
+    /// The process still has a pending mask that it has not consumed yet
+    /// (`DLB_ERR_PDIRTY`). The administrator must wait (or use the synchronous
+    /// flag) before posting another update.
+    PendingMaskNotConsumed {
+        /// The pid with an unconsumed pending mask.
+        pid: Pid,
+    },
+    /// The requested mask would take CPUs owned by another active process and
+    /// stealing was not requested (`DLB_ERR_PERM`).
+    CpuConflict {
+        /// One of the conflicting CPUs.
+        cpu: usize,
+        /// The pid currently owning that CPU.
+        owner: Pid,
+    },
+    /// The requested mask contains CPUs that do not exist on this node.
+    CpuOutOfNode {
+        /// The offending CPU.
+        cpu: usize,
+        /// Number of CPUs in the node.
+        node_cpus: usize,
+    },
+    /// A synchronous operation timed out waiting for the target process to
+    /// reach a malleability point (`DLB_ERR_TIMEOUT`).
+    Timeout {
+        /// The pid that failed to respond in time.
+        pid: Pid,
+    },
+    /// The requested mask was empty but the operation requires at least one CPU.
+    EmptyMask {
+        /// The pid the empty mask was destined for.
+        pid: Pid,
+    },
+    /// The caller is not attached to the shared memory (`DLB_ERR_NOINIT`).
+    NotAttached,
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::ProcessNotFound { pid } => write!(f, "process {pid} not registered"),
+            ShmemError::AlreadyRegistered { pid } => {
+                write!(f, "process {pid} already registered")
+            }
+            ShmemError::PendingMaskNotConsumed { pid } => {
+                write!(f, "process {pid} has an unconsumed pending mask")
+            }
+            ShmemError::CpuConflict { cpu, owner } => {
+                write!(f, "cpu {cpu} is owned by process {owner}")
+            }
+            ShmemError::CpuOutOfNode { cpu, node_cpus } => {
+                write!(f, "cpu {cpu} outside node (node has {node_cpus} cpus)")
+            }
+            ShmemError::Timeout { pid } => {
+                write!(f, "timed out waiting for process {pid} to consume its mask")
+            }
+            ShmemError::EmptyMask { pid } => {
+                write!(f, "refusing to assign an empty mask to process {pid}")
+            }
+            ShmemError::NotAttached => write!(f, "caller is not attached to the DROM shmem"),
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_pid() {
+        let variants: Vec<(ShmemError, &str)> = vec![
+            (ShmemError::ProcessNotFound { pid: 42 }, "42"),
+            (ShmemError::AlreadyRegistered { pid: 7 }, "7"),
+            (ShmemError::PendingMaskNotConsumed { pid: 9 }, "9"),
+            (ShmemError::CpuConflict { cpu: 3, owner: 11 }, "11"),
+            (
+                ShmemError::CpuOutOfNode {
+                    cpu: 99,
+                    node_cpus: 16,
+                },
+                "99",
+            ),
+            (ShmemError::Timeout { pid: 5 }, "5"),
+            (ShmemError::EmptyMask { pid: 6 }, "6"),
+        ];
+        for (err, needle) in variants {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} should mention {needle}"
+            );
+        }
+        assert!(ShmemError::NotAttached.to_string().contains("attached"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Per-node shared-memory process registry — the DLB "shmem" analogue.
+//!
+//! The original DLB library keeps one POSIX shared-memory segment per node: a
+//! lock-protected region where every DLB-attached process registers itself, its
+//! CPU mask and its pending (administrator-requested) mask. Administrator
+//! processes (SLURM's `slurmd`/`slurmstepd`, or a user tool) attach to the same
+//! segment to query and modify those masks; the applications observe the
+//! changes at their next malleability point (a `DLB_PollDROM` call or an OMPT
+//! callback).
+//!
+//! This crate reproduces that registry protocol in-process: a [`NodeShmem`] is
+//! the segment of one node, and a [`ShmemManager`] hands out the per-node
+//! segments of a simulated cluster. Everything that is *semantically* part of
+//! the shared memory — entry life-cycle, pending-mask handshake, CPU ownership,
+//! attach accounting, the asynchronous subscription channel — is implemented;
+//! only the `shm_open`/`mmap` transport is replaced by `Arc<Mutex<…>>`, which
+//! does not change any API-visible behaviour (see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use drom_shmem::{NodeShmem, ProcessState};
+//! use drom_cpuset::CpuSet;
+//!
+//! let shmem = NodeShmem::new("node1", 16);
+//! // An application registers with its initial mask (CPUs 0-15).
+//! shmem.register(100, CpuSet::first_n(16)).unwrap();
+//! // An administrator shrinks it to CPUs 0-7.
+//! shmem.set_pending_mask(100, CpuSet::from_range(0..8).unwrap(), false).unwrap();
+//! // The application observes the change at its next poll.
+//! let new_mask = shmem.poll(100).unwrap().expect("a pending mask");
+//! assert_eq!(new_mask.count(), 8);
+//! assert_eq!(shmem.process_state(100).unwrap(), ProcessState::Active);
+//! ```
+
+pub mod error;
+pub mod node;
+pub mod registry;
+pub mod stats;
+
+pub use error::ShmemError;
+pub use node::ShmemManager;
+pub use registry::{MaskUpdate, NodeShmem, Pid, ProcessEntry, ProcessState};
+pub use stats::ShmemStats;

@@ -1,0 +1,114 @@
+//! The cluster-wide map of per-node shared-memory segments.
+//!
+//! The original DLB creates one POSIX shared-memory segment per node, keyed by
+//! the node's hostname (and the user's shmem key). [`ShmemManager`] plays the
+//! same role for the simulated cluster: each node name maps to exactly one
+//! [`NodeShmem`] and every component running "on" that node (applications,
+//! slurmd, slurmstepd, user administrators) shares it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::registry::NodeShmem;
+
+/// Hands out the per-node shared-memory segments of a simulated cluster.
+///
+/// Cloning the manager is cheap and all clones observe the same segments, just
+/// like every process of a node maps the same `shm` file.
+#[derive(Clone, Default)]
+pub struct ShmemManager {
+    nodes: Arc<Mutex<HashMap<String, Arc<NodeShmem>>>>,
+}
+
+impl ShmemManager {
+    /// Creates an empty manager (a cluster with no nodes yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the segment of `node`, creating it with `node_cpus` CPUs on
+    /// first use.
+    ///
+    /// Subsequent calls with a different `node_cpus` return the existing
+    /// segment unchanged (the node's size is fixed at creation, like real
+    /// hardware).
+    pub fn get_or_create(&self, node: &str, node_cpus: usize) -> Arc<NodeShmem> {
+        let mut nodes = self.nodes.lock();
+        Arc::clone(
+            nodes
+                .entry(node.to_string())
+                .or_insert_with(|| Arc::new(NodeShmem::new(node, node_cpus))),
+        )
+    }
+
+    /// Returns the segment of `node` if it exists.
+    pub fn get(&self, node: &str) -> Option<Arc<NodeShmem>> {
+        self.nodes.lock().get(node).cloned()
+    }
+
+    /// Removes the segment of `node`, returning it if it existed.
+    ///
+    /// Components still holding an `Arc` keep a functional segment; only the
+    /// name is forgotten (the analogue of `shm_unlink`).
+    pub fn remove(&self, node: &str) -> Option<Arc<NodeShmem>> {
+        self.nodes.lock().remove(node)
+    }
+
+    /// Names of the nodes with a segment, sorted.
+    pub fn node_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.nodes.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of nodes with a segment.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// `true` if no node has a segment yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_cpuset::CpuSet;
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let mgr = ShmemManager::new();
+        assert!(mgr.is_empty());
+        let a = mgr.get_or_create("node1", 16);
+        let b = mgr.get_or_create("node1", 32);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(b.node_cpus(), 16, "size fixed at creation");
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_segments() {
+        let mgr = ShmemManager::new();
+        let clone = mgr.clone();
+        let seg = mgr.get_or_create("node1", 16);
+        seg.register(1, CpuSet::first_n(4)).unwrap();
+        let seen = clone.get("node1").expect("clone sees the segment");
+        assert_eq!(seen.pid_list(), vec![1]);
+    }
+
+    #[test]
+    fn node_names_sorted_and_remove() {
+        let mgr = ShmemManager::new();
+        mgr.get_or_create("node2", 16);
+        mgr.get_or_create("node1", 16);
+        assert_eq!(mgr.node_names(), vec!["node1".to_string(), "node2".to_string()]);
+        assert!(mgr.remove("node1").is_some());
+        assert!(mgr.remove("node1").is_none());
+        assert_eq!(mgr.len(), 1);
+        assert!(mgr.get("node1").is_none());
+    }
+}

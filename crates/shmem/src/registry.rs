@@ -1,0 +1,1081 @@
+//! The per-node process registry: entries, pending-mask handshake, CPU
+//! ownership, the LeWI idle pool and asynchronous subscriptions.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use drom_cpuset::CpuSet;
+
+use crate::error::ShmemError;
+use crate::stats::ShmemStats;
+
+/// Process identifier. In the reproduction pids are synthetic (handed out by
+/// the launcher or by tests), but they play exactly the role of OS pids in the
+/// original implementation.
+pub type Pid = u32;
+
+/// Life-cycle state of a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessState {
+    /// Reserved by an administrator through `DROM_PreInit`; the process itself
+    /// has not called `DLB_Init` yet.
+    PreRegistered,
+    /// The process called `DLB_Init` and participates in polling.
+    Active,
+    /// The process finished; the entry is kept only until `DROM_PostFinalize`.
+    Finished,
+}
+
+/// One process registered in the node shared memory.
+#[derive(Debug, Clone)]
+pub struct ProcessEntry {
+    /// Process identifier.
+    pub pid: Pid,
+    /// Life-cycle state.
+    pub state: ProcessState,
+    /// The mask the process is currently running with.
+    pub current_mask: CpuSet,
+    /// A mask posted by an administrator that the process has not applied yet.
+    pub pending_mask: Option<CpuSet>,
+    /// CPUs this process was the original owner of (used to return stolen CPUs
+    /// when another process finishes).
+    pub owned_cpus: CpuSet,
+    /// Registration order (monotonically increasing per node).
+    pub registration_seq: u64,
+    /// Number of polls performed by this process.
+    pub polls: u64,
+    /// Number of mask updates this process has applied.
+    pub mask_updates: u64,
+}
+
+impl ProcessEntry {
+    /// The mask the process will be running with once it consumes any pending
+    /// update: `pending_mask` if present, `current_mask` otherwise.
+    pub fn effective_mask(&self) -> &CpuSet {
+        self.pending_mask.as_ref().unwrap_or(&self.current_mask)
+    }
+}
+
+/// Notification describing a mask change posted to a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskUpdate {
+    /// The process whose mask changed.
+    pub pid: Pid,
+    /// The new mask.
+    pub mask: CpuSet,
+}
+
+/// Result of an administrator mask update.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetMaskOutcome {
+    /// `true` if the target's mask actually changed (a pending mask was
+    /// posted); `false` when the requested mask equals the effective one.
+    pub updated: bool,
+    /// Pending updates posted to *other* processes whose CPUs were stolen.
+    pub victims: Vec<MaskUpdate>,
+}
+
+struct Inner {
+    entries: HashMap<Pid, ProcessEntry>,
+    /// Original owner of each CPU: the first process that registered with it.
+    cpu_owner: HashMap<usize, Pid>,
+    /// CPUs lent to the node-wide idle pool (LeWI).
+    idle_pool: CpuSet,
+    /// Number of administrators currently attached.
+    admin_attachments: usize,
+    /// Asynchronous-mode subscribers, per pid.
+    subscribers: HashMap<Pid, Sender<MaskUpdate>>,
+    stats: ShmemStats,
+    next_seq: u64,
+}
+
+/// The shared-memory segment of one compute node.
+///
+/// All methods take `&self`; the registry is internally synchronised exactly
+/// like the lock-protected shared memory of the original DLB.
+pub struct NodeShmem {
+    name: String,
+    node_cpus: usize,
+    inner: Mutex<Inner>,
+    /// Signalled whenever a process consumes a pending mask (used by the
+    /// synchronous flavour of `set_pending_mask`).
+    consumed: Condvar,
+}
+
+impl NodeShmem {
+    /// Creates the shared-memory segment for a node with `node_cpus` CPUs.
+    pub fn new(name: impl Into<String>, node_cpus: usize) -> Self {
+        NodeShmem {
+            name: name.into(),
+            node_cpus,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                cpu_owner: HashMap::new(),
+                idle_pool: CpuSet::new(),
+                admin_attachments: 0,
+                subscribers: HashMap::new(),
+                stats: ShmemStats::default(),
+                next_seq: 0,
+            }),
+            consumed: Condvar::new(),
+        }
+    }
+
+    /// Node name this segment belongs to.
+    pub fn node_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of CPUs of the node.
+    pub fn node_cpus(&self) -> usize {
+        self.node_cpus
+    }
+
+    fn validate_mask(&self, pid: Pid, mask: &CpuSet, allow_empty: bool) -> Result<(), ShmemError> {
+        if !allow_empty && mask.is_empty() {
+            return Err(ShmemError::EmptyMask { pid });
+        }
+        if let Some(cpu) = mask.last() {
+            if cpu >= self.node_cpus {
+                return Err(ShmemError::CpuOutOfNode {
+                    cpu,
+                    node_cpus: self.node_cpus,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Administrator attach/detach
+    // ------------------------------------------------------------------
+
+    /// Attaches an administrator to this segment (`DROM_Attach`).
+    pub fn attach(&self) {
+        self.inner.lock().admin_attachments += 1;
+    }
+
+    /// Detaches an administrator (`DROM_Detach`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmemError::NotAttached`] if no administrator is attached.
+    pub fn detach(&self) -> Result<(), ShmemError> {
+        let mut inner = self.inner.lock();
+        if inner.admin_attachments == 0 {
+            return Err(ShmemError::NotAttached);
+        }
+        inner.admin_attachments -= 1;
+        Ok(())
+    }
+
+    /// Number of administrators currently attached.
+    pub fn attachments(&self) -> usize {
+        self.inner.lock().admin_attachments
+    }
+
+    // ------------------------------------------------------------------
+    // Process registration life-cycle
+    // ------------------------------------------------------------------
+
+    /// Registers a process with its initial mask (`DLB_Init`).
+    ///
+    /// If the pid was pre-registered by an administrator the entry becomes
+    /// active and keeps the pre-registered mask (the `mask` argument is only
+    /// used when it was not pre-registered).
+    ///
+    /// # Errors
+    ///
+    /// * [`ShmemError::AlreadyRegistered`] if the pid is already active.
+    /// * [`ShmemError::CpuConflict`] if the mask overlaps another process's
+    ///   effective mask.
+    /// * [`ShmemError::CpuOutOfNode`] / [`ShmemError::EmptyMask`] on invalid
+    ///   masks.
+    pub fn register(&self, pid: Pid, mask: CpuSet) -> Result<CpuSet, ShmemError> {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get(&pid) {
+            match entry.state {
+                ProcessState::PreRegistered => {
+                    // The child of a pre-initialized launch: adopt the
+                    // pre-registered mask and become active.
+                    let adopted = entry.current_mask.clone();
+                    let entry = inner.entries.get_mut(&pid).expect("checked above");
+                    entry.state = ProcessState::Active;
+                    inner.stats.registers += 1;
+                    return Ok(adopted);
+                }
+                ProcessState::Active | ProcessState::Finished => {
+                    return Err(ShmemError::AlreadyRegistered { pid });
+                }
+            }
+        }
+        self.validate_mask(pid, &mask, false)?;
+        Self::check_conflicts(&inner, pid, &mask)?;
+        Self::insert_entry(&mut inner, pid, mask.clone(), ProcessState::Active);
+        inner.stats.registers += 1;
+        Ok(mask)
+    }
+
+    /// Pre-registers a process on behalf of an administrator (`DROM_PreInit`).
+    ///
+    /// If `steal` is `true`, CPUs of `mask` that other processes currently hold
+    /// are removed from those processes (a pending shrink is posted to each
+    /// victim and returned). If `steal` is `false` a conflict is an error.
+    pub fn preregister(
+        &self,
+        pid: Pid,
+        mask: CpuSet,
+        steal: bool,
+    ) -> Result<Vec<MaskUpdate>, ShmemError> {
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&pid) {
+            return Err(ShmemError::AlreadyRegistered { pid });
+        }
+        self.validate_mask(pid, &mask, false)?;
+        let victims = if steal {
+            Self::steal_cpus(&mut inner, pid, &mask)?
+        } else {
+            Self::check_conflicts(&inner, pid, &mask)?;
+            Vec::new()
+        };
+        Self::insert_entry(&mut inner, pid, mask, ProcessState::PreRegistered);
+        inner.stats.preregisters += 1;
+        if steal && !victims.is_empty() {
+            inner.stats.steals += 1;
+        }
+        for update in &victims {
+            Self::notify(&inner, update);
+        }
+        Ok(victims)
+    }
+
+    /// Marks a process as finished without removing it (used when the
+    /// application exits before the administrator calls `DROM_PostFinalize`).
+    pub fn mark_finished(&self, pid: Pid) -> Result<(), ShmemError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .get_mut(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        entry.state = ProcessState::Finished;
+        Ok(())
+    }
+
+    /// Removes a process from the registry (`DLB_Finalize` /
+    /// `DROM_PostFinalize`) and returns the CPUs it released, grouped by the
+    /// process that originally owned them and is still registered.
+    ///
+    /// The returned updates are pending expansions posted to those owners, so
+    /// they will re-acquire their CPUs at their next malleability point — this
+    /// is the "return CPUs to the job that is initial owner" behaviour of
+    /// `DROM_PostFinalize`.
+    pub fn unregister(&self, pid: Pid) -> Result<Vec<MaskUpdate>, ShmemError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .remove(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        inner.stats.unregisters += 1;
+        inner.subscribers.remove(&pid);
+
+        let released = entry.effective_mask().clone();
+        // Drop ownership of CPUs this process owned.
+        inner.cpu_owner.retain(|_, owner| *owner != pid);
+        // Remove any of its CPUs from the idle pool bookkeeping.
+        inner.idle_pool = inner.idle_pool.difference(&entry.owned_cpus);
+
+        // Return released CPUs to their original owners, if still registered.
+        let mut per_owner: HashMap<Pid, CpuSet> = HashMap::new();
+        for cpu in released.iter() {
+            if let Some(owner) = inner.cpu_owner.get(&cpu).copied() {
+                if owner != pid && inner.entries.contains_key(&owner) {
+                    per_owner.entry(owner).or_default().set(cpu).ok();
+                }
+            }
+        }
+        let mut updates = Vec::new();
+        for (owner, cpus) in per_owner {
+            let owner_entry = inner.entries.get_mut(&owner).expect("checked above");
+            let new_mask = owner_entry.effective_mask().union(&cpus);
+            if &new_mask != owner_entry.effective_mask() {
+                owner_entry.pending_mask = Some(new_mask.clone());
+                let update = MaskUpdate {
+                    pid: owner,
+                    mask: new_mask,
+                };
+                Self::notify(&inner, &update);
+                updates.push(update);
+            }
+        }
+        Ok(updates)
+    }
+
+    fn insert_entry(inner: &mut Inner, pid: Pid, mask: CpuSet, state: ProcessState) {
+        for cpu in mask.iter() {
+            inner.cpu_owner.entry(cpu).or_insert(pid);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let owned: CpuSet = mask
+            .iter()
+            .filter(|cpu| inner.cpu_owner.get(cpu) == Some(&pid))
+            .collect();
+        inner.entries.insert(
+            pid,
+            ProcessEntry {
+                pid,
+                state,
+                current_mask: mask,
+                pending_mask: None,
+                owned_cpus: owned,
+                registration_seq: seq,
+                polls: 0,
+                mask_updates: 0,
+            },
+        );
+    }
+
+    fn check_conflicts(inner: &Inner, pid: Pid, mask: &CpuSet) -> Result<(), ShmemError> {
+        for entry in inner.entries.values() {
+            if entry.pid == pid || entry.state == ProcessState::Finished {
+                continue;
+            }
+            let overlap = entry.effective_mask().intersection(mask);
+            if let Some(cpu) = overlap.first() {
+                return Err(ShmemError::CpuConflict {
+                    cpu,
+                    owner: entry.pid,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Shrinks every process that holds CPUs of `mask`, posting pending updates.
+    fn steal_cpus(
+        inner: &mut Inner,
+        beneficiary: Pid,
+        mask: &CpuSet,
+    ) -> Result<Vec<MaskUpdate>, ShmemError> {
+        let mut updates = Vec::new();
+        let victim_pids: Vec<Pid> = inner
+            .entries
+            .values()
+            .filter(|e| e.pid != beneficiary && e.state != ProcessState::Finished)
+            .map(|e| e.pid)
+            .collect();
+        for vpid in victim_pids {
+            let entry = inner.entries.get_mut(&vpid).expect("pid listed above");
+            let overlap = entry.effective_mask().intersection(mask);
+            if overlap.is_empty() {
+                continue;
+            }
+            let shrunk = entry.effective_mask().difference(&overlap);
+            if shrunk.is_empty() {
+                // Never leave a victim with zero CPUs: that would stall it
+                // forever. The original implementation refuses as well.
+                return Err(ShmemError::EmptyMask { pid: vpid });
+            }
+            entry.pending_mask = Some(shrunk.clone());
+            updates.push(MaskUpdate {
+                pid: vpid,
+                mask: shrunk,
+            });
+        }
+        Ok(updates)
+    }
+
+    fn notify(inner: &Inner, update: &MaskUpdate) {
+        if let Some(tx) = inner.subscribers.get(&update.pid) {
+            // A dropped receiver just means the process stopped listening.
+            let _ = tx.send(update.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Lists the pids registered in this node (pre-registered and active).
+    pub fn pid_list(&self) -> Vec<Pid> {
+        let inner = self.inner.lock();
+        let mut pids: Vec<Pid> = inner
+            .entries
+            .values()
+            .filter(|e| e.state != ProcessState::Finished)
+            .map(|e| e.pid)
+            .collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Returns a snapshot of a process entry.
+    pub fn entry(&self, pid: Pid) -> Result<ProcessEntry, ShmemError> {
+        self.inner
+            .lock()
+            .entries
+            .get(&pid)
+            .cloned()
+            .ok_or(ShmemError::ProcessNotFound { pid })
+    }
+
+    /// The mask the process is currently running with.
+    pub fn current_mask(&self, pid: Pid) -> Result<CpuSet, ShmemError> {
+        Ok(self.entry(pid)?.current_mask)
+    }
+
+    /// The mask the process will run with after applying any pending update.
+    pub fn effective_mask(&self, pid: Pid) -> Result<CpuSet, ShmemError> {
+        Ok(self.entry(pid)?.effective_mask().clone())
+    }
+
+    /// Life-cycle state of a process.
+    pub fn process_state(&self, pid: Pid) -> Result<ProcessState, ShmemError> {
+        Ok(self.entry(pid)?.state)
+    }
+
+    /// `true` if the process has a pending mask it has not consumed yet.
+    pub fn has_pending(&self, pid: Pid) -> Result<bool, ShmemError> {
+        Ok(self.entry(pid)?.pending_mask.is_some())
+    }
+
+    /// CPUs of the node not effectively assigned to any registered process and
+    /// not lent to the idle pool.
+    pub fn free_cpus(&self) -> CpuSet {
+        let inner = self.inner.lock();
+        let mut used = inner.idle_pool.clone();
+        for entry in inner.entries.values() {
+            if entry.state != ProcessState::Finished {
+                used = used.union(entry.effective_mask());
+            }
+        }
+        CpuSet::first_n(self.node_cpus).difference(&used)
+    }
+
+    /// Snapshot of the per-node statistics.
+    pub fn stats(&self) -> ShmemStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Original owner of a CPU, if any process registered it.
+    pub fn cpu_owner(&self, cpu: usize) -> Option<Pid> {
+        self.inner.lock().cpu_owner.get(&cpu).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Administrator mask updates and process polling
+    // ------------------------------------------------------------------
+
+    /// Posts a new mask for `pid` (`DROM_SetProcessMask`).
+    ///
+    /// The update is *pending*: the target applies it at its next poll. When
+    /// `steal` is set, CPUs held by other processes are removed from them
+    /// (pending shrinks are posted and returned in
+    /// [`SetMaskOutcome::victims`]); otherwise a conflict is an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`ShmemError::ProcessNotFound`] for unknown pids.
+    /// * [`ShmemError::PendingMaskNotConsumed`] if a previous update is still
+    ///   pending.
+    /// * [`ShmemError::CpuConflict`] when not stealing and CPUs are taken.
+    pub fn set_pending_mask(
+        &self,
+        pid: Pid,
+        mask: CpuSet,
+        steal: bool,
+    ) -> Result<SetMaskOutcome, ShmemError> {
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&pid) {
+            return Err(ShmemError::ProcessNotFound { pid });
+        }
+        self.validate_mask(pid, &mask, false)?;
+        {
+            let entry = inner.entries.get(&pid).expect("checked above");
+            if entry.pending_mask.is_some() {
+                return Err(ShmemError::PendingMaskNotConsumed { pid });
+            }
+            if entry.current_mask == mask {
+                return Ok(SetMaskOutcome {
+                    updated: false,
+                    victims: Vec::new(),
+                });
+            }
+        }
+        // Conflicts only matter for CPUs we are adding.
+        let additions = {
+            let entry = inner.entries.get(&pid).expect("checked above");
+            mask.difference(&entry.current_mask)
+        };
+        let victims = if steal {
+            Self::steal_cpus(&mut inner, pid, &additions)?
+        } else {
+            Self::check_conflicts(&inner, pid, &additions)?;
+            Vec::new()
+        };
+        let entry = inner.entries.get_mut(&pid).expect("checked above");
+        entry.pending_mask = Some(mask.clone());
+        inner.stats.mask_sets += 1;
+        if !victims.is_empty() {
+            inner.stats.steals += 1;
+        }
+        let update = MaskUpdate { pid, mask };
+        Self::notify(&inner, &update);
+        for v in &victims {
+            Self::notify(&inner, v);
+        }
+        Ok(SetMaskOutcome {
+            updated: true,
+            victims,
+        })
+    }
+
+    /// Synchronous flavour of [`set_pending_mask`](Self::set_pending_mask):
+    /// blocks until the target consumes the update or `timeout` elapses.
+    pub fn set_pending_mask_sync(
+        &self,
+        pid: Pid,
+        mask: CpuSet,
+        steal: bool,
+        timeout: Duration,
+    ) -> Result<SetMaskOutcome, ShmemError> {
+        let outcome = self.set_pending_mask(pid, mask, steal)?;
+        if !outcome.updated {
+            return Ok(outcome);
+        }
+        let mut inner = self.inner.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let still_pending = inner
+                .entries
+                .get(&pid)
+                .map(|e| e.pending_mask.is_some())
+                // If the process disappeared the update can never be consumed.
+                .unwrap_or(false);
+            if !still_pending {
+                return Ok(outcome);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(ShmemError::Timeout { pid });
+            }
+            if self
+                .consumed
+                .wait_until(&mut inner, deadline)
+                .timed_out()
+            {
+                return Err(ShmemError::Timeout { pid });
+            }
+        }
+    }
+
+    /// Polls for a pending mask update (`DLB_PollDROM`).
+    ///
+    /// Returns `Ok(Some(mask))` and applies it when an update is pending,
+    /// `Ok(None)` otherwise.
+    pub fn poll(&self, pid: Pid) -> Result<Option<CpuSet>, ShmemError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .get_mut(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        entry.polls += 1;
+        let result = if let Some(mask) = entry.pending_mask.take() {
+            entry.current_mask = mask.clone();
+            entry.mask_updates += 1;
+            Some(mask)
+        } else {
+            None
+        };
+        inner.stats.polls += 1;
+        if result.is_some() {
+            inner.stats.poll_updates += 1;
+            drop(inner);
+            self.consumed.notify_all();
+        }
+        Ok(result)
+    }
+
+    /// Registers an asynchronous subscriber for `pid`: every mask update posted
+    /// to that process is also sent on the returned channel. This backs DLB's
+    /// asynchronous (helper thread + callback) mode.
+    pub fn subscribe(&self, pid: Pid) -> Receiver<MaskUpdate> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().subscribers.insert(pid, tx);
+        rx
+    }
+
+    /// Removes the asynchronous subscriber of `pid`, if any.
+    pub fn unsubscribe(&self, pid: Pid) {
+        self.inner.lock().subscribers.remove(&pid);
+    }
+
+    // ------------------------------------------------------------------
+    // LeWI idle pool (lend when idle)
+    // ------------------------------------------------------------------
+
+    /// Lends `cpus` from `pid`'s current mask to the node idle pool.
+    ///
+    /// Returns the CPUs actually lent (the intersection of the request with
+    /// the process's current mask).
+    pub fn lend_cpus(&self, pid: Pid, cpus: &CpuSet) -> Result<CpuSet, ShmemError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .get_mut(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        let lendable = entry.current_mask.intersection(cpus);
+        entry.current_mask = entry.current_mask.difference(&lendable);
+        // A pending (administrator) mask must stay consistent with what the
+        // process just gave away, otherwise applying it later would hand the
+        // lent CPUs to two owners at once.
+        if let Some(pending) = entry.pending_mask.as_mut() {
+            *pending = pending.difference(&lendable);
+        }
+        inner.idle_pool = inner.idle_pool.union(&lendable);
+        inner.stats.cpus_lent += lendable.count() as u64;
+        Ok(lendable)
+    }
+
+    /// Borrows up to `max_cpus` CPUs from the idle pool for `pid`.
+    ///
+    /// Returns the borrowed CPUs (possibly empty when the pool is dry).
+    pub fn borrow_cpus(&self, pid: Pid, max_cpus: usize) -> Result<CpuSet, ShmemError> {
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&pid) {
+            return Err(ShmemError::ProcessNotFound { pid });
+        }
+        let borrowed = inner.idle_pool.truncated(max_cpus);
+        inner.idle_pool = inner.idle_pool.difference(&borrowed);
+        let entry = inner.entries.get_mut(&pid).expect("checked above");
+        entry.current_mask = entry.current_mask.union(&borrowed);
+        // Keep any pending mask consistent so the borrowed CPUs are not lost
+        // when the pending update is applied.
+        if let Some(pending) = entry.pending_mask.as_mut() {
+            *pending = pending.union(&borrowed);
+        }
+        inner.stats.cpus_borrowed += borrowed.count() as u64;
+        Ok(borrowed)
+    }
+
+    /// Reclaims the CPUs `pid` originally owns: CPUs sitting in the idle pool
+    /// return immediately; CPUs currently borrowed by other processes get a
+    /// pending shrink posted to the borrower.
+    ///
+    /// Returns the CPUs immediately recovered.
+    pub fn reclaim_cpus(&self, pid: Pid) -> Result<CpuSet, ShmemError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .entries
+            .get(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        let owned = entry.owned_cpus.clone();
+        let current = entry.effective_mask().clone();
+        let missing = owned.difference(&current);
+        if missing.is_empty() {
+            return Ok(CpuSet::new());
+        }
+        // CPUs waiting in the idle pool come back straight away.
+        let from_pool = inner.idle_pool.intersection(&missing);
+        inner.idle_pool = inner.idle_pool.difference(&from_pool);
+        // CPUs held by borrowers get a pending shrink.
+        let from_borrowers = missing.difference(&from_pool);
+        if !from_borrowers.is_empty() {
+            let borrower_pids: Vec<Pid> = inner
+                .entries
+                .values()
+                .filter(|e| e.pid != pid && e.state != ProcessState::Finished)
+                .map(|e| e.pid)
+                .collect();
+            for bpid in borrower_pids {
+                let borrower = inner.entries.get_mut(&bpid).expect("pid listed above");
+                let overlap = borrower.effective_mask().intersection(&from_borrowers);
+                if overlap.is_empty() {
+                    continue;
+                }
+                let shrunk = borrower.effective_mask().difference(&overlap);
+                borrower.pending_mask = Some(shrunk.clone());
+                let update = MaskUpdate {
+                    pid: bpid,
+                    mask: shrunk,
+                };
+                Self::notify(&inner, &update);
+            }
+        }
+        if !from_pool.is_empty() {
+            let entry = inner.entries.get_mut(&pid).expect("checked above");
+            let grown = entry.effective_mask().union(&from_pool);
+            entry.pending_mask = Some(grown);
+        }
+        inner.stats.cpus_reclaimed += missing.count() as u64;
+        Ok(from_pool)
+    }
+
+    /// CPUs currently sitting in the LeWI idle pool.
+    pub fn idle_pool(&self) -> CpuSet {
+        self.inner.lock().idle_pool.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_mask() -> CpuSet {
+        CpuSet::first_n(16)
+    }
+
+    #[test]
+    fn register_and_query() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        assert_eq!(shmem.pid_list(), vec![10]);
+        assert_eq!(shmem.current_mask(10).unwrap(), full_mask());
+        assert_eq!(shmem.process_state(10).unwrap(), ProcessState::Active);
+        assert!(!shmem.has_pending(10).unwrap());
+        assert_eq!(shmem.stats().registers, 1);
+    }
+
+    #[test]
+    fn register_twice_fails() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        assert_eq!(
+            shmem.register(10, CpuSet::from_range(8..16).unwrap()),
+            Err(ShmemError::AlreadyRegistered { pid: 10 })
+        );
+    }
+
+    #[test]
+    fn register_conflicting_mask_fails() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        let err = shmem
+            .register(11, CpuSet::from_range(4..12).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, ShmemError::CpuConflict { owner: 10, .. }));
+    }
+
+    #[test]
+    fn register_invalid_masks() {
+        let shmem = NodeShmem::new("n1", 16);
+        assert_eq!(
+            shmem.register(1, CpuSet::new()),
+            Err(ShmemError::EmptyMask { pid: 1 })
+        );
+        assert_eq!(
+            shmem.register(1, CpuSet::from_cpus([20]).unwrap()),
+            Err(ShmemError::CpuOutOfNode {
+                cpu: 20,
+                node_cpus: 16
+            })
+        );
+    }
+
+    #[test]
+    fn pending_mask_applied_on_poll() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        let outcome = shmem
+            .set_pending_mask(10, CpuSet::from_range(0..8).unwrap(), false)
+            .unwrap();
+        assert!(outcome.updated);
+        assert!(outcome.victims.is_empty());
+        assert!(shmem.has_pending(10).unwrap());
+        // Current mask unchanged until the process polls.
+        assert_eq!(shmem.current_mask(10).unwrap(), full_mask());
+        let new = shmem.poll(10).unwrap().unwrap();
+        assert_eq!(new, CpuSet::from_range(0..8).unwrap());
+        assert_eq!(shmem.current_mask(10).unwrap(), new);
+        assert!(!shmem.has_pending(10).unwrap());
+        // Second poll finds nothing.
+        assert_eq!(shmem.poll(10).unwrap(), None);
+        let stats = shmem.stats();
+        assert_eq!(stats.polls, 2);
+        assert_eq!(stats.poll_updates, 1);
+    }
+
+    #[test]
+    fn set_same_mask_is_noupdate() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        let outcome = shmem.set_pending_mask(10, full_mask(), false).unwrap();
+        assert!(!outcome.updated);
+        assert!(!shmem.has_pending(10).unwrap());
+    }
+
+    #[test]
+    fn second_pending_before_poll_is_pdirty() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..8).unwrap(), false)
+            .unwrap();
+        let err = shmem
+            .set_pending_mask(10, CpuSet::from_range(0..4).unwrap(), false)
+            .unwrap_err();
+        assert_eq!(err, ShmemError::PendingMaskNotConsumed { pid: 10 });
+    }
+
+    #[test]
+    fn set_mask_unknown_pid() {
+        let shmem = NodeShmem::new("n1", 16);
+        assert_eq!(
+            shmem.set_pending_mask(99, full_mask(), false),
+            Err(ShmemError::ProcessNotFound { pid: 99 })
+        );
+        assert_eq!(
+            shmem.poll(99),
+            Err(ShmemError::ProcessNotFound { pid: 99 })
+        );
+    }
+
+    #[test]
+    fn grow_mask_requires_free_or_steal() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        // Growing pid 10 into pid 11's CPUs without steal fails.
+        let err = shmem
+            .set_pending_mask(10, CpuSet::from_range(0..12).unwrap(), false)
+            .unwrap_err();
+        assert!(matches!(err, ShmemError::CpuConflict { owner: 11, .. }));
+        // With steal it succeeds and pid 11 is shrunk.
+        let outcome = shmem
+            .set_pending_mask(10, CpuSet::from_range(0..12).unwrap(), true)
+            .unwrap();
+        assert!(outcome.updated);
+        assert_eq!(outcome.victims.len(), 1);
+        assert_eq!(outcome.victims[0].pid, 11);
+        assert_eq!(outcome.victims[0].mask, CpuSet::from_range(12..16).unwrap());
+        // The victim applies the shrink at its next poll.
+        assert_eq!(
+            shmem.poll(11).unwrap().unwrap(),
+            CpuSet::from_range(12..16).unwrap()
+        );
+    }
+
+    #[test]
+    fn steal_never_leaves_victim_empty() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        // Stealing *all* of pid 11's CPUs must be refused.
+        let err = shmem
+            .set_pending_mask(10, CpuSet::first_n(16), true)
+            .unwrap_err();
+        assert_eq!(err, ShmemError::EmptyMask { pid: 11 });
+    }
+
+    #[test]
+    fn preregister_then_register_adopts_mask() {
+        let shmem = NodeShmem::new("n1", 16);
+        // Running job owns the whole node.
+        shmem.register(10, full_mask()).unwrap();
+        // Administrator pre-inits a new process on CPUs 8-15, stealing them.
+        let victims = shmem
+            .preregister(20, CpuSet::from_range(8..16).unwrap(), true)
+            .unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].pid, 10);
+        assert_eq!(victims[0].mask, CpuSet::from_range(0..8).unwrap());
+        assert_eq!(
+            shmem.process_state(20).unwrap(),
+            ProcessState::PreRegistered
+        );
+        // The new process starts and registers: it adopts the reserved mask.
+        let adopted = shmem.register(20, CpuSet::first_n(1)).unwrap();
+        assert_eq!(adopted, CpuSet::from_range(8..16).unwrap());
+        assert_eq!(shmem.process_state(20).unwrap(), ProcessState::Active);
+        // The victim shrinks at its next poll.
+        assert_eq!(
+            shmem.poll(10).unwrap().unwrap(),
+            CpuSet::from_range(0..8).unwrap()
+        );
+    }
+
+    #[test]
+    fn preregister_without_steal_on_conflict_fails() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        let err = shmem
+            .preregister(20, CpuSet::from_range(8..16).unwrap(), false)
+            .unwrap_err();
+        assert!(matches!(err, ShmemError::CpuConflict { owner: 10, .. }));
+    }
+
+    #[test]
+    fn unregister_returns_cpus_to_owner() {
+        let shmem = NodeShmem::new("n1", 16);
+        // pid 10 owns all 16 CPUs.
+        shmem.register(10, full_mask()).unwrap();
+        // pid 20 pre-inits on half of them (stealing).
+        shmem
+            .preregister(20, CpuSet::from_range(8..16).unwrap(), true)
+            .unwrap();
+        shmem.register(20, CpuSet::new()).unwrap();
+        shmem.poll(10).unwrap(); // pid 10 shrinks to 0-7
+        // pid 20 finishes: its CPUs go back to pid 10 (the original owner).
+        let updates = shmem.unregister(20).unwrap();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].pid, 10);
+        assert_eq!(updates[0].mask, full_mask());
+        assert_eq!(shmem.poll(10).unwrap().unwrap(), full_mask());
+    }
+
+    #[test]
+    fn unregister_unknown_pid_fails() {
+        let shmem = NodeShmem::new("n1", 16);
+        assert_eq!(
+            shmem.unregister(5),
+            Err(ShmemError::ProcessNotFound { pid: 5 })
+        );
+    }
+
+    #[test]
+    fn free_cpus_accounts_for_pending() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        assert!(shmem.free_cpus().is_empty());
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..8).unwrap(), false)
+            .unwrap();
+        // Even before the poll the effective view frees CPUs 8-15.
+        assert_eq!(shmem.free_cpus(), CpuSet::from_range(8..16).unwrap());
+    }
+
+    #[test]
+    fn attach_detach_counting() {
+        let shmem = NodeShmem::new("n1", 16);
+        assert_eq!(shmem.detach(), Err(ShmemError::NotAttached));
+        shmem.attach();
+        shmem.attach();
+        assert_eq!(shmem.attachments(), 2);
+        shmem.detach().unwrap();
+        shmem.detach().unwrap();
+        assert_eq!(shmem.detach(), Err(ShmemError::NotAttached));
+    }
+
+    #[test]
+    fn subscriber_receives_updates() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        let rx = shmem.subscribe(10);
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..4).unwrap(), false)
+            .unwrap();
+        let update = rx.try_recv().unwrap();
+        assert_eq!(update.pid, 10);
+        assert_eq!(update.mask, CpuSet::from_range(0..4).unwrap());
+        shmem.unsubscribe(10);
+        shmem.poll(10).unwrap();
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..2).unwrap(), false)
+            .unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn sync_set_mask_times_out_without_poll() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        let err = shmem
+            .set_pending_mask_sync(
+                10,
+                CpuSet::from_range(0..8).unwrap(),
+                false,
+                Duration::from_millis(20),
+            )
+            .unwrap_err();
+        assert_eq!(err, ShmemError::Timeout { pid: 10 });
+    }
+
+    #[test]
+    fn sync_set_mask_completes_when_polled() {
+        use std::sync::Arc;
+        let shmem = Arc::new(NodeShmem::new("n1", 16));
+        shmem.register(10, full_mask()).unwrap();
+        let poller = {
+            let shmem = Arc::clone(&shmem);
+            std::thread::spawn(move || {
+                // Poll until the update arrives.
+                loop {
+                    if shmem.poll(10).unwrap().is_some() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let outcome = shmem
+            .set_pending_mask_sync(
+                10,
+                CpuSet::from_range(0..8).unwrap(),
+                false,
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(outcome.updated);
+        poller.join().unwrap();
+        assert_eq!(shmem.current_mask(10).unwrap(), CpuSet::from_range(0..8).unwrap());
+    }
+
+    #[test]
+    fn lend_and_borrow_cycle() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        // pid 10 lends its upper 4 CPUs to the idle pool.
+        let lent = shmem
+            .lend_cpus(10, &CpuSet::from_range(4..8).unwrap())
+            .unwrap();
+        assert_eq!(lent.count(), 4);
+        assert_eq!(shmem.idle_pool().count(), 4);
+        assert_eq!(shmem.current_mask(10).unwrap().count(), 4);
+        // pid 11 borrows two of them.
+        let borrowed = shmem.borrow_cpus(11, 2).unwrap();
+        assert_eq!(borrowed.count(), 2);
+        assert_eq!(shmem.idle_pool().count(), 2);
+        assert_eq!(shmem.current_mask(11).unwrap().count(), 10);
+        // Owner reclaims: the two CPUs still in the pool return immediately
+        // (posted as a pending grow to pid 10); the two borrowed ones are
+        // posted as a pending shrink to pid 11.
+        let recovered = shmem.reclaim_cpus(10).unwrap();
+        assert_eq!(recovered.count(), 2);
+        assert!(shmem.idle_pool().is_empty());
+        assert!(shmem.has_pending(10).unwrap());
+        assert!(shmem.has_pending(11).unwrap());
+        assert_eq!(shmem.poll(10).unwrap().unwrap().count(), 6);
+        assert_eq!(shmem.poll(11).unwrap().unwrap().count(), 8);
+        let stats = shmem.stats();
+        assert_eq!(stats.cpus_lent, 4);
+        assert_eq!(stats.cpus_borrowed, 2);
+        assert_eq!(stats.cpus_reclaimed, 4);
+    }
+
+    #[test]
+    fn lend_only_own_cpus() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        let lent = shmem.lend_cpus(10, &CpuSet::from_range(4..12).unwrap()).unwrap();
+        assert_eq!(lent, CpuSet::from_range(4..8).unwrap());
+    }
+
+    #[test]
+    fn borrow_from_empty_pool_is_empty() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        assert!(shmem.borrow_cpus(10, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reclaim_with_nothing_missing_is_empty() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, full_mask()).unwrap();
+        assert!(shmem.reclaim_cpus(10).unwrap().is_empty());
+        assert!(!shmem.has_pending(10).unwrap());
+    }
+}

@@ -1,0 +1,69 @@
+//! Counters describing the activity of a node's shared-memory registry.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative statistics for one [`NodeShmem`](crate::NodeShmem).
+///
+/// These counters back the "collection of useful data from applications at run
+/// time" that the paper lists as future work, and are also handy for the
+/// overhead benchmarks (how many polls found no update, how often masks were
+/// stolen, …).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShmemStats {
+    /// Processes registered (including pre-registrations that became active).
+    pub registers: u64,
+    /// Pre-registrations performed by administrators (`DROM_PreInit`).
+    pub preregisters: u64,
+    /// Processes unregistered / finalized.
+    pub unregisters: u64,
+    /// Total `poll` calls.
+    pub polls: u64,
+    /// `poll` calls that returned a new mask.
+    pub poll_updates: u64,
+    /// Administrator mask updates accepted (`DROM_SetProcessMask`).
+    pub mask_sets: u64,
+    /// Mask updates that had to steal CPUs from other processes.
+    pub steals: u64,
+    /// CPUs lent to the node idle pool (LeWI).
+    pub cpus_lent: u64,
+    /// CPUs borrowed from the node idle pool (LeWI).
+    pub cpus_borrowed: u64,
+    /// CPUs reclaimed by their owners (LeWI).
+    pub cpus_reclaimed: u64,
+}
+
+impl ShmemStats {
+    /// Fraction of polls that observed a mask change, in `[0, 1]`.
+    ///
+    /// Returns 0 when no poll has happened yet.
+    pub fn poll_hit_ratio(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.poll_updates as f64 / self.polls as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = ShmemStats::default();
+        assert_eq!(stats.registers, 0);
+        assert_eq!(stats.polls, 0);
+        assert_eq!(stats.poll_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn poll_hit_ratio_computed() {
+        let stats = ShmemStats {
+            polls: 10,
+            poll_updates: 3,
+            ..Default::default()
+        };
+        assert!((stats.poll_hit_ratio() - 0.3).abs() < 1e-12);
+    }
+}

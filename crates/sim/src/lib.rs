@@ -1,0 +1,44 @@
+//! Discrete-event replay of the paper's workload experiments in virtual time.
+//!
+//! The evaluation (Section 6) runs two-job workloads on two MareNostrum III
+//! nodes and compares a *Serial* scenario (the second job waits for the first
+//! to free the nodes) against the *DROM* scenario (the second job is
+//! co-allocated and the node CPUs are repartitioned on the fly). We cannot run
+//! on MN3, so this crate replays those workloads in virtual time:
+//!
+//! * the scheduling and placement decisions come from the same logic the real
+//!   execution path uses (`drom-slurm`'s controller admission rule and the
+//!   equipartition arithmetic of `drom-cpuset`);
+//! * the progress of every job under a given CPU assignment comes from the
+//!   calibrated application models of `drom-apps::perfmodel`.
+//!
+//! The result of a simulation is a [`WorkloadReport`](drom_metrics::WorkloadReport)
+//! (total run time, per-job response times) plus the per-job execution
+//! [`segments`](JobSegment) from which the Figure 13 cycles/µs timelines and
+//! the Figure 14 IPC histograms are derived.
+//!
+//! # Example: use case 1 (in-situ analytics), Serial vs DROM
+//!
+//! ```
+//! use drom_sim::{Scenario, WorkloadSimulator};
+//! use drom_sim::scenario::in_situ_workload;
+//! use drom_apps::Table1;
+//!
+//! let workload = in_situ_workload(Table1::NEST_CONF1, Table1::PILS_CONF2, 100.0);
+//! let serial = WorkloadSimulator::new(Scenario::Serial).run(&workload);
+//! let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+//! // DROM completes the workload sooner and improves the average response time.
+//! assert!(drom.report.total_run_time() < serial.report.total_run_time());
+//! assert!(drom.report.average_response_time() < serial.report.average_response_time());
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod scenario;
+
+pub use engine::{JobSegment, SimulationResult, WorkloadSimulator};
+pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
+pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
+
+/// Re-export of the scenario enum shared with the metrics crate.
+pub use drom_metrics::Scenario;

@@ -1,0 +1,133 @@
+//! Derived series and comparison rows for the figure harnesses.
+
+use drom_apps::perfmodel::NOMINAL_CYCLES_PER_US;
+use drom_metrics::workload::percent_improvement;
+
+use crate::engine::SimulationResult;
+
+/// One Serial-vs-DROM comparison row (the unit every figure table is built of).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Row label (e.g. `"NEST Conf. 1 + Pils Conf. 2"`).
+    pub label: String,
+    /// The Serial-scenario value.
+    pub serial: f64,
+    /// The DROM-scenario value.
+    pub drom: f64,
+    /// Improvement of DROM over Serial in percent (positive = DROM better,
+    /// for metrics where lower is better).
+    pub improvement_pct: f64,
+}
+
+/// Builds a comparison row for a lower-is-better metric.
+pub fn comparison_row(label: impl Into<String>, serial: f64, drom: f64) -> ComparisonRow {
+    ComparisonRow {
+        label: label.into(),
+        serial,
+        drom,
+        improvement_pct: percent_improvement(serial, drom),
+    }
+}
+
+/// Cycles-per-µs time series of one job, binned over the workload duration —
+/// the quantity Figure 13's colour scale encodes (0 … ~3300 cycles/µs).
+///
+/// Bins where the job is not running report 0.
+pub fn job_cycles_series(result: &SimulationResult, job_id: u64, bin_s: f64) -> Vec<f64> {
+    let horizon = result.makespan_s();
+    if horizon <= 0.0 || bin_s <= 0.0 {
+        return Vec::new();
+    }
+    let nbins = (horizon / bin_s).ceil() as usize;
+    let mut series = vec![0.0f64; nbins];
+    for seg in result.segments_of(job_id) {
+        let cycles = NOMINAL_CYCLES_PER_US * seg.utilization;
+        let first_bin = (seg.start_s / bin_s).floor().max(0.0) as usize;
+        let last_bin = ((seg.end_s / bin_s).ceil() as usize).min(nbins);
+        for (bin, slot) in series
+            .iter_mut()
+            .enumerate()
+            .take(last_bin)
+            .skip(first_bin)
+        {
+            let bin_start = bin as f64 * bin_s;
+            let bin_end = bin_start + bin_s;
+            let overlap = (seg.end_s.min(bin_end) - seg.start_s.max(bin_start)).max(0.0);
+            *slot += cycles * overlap / bin_s;
+        }
+    }
+    series
+}
+
+/// Per-thread IPC samples of one job, weighted by segment duration — the data
+/// behind the Figure 14 histograms. One sample is emitted per active thread
+/// per `sample_every_s` seconds of virtual time.
+pub fn ipc_samples(result: &SimulationResult, job_id: u64, sample_every_s: f64) -> Vec<f64> {
+    let mut samples = Vec::new();
+    if sample_every_s <= 0.0 {
+        return samples;
+    }
+    for seg in result.segments_of(job_id) {
+        let threads = seg.tasks * seg.cpus_per_task;
+        let count = (seg.duration_s() / sample_every_s).ceil() as usize;
+        for _ in 0..count {
+            for _ in 0..threads {
+                // Idle-ish threads (low utilization) drag the observed IPC down
+                // a little, which is what the paper's histograms show for the
+                // threads that lose work.
+                samples.push(seg.ipc * (0.85 + 0.15 * seg.utilization));
+            }
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkloadSimulator;
+    use crate::scenario::{high_priority_workload, in_situ_workload};
+    use drom_apps::Table1;
+    use drom_metrics::Scenario;
+
+    #[test]
+    fn comparison_row_improvement_sign() {
+        let row = comparison_row("x", 100.0, 90.0);
+        assert!((row.improvement_pct - 10.0).abs() < 1e-9);
+        let regression = comparison_row("y", 100.0, 110.0);
+        assert!(regression.improvement_pct < 0.0);
+    }
+
+    #[test]
+    fn cycles_series_covers_the_run_and_shows_the_shrink() {
+        let workload = in_situ_workload(Table1::NEST_CONF1, Table1::PILS_CONF1, 100.0);
+        let result = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+        let series = job_cycles_series(&result, 1, 10.0);
+        assert!(!series.is_empty());
+        // The NEST job is active from t=0, so the first bins are non-zero.
+        assert!(series[0] > 0.0);
+        // Every value is within the physical range.
+        assert!(series
+            .iter()
+            .all(|&v| (0.0..=NOMINAL_CYCLES_PER_US + 1e-9).contains(&v)));
+        // Degenerate bin sizes.
+        assert!(job_cycles_series(&result, 1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn ipc_samples_follow_thread_counts() {
+        let workload = high_priority_workload(100.0);
+        let result = WorkloadSimulator::new(Scenario::Serial).run(&workload);
+        let samples = ipc_samples(&result, 1, 50.0);
+        assert!(!samples.is_empty());
+        assert!(samples.iter().all(|&s| s > 0.0 && s < 3.0));
+        assert!(ipc_samples(&result, 1, 0.0).is_empty());
+        // The DROM scenario produces samples at a different (higher) IPC for
+        // the shrunk phase because fewer threads per task run there.
+        let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+        let drom_samples = ipc_samples(&drom, 2, 50.0);
+        let serial_samples = ipc_samples(&result, 2, 50.0);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&drom_samples) >= avg(&serial_samples) * 0.99);
+    }
+}

@@ -1,0 +1,177 @@
+//! The `task/affinity` plugin: CPU-mask computation for (co-)allocated jobs.
+//!
+//! This is the only part of SLURM the paper modifies. Given the node topology,
+//! the tasks already running on the node and the number of tasks of the
+//! starting job, the plugin computes:
+//!
+//! * one mask per new task, balanced and socket-aware;
+//! * the shrunk masks of the running tasks when the node has to be shared
+//!   ("our implementation calculates a new mask for both the new and the
+//!   running job, where the mask of the running job is a subset of its
+//!   original mask").
+//!
+//! The actual mask changes are applied later by the step daemon through
+//! `DROM_PreInit`; the plugin is pure computation, which keeps it reusable by
+//! the discrete-event simulator.
+
+use drom_cpuset::distribution::{
+    co_allocate, equipartition, redistribute_freed, DistributionPolicy, RunningTask,
+};
+use drom_cpuset::{CpuSet, Topology};
+
+use crate::error::SlurmError;
+
+/// The plugin's decision for launching some tasks on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLaunchPlan {
+    /// Mask for each new task, in task order.
+    pub task_masks: Vec<CpuSet>,
+    /// New (shrunk) masks for the tasks that were already running.
+    pub running_updates: Vec<RunningTask>,
+}
+
+/// The mask-computation half of the DROM-enabled `task/affinity` plugin.
+#[derive(Debug, Clone)]
+pub struct AffinityPlugin {
+    topology: Topology,
+    policy: DistributionPolicy,
+}
+
+impl AffinityPlugin {
+    /// Creates the plugin for a node topology with the paper's socket-aware
+    /// policy.
+    pub fn new(topology: Topology) -> Self {
+        AffinityPlugin {
+            topology,
+            policy: DistributionPolicy::SocketAware,
+        }
+    }
+
+    /// Overrides the distribution policy (used by the ablation benchmarks).
+    pub fn with_policy(mut self, policy: DistributionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The distribution policy in use.
+    pub fn policy(&self) -> DistributionPolicy {
+        self.policy
+    }
+
+    /// The node topology the plugin works on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Computes masks for `new_tasks` tasks starting on a node where `running`
+    /// tasks already execute (empty slice for an idle node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlurmError::NotEnoughCpus`] if the node cannot give at least
+    /// one CPU to every task (old and new).
+    pub fn launch_request(
+        &self,
+        node: &str,
+        running: &[RunningTask],
+        new_tasks: usize,
+    ) -> Result<NodeLaunchPlan, SlurmError> {
+        let node_cpus = self.topology.num_cpus();
+        if running.len() + new_tasks > node_cpus {
+            return Err(SlurmError::NotEnoughCpus {
+                node: node.to_string(),
+                requested_tasks: new_tasks,
+                available_cpus: node_cpus,
+            });
+        }
+        let node_mask = self.topology.node_mask();
+        if running.is_empty() {
+            // Idle node: the whole node is equipartitioned among the new tasks.
+            return Ok(NodeLaunchPlan {
+                task_masks: equipartition(&node_mask, new_tasks, &self.topology, self.policy),
+                running_updates: Vec::new(),
+            });
+        }
+        let plan = co_allocate(&node_mask, running, new_tasks, &self.topology, self.policy);
+        Ok(NodeLaunchPlan {
+            task_masks: plan.new_tasks,
+            running_updates: plan.updated_running,
+        })
+    }
+
+    /// Redistributes the CPUs freed by a finished job among the tasks that
+    /// keep running (`release_resources` in the paper's Figure 2).
+    pub fn release_resources(
+        &self,
+        running: &[RunningTask],
+        freed: &CpuSet,
+    ) -> Vec<RunningTask> {
+        redistribute_freed(running, freed, &self.topology, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plugin() -> AffinityPlugin {
+        AffinityPlugin::new(Topology::marenostrum3_node())
+    }
+
+    fn task(job: u64, id: usize, range: std::ops::Range<usize>) -> RunningTask {
+        RunningTask {
+            job_id: job,
+            task_id: id,
+            mask: CpuSet::from_range(range).unwrap(),
+        }
+    }
+
+    #[test]
+    fn idle_node_equipartition() {
+        let plan = plugin().launch_request("node0", &[], 2).unwrap();
+        assert!(plan.running_updates.is_empty());
+        assert_eq!(plan.task_masks.len(), 2);
+        assert_eq!(plan.task_masks[0].count(), 8);
+        assert_eq!(plan.task_masks[1].count(), 8);
+        assert!(plan.task_masks[0].is_disjoint(&plan.task_masks[1]));
+    }
+
+    #[test]
+    fn busy_node_shrinks_running_job() {
+        // Figure 2 scenario: job 1 (one task) owns the node, job 2 brings one task.
+        let running = vec![task(1, 0, 0..16)];
+        let plan = plugin().launch_request("node0", &running, 1).unwrap();
+        assert_eq!(plan.running_updates.len(), 1);
+        assert_eq!(plan.running_updates[0].mask.count(), 8);
+        assert!(plan.running_updates[0].mask.is_subset_of(&running[0].mask));
+        assert_eq!(plan.task_masks.len(), 1);
+        assert_eq!(plan.task_masks[0].count(), 8);
+        assert!(plan.task_masks[0].is_disjoint(&plan.running_updates[0].mask));
+    }
+
+    #[test]
+    fn too_many_tasks_rejected() {
+        let err = plugin().launch_request("node0", &[], 17).unwrap_err();
+        assert!(matches!(err, SlurmError::NotEnoughCpus { .. }));
+        let running: Vec<RunningTask> = (0..10).map(|i| task(1, i, i..i + 1)).collect();
+        let err = plugin().launch_request("node0", &running, 7).unwrap_err();
+        assert!(matches!(err, SlurmError::NotEnoughCpus { .. }));
+    }
+
+    #[test]
+    fn release_resources_expands_survivors() {
+        let running = vec![task(2, 0, 0..4), task(2, 1, 4..8)];
+        let freed = CpuSet::from_range(8..16).unwrap();
+        let updated = plugin().release_resources(&running, &freed);
+        assert_eq!(updated.len(), 2);
+        assert_eq!(updated[0].mask.count(), 8);
+        assert_eq!(updated[1].mask.count(), 8);
+    }
+
+    #[test]
+    fn policy_override() {
+        let p = plugin().with_policy(DistributionPolicy::Packed);
+        assert_eq!(p.policy(), DistributionPolicy::Packed);
+        assert_eq!(p.topology().num_cpus(), 16);
+    }
+}

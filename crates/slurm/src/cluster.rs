@@ -1,0 +1,125 @@
+//! Cluster inventory: nodes, their topology and their DROM shared memory.
+
+use std::sync::Arc;
+
+use drom_cpuset::Topology;
+use drom_shmem::{NodeShmem, ShmemManager};
+
+use crate::error::SlurmError;
+
+/// Hardware description of one compute node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHw {
+    /// Node name (hostname).
+    pub name: String,
+    /// CPU topology of the node.
+    pub topology: Topology,
+}
+
+/// The set of nodes SLURM manages, plus the per-node DROM shared memory.
+pub struct Cluster {
+    nodes: Vec<NodeHw>,
+    shmem: ShmemManager,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit node descriptions.
+    pub fn new(nodes: Vec<NodeHw>) -> Self {
+        let shmem = ShmemManager::new();
+        for node in &nodes {
+            shmem.get_or_create(&node.name, node.topology.num_cpus());
+        }
+        Cluster { nodes, shmem }
+    }
+
+    /// A MareNostrum III partition of `num_nodes` nodes named
+    /// `node0`, `node1`, … (two 8-core sockets each), matching the paper's
+    /// two-node evaluation environment.
+    pub fn marenostrum3(num_nodes: usize) -> Self {
+        Cluster::new(
+            (0..num_nodes)
+                .map(|i| NodeHw {
+                    name: format!("node{i}"),
+                    topology: Topology::marenostrum3_node(),
+                })
+                .collect(),
+        )
+    }
+
+    /// The nodes of the cluster, in declaration order.
+    pub fn nodes(&self) -> &[NodeHw] {
+        &self.nodes
+    }
+
+    /// Node names in declaration order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name.clone()).collect()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total CPUs across the cluster.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes.iter().map(|n| n.topology.num_cpus()).sum()
+    }
+
+    /// Looks up a node by name.
+    pub fn node(&self, name: &str) -> Result<&NodeHw, SlurmError> {
+        self.nodes
+            .iter()
+            .find(|n| n.name == name)
+            .ok_or_else(|| SlurmError::UnknownNode { node: name.into() })
+    }
+
+    /// The DROM shared-memory segment of a node.
+    pub fn shmem(&self, name: &str) -> Result<Arc<NodeShmem>, SlurmError> {
+        self.node(name)?;
+        Ok(self
+            .shmem
+            .get(name)
+            .expect("segment created for every node at construction"))
+    }
+
+    /// The shared-memory manager (one segment per node).
+    pub fn shmem_manager(&self) -> &ShmemManager {
+        &self.shmem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mn3_cluster_shape() {
+        let cluster = Cluster::marenostrum3(2);
+        assert_eq!(cluster.num_nodes(), 2);
+        assert_eq!(cluster.node_names(), vec!["node0", "node1"]);
+        assert_eq!(cluster.total_cpus(), 32);
+        assert_eq!(cluster.node("node1").unwrap().topology.num_cpus(), 16);
+        assert_eq!(cluster.shmem("node0").unwrap().node_cpus(), 16);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let cluster = Cluster::marenostrum3(1);
+        assert!(matches!(
+            cluster.node("node9"),
+            Err(SlurmError::UnknownNode { .. })
+        ));
+        assert!(cluster.shmem("node9").is_err());
+    }
+
+    #[test]
+    fn custom_cluster() {
+        let cluster = Cluster::new(vec![NodeHw {
+            name: "fat-node".into(),
+            topology: Topology::homogeneous(4, 16, 512).unwrap(),
+        }]);
+        assert_eq!(cluster.total_cpus(), 64);
+        assert_eq!(cluster.shmem("fat-node").unwrap().node_cpus(), 64);
+    }
+}

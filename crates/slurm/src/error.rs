@@ -1,0 +1,85 @@
+//! Errors of the SLURM-like node manager.
+
+use std::fmt;
+
+use drom_core::DromError;
+
+/// Errors returned by the scheduler, the node daemons and the launcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlurmError {
+    /// The requested node does not exist in the cluster.
+    UnknownNode {
+        /// The unknown node name.
+        node: String,
+    },
+    /// The node already runs a job and DROM co-allocation is disabled.
+    NodeBusy {
+        /// The busy node.
+        node: String,
+    },
+    /// The job asks for more tasks than the node can hold (every task needs at
+    /// least one CPU).
+    NotEnoughCpus {
+        /// The node that cannot satisfy the request.
+        node: String,
+        /// Tasks requested on that node.
+        requested_tasks: usize,
+        /// CPUs physically available.
+        available_cpus: usize,
+    },
+    /// The job is unknown to the daemon (e.g. completing a job twice).
+    UnknownJob {
+        /// The unknown job id.
+        job_id: u64,
+    },
+    /// An underlying DROM call failed.
+    Drom(DromError),
+}
+
+impl fmt::Display for SlurmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlurmError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            SlurmError::NodeBusy { node } => {
+                write!(f, "node {node} is busy and co-allocation is disabled")
+            }
+            SlurmError::NotEnoughCpus {
+                node,
+                requested_tasks,
+                available_cpus,
+            } => write!(
+                f,
+                "node {node} cannot host {requested_tasks} tasks with only {available_cpus} cpus"
+            ),
+            SlurmError::UnknownJob { job_id } => write!(f, "unknown job {job_id}"),
+            SlurmError::Drom(err) => write!(f, "DROM error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SlurmError {}
+
+impl From<DromError> for SlurmError {
+    fn from(err: DromError) -> Self {
+        SlurmError::Drom(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        assert!(SlurmError::UnknownNode { node: "n7".into() }
+            .to_string()
+            .contains("n7"));
+        assert!(SlurmError::NodeBusy { node: "n1".into() }
+            .to_string()
+            .contains("busy"));
+        assert!(SlurmError::UnknownJob { job_id: 42 }.to_string().contains("42"));
+        let err: SlurmError = DromError::NotInitialized.into();
+        assert!(matches!(err, SlurmError::Drom(_)));
+        assert!(err.to_string().contains("DROM"));
+    }
+}

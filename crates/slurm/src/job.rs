@@ -1,0 +1,168 @@
+//! Job descriptions and life-cycle states.
+
+use serde::{Deserialize, Serialize};
+
+use drom_metrics::TimeUs;
+
+/// Life-cycle of a job from the controller's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Executing on its allocated nodes.
+    Running,
+    /// Finished (successfully or not — the evaluation has no failing jobs).
+    Completed,
+}
+
+/// A job submission: what the user asked for.
+///
+/// The fields mirror the knobs the paper's evaluation varies (Table 1): how
+/// many MPI tasks, how many OpenMP threads per task, how many nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job identifier.
+    pub id: u64,
+    /// Human-readable name (e.g. `"NEST Conf. 1"`).
+    pub name: String,
+    /// Total number of MPI tasks of the job.
+    pub num_tasks: usize,
+    /// OpenMP threads each task would like (informational: the actual thread
+    /// count follows the CPUs the task ends up owning).
+    pub threads_per_task: usize,
+    /// Number of nodes requested.
+    pub nodes: usize,
+    /// Submission time (virtual).
+    pub submit_time: TimeUs,
+    /// `true` if the job tolerates having its CPUs changed at run time.
+    pub malleable: bool,
+    /// Scheduling priority (larger is more urgent). The high-priority use case
+    /// (Section 6.2) submits its second job with a higher priority.
+    pub priority: u32,
+}
+
+impl JobSpec {
+    /// Creates a job with one task, one thread, one node, priority 0,
+    /// malleable, submitted at time 0. Use the builder methods to adjust.
+    pub fn new(id: u64, name: impl Into<String>) -> Self {
+        JobSpec {
+            id,
+            name: name.into(),
+            num_tasks: 1,
+            threads_per_task: 1,
+            nodes: 1,
+            submit_time: 0,
+            malleable: true,
+            priority: 0,
+        }
+    }
+
+    /// Sets the number of MPI tasks.
+    pub fn with_tasks(mut self, tasks: usize) -> Self {
+        self.num_tasks = tasks.max(1);
+        self
+    }
+
+    /// Sets the requested OpenMP threads per task.
+    pub fn with_threads_per_task(mut self, threads: usize) -> Self {
+        self.threads_per_task = threads.max(1);
+        self
+    }
+
+    /// Sets the number of nodes requested.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes.max(1);
+        self
+    }
+
+    /// Sets the submission time.
+    pub fn with_submit_time(mut self, time: TimeUs) -> Self {
+        self.submit_time = time;
+        self
+    }
+
+    /// Marks the job as rigid (non-malleable): its masks must never change.
+    pub fn rigid(mut self) -> Self {
+        self.malleable = false;
+        self
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Tasks this job places on each of its nodes (block distribution, like
+    /// the evaluation: "All applications ask for 2 nodes and distribute MPI
+    /// processes among them").
+    pub fn tasks_per_node(&self) -> Vec<usize> {
+        let base = self.num_tasks / self.nodes;
+        let extra = self.num_tasks % self.nodes;
+        (0..self.nodes)
+            .map(|i| base + usize::from(i < extra))
+            .collect()
+    }
+
+    /// Total CPUs the job would like (tasks × threads).
+    pub fn requested_cpus(&self) -> usize {
+        self.num_tasks * self.threads_per_task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let job = JobSpec::new(7, "NEST Conf. 1")
+            .with_tasks(4)
+            .with_threads_per_task(8)
+            .with_nodes(2)
+            .with_submit_time(1_000)
+            .with_priority(5);
+        assert_eq!(job.id, 7);
+        assert_eq!(job.name, "NEST Conf. 1");
+        assert_eq!(job.num_tasks, 4);
+        assert_eq!(job.threads_per_task, 8);
+        assert_eq!(job.nodes, 2);
+        assert_eq!(job.submit_time, 1_000);
+        assert_eq!(job.priority, 5);
+        assert!(job.malleable);
+        assert_eq!(job.requested_cpus(), 32);
+    }
+
+    #[test]
+    fn rigid_jobs() {
+        let job = JobSpec::new(1, "legacy").rigid();
+        assert!(!job.malleable);
+    }
+
+    #[test]
+    fn zero_values_are_clamped() {
+        let job = JobSpec::new(1, "x")
+            .with_tasks(0)
+            .with_threads_per_task(0)
+            .with_nodes(0);
+        assert_eq!(job.num_tasks, 1);
+        assert_eq!(job.threads_per_task, 1);
+        assert_eq!(job.nodes, 1);
+    }
+
+    #[test]
+    fn tasks_per_node_block_distribution() {
+        let job = JobSpec::new(1, "x").with_tasks(4).with_nodes(2);
+        assert_eq!(job.tasks_per_node(), vec![2, 2]);
+        let odd = JobSpec::new(2, "y").with_tasks(5).with_nodes(2);
+        assert_eq!(odd.tasks_per_node(), vec![3, 2]);
+        let single = JobSpec::new(3, "z").with_tasks(2).with_nodes(1);
+        assert_eq!(single.tasks_per_node(), vec![2]);
+    }
+
+    #[test]
+    fn job_state_variants() {
+        assert_ne!(JobState::Pending, JobState::Running);
+        assert_ne!(JobState::Running, JobState::Completed);
+    }
+}

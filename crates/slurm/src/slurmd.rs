@@ -1,0 +1,325 @@
+//! The per-node daemon: bookkeeping of the jobs running on a node, mask
+//! computation on launch and CPU redistribution on job completion.
+//!
+//! `slurmd` is "in charge of managing single computing node resources, and
+//! thanks to the plugin, calculating and distributing CPU masks to tasks of
+//! the scheduled job". The DROM-enabled flow (Figure 2) is:
+//!
+//! 1. `launch_request` — compute masks for the starting tasks and shrunk masks
+//!    for the running tasks;
+//! 2. `pre_launch` (delegated to [`SlurmStepd`]) — apply them via
+//!    `DROM_PreInit`;
+//! 3. `post_term` — clean up via `DROM_PostFinalize` when a task ends;
+//! 4. `release_resources` — when a whole job ends, hand its CPUs to the jobs
+//!    that keep running.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use drom_core::{DromFlags, Pid};
+use drom_cpuset::distribution::RunningTask;
+use drom_cpuset::DistributionPolicy;
+use drom_shmem::NodeShmem;
+
+use crate::affinity::{AffinityPlugin, NodeLaunchPlan};
+use crate::cluster::NodeHw;
+use crate::error::SlurmError;
+use crate::stepd::SlurmStepd;
+
+/// The per-node SLURM daemon with the DROM-enabled task/affinity plugin.
+pub struct Slurmd {
+    node: NodeHw,
+    shmem: Arc<NodeShmem>,
+    plugin: AffinityPlugin,
+    stepd: SlurmStepd,
+    drom_enabled: bool,
+    /// Tasks of each job running on this node: job id → pids.
+    running: Mutex<HashMap<u64, Vec<Pid>>>,
+}
+
+impl Slurmd {
+    /// Creates the daemon of one node. `drom_enabled` selects between the
+    /// modified SLURM (co-allocation allowed) and the baseline (a busy node
+    /// refuses new jobs).
+    pub fn new(node: NodeHw, shmem: Arc<NodeShmem>, drom_enabled: bool) -> Self {
+        let plugin = AffinityPlugin::new(node.topology.clone());
+        let stepd = SlurmStepd::new(node.name.clone(), Arc::clone(&shmem));
+        Slurmd {
+            node,
+            shmem,
+            plugin,
+            stepd,
+            drom_enabled,
+            running: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the plugin's distribution policy (ablation studies).
+    pub fn with_policy(mut self, policy: DistributionPolicy) -> Self {
+        self.plugin = self.plugin.with_policy(policy);
+        self
+    }
+
+    /// The node this daemon manages.
+    pub fn node_name(&self) -> &str {
+        &self.node.name
+    }
+
+    /// `true` if DROM co-allocation is enabled on this node.
+    pub fn drom_enabled(&self) -> bool {
+        self.drom_enabled
+    }
+
+    /// The node's DROM shared memory.
+    pub fn shmem(&self) -> &Arc<NodeShmem> {
+        &self.shmem
+    }
+
+    /// The step daemon of this node.
+    pub fn stepd(&self) -> &SlurmStepd {
+        &self.stepd
+    }
+
+    /// Job ids currently running on this node.
+    pub fn running_jobs(&self) -> Vec<u64> {
+        let mut jobs: Vec<u64> = self.running.lock().keys().copied().collect();
+        jobs.sort_unstable();
+        jobs
+    }
+
+    /// Snapshot of the running tasks with their current (effective) masks.
+    fn running_tasks(&self) -> Vec<RunningTask> {
+        let running = self.running.lock();
+        let mut tasks = Vec::new();
+        for (&job_id, pids) in running.iter() {
+            for (task_id, &pid) in pids.iter().enumerate() {
+                if let Ok(mask) = self.shmem.effective_mask(pid) {
+                    tasks.push(RunningTask {
+                        job_id,
+                        task_id,
+                        mask,
+                    });
+                }
+            }
+        }
+        tasks.sort_by_key(|t| (t.job_id, t.task_id));
+        tasks
+    }
+
+    /// Computes the launch plan for `new_tasks` tasks of `job_id` on this node
+    /// (Figure 2, step 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`SlurmError::NodeBusy`] when another job runs here and DROM is off.
+    /// * [`SlurmError::NotEnoughCpus`] when the node cannot host the tasks.
+    pub fn launch_request(
+        &self,
+        job_id: u64,
+        new_tasks: usize,
+    ) -> Result<NodeLaunchPlan, SlurmError> {
+        let running = self.running_tasks();
+        if !running.is_empty() && !self.drom_enabled {
+            return Err(SlurmError::NodeBusy {
+                node: self.node.name.clone(),
+            });
+        }
+        let _ = job_id;
+        self.plugin.launch_request(&self.node.name, &running, new_tasks)
+    }
+
+    /// Reserves `mask` for task `pid` of `job_id` through the step daemon and
+    /// records it as running on this node (Figure 2, step 2/2.1).
+    pub fn pre_launch(
+        &self,
+        job_id: u64,
+        pid: Pid,
+        mask: &drom_cpuset::CpuSet,
+    ) -> Result<drom_core::DromEnviron, SlurmError> {
+        let environ = self.stepd.pre_launch(pid, mask)?;
+        self.running.lock().entry(job_id).or_default().push(pid);
+        Ok(environ)
+    }
+
+    /// Cleans up one finished task (Figure 2, step 4/4.1).
+    pub fn post_term(&self, job_id: u64, pid: Pid) -> Result<(), SlurmError> {
+        self.stepd.post_term(pid)?;
+        let mut running = self.running.lock();
+        if let Some(pids) = running.get_mut(&job_id) {
+            pids.retain(|&p| p != pid);
+            if pids.is_empty() {
+                running.remove(&job_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Redistributes the CPUs freed by `finished_job` among the jobs that keep
+    /// running on this node (Figure 2, step 5/5.1). Returns the number of CPUs
+    /// that were handed out.
+    pub fn release_resources(&self, finished_job: u64) -> Result<usize, SlurmError> {
+        // The finished job's tasks must already be post_term'd; anything left
+        // under its id is stale bookkeeping.
+        self.running.lock().remove(&finished_job);
+        let survivors = self.running_tasks();
+        if survivors.is_empty() {
+            return Ok(0);
+        }
+        let freed = self.shmem.free_cpus();
+        if freed.is_empty() {
+            return Ok(0);
+        }
+        let updated = self.plugin.release_resources(&survivors, &freed);
+        let admin = self.stepd.admin();
+        let mut handed_out = 0usize;
+        for (before, after) in survivors.iter().zip(updated.iter()) {
+            if after.mask != before.mask {
+                let pid = self.pid_of(after.job_id, after.task_id);
+                if let Some(pid) = pid {
+                    handed_out += after.mask.count() - before.mask.count();
+                    admin.set_process_mask(pid, &after.mask, DromFlags::default())?;
+                }
+            }
+        }
+        Ok(handed_out)
+    }
+
+    fn pid_of(&self, job_id: u64, task_id: usize) -> Option<Pid> {
+        self.running
+            .lock()
+            .get(&job_id)
+            .and_then(|pids| pids.get(task_id))
+            .copied()
+    }
+
+    /// Fraction of the node's CPUs currently assigned to running processes.
+    pub fn utilization(&self) -> f64 {
+        let total = self.node.topology.num_cpus();
+        if total == 0 {
+            return 0.0;
+        }
+        let free = self.shmem.free_cpus().count();
+        (total - free) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_core::DromProcess;
+    use drom_cpuset::{CpuSet, Topology};
+
+    fn make_slurmd(drom: bool) -> (Slurmd, Arc<NodeShmem>) {
+        let shmem = Arc::new(NodeShmem::new("node0", 16));
+        let node = NodeHw {
+            name: "node0".into(),
+            topology: Topology::marenostrum3_node(),
+        };
+        (Slurmd::new(node, Arc::clone(&shmem), drom), shmem)
+    }
+
+    #[test]
+    fn launch_on_idle_node() {
+        let (slurmd, _shmem) = make_slurmd(true);
+        let plan = slurmd.launch_request(1, 2).unwrap();
+        assert_eq!(plan.task_masks.len(), 2);
+        assert!(plan.running_updates.is_empty());
+        assert_eq!(slurmd.node_name(), "node0");
+        assert!(slurmd.drom_enabled());
+        assert_eq!(slurmd.utilization(), 0.0);
+    }
+
+    #[test]
+    fn full_coallocation_lifecycle() {
+        let (slurmd, shmem) = make_slurmd(true);
+
+        // Job 1: one task on the whole node.
+        let plan1 = slurmd.launch_request(1, 1).unwrap();
+        let env1 = slurmd.pre_launch(1, 100, &plan1.task_masks[0]).unwrap();
+        let proc1 = Arc::new(DromProcess::init_from_environ(&env1, Arc::clone(&shmem)).unwrap());
+        assert_eq!(proc1.num_cpus(), 16);
+        assert_eq!(slurmd.running_jobs(), vec![1]);
+        assert!((slurmd.utilization() - 1.0).abs() < 1e-12);
+
+        // Job 2: two tasks co-allocated; job 1 must shrink to half the node.
+        let plan2 = slurmd.launch_request(2, 2).unwrap();
+        assert_eq!(plan2.running_updates.len(), 1);
+        assert_eq!(plan2.running_updates[0].mask.count(), 8);
+        let mut procs2 = Vec::new();
+        for (i, mask) in plan2.task_masks.iter().enumerate() {
+            let env = slurmd.pre_launch(2, 200 + i as u32, mask).unwrap();
+            procs2.push(DromProcess::init_from_environ(&env, Arc::clone(&shmem)).unwrap());
+        }
+        assert_eq!(slurmd.running_jobs(), vec![1, 2]);
+        // Job 1 observes the shrink at its next malleability point.
+        assert_eq!(proc1.poll_drom().unwrap().unwrap().count(), 8);
+        assert_eq!(procs2[0].num_cpus() + procs2[1].num_cpus(), 8);
+
+        // Job 2 finishes: post_term both tasks, release resources to job 1.
+        for (i, proc) in procs2.into_iter().enumerate() {
+            proc.finalize().unwrap();
+            slurmd.post_term(2, 200 + i as u32).unwrap();
+        }
+        let handed = slurmd.release_resources(2).unwrap();
+        // Job 1 already got its owned CPUs back through PostFinalize's
+        // return-to-owner path, so release_resources may have nothing left.
+        let _ = handed;
+        assert_eq!(proc1.poll_drom().unwrap().unwrap().count(), 16);
+        assert_eq!(slurmd.running_jobs(), vec![1]);
+    }
+
+    #[test]
+    fn owner_finishes_first_survivor_expands() {
+        let (slurmd, shmem) = make_slurmd(true);
+        // Job 1 owns the whole node.
+        let plan1 = slurmd.launch_request(1, 1).unwrap();
+        let env1 = slurmd.pre_launch(1, 100, &plan1.task_masks[0]).unwrap();
+        let proc1 = DromProcess::init_from_environ(&env1, Arc::clone(&shmem)).unwrap();
+        // Job 2 co-allocates one task.
+        let plan2 = slurmd.launch_request(2, 1).unwrap();
+        let env2 = slurmd.pre_launch(2, 200, &plan2.task_masks[0]).unwrap();
+        let proc2 = DromProcess::init_from_environ(&env2, Arc::clone(&shmem)).unwrap();
+        proc1.poll_drom().unwrap();
+        assert_eq!(proc2.num_cpus(), 8);
+
+        // Job 1 (the CPU owner) finishes first.
+        proc1.finalize().unwrap();
+        slurmd.post_term(1, 100).unwrap();
+        let handed = slurmd.release_resources(1).unwrap();
+        assert_eq!(handed, 8, "the survivor acquires the freed half of the node");
+        assert_eq!(proc2.poll_drom().unwrap().unwrap().count(), 16);
+    }
+
+    #[test]
+    fn busy_node_without_drom_is_refused() {
+        let (slurmd, _shmem) = make_slurmd(false);
+        let plan1 = slurmd.launch_request(1, 1).unwrap();
+        slurmd.pre_launch(1, 100, &plan1.task_masks[0]).unwrap();
+        let err = slurmd.launch_request(2, 1).unwrap_err();
+        assert!(matches!(err, SlurmError::NodeBusy { .. }));
+        assert!(!slurmd.drom_enabled());
+    }
+
+    #[test]
+    fn release_with_no_survivors_is_zero() {
+        let (slurmd, _shmem) = make_slurmd(true);
+        assert_eq!(slurmd.release_resources(9).unwrap(), 0);
+    }
+
+    #[test]
+    fn post_term_unknown_pid_is_tolerated() {
+        let (slurmd, _shmem) = make_slurmd(true);
+        slurmd.post_term(1, 999).unwrap();
+        assert!(slurmd.running_jobs().is_empty());
+    }
+
+    #[test]
+    fn policy_override_is_applied() {
+        let (slurmd, _shmem) = make_slurmd(true);
+        let slurmd = slurmd.with_policy(DistributionPolicy::Packed);
+        let plan = slurmd.launch_request(1, 2).unwrap();
+        assert_eq!(plan.task_masks[0], CpuSet::from_range(0..8).unwrap());
+    }
+}

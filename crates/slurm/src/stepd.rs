@@ -1,0 +1,93 @@
+//! The step daemon: applying the computed masks through the DROM API.
+//!
+//! In SLURM, `slurmstepd` is "a daemon that controls correct task launch and
+//! execution. At launch point, the plugin picks the mask assigned by slurmd and
+//! actually sets it." In the DROM integration that means calling
+//! `DROM_PreInit` before the task starts (reserving its CPUs and shrinking any
+//! victim) and `DROM_PostFinalize` after it terminates.
+
+use std::sync::Arc;
+
+use drom_core::{DromAdmin, DromEnviron, DromFlags, Pid};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+use crate::error::SlurmError;
+
+/// Per-node step daemon: wraps a DROM administrator attachment.
+pub struct SlurmStepd {
+    node: String,
+    admin: DromAdmin,
+}
+
+impl SlurmStepd {
+    /// Attaches a step daemon to a node's DROM shared memory.
+    pub fn new(node: impl Into<String>, shmem: Arc<NodeShmem>) -> Self {
+        SlurmStepd {
+            node: node.into(),
+            admin: DromAdmin::attach(shmem),
+        }
+    }
+
+    /// The node this daemon manages.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The underlying DROM administrator (exposed for tests and tooling).
+    pub fn admin(&self) -> &DromAdmin {
+        &self.admin
+    }
+
+    /// `pre_launch` (Figure 2, step 2): reserves `mask` for the task with
+    /// process id `pid`, shrinking any running process that currently holds
+    /// those CPUs, and returns the environment the task will register with.
+    pub fn pre_launch(&self, pid: Pid, mask: &CpuSet) -> Result<DromEnviron, SlurmError> {
+        let (environ, _victims) = self
+            .admin
+            .pre_init(pid, mask, DromFlags::default().with_steal().with_return_stolen())?;
+        Ok(environ)
+    }
+
+    /// `post_term` (Figure 2, step 4): cleans the task's entry from the DROM
+    /// shared memory. A task that already finalized itself is not an error —
+    /// the paper notes the scheduler cannot know and should call it anyway.
+    pub fn post_term(&self, pid: Pid) -> Result<(), SlurmError> {
+        match self.admin.post_finalize(pid, DromFlags::default().with_return_stolen()) {
+            Ok(_) => Ok(()),
+            Err(drom_core::DromError::NoSuchProcess { .. }) => Ok(()),
+            Err(err) => Err(err.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drom_core::DromProcess;
+
+    #[test]
+    fn pre_launch_reserves_and_shrinks() {
+        let shmem = Arc::new(NodeShmem::new("node0", 16));
+        let running =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap());
+        let stepd = SlurmStepd::new("node0", Arc::clone(&shmem));
+        assert_eq!(stepd.node(), "node0");
+
+        let environ = stepd
+            .pre_launch(50, &CpuSet::from_range(8..16).unwrap())
+            .unwrap();
+        assert_eq!(environ.pid, 50);
+        assert_eq!(environ.mask.count(), 8);
+        // The running process is asked to shrink.
+        assert_eq!(running.poll_drom().unwrap().unwrap().count(), 8);
+
+        // The new task registers and later terminates; post_term cleans up.
+        let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+        drop(child);
+        stepd.post_term(50).unwrap();
+        // Calling it again (entry already gone) is still fine.
+        stepd.post_term(50).unwrap();
+        assert_eq!(stepd.admin().get_pid_list().unwrap(), vec![1]);
+    }
+}

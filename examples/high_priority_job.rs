@@ -1,0 +1,95 @@
+//! Use case 2 (high-priority job) replayed in virtual time: a long NEST
+//! simulation and a high-priority CoreNeuron simulation share two nodes.
+//! The example prints the Serial vs DROM comparison the paper reports in
+//! Figures 13 and 15, plus an ASCII rendering of the cycles/µs timelines.
+//!
+//! Run with: `cargo run --example high_priority_job`
+
+use drom::metrics::export::series_to_ascii;
+use drom::metrics::Table;
+use drom::sim::{
+    comparison_row, high_priority_workload, job_cycles_series, Scenario, WorkloadSimulator,
+};
+
+fn main() {
+    let workload = high_priority_workload(200.0);
+    println!("workload:");
+    for job in &workload {
+        println!(
+            "  job {} '{}' submitted at {:.0}s (priority {})",
+            job.id, job.name, job.submit_s, job.priority
+        );
+    }
+
+    let serial = WorkloadSimulator::new(Scenario::Serial).run(&workload);
+    let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
+
+    // --- System metrics (Figures 13 and 15). --------------------------------
+    let mut table = Table::new(
+        "Use case 2: high-priority job (Serial vs DROM)",
+        &["metric", "Serial [s]", "DROM [s]", "improvement [%]"],
+    );
+    let rows = vec![
+        comparison_row(
+            "total run time",
+            serial.report.total_run_time() as f64 / 1e6,
+            drom.report.total_run_time() as f64 / 1e6,
+        ),
+        comparison_row(
+            "average response time",
+            serial.report.average_response_time() / 1e6,
+            drom.report.average_response_time() / 1e6,
+        ),
+    ];
+    for row in &rows {
+        table.add_row(&[
+            row.label.clone(),
+            format!("{:.0}", row.serial),
+            format!("{:.0}", row.drom),
+            format!("{:+.1}", row.improvement_pct),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // Per-job response times.
+    let mut per_job = Table::new(
+        "Per-job response times",
+        &["job", "Serial [s]", "DROM [s]"],
+    );
+    for job in &workload {
+        per_job.add_row(&[
+            job.name.clone(),
+            format!(
+                "{:.0}",
+                serial.report.response_time_of(&job.name).unwrap_or(0) as f64 / 1e6
+            ),
+            format!(
+                "{:.0}",
+                drom.report.response_time_of(&job.name).unwrap_or(0) as f64 / 1e6
+            ),
+        ]);
+    }
+    println!("{}", per_job.render());
+
+    // --- The Figure 13 view: cycles/µs over time, per job, per scenario. -----
+    println!("cycles per microsecond over time (darker = busier threads):\n");
+    for (label, result) in [("Serial", &serial), ("DROM", &drom)] {
+        let bin = result.makespan_s() / 60.0;
+        let series: Vec<Vec<f64>> = workload
+            .iter()
+            .map(|job| job_cycles_series(result, job.id, bin))
+            .collect();
+        let labels: Vec<String> = workload
+            .iter()
+            .map(|job| format!("{label:>6} {}", job.name))
+            .collect();
+        print!("{}", series_to_ascii(&labels, &series, 60));
+        println!();
+    }
+    println!(
+        "DROM starts the high-priority job {:.0}s earlier than Serial.",
+        (serial.report.jobs[1].start as f64 - drom.report.jobs.iter()
+            .find(|j| j.name.contains("CoreNeuron")).map(|j| j.start as f64).unwrap_or(0.0))
+            / 1e6
+    );
+}

@@ -1,0 +1,105 @@
+//! Use case 1 (in-situ analytics) executed for real on the simulated node
+//! manager: a NEST-like simulation owns two nodes, a Pils-like analytics job
+//! is co-allocated through the DROM-enabled task/affinity plugin, and the
+//! simulation shrinks and re-expands without being restarted.
+//!
+//! Run with: `cargo run --example in_situ_analytics`
+
+use std::sync::Arc;
+
+use drom::apps::{NestSim, Pils, Table1};
+use drom::core::DromProcess;
+use drom::ompsim::{DromOmptTool, OmpRuntime};
+use drom::slurm::{Cluster, JobSpec, Srun};
+
+fn main() {
+    // Two MareNostrum III nodes managed by a DROM-enabled SLURM.
+    let cluster = Arc::new(Cluster::marenostrum3(2));
+    let srun = Srun::new(Arc::clone(&cluster), true);
+    let nodes: Vec<String> = cluster.node_names();
+
+    // --- 1. Launch the simulation: NEST Conf. 1 (2 MPI x 16 OpenMP). ---------
+    let sim_spec = JobSpec::new(1, "NEST Conf. 1").with_tasks(2).with_nodes(2);
+    let launched_sim = srun.launch(&sim_spec, &nodes).unwrap();
+    println!("launched {}:", sim_spec.name);
+    for task in &launched_sim.tasks {
+        println!("  task {} on {} mask {}", task.task_index, task.node, task.mask);
+    }
+
+    // Each task gets a DROM process, an OpenMP-like runtime and the DROM OMPT
+    // tool (this is what pre-loading DLB does for a real application).
+    let sim_tasks: Vec<(Arc<DromProcess>, OmpRuntime, Arc<DromOmptTool>)> = launched_sim
+        .tasks
+        .iter()
+        .map(|task| {
+            let shmem = cluster.shmem(&task.node).unwrap();
+            let process = Arc::new(DromProcess::init_from_environ(&task.environ, shmem).unwrap());
+            let runtime = OmpRuntime::new(16);
+            let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+            (process, runtime, tool)
+        })
+        .collect();
+
+    // Run a first chunk of simulation iterations on the full nodes.
+    let nest = NestSim::new(Table1::NEST_CONF1).scaled(4, 1_500);
+    for (i, (_, runtime, tool)) in sim_tasks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        println!(
+            "  rank {i}: {} iterations on team sizes {:?}",
+            report.iterations_done, report.team_sizes
+        );
+    }
+
+    // --- 2. The analytics job arrives: Pils Conf. 3 (2 MPI x 4 OmpSs). -------
+    let ana_spec = JobSpec::new(2, "Pils Conf. 3").with_tasks(2).with_nodes(2);
+    let launched_ana = srun.launch(&ana_spec, &nodes).unwrap();
+    println!("co-allocated {}:", ana_spec.name);
+    for task in &launched_ana.tasks {
+        println!("  task {} on {} mask {}", task.task_index, task.node, task.mask);
+    }
+
+    // The simulation keeps iterating; its next parallel constructs run on the
+    // reduced team (the launch already posted the pending shrink).
+    for (i, (process, runtime, tool)) in sim_tasks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        println!(
+            "  rank {i} while sharing: team sizes {:?} (mask {})",
+            report.team_sizes,
+            process.current_mask()
+        );
+    }
+
+    // The analytics runs to completion on its slice of the nodes.
+    let pils = Pils::new(Table1::PILS_CONF3).scaled(3, 32, 1_000);
+    for task in &launched_ana.tasks {
+        let shmem = cluster.shmem(&task.node).unwrap();
+        let process = Arc::new(DromProcess::init_from_environ(&task.environ, shmem).unwrap());
+        let runtime = OmpRuntime::new(16);
+        let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+        let report = pils.run_rank(&runtime, Some(&tool));
+        println!(
+            "  analytics rank on {}: {} packages on team sizes {:?}",
+            task.node, report.packages_done, report.team_sizes
+        );
+        process.finalize().unwrap();
+    }
+
+    // --- 3. The analytics finishes: CPUs return to the simulation. -----------
+    srun.complete(&launched_ana).unwrap();
+    for (i, (process, runtime, tool)) in sim_tasks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        println!(
+            "  rank {i} after release: team sizes {:?} (mask {})",
+            report.team_sizes,
+            process.current_mask()
+        );
+    }
+
+    // --- 4. Tear down the simulation job. ------------------------------------
+    for (process, _, _) in &sim_tasks {
+        process.finalize().unwrap();
+    }
+    srun.complete(&launched_sim).unwrap();
+    println!("workload finished; node utilization now {:.0}%",
+        srun.slurmd(&nodes[0]).unwrap().utilization() * 100.0);
+}

@@ -1,0 +1,80 @@
+//! A manually malleable application — the Listing 1 pattern.
+//!
+//! This is what an application without a supported programming model does to
+//! become DROM-responsive: initialise DLB, poll DROM before every malleable
+//! phase, adapt the thread count, compute, finalise. A second thread plays the
+//! resource manager and keeps changing the process mask while the application
+//! iterates, demonstrating that the changes are picked up at the iteration
+//! boundaries ("its effect does not need to be immediate").
+//!
+//! Run with: `cargo run --example malleable_app`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use drom::apps::kernel::busy_work;
+use drom::apps::MalleableDriver;
+use drom::core::{DromAdmin, DromFlags};
+use drom::cpuset::CpuSet;
+use drom::shmem::NodeShmem;
+
+fn main() {
+    let shmem = Arc::new(NodeShmem::new("node0", 8));
+
+    // DLB_Init with the whole node (Listing 1, initialization).
+    let driver = MalleableDriver::init(1, CpuSet::first_n(8), Arc::clone(&shmem)).unwrap();
+    println!(
+        "application initialised with {} CPUs",
+        driver.process().num_cpus()
+    );
+
+    // The "resource manager": shrinks the application half-way through and
+    // gives the CPUs back near the end.
+    let admin_shmem = Arc::clone(&shmem);
+    let manager = std::thread::spawn(move || {
+        let admin = DromAdmin::attach(admin_shmem);
+        std::thread::sleep(Duration::from_millis(30));
+        admin
+            .set_process_mask(1, &CpuSet::from_range(0..2).unwrap(), DromFlags::default())
+            .unwrap();
+        println!("[manager] shrank the application to 2 CPUs");
+        std::thread::sleep(Duration::from_millis(60));
+        admin
+            .set_process_mask(1, &CpuSet::first_n(8), DromFlags::default())
+            .unwrap();
+        println!("[manager] returned all 8 CPUs");
+    });
+
+    // The main loop (Listing 1): poll DROM, adapt, run the parallel phase.
+    let report = driver.run_iterations(12, |runtime, iteration| {
+        runtime.parallel(|_ctx| {
+            busy_work(400_000);
+        });
+        // Keep iterations long enough for the manager's changes to land
+        // between them.
+        let _ = iteration;
+        std::thread::sleep(Duration::from_millis(10));
+    });
+
+    manager.join().unwrap();
+
+    println!("\niteration log:");
+    for it in &report.iterations {
+        println!(
+            "  iteration {:>2}: team of {} threads{}",
+            it.iteration,
+            it.team_size,
+            if it.mask_changed { "  <- mask change applied" } else { "" }
+        );
+    }
+    println!(
+        "\n{} mask changes were applied across {} iterations; final team size {}",
+        report.mask_changes,
+        report.iterations.len(),
+        report.final_team_size().unwrap_or(0)
+    );
+
+    // DLB_Finalize.
+    driver.finalize().unwrap();
+    println!("application finalised cleanly");
+}

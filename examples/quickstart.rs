@@ -1,0 +1,94 @@
+//! Quickstart: the DROM API end to end on one node.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The example walks the whole life cycle the paper describes in Section 3:
+//! an application registers with DLB, a resource manager attaches as a DROM
+//! administrator, shrinks the application, pre-initialises a second process on
+//! the freed CPUs, and everything is returned when the newcomer finishes. It
+//! also shows the asynchronous (helper thread + callback) mode.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use drom::core::{AsyncListener, DromAdmin, DromFlags, DromProcess};
+use drom::cpuset::CpuSet;
+use drom::shmem::NodeShmem;
+
+fn main() {
+    // One MareNostrum III style node: 16 CPUs.
+    let shmem = Arc::new(NodeShmem::new("node0", 16));
+
+    // 1. A running application initialises DLB with the whole node.
+    let simulation =
+        Arc::new(DromProcess::init(100, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap());
+    println!(
+        "simulation registered: pid {} mask {}",
+        simulation.pid(),
+        simulation.current_mask()
+    );
+
+    // 2. The resource manager attaches as a DROM administrator.
+    let admin = DromAdmin::attach(Arc::clone(&shmem));
+    println!("admin attached to {}", admin.node_name());
+    println!("registered pids: {:?}", admin.get_pid_list().unwrap());
+
+    // 3. The administrator shrinks the simulation to half the node.
+    admin
+        .set_process_mask(100, &CpuSet::from_range(0..8).unwrap(), DromFlags::default())
+        .unwrap();
+    // The application observes the change at its next malleability point.
+    let new_mask = simulation.poll_drom().unwrap().expect("pending update");
+    println!("simulation shrank to {} ({} CPUs)", new_mask, new_mask.count());
+
+    // 4. A second process is pre-initialised on the freed CPUs and started.
+    let (environ, _victims) = admin
+        .pre_init(
+            200,
+            &CpuSet::from_range(8..16).unwrap(),
+            DromFlags::default().with_steal(),
+        )
+        .unwrap();
+    let analytics = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+    println!(
+        "analytics started: pid {} mask {}",
+        analytics.pid(),
+        analytics.current_mask()
+    );
+
+    // 5. Asynchronous mode: a helper thread applies updates without polling.
+    let listener = AsyncListener::spawn(Arc::clone(&simulation), |mask| {
+        println!("async callback: simulation mask is now {mask}");
+    })
+    .unwrap();
+
+    // 6. The analytics finishes; DROM_PostFinalize-style cleanup returns its
+    //    CPUs to the original owner, and the helper thread applies the
+    //    expansion without any explicit poll.
+    analytics.finalize().unwrap();
+    let _ = admin.post_finalize(200, DromFlags::default());
+    for _ in 0..400 {
+        if simulation.num_cpus() == 16 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "simulation runs on {} CPUs again",
+        simulation.num_cpus()
+    );
+    let applied = listener.stop();
+    println!("helper thread applied {applied} asynchronous update(s)");
+
+    // 7. Shared-memory statistics (the data a future DROM-aware scheduler
+    //    would consume).
+    let stats = admin.stats().unwrap();
+    println!(
+        "node stats: {} registers, {} polls ({} with updates), {} mask sets",
+        stats.registers, stats.polls, stats.poll_updates, stats.mask_sets
+    );
+
+    simulation.finalize().unwrap();
+    admin.detach().unwrap();
+    println!("done");
+}

@@ -1,0 +1,62 @@
+//! # DROM — Dynamic Resource Ownership Management (reproduction)
+//!
+//! Facade crate of the reproduction of *"DROM: Enabling Efficient and
+//! Effortless Malleability for Resource Managers"* (D'Amico et al., ICPP 2018).
+//! It re-exports every layer of the stack so examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`cpuset`] | `drom-cpuset` | CPU masks, node topology, distribution algorithms |
+//! | [`shmem`] | `drom-shmem` | per-node DLB shared-memory registry |
+//! | [`core`] | `drom-core` | the DROM API, the DLB application runtime, LeWI |
+//! | [`ompsim`] | `drom-ompsim` | OpenMP-like runtime + OMPT tool interface |
+//! | [`mpisim`] | `drom-mpisim` | MPI-like layer + PMPI interception |
+//! | [`slurm`] | `drom-slurm` | SLURM-like controller, slurmd, slurmstepd, task/affinity |
+//! | [`apps`] | `drom-apps` | NEST/CoreNeuron/Pils/STREAM mini-apps + performance models |
+//! | [`sim`] | `drom-sim` | discrete-event replay of the paper's workloads |
+//! | [`metrics`] | `drom-metrics` | tracing, counters, timelines, workload reports |
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the per-figure reproduction results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use drom::core::{DromAdmin, DromFlags, DromProcess};
+//! use drom::cpuset::CpuSet;
+//! use drom::shmem::NodeShmem;
+//!
+//! // One node with 16 CPUs, one application owning all of them.
+//! let shmem = Arc::new(NodeShmem::new("node0", 16));
+//! let app = DromProcess::init(42, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
+//!
+//! // The resource manager attaches and takes half the node away.
+//! let admin = DromAdmin::attach(Arc::clone(&shmem));
+//! admin.set_process_mask(42, &CpuSet::from_range(0..8).unwrap(), DromFlags::default()).unwrap();
+//!
+//! // The application adapts at its next malleability point.
+//! assert_eq!(app.poll_drom().unwrap().unwrap().count(), 8);
+//! ```
+
+pub use drom_apps as apps;
+pub use drom_core as core;
+pub use drom_cpuset as cpuset;
+pub use drom_metrics as metrics;
+pub use drom_mpisim as mpisim;
+pub use drom_ompsim as ompsim;
+pub use drom_shmem as shmem;
+pub use drom_sim as sim;
+pub use drom_slurm as slurm;
+
+/// Version of the reproduction, mirrored from the workspace manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

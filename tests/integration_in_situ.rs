@@ -1,0 +1,120 @@
+//! End-to-end integration test of use case 1 (in-situ analytics) on the real
+//! execution path: SLURM-like launcher + DROM + OpenMP-like runtime + the
+//! NEST/Pils mini-apps, across two simulated nodes.
+
+use std::sync::Arc;
+
+use drom::apps::{NestSim, Pils, Table1};
+use drom::core::DromProcess;
+use drom::ompsim::{DromOmptTool, OmpRuntime};
+use drom::slurm::{Cluster, JobSpec, Srun};
+
+/// The full co-allocation cycle: launch the simulation, co-allocate the
+/// analytics, observe the shrink, complete the analytics, observe the
+/// expansion.
+#[test]
+fn in_situ_analytics_shrinks_and_restores_the_simulation() {
+    let cluster = Arc::new(Cluster::marenostrum3(2));
+    let srun = Srun::new(Arc::clone(&cluster), true);
+    let nodes = cluster.node_names();
+
+    // Simulation: NEST Conf. 1 — one 16-thread task per node.
+    let sim_spec = JobSpec::new(1, "NEST Conf. 1").with_tasks(2).with_nodes(2);
+    let launched_sim = srun.launch(&sim_spec, &nodes).unwrap();
+    assert_eq!(launched_sim.tasks.len(), 2);
+    assert_eq!(launched_sim.total_cpus(), 32);
+
+    let sim_ranks: Vec<(Arc<DromProcess>, OmpRuntime, Arc<DromOmptTool>)> = launched_sim
+        .tasks
+        .iter()
+        .map(|task| {
+            let shmem = cluster.shmem(&task.node).unwrap();
+            let process = Arc::new(DromProcess::init_from_environ(&task.environ, shmem).unwrap());
+            let runtime = OmpRuntime::new(16);
+            let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+            (process, runtime, tool)
+        })
+        .collect();
+
+    let nest = NestSim::new(Table1::NEST_CONF1).scaled(2, 300);
+    for (i, (_, runtime, tool)) in sim_ranks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        assert_eq!(report.team_sizes, vec![16, 16], "full node before sharing");
+    }
+
+    // Analytics: Pils Conf. 3 — one 4-thread task per node, co-allocated.
+    let ana_spec = JobSpec::new(2, "Pils Conf. 3").with_tasks(2).with_nodes(2);
+    let launched_ana = srun.launch(&ana_spec, &nodes).unwrap();
+    assert_eq!(launched_ana.tasks.len(), 2);
+    for task in &launched_ana.tasks {
+        assert_eq!(task.mask.count(), 8, "fair share of the node");
+    }
+
+    // The simulation's next iterations run on the reduced team.
+    for (i, (process, runtime, tool)) in sim_ranks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        assert!(
+            report.team_sizes.iter().all(|&t| t == 8),
+            "rank {i} should run on 8 threads while sharing, got {:?}",
+            report.team_sizes
+        );
+        assert_eq!(process.num_cpus(), 8);
+    }
+
+    // The analytics runs to completion on its own slice and is cleaned up.
+    let pils = Pils::new(Table1::PILS_CONF3).scaled(2, 16, 500);
+    for task in &launched_ana.tasks {
+        let shmem = cluster.shmem(&task.node).unwrap();
+        let process = Arc::new(DromProcess::init_from_environ(&task.environ, shmem).unwrap());
+        let runtime = OmpRuntime::new(16);
+        let tool = DromOmptTool::attach(&runtime, Arc::clone(&process));
+        let report = pils.run_rank(&runtime, Some(&tool));
+        assert_eq!(report.packages_done, 32);
+        assert!(report.team_sizes.iter().all(|&t| t == 8));
+        process.finalize().unwrap();
+    }
+    srun.complete(&launched_ana).unwrap();
+
+    // The simulation gets its CPUs back at the next malleability point.
+    for (i, (process, runtime, tool)) in sim_ranks.iter().enumerate() {
+        let report = nest.run_rank(runtime, Some(tool), None, i);
+        assert!(
+            report.team_sizes.iter().any(|&t| t == 16),
+            "rank {i} should be back to 16 threads, got {:?}",
+            report.team_sizes
+        );
+        assert_eq!(process.num_cpus(), 16);
+    }
+
+    // Tear down.
+    for (process, _, _) in &sim_ranks {
+        process.finalize().unwrap();
+    }
+    srun.complete(&launched_sim).unwrap();
+    for node in &nodes {
+        assert!(srun.slurmd(node).unwrap().running_jobs().is_empty());
+        assert_eq!(cluster.shmem(node).unwrap().pid_list().len(), 0);
+    }
+}
+
+/// The baseline (DROM disabled) refuses co-allocation, forcing the Serial
+/// behaviour the paper compares against.
+#[test]
+fn without_drom_the_analytics_must_wait() {
+    let cluster = Arc::new(Cluster::marenostrum3(2));
+    let srun = Srun::new(Arc::clone(&cluster), false);
+    let nodes = cluster.node_names();
+
+    let sim_spec = JobSpec::new(1, "simulation").with_tasks(2).with_nodes(2);
+    let launched_sim = srun.launch(&sim_spec, &nodes).unwrap();
+
+    let ana_spec = JobSpec::new(2, "analytics").with_tasks(2).with_nodes(2);
+    let err = srun.launch(&ana_spec, &nodes).unwrap_err();
+    assert!(matches!(err, drom::slurm::SlurmError::NodeBusy { .. }));
+
+    // Once the simulation completes, the analytics can start and gets the
+    // whole machine.
+    srun.complete(&launched_sim).unwrap();
+    let launched_ana = srun.launch(&ana_spec, &nodes).unwrap();
+    assert_eq!(launched_ana.total_cpus(), 32);
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the stack-wide invariants DROM must preserve:
+//! whatever sequence of administrator operations is applied, the node is never
+//! oversubscribed and no registered process is ever starved.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use drom::core::{DromAdmin, DromError, DromFlags, DromProcess};
+use drom::cpuset::{CpuSet, Topology};
+use drom::cpuset::distribution::{co_allocate, DistributionPolicy, RunningTask};
+use drom::shmem::NodeShmem;
+
+/// An administrator / application action drawn by proptest.
+///
+/// DROM (administrator-driven) actions and LeWI (application-driven lending)
+/// actions are exercised in *separate* sequences: DLB dedicates a process to
+/// one policy at a time, and mixing an administrator regrow with concurrent
+/// lending of the same CPUs is explicitly outside the paper's model.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Shrink or grow process `idx % nprocs` to `cpus` CPUs (steal allowed).
+    SetMask { idx: usize, cpus: usize },
+    /// Poll process `idx % nprocs`.
+    Poll { idx: usize },
+    /// Lend the upper half of the CPUs of process `idx % nprocs`.
+    Lend { idx: usize },
+    /// Borrow up to `cpus` CPUs for process `idx % nprocs`.
+    Borrow { idx: usize, cpus: usize },
+    /// Reclaim the owned CPUs of process `idx % nprocs`.
+    Reclaim { idx: usize },
+}
+
+fn drom_action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..4, 1usize..16).prop_map(|(idx, cpus)| Action::SetMask { idx, cpus }),
+        (0usize..4).prop_map(|idx| Action::Poll { idx }),
+    ]
+}
+
+fn lewi_action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..4).prop_map(|idx| Action::Poll { idx }),
+        (0usize..4).prop_map(|idx| Action::Lend { idx }),
+        (0usize..4, 1usize..8).prop_map(|(idx, cpus)| Action::Borrow { idx, cpus }),
+        (0usize..4).prop_map(|idx| Action::Reclaim { idx }),
+    ]
+}
+
+/// The *target* state must never be oversubscribed: no two effective masks
+/// (pending if posted, current otherwise) may overlap, and no registered
+/// process may be left with an empty effective mask.
+fn check_invariants(shmem: &NodeShmem, procs: &[Arc<DromProcess>]) -> Result<(), TestCaseError> {
+    let mut seen = CpuSet::new();
+    for proc in procs {
+        let mask = shmem.effective_mask(proc.pid()).unwrap();
+        prop_assert!(
+            seen.is_disjoint(&mask),
+            "oversubscription detected: {} overlaps {}",
+            mask,
+            seen
+        );
+        seen = seen.union(&mask);
+        prop_assert!(!mask.is_empty(), "process {} was starved", proc.pid());
+    }
+    prop_assert!(seen.count() <= shmem.node_cpus());
+    Ok(())
+}
+
+fn make_node() -> (Arc<NodeShmem>, Vec<Arc<DromProcess>>) {
+    let shmem = Arc::new(NodeShmem::new("node0", 16));
+    // Four processes, four CPUs each.
+    let procs: Vec<Arc<DromProcess>> = (0..4u32)
+        .map(|i| {
+            Arc::new(
+                DromProcess::init(
+                    i + 1,
+                    CpuSet::from_range(i as usize * 4..(i as usize + 1) * 4).unwrap(),
+                    Arc::clone(&shmem),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    (shmem, procs)
+}
+
+fn apply_action(
+    action: &Action,
+    admin: &DromAdmin,
+    procs: &[Arc<DromProcess>],
+) -> Result<(), DromError> {
+    match action {
+        Action::SetMask { idx, cpus } => {
+            let target = &procs[idx % procs.len()];
+            // Keep the target's first CPU and extend upward so every request is
+            // anchored in CPUs the process may own.
+            let first = target.current_mask().first().unwrap_or(0);
+            let wanted: CpuSet = (first..16).take((*cpus).max(1)).collect();
+            admin
+                .set_process_mask(target.pid(), &wanted, DromFlags::default().with_steal())
+                .map(|_| ())
+        }
+        Action::Poll { idx } => procs[idx % procs.len()].poll_drom().map(|_| ()),
+        Action::Lend { idx } => {
+            let p = &procs[idx % procs.len()];
+            let mask = p.current_mask();
+            let keep = mask.truncated(mask.count() / 2 + 1);
+            p.lend_cpus(&mask.difference(&keep)).map(|_| ())
+        }
+        Action::Borrow { idx, cpus } => procs[idx % procs.len()].borrow_cpus(*cpus).map(|_| ()),
+        Action::Reclaim { idx } => procs[idx % procs.len()].reclaim_cpus().map(|_| ()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random administrator (DROM) action sequences keep the node consistent.
+    #[test]
+    fn random_admin_actions_never_oversubscribe(actions in proptest::collection::vec(drom_action_strategy(), 1..40)) {
+        let (shmem, procs) = make_node();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        for action in actions {
+            // Rejected operations (permission, pending-dirty, would-starve …)
+            // are legitimate outcomes; the invariant is about accepted state.
+            let _ = apply_action(&action, &admin, &procs);
+            check_invariants(&shmem, &procs)?;
+        }
+        // After everyone polls, the pending updates are drained and the node
+        // is still consistent.
+        for p in &procs {
+            let _ = p.poll_drom();
+        }
+        check_invariants(&shmem, &procs)?;
+    }
+
+    /// Random LeWI (lend/borrow/reclaim) action sequences keep the node
+    /// consistent as well.
+    #[test]
+    fn random_lewi_actions_never_oversubscribe(actions in proptest::collection::vec(lewi_action_strategy(), 1..40)) {
+        let (shmem, procs) = make_node();
+        let admin = DromAdmin::attach(Arc::clone(&shmem));
+        for action in actions {
+            let _ = apply_action(&action, &admin, &procs);
+            check_invariants(&shmem, &procs)?;
+        }
+        for p in &procs {
+            let _ = p.poll_drom();
+        }
+        check_invariants(&shmem, &procs)?;
+    }
+
+    /// The task/affinity co-allocation never oversubscribes, never starves a
+    /// task and never exceeds the node, for arbitrary node shapes.
+    #[test]
+    fn co_allocation_is_always_a_valid_partition(
+        sockets in 1usize..4,
+        cores in 2usize..16,
+        running_tasks in 1usize..5,
+        new_tasks in 1usize..5,
+    ) {
+        let topo = Topology::homogeneous(sockets, cores, 64).unwrap();
+        let node = topo.node_mask();
+        prop_assume!(running_tasks + new_tasks <= node.count());
+        let initial = drom::cpuset::distribution::equipartition(
+            &node, running_tasks, &topo, DistributionPolicy::SocketAware);
+        let running: Vec<RunningTask> = initial
+            .into_iter()
+            .enumerate()
+            .map(|(i, mask)| RunningTask { job_id: 1, task_id: i, mask })
+            .collect();
+        let plan = co_allocate(&node, &running, new_tasks, &topo, DistributionPolicy::SocketAware);
+        prop_assert!(plan.is_disjoint());
+        prop_assert!(plan.total_mask().is_subset_of(&node));
+        for task in &plan.updated_running {
+            prop_assert!(!task.mask.is_empty(), "running task starved");
+        }
+        let placed_new = plan.new_tasks.iter().filter(|m| !m.is_empty()).count();
+        prop_assert!(placed_new >= 1, "at least one new task must receive CPUs");
+    }
+}
