@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the `drom-bench` crate uses (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros) with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery.
+//!
+//! Mode selection mirrors criterion's behaviour with `harness = false`
+//! targets: only when cargo invokes the bench executable with `--bench`
+//! (`cargo bench`) does the sampling loop run and print a mean wall-clock
+//! time per iteration; under `cargo test` (no flag) every benchmark body runs
+//! exactly once as a smoke test. Swapping the path dependency for crates.io
+//! `criterion` restores full statistics without source changes.
+
+use std::time::{Duration, Instant};
+
+/// Returns the argument, hindering the optimizer from deleting the value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run each body once, measure nothing.
+    Test,
+    /// `cargo bench`: run the sampling loop and report timings.
+    Bench,
+}
+
+fn mode_from_args() -> Mode {
+    // Cargo passes `--bench` to `cargo bench` runs of harness=false targets
+    // and no flag at all under `cargo test`, so measuring is opt-in.
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Bench
+    } else {
+        Mode::Test
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { mode: mode_from_args() }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            mode: self.mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    mode: Mode,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget one benchmark may spend measuring.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs (test mode) or measures (bench mode) one benchmark body.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        match self.mode {
+            Mode::Test => {
+                let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+                f(&mut bencher);
+            }
+            Mode::Bench => {
+                let deadline = Instant::now() + self.measurement_time;
+                let mut total = Duration::ZERO;
+                let mut iters: u64 = 0;
+                for _ in 0..self.sample_size {
+                    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+                    f(&mut bencher);
+                    total += bencher.elapsed;
+                    iters += bencher.iters;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let mean = if iters > 0 { total / iters as u32 } else { Duration::ZERO };
+                println!("{}/{:<40} mean {:>12.3?} ({} iters)", self.name, id, mean, iters);
+            }
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`; in test mode it runs exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher { iters: 3, elapsed: Duration::ZERO };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_runs_body_in_test_mode() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(10).measurement_time(Duration::from_millis(1));
+        group.bench_function("b", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

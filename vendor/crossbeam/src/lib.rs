@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! Only the `channel` module is provided — an unbounded MPMC channel whose
+//! `Sender` and `Receiver` are both `Clone + Send + Sync`, matching the
+//! `crossbeam-channel` ownership model the DROM runtimes rely on (std's
+//! `mpsc::Receiver` cannot be shared, so this is a small Mutex+Condvar queue
+//! rather than a wrapper).
+
+pub mod channel;

@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive-start, exclusive-end length range for collection strategies.
+///
+/// Mirrors proptest's `SizeRange`: the conversions only exist for `usize`
+/// shapes, which is what lets an untyped `1..40` argument infer as `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty collection size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { start: len, end: len + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self { start: r.start, end: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { start: *r.start(), end: r.end().saturating_add(1) }
+    }
+}
+
+/// Strategy producing `Vec`s whose length is drawn from `sizes`.
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: SizeRange,
+}
+
+/// `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, sizes: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, sizes: sizes.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.sizes.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeSet`s with a target size drawn from `sizes`.
+///
+/// As in real proptest, duplicate samples may make the set smaller than the
+/// drawn target size.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    sizes: SizeRange,
+}
+
+/// `proptest::collection::btree_set(element, size_range)`.
+pub fn btree_set<S>(element: S, sizes: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, sizes: sizes.into() }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.sizes.sample(rng);
+        let mut set = BTreeSet::new();
+        // Bounded attempts so narrow element domains cannot loop forever.
+        for _ in 0..target.saturating_mul(4) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.sample(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = vec(0usize..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_stays_within_domain_and_size() {
+        let mut rng = TestRng::deterministic("set");
+        for _ in 0..100 {
+            let s = btree_set(0usize..256, 0..64).sample(&mut rng);
+            assert!(s.len() < 64);
+            assert!(s.iter().all(|&x| x < 256));
+        }
+    }
+
+    #[test]
+    fn fixed_size_and_inclusive_conversions() {
+        let mut rng = TestRng::deterministic("conv");
+        assert_eq!(vec(0usize..5, 3).sample(&mut rng).len(), 3);
+        let len = vec(0usize..5, 2..=4).sample(&mut rng).len();
+        assert!((2..=4).contains(&len));
+    }
+}

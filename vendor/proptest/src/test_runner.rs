@@ -1,0 +1,126 @@
+//! Test-runner types: config, errors, and the deterministic RNG.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the suite fast while still
+        // exercising a meaningful slice of the input space.
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't count as a failure.
+    Reject(String),
+    /// `prop_assert*!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Reject(r) => write!(f, "rejected: {r}"),
+            Self::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic xorshift64* RNG seeded from the test name, so every run
+/// samples the same cases and failures reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: hash | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Marsaglia); period 2^64-1, plenty for test sampling.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::deterministic("y").next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::deterministic("f");
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types so
+//! that downstream users can persist traces and workload reports, but nothing
+//! inside the repository serializes through serde itself. This stub keeps the
+//! derive surface compiling in the offline build container; replacing the
+//! `vendor/serde*` path dependencies with the real crates.io packages restores
+//! full serialization support with no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of [`serde::Serialize`](https://docs.rs/serde).
+pub trait Serialize {}
+
+/// Marker form of [`serde::Deserialize`](https://docs.rs/serde).
+pub trait Deserialize<'de> {}
