@@ -1,0 +1,140 @@
+//! Contention at the malleability point: `DLB_PollDROM` fast-path latency
+//! while an administrator hammers the node registry.
+//!
+//! The paper's efficiency claim (Section 3.3, Table 1) is that polling is
+//! cheap enough to call at *every* malleability point. That only holds if a
+//! poll that finds no pending update does not serialize against concurrent
+//! administrator traffic on the node. This benchmark measures exactly that:
+//! one process polling an empty pending slot while (a) nothing else runs,
+//! (b) one administrator continuously re-masks a *different* process, and
+//! (c) additional poller threads hammer their own slots as well.
+//!
+//! Run with `cargo bench -p drom-bench --bench poll_contention`; under
+//! `cargo test` every body executes once as a smoke test (this is what CI
+//! runs on every PR so the lock-free fast path is exercised in release mode).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drom_core::{DromAdmin, DromFlags, DromProcess};
+use drom_cpuset::CpuSet;
+use drom_shmem::NodeShmem;
+
+/// Spawns a thread that toggles `victim`'s mask through the administrator API
+/// and immediately consumes each update, keeping the registry's admin path
+/// (mask validation, conflict checks, pending hand-off) continuously busy.
+fn spawn_admin_load(
+    shmem: Arc<NodeShmem>,
+    victim: DromProcess,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let admin = DromAdmin::attach(shmem);
+        let wide = victim.current_mask();
+        let narrow = wide.truncated(wide.count() / 2);
+        let mut flip = false;
+        let mut updates = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let mask = if flip { &wide } else { &narrow };
+            flip = !flip;
+            if admin
+                .set_process_mask(victim.pid(), mask, DromFlags::default())
+                .is_ok()
+            {
+                let _ = victim.poll_drom();
+                updates += 1;
+            }
+        }
+        updates
+    })
+}
+
+/// Spawns a background thread polling its own (update-free) process in a tight
+/// loop, adding fast-path pressure on the registry.
+fn spawn_background_poller(proc: DromProcess, stop: Arc<AtomicBool>) -> JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut polls = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let _ = proc.poll_drom();
+            polls += 1;
+        }
+        polls
+    })
+}
+
+fn bench_poll_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poll_contention");
+    group.sample_size(30);
+
+    // Baseline: the uncontended fast path (no admin attached at all).
+    group.bench_function("poll_uncontended", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        b.iter(|| proc.poll_drom().unwrap());
+    });
+
+    group.bench_function("has_pending_uncontended", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        b.iter(|| proc.has_pending_update().unwrap());
+    });
+
+    // One administrator continuously re-masking another process of the same
+    // node while the measured process polls its own (empty) slot.
+    group.bench_function("poll_vs_1_admin", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let victim =
+            DromProcess::init(2, CpuSet::from_range(4..12).unwrap(), Arc::clone(&shmem)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let admin = spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop));
+        b.iter(|| proc.poll_drom().unwrap());
+        stop.store(true, Ordering::Relaxed);
+        admin.join().unwrap();
+    });
+
+    group.bench_function("has_pending_vs_1_admin", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let victim =
+            DromProcess::init(2, CpuSet::from_range(4..12).unwrap(), Arc::clone(&shmem)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let admin = spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop));
+        b.iter(|| proc.has_pending_update().unwrap());
+        stop.store(true, Ordering::Relaxed);
+        admin.join().unwrap();
+    });
+
+    // Four pollers and one administrator sharing the node: three background
+    // pollers hammer their own slots while the measured thread polls a fourth.
+    group.bench_function("poll_vs_1_admin_4_pollers", |b| {
+        let shmem = Arc::new(NodeShmem::new("n", 16));
+        let proc = DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap();
+        let victim =
+            DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = vec![spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop))];
+        for i in 0..3u32 {
+            let lo = 2 + 2 * i as usize;
+            let peer = DromProcess::init(
+                10 + i,
+                CpuSet::from_range(lo..lo + 2).unwrap(),
+                Arc::clone(&shmem),
+            )
+            .unwrap();
+            threads.push(spawn_background_poller(peer, Arc::clone(&stop)));
+        }
+        b.iter(|| proc.poll_drom().unwrap());
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            t.join().unwrap();
+        }
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll_contention);
+criterion_main!(benches);

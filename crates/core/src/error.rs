@@ -57,6 +57,14 @@ pub enum DromError {
         /// The process that would end up with no CPUs.
         pid: Pid,
     },
+    /// The node's process table is full (`DLB_ERR_NOMEM`): no slot is left
+    /// for another registration until some process finalizes.
+    NodeFull {
+        /// The pid that could not be registered.
+        pid: Pid,
+        /// Capacity of the node's process table.
+        capacity: usize,
+    },
     /// The caller is not attached / not initialised (`DLB_ERR_NOINIT`).
     NotInitialized,
     /// The handle was already finalized and cannot be used again
@@ -77,6 +85,7 @@ impl DromError {
             DromError::WouldStarve { .. } => -16,
             DromError::NotInitialized => -17,
             DromError::Finalized => -18,
+            DromError::NodeFull { .. } => -19,
         }
     }
 
@@ -92,6 +101,7 @@ impl DromError {
             DromError::WouldStarve { .. } => "DLB_ERR_PERM",
             DromError::NotInitialized => "DLB_ERR_NOINIT",
             DromError::Finalized => "DLB_ERR_DISBLD",
+            DromError::NodeFull { .. } => "DLB_ERR_NOMEM",
         }
     }
 }
@@ -122,6 +132,11 @@ impl fmt::Display for DromError {
             }
             DromError::NotInitialized => write!(f, "{}: not attached/initialized", self.name()),
             DromError::Finalized => write!(f, "{}: handle already finalized", self.name()),
+            DromError::NodeFull { pid, capacity } => write!(
+                f,
+                "{}: no free slot for pid {pid} (table capacity {capacity})",
+                self.name()
+            ),
         }
     }
 }
@@ -140,6 +155,7 @@ impl From<ShmemError> for DromError {
             }
             ShmemError::Timeout { pid } => DromError::Timeout { pid },
             ShmemError::EmptyMask { pid } => DromError::WouldStarve { pid },
+            ShmemError::NodeFull { pid, capacity } => DromError::NodeFull { pid, capacity },
             ShmemError::NotAttached => DromError::NotInitialized,
         }
     }
@@ -161,6 +177,10 @@ mod tests {
             DromError::WouldStarve { pid: 1 },
             DromError::NotInitialized,
             DromError::Finalized,
+            DromError::NodeFull {
+                pid: 1,
+                capacity: 4,
+            },
         ];
         let mut codes: Vec<i32> = errors.iter().map(|e| e.code()).collect();
         assert!(codes.iter().all(|&c| c < 0));

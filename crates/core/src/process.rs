@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use drom_cpuset::CpuSet;
-use drom_shmem::{MaskUpdate, NodeShmem, Pid};
+use drom_shmem::{MaskUpdate, NodeShmem, Pid, SlotHint};
 
 use crate::api::DromEnviron;
 use crate::error::{DromError, DromResult};
@@ -36,6 +36,9 @@ pub struct ProcessStats {
 pub struct DromProcess {
     pid: Pid,
     shmem: Arc<NodeShmem>,
+    /// Cached slot of this registration: polling through it is O(1) — one
+    /// relaxed atomic load on the no-update path, no registry lock.
+    slot: SlotHint,
     mask: Mutex<CpuSet>,
     finalized: AtomicBool,
     polls: AtomicU64,
@@ -50,9 +53,11 @@ impl DromProcess {
     /// `fork`/`exec` launch ends up with the mask the scheduler chose).
     pub fn init(pid: Pid, initial_mask: CpuSet, shmem: Arc<NodeShmem>) -> DromResult<Self> {
         let adopted = shmem.register(pid, initial_mask)?;
+        let slot = shmem.slot_hint(pid)?;
         Ok(DromProcess {
             pid,
             shmem,
+            slot,
             mask: Mutex::new(adopted),
             finalized: AtomicBool::new(false),
             polls: AtomicU64::new(0),
@@ -98,11 +103,14 @@ impl DromProcess {
     ///
     /// Returns `Ok(Some(mask))` when an administrator posted a new mask since
     /// the last poll — the caller must then adapt its thread count and
-    /// affinity — and `Ok(None)` when nothing changed.
+    /// affinity — and `Ok(None)` when nothing changed. The `Ok(None)` path is
+    /// lock-free (a single relaxed atomic load of the cached slot's stamp),
+    /// so calling this at every malleability point never contends with
+    /// administrator traffic on the node.
     pub fn poll_drom(&self) -> DromResult<Option<CpuSet>> {
         self.check_live()?;
         self.polls.fetch_add(1, Ordering::Relaxed);
-        match self.shmem.poll(self.pid)? {
+        match self.shmem.poll_hinted(self.slot, self.pid)? {
             Some(mask) => {
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 *self.mask.lock() = mask.clone();
@@ -113,10 +121,11 @@ impl DromProcess {
     }
 
     /// `true` if an administrator posted a mask this process has not applied
-    /// yet (a poll would return `Some`).
+    /// yet (a poll would return `Some`). Lock-free, like
+    /// [`poll_drom`](Self::poll_drom).
     pub fn has_pending_update(&self) -> DromResult<bool> {
         self.check_live()?;
-        Ok(self.shmem.has_pending(self.pid)?)
+        Ok(self.shmem.has_pending_hinted(self.slot, self.pid)?)
     }
 
     /// Unregisters the process from the shared memory (`DLB_Finalize`).

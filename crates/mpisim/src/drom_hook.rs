@@ -9,6 +9,11 @@
 //!   OpenMP-like runtime, or `DromProcess::poll_drom` for a plain MPI process;
 //! * drive LeWI around blocking calls: lend CPUs on entry, reclaim on exit,
 //!   which is the original purpose DLB's MPI interception was built for.
+//!
+//! Polling before *and* after every MPI call is affordable because the
+//! `DromProcess::poll_drom` no-update path is lock-free (one atomic load of
+//! the process's slot stamp), so even communication-heavy ranks never
+//! serialize against node administrators.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

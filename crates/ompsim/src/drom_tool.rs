@@ -9,6 +9,11 @@
 //! the number of CPUs of the new mask and the binding follows it, so the very
 //! region that is about to start already runs on the resources the scheduler
 //! decided.
+//!
+//! Polling at every `parallel_begin` is affordable because the underlying
+//! `DromProcess::poll_drom` no-update path is a single atomic load (no
+//! registry lock): even fine-grained OpenMP codes pay no contention against
+//! concurrent administrator traffic on the node.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

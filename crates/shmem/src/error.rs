@@ -56,6 +56,14 @@ pub enum ShmemError {
         /// The pid the empty mask was destined for.
         pid: Pid,
     },
+    /// The node's fixed-size process table has no free slot left
+    /// (`DLB_ERR_NOMEM`: the request does not fit the shared-memory segment).
+    NodeFull {
+        /// The pid that could not be registered.
+        pid: Pid,
+        /// Capacity of the node's process table.
+        capacity: usize,
+    },
     /// The caller is not attached to the shared memory (`DLB_ERR_NOINIT`).
     NotAttached,
 }
@@ -82,6 +90,10 @@ impl fmt::Display for ShmemError {
             ShmemError::EmptyMask { pid } => {
                 write!(f, "refusing to assign an empty mask to process {pid}")
             }
+            ShmemError::NodeFull { pid, capacity } => write!(
+                f,
+                "no free slot for process {pid} (node table holds {capacity} processes)"
+            ),
             ShmemError::NotAttached => write!(f, "caller is not attached to the DROM shmem"),
         }
     }
@@ -109,6 +121,13 @@ mod tests {
             ),
             (ShmemError::Timeout { pid: 5 }, "5"),
             (ShmemError::EmptyMask { pid: 6 }, "6"),
+            (
+                ShmemError::NodeFull {
+                    pid: 8,
+                    capacity: 32,
+                },
+                "8",
+            ),
         ];
         for (err, needle) in variants {
             assert!(

@@ -13,8 +13,14 @@
 //! segments of a simulated cluster. Everything that is *semantically* part of
 //! the shared memory — entry life-cycle, pending-mask handshake, CPU ownership,
 //! attach accounting, the asynchronous subscription channel — is implemented;
-//! only the `shm_open`/`mmap` transport is replaced by `Arc<Mutex<…>>`, which
-//! does not change any API-visible behaviour (see `DESIGN.md`).
+//! only the `shm_open`/`mmap` transport is replaced by an in-process slot
+//! table, which does not change any API-visible behaviour (see `DESIGN.md`).
+//!
+//! Like the original fixed-size `shmem_procinfo` array, the registry stores
+//! one slot per process with a packed atomic stamp word, so the steady-state
+//! receiver path — a `poll` that finds no pending update, or
+//! [`NodeShmem::has_pending`] — is a single relaxed atomic load that never
+//! takes the registry lock (see [`registry`] for the hand-off protocol).
 //!
 //! # Example
 //!
@@ -40,5 +46,5 @@ pub mod stats;
 
 pub use error::ShmemError;
 pub use node::ShmemManager;
-pub use registry::{MaskUpdate, NodeShmem, Pid, ProcessEntry, ProcessState};
+pub use registry::{MaskUpdate, NodeShmem, Pid, ProcessEntry, ProcessState, SlotHint};
 pub use stats::ShmemStats;

@@ -1,7 +1,29 @@
 //! The per-node process registry: entries, pending-mask handshake, CPU
 //! ownership, the LeWI idle pool and asynchronous subscriptions.
+//!
+//! # Storage layout and the lock-free poll fast path
+//!
+//! The segment is a fixed-size table of per-process slots, like the
+//! original DLB `shmem_procinfo` array. Each slot carries one packed atomic
+//! *stamp* word encoding the owning pid and a pending-update generation
+//! counter (odd = an administrator posted a mask the process has not consumed
+//! yet). `poll()` with no pending update and [`NodeShmem::has_pending`]
+//! complete with a **single relaxed atomic load** of that stamp — no mutex is
+//! acquired — so polling threads never serialize against administrator
+//! traffic on the node. This is what makes `DLB_PollDROM` cheap enough to
+//! call at every malleability point (paper §3.3, Table 1).
+//!
+//! Structural operations (register/unregister, mask updates, steals, LeWI)
+//! still take the global registry mutex, and the pending-mask payload hands
+//! off through the per-slot payload lock: writers update the payload first
+//! and then flip the stamp parity, so a reader that observes "pending" takes
+//! the slot lock and finds a fully written mask. Lock order is always
+//! `inner` → one slot at a time; the poll slow path takes only the slot lock
+//! (and briefly passes through `inner` *after* releasing it, to hand shake
+//! with synchronous setters).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -29,8 +51,8 @@ pub enum ProcessState {
     Finished,
 }
 
-/// One process registered in the node shared memory.
-#[derive(Debug, Clone)]
+/// One process registered in the node shared memory (a consistent snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessEntry {
     /// Process identifier.
     pub pid: Pid,
@@ -71,15 +93,133 @@ pub struct MaskUpdate {
 /// Result of an administrator mask update.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SetMaskOutcome {
-    /// `true` if the target's mask actually changed (a pending mask was
-    /// posted); `false` when the requested mask equals the effective one.
+    /// `true` if a pending mask was posted; `false` when the requested mask
+    /// equals the target's *effective* mask (`pending_mask` if one is posted,
+    /// `current_mask` otherwise — with the pending-dirty guard the two
+    /// coincide, since a posted mask must be consumed before the next update).
     pub updated: bool,
     /// Pending updates posted to *other* processes whose CPUs were stolen.
+    ///
+    /// A victim whose composed post-steal mask equals its current mask (the
+    /// steal exactly cancelled a not-yet-consumed grow) has its pending update
+    /// cleared instead and is not listed here.
     pub victims: Vec<MaskUpdate>,
 }
 
+/// Opaque handle caching the slot of a registered pid, for O(1) lock-free
+/// polling without the pid → slot scan. Obtained from
+/// [`NodeShmem::slot_hint`]; stale hints (the pid re-registered elsewhere)
+/// transparently fall back to the scanning path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHint {
+    idx: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The packed per-slot stamp word
+// ---------------------------------------------------------------------------
+//
+// bits 63..31 : pid + 1 (0 = slot free)
+// bits 30..0  : pending generation, odd = a pending mask is posted
+//
+// `pid + 1` needs 33 bits for the full u32 pid range, so the generation gets
+// the remaining 31 (it wraps; only parity and pid identity matter).
+
+const GEN_BITS: u32 = 31;
+const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
+
+#[inline]
+fn stamp_pack(pid: Pid, gen: u64) -> u64 {
+    ((pid as u64 + 1) << GEN_BITS) | (gen & GEN_MASK)
+}
+
+#[inline]
+fn stamp_pid(stamp: u64) -> Option<Pid> {
+    if stamp == 0 {
+        None
+    } else {
+        Some(((stamp >> GEN_BITS) - 1) as Pid)
+    }
+}
+
+#[inline]
+fn stamp_pending(stamp: u64) -> bool {
+    stamp != 0 && (stamp & 1) == 1
+}
+
+/// Increments the generation without touching the pid bits.
+#[inline]
+fn stamp_bump(stamp: u64) -> u64 {
+    (stamp & !GEN_MASK) | ((stamp + 1) & GEN_MASK)
+}
+
+/// The lock-protected part of one process slot.
+#[derive(Debug)]
+struct SlotPayload {
+    pid: Pid,
+    state: ProcessState,
+    current_mask: CpuSet,
+    pending_mask: Option<CpuSet>,
+    owned_cpus: CpuSet,
+    registration_seq: u64,
+}
+
+impl SlotPayload {
+    fn effective_mask(&self) -> &CpuSet {
+        self.pending_mask.as_ref().unwrap_or(&self.current_mask)
+    }
+}
+
+/// One entry of the fixed-size process table.
+struct Slot {
+    /// Packed pid + pending generation; see the module docs. Written only
+    /// under `payload`'s lock (or the registry lock for occupancy changes),
+    /// read lock-free by pollers.
+    stamp: AtomicU64,
+    polls: AtomicU64,
+    mask_updates: AtomicU64,
+    payload: Mutex<Option<Box<SlotPayload>>>,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            mask_updates: AtomicU64::new(0),
+            payload: Mutex::new(None),
+        }
+    }
+
+    /// Re-aligns the stamp parity with `payload.pending_mask`; must be called
+    /// (while holding the payload lock) after every pending-mask change.
+    fn sync_pending_stamp(&self, payload: &SlotPayload) {
+        let stamp = self.stamp.load(Ordering::Relaxed);
+        if stamp_pending(stamp) != payload.pending_mask.is_some() {
+            self.stamp.store(stamp_bump(stamp), Ordering::Release);
+        }
+    }
+}
+
+/// Result of a (validated) steal: the shrinks posted to victims, plus the
+/// corrective notifications for victims whose own pending update was
+/// cancelled outright (synchronous waiters must be woken and subscribers
+/// told the still-authoritative current mask).
+#[derive(Default)]
+struct StolenCpus {
+    victims: Vec<MaskUpdate>,
+    corrections: Vec<MaskUpdate>,
+}
+
+impl StolenCpus {
+    fn cancelled_pending(&self) -> bool {
+        !self.corrections.is_empty()
+    }
+}
+
 struct Inner {
-    entries: HashMap<Pid, ProcessEntry>,
+    /// pid → slot index for every occupied slot (including `Finished` ones).
+    index: HashMap<Pid, usize>,
     /// Original owner of each CPU: the first process that registered with it.
     cpu_owner: HashMap<usize, Pid>,
     /// CPUs lent to the node-wide idle pool (LeWI).
@@ -95,24 +235,40 @@ struct Inner {
 /// The shared-memory segment of one compute node.
 ///
 /// All methods take `&self`; the registry is internally synchronised exactly
-/// like the lock-protected shared memory of the original DLB.
+/// like the lock-protected shared memory of the original DLB — except that
+/// the poll/has-pending fast path is a single atomic load (see module docs).
 pub struct NodeShmem {
     name: String,
     node_cpus: usize,
+    slots: Box<[Slot]>,
     inner: Mutex<Inner>,
-    /// Signalled whenever a process consumes a pending mask (used by the
-    /// synchronous flavour of `set_pending_mask`).
+    /// Signalled whenever a pending mask is consumed *or cancelled* (used by
+    /// the synchronous flavour of `set_pending_mask`).
     consumed: Condvar,
+    /// Node-wide poll counters, kept out of `inner` so the poll fast path
+    /// never locks.
+    total_polls: AtomicU64,
+    total_poll_updates: AtomicU64,
 }
 
 impl NodeShmem {
     /// Creates the shared-memory segment for a node with `node_cpus` CPUs.
+    ///
+    /// Like the original DLB procinfo array the process table has a fixed
+    /// capacity, sized generously at twice the CPU count: at most `node_cpus`
+    /// non-finished processes can hold CPUs at once (their effective masks
+    /// are disjoint and non-empty), and the slack absorbs entries that occupy
+    /// a slot without holding CPUs — finished-but-not-finalized processes and
+    /// live ones that lent their whole mask to the LeWI pool. A saturated
+    /// table fails cleanly with [`ShmemError::NodeFull`].
     pub fn new(name: impl Into<String>, node_cpus: usize) -> Self {
+        let capacity = node_cpus.saturating_mul(2).max(4);
         NodeShmem {
             name: name.into(),
             node_cpus,
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
             inner: Mutex::new(Inner {
-                entries: HashMap::new(),
+                index: HashMap::new(),
                 cpu_owner: HashMap::new(),
                 idle_pool: CpuSet::new(),
                 admin_attachments: 0,
@@ -121,6 +277,8 @@ impl NodeShmem {
                 next_seq: 0,
             }),
             consumed: Condvar::new(),
+            total_polls: AtomicU64::new(0),
+            total_poll_updates: AtomicU64::new(0),
         }
     }
 
@@ -132,6 +290,11 @@ impl NodeShmem {
     /// Number of CPUs of the node.
     pub fn node_cpus(&self) -> usize {
         self.node_cpus
+    }
+
+    /// Capacity of the fixed-size process table.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
     }
 
     fn validate_mask(&self, pid: Pid, mask: &CpuSet, allow_empty: bool) -> Result<(), ShmemError> {
@@ -147,6 +310,27 @@ impl NodeShmem {
             }
         }
         Ok(())
+    }
+
+    /// Lock-free pid → slot scan; returns the index and the observed stamp.
+    fn find_slot(&self, pid: Pid) -> Option<(usize, u64)> {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp_pid(stamp) == Some(pid) {
+                return Some((idx, stamp));
+            }
+        }
+        None
+    }
+
+    /// Runs `f` on the payload of an occupied slot. Callers must hold the
+    /// registry lock and have obtained `idx` from `inner.index` (slots listed
+    /// there are occupied by invariant).
+    fn with_payload<R>(&self, idx: usize, f: impl FnOnce(&Slot, &mut SlotPayload) -> R) -> R {
+        let slot = &self.slots[idx];
+        let mut guard = slot.payload.lock();
+        let payload = guard.as_mut().expect("indexed slot is occupied");
+        f(slot, payload)
     }
 
     // ------------------------------------------------------------------
@@ -194,27 +378,28 @@ impl NodeShmem {
     ///   effective mask.
     /// * [`ShmemError::CpuOutOfNode`] / [`ShmemError::EmptyMask`] on invalid
     ///   masks.
+    /// * [`ShmemError::NodeFull`] if the process table has no free slot.
     pub fn register(&self, pid: Pid, mask: CpuSet) -> Result<CpuSet, ShmemError> {
         let mut inner = self.inner.lock();
-        if let Some(entry) = inner.entries.get(&pid) {
-            match entry.state {
+        if let Some(&idx) = inner.index.get(&pid) {
+            let adopted = self.with_payload(idx, |_, p| match p.state {
                 ProcessState::PreRegistered => {
                     // The child of a pre-initialized launch: adopt the
                     // pre-registered mask and become active.
-                    let adopted = entry.current_mask.clone();
-                    let entry = inner.entries.get_mut(&pid).expect("checked above");
-                    entry.state = ProcessState::Active;
-                    inner.stats.registers += 1;
-                    return Ok(adopted);
+                    p.state = ProcessState::Active;
+                    Ok(p.current_mask.clone())
                 }
                 ProcessState::Active | ProcessState::Finished => {
-                    return Err(ShmemError::AlreadyRegistered { pid });
+                    Err(ShmemError::AlreadyRegistered { pid })
                 }
-            }
+            })?;
+            inner.stats.registers += 1;
+            return Ok(adopted);
         }
         self.validate_mask(pid, &mask, false)?;
-        Self::check_conflicts(&inner, pid, &mask)?;
-        Self::insert_entry(&mut inner, pid, mask.clone(), ProcessState::Active);
+        self.check_conflicts(&inner, pid, &mask)?;
+        let idx = self.find_free_slot(pid)?;
+        self.insert_entry(&mut inner, idx, pid, mask.clone(), ProcessState::Active);
         inner.stats.registers += 1;
         Ok(mask)
     }
@@ -223,7 +408,9 @@ impl NodeShmem {
     ///
     /// If `steal` is `true`, CPUs of `mask` that other processes currently hold
     /// are removed from those processes (a pending shrink is posted to each
-    /// victim and returned). If `steal` is `false` a conflict is an error.
+    /// victim and returned). The steal is all-or-nothing: every victim is
+    /// validated before any entry is touched, so a failure leaves the registry
+    /// byte-identical. If `steal` is `false` a conflict is an error.
     pub fn preregister(
         &self,
         pid: Pid,
@@ -231,36 +418,42 @@ impl NodeShmem {
         steal: bool,
     ) -> Result<Vec<MaskUpdate>, ShmemError> {
         let mut inner = self.inner.lock();
-        if inner.entries.contains_key(&pid) {
+        if inner.index.contains_key(&pid) {
             return Err(ShmemError::AlreadyRegistered { pid });
         }
         self.validate_mask(pid, &mask, false)?;
-        let victims = if steal {
-            Self::steal_cpus(&mut inner, pid, &mask)?
+        // Pick the slot before mutating anyone so a full table cannot leave
+        // the victims shrunk for a process that never materialises. Occupancy
+        // cannot change while `inner` is held, so the index stays free until
+        // `insert_entry` fills it.
+        let idx = self.find_free_slot(pid)?;
+        let stolen = if steal {
+            self.steal_cpus(&mut inner, pid, &mask)?
         } else {
-            Self::check_conflicts(&inner, pid, &mask)?;
-            Vec::new()
+            self.check_conflicts(&inner, pid, &mask)?;
+            StolenCpus::default()
         };
-        Self::insert_entry(&mut inner, pid, mask, ProcessState::PreRegistered);
+        self.insert_entry(&mut inner, idx, pid, mask, ProcessState::PreRegistered);
         inner.stats.preregisters += 1;
-        if steal && !victims.is_empty() {
-            inner.stats.steals += 1;
-        }
-        for update in &victims {
+        for update in stolen.victims.iter().chain(&stolen.corrections) {
             Self::notify(&inner, update);
         }
-        Ok(victims)
+        drop(inner);
+        if stolen.cancelled_pending() {
+            self.consumed.notify_all();
+        }
+        Ok(stolen.victims)
     }
 
     /// Marks a process as finished without removing it (used when the
     /// application exits before the administrator calls `DROM_PostFinalize`).
     pub fn mark_finished(&self, pid: Pid) -> Result<(), ShmemError> {
-        let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
-            .get_mut(&pid)
+        let inner = self.inner.lock();
+        let idx = *inner
+            .index
+            .get(&pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
-        entry.state = ProcessState::Finished;
+        self.with_payload(idx, |_, p| p.state = ProcessState::Finished);
         Ok(())
     }
 
@@ -274,46 +467,78 @@ impl NodeShmem {
     /// `DROM_PostFinalize`.
     pub fn unregister(&self, pid: Pid) -> Result<Vec<MaskUpdate>, ShmemError> {
         let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
+        let idx = inner
+            .index
             .remove(&pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
+        let slot = &self.slots[idx];
+        let payload = slot
+            .payload
+            .lock()
+            .take()
+            .expect("indexed slot is occupied");
+        slot.stamp.store(0, Ordering::Release);
         inner.stats.unregisters += 1;
         inner.subscribers.remove(&pid);
 
-        let released = entry.effective_mask().clone();
+        let released = payload.effective_mask().clone();
         // Drop ownership of CPUs this process owned.
         inner.cpu_owner.retain(|_, owner| *owner != pid);
         // Remove any of its CPUs from the idle pool bookkeeping.
-        inner.idle_pool = inner.idle_pool.difference(&entry.owned_cpus);
+        inner.idle_pool = inner.idle_pool.difference(&payload.owned_cpus);
 
         // Return released CPUs to their original owners, if still registered.
         let mut per_owner: HashMap<Pid, CpuSet> = HashMap::new();
         for cpu in released.iter() {
             if let Some(owner) = inner.cpu_owner.get(&cpu).copied() {
-                if owner != pid && inner.entries.contains_key(&owner) {
+                if owner != pid && inner.index.contains_key(&owner) {
                     per_owner.entry(owner).or_default().set(cpu).ok();
                 }
             }
         }
         let mut updates = Vec::new();
         for (owner, cpus) in per_owner {
-            let owner_entry = inner.entries.get_mut(&owner).expect("checked above");
-            let new_mask = owner_entry.effective_mask().union(&cpus);
-            if &new_mask != owner_entry.effective_mask() {
-                owner_entry.pending_mask = Some(new_mask.clone());
-                let update = MaskUpdate {
-                    pid: owner,
-                    mask: new_mask,
-                };
+            let oidx = inner.index[&owner];
+            let update = self.with_payload(oidx, |oslot, op| {
+                let new_mask = op.effective_mask().union(&cpus);
+                if &new_mask != op.effective_mask() {
+                    op.pending_mask = Some(new_mask.clone());
+                    oslot.sync_pending_stamp(op);
+                    Some(MaskUpdate {
+                        pid: owner,
+                        mask: new_mask,
+                    })
+                } else {
+                    None
+                }
+            });
+            if let Some(update) = update {
                 Self::notify(&inner, &update);
                 updates.push(update);
             }
         }
+        drop(inner);
+        // A synchronous setter waiting on the vanished process can never be
+        // satisfied; wake it so it observes the missing entry.
+        self.consumed.notify_all();
         Ok(updates)
     }
 
-    fn insert_entry(inner: &mut Inner, pid: Pid, mask: CpuSet, state: ProcessState) {
+    /// Returns the index of a free slot, or [`ShmemError::NodeFull`].
+    fn find_free_slot(&self, pid: Pid) -> Result<usize, ShmemError> {
+        self.slots
+            .iter()
+            .position(|s| s.stamp.load(Ordering::Relaxed) == 0)
+            .ok_or(ShmemError::NodeFull {
+                pid,
+                capacity: self.slots.len(),
+            })
+    }
+
+    /// Fills the free slot `idx` (from [`find_free_slot`](Self::find_free_slot),
+    /// resolved before any mutation so a full table errors out with the
+    /// registry unchanged) and publishes it to lock-free scanners.
+    fn insert_entry(&self, inner: &mut Inner, idx: usize, pid: Pid, mask: CpuSet, state: ProcessState) {
         for cpu in mask.iter() {
             inner.cpu_owner.entry(cpu).or_insert(pid);
         }
@@ -323,69 +548,130 @@ impl NodeShmem {
             .iter()
             .filter(|cpu| inner.cpu_owner.get(cpu) == Some(&pid))
             .collect();
-        inner.entries.insert(
+        let slot = &self.slots[idx];
+        *slot.payload.lock() = Some(Box::new(SlotPayload {
             pid,
-            ProcessEntry {
-                pid,
-                state,
-                current_mask: mask,
-                pending_mask: None,
-                owned_cpus: owned,
-                registration_seq: seq,
-                polls: 0,
-                mask_updates: 0,
-            },
-        );
+            state,
+            current_mask: mask,
+            pending_mask: None,
+            owned_cpus: owned,
+            registration_seq: seq,
+        }));
+        slot.polls.store(0, Ordering::Relaxed);
+        slot.mask_updates.store(0, Ordering::Relaxed);
+        // Publish the occupied slot to lock-free scanners last.
+        slot.stamp.store(stamp_pack(pid, 0), Ordering::Release);
+        inner.index.insert(pid, idx);
     }
 
-    fn check_conflicts(inner: &Inner, pid: Pid, mask: &CpuSet) -> Result<(), ShmemError> {
-        for entry in inner.entries.values() {
-            if entry.pid == pid || entry.state == ProcessState::Finished {
+    fn check_conflicts(&self, inner: &Inner, pid: Pid, mask: &CpuSet) -> Result<(), ShmemError> {
+        for (&other, &idx) in inner.index.iter() {
+            if other == pid {
                 continue;
             }
-            let overlap = entry.effective_mask().intersection(mask);
-            if let Some(cpu) = overlap.first() {
-                return Err(ShmemError::CpuConflict {
-                    cpu,
-                    owner: entry.pid,
-                });
+            let conflict = self.with_payload(idx, |_, p| {
+                if p.state == ProcessState::Finished {
+                    return None;
+                }
+                p.effective_mask().intersection(mask).first()
+            });
+            if let Some(cpu) = conflict {
+                return Err(ShmemError::CpuConflict { cpu, owner: other });
             }
         }
         Ok(())
     }
 
-    /// Shrinks every process that holds CPUs of `mask`, posting pending updates.
+    /// Shrinks every process that holds CPUs of `mask`, posting pending
+    /// updates. All-or-nothing: phase 1 validates every victim's composed
+    /// post-steal mask without mutating anything; only if all victims survive
+    /// does phase 2 apply the shrinks. A failure therefore leaves every
+    /// entry's `pending_mask`/`current_mask` untouched.
+    ///
+    /// Steals compose against each victim's *effective* mask, so a victim's
+    /// own unconsumed pending update is folded in rather than clobbered: what
+    /// remains pending is "their posted mask minus the stolen CPUs". When
+    /// that composition collapses to the victim's current mask (the steal
+    /// exactly revoked a not-yet-consumed grow) the pending update is
+    /// cancelled instead of posting a no-op.
     fn steal_cpus(
+        &self,
         inner: &mut Inner,
         beneficiary: Pid,
         mask: &CpuSet,
-    ) -> Result<Vec<MaskUpdate>, ShmemError> {
-        let mut updates = Vec::new();
-        let victim_pids: Vec<Pid> = inner
-            .entries
-            .values()
-            .filter(|e| e.pid != beneficiary && e.state != ProcessState::Finished)
-            .map(|e| e.pid)
-            .collect();
-        for vpid in victim_pids {
-            let entry = inner.entries.get_mut(&vpid).expect("pid listed above");
-            let overlap = entry.effective_mask().intersection(mask);
-            if overlap.is_empty() {
+    ) -> Result<StolenCpus, ShmemError> {
+        struct PlannedShrink {
+            seq: u64,
+            pid: Pid,
+            idx: usize,
+            shrunk: CpuSet,
+        }
+        // Phase 1: validate.
+        let mut plan: Vec<PlannedShrink> = Vec::new();
+        for (&vpid, &idx) in inner.index.iter() {
+            if vpid == beneficiary {
                 continue;
             }
-            let shrunk = entry.effective_mask().difference(&overlap);
-            if shrunk.is_empty() {
-                // Never leave a victim with zero CPUs: that would stall it
-                // forever. The original implementation refuses as well.
-                return Err(ShmemError::EmptyMask { pid: vpid });
+            let planned = self.with_payload(idx, |_, p| {
+                if p.state == ProcessState::Finished {
+                    return Ok(None);
+                }
+                let overlap = p.effective_mask().intersection(mask);
+                if overlap.is_empty() {
+                    return Ok(None);
+                }
+                let shrunk = p.effective_mask().difference(&overlap);
+                if shrunk.is_empty() {
+                    // Never leave a victim with zero CPUs: that would stall it
+                    // forever. The original implementation refuses as well.
+                    return Err(ShmemError::EmptyMask { pid: vpid });
+                }
+                Ok(Some(PlannedShrink {
+                    seq: p.registration_seq,
+                    pid: vpid,
+                    idx,
+                    shrunk,
+                }))
+            })?;
+            if let Some(planned) = planned {
+                plan.push(planned);
             }
-            entry.pending_mask = Some(shrunk.clone());
-            updates.push(MaskUpdate {
-                pid: vpid,
-                mask: shrunk,
+        }
+        // Phase 2: apply, in registration order for deterministic victim
+        // lists. The planned shrink stays valid across the two phases — a
+        // racing poll moves pending → current but never changes the
+        // *effective* mask it was computed from — but whether it cancels the
+        // victim's pending or posts a shrink depends on the *current* mask,
+        // which a poll does change. Decide that under the slot lock, on the
+        // live payload, so a consume racing between the phases downgrades a
+        // planned cancel into a posted shrink instead of dropping it.
+        plan.sort_by_key(|p| p.seq);
+        let mut stolen = StolenCpus::default();
+        for planned in plan {
+            self.with_payload(planned.idx, |slot, p| {
+                if p.pending_mask.is_some() && planned.shrunk == p.current_mask {
+                    p.pending_mask = None;
+                    slot.sync_pending_stamp(p);
+                    // Subscribers already heard the now-revoked update; tell
+                    // them the current mask is authoritative again.
+                    stolen.corrections.push(MaskUpdate {
+                        pid: planned.pid,
+                        mask: p.current_mask.clone(),
+                    });
+                } else {
+                    p.pending_mask = Some(planned.shrunk.clone());
+                    slot.sync_pending_stamp(p);
+                    stolen.victims.push(MaskUpdate {
+                        pid: planned.pid,
+                        mask: planned.shrunk.clone(),
+                    });
+                }
             });
         }
-        Ok(updates)
+        if !stolen.victims.is_empty() || stolen.cancelled_pending() {
+            inner.stats.steals += 1;
+        }
+        Ok(stolen)
     }
 
     fn notify(inner: &Inner, update: &MaskUpdate) {
@@ -399,14 +685,35 @@ impl NodeShmem {
     // Queries
     // ------------------------------------------------------------------
 
+    /// Builds the public snapshot of an indexed slot. Callers hold `inner`.
+    fn entry_at(&self, idx: usize) -> ProcessEntry {
+        let slot = &self.slots[idx];
+        self.with_payload(idx, |_, p| ProcessEntry {
+            pid: p.pid,
+            state: p.state,
+            current_mask: p.current_mask.clone(),
+            pending_mask: p.pending_mask.clone(),
+            owned_cpus: p.owned_cpus.clone(),
+            registration_seq: p.registration_seq,
+            polls: slot.polls.load(Ordering::Relaxed),
+            mask_updates: slot.mask_updates.load(Ordering::Relaxed),
+        })
+    }
+
     /// Lists the pids registered in this node (pre-registered and active).
+    ///
+    /// Taken under the registry lock so concurrent re-registrations can never
+    /// produce duplicates or transient gaps (queries are not on the poll fast
+    /// path).
     pub fn pid_list(&self) -> Vec<Pid> {
         let inner = self.inner.lock();
         let mut pids: Vec<Pid> = inner
-            .entries
-            .values()
-            .filter(|e| e.state != ProcessState::Finished)
-            .map(|e| e.pid)
+            .index
+            .iter()
+            .filter(|&(_, &idx)| {
+                self.with_payload(idx, |_, p| p.state != ProcessState::Finished)
+            })
+            .map(|(&pid, _)| pid)
             .collect();
         pids.sort_unstable();
         pids
@@ -414,12 +721,23 @@ impl NodeShmem {
 
     /// Returns a snapshot of a process entry.
     pub fn entry(&self, pid: Pid) -> Result<ProcessEntry, ShmemError> {
-        self.inner
-            .lock()
-            .entries
+        let inner = self.inner.lock();
+        let idx = *inner
+            .index
             .get(&pid)
-            .cloned()
-            .ok_or(ShmemError::ProcessNotFound { pid })
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        Ok(self.entry_at(idx))
+    }
+
+    /// Snapshot of every entry in the table (including `Finished` ones),
+    /// sorted by pid. Useful for tests asserting that failed operations left
+    /// the registry untouched.
+    pub fn entries(&self) -> Vec<ProcessEntry> {
+        let inner = self.inner.lock();
+        let mut entries: Vec<ProcessEntry> =
+            inner.index.values().map(|&idx| self.entry_at(idx)).collect();
+        entries.sort_by_key(|e| e.pid);
+        entries
     }
 
     /// The mask the process is currently running with.
@@ -438,8 +756,14 @@ impl NodeShmem {
     }
 
     /// `true` if the process has a pending mask it has not consumed yet.
+    ///
+    /// Lock-free: a single relaxed atomic load per slot scanned (one load
+    /// with a [`SlotHint`], see [`has_pending_hinted`](Self::has_pending_hinted)).
     pub fn has_pending(&self, pid: Pid) -> Result<bool, ShmemError> {
-        Ok(self.entry(pid)?.pending_mask.is_some())
+        let (_, stamp) = self
+            .find_slot(pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        Ok(stamp_pending(stamp))
     }
 
     /// CPUs of the node not effectively assigned to any registered process and
@@ -447,9 +771,12 @@ impl NodeShmem {
     pub fn free_cpus(&self) -> CpuSet {
         let inner = self.inner.lock();
         let mut used = inner.idle_pool.clone();
-        for entry in inner.entries.values() {
-            if entry.state != ProcessState::Finished {
-                used = used.union(entry.effective_mask());
+        for &idx in inner.index.values() {
+            let effective = self.with_payload(idx, |_, p| {
+                (p.state != ProcessState::Finished).then(|| p.effective_mask().clone())
+            });
+            if let Some(mask) = effective {
+                used = used.union(&mask);
             }
         }
         CpuSet::first_n(self.node_cpus).difference(&used)
@@ -457,7 +784,10 @@ impl NodeShmem {
 
     /// Snapshot of the per-node statistics.
     pub fn stats(&self) -> ShmemStats {
-        self.inner.lock().stats.clone()
+        let mut stats = self.inner.lock().stats.clone();
+        stats.polls = self.total_polls.load(Ordering::Relaxed);
+        stats.poll_updates = self.total_poll_updates.load(Ordering::Relaxed);
+        stats
     }
 
     /// Original owner of a CPU, if any process registered it.
@@ -474,7 +804,9 @@ impl NodeShmem {
     /// The update is *pending*: the target applies it at its next poll. When
     /// `steal` is set, CPUs held by other processes are removed from them
     /// (pending shrinks are posted and returned in
-    /// [`SetMaskOutcome::victims`]); otherwise a conflict is an error.
+    /// [`SetMaskOutcome::victims`]); otherwise a conflict is an error. A
+    /// failed steal is all-or-nothing: no entry (target or victim) is
+    /// modified.
     ///
     /// # Errors
     ///
@@ -482,6 +814,8 @@ impl NodeShmem {
     /// * [`ShmemError::PendingMaskNotConsumed`] if a previous update is still
     ///   pending.
     /// * [`ShmemError::CpuConflict`] when not stealing and CPUs are taken.
+    /// * [`ShmemError::EmptyMask`] when a steal would leave a victim with no
+    ///   CPUs.
     pub fn set_pending_mask(
         &self,
         pid: Pid,
@@ -489,52 +823,61 @@ impl NodeShmem {
         steal: bool,
     ) -> Result<SetMaskOutcome, ShmemError> {
         let mut inner = self.inner.lock();
-        if !inner.entries.contains_key(&pid) {
-            return Err(ShmemError::ProcessNotFound { pid });
-        }
+        let idx = *inner
+            .index
+            .get(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
         self.validate_mask(pid, &mask, false)?;
-        {
-            let entry = inner.entries.get(&pid).expect("checked above");
-            if entry.pending_mask.is_some() {
+        // No-op when the request equals the *effective* mask (which, after
+        // the pending-dirty guard, is the current mask). Conflicts only
+        // matter for CPUs we are adding on top of it.
+        let additions = self.with_payload(idx, |_, p| {
+            if p.pending_mask.is_some() {
                 return Err(ShmemError::PendingMaskNotConsumed { pid });
             }
-            if entry.current_mask == mask {
-                return Ok(SetMaskOutcome {
-                    updated: false,
-                    victims: Vec::new(),
-                });
+            if p.effective_mask() == &mask {
+                return Ok(None);
             }
-        }
-        // Conflicts only matter for CPUs we are adding.
-        let additions = {
-            let entry = inner.entries.get(&pid).expect("checked above");
-            mask.difference(&entry.current_mask)
+            Ok(Some(mask.difference(p.effective_mask())))
+        })?;
+        let Some(additions) = additions else {
+            return Ok(SetMaskOutcome {
+                updated: false,
+                victims: Vec::new(),
+            });
         };
-        let victims = if steal {
-            Self::steal_cpus(&mut inner, pid, &additions)?
+        let stolen = if steal {
+            self.steal_cpus(&mut inner, pid, &additions)?
         } else {
-            Self::check_conflicts(&inner, pid, &additions)?;
-            Vec::new()
+            self.check_conflicts(&inner, pid, &additions)?;
+            StolenCpus::default()
         };
-        let entry = inner.entries.get_mut(&pid).expect("checked above");
-        entry.pending_mask = Some(mask.clone());
+        self.with_payload(idx, |slot, p| {
+            p.pending_mask = Some(mask.clone());
+            slot.sync_pending_stamp(p);
+        });
         inner.stats.mask_sets += 1;
-        if !victims.is_empty() {
-            inner.stats.steals += 1;
-        }
         let update = MaskUpdate { pid, mask };
         Self::notify(&inner, &update);
-        for v in &victims {
+        for v in stolen.victims.iter().chain(&stolen.corrections) {
             Self::notify(&inner, v);
+        }
+        drop(inner);
+        if stolen.cancelled_pending() {
+            self.consumed.notify_all();
         }
         Ok(SetMaskOutcome {
             updated: true,
-            victims,
+            victims: stolen.victims,
         })
     }
 
     /// Synchronous flavour of [`set_pending_mask`](Self::set_pending_mask):
     /// blocks until the target consumes the update or `timeout` elapses.
+    ///
+    /// Also returns successfully when the posted update is *cancelled* by a
+    /// concurrent steal (the composed mask equalled the target's current one)
+    /// or the target unregisters: in both cases nothing remains to consume.
     pub fn set_pending_mask_sync(
         &self,
         pid: Pid,
@@ -546,27 +889,30 @@ impl NodeShmem {
         if !outcome.updated {
             return Ok(outcome);
         }
-        let mut inner = self.inner.lock();
+        // Resolve the slot once so the re-checks under `inner` are a single
+        // stamp load, not a table scan per wakeup. A vanished pid (stale
+        // hint, error from the fallback scan) reads as "nothing pending": the
+        // update can never be consumed, which we report as success — see the
+        // doc comment above.
+        let hint = self.slot_hint(pid).unwrap_or(SlotHint { idx: usize::MAX });
+        let still_pending = |this: &Self| this.has_pending_hinted(hint, pid).unwrap_or(false);
         let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
         loop {
-            let still_pending = inner
-                .entries
-                .get(&pid)
-                .map(|e| e.pending_mask.is_some())
-                // If the process disappeared the update can never be consumed.
-                .unwrap_or(false);
-            if !still_pending {
+            // Lock-free check; consumers pass through `inner` before
+            // signalling, so a check under the lock cannot miss a wakeup.
+            if !still_pending(self) {
                 return Ok(outcome);
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
+            if std::time::Instant::now() >= deadline {
                 return Err(ShmemError::Timeout { pid });
             }
-            if self
-                .consumed
-                .wait_until(&mut inner, deadline)
-                .timed_out()
-            {
+            if self.consumed.wait_until(&mut inner, deadline).timed_out() {
+                // The consumption may have raced the deadline: re-check once
+                // before reporting a timeout.
+                if !still_pending(self) {
+                    return Ok(outcome);
+                }
                 return Err(ShmemError::Timeout { pid });
             }
         }
@@ -575,33 +921,97 @@ impl NodeShmem {
     /// Polls for a pending mask update (`DLB_PollDROM`).
     ///
     /// Returns `Ok(Some(mask))` and applies it when an update is pending,
-    /// `Ok(None)` otherwise.
+    /// `Ok(None)` otherwise. The `Ok(None)` path is lock-free: one relaxed
+    /// atomic load of the slot stamp (plus counter increments).
     pub fn poll(&self, pid: Pid) -> Result<Option<CpuSet>, ShmemError> {
-        let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
-            .get_mut(&pid)
+        let (idx, _) = self
+            .find_slot(pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
-        entry.polls += 1;
-        let result = if let Some(mask) = entry.pending_mask.take() {
-            entry.current_mask = mask.clone();
-            entry.mask_updates += 1;
-            Some(mask)
-        } else {
-            None
-        };
-        inner.stats.polls += 1;
-        if result.is_some() {
-            inner.stats.poll_updates += 1;
-            drop(inner);
-            self.consumed.notify_all();
+        self.poll_slot(idx, pid)
+    }
+
+    /// Returns a [`SlotHint`] for `pid`, making subsequent
+    /// [`poll_hinted`](Self::poll_hinted) / [`has_pending_hinted`](Self::has_pending_hinted)
+    /// calls O(1) instead of scanning the slot table.
+    pub fn slot_hint(&self, pid: Pid) -> Result<SlotHint, ShmemError> {
+        let (idx, _) = self
+            .find_slot(pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
+        Ok(SlotHint { idx })
+    }
+
+    /// [`poll`](Self::poll) through a cached [`SlotHint`]: the empty-poll fast
+    /// path is a single relaxed atomic load. A stale hint falls back to the
+    /// scanning path.
+    pub fn poll_hinted(&self, hint: SlotHint, pid: Pid) -> Result<Option<CpuSet>, ShmemError> {
+        if hint.idx < self.slots.len() {
+            match self.poll_slot(hint.idx, pid) {
+                Err(ShmemError::ProcessNotFound { .. }) => {}
+                result => return result,
+            }
         }
-        Ok(result)
+        self.poll(pid)
+    }
+
+    /// [`has_pending`](Self::has_pending) through a cached [`SlotHint`]: a
+    /// single relaxed atomic load. A stale hint falls back to the scan.
+    pub fn has_pending_hinted(&self, hint: SlotHint, pid: Pid) -> Result<bool, ShmemError> {
+        if hint.idx < self.slots.len() {
+            let stamp = self.slots[hint.idx].stamp.load(Ordering::Relaxed);
+            if stamp_pid(stamp) == Some(pid) {
+                return Ok(stamp_pending(stamp));
+            }
+        }
+        self.has_pending(pid)
+    }
+
+    fn poll_slot(&self, idx: usize, pid: Pid) -> Result<Option<CpuSet>, ShmemError> {
+        let slot = &self.slots[idx];
+        let stamp = slot.stamp.load(Ordering::Relaxed);
+        if stamp_pid(stamp) != Some(pid) {
+            return Err(ShmemError::ProcessNotFound { pid });
+        }
+        slot.polls.fetch_add(1, Ordering::Relaxed);
+        self.total_polls.fetch_add(1, Ordering::Relaxed);
+        if !stamp_pending(stamp) {
+            // Fast path: no pending update, no lock acquired.
+            return Ok(None);
+        }
+        // Slow path: take the slot lock to hand the payload off. The stamp
+        // may have moved on while we were acquiring it, so re-check under the
+        // lock (another poller of the same pid may have consumed the mask).
+        let mask = {
+            let mut guard = slot.payload.lock();
+            let payload = match guard.as_mut() {
+                Some(p) if p.pid == pid => p,
+                _ => return Err(ShmemError::ProcessNotFound { pid }),
+            };
+            let Some(mask) = payload.pending_mask.take() else {
+                return Ok(None);
+            };
+            payload.current_mask = mask.clone();
+            slot.sync_pending_stamp(payload);
+            mask
+        };
+        slot.mask_updates.fetch_add(1, Ordering::Relaxed);
+        self.total_poll_updates.fetch_add(1, Ordering::Relaxed);
+        // Hand-shake with synchronous setters: they re-check the pending bit
+        // under `inner`, so passing through the lock before signalling
+        // guarantees they are either not yet waiting (and will see the bit
+        // cleared) or already parked (and will be woken).
+        drop(self.inner.lock());
+        self.consumed.notify_all();
+        Ok(Some(mask))
     }
 
     /// Registers an asynchronous subscriber for `pid`: every mask update posted
     /// to that process is also sent on the returned channel. This backs DLB's
     /// asynchronous (helper thread + callback) mode.
+    ///
+    /// When a posted update is *cancelled* before being consumed (a steal or
+    /// a lend revoked it), a corrective update carrying the process's
+    /// unchanged current mask is sent, so the last message on the channel
+    /// always names the mask the process will actually run with.
     pub fn subscribe(&self, pid: Pid) -> Receiver<MaskUpdate> {
         let (tx, rx) = unbounded();
         self.inner.lock().subscribers.insert(pid, tx);
@@ -623,20 +1033,43 @@ impl NodeShmem {
     /// the process's current mask).
     pub fn lend_cpus(&self, pid: Pid, cpus: &CpuSet) -> Result<CpuSet, ShmemError> {
         let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
-            .get_mut(&pid)
+        let idx = *inner
+            .index
+            .get(&pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
-        let lendable = entry.current_mask.intersection(cpus);
-        entry.current_mask = entry.current_mask.difference(&lendable);
-        // A pending (administrator) mask must stay consistent with what the
-        // process just gave away, otherwise applying it later would hand the
-        // lent CPUs to two owners at once.
-        if let Some(pending) = entry.pending_mask.as_mut() {
-            *pending = pending.difference(&lendable);
-        }
+        let (lendable, cancelled_pending) = self.with_payload(idx, |slot, p| {
+            let lendable = p.current_mask.intersection(cpus);
+            p.current_mask = p.current_mask.difference(&lendable);
+            // A pending (administrator) mask must stay consistent with what
+            // the process just gave away, otherwise applying it later would
+            // hand the lent CPUs to two owners at once. If the lend swallows
+            // the whole pending mask, the update is cancelled outright —
+            // posting an empty mask would starve the process at its next
+            // poll, which the registry refuses everywhere else.
+            let mut cancelled = false;
+            if let Some(pending) = p.pending_mask.as_mut() {
+                *pending = pending.difference(&lendable);
+                if pending.is_empty() {
+                    p.pending_mask = None;
+                    cancelled = true;
+                }
+            }
+            slot.sync_pending_stamp(p);
+            (lendable, cancelled)
+        });
         inner.idle_pool = inner.idle_pool.union(&lendable);
         inner.stats.cpus_lent += lendable.count() as u64;
+        if cancelled_pending {
+            // Subscribers heard the now-cancelled update; correct them with
+            // the (post-lend) current mask.
+            let current = self.with_payload(idx, |_, p| p.current_mask.clone());
+            Self::notify(&inner, &MaskUpdate { pid, mask: current });
+        }
+        drop(inner);
+        if cancelled_pending {
+            // Wake synchronous setters: their update was consumed by the lend.
+            self.consumed.notify_all();
+        }
         Ok(lendable)
     }
 
@@ -645,18 +1078,21 @@ impl NodeShmem {
     /// Returns the borrowed CPUs (possibly empty when the pool is dry).
     pub fn borrow_cpus(&self, pid: Pid, max_cpus: usize) -> Result<CpuSet, ShmemError> {
         let mut inner = self.inner.lock();
-        if !inner.entries.contains_key(&pid) {
-            return Err(ShmemError::ProcessNotFound { pid });
-        }
+        let idx = *inner
+            .index
+            .get(&pid)
+            .ok_or(ShmemError::ProcessNotFound { pid })?;
         let borrowed = inner.idle_pool.truncated(max_cpus);
         inner.idle_pool = inner.idle_pool.difference(&borrowed);
-        let entry = inner.entries.get_mut(&pid).expect("checked above");
-        entry.current_mask = entry.current_mask.union(&borrowed);
-        // Keep any pending mask consistent so the borrowed CPUs are not lost
-        // when the pending update is applied.
-        if let Some(pending) = entry.pending_mask.as_mut() {
-            *pending = pending.union(&borrowed);
-        }
+        self.with_payload(idx, |slot, p| {
+            p.current_mask = p.current_mask.union(&borrowed);
+            // Keep any pending mask consistent so the borrowed CPUs are not
+            // lost when the pending update is applied.
+            if let Some(pending) = p.pending_mask.as_mut() {
+                *pending = pending.union(&borrowed);
+            }
+            slot.sync_pending_stamp(p);
+        });
         inner.stats.cpus_borrowed += borrowed.count() as u64;
         Ok(borrowed)
     }
@@ -668,13 +1104,13 @@ impl NodeShmem {
     /// Returns the CPUs immediately recovered.
     pub fn reclaim_cpus(&self, pid: Pid) -> Result<CpuSet, ShmemError> {
         let mut inner = self.inner.lock();
-        let entry = inner
-            .entries
+        let idx = *inner
+            .index
             .get(&pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
-        let owned = entry.owned_cpus.clone();
-        let current = entry.effective_mask().clone();
-        let missing = owned.difference(&current);
+        let (owned, effective) =
+            self.with_payload(idx, |_, p| (p.owned_cpus.clone(), p.effective_mask().clone()));
+        let missing = owned.difference(&effective);
         if missing.is_empty() {
             return Ok(CpuSet::new());
         }
@@ -684,31 +1120,37 @@ impl NodeShmem {
         // CPUs held by borrowers get a pending shrink.
         let from_borrowers = missing.difference(&from_pool);
         if !from_borrowers.is_empty() {
-            let borrower_pids: Vec<Pid> = inner
-                .entries
-                .values()
-                .filter(|e| e.pid != pid && e.state != ProcessState::Finished)
-                .map(|e| e.pid)
-                .collect();
-            for bpid in borrower_pids {
-                let borrower = inner.entries.get_mut(&bpid).expect("pid listed above");
-                let overlap = borrower.effective_mask().intersection(&from_borrowers);
-                if overlap.is_empty() {
+            for (&bpid, &bidx) in inner.index.iter() {
+                if bpid == pid {
                     continue;
                 }
-                let shrunk = borrower.effective_mask().difference(&overlap);
-                borrower.pending_mask = Some(shrunk.clone());
-                let update = MaskUpdate {
-                    pid: bpid,
-                    mask: shrunk,
-                };
-                Self::notify(&inner, &update);
+                let update = self.with_payload(bidx, |bslot, bp| {
+                    if bp.state == ProcessState::Finished {
+                        return None;
+                    }
+                    let overlap = bp.effective_mask().intersection(&from_borrowers);
+                    if overlap.is_empty() {
+                        return None;
+                    }
+                    let shrunk = bp.effective_mask().difference(&overlap);
+                    bp.pending_mask = Some(shrunk.clone());
+                    bslot.sync_pending_stamp(bp);
+                    Some(MaskUpdate {
+                        pid: bpid,
+                        mask: shrunk,
+                    })
+                });
+                if let Some(update) = update {
+                    Self::notify(&inner, &update);
+                }
             }
         }
         if !from_pool.is_empty() {
-            let entry = inner.entries.get_mut(&pid).expect("checked above");
-            let grown = entry.effective_mask().union(&from_pool);
-            entry.pending_mask = Some(grown);
+            self.with_payload(idx, |slot, p| {
+                let grown = p.effective_mask().union(&from_pool);
+                p.pending_mask = Some(grown);
+                slot.sync_pending_stamp(p);
+            });
         }
         inner.stats.cpus_reclaimed += missing.count() as u64;
         Ok(from_pool)
@@ -726,6 +1168,27 @@ mod tests {
 
     fn full_mask() -> CpuSet {
         CpuSet::first_n(16)
+    }
+
+    #[test]
+    fn stamp_packing_roundtrip() {
+        assert_eq!(stamp_pid(0), None);
+        for pid in [0u32, 1, 42, u32::MAX] {
+            let stamp = stamp_pack(pid, 0);
+            assert_eq!(stamp_pid(stamp), Some(pid));
+            assert!(!stamp_pending(stamp));
+            let bumped = stamp_bump(stamp);
+            assert_eq!(stamp_pid(bumped), Some(pid));
+            assert!(stamp_pending(bumped));
+            assert_eq!(stamp_pid(stamp_bump(bumped)), Some(pid));
+            assert!(!stamp_pending(stamp_bump(bumped)));
+        }
+        // Generation wrap stays inside the gen field.
+        let near_wrap = stamp_pack(7, GEN_MASK);
+        assert_eq!(stamp_pid(near_wrap), Some(7));
+        let wrapped = stamp_bump(near_wrap);
+        assert_eq!(stamp_pid(wrapped), Some(7));
+        assert!(!stamp_pending(wrapped));
     }
 
     #[test]
@@ -805,6 +1268,9 @@ mod tests {
         let outcome = shmem.set_pending_mask(10, full_mask(), false).unwrap();
         assert!(!outcome.updated);
         assert!(!shmem.has_pending(10).unwrap());
+        // The no-op is judged against the effective mask and accepted
+        // without posting anything: no mask_sets recorded.
+        assert_eq!(shmem.stats().mask_sets, 0);
     }
 
     #[test]
@@ -868,6 +1334,153 @@ mod tests {
             .set_pending_mask(10, CpuSet::first_n(16), true)
             .unwrap_err();
         assert_eq!(err, ShmemError::EmptyMask { pid: 11 });
+    }
+
+    #[test]
+    fn failed_steal_is_all_or_nothing() {
+        let shmem = NodeShmem::new("n1", 16);
+        // Three processes; a steal that would survive on the first victim but
+        // empty the second must leave *both* untouched.
+        shmem.register(10, CpuSet::from_range(0..6).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(6..8).unwrap()).unwrap();
+        shmem.register(12, CpuSet::from_range(8..16).unwrap()).unwrap();
+        let before = shmem.entries();
+
+        // Growing pid 12 over CPUs 4..8 shrinks pid 10 to 0..4 (fine) but
+        // would leave pid 11 empty.
+        let err = shmem
+            .set_pending_mask(12, CpuSet::from_range(4..16).unwrap(), true)
+            .unwrap_err();
+        assert_eq!(err, ShmemError::EmptyMask { pid: 11 });
+        assert_eq!(shmem.entries(), before, "failed steal must not mutate any entry");
+        assert!(!shmem.has_pending(10).unwrap());
+        assert!(!shmem.has_pending(12).unwrap());
+
+        // Same property through the pre-registration path.
+        let err = shmem
+            .preregister(20, CpuSet::from_range(4..8).unwrap(), true)
+            .unwrap_err();
+        assert_eq!(err, ShmemError::EmptyMask { pid: 11 });
+        assert_eq!(shmem.entries(), before);
+        assert_eq!(shmem.stats().steals, 0);
+    }
+
+    #[test]
+    fn steal_composes_with_victims_pending() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(12..16).unwrap()).unwrap();
+        // Pid 10 has an unconsumed pending grow onto CPU 8.
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
+            .unwrap();
+        // A steal of CPU 5 composes against the *effective* mask: the posted
+        // grow (CPU 8) survives, only the stolen CPU is removed.
+        let victims = shmem
+            .preregister(20, CpuSet::from_cpus([5]).unwrap(), true)
+            .unwrap();
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].pid, 10);
+        let expected = CpuSet::from_range(0..9).unwrap().difference(&CpuSet::from_cpus([5]).unwrap());
+        assert_eq!(victims[0].mask, expected);
+        assert_eq!(shmem.entry(10).unwrap().pending_mask, Some(expected.clone()));
+        assert_eq!(shmem.poll(10).unwrap().unwrap(), expected);
+    }
+
+    #[test]
+    fn steal_cancels_pending_when_composition_equals_current() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        // Pending grow onto exactly CPU 8...
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
+            .unwrap();
+        assert!(shmem.has_pending(10).unwrap());
+        // ...and a steal of exactly CPU 8 revokes the not-yet-consumed grow:
+        // the pending update is cancelled, not replaced by a no-op.
+        let victims = shmem
+            .preregister(20, CpuSet::from_cpus([8]).unwrap(), true)
+            .unwrap();
+        assert!(victims.is_empty(), "a cancelled update is not a posted shrink");
+        assert!(!shmem.has_pending(10).unwrap());
+        assert_eq!(shmem.entry(10).unwrap().pending_mask, None);
+        assert_eq!(shmem.poll(10).unwrap(), None);
+        assert_eq!(shmem.current_mask(10).unwrap(), CpuSet::from_range(0..8).unwrap());
+    }
+
+    #[test]
+    fn cancelled_pending_sends_corrective_notification() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        let rx = shmem.subscribe(10);
+        // Grow posted (and heard by the subscriber)...
+        shmem
+            .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
+            .unwrap();
+        assert_eq!(rx.try_recv().unwrap().mask, CpuSet::from_range(0..9).unwrap());
+        // ...then revoked by a steal of the granted CPU: the subscriber is
+        // told the current mask is authoritative again.
+        shmem
+            .preregister(20, CpuSet::from_cpus([8]).unwrap(), true)
+            .unwrap();
+        let correction = rx.try_recv().unwrap();
+        assert_eq!(correction.pid, 10);
+        assert_eq!(correction.mask, CpuSet::from_range(0..8).unwrap());
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn cancelling_steal_wakes_synchronous_setter() {
+        use std::sync::Arc;
+        let shmem = Arc::new(NodeShmem::new("n1", 16));
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        let setter = {
+            let shmem = Arc::clone(&shmem);
+            std::thread::spawn(move || {
+                shmem.set_pending_mask_sync(
+                    10,
+                    CpuSet::from_range(0..9).unwrap(),
+                    false,
+                    Duration::from_secs(5),
+                )
+            })
+        };
+        // Wait for the pending grow to be posted, then revoke CPU 8.
+        while !shmem.has_pending(10).unwrap() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shmem
+            .preregister(20, CpuSet::from_cpus([8]).unwrap(), true)
+            .unwrap();
+        // The setter returns promptly: nothing is left to consume.
+        let outcome = setter.join().unwrap().unwrap();
+        assert!(outcome.updated);
+        assert!(!shmem.has_pending(10).unwrap());
+    }
+
+    #[test]
+    fn unregister_wakes_synchronous_setter() {
+        use std::sync::Arc;
+        let shmem = Arc::new(NodeShmem::new("n1", 16));
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        let setter = {
+            let shmem = Arc::clone(&shmem);
+            std::thread::spawn(move || {
+                shmem.set_pending_mask_sync(
+                    10,
+                    CpuSet::from_range(0..4).unwrap(),
+                    false,
+                    Duration::from_secs(5),
+                )
+            })
+        };
+        while !shmem.has_pending(10).unwrap() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shmem.unregister(10).unwrap();
+        // The target is gone; the setter observes that instead of timing out.
+        let outcome = setter.join().unwrap().unwrap();
+        assert!(outcome.updated);
     }
 
     #[test]
@@ -1057,6 +1670,28 @@ mod tests {
     }
 
     #[test]
+    fn lend_swallowing_pending_cancels_it() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..2).unwrap()).unwrap();
+        // Admin posts a shrink to CPU 0 only...
+        shmem
+            .set_pending_mask(10, CpuSet::from_cpus([0]).unwrap(), false)
+            .unwrap();
+        // ...then the process lends both its CPUs away: the pending mask
+        // would become empty, so it is cancelled instead of starving the
+        // process at its next poll.
+        let lent = shmem.lend_cpus(10, &CpuSet::from_range(0..2).unwrap()).unwrap();
+        assert_eq!(lent.count(), 2);
+        assert!(!shmem.has_pending(10).unwrap());
+        assert_eq!(shmem.poll(10).unwrap(), None);
+        assert!(shmem.current_mask(10).unwrap().is_empty());
+        // The owner recovers its CPUs from the pool as usual.
+        let recovered = shmem.reclaim_cpus(10).unwrap();
+        assert_eq!(recovered.count(), 2);
+        assert_eq!(shmem.poll(10).unwrap().unwrap().count(), 2);
+    }
+
+    #[test]
     fn lend_only_own_cpus() {
         let shmem = NodeShmem::new("n1", 16);
         shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
@@ -1077,5 +1712,71 @@ mod tests {
         shmem.register(10, full_mask()).unwrap();
         assert!(shmem.reclaim_cpus(10).unwrap().is_empty());
         assert!(!shmem.has_pending(10).unwrap());
+    }
+
+    #[test]
+    fn node_full_when_table_exhausted() {
+        // node_cpus = 1 gives the minimum table of 4 slots; finished entries
+        // keep their slot until PostFinalize, so a 5th registration fails.
+        let shmem = NodeShmem::new("n1", 1);
+        assert_eq!(shmem.slot_capacity(), 4);
+        for pid in 1..=4 {
+            shmem.register(pid, CpuSet::first_n(1)).unwrap();
+            shmem.mark_finished(pid).unwrap();
+        }
+        let before = shmem.entries();
+        assert_eq!(
+            shmem.register(5, CpuSet::first_n(1)),
+            Err(ShmemError::NodeFull { pid: 5, capacity: 4 })
+        );
+        assert_eq!(shmem.entries(), before);
+        // Finalizing one frees its slot again.
+        shmem.unregister(1).unwrap();
+        shmem.register(5, CpuSet::first_n(1)).unwrap();
+    }
+
+    #[test]
+    fn slot_hints_poll_and_survive_reregistration() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        let hint = shmem.slot_hint(11).unwrap();
+        assert_eq!(shmem.poll_hinted(hint, 11).unwrap(), None);
+        assert!(!shmem.has_pending_hinted(hint, 11).unwrap());
+        shmem
+            .set_pending_mask(11, CpuSet::from_range(8..12).unwrap(), false)
+            .unwrap();
+        assert!(shmem.has_pending_hinted(hint, 11).unwrap());
+        assert_eq!(
+            shmem.poll_hinted(hint, 11).unwrap().unwrap(),
+            CpuSet::from_range(8..12).unwrap()
+        );
+        // Unregister, let another pid take the slot, re-register elsewhere:
+        // the stale hint transparently falls back to the scanning path.
+        shmem.unregister(11).unwrap();
+        shmem.register(12, CpuSet::from_range(12..16).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..12).unwrap()).unwrap();
+        assert_eq!(shmem.poll_hinted(hint, 11).unwrap(), None);
+        assert!(!shmem.has_pending_hinted(hint, 11).unwrap());
+        // A hint for a gone pid errors.
+        shmem.unregister(11).unwrap();
+        assert_eq!(
+            shmem.poll_hinted(hint, 11),
+            Err(ShmemError::ProcessNotFound { pid: 11 })
+        );
+    }
+
+    #[test]
+    fn entries_snapshot_includes_finished() {
+        let shmem = NodeShmem::new("n1", 16);
+        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem.mark_finished(11).unwrap();
+        let entries = shmem.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].pid, 10);
+        assert_eq!(entries[1].pid, 11);
+        assert_eq!(entries[1].state, ProcessState::Finished);
+        assert_eq!(shmem.pid_list(), vec![10], "pid_list hides finished entries");
     }
 }

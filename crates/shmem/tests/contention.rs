@@ -1,0 +1,241 @@
+//! Concurrency stress tests for the lock-free poll fast path: many pollers
+//! racing synchronous administrator updates and steals must never deadlock,
+//! lose an update, or leave the node oversubscribed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use drom_cpuset::CpuSet;
+use drom_shmem::{NodeShmem, ShmemError};
+
+/// Drains every pending update and asserts the node-wide invariants: current
+/// masks of live processes are disjoint, non-empty and inside the node.
+fn drain_and_check(shmem: &NodeShmem, pids: &[u32]) {
+    let mut seen = CpuSet::new();
+    for &pid in pids {
+        while shmem.poll(pid).unwrap().is_some() {}
+        let mask = shmem.current_mask(pid).unwrap();
+        assert!(!mask.is_empty(), "process {pid} was starved");
+        assert!(
+            seen.is_disjoint(&mask),
+            "oversubscription: {mask} of pid {pid} overlaps {seen}"
+        );
+        seen = seen.union(&mask);
+        assert!(mask.last().unwrap() < shmem.node_cpus());
+    }
+}
+
+/// Four pollers hammer their own slots while an administrator alternates
+/// synchronous shrink/grow-with-steal updates across all of them.
+#[test]
+fn pollers_race_synchronous_steals() {
+    let shmem = Arc::new(NodeShmem::new("stress", 16));
+    let pids: Vec<u32> = (1..=4).collect();
+    for (i, &pid) in pids.iter().enumerate() {
+        shmem
+            .register(pid, CpuSet::from_range(i * 4..(i + 1) * 4).unwrap())
+            .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pollers: Vec<_> = pids
+        .iter()
+        .map(|&pid| {
+            let shmem = Arc::clone(&shmem);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut polls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    shmem.poll(pid).unwrap();
+                    polls += 1;
+                }
+                polls
+            })
+        })
+        .collect();
+
+    // The administrator cycles through the processes, alternately shrinking a
+    // target to its first CPU's neighbourhood and growing it back with steal.
+    // Every accepted synchronous update must be consumed by the racing
+    // pollers within the timeout.
+    let mut accepted = 0u64;
+    for round in 0..200u32 {
+        let target = pids[(round as usize) % pids.len()];
+        let anchor = shmem.current_mask(target).unwrap().first().unwrap();
+        let width = if round % 2 == 0 { 2 } else { 4 };
+        let wanted: CpuSet = (anchor..16).take(width).collect();
+        match shmem.set_pending_mask_sync(target, wanted, true, Duration::from_secs(5)) {
+            Ok(outcome) => {
+                if outcome.updated {
+                    accepted += 1;
+                }
+            }
+            // Starving a victim or colliding with an unconsumed victim shrink
+            // is a legitimate rejection; a timeout with live pollers is not.
+            Err(ShmemError::EmptyMask { .. })
+            | Err(ShmemError::PendingMaskNotConsumed { .. }) => {}
+            Err(err) => panic!("unexpected administrator error: {err}"),
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let total_polls: u64 = pollers.into_iter().map(|p| p.join().unwrap()).sum();
+    assert!(accepted > 0, "no synchronous update was ever accepted");
+    assert!(total_polls > 0);
+
+    drain_and_check(&shmem, &pids);
+    let stats = shmem.stats();
+    assert!(stats.polls >= total_polls);
+    assert!(stats.poll_updates <= stats.polls);
+    assert!(stats.poll_updates >= accepted, "an accepted sync update was lost");
+}
+
+/// Two administrators race synchronous updates against the same target while
+/// it is being polled: exactly one wins each round (the other observes
+/// `PendingMaskNotConsumed` or succeeds after), and nothing deadlocks.
+#[test]
+fn competing_synchronous_setters_on_one_target() {
+    let shmem = Arc::new(NodeShmem::new("stress2", 16));
+    shmem.register(1, CpuSet::from_range(0..8).unwrap()).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let shmem = Arc::clone(&shmem);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                shmem.poll(1).unwrap();
+            }
+        })
+    };
+
+    let setters: Vec<_> = [2usize, 4]
+        .into_iter()
+        .map(|width| {
+            let shmem = Arc::clone(&shmem);
+            std::thread::spawn(move || {
+                let mut wins = 0u32;
+                for _ in 0..100 {
+                    let wanted = CpuSet::from_range(0..width).unwrap();
+                    match shmem.set_pending_mask_sync(1, wanted, false, Duration::from_secs(5)) {
+                        Ok(_) => wins += 1,
+                        Err(ShmemError::PendingMaskNotConsumed { .. }) => {}
+                        Err(err) => panic!("unexpected error: {err}"),
+                    }
+                }
+                wins
+            })
+        })
+        .collect();
+
+    let wins: u32 = setters.into_iter().map(|s| s.join().unwrap()).sum();
+    stop.store(true, Ordering::Relaxed);
+    poller.join().unwrap();
+
+    assert!(wins > 0, "no setter ever won");
+    drain_and_check(&shmem, &[1]);
+    let width = shmem.current_mask(1).unwrap().count();
+    assert!(width == 2 || width == 4, "final mask must be one of the requests");
+}
+
+/// The hinted fast path stays correct when updates land mid-stream: every
+/// posted mask is either observed by a poll or superseded by the next update.
+#[test]
+fn hinted_polls_never_miss_updates() {
+    let shmem = Arc::new(NodeShmem::new("stress3", 16));
+    shmem.register(7, CpuSet::from_range(0..8).unwrap()).unwrap();
+    let hint = shmem.slot_hint(7).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let shmem = Arc::clone(&shmem);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut applied = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if shmem.poll_hinted(hint, 7).unwrap().is_some() {
+                    applied += 1;
+                }
+            }
+            applied
+        })
+    };
+
+    let mut posted = 0u64;
+    for round in 0..500u32 {
+        let width = 4 + (round % 4) as usize;
+        match shmem.set_pending_mask_sync(
+            7,
+            CpuSet::from_range(0..width).unwrap(),
+            false,
+            Duration::from_secs(5),
+        ) {
+            Ok(outcome) if outcome.updated => posted += 1,
+            Ok(_) => {}
+            Err(err) => panic!("unexpected error: {err}"),
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let applied = poller.join().unwrap();
+    // Synchronous posting means every accepted update was consumed before the
+    // next one was posted: nothing can be lost or coalesced.
+    assert_eq!(applied, posted);
+    assert!(!shmem.has_pending_hinted(hint, 7).unwrap());
+}
+
+/// Regression stress for the steal/poll race: an administrator repeatedly
+/// grants CPU 8 to pid 1 and immediately revokes it by pre-registering a new
+/// process there, while pid 1 polls in a tight loop. A poll landing between
+/// the steal's validate and apply phases must downgrade the planned
+/// cancellation into a posted shrink — never drop it — so the two processes'
+/// masks stay disjoint.
+#[test]
+fn steal_racing_poll_never_oversubscribes() {
+    let shmem = Arc::new(NodeShmem::new("stress4", 16));
+    shmem.register(1, CpuSet::from_range(0..8).unwrap()).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let shmem = Arc::clone(&shmem);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                shmem.poll(1).unwrap();
+            }
+        })
+    };
+
+    for round in 0..300u32 {
+        // Grant CPU 8 to pid 1 (async, so the racing poller may or may not
+        // have consumed it by the time the steal runs)...
+        match shmem.set_pending_mask(1, CpuSet::from_range(0..9).unwrap(), false) {
+            Ok(_) | Err(ShmemError::PendingMaskNotConsumed { .. }) => {}
+            Err(err) => panic!("unexpected grant error: {err}"),
+        }
+        // ...then immediately revoke it for a short-lived neighbour.
+        let pid = 100 + round;
+        shmem
+            .preregister(pid, CpuSet::from_cpus([8]).unwrap(), true)
+            .unwrap();
+        // While the neighbour exists, pid 1 must never hold CPU 8 once its
+        // pending updates drain.
+        while shmem.has_pending(1).unwrap() {
+            std::thread::yield_now();
+        }
+        let mask = shmem.current_mask(1).unwrap();
+        assert!(
+            !mask.is_set(8),
+            "round {round}: pid 1 still holds stolen CPU 8 ({mask})"
+        );
+        shmem.unregister(pid).unwrap();
+        // Drain the ownership-return grow posted by the unregister.
+        while shmem.has_pending(1).unwrap() {
+            std::thread::yield_now();
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    poller.join().unwrap();
+}
