@@ -1,0 +1,115 @@
+//! Cluster-scale scheduling sweep: first-fit vs conservative backfill vs the
+//! DROM-malleable policy, replaying the same synthetic trace on the same
+//! cluster (the dynamic-workload experiment the paper's Section 5 leaves to
+//! future schedulers).
+//!
+//! Run with: `cargo run --release -p drom-bench --bin cluster_sweep`
+//! (`--nodes N`, `--jobs M`, `--seed S`, `--load 1.15` override the
+//! 128-node × 2000-job × 1.15-offered-load default; `--csv` appends CSV
+//! output, like every figure binary).
+
+use std::str::FromStr;
+
+use drom_bench::emit;
+use drom_metrics::{workload::percent_improvement, Table};
+use drom_sim::{mixed_hpc_trace, ClusterRunReport, ClusterSim};
+use drom_slurm::policy::SchedulerPolicy;
+use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
+
+/// Value of `flag` on the command line, or `default`. An unparsable value is
+/// a hard error: silently running the experiment at a default the user did
+/// not ask for would poison recorded results.
+fn arg<T: FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == flag).map(|i| args.get(i + 1)) {
+        None => default,
+        Some(Some(v)) => v.parse().unwrap_or_else(|_| {
+            panic!("invalid value {v:?} for {flag}");
+        }),
+        Some(None) => panic!("{flag} needs a value"),
+    }
+}
+
+fn main() {
+    let nodes = arg::<usize>("--nodes", 128);
+    let jobs = arg::<usize>("--jobs", 2000);
+    let seed = arg::<u64>("--seed", 2018);
+    let load = arg::<f64>("--load", 1.15); // offered load as a ratio of capacity
+    let node_cpus = 16;
+
+    let trace = mixed_hpc_trace(seed, jobs, nodes, node_cpus, load).generate();
+    let sim = ClusterSim::new(nodes, node_cpus);
+    println!(
+        "cluster_sweep: {nodes} nodes x {node_cpus} CPUs, {jobs} jobs, \
+         seed {seed}, offered load ~{load:.2}x capacity\n"
+    );
+
+    let policies: Vec<Box<dyn SchedulerPolicy>> = vec![
+        Box::new(FirstFitPolicy),
+        Box::new(BackfillPolicy),
+        Box::new(MalleablePolicy),
+    ];
+    let reports: Vec<ClusterRunReport> = policies
+        .into_iter()
+        .map(|p| sim.run(p, &trace).expect("trace jobs all fit the cluster"))
+        .collect();
+
+    let mut table = Table::new(
+        "Scheduling policies on one trace",
+        &[
+            "policy",
+            "makespan [s]",
+            "mean resp [s]",
+            "P95 resp [s]",
+            "mean wait [s]",
+            "util [%]",
+            "shrinks",
+            "expands",
+        ],
+    );
+    for r in &reports {
+        table.add_row(&[
+            r.policy.to_string(),
+            format!("{:.0}", r.makespan_s()),
+            format!("{:.0}", r.mean_response_s()),
+            format!("{:.0}", r.p95_response_s()),
+            format!("{:.0}", r.mean_wait_s()),
+            format!("{:.1}", r.utilization_fraction() * 100.0),
+            r.stats.shrinks.to_string(),
+            r.stats.expands.to_string(),
+        ]);
+    }
+    emit(&table);
+
+    let baseline = &reports[0];
+    let mut vs = Table::new(
+        "Improvement over first-fit [%] (positive = better)",
+        &["policy", "makespan", "mean resp", "P95 resp", "utilization"],
+    );
+    for r in &reports[1..] {
+        vs.add_row(&[
+            r.policy.to_string(),
+            format!(
+                "{:+.1}",
+                percent_improvement(baseline.makespan_s(), r.makespan_s())
+            ),
+            format!(
+                "{:+.1}",
+                percent_improvement(baseline.mean_response_s(), r.mean_response_s())
+            ),
+            format!(
+                "{:+.1}",
+                percent_improvement(baseline.p95_response_s(), r.p95_response_s())
+            ),
+            format!(
+                "{:+.1}",
+                // Higher is better for utilization: flip the sign convention.
+                -percent_improvement(
+                    baseline.utilization_fraction(),
+                    r.utilization_fraction()
+                )
+            ),
+        ]);
+    }
+    emit(&vs);
+}

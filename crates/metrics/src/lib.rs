@@ -32,7 +32,7 @@ pub use histogram::Histogram;
 pub use table::Table;
 pub use timeline::{StateInterval, ThreadState, Timeline};
 pub use tracer::{EventKind, TraceEvent, Tracer};
-pub use workload::{JobRecord, Scenario, WorkloadReport};
+pub use workload::{percentile, JobRecord, Scenario, UtilizationStat, WorkloadReport};
 
 /// Virtual time in microseconds, used consistently across traces and reports.
 pub type TimeUs = u64;

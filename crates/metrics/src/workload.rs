@@ -120,6 +120,16 @@ impl WorkloadReport {
             / self.jobs.len() as f64
     }
 
+    /// Arithmetic mean of job wait (queue) times (0 when empty). The
+    /// cluster-scheduling experiments report it next to the response time to
+    /// separate queueing delay from shrunk-execution slowdown.
+    pub fn average_wait_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.wait_time() as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+
     /// Response time of the job named `name`, if present.
     pub fn response_time_of(&self, name: &str) -> Option<TimeUs> {
         self.jobs
@@ -131,6 +141,59 @@ impl WorkloadReport {
     /// Run time of the job named `name`, if present.
     pub fn run_time_of(&self, name: &str) -> Option<TimeUs> {
         self.jobs.iter().find(|j| j.name == name).map(|j| j.run_time())
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of job response times, in
+    /// microseconds (0 when the report is empty).
+    ///
+    /// The cluster-scale scheduling experiments report the tail of the
+    /// response-time distribution (P95) next to the mean, because a policy can
+    /// improve the mean while starving a few wide jobs.
+    pub fn percentile_response_time(&self, p: f64) -> f64 {
+        let samples: Vec<f64> = self.jobs.iter().map(|j| j.response_time() as f64).collect();
+        percentile(&samples, p)
+    }
+
+    /// Shorthand for [`percentile_response_time`](Self::percentile_response_time)`(95.0)`.
+    pub fn p95_response_time(&self) -> f64 {
+        self.percentile_response_time(95.0)
+    }
+}
+
+/// Nearest-rank percentile of a sample set (`p` in 0–100). Returns 0 for an
+/// empty slice; `p` is clamped to the valid range.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Aggregate CPU-time accounting of one cluster run: how many CPU-microseconds
+/// were actually allocated to jobs out of the capacity the cluster offered over
+/// the same interval. This is the "node utilization" metric of the scheduling
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UtilizationStat {
+    /// CPU-microseconds allocated to running jobs (integral of allocated CPUs
+    /// over time).
+    pub busy_cpu_us: u128,
+    /// CPU-microseconds the cluster offered (total CPUs × elapsed time).
+    pub capacity_cpu_us: u128,
+}
+
+impl UtilizationStat {
+    /// Utilization as a fraction in `[0, 1]` (0 when no capacity elapsed).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_cpu_us == 0 {
+            0.0
+        } else {
+            self.busy_cpu_us as f64 / self.capacity_cpu_us as f64
+        }
     }
 }
 
@@ -184,6 +247,9 @@ mod tests {
         assert_eq!(serial.total_run_time(), 2200);
         // responses: 2000 and 2100 -> 2050
         assert!((serial.average_response_time() - 2050.0).abs() < 1e-9);
+        // waits: 0 and 1900 -> 950
+        assert!((serial.average_wait_time() - 950.0).abs() < 1e-9);
+        assert_eq!(WorkloadReport::new(Scenario::Drom, vec![]).average_wait_time(), 0.0);
         assert_eq!(serial.response_time_of("analytics"), Some(2100));
         assert_eq!(serial.run_time_of("analytics"), Some(200));
         assert_eq!(serial.response_time_of("missing"), None);
@@ -217,6 +283,38 @@ mod tests {
         assert!((percent_improvement(100.0, 92.0) - 8.0).abs() < 1e-12);
         assert!(percent_improvement(100.0, 110.0) < 0.0);
         assert_eq!(percent_improvement(0.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 95.0), 95.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+        // Out-of-range p is clamped, not a panic.
+        assert_eq!(percentile(&samples, 150.0), 100.0);
+    }
+
+    #[test]
+    fn p95_response_time_of_report() {
+        let jobs: Vec<JobRecord> = (0..100u64)
+            .map(|i| record("j", 0, 0, (i + 1) * 10))
+            .collect();
+        let report = WorkloadReport::new(Scenario::Drom, jobs);
+        assert_eq!(report.p95_response_time(), 950.0);
+        assert_eq!(WorkloadReport::new(Scenario::Drom, vec![]).p95_response_time(), 0.0);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let stat = UtilizationStat {
+            busy_cpu_us: 750,
+            capacity_cpu_us: 1000,
+        };
+        assert!((stat.fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(UtilizationStat::default().fraction(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Event-driven replay of a synthetic job trace against a scheduling policy.
+//!
+//! Where [`engine`](crate::engine) replays the paper's fixed two-job figure
+//! workloads with calibrated application models, this module asks the
+//! cluster-scale question the paper leaves open: *what does DROM buy a
+//! scheduler under a realistic job stream?* A [`ClusterSim`] replays a
+//! [`trace`](crate::trace) — hundreds of nodes, thousands of jobs — against
+//! any [`SchedulerPolicy`], driving the same validated [`PolicyScheduler`]
+//! state machine the real execution path uses, and reports makespan,
+//! mean/P95 response time and node utilization through `drom-metrics`.
+//!
+//! # Progress model
+//!
+//! A trace job carries its duration *at full request width*. A running job
+//! progresses at `allocated / requested` of full speed (linear speedup —
+//! the paper's LeWI measurements show near-linear scaling for its
+//! applications; `docs/scheduling.md` discusses the limits of this
+//! assumption), so a shrink slows a job down exactly as much as it frees
+//! CPUs for someone else and the comparison between policies is purely
+//! about *scheduling*, not about modelled application efficiency. Resize
+//! overhead is not modelled: the paper measures DROM reconfiguration in
+//! microseconds against jobs that run for minutes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use drom_metrics::{JobRecord, Scenario, TimeUs, UtilizationStat, WorkloadReport};
+use drom_slurm::policy::{SchedulerAction, SchedulerPolicy};
+use drom_slurm::{PolicyScheduler, SchedulerStats, SlurmError};
+
+use crate::trace::TraceJob;
+
+/// Hard cap on processed events per trace job: a scheduling policy that
+/// resizes without converging would otherwise spin the virtual clock forever.
+const EVENTS_PER_JOB_GUARD: u64 = 1000;
+
+/// What happens at one instant of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A trace job (by index) is submitted.
+    Arrival(usize),
+    /// A running job finishes — valid only if `gen` still matches the job's
+    /// run model (a resize reschedules completion under a fresh generation).
+    Completion { job_id: u64, gen: u64 },
+}
+
+/// Progress state of one running job.
+struct RunModel {
+    /// Work left, in µs-at-full-request-width.
+    remaining_us: f64,
+    /// Progress rate: allocated CPUs / requested CPUs.
+    rate: f64,
+    /// Virtual time of the last progress update.
+    updated_us: TimeUs,
+    /// Generation of the currently valid completion event.
+    gen: u64,
+}
+
+/// The outcome of replaying one trace under one policy.
+#[derive(Debug, Clone)]
+pub struct ClusterRunReport {
+    /// Name of the policy that ran.
+    pub policy: &'static str,
+    /// The run as a paper-style [`WorkloadReport`] (per-job submit / start /
+    /// end records in completion order, plus every derived metric from the
+    /// one `drom-metrics` implementation). The scenario is labelled
+    /// [`Scenario::Drom`] regardless of policy — the trace engine always
+    /// runs on the DROM-enabled stack; the policy name lives in
+    /// [`policy`](Self::policy).
+    pub report: WorkloadReport,
+    /// CPU-time accounting over the whole run.
+    pub utilization: UtilizationStat,
+    /// What the scheduler did (starts, shrinks, expands, races).
+    pub stats: SchedulerStats,
+    /// Events the engine processed (arrivals, completions, stale completions).
+    pub events_processed: u64,
+}
+
+impl ClusterRunReport {
+    /// Per-job timing records, in completion order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.report.jobs
+    }
+
+    /// Makespan in seconds: last job end minus first job submission.
+    pub fn makespan_s(&self) -> f64 {
+        self.report.total_run_time() as f64 / 1e6
+    }
+
+    /// Mean response time in seconds.
+    pub fn mean_response_s(&self) -> f64 {
+        self.report.average_response_time() / 1e6
+    }
+
+    /// 95th-percentile response time in seconds.
+    pub fn p95_response_s(&self) -> f64 {
+        self.report.p95_response_time() / 1e6
+    }
+
+    /// Mean wait (queue) time in seconds.
+    pub fn mean_wait_s(&self) -> f64 {
+        self.report.average_wait_time() / 1e6
+    }
+
+    /// Node utilization over the run as a fraction in `[0, 1]`.
+    pub fn utilization_fraction(&self) -> f64 {
+        self.utilization.fraction()
+    }
+}
+
+/// A homogeneous cluster on which traces are replayed.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSim {
+    num_nodes: usize,
+    node_cpus: usize,
+}
+
+impl ClusterSim {
+    /// Creates a cluster of `num_nodes` nodes with `node_cpus` CPUs each.
+    pub fn new(num_nodes: usize, node_cpus: usize) -> Self {
+        ClusterSim {
+            num_nodes: num_nodes.max(1),
+            node_cpus: node_cpus.max(1),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// CPUs per node.
+    pub fn node_cpus(&self) -> usize {
+        self.node_cpus
+    }
+
+    /// Replays `trace` to completion under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SlurmError::Unschedulable`] as soon as a trace job arrives that no
+    ///   node can ever host — the engine refuses to livelock on it.
+    /// * [`SlurmError::InvalidAction`] if the policy emits an action the
+    ///   cluster state cannot honour.
+    pub fn run(
+        &self,
+        policy: Box<dyn SchedulerPolicy>,
+        trace: &[TraceJob],
+    ) -> Result<ClusterRunReport, SlurmError> {
+        let mut sched = PolicyScheduler::new(self.num_nodes, self.node_cpus, policy);
+        let policy_name = sched.policy_name();
+        let durations: HashMap<u64, TimeUs> = trace
+            .iter()
+            .map(|t| (t.job.id, t.duration_us))
+            .collect();
+        let requests: HashMap<u64, usize> = trace
+            .iter()
+            .map(|t| (t.job.id, t.job.total_cpus()))
+            .collect();
+
+        // Min-heap of (time, sequence, event); the sequence keeps same-instant
+        // events in insertion order (completions before the arrivals they
+        // unblock were pushed before them only if submitted earlier — ties are
+        // resolved deterministically either way because the scheduler is
+        // re-ticked after every event).
+        let mut events: BinaryHeap<Reverse<(TimeUs, u64, Event)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        for (idx, tj) in trace.iter().enumerate() {
+            events.push(Reverse((tj.job.submit_us, seq, Event::Arrival(idx))));
+            seq += 1;
+        }
+
+        let mut models: HashMap<u64, RunModel> = HashMap::new();
+        let mut gen_counter: u64 = 0;
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut busy_cpu_us: u128 = 0;
+        // The utilization interval is [first submission, last completion] —
+        // a trace sliced out of a longer log may start far from t = 0, and
+        // the cluster offered no schedulable capacity before its first job.
+        let run_start: TimeUs = trace.iter().map(|t| t.job.submit_us).min().unwrap_or(0);
+        let mut last_t: TimeUs = run_start;
+        let mut processed: u64 = 0;
+        let guard = (trace.len() as u64 + 1) * EVENTS_PER_JOB_GUARD;
+
+        while let Some(Reverse((now, _, event))) = events.pop() {
+            processed += 1;
+            assert!(
+                processed <= guard,
+                "cluster simulation failed to converge under policy {policy_name}"
+            );
+            // A completion superseded by a resize changes nothing — and must
+            // not advance the accounting clock either: a stale event can sit
+            // *past* the real end of the run (an expand moves a completion
+            // earlier), and letting it stretch `last_t` would inflate the
+            // capacity denominator of exactly the policies that resize.
+            if let Event::Completion { job_id, gen } = event {
+                if !models.get(&job_id).is_some_and(|m| m.gen == gen) {
+                    continue;
+                }
+            }
+            // Account the CPU time of the interval that just elapsed.
+            busy_cpu_us +=
+                sched.allocated_cpus() as u128 * (now.saturating_sub(last_t)) as u128;
+            last_t = now;
+
+            match event {
+                Event::Arrival(idx) => {
+                    sched.submit(trace[idx].job.clone())?;
+                }
+                Event::Completion { job_id, gen: _ } => {
+                    models.remove(&job_id);
+                    let done = sched.job_finished(job_id)?;
+                    records.push(JobRecord::new(
+                        format!("job{job_id}"),
+                        done.job.submit_us,
+                        done.start_us,
+                        now,
+                    ));
+                }
+            }
+
+            for action in sched.tick(now)? {
+                match action {
+                    SchedulerAction::Start {
+                        job_id,
+                        node_indices,
+                        cpus_per_node,
+                    } => {
+                        let allocated = node_indices.len() * cpus_per_node;
+                        let rate = allocated as f64 / requests[&job_id] as f64;
+                        let remaining_us = durations[&job_id] as f64;
+                        gen_counter += 1;
+                        let finish =
+                            now.saturating_add((remaining_us / rate).ceil() as TimeUs);
+                        models.insert(
+                            job_id,
+                            RunModel {
+                                remaining_us,
+                                rate,
+                                updated_us: now,
+                                gen: gen_counter,
+                            },
+                        );
+                        sched.set_expected_end(job_id, Some(finish));
+                        events.push(Reverse((
+                            finish,
+                            seq,
+                            Event::Completion {
+                                job_id,
+                                gen: gen_counter,
+                            },
+                        )));
+                        seq += 1;
+                    }
+                    SchedulerAction::Resize { job_id, .. } => {
+                        let alloc = sched
+                            .running()
+                            .iter()
+                            .find(|r| r.alloc.job_id == job_id)
+                            .map(|r| r.alloc.total_cpus())
+                            .expect("an applied resize names a running job");
+                        let model = models
+                            .get_mut(&job_id)
+                            .expect("a running job has a run model");
+                        let elapsed = now.saturating_sub(model.updated_us) as f64;
+                        model.remaining_us = (model.remaining_us - model.rate * elapsed).max(0.0);
+                        model.updated_us = now;
+                        model.rate = alloc as f64 / requests[&job_id] as f64;
+                        gen_counter += 1;
+                        model.gen = gen_counter;
+                        let finish = now
+                            .saturating_add((model.remaining_us / model.rate).ceil() as TimeUs);
+                        sched.set_expected_end(job_id, Some(finish));
+                        events.push(Reverse((
+                            finish,
+                            seq,
+                            Event::Completion {
+                                job_id,
+                                gen: gen_counter,
+                            },
+                        )));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+
+        Ok(ClusterRunReport {
+            policy: policy_name,
+            report: WorkloadReport::new(Scenario::Drom, records),
+            utilization: UtilizationStat {
+                busy_cpu_us,
+                capacity_cpu_us: (self.num_nodes * self.node_cpus) as u128
+                    * last_t.saturating_sub(run_start) as u128,
+            },
+            stats: sched.stats(),
+            events_processed: processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::mixed_hpc_trace;
+    use drom_slurm::policy::QueuedJob;
+    use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
+
+    fn tiny_trace() -> Vec<TraceJob> {
+        mixed_hpc_trace(11, 60, 8, 16, 1.2).generate()
+    }
+
+    #[test]
+    fn every_policy_completes_the_trace() {
+        let sim = ClusterSim::new(8, 16);
+        let trace = tiny_trace();
+        for policy in [
+            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy),
+            Box::new(MalleablePolicy),
+        ] {
+            let report = sim.run(policy, &trace).unwrap();
+            assert_eq!(report.jobs().len(), trace.len(), "{}", report.policy);
+            assert_eq!(report.stats.started as usize, trace.len());
+            assert_eq!(report.stats.completed as usize, trace.len());
+            assert!(report.makespan_s() > 0.0);
+            assert!(report.mean_response_s() > 0.0);
+            assert!(report.p95_response_s() >= report.mean_response_s() * 0.5);
+            let util = report.utilization_fraction();
+            assert!(util > 0.0 && util <= 1.0, "{}: util {util}", report.policy);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sim = ClusterSim::new(8, 16);
+        let trace = tiny_trace();
+        let a = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+        let b = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn malleable_beats_first_fit_on_a_loaded_cluster() {
+        let sim = ClusterSim::new(16, 16);
+        let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
+        let ff = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
+        let mall = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+        assert!(
+            mall.makespan_s() < ff.makespan_s(),
+            "malleable {} vs first-fit {}",
+            mall.makespan_s(),
+            ff.makespan_s()
+        );
+        assert!(mall.mean_response_s() < ff.mean_response_s());
+        assert!(mall.stats.shrinks > 0, "the win must come from malleability");
+        assert!(mall.stats.expands > 0, "shrunk jobs must re-expand");
+    }
+
+    #[test]
+    fn zero_duration_jobs_complete_instantly() {
+        let jobs = vec![
+            TraceJob {
+                job: QueuedJob::new(1, 1, 8)
+                    .with_submit_us(10)
+                    .with_expected_duration_us(0),
+                duration_us: 0,
+            },
+            TraceJob {
+                job: QueuedJob::new(2, 1, 8)
+                    .with_submit_us(10)
+                    .with_expected_duration_us(100),
+                duration_us: 100,
+            },
+        ];
+        let report = ClusterSim::new(1, 16)
+            .run(Box::new(FirstFitPolicy), &jobs)
+            .unwrap();
+        assert_eq!(report.jobs().len(), 2);
+        let zero = report.jobs().iter().find(|j| j.name == "job1").unwrap();
+        assert_eq!(zero.start, 10);
+        assert_eq!(zero.end, 10);
+        assert_eq!(zero.response_time(), 0);
+    }
+
+    #[test]
+    fn impossible_job_errors_instead_of_livelocking() {
+        let jobs = vec![TraceJob {
+            job: QueuedJob::new(1, 1, 32), // 32 CPUs per node on 16-CPU nodes
+            duration_us: 100,
+        }];
+        for policy in [
+            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy),
+            Box::new(MalleablePolicy),
+        ] {
+            let err = ClusterSim::new(4, 16).run(policy, &jobs).unwrap_err();
+            assert!(matches!(err, SlurmError::Unschedulable { job_id: 1, .. }));
+        }
+    }
+
+    #[test]
+    fn shrink_to_admit_races_a_same_instant_completion() {
+        // Job 1 owns the whole (single-node) cluster and completes at exactly
+        // t = 1000 — the same instant job 3 arrives wanting the full node.
+        // Job 2 (malleable, full width) starts at t=1000 too; the policy's
+        // shrink/start decisions interleave with the completion at one
+        // timestamp and must still converge with job 1's CPUs reused.
+        let jobs = vec![
+            TraceJob {
+                job: QueuedJob::new(1, 1, 16)
+                    .with_submit_us(0)
+                    .with_expected_duration_us(1000),
+                duration_us: 1000,
+            },
+            TraceJob {
+                job: QueuedJob::new(2, 1, 16)
+                    .malleable(4)
+                    .with_submit_us(1000)
+                    .with_expected_duration_us(4000),
+                duration_us: 4000,
+            },
+            TraceJob {
+                job: QueuedJob::new(3, 1, 8)
+                    .with_submit_us(1000)
+                    .with_expected_duration_us(1000),
+                duration_us: 1000,
+            },
+        ];
+        let report = ClusterSim::new(1, 16)
+            .run(Box::new(MalleablePolicy), &jobs)
+            .unwrap();
+        assert_eq!(report.jobs().len(), 3);
+        // Jobs 2 and 3 start in the same pass, so job 2's shrink folds into a
+        // narrower admission width rather than a separate resize; what must
+        // remain is the re-expansion once job 3 completes.
+        assert!(report.stats.expands >= 1);
+        // Job 3 never waited for job 2 to finish.
+        let j3 = report.jobs().iter().find(|j| j.name == "job3").unwrap();
+        assert_eq!(j3.start, 1000);
+        // Job 2 ran shrunk for a while, so it finished later than its full
+        // width duration but the accounting still adds up.
+        let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
+        assert!(j2.run_time() > 4000);
+        assert_eq!(report.stats.resize_races, 0);
+    }
+
+    #[test]
+    fn backfill_beats_first_fit_on_response_time() {
+        let sim = ClusterSim::new(16, 16);
+        let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
+        let ff = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
+        let bf = sim.run(Box::new(BackfillPolicy), &trace).unwrap();
+        assert!(
+            bf.mean_response_s() <= ff.mean_response_s(),
+            "backfill {} vs first-fit {}",
+            bf.mean_response_s(),
+            ff.mean_response_s()
+        );
+    }
+}

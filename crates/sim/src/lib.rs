@@ -31,14 +31,43 @@
 //! assert!(drom.report.total_run_time() < serial.report.total_run_time());
 //! assert!(drom.report.average_response_time() < serial.report.average_response_time());
 //! ```
+//!
+//! # Beyond the paper: cluster-scale trace replay
+//!
+//! The [`cluster`] engine replays *synthetic workload traces* (hundreds of
+//! nodes, thousands of jobs) against any
+//! [`SchedulerPolicy`](drom_slurm::policy::SchedulerPolicy), reporting
+//! makespan, mean/P95 response time and node utilization — the experiment
+//! the `cluster_sweep` binary runs to compare first-fit, backfill and the
+//! DROM-malleable policy on the same job stream:
+//!
+//! ```
+//! use drom_sim::{ClusterSim, mixed_hpc_trace};
+//! use drom_slurm::{FirstFitPolicy, MalleablePolicy};
+//!
+//! // A small loaded cluster: 8 nodes × 16 CPUs, 40 jobs at ~1.2× capacity.
+//! let trace = mixed_hpc_trace(42, 40, 8, 16, 1.2).generate();
+//! let sim = ClusterSim::new(8, 16);
+//! let first_fit = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
+//! let malleable = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+//! // Shrinking running jobs to admit queued work cuts the queue wait.
+//! assert!(malleable.mean_response_s() <= first_fit.mean_response_s());
+//! assert!(malleable.stats.started == 40 && malleable.stats.completed == 40);
+//! ```
 
+#![deny(missing_docs)]
+
+pub mod cluster;
 pub mod engine;
 pub mod report;
 pub mod scenario;
+pub mod trace;
 
+pub use cluster::{ClusterRunReport, ClusterSim};
 pub use engine::{JobSegment, SimulationResult, WorkloadSimulator};
 pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
 pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
+pub use trace::{mixed_hpc_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob};
 
 /// Re-export of the scenario enum shared with the metrics crate.
 pub use drom_metrics::Scenario;

@@ -99,6 +99,40 @@ impl AffinityPlugin {
         })
     }
 
+    /// Computes the shrunk per-task masks of one job's tasks on this node:
+    /// the job keeps the lowest `target_cpus` of its current CPUs (so the
+    /// surviving threads do not migrate), equipartitioned among its tasks
+    /// with the plugin's policy. CPUs above the target are released.
+    ///
+    /// This is the mask arithmetic behind a malleable-policy *shrink*
+    /// decision; [`Slurmd::shrink_job`](crate::Slurmd::shrink_job) applies
+    /// the result through the DROM pending-mask machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlurmError::NotEnoughCpus`] if `target_cpus` would leave a
+    /// task without a CPU.
+    pub fn shrink_request(
+        &self,
+        node: &str,
+        tasks: &[RunningTask],
+        target_cpus: usize,
+    ) -> Result<Vec<CpuSet>, SlurmError> {
+        if target_cpus < tasks.len() {
+            return Err(SlurmError::NotEnoughCpus {
+                node: node.to_string(),
+                requested_tasks: tasks.len(),
+                available_cpus: target_cpus,
+            });
+        }
+        let mut union = CpuSet::new();
+        for task in tasks {
+            union = union.union(&task.mask);
+        }
+        let keep = union.truncated(target_cpus);
+        Ok(equipartition(&keep, tasks.len(), &self.topology, self.policy))
+    }
+
     /// Redistributes the CPUs freed by a finished job among the tasks that
     /// keep running (`release_resources` in the paper's Figure 2).
     pub fn release_resources(
@@ -155,6 +189,20 @@ mod tests {
         assert!(matches!(err, SlurmError::NotEnoughCpus { .. }));
         let running: Vec<RunningTask> = (0..10).map(|i| task(1, i, i..i + 1)).collect();
         let err = plugin().launch_request("node0", &running, 7).unwrap_err();
+        assert!(matches!(err, SlurmError::NotEnoughCpus { .. }));
+    }
+
+    #[test]
+    fn shrink_request_keeps_a_prefix() {
+        let running = vec![task(1, 0, 0..8), task(1, 1, 8..16)];
+        let masks = plugin().shrink_request("node0", &running, 8).unwrap();
+        assert_eq!(masks.len(), 2);
+        assert_eq!(masks[0].count() + masks[1].count(), 8);
+        let union = masks[0].union(&masks[1]);
+        assert_eq!(union, CpuSet::from_range(0..8).unwrap());
+        assert!(masks[0].is_disjoint(&masks[1]));
+        // Shrinking below one CPU per task is refused.
+        let err = plugin().shrink_request("node0", &running, 1).unwrap_err();
         assert!(matches!(err, SlurmError::NotEnoughCpus { .. }));
     }
 

@@ -1,21 +1,34 @@
-//! A minimal `slurmctld`: job queue, node selection and the admission rule.
+//! Cluster controllers: the paper's minimal `slurmctld` and the
+//! policy-driven [`PolicyScheduler`].
 //!
 //! The paper leaves slurmctld untouched ("the purpose is to give a proof of
-//! integration of DROM APIs, not to present new scheduling policies"), so this
-//! controller is deliberately simple: first-come-first-served over a priority
-//! queue, first-fit node selection. The only difference between the two
-//! evaluation scenarios is the admission rule:
+//! integration of DROM APIs, not to present new scheduling policies"), so
+//! [`SlurmCtld`] is deliberately simple: first-come-first-served over a
+//! priority queue, first-fit node selection. The only difference between the
+//! two evaluation scenarios is the admission rule:
 //!
 //! * **Serial** — a job only starts when it can have its nodes exclusively;
 //! * **DROM co-allocation** — a node may be shared by up to a configurable
 //!   number of jobs (two in the paper's experiments), relying on the
 //!   task/affinity plugin to partition the CPUs.
+//!
+//! [`PolicyScheduler`] is the step beyond the paper: a CPU-granular
+//! controller that delegates every decision to a pluggable
+//! [`SchedulerPolicy`] and validates the returned actions before applying
+//! them, so no policy can oversubscribe a node or resize a job outside its
+//! malleable range.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use drom_metrics::TimeUs;
+
+use crate::error::SlurmError;
 use crate::job::JobSpec;
+use crate::policy::{
+    ClusterView, JobAllocation, QueuedJob, RunningJob, SchedulerAction, SchedulerPolicy,
+};
 
 /// Admission rule used by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,9 +155,319 @@ impl SlurmCtld {
     }
 }
 
+/// Counters of everything a [`PolicyScheduler`] did, reported next to the
+/// workload metrics so a policy's behaviour (how often it shrank, expanded,
+/// raced a completion) is visible in the experiment tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Jobs started.
+    pub started: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Shrink resizes applied.
+    pub shrinks: u64,
+    /// Expand resizes applied.
+    pub expands: u64,
+    /// Resize actions that raced a completion (the job was already gone) and
+    /// were dropped. Benign: the policy decided on a snapshot that a
+    /// same-instant completion invalidated.
+    pub resize_races: u64,
+}
+
+/// A CPU-granular cluster controller driven by a pluggable scheduling policy.
+///
+/// The scheduler owns the authoritative cluster state (free CPUs per node,
+/// running allocations, the pending queue) and, at every [`tick`], hands a
+/// read-only [`ClusterView`] to its [`SchedulerPolicy`] and applies the
+/// validated actions. It is the shared substrate of the trace-driven cluster
+/// simulator (`drom-sim`) and of the real execution path, where a `Start`
+/// maps onto [`Srun::launch`](crate::Srun::launch), a shrink onto
+/// [`Slurmd::shrink_job`](crate::Slurmd::shrink_job) and an expand onto
+/// [`Slurmd::release_resources`](crate::Slurmd::release_resources).
+///
+/// [`tick`]: PolicyScheduler::tick
+pub struct PolicyScheduler {
+    node_cpus: usize,
+    free: Vec<usize>,
+    running: Vec<RunningJob>,
+    queue: Vec<QueuedJob>,
+    policy: Box<dyn SchedulerPolicy>,
+    stats: SchedulerStats,
+}
+
+impl PolicyScheduler {
+    /// Creates a scheduler over `num_nodes` homogeneous nodes of `node_cpus`
+    /// CPUs, delegating decisions to `policy`.
+    pub fn new(num_nodes: usize, node_cpus: usize, policy: Box<dyn SchedulerPolicy>) -> Self {
+        PolicyScheduler {
+            node_cpus: node_cpus.max(1),
+            free: vec![node_cpus.max(1); num_nodes.max(1)],
+            running: Vec::new(),
+            queue: Vec::new(),
+            policy,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The name of the policy in charge.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// CPUs per node.
+    pub fn node_cpus(&self) -> usize {
+        self.node_cpus
+    }
+
+    /// Free CPUs on each node.
+    pub fn free_cpus(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Total CPUs currently allocated to running jobs.
+    pub fn allocated_cpus(&self) -> usize {
+        self.running.iter().map(|r| r.alloc.total_cpus()).sum()
+    }
+
+    /// The running jobs with their current allocations.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters of applied actions.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// The read-only view handed to the policy.
+    pub fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            node_cpus: self.node_cpus,
+            free: &self.free,
+            running: &self.running,
+        }
+    }
+
+    /// Queues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`SlurmError::Unschedulable`] when no node of the cluster can ever
+    /// satisfy the request — accepting such a job would block an FCFS queue
+    /// forever, so submission fails instead of livelocking the scheduler.
+    pub fn submit(&mut self, job: QueuedJob) -> Result<(), SlurmError> {
+        if let Err(reason) = self.view().fits_ever(&job) {
+            return Err(SlurmError::Unschedulable {
+                job_id: job.id,
+                reason,
+            });
+        }
+        self.queue.push(job);
+        Ok(())
+    }
+
+    /// Refreshes a running job's estimated completion time (the trace engine
+    /// calls this whenever a resize changes the job's finish estimate, which
+    /// keeps backfill reservations honest).
+    pub fn set_expected_end(&mut self, job_id: u64, end_us: Option<TimeUs>) {
+        if let Some(job) = self.running.iter_mut().find(|r| r.alloc.job_id == job_id) {
+            job.expected_end_us = end_us;
+        }
+    }
+
+    /// Removes a completed job, freeing its CPUs, and returns its final state.
+    ///
+    /// # Errors
+    ///
+    /// [`SlurmError::UnknownJob`] if the job is not running.
+    pub fn job_finished(&mut self, job_id: u64) -> Result<RunningJob, SlurmError> {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.alloc.job_id == job_id)
+            .ok_or(SlurmError::UnknownJob { job_id })?;
+        let job = self.running.remove(pos);
+        for &idx in &job.alloc.node_indices {
+            self.free[idx] += job.alloc.cpus_per_node;
+        }
+        self.stats.completed += 1;
+        Ok(job)
+    }
+
+    /// Runs one scheduling pass at virtual time `now_us`: asks the policy for
+    /// its actions, validates each against the live state and applies the
+    /// valid ones. Returns the actions actually applied, in order.
+    ///
+    /// A `Resize` naming a job that is no longer running is dropped and
+    /// counted in [`SchedulerStats::resize_races`] — the policy decided on a
+    /// snapshot, and a completion at the very same instant may have retired
+    /// its victim (see `docs/scheduling.md` for how this mirrors the
+    /// registry's pending-mask cancellation rules).
+    ///
+    /// # Errors
+    ///
+    /// [`SlurmError::InvalidAction`] when an action would overcommit a node,
+    /// start an unknown job or resize outside the malleable range. State is
+    /// untouched by the offending action.
+    pub fn tick(&mut self, now_us: TimeUs) -> Result<Vec<SchedulerAction>, SlurmError> {
+        let view = ClusterView {
+            node_cpus: self.node_cpus,
+            free: &self.free,
+            running: &self.running,
+        };
+        let actions = self.policy.schedule(&view, &self.queue, now_us);
+        let mut applied = Vec::with_capacity(actions.len());
+        for action in actions {
+            match action {
+                SchedulerAction::Start {
+                    job_id,
+                    ref node_indices,
+                    cpus_per_node,
+                } => {
+                    self.apply_start(job_id, node_indices, cpus_per_node, now_us)?;
+                    applied.push(action);
+                }
+                SchedulerAction::Resize {
+                    job_id,
+                    cpus_per_node,
+                } => {
+                    if self.apply_resize(job_id, cpus_per_node)? {
+                        applied.push(action);
+                    }
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    fn apply_start(
+        &mut self,
+        job_id: u64,
+        node_indices: &[usize],
+        width: usize,
+        now_us: TimeUs,
+    ) -> Result<(), SlurmError> {
+        let invalid = |reason: String| SlurmError::InvalidAction { job_id, reason };
+        let pos = self
+            .queue
+            .iter()
+            .position(|j| j.id == job_id)
+            .ok_or_else(|| invalid("start of a job that is not queued".into()))?;
+        let job = &self.queue[pos];
+        if node_indices.len() != job.nodes {
+            return Err(invalid(format!(
+                "allocated {} nodes, job wants {}",
+                node_indices.len(),
+                job.nodes
+            )));
+        }
+        let mut seen = vec![false; self.free.len()];
+        for &idx in node_indices {
+            if idx >= self.free.len() || seen[idx] {
+                return Err(invalid(format!("bad or duplicate node index {idx}")));
+            }
+            seen[idx] = true;
+            if self.free[idx] < width {
+                return Err(invalid(format!(
+                    "node {idx} has {} free CPUs, start needs {width}",
+                    self.free[idx]
+                )));
+            }
+        }
+        let floor = if job.malleable {
+            job.min_cpus_per_node
+        } else {
+            job.cpus_per_node
+        };
+        if width < floor.max(1) || width > job.cpus_per_node {
+            return Err(invalid(format!(
+                "width {width} outside the job's [{floor}, {}] range",
+                job.cpus_per_node
+            )));
+        }
+        let job = self.queue.remove(pos);
+        for &idx in node_indices {
+            self.free[idx] -= width;
+        }
+        // The initial completion estimate scales with the admitted width (a
+        // job started at half width needs ~2× its declared duration), so
+        // backfill/drain reservations stay honest even when the driver never
+        // refreshes estimates via set_expected_end.
+        let expected_end_us = job.expected_duration_us.map(|d| {
+            let scaled = d.saturating_mul(job.cpus_per_node as u64) / width.max(1) as u64;
+            now_us.saturating_add(scaled)
+        });
+        self.running.push(RunningJob {
+            alloc: JobAllocation {
+                job_id,
+                node_indices: node_indices.to_vec(),
+                cpus_per_node: width,
+            },
+            job,
+            start_us: now_us,
+            expected_end_us,
+        });
+        self.stats.started += 1;
+        Ok(())
+    }
+
+    /// Applies a resize; `Ok(false)` means the action was dropped as a benign
+    /// completion race.
+    fn apply_resize(&mut self, job_id: u64, width: usize) -> Result<bool, SlurmError> {
+        let invalid = |reason: String| SlurmError::InvalidAction { job_id, reason };
+        let Some(pos) = self.running.iter().position(|r| r.alloc.job_id == job_id) else {
+            self.stats.resize_races += 1;
+            return Ok(false);
+        };
+        let current = self.running[pos].alloc.cpus_per_node;
+        if width == current {
+            return Ok(false);
+        }
+        let job = &self.running[pos].job;
+        if !job.malleable {
+            return Err(invalid("resize of a rigid job".into()));
+        }
+        if width < job.min_cpus_per_node.max(1) || width > job.cpus_per_node {
+            return Err(invalid(format!(
+                "width {width} outside the job's [{}, {}] range",
+                job.min_cpus_per_node, job.cpus_per_node
+            )));
+        }
+        if width > current {
+            let extra = width - current;
+            for &idx in &self.running[pos].alloc.node_indices {
+                if self.free[idx] < extra {
+                    return Err(invalid(format!(
+                        "expand needs {extra} CPUs on node {idx}, only {} free",
+                        self.free[idx]
+                    )));
+                }
+            }
+            for &idx in &self.running[pos].alloc.node_indices.clone() {
+                self.free[idx] -= extra;
+            }
+            self.stats.expands += 1;
+        } else {
+            let freed = current - width;
+            for &idx in &self.running[pos].alloc.node_indices.clone() {
+                self.free[idx] += freed;
+            }
+            self.stats.shrinks += 1;
+        }
+        self.running[pos].alloc.cpus_per_node = width;
+        Ok(true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{FirstFitPolicy, MalleablePolicy};
 
     fn two_node_ctld(mode: SchedulingMode) -> SlurmCtld {
         SlurmCtld::new(vec!["node0".into(), "node1".into()], mode)
@@ -222,5 +545,136 @@ mod tests {
             SchedulingMode::drom_default(),
             SchedulingMode::DromShared { max_jobs_per_node: 2 }
         );
+    }
+
+    #[test]
+    fn policy_scheduler_first_fit_lifecycle() {
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy));
+        assert_eq!(sched.policy_name(), "first-fit");
+        assert_eq!(sched.node_cpus(), 16);
+        sched.submit(QueuedJob::new(1, 2, 16)).unwrap();
+        sched.submit(QueuedJob::new(2, 1, 8)).unwrap();
+        let applied = sched.tick(0).unwrap();
+        assert_eq!(applied.len(), 1, "job 2 blocks behind the full-cluster job");
+        assert_eq!(sched.allocated_cpus(), 32);
+        assert_eq!(sched.queue_len(), 1);
+        assert_eq!(sched.free_cpus(), &[0, 0]);
+
+        sched.job_finished(1).unwrap();
+        let applied = sched.tick(10).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(sched.allocated_cpus(), 8);
+        assert_eq!(sched.running().len(), 1);
+        assert_eq!(sched.stats().started, 2);
+        assert_eq!(sched.stats().completed, 1);
+        assert!(matches!(
+            sched.job_finished(99),
+            Err(SlurmError::UnknownJob { job_id: 99 })
+        ));
+    }
+
+    #[test]
+    fn policy_scheduler_rejects_impossible_jobs() {
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy));
+        let err = sched.submit(QueuedJob::new(1, 1, 32)).unwrap_err();
+        assert!(matches!(err, SlurmError::Unschedulable { job_id: 1, .. }));
+        let err = sched.submit(QueuedJob::new(2, 4, 1)).unwrap_err();
+        assert!(matches!(err, SlurmError::Unschedulable { job_id: 2, .. }));
+        assert_eq!(sched.queue_len(), 0, "impossible jobs never enter the queue");
+    }
+
+    #[test]
+    fn policy_scheduler_malleable_shrink_and_reexpand() {
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+        sched
+            .submit(QueuedJob::new(1, 2, 16).malleable(4).with_submit_us(0))
+            .unwrap();
+        sched.tick(0).unwrap();
+        assert_eq!(sched.allocated_cpus(), 32);
+
+        // A rigid half-node job arrives: job 1 shrinks to admit it.
+        sched.submit(QueuedJob::new(2, 1, 8).with_submit_us(5)).unwrap();
+        sched.tick(5).unwrap();
+        assert_eq!(sched.stats().shrinks, 1);
+        assert_eq!(sched.running().len(), 2);
+        let job1 = sched
+            .running()
+            .iter()
+            .find(|r| r.alloc.job_id == 1)
+            .unwrap();
+        assert_eq!(job1.alloc.cpus_per_node, 8);
+        assert!(job1.is_shrunk());
+
+        // Job 2 completes: the next pass re-expands job 1 to full width.
+        sched.job_finished(2).unwrap();
+        sched.tick(50).unwrap();
+        assert_eq!(sched.stats().expands, 1);
+        let job1 = sched
+            .running()
+            .iter()
+            .find(|r| r.alloc.job_id == 1)
+            .unwrap();
+        assert_eq!(job1.alloc.cpus_per_node, 16);
+        assert_eq!(sched.free_cpus(), &[0, 0]);
+    }
+
+    #[test]
+    fn policy_scheduler_drops_racing_resize() {
+        // A hand-written policy that resizes a job that no longer runs.
+        struct RacingPolicy;
+        impl crate::policy::SchedulerPolicy for RacingPolicy {
+            fn name(&self) -> &'static str {
+                "racing"
+            }
+            fn schedule(
+                &mut self,
+                _view: &ClusterView<'_>,
+                _queue: &[QueuedJob],
+                _now_us: TimeUs,
+            ) -> Vec<SchedulerAction> {
+                vec![SchedulerAction::Resize {
+                    job_id: 77,
+                    cpus_per_node: 4,
+                }]
+            }
+        }
+        let mut sched = PolicyScheduler::new(1, 16, Box::new(RacingPolicy));
+        let applied = sched.tick(0).unwrap();
+        assert!(applied.is_empty());
+        assert_eq!(sched.stats().resize_races, 1);
+    }
+
+    #[test]
+    fn policy_scheduler_rejects_overcommitting_policy() {
+        struct GreedyPolicy;
+        impl crate::policy::SchedulerPolicy for GreedyPolicy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn schedule(
+                &mut self,
+                _view: &ClusterView<'_>,
+                queue: &[QueuedJob],
+                _now_us: TimeUs,
+            ) -> Vec<SchedulerAction> {
+                // Start everything on node 0 regardless of capacity.
+                queue
+                    .iter()
+                    .map(|j| SchedulerAction::Start {
+                        job_id: j.id,
+                        node_indices: vec![0],
+                        cpus_per_node: j.cpus_per_node,
+                    })
+                    .collect()
+            }
+        }
+        let mut sched = PolicyScheduler::new(1, 16, Box::new(GreedyPolicy));
+        sched.submit(QueuedJob::new(1, 1, 16)).unwrap();
+        sched.submit(QueuedJob::new(2, 1, 16)).unwrap();
+        let err = sched.tick(0).unwrap_err();
+        assert!(matches!(err, SlurmError::InvalidAction { job_id: 2, .. }));
+        // The valid first action was applied; the cluster state stayed sane.
+        assert_eq!(sched.allocated_cpus(), 16);
+        assert_eq!(sched.free_cpus(), &[0]);
     }
 }

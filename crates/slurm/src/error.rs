@@ -32,6 +32,24 @@ pub enum SlurmError {
         /// The unknown job id.
         job_id: u64,
     },
+    /// No node of the cluster can ever satisfy the job's request, even with
+    /// every CPU free: admitting it to the queue would livelock the scheduler,
+    /// so submission must fail instead.
+    Unschedulable {
+        /// The job that can never start.
+        job_id: u64,
+        /// Human-readable explanation of the impossible requirement.
+        reason: String,
+    },
+    /// A scheduling policy emitted an action the cluster state cannot honour
+    /// (overcommitted node, resize outside the job's malleable range, …).
+    /// The action is rejected before any state changes.
+    InvalidAction {
+        /// The job the action referred to.
+        job_id: u64,
+        /// What was wrong with the action.
+        reason: String,
+    },
     /// An underlying DROM call failed.
     Drom(DromError),
 }
@@ -52,6 +70,12 @@ impl fmt::Display for SlurmError {
                 "node {node} cannot host {requested_tasks} tasks with only {available_cpus} cpus"
             ),
             SlurmError::UnknownJob { job_id } => write!(f, "unknown job {job_id}"),
+            SlurmError::Unschedulable { job_id, reason } => {
+                write!(f, "job {job_id} can never be scheduled: {reason}")
+            }
+            SlurmError::InvalidAction { job_id, reason } => {
+                write!(f, "invalid scheduler action for job {job_id}: {reason}")
+            }
             SlurmError::Drom(err) => write!(f, "DROM error: {err}"),
         }
     }
@@ -78,6 +102,12 @@ mod tests {
             .to_string()
             .contains("busy"));
         assert!(SlurmError::UnknownJob { job_id: 42 }.to_string().contains("42"));
+        let unsched = SlurmError::Unschedulable {
+            job_id: 7,
+            reason: "wants 32 CPUs per node, nodes have 16".into(),
+        };
+        assert!(unsched.to_string().contains("never"));
+        assert!(unsched.to_string().contains("32"));
         let err: SlurmError = DromError::NotInitialized.into();
         assert!(matches!(err, SlurmError::Drom(_)));
         assert!(err.to_string().contains("DROM"));

@@ -39,6 +39,10 @@ pub struct JobSpec {
     /// Scheduling priority (larger is more urgent). The high-priority use case
     /// (Section 6.2) submits its second job with a higher priority.
     pub priority: u32,
+    /// User-declared wall-clock limit (virtual µs), if any. Backfilling
+    /// policies use it as the job's expected duration; `None` means the job
+    /// gives the scheduler no estimate and can never be backfilled around.
+    pub time_limit_us: Option<TimeUs>,
 }
 
 impl JobSpec {
@@ -54,6 +58,7 @@ impl JobSpec {
             submit_time: 0,
             malleable: true,
             priority: 0,
+            time_limit_us: None,
         }
     }
 
@@ -90,6 +95,12 @@ impl JobSpec {
     /// Sets the priority.
     pub fn with_priority(mut self, priority: u32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Declares a wall-clock limit (virtual µs), enabling backfill estimates.
+    pub fn with_time_limit_us(mut self, limit: TimeUs) -> Self {
+        self.time_limit_us = Some(limit);
         self
     }
 
@@ -137,6 +148,13 @@ mod tests {
     fn rigid_jobs() {
         let job = JobSpec::new(1, "legacy").rigid();
         assert!(!job.malleable);
+    }
+
+    #[test]
+    fn time_limit_is_optional() {
+        assert_eq!(JobSpec::new(1, "x").time_limit_us, None);
+        let job = JobSpec::new(2, "y").with_time_limit_us(5_000_000);
+        assert_eq!(job.time_limit_us, Some(5_000_000));
     }
 
     #[test]

@@ -145,6 +145,42 @@ impl Srun {
         })
     }
 
+    /// Applies a malleable-policy shrink to a launched job: on every node of
+    /// the allocation the job's tasks are shrunk so they collectively hold
+    /// `cpus_per_node` CPUs (posted through the DROM pending-mask machinery;
+    /// tasks adapt at their next malleability point). Returns the total CPUs
+    /// freed across the allocation.
+    ///
+    /// This is how a [`SchedulerPolicy`](crate::policy::SchedulerPolicy)
+    /// `Resize` decision reaches the registry on the execution path; the
+    /// matching expansion is [`complete`](Self::complete)'s
+    /// `release_resources` pass when a co-runner finishes.
+    ///
+    /// The shrink is validated on *every* node before it is applied on any,
+    /// so a task that has not consumed a previous update (`PendingDirty` on
+    /// one node) cannot leave the allocation at non-uniform widths — the
+    /// whole call fails and the scheduler retries at its next pass.
+    pub fn shrink(
+        &self,
+        launched: &LaunchedJob,
+        cpus_per_node: usize,
+    ) -> Result<usize, SlurmError> {
+        // Phase 1: plan (and thereby validate) the shrink on every node;
+        // phase 2: apply exactly the validated plans.
+        let mut plans = Vec::with_capacity(launched.nodes.len());
+        for node in &launched.nodes {
+            let slurmd = self.slurmd(node)?;
+            let plan = slurmd.shrink_plan(launched.job.id, cpus_per_node)?;
+            plans.push((slurmd, plan));
+        }
+        let mut freed = 0;
+        for (slurmd, (posts, node_freed)) in &plans {
+            slurmd.apply_shrink_posts(posts)?;
+            freed += node_freed;
+        }
+        Ok(freed)
+    }
+
     /// Completes a launched job: `post_term` for every task, then
     /// `release_resources` on every node so surviving jobs expand.
     pub fn complete(&self, launched: &LaunchedJob) -> Result<(), SlurmError> {
@@ -237,6 +273,59 @@ mod tests {
             })
             .sum();
         assert_eq!(total_restored, 32);
+    }
+
+    #[test]
+    fn shrink_spans_the_whole_allocation() {
+        let (cluster, srun) = setup(true);
+        let nodes = vec!["node0".to_string(), "node1".to_string()];
+        let job = JobSpec::new(1, "wide").with_tasks(2).with_nodes(2);
+        let launched = srun.launch(&job, &nodes).unwrap();
+        let procs: Vec<_> = launched
+            .tasks
+            .iter()
+            .map(|t| {
+                DromProcess::init_from_environ(&t.environ, cluster.shmem(&t.node).unwrap()).unwrap()
+            })
+            .collect();
+        // Shrink to half width on both nodes: 8 CPUs freed per node.
+        assert_eq!(srun.shrink(&launched, 8).unwrap(), 16);
+        for proc in &procs {
+            assert_eq!(proc.poll_drom().unwrap().unwrap().count(), 8);
+        }
+        // Shrinking to the current width frees nothing further.
+        assert_eq!(srun.shrink(&launched, 8).unwrap(), 0);
+        srun.complete(&launched).unwrap();
+    }
+
+    #[test]
+    fn shrink_with_unconsumed_update_fails_atomically() {
+        let (cluster, srun) = setup(true);
+        let nodes = vec!["node0".to_string(), "node1".to_string()];
+        let job = JobSpec::new(1, "wide").with_tasks(2).with_nodes(2);
+        let launched = srun.launch(&job, &nodes).unwrap();
+        let procs: Vec<_> = launched
+            .tasks
+            .iter()
+            .map(|t| {
+                DromProcess::init_from_environ(&t.environ, cluster.shmem(&t.node).unwrap()).unwrap()
+            })
+            .collect();
+        assert_eq!(srun.shrink(&launched, 8).unwrap(), 16);
+        // Only node0's task polls; node1's still carries the pending shrink.
+        procs[0].poll_drom().unwrap();
+        let err = srun.shrink(&launched, 4).unwrap_err();
+        assert!(
+            matches!(err, SlurmError::Drom(drom_core::DromError::PendingDirty { .. })),
+            "got {err:?}"
+        );
+        // Nothing was applied anywhere: node0's task has no new pending and
+        // node1's still carries the ORIGINAL 8-CPU shrink, not a 4-CPU one.
+        assert!(procs[0].poll_drom().unwrap().is_none());
+        assert_eq!(procs[1].poll_drom().unwrap().unwrap().count(), 8);
+        // Once every task polled, the retried shrink goes through.
+        assert_eq!(srun.shrink(&launched, 4).unwrap(), 8);
+        srun.complete(&launched).unwrap();
     }
 
     #[test]

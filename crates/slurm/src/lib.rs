@@ -19,6 +19,11 @@
 //! * [`Srun`] — the launcher tying the two together for a whole job across
 //!   nodes, plus `release_resources` redistributing CPUs when a job ends.
 //! * [`Cluster`] — node inventory (topology + per-node DROM shared memory).
+//! * [`policy`] — the step beyond the paper: a pluggable [`SchedulerPolicy`]
+//!   trait with first-fit, conservative-backfill and malleable
+//!   (shrink-to-admit) implementations, driven by [`PolicyScheduler`] and
+//!   benchmarked at cluster scale by `drom-sim`'s trace engine. See
+//!   `docs/scheduling.md` for the policy semantics.
 //!
 //! # Example: co-allocating two jobs on one node
 //!
@@ -46,6 +51,66 @@
 //! // Job 1 observes the shrink at its next malleability point.
 //! assert_eq!(proc1.poll_drom().unwrap().unwrap().count(), 8);
 //! ```
+//!
+//! # Example: a custom scheduling policy
+//!
+//! Policies are pure decision procedures over a [`ClusterView`]; the
+//! [`PolicyScheduler`] validates and applies whatever they return. A complete
+//! policy fits in a few lines — here, one that only ever starts single-node
+//! jobs, at full width, on the emptiest node:
+//!
+//! ```
+//! use drom_slurm::policy::{
+//!     ClusterView, QueuedJob, SchedulerAction, SchedulerPolicy,
+//! };
+//! use drom_slurm::PolicyScheduler;
+//!
+//! struct SmallJobsOnly;
+//!
+//! impl SchedulerPolicy for SmallJobsOnly {
+//!     fn name(&self) -> &'static str {
+//!         "small-jobs-only"
+//!     }
+//!     fn schedule(
+//!         &mut self,
+//!         view: &ClusterView<'_>,
+//!         queue: &[QueuedJob],
+//!         _now_us: u64,
+//!     ) -> Vec<SchedulerAction> {
+//!         let mut free = view.free.to_vec();
+//!         let mut actions = Vec::new();
+//!         for job in queue.iter().filter(|j| j.nodes == 1) {
+//!             // Emptiest node first; ties break on the lower index.
+//!             let Some((node, _)) = free
+//!                 .iter()
+//!                 .enumerate()
+//!                 .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))
+//!             else {
+//!                 break;
+//!             };
+//!             if free[node] < job.cpus_per_node {
+//!                 continue;
+//!             }
+//!             free[node] -= job.cpus_per_node;
+//!             actions.push(SchedulerAction::Start {
+//!                 job_id: job.id,
+//!                 node_indices: vec![node],
+//!                 cpus_per_node: job.cpus_per_node,
+//!             });
+//!         }
+//!         actions
+//!     }
+//! }
+//!
+//! let mut sched = PolicyScheduler::new(4, 16, Box::new(SmallJobsOnly));
+//! sched.submit(QueuedJob::new(1, 1, 8)).unwrap();
+//! sched.submit(QueuedJob::new(2, 2, 8)).unwrap(); // two nodes: never picked
+//! let applied = sched.tick(0).unwrap();
+//! assert_eq!(applied.len(), 1);
+//! assert_eq!(sched.queue_len(), 1);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod affinity;
 pub mod cluster;
@@ -53,14 +118,19 @@ pub mod controller;
 pub mod error;
 pub mod job;
 pub mod launcher;
+pub mod policy;
 pub mod slurmd;
 pub mod stepd;
 
 pub use affinity::{AffinityPlugin, NodeLaunchPlan};
 pub use cluster::{Cluster, NodeHw};
-pub use controller::{SchedulingMode, SlurmCtld};
+pub use controller::{PolicyScheduler, SchedulerStats, SchedulingMode, SlurmCtld};
 pub use error::SlurmError;
 pub use job::{JobSpec, JobState};
 pub use launcher::{LaunchedJob, LaunchedTask, Srun};
+pub use policy::{
+    BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy, QueuedJob,
+    RunningJob, SchedulerAction, SchedulerPolicy,
+};
 pub use slurmd::Slurmd;
 pub use stepd::SlurmStepd;

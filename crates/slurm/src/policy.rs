@@ -1,0 +1,1004 @@
+//! Pluggable cluster-scheduling policies over a CPU-level cluster view.
+//!
+//! The paper deliberately leaves `slurmctld` untouched ("the purpose is to
+//! give a proof of integration of DROM APIs, not to present new scheduling
+//! policies"). This module is the step beyond that proof: it defines the
+//! [`SchedulerPolicy`] trait — a cluster-wide decision procedure fed a
+//! [`ClusterView`] and a queue of [`QueuedJob`]s — and three implementations:
+//!
+//! * [`FirstFitPolicy`] — the baseline: FCFS order, first-fit placement,
+//!   head-of-line blocking. This is the paper's unmodified-controller
+//!   behaviour lifted to CPU granularity.
+//! * [`BackfillPolicy`] — conservative EASY-style backfill: one reservation
+//!   for the blocked head job; only jobs with a declared time limit that
+//!   finish before the reservation may jump the queue.
+//! * [`MalleablePolicy`] — the DROM-enabled policy: when the head job does not
+//!   fit, running malleable jobs are *shrunk* (down to their per-node floor)
+//!   to admit it, and re-expanded toward their full request whenever CPUs free
+//!   up. On the execution path the shrink/expand actions map onto the
+//!   `DROM_PreInit` steal and pending-mask machinery (see
+//!   [`Slurmd::shrink_job`](crate::Slurmd::shrink_job) and
+//!   [`Slurmd::release_resources`](crate::Slurmd::release_resources)); in the
+//!   trace-driven simulator they map onto virtual-time reallocation.
+//!
+//! Policies are pure decision procedures: they never mutate cluster state.
+//! The [`PolicyScheduler`](crate::PolicyScheduler) applies (and validates)
+//! the returned [`SchedulerAction`]s, so a buggy policy cannot oversubscribe
+//! a node. `docs/scheduling.md` documents the exact semantics of each policy
+//! and how a shrink composes with the registry's pending-mask rules.
+
+use drom_metrics::TimeUs;
+
+use crate::job::JobSpec;
+
+/// A job submission as the scheduling policies see it: pure resource shape,
+/// no application payload.
+///
+/// Widths are *per node*: a job asks for `nodes × cpus_per_node` CPUs and a
+/// malleable job may run anywhere between `nodes × min_cpus_per_node` and its
+/// full request (the allocation width is uniform across its nodes, matching
+/// the block task distribution every workload of the paper uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Unique job identifier.
+    pub id: u64,
+    /// Submission time (virtual µs).
+    pub submit_us: TimeUs,
+    /// Number of nodes requested.
+    pub nodes: usize,
+    /// CPUs requested on each of those nodes.
+    pub cpus_per_node: usize,
+    /// Smallest per-node width the job tolerates (= `cpus_per_node` for a
+    /// rigid job; typically one CPU per task for a malleable one).
+    pub min_cpus_per_node: usize,
+    /// `true` if the job tolerates having its CPUs changed at run time.
+    pub malleable: bool,
+    /// Scheduling priority (larger is more urgent).
+    pub priority: u32,
+    /// Expected duration (virtual µs) at full request width, if declared.
+    /// Backfill reservations treat `None` as "unbounded".
+    pub expected_duration_us: Option<TimeUs>,
+}
+
+impl QueuedJob {
+    /// Creates a rigid job: `nodes × cpus_per_node`, no time limit.
+    pub fn new(id: u64, nodes: usize, cpus_per_node: usize) -> Self {
+        QueuedJob {
+            id,
+            submit_us: 0,
+            nodes: nodes.max(1),
+            cpus_per_node: cpus_per_node.max(1),
+            min_cpus_per_node: cpus_per_node.max(1),
+            malleable: false,
+            priority: 0,
+            expected_duration_us: None,
+        }
+    }
+
+    /// Marks the job malleable, able to shrink to `min_cpus_per_node`.
+    pub fn malleable(mut self, min_cpus_per_node: usize) -> Self {
+        self.malleable = true;
+        self.min_cpus_per_node = min_cpus_per_node.clamp(1, self.cpus_per_node);
+        self
+    }
+
+    /// Sets the submission time.
+    pub fn with_submit_us(mut self, submit_us: TimeUs) -> Self {
+        self.submit_us = submit_us;
+        self
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Declares the expected duration (enables backfilling around this job).
+    pub fn with_expected_duration_us(mut self, duration_us: TimeUs) -> Self {
+        self.expected_duration_us = Some(duration_us);
+        self
+    }
+
+    /// Derives the policy-level shape from a [`JobSpec`]: the per-node width
+    /// is the widest node's `tasks × threads`, the malleable floor is one CPU
+    /// per task, and the expected duration is the declared time limit.
+    pub fn from_spec(spec: &JobSpec) -> Self {
+        let tasks_widest = spec.tasks_per_node().into_iter().max().unwrap_or(1).max(1);
+        let request = tasks_widest * spec.threads_per_task.max(1);
+        QueuedJob {
+            id: spec.id,
+            submit_us: spec.submit_time,
+            nodes: spec.nodes.max(1),
+            cpus_per_node: request,
+            min_cpus_per_node: if spec.malleable { tasks_widest } else { request },
+            malleable: spec.malleable,
+            priority: spec.priority,
+            expected_duration_us: spec.time_limit_us,
+        }
+    }
+
+    /// Total CPUs of the full request.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+}
+
+/// Where a running job's CPUs live: a set of nodes and the uniform per-node
+/// width currently granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobAllocation {
+    /// The allocated job.
+    pub job_id: u64,
+    /// Indices (into the cluster's node list) of the allocated nodes.
+    pub node_indices: Vec<usize>,
+    /// CPUs currently granted on each of those nodes.
+    pub cpus_per_node: usize,
+}
+
+impl JobAllocation {
+    /// Total CPUs of the allocation.
+    pub fn total_cpus(&self) -> usize {
+        self.node_indices.len() * self.cpus_per_node
+    }
+}
+
+/// A running job in the [`ClusterView`]: its request, its current allocation
+/// and the controller's completion estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningJob {
+    /// The job's original request.
+    pub job: QueuedJob,
+    /// Current allocation.
+    pub alloc: JobAllocation,
+    /// When the job started (virtual µs).
+    pub start_us: TimeUs,
+    /// Estimated completion time, refreshed by the engine driving the
+    /// scheduler; `None` when no estimate exists.
+    pub expected_end_us: Option<TimeUs>,
+}
+
+impl RunningJob {
+    /// `true` if the job currently holds fewer CPUs than it requested.
+    pub fn is_shrunk(&self) -> bool {
+        self.alloc.cpus_per_node < self.job.cpus_per_node
+    }
+
+    /// CPUs per node this job could still give up (0 for rigid jobs).
+    pub fn reclaimable_per_node(&self) -> usize {
+        if self.job.malleable {
+            self.alloc.cpus_per_node.saturating_sub(self.job.min_cpus_per_node)
+        } else {
+            0
+        }
+    }
+}
+
+/// What a policy may ask the cluster to do. Actions are validated and applied
+/// by [`PolicyScheduler::tick`](crate::PolicyScheduler::tick).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerAction {
+    /// Start a queued job on the given nodes at the given per-node width
+    /// (which may be below its request if the job is malleable).
+    Start {
+        /// The queued job to start.
+        job_id: u64,
+        /// Node indices of the allocation.
+        node_indices: Vec<usize>,
+        /// CPUs granted on each node.
+        cpus_per_node: usize,
+    },
+    /// Change a running malleable job's per-node width (shrink or expand),
+    /// keeping its node set.
+    Resize {
+        /// The running job to resize.
+        job_id: u64,
+        /// The new per-node width.
+        cpus_per_node: usize,
+    },
+}
+
+/// Read-only cluster state handed to a policy: homogeneous node capacity,
+/// free CPUs per node and every running job.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// CPUs per node (the cluster is homogeneous, like the paper's).
+    pub node_cpus: usize,
+    /// Free CPUs on each node, indexed by node.
+    pub free: &'a [usize],
+    /// Every running job with its current allocation.
+    pub running: &'a [RunningJob],
+}
+
+impl ClusterView<'_> {
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total free CPUs across the cluster.
+    pub fn total_free(&self) -> usize {
+        self.free.iter().sum()
+    }
+
+    /// Checks that `job` could start if every CPU of the cluster were free.
+    /// Returns the reason it never can, if so — the admission guard that
+    /// keeps impossible jobs out of the queue (error, not livelock).
+    pub fn fits_ever(&self, job: &QueuedJob) -> Result<(), String> {
+        if job.cpus_per_node == 0 || job.nodes == 0 {
+            return Err("job requests zero CPUs".into());
+        }
+        if job.nodes > self.num_nodes() {
+            return Err(format!(
+                "wants {} nodes, cluster has {}",
+                job.nodes,
+                self.num_nodes()
+            ));
+        }
+        if job.cpus_per_node > self.node_cpus {
+            return Err(format!(
+                "wants {} CPUs per node, nodes have {}",
+                job.cpus_per_node, self.node_cpus
+            ));
+        }
+        if job.min_cpus_per_node > job.cpus_per_node {
+            return Err(format!(
+                "malleable floor {} exceeds request {}",
+                job.min_cpus_per_node, job.cpus_per_node
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A cluster-wide scheduling policy: given the current state and queue, emit
+/// the actions to take *now*. Called at every scheduling event (submission,
+/// completion, explicit tick); must be deterministic for a given input.
+pub trait SchedulerPolicy: Send {
+    /// Short policy name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Decides what to start/resize right now. Implementations must not
+    /// assume their actions are applied — the scheduler validates them.
+    fn schedule(
+        &mut self,
+        view: &ClusterView<'_>,
+        queue: &[QueuedJob],
+        now_us: TimeUs,
+    ) -> Vec<SchedulerAction>;
+}
+
+/// Queue order shared by all built-in policies: priority (desc), submission
+/// time, id.
+fn queue_order(queue: &[QueuedJob]) -> Vec<&QueuedJob> {
+    let mut ordered: Vec<&QueuedJob> = queue.iter().collect();
+    ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit_us, j.id));
+    ordered
+}
+
+/// One allocation holding CPUs until an (optionally) estimated end time —
+/// the input of the reservation forecast shared by backfill and malleable.
+struct Holder<'a> {
+    end_us: Option<TimeUs>,
+    node_indices: &'a [usize],
+    width: usize,
+}
+
+/// Earliest time ≥ `now_us` at which a `nodes × width` allocation fits,
+/// replaying the holders' expected releases onto a copy of `free`. Returns
+/// the time and the node set; `None` when the fit is never provable (a
+/// holder on needed CPUs has no completion estimate).
+fn earliest_release_fit(
+    nodes: usize,
+    width: usize,
+    free: &[usize],
+    holders: &[Holder<'_>],
+    now_us: TimeUs,
+) -> Option<(TimeUs, Vec<usize>)> {
+    if let Some(found) = fit_first(free, nodes, width) {
+        return Some((now_us, found));
+    }
+    let mut ends: Vec<TimeUs> = holders
+        .iter()
+        .filter_map(|h| h.end_us)
+        .filter(|&e| e > now_us)
+        .collect();
+    ends.sort_unstable();
+    ends.dedup();
+    let mut free_at = free.to_vec();
+    let mut released = vec![false; holders.len()];
+    for t in ends {
+        for (i, holder) in holders.iter().enumerate() {
+            if !released[i] && holder.end_us.is_some_and(|e| e <= t) {
+                for &n in holder.node_indices {
+                    free_at[n] += holder.width;
+                }
+                released[i] = true;
+            }
+        }
+        if let Some(found) = fit_first(&free_at, nodes, width) {
+            return Some((t, found));
+        }
+    }
+    None
+}
+
+/// First-fit placement: the first `nodes` nodes (in index order) with at
+/// least `width` free CPUs.
+fn fit_first(free: &[usize], nodes: usize, width: usize) -> Option<Vec<usize>> {
+    let mut selected = Vec::with_capacity(nodes);
+    for (idx, &f) in free.iter().enumerate() {
+        if f >= width {
+            selected.push(idx);
+            if selected.len() == nodes {
+                return Some(selected);
+            }
+        }
+    }
+    None
+}
+
+/// The baseline: FCFS order, first-fit placement, head-of-line blocking.
+///
+/// This is the unmodified-controller behaviour of the paper's Section 5
+/// lifted to CPU granularity: a job starts only at its full request width,
+/// and a blocked head job blocks everything behind it.
+#[derive(Debug, Default, Clone)]
+pub struct FirstFitPolicy;
+
+impl SchedulerPolicy for FirstFitPolicy {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &ClusterView<'_>,
+        queue: &[QueuedJob],
+        _now_us: TimeUs,
+    ) -> Vec<SchedulerAction> {
+        let mut free = view.free.to_vec();
+        let mut actions = Vec::new();
+        for job in queue_order(queue) {
+            match fit_first(&free, job.nodes, job.cpus_per_node) {
+                Some(node_indices) => {
+                    for &idx in &node_indices {
+                        free[idx] -= job.cpus_per_node;
+                    }
+                    actions.push(SchedulerAction::Start {
+                        job_id: job.id,
+                        node_indices,
+                        cpus_per_node: job.cpus_per_node,
+                    });
+                }
+                None => break,
+            }
+        }
+        actions
+    }
+}
+
+/// Conservative EASY-style backfill.
+///
+/// Jobs start in FCFS order at full width. When the head job does not fit,
+/// its start is *reserved* at the earliest instant enough CPUs free up
+/// (using the running jobs' expected completion times), and later queued
+/// jobs may start out of order only when they declare a time limit and are
+/// guaranteed to finish before that reservation — so the head job is never
+/// delayed. If any running job on the needed CPUs has no completion
+/// estimate, no reservation exists and nothing is backfilled.
+#[derive(Debug, Default, Clone)]
+pub struct BackfillPolicy;
+
+impl BackfillPolicy {
+    /// Earliest time ≥ `now` at which `job` fits, replaying the expected
+    /// completions of `holders` (allocations with estimated end times) on top
+    /// of the current free vector. `None` if it never provably fits.
+    fn earliest_fit(
+        job: &QueuedJob,
+        free_now: &[usize],
+        holders: &[(Option<TimeUs>, JobAllocation)],
+        now_us: TimeUs,
+    ) -> Option<TimeUs> {
+        let holders: Vec<Holder<'_>> = holders
+            .iter()
+            .map(|(end, alloc)| Holder {
+                end_us: *end,
+                node_indices: &alloc.node_indices,
+                width: alloc.cpus_per_node,
+            })
+            .collect();
+        earliest_release_fit(job.nodes, job.cpus_per_node, free_now, &holders, now_us)
+            .map(|(t, _)| t)
+    }
+}
+
+impl SchedulerPolicy for BackfillPolicy {
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &ClusterView<'_>,
+        queue: &[QueuedJob],
+        now_us: TimeUs,
+    ) -> Vec<SchedulerAction> {
+        let mut free = view.free.to_vec();
+        let mut actions = Vec::new();
+        // Allocations that will still hold CPUs: running jobs plus the jobs
+        // this very call decides to start.
+        let mut holders: Vec<(Option<TimeUs>, JobAllocation)> = view
+            .running
+            .iter()
+            .map(|r| (r.expected_end_us, r.alloc.clone()))
+            .collect();
+        let ordered = queue_order(queue);
+        let mut blocked_at = ordered.len();
+        for (pos, job) in ordered.iter().enumerate() {
+            match fit_first(&free, job.nodes, job.cpus_per_node) {
+                Some(node_indices) => {
+                    for &idx in &node_indices {
+                        free[idx] -= job.cpus_per_node;
+                    }
+                    let alloc = JobAllocation {
+                        job_id: job.id,
+                        node_indices: node_indices.clone(),
+                        cpus_per_node: job.cpus_per_node,
+                    };
+                    holders.push((
+                        job.expected_duration_us.map(|d| now_us.saturating_add(d)),
+                        alloc,
+                    ));
+                    actions.push(SchedulerAction::Start {
+                        job_id: job.id,
+                        node_indices,
+                        cpus_per_node: job.cpus_per_node,
+                    });
+                }
+                None => {
+                    blocked_at = pos;
+                    break;
+                }
+            }
+        }
+        if blocked_at >= ordered.len() {
+            return actions;
+        }
+        let head = ordered[blocked_at];
+        let Some(reservation_us) = Self::earliest_fit(head, &free, &holders, now_us) else {
+            return actions; // no provable reservation: nothing may jump
+        };
+        for job in ordered.iter().skip(blocked_at + 1) {
+            let Some(duration) = job.expected_duration_us else {
+                continue; // no limit declared: could delay the reservation
+            };
+            if now_us.saturating_add(duration) > reservation_us {
+                continue;
+            }
+            if let Some(node_indices) = fit_first(&free, job.nodes, job.cpus_per_node) {
+                for &idx in &node_indices {
+                    free[idx] -= job.cpus_per_node;
+                }
+                actions.push(SchedulerAction::Start {
+                    job_id: job.id,
+                    node_indices,
+                    cpus_per_node: job.cpus_per_node,
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// The DROM-enabled malleable policy: shrink running jobs to admit queued
+/// work, drain nodes for jobs that cannot be admitted by shrinking, and
+/// re-expand shrunk jobs when CPUs free up.
+///
+/// Admission is FCFS. A queued job starts at full width when it fits; when
+/// it does not, the policy picks the nodes with the most *available* CPUs
+/// (free plus what running malleable jobs could give up), shrinks victims
+/// greedily — largest donor first — and starts the job at the widest
+/// per-node width the selection supports. Two bounds keep this healthy:
+///
+/// * **Shrink depth**: no job is ever pushed below half its request (nor
+///   below its declared floor). Unbounded shrink-to-admit degenerates into
+///   deep time-sharing that fragments the cluster and hurts every metric —
+///   the bound is the paper's two-jobs-per-node equipartition generalised
+///   to a width rule (measured in `docs/scheduling.md`).
+/// * **Head reservation**: when even shrinking cannot admit the head job
+///   (typically a rigid or cluster-wide one), the policy reserves the nodes
+///   that drain soonest — no later start and no expansion may touch them
+///   unless it provably completes before the reservation — and keeps
+///   admitting queue followers on the rest of the cluster. Without the
+///   drain, a malleable-packed cluster never again offers a fully idle
+///   node and rigid jobs starve behind it.
+///
+/// After admissions, every malleable job running below its request is
+/// expanded round-robin into the remaining (non-reserved) free CPUs, which
+/// is how jobs regain their CPUs when a co-runner completes.
+#[derive(Debug, Default, Clone)]
+pub struct MalleablePolicy;
+
+/// The width below which the malleable policy will not push a job: its
+/// declared floor, but never less than half its request.
+fn shrink_floor(declared_floor: usize, request: usize) -> usize {
+    declared_floor.max(request.div_ceil(2)).max(1)
+}
+
+/// Mutable working copy of one running (or newly started) job during a
+/// [`MalleablePolicy::schedule`] pass.
+struct Slot {
+    job_id: u64,
+    node_indices: Vec<usize>,
+    width: usize,
+    original_width: Option<usize>, // None for jobs started this pass
+    floor: usize,
+    request: usize,
+    malleable: bool,
+    expected_end_us: Option<TimeUs>,
+}
+
+impl Slot {
+    fn on_reserved(&self, reserved: Option<&[bool]>) -> bool {
+        reserved.is_some_and(|r| self.node_indices.iter().any(|&n| r[n]))
+    }
+}
+
+impl SchedulerPolicy for MalleablePolicy {
+    fn name(&self) -> &'static str {
+        "malleable"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &ClusterView<'_>,
+        queue: &[QueuedJob],
+        now_us: TimeUs,
+    ) -> Vec<SchedulerAction> {
+        let mut free = view.free.to_vec();
+        let mut slots: Vec<Slot> = view
+            .running
+            .iter()
+            .map(|r| Slot {
+                job_id: r.alloc.job_id,
+                node_indices: r.alloc.node_indices.clone(),
+                width: r.alloc.cpus_per_node,
+                original_width: Some(r.alloc.cpus_per_node),
+                floor: r.job.min_cpus_per_node,
+                request: r.job.cpus_per_node,
+                malleable: r.job.malleable,
+                expected_end_us: r.expected_end_us,
+            })
+            .collect();
+        // Reservation for the first job that could not be admitted at all:
+        // (earliest provable start time, per-node reserved flag).
+        let mut reservation: Option<(TimeUs, Vec<bool>)> = None;
+
+        for job in queue_order(queue) {
+            let placement = Self::plan_admission(job, &free, &slots, &reservation, now_us);
+            let Some((node_indices, width)) = placement else {
+                if reservation.is_some() {
+                    continue; // one reservation at a time; revisit next tick
+                }
+                match Self::earliest_full_fit(job, &free, &slots, now_us) {
+                    Some((at_us, nodes)) => {
+                        let mut mask = vec![false; free.len()];
+                        for &n in &nodes {
+                            mask[n] = true;
+                        }
+                        reservation = Some((at_us, mask));
+                        continue;
+                    }
+                    // No provable drain (a holder lacks an estimate): stop
+                    // admitting rather than risk starving the head forever.
+                    None => break,
+                }
+            };
+            let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+            // Carve out the CPUs: shrink victims until every selected node
+            // has `width` free, then allocate.
+            for &node in &node_indices {
+                while free[node] < width {
+                    let needed = width - free[node];
+                    let Some(victim) = Self::best_donor(&slots, node, reserved_mask)
+                    else {
+                        unreachable!("plan_admission guaranteed the capacity");
+                    };
+                    let victim_floor =
+                        shrink_floor(slots[victim].floor, slots[victim].request);
+                    let give = needed.min(slots[victim].width - victim_floor);
+                    slots[victim].width -= give;
+                    for &n in &slots[victim].node_indices {
+                        free[n] += give;
+                    }
+                }
+            }
+            for &node in &node_indices {
+                free[node] -= width;
+            }
+            slots.push(Slot {
+                job_id: job.id,
+                node_indices,
+                width,
+                original_width: None,
+                floor: job.min_cpus_per_node,
+                request: job.cpus_per_node,
+                malleable: job.malleable,
+                expected_end_us: job.expected_duration_us.map(|d| {
+                    let scaled =
+                        d.saturating_mul(job.cpus_per_node as u64) / width.max(1) as u64;
+                    now_us.saturating_add(scaled)
+                }),
+            });
+        }
+
+        // Expansion: hand the remaining free CPUs to shrunk malleable jobs,
+        // one CPU-per-node at a time so concurrent victims recover evenly.
+        // Reserved nodes do not participate: consuming their free CPUs could
+        // push the reserved job's start past its reservation.
+        let reserved_mask = reservation.as_ref().map(|(_, m)| m.clone());
+        let expandable = |n: usize| !reserved_mask.as_ref().is_some_and(|m| m[n]);
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for slot in slots.iter_mut() {
+                if !slot.malleable || slot.width >= slot.request {
+                    continue;
+                }
+                let headroom = slot
+                    .node_indices
+                    .iter()
+                    .map(|&n| if expandable(n) { free[n] } else { 0 })
+                    .min()
+                    .unwrap_or(0);
+                if headroom == 0 {
+                    continue;
+                }
+                slot.width += 1;
+                for &n in &slot.node_indices {
+                    free[n] -= 1;
+                }
+                progressed = true;
+            }
+        }
+
+        // Emit everything from the FINAL slot state (a job admitted mid-pass
+        // may have been shrunk or expanded again by later admissions), in an
+        // order that is valid to apply sequentially: shrinks release CPUs,
+        // then starts consume them, then expands absorb the leftovers.
+        let mut actions: Vec<SchedulerAction> = Vec::new();
+        for slot in &slots {
+            if slot.original_width.is_some_and(|o| slot.width < o) {
+                actions.push(SchedulerAction::Resize {
+                    job_id: slot.job_id,
+                    cpus_per_node: slot.width,
+                });
+            }
+        }
+        for slot in &slots {
+            if slot.original_width.is_none() {
+                actions.push(SchedulerAction::Start {
+                    job_id: slot.job_id,
+                    node_indices: slot.node_indices.clone(),
+                    cpus_per_node: slot.width,
+                });
+            }
+        }
+        for slot in &slots {
+            if slot.original_width.is_some_and(|o| slot.width > o) {
+                actions.push(SchedulerAction::Resize {
+                    job_id: slot.job_id,
+                    cpus_per_node: slot.width,
+                });
+            }
+        }
+        actions
+    }
+}
+
+impl MalleablePolicy {
+    /// Decides whether (and how) `job` can start right now, honouring an
+    /// existing reservation: a job whose declared duration provably ends
+    /// before the reservation may use any free CPUs at full width; otherwise
+    /// reserved nodes are off limits, for the start and for its victims.
+    fn plan_admission(
+        job: &QueuedJob,
+        free: &[usize],
+        slots: &[Slot],
+        reservation: &Option<(TimeUs, Vec<bool>)>,
+        now_us: TimeUs,
+    ) -> Option<(Vec<usize>, usize)> {
+        match reservation {
+            None => fit_first(free, job.nodes, job.cpus_per_node)
+                .map(|nodes| (nodes, job.cpus_per_node))
+                .or_else(|| Self::shrink_to_admit(job, free, slots, None)),
+            Some((reserved_at, mask)) => {
+                let ends_first = job
+                    .expected_duration_us
+                    .is_some_and(|d| now_us.saturating_add(d) <= *reserved_at);
+                if ends_first {
+                    if let Some(nodes) = fit_first(free, job.nodes, job.cpus_per_node) {
+                        return Some((nodes, job.cpus_per_node));
+                    }
+                }
+                // Mask the reserved nodes out and admit on the rest.
+                let masked: Vec<usize> = free
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| if mask[i] { 0 } else { f })
+                    .collect();
+                fit_first(&masked, job.nodes, job.cpus_per_node)
+                    .map(|nodes| (nodes, job.cpus_per_node))
+                    .or_else(|| Self::shrink_to_admit(job, &masked, slots, Some(mask)))
+            }
+        }
+    }
+
+    /// The running malleable job on `node` with the most CPUs to spare above
+    /// its shrink floor (never one that overlaps a reserved node: slowing it
+    /// down would push its completion — and the reservation — later).
+    fn best_donor(slots: &[Slot], node: usize, reserved: Option<&[bool]>) -> Option<usize> {
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.malleable
+                    && s.width > shrink_floor(s.floor, s.request)
+                    && s.node_indices.contains(&node)
+                    && !s.on_reserved(reserved)
+            })
+            .max_by_key(|(i, s)| {
+                (s.width - shrink_floor(s.floor, s.request), std::cmp::Reverse(*i))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Plans an admission that requires shrinking: picks the `job.nodes`
+    /// nodes with the most available (free + reclaimable) CPUs and the widest
+    /// feasible width. `None` if even the floors don't fit. `free` must
+    /// already be masked for reserved nodes; `reserved` additionally rules
+    /// their jobs out as victims.
+    fn shrink_to_admit(
+        job: &QueuedJob,
+        free: &[usize],
+        slots: &[Slot],
+        reserved: Option<&[bool]>,
+    ) -> Option<(Vec<usize>, usize)> {
+        let mut avail: Vec<(usize, usize)> = free
+            .iter()
+            .enumerate()
+            .filter(|&(node, _)| !reserved.is_some_and(|m| m[node]))
+            .map(|(node, &f)| {
+                let reclaimable: usize = slots
+                    .iter()
+                    .filter(|s| {
+                        s.malleable
+                            && s.node_indices.contains(&node)
+                            && !s.on_reserved(reserved)
+                    })
+                    .map(|s| s.width.saturating_sub(shrink_floor(s.floor, s.request)))
+                    .sum();
+                (node, f + reclaimable)
+            })
+            .collect();
+        // Most available first; index order breaks ties deterministically.
+        avail.sort_by_key(|&(node, a)| (std::cmp::Reverse(a), node));
+        if avail.len() < job.nodes {
+            return None;
+        }
+        let selected = &avail[..job.nodes];
+        let width = selected
+            .iter()
+            .map(|&(_, a)| a)
+            .min()
+            .unwrap_or(0)
+            .min(job.cpus_per_node);
+        // A job is admitted shrunk only down to its own shrink floor: deeper
+        // admission would just move the time-sharing to the newcomer.
+        if width < shrink_floor(job.min_cpus_per_node, job.cpus_per_node) {
+            return None;
+        }
+        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _)| n).collect();
+        node_indices.sort_unstable();
+        Some((node_indices, width))
+    }
+
+    /// Earliest time ≥ `now` at which `job` fits at full width, replaying the
+    /// expected completions of every slot on top of the current free vector.
+    /// Returns the time and the node set; `None` when a holder on a needed
+    /// node has no completion estimate.
+    fn earliest_full_fit(
+        job: &QueuedJob,
+        free: &[usize],
+        slots: &[Slot],
+        now_us: TimeUs,
+    ) -> Option<(TimeUs, Vec<usize>)> {
+        let holders: Vec<Holder<'_>> = slots
+            .iter()
+            .map(|s| Holder {
+                end_us: s.expected_end_us,
+                node_indices: &s.node_indices,
+                width: s.width,
+            })
+            .collect();
+        earliest_release_fit(job.nodes, job.cpus_per_node, free, &holders, now_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(node_cpus: usize, free: &'a [usize], running: &'a [RunningJob]) -> ClusterView<'a> {
+        ClusterView {
+            node_cpus,
+            free,
+            running,
+        }
+    }
+
+    fn running(id: u64, nodes: Vec<usize>, width: usize, request: usize, floor: usize) -> RunningJob {
+        RunningJob {
+            job: QueuedJob::new(id, nodes.len(), request).malleable(floor),
+            alloc: JobAllocation {
+                job_id: id,
+                node_indices: nodes,
+                cpus_per_node: width,
+            },
+            start_us: 0,
+            expected_end_us: None,
+        }
+    }
+
+    #[test]
+    fn first_fit_starts_in_order_and_blocks() {
+        let free = [16, 16];
+        let queue = vec![
+            QueuedJob::new(1, 1, 16),
+            QueuedJob::new(2, 2, 16), // does not fit once job 1 holds a node
+            QueuedJob::new(3, 1, 1),  // would fit, but the head blocks it
+        ];
+        let actions = FirstFitPolicy.schedule(&view(16, &free, &[]), &queue, 0);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            SchedulerAction::Start { job_id: 1, cpus_per_node: 16, .. }
+        ));
+    }
+
+    #[test]
+    fn first_fit_respects_priority() {
+        let free = [16];
+        let queue = vec![
+            QueuedJob::new(1, 1, 16),
+            QueuedJob::new(2, 1, 16).with_priority(5),
+        ];
+        let actions = FirstFitPolicy.schedule(&view(16, &free, &[]), &queue, 0);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
+    }
+
+    #[test]
+    fn backfill_jumps_only_safe_jobs() {
+        // Node 0 busy until t=100s; head job wants both nodes.
+        let holders = [running(10, vec![0], 16, 16, 16)];
+        let mut holders = holders.to_vec();
+        holders[0].expected_end_us = Some(100_000_000);
+        let free = [0, 16];
+        let queue = vec![
+            QueuedJob::new(1, 2, 16), // head: blocked until t=100s
+            QueuedJob::new(2, 1, 8).with_expected_duration_us(50_000_000), // safe
+            QueuedJob::new(3, 1, 8).with_expected_duration_us(200_000_000), // would delay head
+            QueuedJob::new(4, 1, 8), // no estimate: never backfilled
+        ];
+        let actions = BackfillPolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        assert_eq!(actions.len(), 1, "only the safe job jumps: {actions:?}");
+        assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
+    }
+
+    #[test]
+    fn backfill_without_estimates_never_jumps() {
+        let holders = vec![running(10, vec![0], 16, 16, 16)]; // no expected end
+        let free = [0, 16];
+        let queue = vec![
+            QueuedJob::new(1, 2, 16),
+            QueuedJob::new(2, 1, 4).with_expected_duration_us(1),
+        ];
+        let actions = BackfillPolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        assert!(actions.is_empty(), "no reservation, no backfill: {actions:?}");
+    }
+
+    #[test]
+    fn malleable_shrinks_to_admit_and_expands_back() {
+        // One malleable job owns both nodes fully; a rigid half-node job queues.
+        let holders = vec![running(1, vec![0, 1], 16, 16, 4)];
+        let free = [0, 0];
+        let queue = vec![QueuedJob::new(2, 1, 8)];
+        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        // Shrink job 1 (on both nodes), start job 2 on one node, and re-expand
+        // job 1 by the slack the shrink left on the other node? The width is
+        // uniform, so job 1 stays at 8 and node 1 keeps 8 CPUs free.
+        assert!(actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            SchedulerAction::Start { job_id: 2, cpus_per_node: 8, .. }
+        )));
+        // Shrinks come before starts.
+        let shrink_pos = actions
+            .iter()
+            .position(|a| matches!(a, SchedulerAction::Resize { job_id: 1, .. }))
+            .unwrap();
+        let start_pos = actions
+            .iter()
+            .position(|a| matches!(a, SchedulerAction::Start { .. }))
+            .unwrap();
+        assert!(shrink_pos < start_pos);
+    }
+
+    #[test]
+    fn malleable_expands_into_free_cpus() {
+        // A shrunk malleable job and an empty queue: pure expansion.
+        let holders = vec![running(1, vec![0, 1], 8, 16, 4)];
+        let free = [8, 8];
+        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &[], 0);
+        assert_eq!(
+            actions,
+            vec![SchedulerAction::Resize { job_id: 1, cpus_per_node: 16 }]
+        );
+    }
+
+    #[test]
+    fn malleable_respects_floors() {
+        // The running job can only shrink to 12; the queued job needs 8 on
+        // its node: 4 free + 4 reclaimable = admitted at its floor width.
+        let holders = vec![running(1, vec![0], 16, 16, 12)];
+        let free = [0];
+        let queue = vec![QueuedJob::new(2, 1, 8).malleable(4)];
+        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        assert!(actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 12 }));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            SchedulerAction::Start { job_id: 2, cpus_per_node: 4, .. }
+        )));
+    }
+
+    #[test]
+    fn malleable_blocks_when_floors_exceed_capacity() {
+        let holders = vec![running(1, vec![0], 16, 16, 16)]; // rigid-in-effect
+        let free = [0];
+        let queue = vec![QueuedJob::new(2, 1, 8)];
+        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn fits_ever_diagnoses_impossible_jobs() {
+        let free = [16, 16];
+        let v = view(16, &free, &[]);
+        assert!(v.fits_ever(&QueuedJob::new(1, 2, 16)).is_ok());
+        assert!(v.fits_ever(&QueuedJob::new(2, 3, 1)).is_err());
+        assert!(v.fits_ever(&QueuedJob::new(3, 1, 17)).is_err());
+        assert_eq!(v.num_nodes(), 2);
+        assert_eq!(v.total_free(), 32);
+    }
+
+    #[test]
+    fn from_spec_derives_widths() {
+        let spec = JobSpec::new(9, "hybrid")
+            .with_tasks(4)
+            .with_threads_per_task(4)
+            .with_nodes(2)
+            .with_time_limit_us(1_000);
+        let q = QueuedJob::from_spec(&spec);
+        assert_eq!(q.nodes, 2);
+        assert_eq!(q.cpus_per_node, 8); // 2 tasks × 4 threads per node
+        assert_eq!(q.min_cpus_per_node, 2); // one CPU per task
+        assert!(q.malleable);
+        assert_eq!(q.expected_duration_us, Some(1_000));
+        assert_eq!(q.total_cpus(), 16);
+
+        let rigid = QueuedJob::from_spec(&JobSpec::new(1, "r").with_tasks(2).rigid());
+        assert_eq!(rigid.min_cpus_per_node, rigid.cpus_per_node);
+    }
+}

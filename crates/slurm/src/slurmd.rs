@@ -156,6 +156,103 @@ impl Slurmd {
         Ok(())
     }
 
+    /// Computes the mask posts a shrink of `job_id` to `target_cpus` would
+    /// make on this node, validating every one of them *before* anything is
+    /// mutated: a task still carrying an unconsumed update (it has not
+    /// polled since the last change) fails the whole plan with
+    /// `DLB_ERR_PDIRTY`, so a multi-task shrink is all-or-nothing like
+    /// PR 2's steals. Returns the posts plus the CPUs the shrink frees.
+    pub(crate) fn shrink_plan(
+        &self,
+        job_id: u64,
+        target_cpus: usize,
+    ) -> Result<(Vec<(Pid, drom_cpuset::CpuSet)>, usize), SlurmError> {
+        let tasks: Vec<RunningTask> = self
+            .running_tasks()
+            .into_iter()
+            .filter(|t| t.job_id == job_id)
+            .collect();
+        if tasks.is_empty() {
+            return Err(SlurmError::UnknownJob { job_id });
+        }
+        let held: usize = tasks.iter().map(|t| t.mask.count()).sum();
+        if held <= target_cpus {
+            return Ok((Vec::new(), 0));
+        }
+        let masks = self
+            .plugin
+            .shrink_request(&self.node.name, &tasks, target_cpus)?;
+        let admin = self.stepd.admin();
+        let mut posts = Vec::new();
+        for (task, mask) in tasks.iter().zip(masks.iter()) {
+            if mask != &task.mask {
+                if let Some(pid) = self.pid_of(task.job_id, task.task_id) {
+                    match admin.get_process_entry(pid) {
+                        // A task that finalized between the snapshot and here
+                        // is completing on its own; its CPUs come back through
+                        // post_term / release_resources, not this shrink.
+                        Err(drom_core::DromError::NoSuchProcess { .. }) => continue,
+                        Err(err) => return Err(err.into()),
+                        Ok(entry) if entry.pending_mask.is_some() => {
+                            return Err(drom_core::DromError::PendingDirty { pid }.into());
+                        }
+                        Ok(_) => posts.push((pid, mask.clone())),
+                    }
+                }
+            }
+        }
+        Ok((posts, held - target_cpus))
+    }
+
+    /// Applies a previously computed shrink plan. A task that finalized in
+    /// the meantime is skipped — its own completion path returns the CPUs.
+    pub(crate) fn apply_shrink_posts(
+        &self,
+        posts: &[(Pid, drom_cpuset::CpuSet)],
+    ) -> Result<(), SlurmError> {
+        let admin = self.stepd.admin();
+        for (pid, mask) in posts {
+            match admin.set_process_mask(*pid, mask, DromFlags::default()) {
+                Ok(_) => {}
+                Err(drom_core::DromError::NoSuchProcess { .. }) => {}
+                Err(err) => return Err(err.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Shrinks a running job's tasks on this node so they collectively hold
+    /// `target_cpus` CPUs, posting the smaller masks through the DROM
+    /// pending-mask machinery (each task adapts at its next malleability
+    /// point). The freed CPUs become available for a subsequent
+    /// [`launch_request`](Self::launch_request) — this is the execution-path
+    /// form of a malleable-policy *shrink-to-admit* decision.
+    ///
+    /// Every post is validated before any is applied, so the node's tasks
+    /// are never left partially shrunk: if any task still carries an
+    /// unconsumed update, the whole call fails with
+    /// [`DromError::PendingDirty`](drom_core::DromError::PendingDirty)
+    /// (DLB's `DLB_ERR_PDIRTY`) and the scheduler simply retries at its next
+    /// pass, after the task's next malleability point. (Validation and
+    /// application race only with *other* administrators; on the execution
+    /// path the node's lone slurmd is the only mask writer.)
+    ///
+    /// Returns the number of CPUs freed (0 when the job already holds at
+    /// most `target_cpus`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SlurmError::UnknownJob`] when the job has no tasks on this node.
+    /// * [`SlurmError::NotEnoughCpus`] when `target_cpus` would leave a task
+    ///   without a CPU.
+    /// * [`SlurmError::Drom`] (`PendingDirty`) when a task has not yet
+    ///   consumed a previous update.
+    pub fn shrink_job(&self, job_id: u64, target_cpus: usize) -> Result<usize, SlurmError> {
+        let (posts, freed) = self.shrink_plan(job_id, target_cpus)?;
+        self.apply_shrink_posts(&posts)?;
+        Ok(freed)
+    }
+
     /// Redistributes the CPUs freed by `finished_job` among the jobs that keep
     /// running on this node (Figure 2, step 5/5.1). Returns the number of CPUs
     /// that were handed out.
@@ -290,6 +387,44 @@ mod tests {
         let handed = slurmd.release_resources(1).unwrap();
         assert_eq!(handed, 8, "the survivor acquires the freed half of the node");
         assert_eq!(proc2.poll_drom().unwrap().unwrap().count(), 16);
+    }
+
+    #[test]
+    fn shrink_job_frees_cpus_for_admission() {
+        let (slurmd, shmem) = make_slurmd(true);
+        // Job 1: two tasks owning the whole node.
+        let plan1 = slurmd.launch_request(1, 2).unwrap();
+        let mut procs1 = Vec::new();
+        for (i, mask) in plan1.task_masks.iter().enumerate() {
+            let env = slurmd.pre_launch(1, 100 + i as u32, mask).unwrap();
+            procs1.push(DromProcess::init_from_environ(&env, Arc::clone(&shmem)).unwrap());
+        }
+        // A malleable-policy shrink: job 1 down to 8 CPUs.
+        let freed = slurmd.shrink_job(1, 8).unwrap();
+        assert_eq!(freed, 8);
+        // The tasks observe the shrink at their next malleability point.
+        let total: usize = procs1
+            .iter()
+            .map(|p| {
+                p.poll_drom().unwrap();
+                p.num_cpus()
+            })
+            .sum();
+        assert_eq!(total, 8);
+        // The freed CPUs admit a new job without stealing anything further.
+        let plan2 = slurmd.launch_request(2, 1).unwrap();
+        assert_eq!(plan2.task_masks[0].count(), 8);
+
+        // Shrinking to the current width is a no-op; unknown jobs error.
+        assert_eq!(slurmd.shrink_job(1, 8).unwrap(), 0);
+        assert!(matches!(
+            slurmd.shrink_job(42, 4),
+            Err(SlurmError::UnknownJob { job_id: 42 })
+        ));
+        assert!(matches!(
+            slurmd.shrink_job(1, 1),
+            Err(SlurmError::NotEnoughCpus { .. })
+        ));
     }
 
     #[test]

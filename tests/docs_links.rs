@@ -1,0 +1,151 @@
+//! Markdown link checker: every relative link in the repository's *.md files
+//! must point at a file or directory that exists. Run in CI on every PR so
+//! documentation reorganisations cannot silently strand readers.
+
+use std::path::{Path, PathBuf};
+
+/// Collects the repository's markdown files: the root-level docs plus
+/// everything under `docs/`.
+fn markdown_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root)
+        .expect("repo root is readable")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        files.extend(
+            std::fs::read_dir(&docs)
+                .expect("docs/ is readable")
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "md")),
+        );
+    }
+    assert!(!files.is_empty(), "found no markdown files to check");
+    files
+}
+
+/// Extracts `[text](target)` link targets from one line, ignoring images'
+/// leading `!` (the target rules are the same). The terminating `)` is
+/// matched with paren balancing, so a target containing parentheses — legal
+/// in both paths and URLs — is extracted whole.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth == 0 {
+                targets.push(line[start..j - 1].to_string());
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Blanks out `` `inline code` `` spans so `[idx](arg)`-shaped code is not
+/// mistaken for a markdown link. An unpaired backtick leaves the rest of the
+/// line untouched (matching how renderers treat it).
+fn strip_inline_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        match rest[open + 1..].find('`') {
+            Some(close) => {
+                out.push_str(&rest[..open]);
+                rest = &rest[open + 1 + close + 1..];
+            }
+            None => break,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let mut broken = Vec::new();
+    for file in markdown_files() {
+        let content = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let mut in_code_block = false;
+        for (lineno, line) in content.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_block = !in_code_block;
+                continue;
+            }
+            if in_code_block {
+                continue;
+            }
+            for target in link_targets(&strip_inline_code(line)) {
+                // External links, anchors and mailto are out of scope: the
+                // checker guards the repo's own files only.
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with('#')
+                    || target.starts_with("mailto:")
+                    || target.is_empty()
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap_or(&target);
+                let base = file.parent().expect("markdown files have a parent");
+                if !base.join(path_part).exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link -> {target}",
+                        file.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extractor_finds_targets() {
+    assert_eq!(
+        link_targets("see [a](x.md) and ![img](y.png#frag)"),
+        vec!["x.md".to_string(), "y.png#frag".to_string()]
+    );
+    assert!(link_targets("no links here").is_empty());
+    assert!(link_targets("half [a](unclosed").is_empty());
+    // Parentheses inside a target are matched, not truncated.
+    assert_eq!(
+        link_targets("[spec](rfc(2).md) then [w](https://en.org/A_(b))"),
+        vec!["rfc(2).md".to_string(), "https://en.org/A_(b)".to_string()]
+    );
+}
+
+#[test]
+fn inline_code_is_not_a_link() {
+    assert_eq!(
+        strip_inline_code("call `masks[0](mask)` then see [real](x.md)"),
+        "call  then see [real](x.md)"
+    );
+    assert!(link_targets(&strip_inline_code("only `entries[pid](update)` here")).is_empty());
+    // An unpaired backtick leaves the remainder intact.
+    assert_eq!(strip_inline_code("a ` b"), "a ` b");
+}

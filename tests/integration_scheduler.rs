@@ -1,0 +1,129 @@
+//! The malleable scheduling policy driven end to end on the *real* execution
+//! path: `PolicyScheduler` decisions are applied through `Srun`/`Slurmd`, so
+//! every shrink travels the DROM pending-mask machinery and every expansion
+//! rides `release_resources` — exactly the composition `docs/scheduling.md`
+//! describes.
+
+use std::sync::Arc;
+
+use drom::core::DromProcess;
+use drom::slurm::policy::{QueuedJob, SchedulerAction};
+use drom::slurm::{Cluster, JobSpec, MalleablePolicy, PolicyScheduler, Srun};
+
+/// Maps a policy-level allocation (node indices + per-node width) onto the
+/// real cluster and back. One tick's worth of decisions is applied via
+/// launch / shrink_job / complete, and the applications observe every change
+/// through `poll_drom`.
+#[test]
+fn malleable_policy_decisions_apply_through_the_drom_machinery() {
+    let cluster = Arc::new(Cluster::marenostrum3(2));
+    let srun = Srun::new(Arc::clone(&cluster), true);
+    let node_names = cluster.node_names();
+    let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+
+    // Job 1: malleable, both nodes, full width, one 16-thread task per node.
+    sched
+        .submit(QueuedJob::from_spec(
+            &JobSpec::new(1, "simulation")
+                .with_tasks(2)
+                .with_threads_per_task(16)
+                .with_nodes(2),
+        ))
+        .unwrap();
+    let applied = sched.tick(0).unwrap();
+    assert_eq!(applied.len(), 1);
+    let SchedulerAction::Start { node_indices, cpus_per_node, .. } = &applied[0] else {
+        panic!("expected a start, got {applied:?}");
+    };
+    assert_eq!(cpus_per_node, &16);
+    let alloc_nodes: Vec<String> = node_indices
+        .iter()
+        .map(|&i| node_names[i].clone())
+        .collect();
+    let launched_sim = srun
+        .launch(
+            &JobSpec::new(1, "simulation").with_tasks(2).with_nodes(2),
+            &alloc_nodes,
+        )
+        .unwrap();
+    let sim_procs: Vec<Arc<DromProcess>> = launched_sim
+        .tasks
+        .iter()
+        .map(|t| {
+            Arc::new(
+                DromProcess::init_from_environ(&t.environ, cluster.shmem(&t.node).unwrap())
+                    .unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(launched_sim.total_cpus(), 32);
+
+    // Job 2 arrives: rigid, one node, half width. The policy shrinks job 1.
+    sched
+        .submit(QueuedJob::from_spec(
+            &JobSpec::new(2, "analytics").with_tasks(1).with_threads_per_task(8).rigid(),
+        ))
+        .unwrap();
+    let applied = sched.tick(10).unwrap();
+    // First the shrink of job 1, then the start of job 2.
+    assert!(matches!(
+        applied[0],
+        SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }
+    ));
+    let SchedulerAction::Start { job_id: 2, node_indices, cpus_per_node: 8 } = &applied[1]
+    else {
+        panic!("expected job 2 to start at width 8, got {:?}", applied[1]);
+    };
+    let ana_node = node_names[node_indices[0]].clone();
+
+    // Apply the shrink through the pending-mask machinery on every node job 1
+    // occupies, then launch job 2 into the freed CPUs.
+    assert_eq!(srun.shrink(&launched_sim, 8).unwrap(), 16);
+    // Tasks observe the shrink at their next malleability point.
+    for proc in &sim_procs {
+        assert_eq!(proc.poll_drom().unwrap().unwrap().count(), 8);
+    }
+    let ana_spec = JobSpec::new(2, "analytics")
+        .with_tasks(1)
+        .with_threads_per_task(8)
+        .rigid();
+    let launched_ana = srun.launch(&ana_spec, &[ana_node.clone()]).unwrap();
+    let ana_proc = DromProcess::init_from_environ(
+        &launched_ana.tasks[0].environ,
+        cluster.shmem(&ana_node).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(ana_proc.num_cpus(), 8);
+    // No further shrink was needed: job 1 already vacated the CPUs.
+    for proc in &sim_procs {
+        assert!(proc.poll_drom().unwrap().is_none());
+        assert_eq!(proc.num_cpus(), 8);
+    }
+
+    // Job 2 completes. The policy re-expands job 1; on the real path the
+    // expansion is release_resources redistributing the freed CPUs — once on
+    // the analytics node (done by `complete`) and once on the node the
+    // earlier shrink vacated without anyone moving in.
+    ana_proc.finalize().unwrap();
+    srun.complete(&launched_ana).unwrap();
+    sched.job_finished(2).unwrap();
+    let applied = sched.tick(100).unwrap();
+    assert!(
+        applied.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 16 }),
+        "the policy re-expands job 1: {applied:?}"
+    );
+    for node in &node_names {
+        srun.slurmd(node).unwrap().release_resources(2).unwrap();
+    }
+    for proc in &sim_procs {
+        proc.poll_drom().unwrap();
+        assert_eq!(proc.num_cpus(), 16, "job 1 is whole again on every node");
+    }
+    // Scheduler bookkeeping agrees with the registry.
+    assert_eq!(sched.running().len(), 1);
+    assert_eq!(sched.running()[0].alloc.cpus_per_node, 16);
+    assert_eq!(sched.stats().shrinks, 1);
+    assert_eq!(sched.stats().expands, 1);
+
+    srun.complete(&launched_sim).unwrap();
+}
