@@ -1,96 +1,42 @@
 //! Scheduler throughput at cluster scale: the cost of one scheduling pass of
-//! each policy over a loaded 128-node view, and the end-to-end event rate of
-//! the trace-driven cluster simulator.
+//! each policy over a loaded 128-node view (and the indexed malleable pass
+//! at 1024 nodes), plus the end-to-end event rate of the trace-driven
+//! cluster simulator.
 //!
 //! The scheduling pass runs at every submission and completion, so a
 //! thousand-job trace pays it thousands of times; its cost is what bounds
-//! how big a cluster the malleable controller can serve. Baselines are
-//! recorded in `BENCH_sched.json`.
+//! how big a cluster the malleable controller can serve. `malleable_*`
+//! measures the indexed pass the way production runs it (fed the driver's
+//! event-maintained `SchedIndex`); `malleable_scan_*` measures the pre-index
+//! reference implementation, so the speedup of the donor/availability
+//! indices stays visible. Baselines are recorded in `BENCH_sched.json`.
 
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use drom_bench::sched_fixtures::{loaded_state, NODE_CPUS};
 use drom_sim::{mixed_hpc_trace, ClusterSim};
-use drom_slurm::policy::{
-    ClusterView, JobAllocation, QueuedJob, RunningJob, SchedulerPolicy,
-};
-use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
-
-const NODES: usize = 128;
-const NODE_CPUS: usize = 16;
-
-/// A loaded cluster snapshot: 181 running jobs (1–4 nodes each, some shrunk;
-/// the shape mix saturates the cluster just before the 192-job cap) plus a
-/// 64-job queue — the steady state of the `cluster_sweep` trace.
-fn loaded_state() -> (Vec<usize>, Vec<RunningJob>, Vec<QueuedJob>) {
-    let mut free = vec![NODE_CPUS; NODES];
-    let mut running = Vec::new();
-    let mut id = 1u64;
-    // Deterministic placement: walk the nodes, dropping jobs of rotating
-    // shapes until the cluster is ~89% allocated.
-    let shapes = [(1usize, 4usize), (2, 8), (4, 16), (1, 8), (2, 4)];
-    let mut node = 0usize;
-    for i in 0.. {
-        let (nodes, width) = shapes[i % shapes.len()];
-        let indices: Vec<usize> = (0..nodes).map(|k| (node + k) % NODES).collect();
-        if indices.iter().any(|&n| free[n] < width) {
-            node += 1;
-            if running.len() >= 192 || i > 4 * NODES {
-                break;
-            }
-            continue;
-        }
-        for &n in &indices {
-            free[n] -= width;
-        }
-        let shrunk = i % 3 == 0 && width > 2;
-        running.push(RunningJob {
-            job: QueuedJob::new(id, nodes, width)
-                .malleable((width / 4).max(1))
-                .with_expected_duration_us(1_000_000 + 10_000 * id),
-            alloc: JobAllocation {
-                job_id: id,
-                node_indices: indices,
-                cpus_per_node: if shrunk { (width / 2).max(1) } else { width },
-            },
-            start_us: 0,
-            expected_end_us: Some(1_000_000 + 10_000 * id),
-        });
-        if shrunk {
-            // The shrink freed half the width on each node.
-            let half = width - (width / 2).max(1);
-            for &n in &running.last().unwrap().alloc.node_indices {
-                free[n] += half;
-            }
-        }
-        id += 1;
-        node += nodes;
-        if running.len() >= 192 {
-            break;
-        }
-    }
-    let queue: Vec<QueuedJob> = (0..64)
-        .map(|i| {
-            let (nodes, width) = shapes[i % shapes.len()];
-            QueuedJob::new(10_000 + i as u64, nodes, width)
-                .malleable((width / 4).max(1))
-                .with_submit_us(i as u64)
-                .with_expected_duration_us(500_000 + 1_000 * i as u64)
-        })
-        .collect();
-    (free, running, queue)
-}
+use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
+use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
 
 fn bench_sched_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_scale");
     group.sample_size(20);
     group.measurement_time(Duration::from_secs(3));
 
-    let (free, running, queue) = loaded_state();
+    let (free, running, queue) = loaded_state(128);
+    let index = SchedIndex::rebuild(&free, &running);
     let view = ClusterView {
         node_cpus: NODE_CPUS,
         free: &free,
         running: &running,
+        index: Some(&index),
+    };
+    let view_no_index = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free,
+        running: &running,
+        index: None,
     };
 
     group.bench_function("first_fit_pass_128n", |b| {
@@ -106,6 +52,39 @@ fn bench_sched_scale(c: &mut Criterion) {
     group.bench_function("malleable_pass_128n", |b| {
         let mut policy = MalleablePolicy;
         b.iter(|| black_box(policy.schedule(&view, &queue, 1_000)));
+    });
+
+    // The pre-index reference on the same view (it ignores the index): this
+    // is the committed 2 ms baseline the indexed pass is measured against.
+    group.bench_function("malleable_scan_pass_128n", |b| {
+        let mut policy = MalleableScanPolicy;
+        b.iter(|| black_box(policy.schedule(&view_no_index, &queue, 1_000)));
+    });
+
+    // The scale-out tier's view: 1024 nodes, ~1530 running, 512 queued.
+    let (free_xl, running_xl, queue_xl) = loaded_state(1024);
+    let index_xl = SchedIndex::rebuild(&free_xl, &running_xl);
+    let view_xl = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_xl,
+        running: &running_xl,
+        index: Some(&index_xl),
+    };
+    let view_xl_no_index = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_xl,
+        running: &running_xl,
+        index: None,
+    };
+
+    group.bench_function("malleable_pass_1024n", |b| {
+        let mut policy = MalleablePolicy;
+        b.iter(|| black_box(policy.schedule(&view_xl, &queue_xl, 1_000)));
+    });
+
+    group.bench_function("malleable_scan_pass_1024n", |b| {
+        let mut policy = MalleableScanPolicy;
+        b.iter(|| black_box(policy.schedule(&view_xl_no_index, &queue_xl, 1_000)));
     });
 
     // End-to-end: a full 300-job trace on 32 nodes, malleable policy. The

@@ -7,12 +7,19 @@
 //! (`--nodes N`, `--jobs M`, `--seed S`, `--load 1.15` override the
 //! 128-node × 2000-job × 1.15-offered-load default; `--csv` appends CSV
 //! output, like every figure binary).
+//!
+//! `--tier scale-out` switches to the 1024-node × 10 000-job tier
+//! (`drom_sim::scale_out_trace`) that exists to exercise the indexed
+//! malleable pass — the pre-index policy cannot finish it in reasonable
+//! time. `--jobs` still overrides for smoke runs (CI replays the tier at a
+//! reduced job count).
 
 use std::str::FromStr;
 
 use drom_bench::emit;
 use drom_metrics::{workload::percent_improvement, Table};
-use drom_sim::{mixed_hpc_trace, ClusterRunReport, ClusterSim};
+use drom_sim::trace::{SCALE_OUT_JOBS, SCALE_OUT_NODES};
+use drom_sim::{mixed_hpc_trace, scale_out_trace, ClusterRunReport, ClusterSim};
 use drom_slurm::policy::SchedulerPolicy;
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
 
@@ -31,13 +38,32 @@ fn arg<T: FromStr>(flag: &str, default: T) -> T {
 }
 
 fn main() {
-    let nodes = arg::<usize>("--nodes", 128);
-    let jobs = arg::<usize>("--jobs", 2000);
+    let tier = arg::<String>("--tier", "standing".to_string());
     let seed = arg::<u64>("--seed", 2018);
-    let load = arg::<f64>("--load", 1.15); // offered load as a ratio of capacity
     let node_cpus = 16;
+    let (nodes, jobs, load, config) = match tier.as_str() {
+        "standing" => {
+            let nodes = arg::<usize>("--nodes", 128);
+            let jobs = arg::<usize>("--jobs", 2000);
+            let load = arg::<f64>("--load", 1.15); // ratio of capacity
+            (nodes, jobs, load, mixed_hpc_trace(seed, jobs, nodes, node_cpus, load))
+        }
+        // The scale-out tier pins the cluster shape and load so committed
+        // results always mean the same experiment; only the job count (CI
+        // smoke) and seed vary.
+        "scale-out" => {
+            assert!(
+                std::env::args().all(|a| a != "--nodes" && a != "--load"),
+                "--tier scale-out pins the cluster shape; use the standing \
+                 tier with --nodes/--load instead"
+            );
+            let jobs = arg::<usize>("--jobs", SCALE_OUT_JOBS);
+            (SCALE_OUT_NODES, jobs, 1.15, scale_out_trace(seed, jobs))
+        }
+        other => panic!("unknown tier {other:?} (use \"standing\" or \"scale-out\")"),
+    };
 
-    let trace = mixed_hpc_trace(seed, jobs, nodes, node_cpus, load).generate();
+    let trace = config.generate();
     let sim = ClusterSim::new(nodes, node_cpus);
     println!(
         "cluster_sweep: {nodes} nodes x {node_cpus} CPUs, {jobs} jobs, \

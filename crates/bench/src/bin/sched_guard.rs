@@ -1,0 +1,115 @@
+//! CI perf-regression guard for the malleable scheduling pass.
+//!
+//! Re-measures the loaded 128-node `sched_scale/malleable_pass_128n` case
+//! (the exact snapshot the bench uses, via `drom_bench::sched_fixtures`) and
+//! fails — exit code 1 — when it exceeds the committed `BENCH_sched.json`
+//! baseline by more than the given factor (default 2×, `--factor F`
+//! overrides).
+//!
+//! The committed baseline is an absolute wall-clock number from one machine;
+//! CI runners are arbitrarily faster or slower. To keep the threshold about
+//! *code*, not machine speed, the guard also times the preserved pre-index
+//! reference (`malleable_scan_pass_128n`) in the same process and scales the
+//! limit by `scan_measured / scan_baseline` — a runner that is 3× slower
+//! gets a 3× wider absolute limit, but an indexed pass that regresses
+//! relative to the scan reference (the O(queue × nodes × running) class this
+//! guard exists for: pre-index was ~30× the baseline) still fails.
+//!
+//! Run with: `cargo run --release -p drom-bench --bin sched_guard`
+//! (`--baseline path/to/BENCH_sched.json` overrides the default location).
+
+use std::time::Instant;
+
+use drom_bench::sched_fixtures::{loaded_state, NODE_CPUS};
+use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
+use drom_slurm::{MalleablePolicy, MalleableScanPolicy};
+
+const INDEXED_KEY: &str = "sched_scale/malleable_pass_128n";
+const SCAN_KEY: &str = "sched_scale/malleable_scan_pass_128n";
+
+/// Extracts `"<key>": { "mean_ns": N }` from the **`"benches"` section** of
+/// the baseline JSON. The vendored serde stand-in has no JSON parser, so
+/// this does the one lookup the guard needs by string scanning — anchored
+/// past the `"benches"` key because the same bench names also appear in the
+/// historical `pr3_baseline` section, whose numbers must never feed the
+/// limit.
+fn baseline_mean_ns(json: &str, key: &str) -> Option<u64> {
+    let benches = json.find("\"benches\"")?;
+    let at = benches + json[benches..].find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let mean = rest.find("\"mean_ns\"")?;
+    let digits: String = rest[mean + "\"mean_ns\"".len()..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Mean ns of one `schedule` call over `iters` timed iterations (after a
+/// short warm-up).
+fn measure(policy: &mut dyn SchedulerPolicy, view: &ClusterView<'_>, queue: &[drom_slurm::QueuedJob], iters: u32) -> f64 {
+    for _ in 0..iters.div_ceil(10).max(3) {
+        std::hint::black_box(policy.schedule(view, queue, 1_000));
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(policy.schedule(view, queue, 1_000));
+    }
+    started.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn main() {
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let factor: f64 = arg("--factor").map_or(2.0, |v| {
+        v.parse().unwrap_or_else(|_| panic!("invalid value {v:?} for --factor"))
+    });
+    let json = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let indexed_baseline = baseline_mean_ns(&json, INDEXED_KEY)
+        .unwrap_or_else(|| panic!("no {INDEXED_KEY} mean_ns in {baseline_path}"));
+    let scan_baseline = baseline_mean_ns(&json, SCAN_KEY)
+        .unwrap_or_else(|| panic!("no {SCAN_KEY} mean_ns in {baseline_path}"));
+
+    let (free, running, queue) = loaded_state(128);
+    let index = SchedIndex::rebuild(&free, &running);
+    let view = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free,
+        running: &running,
+        index: Some(&index),
+    };
+    let view_no_index = ClusterView {
+        index: None,
+        ..view
+    };
+
+    let indexed_ns = measure(&mut MalleablePolicy, &view, &queue, 200);
+    let scan_ns = measure(&mut MalleableScanPolicy, &view_no_index, &queue, 20);
+
+    // How much slower/faster this machine is than the one that recorded the
+    // baseline, judged by the reference implementation (whose cost this PR
+    // class does not change).
+    let machine = scan_ns / scan_baseline as f64;
+    let limit_ns = indexed_baseline as f64 * factor * machine;
+    println!(
+        "sched_guard: {INDEXED_KEY} measured {indexed_ns:.0} ns \
+         (baseline {indexed_baseline} ns); reference scan {scan_ns:.0} ns \
+         (baseline {scan_baseline} ns, machine speed x{machine:.2}); \
+         limit {limit_ns:.0} ns ({factor:.1}x)"
+    );
+    if indexed_ns > limit_ns {
+        eprintln!(
+            "sched_guard: FAIL — the loaded malleable pass is {:.1}x the \
+             committed baseline after machine-speed calibration",
+            indexed_ns / (indexed_baseline as f64 * machine)
+        );
+        std::process::exit(1);
+    }
+    println!("sched_guard: OK");
+}

@@ -158,6 +158,81 @@ pub fn emit(table: &Table) {
     }
 }
 
+/// Shared fixtures for the scheduling-pass benchmarks (`sched_scale`) and
+/// the CI perf-regression guard (`sched_guard`), so both measure exactly the
+/// same loaded cluster snapshot.
+pub mod sched_fixtures {
+    use drom_slurm::policy::{JobAllocation, QueuedJob, RunningJob};
+
+    /// CPUs per node of the bench clusters.
+    pub const NODE_CPUS: usize = 16;
+
+    /// A loaded cluster snapshot: ~1.5 running jobs per node (1–4 nodes
+    /// each, some shrunk; the shape mix saturates the cluster just before
+    /// the cap) plus a `nodes/2`-job queue — the steady state of the
+    /// `cluster_sweep` trace. At 128 nodes this is exactly the 181-running /
+    /// 64-queued view the committed `BENCH_sched.json` baseline measured.
+    pub fn loaded_state(nodes: usize) -> (Vec<usize>, Vec<RunningJob>, Vec<QueuedJob>) {
+        let cap = nodes * 3 / 2;
+        let mut free = vec![NODE_CPUS; nodes];
+        let mut running = Vec::new();
+        let mut id = 1u64;
+        // Deterministic placement: walk the nodes, dropping jobs of rotating
+        // shapes until the cluster is ~89% allocated.
+        let shapes = [(1usize, 4usize), (2, 8), (4, 16), (1, 8), (2, 4)];
+        let mut node = 0usize;
+        for i in 0.. {
+            let (span, width) = shapes[i % shapes.len()];
+            let indices: Vec<usize> = (0..span).map(|k| (node + k) % nodes).collect();
+            if indices.iter().any(|&n| free[n] < width) {
+                node += 1;
+                if running.len() >= cap || i > 4 * nodes {
+                    break;
+                }
+                continue;
+            }
+            for &n in &indices {
+                free[n] -= width;
+            }
+            let shrunk = i % 3 == 0 && width > 2;
+            running.push(RunningJob {
+                job: QueuedJob::new(id, span, width)
+                    .malleable((width / 4).max(1))
+                    .with_expected_duration_us(1_000_000 + 10_000 * id),
+                alloc: JobAllocation {
+                    job_id: id,
+                    node_indices: indices,
+                    cpus_per_node: if shrunk { (width / 2).max(1) } else { width },
+                },
+                start_us: 0,
+                expected_end_us: Some(1_000_000 + 10_000 * id),
+            });
+            if shrunk {
+                // The shrink freed half the width on each node.
+                let half = width - (width / 2).max(1);
+                for &n in &running.last().unwrap().alloc.node_indices {
+                    free[n] += half;
+                }
+            }
+            id += 1;
+            node += span;
+            if running.len() >= cap {
+                break;
+            }
+        }
+        let queue: Vec<QueuedJob> = (0..nodes / 2)
+            .map(|i| {
+                let (span, width) = shapes[i % shapes.len()];
+                QueuedJob::new(10_000 + i as u64, span, width)
+                    .malleable((width / 4).max(1))
+                    .with_submit_us(i as u64)
+                    .with_expected_duration_us(500_000 + 1_000 * i as u64)
+            })
+            .collect();
+        (free, running, queue)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -162,12 +162,20 @@ impl WorkloadReport {
 
 /// Nearest-rank percentile of a sample set (`p` in 0–100). Returns 0 for an
 /// empty slice; `p` is clamped to the valid range.
+///
+/// Samples are ordered with [`f64::total_cmp`], so the result is a pure
+/// function of the sample *multiset*: `-∞` sorts first, `+∞` after every
+/// finite value and `NaN` last of all (a NaN can only surface at the top
+/// percentiles, never silently in the middle). The previous
+/// `partial_cmp`-with-`Equal`-fallback ordering left NaN wherever the sort
+/// happened to visit it, making the reported percentile depend on input
+/// order.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
     sorted[rank.min(sorted.len() - 1)]
@@ -295,6 +303,70 @@ mod tests {
         assert_eq!(percentile(&[7.0], 95.0), 7.0);
         // Out-of-range p is clamped, not a panic.
         assert_eq!(percentile(&samples, 150.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_orders_nan_and_infinities_deterministically() {
+        // NaN sorts after +∞ under total_cmp, so it surfaces only at the
+        // very top of the distribution — and the answer cannot depend on
+        // where the NaN sat in the input.
+        let a = [1.0, f64::NAN, 2.0, 3.0];
+        let b = [f64::NAN, 3.0, 1.0, 2.0];
+        assert_eq!(percentile(&a, 50.0), 2.0);
+        assert_eq!(percentile(&b, 50.0), 2.0);
+        assert_eq!(percentile(&a, 75.0), 3.0);
+        assert!(percentile(&a, 100.0).is_nan());
+        assert!(percentile(&b, 100.0).is_nan());
+
+        let infs = [f64::NEG_INFINITY, 5.0, f64::INFINITY, 7.0];
+        assert_eq!(percentile(&infs, 25.0), f64::NEG_INFINITY);
+        assert_eq!(percentile(&infs, 50.0), 5.0);
+        assert_eq!(percentile(&infs, 75.0), 7.0);
+        assert_eq!(percentile(&infs, 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        // Nearest-rank on one sample: every p (including p = 0 and the P95
+        // the reports use) must return the sample itself.
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&[13.0], p), 13.0, "p = {p}");
+        }
+        let report = WorkloadReport::new(
+            Scenario::Drom,
+            vec![record("only", 0, 10, 110)],
+        );
+        assert_eq!(report.p95_response_time(), 110.0);
+    }
+
+    #[test]
+    fn zero_length_run_intervals_are_sound() {
+        // Jobs that start and end at the same instant: every derived metric
+        // stays finite and zero-valued rather than NaN.
+        let report = WorkloadReport::new(
+            Scenario::Drom,
+            vec![record("a", 5, 5, 5), record("b", 5, 5, 5)],
+        );
+        assert_eq!(report.total_run_time(), 0);
+        assert_eq!(report.average_response_time(), 0.0);
+        assert_eq!(report.average_wait_time(), 0.0);
+        assert_eq!(report.p95_response_time(), 0.0);
+        assert_eq!(report.run_time_of("a"), Some(0));
+
+        // A utilization interval of zero length offers zero capacity; the
+        // fraction must come out 0, not 0/0 = NaN.
+        let stat = UtilizationStat {
+            busy_cpu_us: 0,
+            capacity_cpu_us: 0,
+        };
+        assert_eq!(stat.fraction(), 0.0);
+        assert!(!stat.fraction().is_nan());
+        // Full-interval busyness is exactly 1, never above.
+        let full = UtilizationStat {
+            busy_cpu_us: 1_000,
+            capacity_cpu_us: 1_000,
+        };
+        assert_eq!(full.fraction(), 1.0);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! about *scheduling*, not about modelled application efficiency. Resize
 //! overhead is not modelled: the paper measures DROM reconfiguration in
 //! microseconds against jobs that run for minutes.
+//!
+//! Progress is accounted **exactly**, in integer CPU-microseconds
+//! ([`JobProgress`]): the one rounding in the
+//! engine is the completion event's wall-clock instant (rounded up to the
+//! next whole microsecond), so arbitrary resize sequences can never drift a
+//! job's completion away from the work actually delivered.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -28,6 +34,7 @@ use drom_metrics::{JobRecord, Scenario, TimeUs, UtilizationStat, WorkloadReport}
 use drom_slurm::policy::{SchedulerAction, SchedulerPolicy};
 use drom_slurm::{PolicyScheduler, SchedulerStats, SlurmError};
 
+use crate::progress::JobProgress;
 use crate::trace::TraceJob;
 
 /// Hard cap on processed events per trace job: a scheduling policy that
@@ -44,14 +51,11 @@ enum Event {
     Completion { job_id: u64, gen: u64 },
 }
 
-/// Progress state of one running job.
+/// Progress state of one running job: exact work accounting plus the
+/// generation of the currently valid completion event.
 struct RunModel {
-    /// Work left, in µs-at-full-request-width.
-    remaining_us: f64,
-    /// Progress rate: allocated CPUs / requested CPUs.
-    rate: f64,
-    /// Virtual time of the last progress update.
-    updated_us: TimeUs,
+    /// Exact integer progress (work remaining, delivery rate).
+    progress: JobProgress,
     /// Generation of the currently valid completion event.
     gen: u64,
 }
@@ -227,17 +231,14 @@ impl ClusterSim {
                         cpus_per_node,
                     } => {
                         let allocated = node_indices.len() * cpus_per_node;
-                        let rate = allocated as f64 / requests[&job_id] as f64;
-                        let remaining_us = durations[&job_id] as f64;
+                        let progress =
+                            JobProgress::start(durations[&job_id], requests[&job_id], allocated, now);
                         gen_counter += 1;
-                        let finish =
-                            now.saturating_add((remaining_us / rate).ceil() as TimeUs);
+                        let finish = progress.completion_us();
                         models.insert(
                             job_id,
                             RunModel {
-                                remaining_us,
-                                rate,
-                                updated_us: now,
+                                progress,
                                 gen: gen_counter,
                             },
                         );
@@ -262,14 +263,10 @@ impl ClusterSim {
                         let model = models
                             .get_mut(&job_id)
                             .expect("a running job has a run model");
-                        let elapsed = now.saturating_sub(model.updated_us) as f64;
-                        model.remaining_us = (model.remaining_us - model.rate * elapsed).max(0.0);
-                        model.updated_us = now;
-                        model.rate = alloc as f64 / requests[&job_id] as f64;
+                        model.progress.resize(now, alloc);
                         gen_counter += 1;
                         model.gen = gen_counter;
-                        let finish = now
-                            .saturating_add((model.remaining_us / model.rate).ceil() as TimeUs);
+                        let finish = model.progress.completion_us();
                         sched.set_expected_end(job_id, Some(finish));
                         events.push(Reverse((
                             finish,
@@ -304,7 +301,7 @@ mod tests {
     use super::*;
     use crate::trace::mixed_hpc_trace;
     use drom_slurm::policy::QueuedJob;
-    use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
+    use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
 
     fn tiny_trace() -> Vec<TraceJob> {
         mixed_hpc_trace(11, 60, 8, 16, 1.2).generate()
@@ -445,6 +442,79 @@ mod tests {
         let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
         assert!(j2.run_time() > 4000);
         assert_eq!(report.stats.resize_races, 0);
+    }
+
+    /// Regression (shrunk-duration rounding, end to end): job 6 is admitted
+    /// shrunk (13 CPUs requested, 7 granted → ends at 10 + ⌈101·13/7⌉ = 198),
+    /// job 7 gets a drain reservation at exactly that instant, and job 8
+    /// (duration 188, ending exactly at 198) is entitled to backfill the
+    /// free CPUs at t = 10. With the old truncating estimate the reservation
+    /// sat at 197 — one microsecond before the shrunk job actually releases
+    /// its CPUs (a promise job 6 itself violates) — and job 8 was refused,
+    /// waiting until t = 198 to start.
+    #[test]
+    fn truncated_shrunk_estimate_no_longer_blocks_boundary_backfill() {
+        let rigid = |id, nodes, width, submit, dur| TraceJob {
+            job: QueuedJob::new(id, nodes, width)
+                .with_submit_us(submit)
+                .with_expected_duration_us(dur),
+            duration_us: dur,
+        };
+        let jobs = vec![
+            rigid(1, 1, 16, 0, 50_000),                // node 0, blocks it for good
+            rigid(2, 3, 2, 0, 10),                     // nodes 1–3: releases 2 CPUs each at t=10
+            TraceJob {
+                // node 1 donor: full width 13, floor 9 → 4 reclaimable
+                job: QueuedJob::new(3, 1, 13)
+                    .malleable(9)
+                    .with_submit_us(0)
+                    .with_expected_duration_us(40_000),
+                duration_us: 40_000,
+            },
+            rigid(4, 1, 13, 0, 50_000),                // node 2 filler
+            rigid(5, 1, 13, 0, 50_000),                // node 3 filler
+            TraceJob {
+                // Admitted shrunk at t=10: avail on node 1 = 3 free + 4
+                // reclaimable = 7 ≥ its shrink floor ⌈13/2⌉ = 7.
+                job: QueuedJob::new(6, 1, 13)
+                    .malleable(1)
+                    .with_submit_us(1)
+                    .with_expected_duration_us(101),
+                duration_us: 101,
+            },
+            rigid(7, 3, 3, 2, 1_000),                  // reserved at job 6's end
+            rigid(8, 1, 2, 3, 188),                    // ends exactly at the reservation
+        ];
+        let report = ClusterSim::new(4, 16)
+            .run(Box::new(MalleablePolicy), &jobs)
+            .unwrap();
+        let j6 = report.jobs().iter().find(|j| j.name == "job6").unwrap();
+        assert_eq!(j6.start, 10, "job 6 is admitted (shrunk) at the release");
+        assert_eq!(j6.end, 198, "exact engine completion: 10 + ⌈101·13/7⌉");
+        let j8 = report.jobs().iter().find(|j| j.name == "job8").unwrap();
+        assert_eq!(
+            j8.start, 10,
+            "job 8 ends exactly at the (rounded-up) reservation instant and \
+             must backfill immediately"
+        );
+        assert_eq!(j8.end, 198);
+    }
+
+    /// The indexed malleable policy and the pre-index reference scan replay
+    /// whole traces to byte-identical reports, stats and event counts.
+    #[test]
+    fn indexed_policy_matches_reference_scan_on_traces() {
+        for (seed, nodes, jobs, load) in
+            [(11, 8, 60, 1.2), (3, 16, 150, 1.2), (2018, 32, 300, 1.15)]
+        {
+            let sim = ClusterSim::new(nodes, 16);
+            let trace = mixed_hpc_trace(seed, jobs, nodes, 16, load).generate();
+            let indexed = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+            let scanned = sim.run(Box::new(MalleableScanPolicy), &trace).unwrap();
+            assert_eq!(indexed.report, scanned.report, "seed {seed}");
+            assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
+            assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
+        }
     }
 
     #[test]

@@ -59,15 +59,17 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod progress;
 pub mod report;
 pub mod scenario;
 pub mod trace;
 
 pub use cluster::{ClusterRunReport, ClusterSim};
 pub use engine::{JobSegment, SimulationResult, WorkloadSimulator};
+pub use progress::JobProgress;
 pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
 pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
-pub use trace::{mixed_hpc_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob};
+pub use trace::{mixed_hpc_trace, scale_out_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob};
 
 /// Re-export of the scenario enum shared with the metrics crate.
 pub use drom_metrics::Scenario;

@@ -1,0 +1,150 @@
+//! Exact integer progress accounting for the trace-driven cluster engine.
+//!
+//! A trace job carries a duration at full request width; under the linear
+//! speedup model it is equivalent to a fixed amount of **work**, measured in
+//! CPU-microseconds: `duration_us × requested_cpus`. A running allocation
+//! delivers `allocated_cpus` work units per microsecond, so progress updates
+//! are exact integer arithmetic — no float, no per-resize re-quantization.
+//!
+//! The previous implementation kept the remaining duration as an `f64` and
+//! re-derived the completion instant through `remaining / rate` with a
+//! `.ceil()` on **every resize**, so each resize could re-round the job's
+//! completion time: a sequence of resizes that delivered exactly the job's
+//! work could still drift its completion by a microsecond per event (e.g. a
+//! rate of 1/3 makes `100.0 / (1.0/3.0)` come out as `300.0000…06`, which
+//! ceils to 301). [`JobProgress`] makes the accounting exact:
+//!
+//! * the remaining work is an integer, decremented by `allocated × elapsed`
+//!   (exact) at every rate change;
+//! * the **single** rounding in the model is the completion event's
+//!   wall-clock instant, `updated + ⌈remaining / allocated⌉` — the work runs
+//!   out partway through a microsecond and the discrete-event clock carries
+//!   whole microseconds. The rounding is *stable*: re-deriving the instant
+//!   after any number of intermediate no-op updates yields the same value,
+//!   because `⌈(r − a·dt) / a⌉ = ⌈r / a⌉ − dt` for integer `dt`.
+//!
+//! Consequently the total CPU-time delivered to a job equals its work
+//! exactly; the completion *event* may hold the allocation for the final
+//! fractional microsecond (strictly less than `allocated` CPU-µs of
+//! accounted busy time), which is the one documented rounding of the engine.
+
+use drom_metrics::TimeUs;
+
+/// Exact progress state of one running job: remaining work in
+/// CPU-microseconds, the current delivery rate (allocated CPUs) and the
+/// virtual instant the two were last reconciled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobProgress {
+    work_remaining: u128,
+    allocated: u64,
+    updated_us: TimeUs,
+}
+
+impl JobProgress {
+    /// Starts a job of `duration_us` at full `requested_cpus`, granted
+    /// `allocated_cpus`, at virtual time `now_us`. Widths are clamped to at
+    /// least one CPU (the engine never allocates zero).
+    pub fn start(
+        duration_us: TimeUs,
+        requested_cpus: usize,
+        allocated_cpus: usize,
+        now_us: TimeUs,
+    ) -> Self {
+        JobProgress {
+            work_remaining: duration_us as u128 * requested_cpus.max(1) as u128,
+            allocated: allocated_cpus.max(1) as u64,
+            updated_us: now_us,
+        }
+    }
+
+    /// Accounts the work delivered since the last update and switches the
+    /// delivery rate to `allocated_cpus`. Exact: no rounding happens here,
+    /// so a resize to the *same* width (or any no-op sequence) leaves the
+    /// completion instant untouched.
+    pub fn resize(&mut self, now_us: TimeUs, allocated_cpus: usize) {
+        let elapsed = now_us.saturating_sub(self.updated_us) as u128;
+        self.work_remaining = self
+            .work_remaining
+            .saturating_sub(self.allocated as u128 * elapsed);
+        self.updated_us = now_us;
+        self.allocated = allocated_cpus.max(1) as u64;
+    }
+
+    /// The instant the remaining work runs out at the current rate, rounded
+    /// up to the next whole microsecond — the engine's single rounding.
+    pub fn completion_us(&self) -> TimeUs {
+        let ticks = self.work_remaining.div_ceil(self.allocated as u128);
+        self.updated_us
+            .saturating_add(TimeUs::try_from(ticks).unwrap_or(TimeUs::MAX))
+    }
+
+    /// Work not yet delivered, in CPU-microseconds (as of the last update).
+    pub fn work_remaining(&self) -> u128 {
+        self.work_remaining
+    }
+
+    /// CPUs currently delivering work.
+    pub fn allocated_cpus(&self) -> usize {
+        self.allocated as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_is_exact_for_divisible_rates() {
+        let p = JobProgress::start(100, 16, 8, 0);
+        assert_eq!(p.completion_us(), 200);
+        let q = JobProgress::start(100, 16, 16, 50);
+        assert_eq!(q.completion_us(), 150);
+    }
+
+    #[test]
+    fn one_third_rate_does_not_drift() {
+        // The f64 path computed 100 / (1/3) = 300.0000…06 → ceil 301. The
+        // exact path: 100 µs × 3 CPUs = 300 CPU-µs at 1 CPU → 300 µs.
+        let p = JobProgress::start(100, 3, 1, 0);
+        assert_eq!(p.completion_us(), 300);
+    }
+
+    #[test]
+    fn noop_resizes_leave_completion_unchanged() {
+        let mut p = JobProgress::start(100, 3, 1, 0);
+        let expected = p.completion_us();
+        for t in [1, 7, 13, 100, 299] {
+            p.resize(t, 1);
+            assert_eq!(p.completion_us(), expected, "drifted at t={t}");
+        }
+    }
+
+    #[test]
+    fn shrink_then_restore_conserves_work() {
+        // 100 µs at 4/4 CPUs = 400 CPU-µs. Run 50 µs at 4 (200 done), 100 µs
+        // at 1 (100 done), back to 4: 100 left → 25 µs.
+        let mut p = JobProgress::start(100, 4, 4, 0);
+        p.resize(50, 1);
+        assert_eq!(p.work_remaining(), 200);
+        p.resize(150, 4);
+        assert_eq!(p.work_remaining(), 100);
+        assert_eq!(p.completion_us(), 175);
+    }
+
+    #[test]
+    fn zero_duration_completes_immediately() {
+        let p = JobProgress::start(0, 8, 8, 42);
+        assert_eq!(p.completion_us(), 42);
+        assert_eq!(p.work_remaining(), 0);
+    }
+
+    #[test]
+    fn overdue_update_saturates_at_zero_work() {
+        // A resize arriving after the work ran out (the completion event is
+        // still in flight) leaves zero work, completing "now".
+        let mut p = JobProgress::start(10, 2, 2, 0);
+        p.resize(500, 1);
+        assert_eq!(p.work_remaining(), 0);
+        assert_eq!(p.completion_us(), 500);
+    }
+}

@@ -214,6 +214,26 @@ pub fn mixed_hpc_trace(seed: u64, num_jobs: usize, num_nodes: usize, node_cpus: 
     }
 }
 
+/// Nodes of the scale-out sweep tier (× 16 CPUs each).
+pub const SCALE_OUT_NODES: usize = 1024;
+
+/// Jobs of the full scale-out sweep tier.
+pub const SCALE_OUT_JOBS: usize = 10_000;
+
+/// The scale-out sweep tier: the canonical mixed-HPC job stream against a
+/// 1024-node × 16-CPU cluster at ~1.15× offered load — [`SCALE_OUT_JOBS`]
+/// jobs at full size; `cluster_sweep --tier scale-out` drives it (CI smokes
+/// a reduced `num_jobs` on the same cluster shape).
+///
+/// This is the tier the indexed malleable pass exists for: the pre-index
+/// implementation's O(queue × nodes × running) rescans made a full replay at
+/// this scale take hours (the 128-node pass alone cost ~2 ms, and this tier
+/// runs ~8× the nodes, ~10× the running jobs and ~5× the passes — see
+/// `docs/scheduling.md`), while the indexed pass finishes it in seconds.
+pub fn scale_out_trace(seed: u64, num_jobs: usize) -> TraceConfig {
+    mixed_hpc_trace(seed, num_jobs, SCALE_OUT_NODES, 16, 1.15)
+}
+
 /// Small, fast, platform-independent PRNG (xorshift64*). Not cryptographic;
 /// chosen because the repo has no `rand` dependency and traces must be
 /// byte-reproducible everywhere.

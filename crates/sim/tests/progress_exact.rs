@@ -1,0 +1,128 @@
+//! Property tests for the engine's exact progress accounting
+//! (`drom_sim::progress::JobProgress`).
+//!
+//! The pre-fix engine kept remaining work as an `f64` and re-derived the
+//! completion instant with `remaining / rate` + `.ceil()` on every resize,
+//! so repeated resizes could drift a job's completion time away from the
+//! work actually delivered (`100 / (2.0/3.0)` rounds to 150.00000000000003,
+//! which ceils to 151). These properties pin the exact-integer contract:
+//!
+//! * any sequence of **no-op** resizes leaves the completion time unchanged;
+//! * across arbitrary resize sequences the CPU-time delivered equals the
+//!   job's work, with the single documented rounding: the completion event
+//!   lands on the next whole microsecond, so the allocation is held for at
+//!   most one extra fractional microsecond (< `allocated` CPU-µs).
+
+use proptest::prelude::*;
+
+use drom_sim::progress::JobProgress;
+use drom_sim::trace::TraceJob;
+use drom_sim::ClusterSim;
+use drom_slurm::policy::QueuedJob;
+use drom_slurm::MalleablePolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No-op resizes at arbitrary instants before completion never move the
+    /// completion time.
+    #[test]
+    fn noop_resizes_never_move_completion(
+        duration in 1u64..5_000,
+        request in 1usize..64,
+        alloc_raw in 1usize..64,
+        offsets in proptest::collection::vec(0u64..5_000u64, 0..12),
+    ) {
+        let alloc = alloc_raw.min(request);
+        let mut p = JobProgress::start(duration, request, alloc, 0);
+        let expected = p.completion_us();
+        let mut times: Vec<u64> = offsets
+            .into_iter()
+            .filter(|&t| t < expected)
+            .collect();
+        times.sort_unstable();
+        for t in times {
+            p.resize(t, alloc);
+            prop_assert_eq!(
+                p.completion_us(),
+                expected,
+                "no-op resize at t={} drifted the completion",
+                t
+            );
+        }
+    }
+
+    /// Across an arbitrary resize sequence, the busy CPU-time integral over
+    /// [start, completion] brackets the job's work within one event rounding
+    /// (`work ≤ delivered < work + final_allocation`), and the work itself
+    /// is fully delivered by the completion instant.
+    #[test]
+    fn delivered_cpu_time_equals_work(
+        duration in 1u64..5_000,
+        request in 1usize..64,
+        resizes in proptest::collection::vec((1u64..500u64, 1usize..64usize), 0..10),
+    ) {
+        let work = duration as u128 * request as u128;
+        let first_alloc = request; // start at full width
+        let mut p = JobProgress::start(duration, request, first_alloc, 0);
+        let mut delivered: u128 = 0;
+        let mut clock: u64 = 0;
+        let mut alloc = first_alloc;
+        for (gap, new_alloc_raw) in resizes {
+            let new_alloc = new_alloc_raw.min(request);
+            let next = clock + gap;
+            if next >= p.completion_us() {
+                break; // the job would already have completed
+            }
+            delivered += alloc as u128 * (next - clock) as u128;
+            p.resize(next, new_alloc);
+            clock = next;
+            alloc = new_alloc;
+        }
+        let end = p.completion_us();
+        delivered += alloc as u128 * (end - clock) as u128;
+        prop_assert!(delivered >= work, "work lost: {} < {}", delivered, work);
+        prop_assert!(
+            delivered < work + alloc as u128,
+            "more than one event-rounding of over-delivery: {} vs {}",
+            delivered,
+            work
+        );
+        // Reconciling at the completion instant leaves exactly zero work.
+        p.resize(end, alloc);
+        prop_assert_eq!(p.work_remaining(), 0u128);
+    }
+}
+
+/// Deterministic regression: a job running at 2/3 of its request completes
+/// exactly when its work runs out. The f64 path computed `100 / (2/3)` as
+/// `150.00000000000003` and ceiled it to 151 — one spurious microsecond per
+/// re-quantization.
+#[test]
+fn two_thirds_rate_completes_exactly() {
+    // Node of 16 CPUs: a rigid 14-wide job pins the node, then a malleable
+    // 3-wide job (floor 1, shrink bound ⌈3/2⌉ = 2) is admitted on the 2
+    // remaining CPUs and runs shrunk for its whole life.
+    let jobs = vec![
+        TraceJob {
+            job: QueuedJob::new(1, 1, 14)
+                .with_submit_us(0)
+                .with_expected_duration_us(100_000),
+            duration_us: 100_000,
+        },
+        TraceJob {
+            job: QueuedJob::new(2, 1, 3)
+                .malleable(1)
+                .with_submit_us(5)
+                .with_expected_duration_us(100),
+            duration_us: 100,
+        },
+    ];
+    let report = ClusterSim::new(1, 16)
+        .run(Box::new(MalleablePolicy), &jobs)
+        .unwrap();
+    let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
+    assert_eq!(j2.start, 5);
+    // 100 µs × 3 CPUs = 300 CPU-µs at 2 CPUs → exactly 150 µs, not 151.
+    assert_eq!(j2.end, 155);
+}

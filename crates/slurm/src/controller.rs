@@ -27,7 +27,8 @@ use drom_metrics::TimeUs;
 use crate::error::SlurmError;
 use crate::job::JobSpec;
 use crate::policy::{
-    ClusterView, JobAllocation, QueuedJob, RunningJob, SchedulerAction, SchedulerPolicy,
+    ClusterView, JobAllocation, QueuedJob, RunningJob, SchedIndex, SchedulerAction,
+    SchedulerPolicy,
 };
 
 /// Admission rule used by the controller.
@@ -185,10 +186,17 @@ pub struct SchedulerStats {
 /// [`Slurmd::shrink_job`](crate::Slurmd::shrink_job) and an expand onto
 /// [`Slurmd::release_resources`](crate::Slurmd::release_resources).
 ///
+/// The scheduler also owns an incrementally maintained [`SchedIndex`] —
+/// per-node free, reclaimable-CPU summary and donor lists — updated at every
+/// applied start / resize / completion and handed to the policy through the
+/// view, so an index-aware policy (the malleable one) never recomputes those
+/// sums from the running set. In debug builds every [`tick`] cross-checks
+/// the index against a from-scratch rebuild.
+///
 /// [`tick`]: PolicyScheduler::tick
 pub struct PolicyScheduler {
     node_cpus: usize,
-    free: Vec<usize>,
+    index: SchedIndex,
     running: Vec<RunningJob>,
     queue: Vec<QueuedJob>,
     policy: Box<dyn SchedulerPolicy>,
@@ -201,7 +209,7 @@ impl PolicyScheduler {
     pub fn new(num_nodes: usize, node_cpus: usize, policy: Box<dyn SchedulerPolicy>) -> Self {
         PolicyScheduler {
             node_cpus: node_cpus.max(1),
-            free: vec![node_cpus.max(1); num_nodes.max(1)],
+            index: SchedIndex::new(num_nodes.max(1), node_cpus.max(1)),
             running: Vec::new(),
             queue: Vec::new(),
             policy,
@@ -221,7 +229,13 @@ impl PolicyScheduler {
 
     /// Free CPUs on each node.
     pub fn free_cpus(&self) -> &[usize] {
-        &self.free
+        self.index.free()
+    }
+
+    /// The event-maintained availability index (free / reclaimable CPUs and
+    /// donor lists per node) the scheduler hands to its policy.
+    pub fn sched_index(&self) -> &SchedIndex {
+        &self.index
     }
 
     /// Total CPUs currently allocated to running jobs.
@@ -248,8 +262,9 @@ impl PolicyScheduler {
     pub fn view(&self) -> ClusterView<'_> {
         ClusterView {
             node_cpus: self.node_cpus,
-            free: &self.free,
+            free: self.index.free(),
             running: &self.running,
+            index: Some(&self.index),
         }
     }
 
@@ -292,9 +307,8 @@ impl PolicyScheduler {
             .position(|r| r.alloc.job_id == job_id)
             .ok_or(SlurmError::UnknownJob { job_id })?;
         let job = self.running.remove(pos);
-        for &idx in &job.alloc.node_indices {
-            self.free[idx] += job.alloc.cpus_per_node;
-        }
+        self.index
+            .on_complete(&job.job, &job.alloc.node_indices, job.alloc.cpus_per_node);
         self.stats.completed += 1;
         Ok(job)
     }
@@ -315,10 +329,20 @@ impl PolicyScheduler {
     /// start an unknown job or resize outside the malleable range. State is
     /// untouched by the offending action.
     pub fn tick(&mut self, now_us: TimeUs) -> Result<Vec<SchedulerAction>, SlurmError> {
+        debug_assert_eq!(
+            self.index,
+            SchedIndex::rebuild_from_capacity(
+                self.index.free().len(),
+                self.node_cpus,
+                &self.running,
+            ),
+            "event-maintained index diverged from the running set"
+        );
         let view = ClusterView {
             node_cpus: self.node_cpus,
-            free: &self.free,
+            free: self.index.free(),
             running: &self.running,
+            index: Some(&self.index),
         };
         let actions = self.policy.schedule(&view, &self.queue, now_us);
         let mut applied = Vec::with_capacity(actions.len());
@@ -366,16 +390,17 @@ impl PolicyScheduler {
                 job.nodes
             )));
         }
-        let mut seen = vec![false; self.free.len()];
+        let free = self.index.free();
+        let mut seen = vec![false; free.len()];
         for &idx in node_indices {
-            if idx >= self.free.len() || seen[idx] {
+            if idx >= free.len() || seen[idx] {
                 return Err(invalid(format!("bad or duplicate node index {idx}")));
             }
             seen[idx] = true;
-            if self.free[idx] < width {
+            if free[idx] < width {
                 return Err(invalid(format!(
                     "node {idx} has {} free CPUs, start needs {width}",
-                    self.free[idx]
+                    free[idx]
                 )));
             }
         }
@@ -391,16 +416,13 @@ impl PolicyScheduler {
             )));
         }
         let job = self.queue.remove(pos);
-        for &idx in node_indices {
-            self.free[idx] -= width;
-        }
+        self.index.on_start(&job, node_indices, width);
         // The initial completion estimate scales with the admitted width (a
         // job started at half width needs ~2× its declared duration), so
         // backfill/drain reservations stay honest even when the driver never
         // refreshes estimates via set_expected_end.
         let expected_end_us = job.expected_duration_us.map(|d| {
-            let scaled = d.saturating_mul(job.cpus_per_node as u64) / width.max(1) as u64;
-            now_us.saturating_add(scaled)
+            now_us.saturating_add(crate::policy::scaled_duration(d, job.cpus_per_node, width))
         });
         self.running.push(RunningJob {
             alloc: JobAllocation {
@@ -441,24 +463,20 @@ impl PolicyScheduler {
         if width > current {
             let extra = width - current;
             for &idx in &self.running[pos].alloc.node_indices {
-                if self.free[idx] < extra {
+                if self.index.free()[idx] < extra {
                     return Err(invalid(format!(
                         "expand needs {extra} CPUs on node {idx}, only {} free",
-                        self.free[idx]
+                        self.index.free()[idx]
                     )));
                 }
             }
-            for &idx in &self.running[pos].alloc.node_indices.clone() {
-                self.free[idx] -= extra;
-            }
             self.stats.expands += 1;
         } else {
-            let freed = current - width;
-            for &idx in &self.running[pos].alloc.node_indices.clone() {
-                self.free[idx] += freed;
-            }
             self.stats.shrinks += 1;
         }
+        let resized = &self.running[pos];
+        self.index
+            .on_resize(&resized.job, &resized.alloc.node_indices, current, width);
         self.running[pos].alloc.cpus_per_node = width;
         Ok(true)
     }
@@ -616,6 +634,60 @@ mod tests {
             .unwrap();
         assert_eq!(job1.alloc.cpus_per_node, 16);
         assert_eq!(sched.free_cpus(), &[0, 0]);
+    }
+
+    /// Regression (shrunk-duration rounding): a job started below its
+    /// request must get a completion estimate of ⌈duration · request /
+    /// width⌉ — under linear speedup it cannot finish earlier. The old
+    /// truncating division produced 141 here, one microsecond *before* the
+    /// engine's actual completion, letting reservations promise CPUs the
+    /// job still holds.
+    #[test]
+    fn shrunk_start_estimate_is_never_optimistic() {
+        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy));
+        sched.submit(QueuedJob::new(1, 1, 3)).unwrap();
+        sched.tick(0).unwrap();
+        // 5 CPUs free: job 2 (7 wide, floor 1, 101 µs) is admitted at 5.
+        sched
+            .submit(
+                QueuedJob::new(2, 1, 7)
+                    .malleable(1)
+                    .with_expected_duration_us(101),
+            )
+            .unwrap();
+        sched.tick(0).unwrap();
+        let job2 = sched.running().iter().find(|r| r.alloc.job_id == 2).unwrap();
+        assert_eq!(job2.alloc.cpus_per_node, 5);
+        assert_eq!(
+            job2.expected_end_us,
+            Some(142), // ⌈101 · 7 / 5⌉ = ⌈141.4⌉, not 141
+            "estimate must round up, matching the engine's exact completion"
+        );
+    }
+
+    /// The scheduler's event-maintained index stays equal to a from-scratch
+    /// rebuild across a start / shrink / expand / complete lifecycle.
+    #[test]
+    fn policy_scheduler_keeps_index_consistent() {
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+        sched
+            .submit(QueuedJob::new(1, 2, 16).malleable(4).with_submit_us(0))
+            .unwrap();
+        sched.tick(0).unwrap();
+        sched.submit(QueuedJob::new(2, 1, 8).with_submit_us(5)).unwrap();
+        sched.tick(5).unwrap(); // shrinks job 1 to admit job 2
+        let expected = SchedIndex::rebuild_from_capacity(2, 16, sched.running());
+        assert_eq!(*sched.sched_index(), expected);
+        assert_eq!(sched.sched_index().reclaim(), &[0, 0]); // both at their floors
+        sched.job_finished(2).unwrap();
+        sched.tick(50).unwrap(); // re-expands job 1
+        let expected = SchedIndex::rebuild_from_capacity(2, 16, sched.running());
+        assert_eq!(*sched.sched_index(), expected);
+        assert_eq!(sched.sched_index().free(), &[0, 0]);
+        assert_eq!(sched.sched_index().donors(0), &[1]);
+        assert_eq!(sched.sched_index().donors(1), &[1]);
+        sched.job_finished(1).unwrap();
+        assert_eq!(*sched.sched_index(), SchedIndex::new(2, 16));
     }
 
     #[test]

@@ -129,8 +129,8 @@ pub use error::SlurmError;
 pub use job::{JobSpec, JobState};
 pub use launcher::{LaunchedJob, LaunchedTask, Srun};
 pub use policy::{
-    BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy, QueuedJob,
-    RunningJob, SchedulerAction, SchedulerPolicy,
+    BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy,
+    MalleableScanPolicy, QueuedJob, RunningJob, SchedIndex, SchedulerAction, SchedulerPolicy,
 };
 pub use slurmd::Slurmd;
 pub use stepd::SlurmStepd;

@@ -24,8 +24,14 @@
 //! Policies are pure decision procedures: they never mutate cluster state.
 //! The [`PolicyScheduler`](crate::PolicyScheduler) applies (and validates)
 //! the returned [`SchedulerAction`]s, so a buggy policy cannot oversubscribe
-//! a node. `docs/scheduling.md` documents the exact semantics of each policy
-//! and how a shrink composes with the registry's pending-mask rules.
+//! a node. The scheduler also maintains a [`SchedIndex`] — per-node free /
+//! reclaimable CPUs and donor lists, updated event-by-event — that the
+//! malleable policy reads instead of rescanning the running set, which is
+//! what makes its pass sub-linear in cluster size ([`MalleableScanPolicy`]
+//! preserves the pre-index reference for differential tests and benches).
+//! `docs/scheduling.md` documents the exact semantics of each policy, the
+//! complexity budget, and how a shrink composes with the registry's
+//! pending-mask rules.
 
 use drom_metrics::TimeUs;
 
@@ -208,6 +214,12 @@ pub struct ClusterView<'a> {
     pub free: &'a [usize],
     /// Every running job with its current allocation.
     pub running: &'a [RunningJob],
+    /// The incrementally maintained availability index, when the driver keeps
+    /// one ([`PolicyScheduler`](crate::PolicyScheduler) always does). `None`
+    /// for hand-built views; policies that use the index fall back to a
+    /// one-shot rebuild from `running`, so decisions are identical either way
+    /// — the index only removes the per-pass recomputation cost.
+    pub index: Option<&'a SchedIndex>,
 }
 
 impl ClusterView<'_> {
@@ -248,6 +260,165 @@ impl ClusterView<'_> {
             ));
         }
         Ok(())
+    }
+}
+
+/// Incrementally maintained, per-node indexed scheduler state: free CPUs,
+/// the reclaimable-CPU summary and the donor index (which running malleable
+/// jobs hold CPUs on each node).
+///
+/// [`PolicyScheduler`](crate::PolicyScheduler) owns one and updates it on
+/// every start / resize / completion **event** instead of letting policies
+/// recompute the same per-node sums from `running` on every pass. The
+/// recomputation was the malleable policy's scaling wall: its availability
+/// and victim scans were O(queue × nodes × running) per pass (~2 ms on a
+/// loaded 128-node view, `BENCH_sched.json`), while the event-driven updates
+/// here are O(nodes of the affected job) each.
+///
+/// Invariants (checked in debug builds against
+/// [`rebuild_from_capacity`](SchedIndex::rebuild_from_capacity), which
+/// re-derives everything — the free vector included — from the cluster
+/// shape and the running jobs alone):
+///
+/// * `free[n]` equals the node capacity minus all allocations on `n`;
+/// * `reclaim[n]` equals `Σ width − shrink_floor` (clamped at zero per job)
+///   over the running malleable jobs on `n`, where the floor is the
+///   malleable policy's [`shrink bound`](MalleablePolicy) — its declared
+///   floor, but never below half its request;
+/// * `donors[n]` lists exactly the running malleable jobs on `n`, in the
+///   order they appear in the driver's `running` vector (start order), which
+///   is what keeps indexed victim selection byte-identical to the reference
+///   scan.
+///
+/// Completion consistency is the driver's job: the trace engine tags its
+/// completion events with a generation counter and drops stale ones *before*
+/// calling [`PolicyScheduler::job_finished`](crate::PolicyScheduler::job_finished),
+/// so a completion superseded by a resize can never unwind the index twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedIndex {
+    free: Vec<usize>,
+    reclaim: Vec<usize>,
+    donors: Vec<Vec<u64>>,
+}
+
+impl SchedIndex {
+    /// An index over `num_nodes` empty nodes of `node_cpus` CPUs.
+    pub fn new(num_nodes: usize, node_cpus: usize) -> Self {
+        SchedIndex {
+            free: vec![node_cpus; num_nodes],
+            reclaim: vec![0; num_nodes],
+            donors: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Rebuilds the full index — including the free vector, derived from
+    /// node capacity minus every running allocation — from nothing but the
+    /// cluster shape and the running jobs. This is the debug-mode oracle the
+    /// incremental updates are checked against: unlike [`rebuild`]
+    /// (which trusts the free vector it is given), a drifted `free[n]`
+    /// cannot escape this one.
+    ///
+    /// [`rebuild`]: SchedIndex::rebuild
+    pub fn rebuild_from_capacity(
+        num_nodes: usize,
+        node_cpus: usize,
+        running: &[RunningJob],
+    ) -> Self {
+        let mut free = vec![node_cpus; num_nodes];
+        for r in running {
+            for &n in &r.alloc.node_indices {
+                free[n] -= r.alloc.cpus_per_node;
+            }
+        }
+        Self::rebuild(&free, running)
+    }
+
+    /// Rebuilds the index from a free vector and the running jobs — the
+    /// one-shot fallback for hand-built views (where the view's free vector
+    /// is the source of truth).
+    pub fn rebuild(free: &[usize], running: &[RunningJob]) -> Self {
+        let mut index = SchedIndex {
+            free: free.to_vec(),
+            reclaim: vec![0; free.len()],
+            donors: vec![Vec::new(); free.len()],
+        };
+        for r in running {
+            if r.job.malleable {
+                let spare = r
+                    .alloc
+                    .cpus_per_node
+                    .saturating_sub(shrink_floor(r.job.min_cpus_per_node, r.job.cpus_per_node));
+                for &n in &r.alloc.node_indices {
+                    index.donors[n].push(r.alloc.job_id);
+                    index.reclaim[n] += spare;
+                }
+            }
+        }
+        index
+    }
+
+    /// Free CPUs on each node.
+    pub fn free(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Reclaimable CPUs on each node: what the running malleable jobs there
+    /// could give up before hitting the malleable policy's shrink bound.
+    pub fn reclaim(&self) -> &[usize] {
+        &self.reclaim
+    }
+
+    /// Ids of the running malleable jobs holding CPUs on `node`, in start
+    /// order.
+    pub fn donors(&self, node: usize) -> &[u64] {
+        &self.donors[node]
+    }
+
+    /// Per-job clamped spare width under the shrink bound.
+    fn spare(job: &QueuedJob, width: usize) -> usize {
+        width.saturating_sub(shrink_floor(job.min_cpus_per_node, job.cpus_per_node))
+    }
+
+    /// A job started on `node_indices` at `width` CPUs per node.
+    pub fn on_start(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
+        let spare = Self::spare(job, width);
+        for &n in node_indices {
+            self.free[n] -= width;
+            if job.malleable {
+                self.donors[n].push(job.id);
+                self.reclaim[n] += spare;
+            }
+        }
+    }
+
+    /// A running job resized from `old_width` to `new_width` CPUs per node.
+    pub fn on_resize(
+        &mut self,
+        job: &QueuedJob,
+        node_indices: &[usize],
+        old_width: usize,
+        new_width: usize,
+    ) {
+        let old_spare = Self::spare(job, old_width);
+        let new_spare = Self::spare(job, new_width);
+        for &n in node_indices {
+            self.free[n] = self.free[n] + old_width - new_width;
+            if job.malleable {
+                self.reclaim[n] = self.reclaim[n] + new_spare - old_spare;
+            }
+        }
+    }
+
+    /// A running job completed, releasing `width` CPUs on each of its nodes.
+    pub fn on_complete(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
+        let spare = Self::spare(job, width);
+        for &n in node_indices {
+            self.free[n] += width;
+            if job.malleable {
+                self.donors[n].retain(|&id| id != job.id);
+                self.reclaim[n] -= spare;
+            }
+        }
     }
 }
 
@@ -298,23 +469,25 @@ fn earliest_release_fit(
     if let Some(found) = fit_first(free, nodes, width) {
         return Some((now_us, found));
     }
-    let mut ends: Vec<TimeUs> = holders
-        .iter()
-        .filter_map(|h| h.end_us)
-        .filter(|&e| e > now_us)
-        .collect();
-    ends.sort_unstable();
-    ends.dedup();
+    // Walk the holders once in end order, releasing each exactly when the
+    // replay clock passes its estimate; candidate fit instants are the
+    // distinct future ends. Holders whose estimate is already overdue
+    // (end ≤ now) release at the first future candidate, like the full
+    // replay did.
+    let mut by_end: Vec<&Holder<'_>> = holders.iter().filter(|h| h.end_us.is_some()).collect();
+    by_end.sort_by_key(|h| h.end_us);
     let mut free_at = free.to_vec();
-    let mut released = vec![false; holders.len()];
-    for t in ends {
-        for (i, holder) in holders.iter().enumerate() {
-            if !released[i] && holder.end_us.is_some_and(|e| e <= t) {
-                for &n in holder.node_indices {
-                    free_at[n] += holder.width;
-                }
-                released[i] = true;
+    let mut i = 0;
+    while i < by_end.len() {
+        let t = by_end[i].end_us.expect("filtered to estimated holders");
+        while i < by_end.len() && by_end[i].end_us.is_some_and(|e| e <= t) {
+            for &n in by_end[i].node_indices {
+                free_at[n] += by_end[i].width;
             }
+            i += 1;
+        }
+        if t <= now_us {
+            continue; // overdue estimate: not a candidate start instant
         }
         if let Some(found) = fit_first(&free_at, nodes, width) {
             return Some((t, found));
@@ -517,6 +690,16 @@ impl SchedulerPolicy for BackfillPolicy {
 /// After admissions, every malleable job running below its request is
 /// expanded round-robin into the remaining (non-reserved) free CPUs, which
 /// is how jobs regain their CPUs when a co-runner completes.
+///
+/// # Complexity
+///
+/// The pass runs over indexed state (`PassState`, seeded from the driver's
+/// event-maintained [`SchedIndex`]): victim selection reads the per-node
+/// donor list, availability reads the per-node free + reclaimable summary,
+/// and the one reservation mask of the pass is shared by every admission
+/// attempt. One pass is O(running + queue × nodes) instead of the reference
+/// scan's O(queue × nodes × running) — see [`MalleableScanPolicy`] and
+/// `docs/scheduling.md` for the measured difference.
 #[derive(Debug, Default, Clone)]
 pub struct MalleablePolicy;
 
@@ -537,17 +720,460 @@ struct Slot {
     request: usize,
     malleable: bool,
     expected_end_us: Option<TimeUs>,
+    /// `true` once the pass reserved a node this job overlaps (cached so the
+    /// indexed pass never re-scans `node_indices` per candidate victim).
+    reserved_overlap: bool,
 }
 
 impl Slot {
     fn on_reserved(&self, reserved: Option<&[bool]>) -> bool {
         reserved.is_some_and(|r| self.node_indices.iter().any(|&n| r[n]))
     }
+
+    fn shrink_floor(&self) -> usize {
+        shrink_floor(self.floor, self.request)
+    }
+}
+
+/// Expected duration of a malleable job granted `width` CPUs per node
+/// instead of its full `request`, under the linear-speedup model the trace
+/// engine uses. Rounds **up**: truncating here made the estimate optimistic,
+/// and an optimistic completion estimate lets the policy place a drain
+/// reservation at an instant the shrunk job itself still occupies — a
+/// reservation violated by the very job the policy shrank. Shared with
+/// `PolicyScheduler::apply_start` so the controller's recorded estimate can
+/// never diverge from the one the policy planned around.
+pub(crate) fn scaled_duration(duration_us: TimeUs, request: usize, width: usize) -> TimeUs {
+    duration_us
+        .saturating_mul(request as u64)
+        .div_ceil(width.max(1) as u64)
+}
+
+/// The indexed working state of one [`MalleablePolicy::schedule`] pass:
+/// per-node free and reclaimable CPUs plus the per-node donor index (slot
+/// positions of the malleable jobs holding CPUs there), every one maintained
+/// incrementally as the pass shrinks victims and admits jobs.
+///
+/// Seeded from the driver's event-maintained [`SchedIndex`] when the view
+/// carries one, or rebuilt from `running` in one O(running) sweep when it
+/// does not (hand-built views, benches). Either way the pass itself never
+/// rescans all running jobs per node again — victim selection reads
+/// `donors[node]`, availability reads `free[node] + reclaim[node]`.
+struct PassState {
+    free: Vec<usize>,
+    reclaim: Vec<usize>,
+    donors: Vec<Vec<usize>>,
+    slots: Vec<Slot>,
+}
+
+impl PassState {
+    fn new(view: &ClusterView<'_>) -> Self {
+        let slots: Vec<Slot> = view
+            .running
+            .iter()
+            .map(|r| Slot {
+                job_id: r.alloc.job_id,
+                node_indices: r.alloc.node_indices.clone(),
+                width: r.alloc.cpus_per_node,
+                original_width: Some(r.alloc.cpus_per_node),
+                floor: r.job.min_cpus_per_node,
+                request: r.job.cpus_per_node,
+                malleable: r.job.malleable,
+                expected_end_us: r.expected_end_us,
+                reserved_overlap: false,
+            })
+            .collect();
+        let mut state = PassState {
+            free: view.free.to_vec(),
+            reclaim: vec![0; view.free.len()],
+            donors: vec![Vec::new(); view.free.len()],
+            slots,
+        };
+        // Prefer the driver's event-maintained index; `free` must agree or
+        // the index belongs to some other state and is ignored.
+        if let Some(index) = view.index.filter(|i| i.free() == view.free) {
+            debug_assert_eq!(
+                *index,
+                SchedIndex::rebuild(view.free, view.running),
+                "event-maintained index diverged from the running set"
+            );
+            let by_id: std::collections::HashMap<u64, usize> = state
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.job_id, i))
+                .collect();
+            state.reclaim.copy_from_slice(index.reclaim());
+            for (node, donors) in state.donors.iter_mut().enumerate() {
+                // Donor ids are kept in running order, so the mapped slot
+                // positions come out ascending — the tie-break order the
+                // reference scan uses.
+                donors.extend(index.donors(node).iter().map(|id| by_id[id]));
+            }
+        } else {
+            for (i, slot) in state.slots.iter().enumerate() {
+                if slot.malleable {
+                    let spare = slot.width.saturating_sub(slot.shrink_floor());
+                    for &n in &slot.node_indices {
+                        state.donors[n].push(i);
+                        state.reclaim[n] += spare;
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// The donor on `node` with the most CPUs to spare above its shrink
+    /// floor, excluding jobs overlapping a reserved node (slowing one down
+    /// would push its completion — and the reservation — later). Ties go to
+    /// the earliest-started job, exactly like the reference scan.
+    fn best_donor(&self, node: usize) -> Option<usize> {
+        self.donors[node]
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let s = &self.slots[i];
+                s.width > s.shrink_floor() && !s.reserved_overlap
+            })
+            .max_by_key(|&i| {
+                let s = &self.slots[i];
+                (s.width - s.shrink_floor(), std::cmp::Reverse(i))
+            })
+    }
+
+    /// Shrinks `victim` by `give` CPUs per node, releasing them on every one
+    /// of its nodes. Only ever called on unreserved donors, so the spare the
+    /// victim loses is spare the reclaim summary was counting.
+    fn shrink_victim(&mut self, victim: usize, give: usize) {
+        self.slots[victim].width -= give;
+        for &n in &self.slots[victim].node_indices {
+            self.free[n] += give;
+            self.reclaim[n] -= give;
+        }
+    }
+
+    /// Starts `job` on `node_indices` at `width`, entering it into the free,
+    /// reclaim and donor indices (it may donate to later admissions of the
+    /// same pass).
+    fn start(
+        &mut self,
+        job: &QueuedJob,
+        node_indices: Vec<usize>,
+        width: usize,
+        now_us: TimeUs,
+        reserved: Option<&[bool]>,
+    ) {
+        let idx = self.slots.len();
+        let slot = Slot {
+            job_id: job.id,
+            node_indices,
+            width,
+            original_width: None,
+            floor: job.min_cpus_per_node,
+            request: job.cpus_per_node,
+            malleable: job.malleable,
+            expected_end_us: job
+                .expected_duration_us
+                .map(|d| now_us.saturating_add(scaled_duration(d, job.cpus_per_node, width))),
+            reserved_overlap: false,
+        };
+        let spare = width.saturating_sub(slot.shrink_floor());
+        let overlap = slot.on_reserved(reserved);
+        for &n in &slot.node_indices {
+            self.free[n] -= width;
+            if slot.malleable && !overlap {
+                self.donors[n].push(idx);
+                self.reclaim[n] += spare;
+            }
+        }
+        self.slots.push(Slot {
+            reserved_overlap: overlap,
+            ..slot
+        });
+    }
+
+    /// Records a freshly placed reservation: overlapping jobs stop donating
+    /// (their reclaimable spare leaves the summary, they are filtered from
+    /// victim selection) and reserved nodes stop being admission targets.
+    fn apply_reservation(&mut self, mask: &[bool]) {
+        for slot in self.slots.iter_mut() {
+            if slot.node_indices.iter().any(|&n| mask[n]) {
+                slot.reserved_overlap = true;
+                if slot.malleable {
+                    let spare = slot.width.saturating_sub(slot.shrink_floor());
+                    for &n in &slot.node_indices {
+                        self.reclaim[n] -= spare;
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl SchedulerPolicy for MalleablePolicy {
     fn name(&self) -> &'static str {
         "malleable"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &ClusterView<'_>,
+        queue: &[QueuedJob],
+        now_us: TimeUs,
+    ) -> Vec<SchedulerAction> {
+        let mut state = PassState::new(view);
+        // Reservation for the first job that could not be admitted at all:
+        // (earliest provable start time, per-node reserved flag). The flag
+        // vector is shared by every later admission attempt of the pass —
+        // `shrink_to_admit` and the masked fits read it directly instead of
+        // rebuilding a masked free vector per queued job.
+        let mut reservation: Option<(TimeUs, Vec<bool>)> = None;
+
+        for job in queue_order(queue) {
+            let placement = Self::plan_admission(job, &state, &reservation, now_us);
+            let Some((node_indices, width)) = placement else {
+                if reservation.is_some() {
+                    continue; // one reservation at a time; revisit next tick
+                }
+                match Self::earliest_full_fit(job, &state, now_us) {
+                    Some((at_us, nodes)) => {
+                        let mut mask = vec![false; state.free.len()];
+                        for &n in &nodes {
+                            mask[n] = true;
+                        }
+                        state.apply_reservation(&mask);
+                        reservation = Some((at_us, mask));
+                        continue;
+                    }
+                    // No provable drain (a holder lacks an estimate): stop
+                    // admitting rather than risk starving the head forever.
+                    None => break,
+                }
+            };
+            // Carve out the CPUs: shrink victims until every selected node
+            // has `width` free, then allocate.
+            for &node in &node_indices {
+                while state.free[node] < width {
+                    let needed = width - state.free[node];
+                    let Some(victim) = state.best_donor(node) else {
+                        unreachable!("plan_admission guaranteed the capacity");
+                    };
+                    let give = needed
+                        .min(state.slots[victim].width - state.slots[victim].shrink_floor());
+                    state.shrink_victim(victim, give);
+                }
+            }
+            let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+            state.start(job, node_indices, width, now_us, reserved_mask);
+        }
+
+        // Expansion: hand the remaining free CPUs to shrunk malleable jobs,
+        // one CPU-per-node at a time so concurrent victims recover evenly.
+        // Reserved nodes do not participate: consuming their free CPUs could
+        // push the reserved job's start past its reservation.
+        let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+        let expandable = |n: usize| !reserved_mask.is_some_and(|m| m[n]);
+        let PassState {
+            ref mut free,
+            ref mut slots,
+            ..
+        } = state;
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for slot in slots.iter_mut() {
+                if !slot.malleable || slot.width >= slot.request {
+                    continue;
+                }
+                let headroom = slot
+                    .node_indices
+                    .iter()
+                    .map(|&n| if expandable(n) { free[n] } else { 0 })
+                    .min()
+                    .unwrap_or(0);
+                if headroom == 0 {
+                    continue;
+                }
+                slot.width += 1;
+                for &n in &slot.node_indices {
+                    free[n] -= 1;
+                }
+                progressed = true;
+            }
+        }
+
+        emit_actions(slots)
+    }
+}
+
+impl MalleablePolicy {
+    /// Decides whether (and how) `job` can start right now, honouring an
+    /// existing reservation: a job whose declared duration provably ends
+    /// before the reservation may use any free CPUs at full width; otherwise
+    /// reserved nodes are off limits, for the start and for its victims.
+    fn plan_admission(
+        job: &QueuedJob,
+        state: &PassState,
+        reservation: &Option<(TimeUs, Vec<bool>)>,
+        now_us: TimeUs,
+    ) -> Option<(Vec<usize>, usize)> {
+        match reservation {
+            None => fit_first(&state.free, job.nodes, job.cpus_per_node)
+                .map(|nodes| (nodes, job.cpus_per_node))
+                .or_else(|| Self::shrink_to_admit(job, state, None)),
+            Some((reserved_at, mask)) => {
+                let ends_first = job
+                    .expected_duration_us
+                    .is_some_and(|d| now_us.saturating_add(d) <= *reserved_at);
+                if ends_first {
+                    if let Some(nodes) = fit_first(&state.free, job.nodes, job.cpus_per_node) {
+                        return Some((nodes, job.cpus_per_node));
+                    }
+                }
+                // Reserved nodes are off limits for the start and its victims.
+                fit_first_masked(&state.free, mask, job.nodes, job.cpus_per_node)
+                    .map(|nodes| (nodes, job.cpus_per_node))
+                    .or_else(|| Self::shrink_to_admit(job, state, Some(mask)))
+            }
+        }
+    }
+
+    /// Plans an admission that requires shrinking: picks the `job.nodes`
+    /// nodes with the most available (free + reclaimable) CPUs and the widest
+    /// feasible width. `None` if even the floors don't fit. Availability is
+    /// read straight off the pass indices — no rescan of the running jobs —
+    /// and the top nodes are found with a linear-time selection instead of a
+    /// full sort.
+    fn shrink_to_admit(
+        job: &QueuedJob,
+        state: &PassState,
+        reserved: Option<&[bool]>,
+    ) -> Option<(Vec<usize>, usize)> {
+        let mut avail: Vec<(usize, usize)> = (0..state.free.len())
+            .filter(|&node| !reserved.is_some_and(|m| m[node]))
+            .map(|node| (node, state.free[node] + state.reclaim[node]))
+            .collect();
+        if avail.len() < job.nodes {
+            return None;
+        }
+        // Most available first; index order breaks ties deterministically.
+        // The ordering is total, so selecting the top `job.nodes` yields the
+        // same node set the reference scan's full sort produced.
+        if avail.len() > job.nodes {
+            avail.select_nth_unstable_by_key(job.nodes - 1, |&(node, a)| {
+                (std::cmp::Reverse(a), node)
+            });
+        }
+        let selected = &avail[..job.nodes];
+        let width = selected
+            .iter()
+            .map(|&(_, a)| a)
+            .min()
+            .unwrap_or(0)
+            .min(job.cpus_per_node);
+        // A job is admitted shrunk only down to its own shrink floor: deeper
+        // admission would just move the time-sharing to the newcomer.
+        if width < shrink_floor(job.min_cpus_per_node, job.cpus_per_node) {
+            return None;
+        }
+        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _)| n).collect();
+        node_indices.sort_unstable();
+        Some((node_indices, width))
+    }
+
+    /// Earliest time ≥ `now` at which `job` fits at full width, replaying the
+    /// expected completions of every slot on top of the current free vector.
+    /// Returns the time and the node set; `None` when a holder on a needed
+    /// node has no completion estimate.
+    fn earliest_full_fit(
+        job: &QueuedJob,
+        state: &PassState,
+        now_us: TimeUs,
+    ) -> Option<(TimeUs, Vec<usize>)> {
+        let holders: Vec<Holder<'_>> = state
+            .slots
+            .iter()
+            .map(|s| Holder {
+                end_us: s.expected_end_us,
+                node_indices: &s.node_indices,
+                width: s.width,
+            })
+            .collect();
+        earliest_release_fit(job.nodes, job.cpus_per_node, &state.free, &holders, now_us)
+    }
+}
+
+/// Emits the actions of a finished malleable pass from the FINAL slot state
+/// (a job admitted mid-pass may have been shrunk or expanded again by later
+/// admissions), in an order that is valid to apply sequentially: shrinks
+/// release CPUs, then starts consume them, then expands absorb the leftovers.
+fn emit_actions(slots: &[Slot]) -> Vec<SchedulerAction> {
+    let mut actions: Vec<SchedulerAction> = Vec::new();
+    for slot in slots {
+        if slot.original_width.is_some_and(|o| slot.width < o) {
+            actions.push(SchedulerAction::Resize {
+                job_id: slot.job_id,
+                cpus_per_node: slot.width,
+            });
+        }
+    }
+    for slot in slots {
+        if slot.original_width.is_none() {
+            actions.push(SchedulerAction::Start {
+                job_id: slot.job_id,
+                node_indices: slot.node_indices.clone(),
+                cpus_per_node: slot.width,
+            });
+        }
+    }
+    for slot in slots {
+        if slot.original_width.is_some_and(|o| slot.width > o) {
+            actions.push(SchedulerAction::Resize {
+                job_id: slot.job_id,
+                cpus_per_node: slot.width,
+            });
+        }
+    }
+    actions
+}
+
+/// First-fit placement that skips reserved nodes — the shared-mask
+/// equivalent of masking the free vector to zero, without materialising a
+/// masked copy per queued job.
+fn fit_first_masked(
+    free: &[usize],
+    reserved: &[bool],
+    nodes: usize,
+    width: usize,
+) -> Option<Vec<usize>> {
+    let mut selected = Vec::with_capacity(nodes);
+    for (idx, &f) in free.iter().enumerate() {
+        if !reserved[idx] && f >= width {
+            selected.push(idx);
+            if selected.len() == nodes {
+                return Some(selected);
+            }
+        }
+    }
+    None
+}
+
+/// The pre-index reference implementation of the malleable policy: identical
+/// decision procedure to [`MalleablePolicy`], but every availability and
+/// victim scan recomputes from the slot list — O(queue × nodes × running)
+/// per pass.
+///
+/// Kept for two reasons: the differential tests in `drom-sim` replay whole
+/// traces under both implementations and require byte-identical reports, and
+/// the `sched_scale` bench measures it next to the indexed pass so the
+/// speedup stays visible (`BENCH_sched.json` records both).
+#[derive(Debug, Default, Clone)]
+pub struct MalleableScanPolicy;
+
+impl SchedulerPolicy for MalleableScanPolicy {
+    fn name(&self) -> &'static str {
+        "malleable-scan"
     }
 
     fn schedule(
@@ -569,19 +1195,27 @@ impl SchedulerPolicy for MalleablePolicy {
                 request: r.job.cpus_per_node,
                 malleable: r.job.malleable,
                 expected_end_us: r.expected_end_us,
+                reserved_overlap: false,
             })
             .collect();
-        // Reservation for the first job that could not be admitted at all:
-        // (earliest provable start time, per-node reserved flag).
         let mut reservation: Option<(TimeUs, Vec<bool>)> = None;
 
         for job in queue_order(queue) {
             let placement = Self::plan_admission(job, &free, &slots, &reservation, now_us);
             let Some((node_indices, width)) = placement else {
                 if reservation.is_some() {
-                    continue; // one reservation at a time; revisit next tick
+                    continue;
                 }
-                match Self::earliest_full_fit(job, &free, &slots, now_us) {
+                let holders: Vec<Holder<'_>> = slots
+                    .iter()
+                    .map(|s| Holder {
+                        end_us: s.expected_end_us,
+                        node_indices: &s.node_indices,
+                        width: s.width,
+                    })
+                    .collect();
+                match earliest_release_fit(job.nodes, job.cpus_per_node, &free, &holders, now_us)
+                {
                     Some((at_us, nodes)) => {
                         let mut mask = vec![false; free.len()];
                         for &n in &nodes {
@@ -590,24 +1224,17 @@ impl SchedulerPolicy for MalleablePolicy {
                         reservation = Some((at_us, mask));
                         continue;
                     }
-                    // No provable drain (a holder lacks an estimate): stop
-                    // admitting rather than risk starving the head forever.
                     None => break,
                 }
             };
             let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
-            // Carve out the CPUs: shrink victims until every selected node
-            // has `width` free, then allocate.
             for &node in &node_indices {
                 while free[node] < width {
                     let needed = width - free[node];
-                    let Some(victim) = Self::best_donor(&slots, node, reserved_mask)
-                    else {
+                    let Some(victim) = Self::best_donor(&slots, node, reserved_mask) else {
                         unreachable!("plan_admission guaranteed the capacity");
                     };
-                    let victim_floor =
-                        shrink_floor(slots[victim].floor, slots[victim].request);
-                    let give = needed.min(slots[victim].width - victim_floor);
+                    let give = needed.min(slots[victim].width - slots[victim].shrink_floor());
                     slots[victim].width -= give;
                     for &n in &slots[victim].node_indices {
                         free[n] += give;
@@ -625,18 +1252,13 @@ impl SchedulerPolicy for MalleablePolicy {
                 floor: job.min_cpus_per_node,
                 request: job.cpus_per_node,
                 malleable: job.malleable,
-                expected_end_us: job.expected_duration_us.map(|d| {
-                    let scaled =
-                        d.saturating_mul(job.cpus_per_node as u64) / width.max(1) as u64;
-                    now_us.saturating_add(scaled)
-                }),
+                expected_end_us: job
+                    .expected_duration_us
+                    .map(|d| now_us.saturating_add(scaled_duration(d, job.cpus_per_node, width))),
+                reserved_overlap: false,
             });
         }
 
-        // Expansion: hand the remaining free CPUs to shrunk malleable jobs,
-        // one CPU-per-node at a time so concurrent victims recover evenly.
-        // Reserved nodes do not participate: consuming their free CPUs could
-        // push the reserved job's start past its reservation.
         let reserved_mask = reservation.as_ref().map(|(_, m)| m.clone());
         let expandable = |n: usize| !reserved_mask.as_ref().is_some_and(|m| m[n]);
         let mut progressed = true;
@@ -663,45 +1285,13 @@ impl SchedulerPolicy for MalleablePolicy {
             }
         }
 
-        // Emit everything from the FINAL slot state (a job admitted mid-pass
-        // may have been shrunk or expanded again by later admissions), in an
-        // order that is valid to apply sequentially: shrinks release CPUs,
-        // then starts consume them, then expands absorb the leftovers.
-        let mut actions: Vec<SchedulerAction> = Vec::new();
-        for slot in &slots {
-            if slot.original_width.is_some_and(|o| slot.width < o) {
-                actions.push(SchedulerAction::Resize {
-                    job_id: slot.job_id,
-                    cpus_per_node: slot.width,
-                });
-            }
-        }
-        for slot in &slots {
-            if slot.original_width.is_none() {
-                actions.push(SchedulerAction::Start {
-                    job_id: slot.job_id,
-                    node_indices: slot.node_indices.clone(),
-                    cpus_per_node: slot.width,
-                });
-            }
-        }
-        for slot in &slots {
-            if slot.original_width.is_some_and(|o| slot.width > o) {
-                actions.push(SchedulerAction::Resize {
-                    job_id: slot.job_id,
-                    cpus_per_node: slot.width,
-                });
-            }
-        }
-        actions
+        emit_actions(&slots)
     }
 }
 
-impl MalleablePolicy {
-    /// Decides whether (and how) `job` can start right now, honouring an
-    /// existing reservation: a job whose declared duration provably ends
-    /// before the reservation may use any free CPUs at full width; otherwise
-    /// reserved nodes are off limits, for the start and for its victims.
+impl MalleableScanPolicy {
+    /// Reference `plan_admission`: same decisions as
+    /// [`MalleablePolicy::plan_admission`], recomputed from scratch.
     fn plan_admission(
         job: &QueuedJob,
         free: &[usize],
@@ -722,7 +1312,6 @@ impl MalleablePolicy {
                         return Some((nodes, job.cpus_per_node));
                     }
                 }
-                // Mask the reserved nodes out and admit on the rest.
                 let masked: Vec<usize> = free
                     .iter()
                     .enumerate()
@@ -735,30 +1324,24 @@ impl MalleablePolicy {
         }
     }
 
-    /// The running malleable job on `node` with the most CPUs to spare above
-    /// its shrink floor (never one that overlaps a reserved node: slowing it
-    /// down would push its completion — and the reservation — later).
+    /// Reference victim selection: scans every slot, filtering by
+    /// `node_indices.contains` — the cost the donor index removes.
     fn best_donor(slots: &[Slot], node: usize, reserved: Option<&[bool]>) -> Option<usize> {
         slots
             .iter()
             .enumerate()
             .filter(|(_, s)| {
                 s.malleable
-                    && s.width > shrink_floor(s.floor, s.request)
+                    && s.width > s.shrink_floor()
                     && s.node_indices.contains(&node)
                     && !s.on_reserved(reserved)
             })
-            .max_by_key(|(i, s)| {
-                (s.width - shrink_floor(s.floor, s.request), std::cmp::Reverse(*i))
-            })
+            .max_by_key(|(i, s)| (s.width - s.shrink_floor(), std::cmp::Reverse(*i)))
             .map(|(i, _)| i)
     }
 
-    /// Plans an admission that requires shrinking: picks the `job.nodes`
-    /// nodes with the most available (free + reclaimable) CPUs and the widest
-    /// feasible width. `None` if even the floors don't fit. `free` must
-    /// already be masked for reserved nodes; `reserved` additionally rules
-    /// their jobs out as victims.
+    /// Reference shrink-to-admit: recomputes per-node availability by
+    /// scanning every slot for every node, then fully sorts.
     fn shrink_to_admit(
         job: &QueuedJob,
         free: &[usize],
@@ -773,16 +1356,13 @@ impl MalleablePolicy {
                 let reclaimable: usize = slots
                     .iter()
                     .filter(|s| {
-                        s.malleable
-                            && s.node_indices.contains(&node)
-                            && !s.on_reserved(reserved)
+                        s.malleable && s.node_indices.contains(&node) && !s.on_reserved(reserved)
                     })
-                    .map(|s| s.width.saturating_sub(shrink_floor(s.floor, s.request)))
+                    .map(|s| s.width.saturating_sub(s.shrink_floor()))
                     .sum();
                 (node, f + reclaimable)
             })
             .collect();
-        // Most available first; index order breaks ties deterministically.
         avail.sort_by_key(|&(node, a)| (std::cmp::Reverse(a), node));
         if avail.len() < job.nodes {
             return None;
@@ -794,35 +1374,12 @@ impl MalleablePolicy {
             .min()
             .unwrap_or(0)
             .min(job.cpus_per_node);
-        // A job is admitted shrunk only down to its own shrink floor: deeper
-        // admission would just move the time-sharing to the newcomer.
         if width < shrink_floor(job.min_cpus_per_node, job.cpus_per_node) {
             return None;
         }
         let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _)| n).collect();
         node_indices.sort_unstable();
         Some((node_indices, width))
-    }
-
-    /// Earliest time ≥ `now` at which `job` fits at full width, replaying the
-    /// expected completions of every slot on top of the current free vector.
-    /// Returns the time and the node set; `None` when a holder on a needed
-    /// node has no completion estimate.
-    fn earliest_full_fit(
-        job: &QueuedJob,
-        free: &[usize],
-        slots: &[Slot],
-        now_us: TimeUs,
-    ) -> Option<(TimeUs, Vec<usize>)> {
-        let holders: Vec<Holder<'_>> = slots
-            .iter()
-            .map(|s| Holder {
-                end_us: s.expected_end_us,
-                node_indices: &s.node_indices,
-                width: s.width,
-            })
-            .collect();
-        earliest_release_fit(job.nodes, job.cpus_per_node, free, &holders, now_us)
     }
 }
 
@@ -835,6 +1392,7 @@ mod tests {
             node_cpus,
             free,
             running,
+            index: None,
         }
     }
 
@@ -970,6 +1528,127 @@ mod tests {
         let queue = vec![QueuedJob::new(2, 1, 8)];
         let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
         assert!(actions.is_empty());
+    }
+
+    /// Regression (shrunk-duration rounding): a job admitted shrunk in this
+    /// pass must carry a **rounded-up** completion estimate. With the old
+    /// truncating scaling, J1 (101 µs at 7 CPUs, admitted at width 5) was
+    /// estimated to end at 141 instead of 142, so the drain reservation for
+    /// J2 landed at an instant J1 still occupies — and J3, whose duration
+    /// ends exactly when the CPUs really free up, was refused the backfill
+    /// it is entitled to.
+    #[test]
+    fn shrunk_admission_estimate_rounds_up_for_reservations() {
+        let mut holders = vec![
+            running(10, vec![0], 13, 13, 13), // rigid-in-effect, node 0
+            running(11, vec![1], 11, 11, 11), // rigid-in-effect, node 1
+        ];
+        holders[0].expected_end_us = Some(50_000);
+        holders[1].expected_end_us = Some(50_000);
+        let free = [3, 5];
+        let queue = vec![
+            // Admitted shrunk at width 5 on node 1: ends at ⌈101·7/5⌉ = 142.
+            QueuedJob::new(1, 1, 7)
+                .malleable(1)
+                .with_submit_us(0)
+                .with_expected_duration_us(101),
+            // Blocked: reservation at t = 142 over both nodes.
+            QueuedJob::new(2, 2, 3)
+                .with_submit_us(1)
+                .with_expected_duration_us(1_000),
+            // Ends exactly at the reservation instant: must backfill.
+            QueuedJob::new(3, 1, 2)
+                .with_submit_us(2)
+                .with_expected_duration_us(142),
+        ];
+        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                SchedulerAction::Start { job_id: 1, cpus_per_node: 5, .. }
+            )),
+            "job 1 admitted shrunk: {actions:?}"
+        );
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                SchedulerAction::Start { job_id: 3, cpus_per_node: 2, .. }
+            )),
+            "job 3 ends exactly at the (rounded-up) reservation and must \
+             backfill: {actions:?}"
+        );
+        assert!(
+            !actions.iter().any(|a| matches!(a, SchedulerAction::Start { job_id: 2, .. })),
+            "job 2 stays reserved: {actions:?}"
+        );
+    }
+
+    /// The indexed pass and the reference scan make identical decisions on a
+    /// view with no driver index (both rebuild from `running`).
+    #[test]
+    fn indexed_and_scan_policies_agree_on_handbuilt_views() {
+        let mut holders = vec![
+            running(1, vec![0, 1], 16, 16, 4),
+            running(2, vec![2], 10, 16, 2),
+            running(3, vec![1, 2], 3, 8, 1),
+        ];
+        holders[1].expected_end_us = Some(700);
+        holders[2].expected_end_us = Some(900);
+        let free = [0, 3, 3, 16];
+        let queue = vec![
+            QueuedJob::new(10, 2, 12).malleable(3).with_expected_duration_us(500),
+            QueuedJob::new(11, 4, 16).with_submit_us(1).with_expected_duration_us(400),
+            QueuedJob::new(12, 1, 4).with_submit_us(2).with_expected_duration_us(100),
+            QueuedJob::new(13, 1, 2).malleable(1).with_submit_us(3),
+        ];
+        let indexed = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 50);
+        let scanned = MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 50);
+        assert_eq!(indexed, scanned);
+    }
+
+    /// The event-maintained index equals a from-scratch rebuild after any
+    /// start/resize/complete sequence, including donor-list order.
+    #[test]
+    fn sched_index_updates_match_rebuild() {
+        let mut index = SchedIndex::new(3, 16);
+        let j1 = QueuedJob::new(1, 2, 8).malleable(2);
+        let j2 = QueuedJob::new(2, 1, 16).malleable(4);
+        let j3 = QueuedJob::new(3, 2, 4); // rigid: never a donor
+        index.on_start(&j1, &[0, 1], 8);
+        index.on_start(&j2, &[2], 12);
+        index.on_start(&j3, &[1, 2], 4);
+        index.on_resize(&j2, &[2], 12, 9);
+        index.on_resize(&j1, &[0, 1], 8, 5);
+        let running = vec![
+            RunningJob {
+                alloc: JobAllocation { job_id: 1, node_indices: vec![0, 1], cpus_per_node: 5 },
+                job: j1.clone(),
+                start_us: 0,
+                expected_end_us: None,
+            },
+            RunningJob {
+                alloc: JobAllocation { job_id: 2, node_indices: vec![2], cpus_per_node: 9 },
+                job: j2.clone(),
+                start_us: 0,
+                expected_end_us: None,
+            },
+            RunningJob {
+                alloc: JobAllocation { job_id: 3, node_indices: vec![1, 2], cpus_per_node: 4 },
+                job: j3.clone(),
+                start_us: 0,
+                expected_end_us: None,
+            },
+        ];
+        assert_eq!(index, SchedIndex::rebuild(&[11, 7, 3], &running));
+        assert_eq!(index.free(), &[11, 7, 3]);
+        // j1 at width 5 with shrink floor max(2, 4) = 4 → 1 reclaimable;
+        // j2 at width 9 with shrink floor max(4, 8) = 8 → 1 reclaimable.
+        assert_eq!(index.reclaim(), &[1, 1, 1]);
+        assert_eq!(index.donors(1), &[1]);
+        assert_eq!(index.donors(2), &[2]);
+        index.on_complete(&j1, &[0, 1], 5);
+        index.on_complete(&j3, &[1, 2], 4);
+        assert_eq!(index, SchedIndex::rebuild(&[16, 16, 7], &running[1..2]));
     }
 
     #[test]
