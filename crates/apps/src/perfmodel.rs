@@ -140,9 +140,15 @@ impl AppModel {
     /// Effective parallelism of one task that currently owns `cpus` CPUs, given
     /// that it initially started with `initial_threads` threads.
     ///
-    /// For statically partitioned applications the orphaned chunks limit the
-    /// achievable parallelism; otherwise every CPU contributes (up to the
-    /// memory-bound saturation point).
+    /// For statically partitioned applications the data exists as exactly
+    /// `initial_threads` chunks, fixed at launch. Shrinking redistributes the
+    /// orphaned chunks with limited granularity (below); **expanding cannot
+    /// invent chunks**, so the parallelism is capped at `initial_threads` no
+    /// matter how many CPUs are granted. Non-partitioned applications use
+    /// every CPU (up to the memory-bound saturation point).
+    ///
+    /// Guaranteed monotone non-decreasing in `cpus`, and constant for
+    /// `cpus ≥ initial_threads` on static-partition apps.
     pub fn effective_parallelism(&self, cpus: usize, initial_threads: usize) -> f64 {
         if cpus == 0 {
             return 0.0;
@@ -151,13 +157,20 @@ impl AppModel {
         if let Some(saturation) = self.saturation_cpus_per_task {
             effective = effective.min(saturation as f64);
         }
-        if self.static_partition && cpus < initial_threads {
-            // initial_threads chunks, each splittable into CHUNK_SPLIT pieces,
-            // spread over `cpus` threads: the busiest thread gets
-            // ceil(chunks*split / cpus) / split chunks.
-            let subchunks = (initial_threads as f64) * CHUNK_SPLIT;
-            let per_thread = (subchunks / cpus as f64).ceil() / CHUNK_SPLIT;
-            effective = effective.min(initial_threads as f64 / per_thread);
+        if self.static_partition {
+            let initial = initial_threads.max(1);
+            if cpus < initial {
+                // `initial` chunks, each splittable into CHUNK_SPLIT pieces,
+                // spread over `cpus` threads: the busiest thread gets
+                // ceil(chunks*split / cpus) / split chunks.
+                let subchunks = (initial as f64) * CHUNK_SPLIT;
+                let per_thread = (subchunks / cpus as f64).ceil() / CHUNK_SPLIT;
+                effective = effective.min(initial as f64 / per_thread);
+            } else {
+                // Expansion past the launch thread count: only `initial`
+                // chunks exist, the extra CPUs idle.
+                effective = effective.min(initial as f64);
+            }
         }
         effective
     }
@@ -172,8 +185,18 @@ impl AppModel {
     }
 
     /// Work completed per second during the initialization phase.
+    ///
+    /// The init phase is a *low*-parallelism, memory-intensive stretch, so
+    /// beyond its own parallelism bound it obeys the same caps as
+    /// [`rate`](Self::rate): memory-bound saturation and the per-thread
+    /// efficiency penalty. (It does not pay the static-partition penalty —
+    /// the partition is what the init phase *builds*.)
     pub fn init_rate(&self, config: &AppConfig, cpus_per_task: usize) -> f64 {
-        let per_task = (cpus_per_task as f64).min(self.init_parallelism);
+        let mut per_task = (cpus_per_task as f64).min(self.init_parallelism);
+        if let Some(saturation) = self.saturation_cpus_per_task {
+            per_task = per_task.min(saturation as f64);
+        }
+        per_task *= self.efficiency(cpus_per_task.min(config.threads_per_task) as f64);
         per_task * config.mpi_tasks as f64
     }
 
@@ -311,6 +334,113 @@ mod tests {
         // A non-partitioned app loses nothing.
         let pils = AppModel::for_kind(AppKind::Pils);
         assert!((pils.effective_parallelism(15, 16) - 15.0).abs() < 1e-9);
+    }
+
+    /// Regression (static-partition expansion over-speedup): a static app
+    /// launched with `initial_threads` threads partitioned its data into that
+    /// many chunks; granting it *more* CPUs later cannot invent chunks, so
+    /// the effective parallelism must stay capped at the chunk count. The
+    /// pre-fix model returned `cpus as f64` for `cpus > initial_threads`,
+    /// granting linear speedup on expansion.
+    #[test]
+    fn static_partition_expansion_does_not_invent_chunks() {
+        for kind in [AppKind::Nest, AppKind::CoreNeuron] {
+            let model = AppModel::for_kind(kind);
+            assert_eq!(model.effective_parallelism(9, 8), 8.0, "{kind:?}");
+            assert_eq!(model.effective_parallelism(16, 8), 8.0, "{kind:?}");
+            assert_eq!(model.effective_parallelism(64, 8), 8.0, "{kind:?}");
+        }
+        // Non-partitioned apps still scale past their launch thread count
+        // (up to the saturation point).
+        let pils = AppModel::for_kind(AppKind::Pils);
+        assert_eq!(pils.effective_parallelism(16, 8), 16.0);
+        let stream = AppModel::for_kind(AppKind::Stream);
+        assert_eq!(stream.effective_parallelism(16, 8), 2.0);
+    }
+
+    /// Whole-run level: granting a static-partition app twice its launch
+    /// thread count must not change its execution time (the chunks are the
+    /// bottleneck, not the CPUs). Pre-fix the 16-CPU run claimed ~half the
+    /// 8-thread time.
+    #[test]
+    fn static_partition_execution_time_is_flat_beyond_launch_threads() {
+        let model = AppModel::for_kind(AppKind::Nest);
+        let conf = Table1::NEST_CONF2; // 4 tasks × 8 threads
+        let at_launch = model.execution_time(&conf, 8);
+        let expanded = model.execution_time(&conf, 16);
+        assert!(
+            (expanded - at_launch).abs() < 1e-9,
+            "expansion past the partition must be free of speedup: \
+             {at_launch} vs {expanded}"
+        );
+    }
+
+    proptest::proptest! {
+        /// `effective_parallelism(cpus, initial)` is monotone non-decreasing
+        /// in `cpus` and constant for `cpus ≥ initial` on static-partition
+        /// apps.
+        #[test]
+        fn effective_parallelism_is_monotone_and_flat_beyond_initial(
+            initial in 1usize..64,
+            probe in 1usize..64,
+        ) {
+            for kind in [
+                AppKind::Nest,
+                AppKind::CoreNeuron,
+                AppKind::Pils,
+                AppKind::Stream,
+            ] {
+                let model = AppModel::for_kind(kind);
+                let mut prev = 0.0;
+                for cpus in 0..=probe.max(initial) + 4 {
+                    let e = model.effective_parallelism(cpus, initial);
+                    proptest::prop_assert!(
+                        e >= prev - 1e-12,
+                        "{:?}: not monotone at cpus={}, initial={}",
+                        kind, cpus, initial
+                    );
+                    if model.static_partition && cpus >= initial {
+                        proptest::prop_assert!(
+                            (e - model.effective_parallelism(initial, initial)).abs()
+                                < 1e-12,
+                            "{:?}: not constant beyond initial at cpus={}",
+                            kind, cpus
+                        );
+                    }
+                    prev = e;
+                }
+            }
+        }
+    }
+
+    /// Regression (init outrunning steady state): the init phase is a *low*
+    /// parallelism, memory-intensive stretch, so it obeys the same saturation
+    /// and thread-efficiency caps as the steady rate. Pre-fix,
+    /// `init_rate` ignored both, so a memory-bound configuration could
+    /// complete its init *faster* than its steady-state rate allows.
+    #[test]
+    fn init_rate_respects_saturation_and_efficiency_caps() {
+        // A memory-bound app (saturates at 2 CPUs per task) with an init
+        // phase that claims 4-way parallelism.
+        let mut model = AppModel::for_kind(AppKind::Stream);
+        model.init_fraction = 0.1;
+        model.init_parallelism = 4.0;
+        model.thread_efficiency_penalty = 0.01;
+        let config = Table1::STREAM_CONF1;
+        for cpus in 1..=16 {
+            assert!(
+                model.init_rate(&config, cpus) <= model.rate(&config, cpus) + 1e-9,
+                "init must not outrun the saturated steady rate at {cpus} CPUs"
+            );
+        }
+        // The thread-efficiency cap applies even without saturation.
+        let nest = AppModel::for_kind(AppKind::Nest);
+        let conf = Table1::NEST_CONF1;
+        assert!(
+            nest.init_rate(&conf, 16)
+                < nest.init_parallelism * conf.mpi_tasks as f64,
+            "16 busy threads pay the same locality penalty during init"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use drom_bench::sched_fixtures::{loaded_state, NODE_CPUS};
+use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, NODE_CPUS};
 use drom_sim::{mixed_hpc_trace, ClusterSim};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
@@ -59,6 +59,23 @@ fn bench_sched_scale(c: &mut Criterion) {
     group.bench_function("malleable_scan_pass_128n", |b| {
         let mut policy = MalleableScanPolicy;
         b.iter(|| black_box(policy.schedule(&view_no_index, &queue, 1_000)));
+    });
+
+    // The same loaded view with the calibrated app models attached: the
+    // pass pays curve-scaled estimates instead of linear div_ceil. Baselined
+    // next to the linear pass so the model coupling's cost stays visible
+    // (sched_guard enforces it in CI).
+    let (free_m, running_m, queue_m) = loaded_state_model(128);
+    let index_m = SchedIndex::rebuild(&free_m, &running_m);
+    let view_m = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_m,
+        running: &running_m,
+        index: Some(&index_m),
+    };
+    group.bench_function("malleable_model_pass_128n", |b| {
+        let mut policy = MalleablePolicy;
+        b.iter(|| black_box(policy.schedule(&view_m, &queue_m, 1_000)));
     });
 
     // The scale-out tier's view: 1024 nodes, ~1530 running, 512 queued.

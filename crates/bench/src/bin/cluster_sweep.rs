@@ -13,13 +13,24 @@
 //! malleable pass — the pre-index policy cannot finish it in reasonable
 //! time. `--jobs` still overrides for smoke runs (CI replays the tier at a
 //! reduced job count).
+//!
+//! `--tier model-aware` replays the standing trace with the calibrated
+//! application mix attached (`drom_sim::model_aware_trace`): the *same*
+//! arrivals, shapes and durations as the standing tier, but every job
+//! carries its application's speedup curve, so shrinking a static-partition
+//! job is no longer free and memory-bound jobs gain nothing from expansion.
+//! The linear standing rows are the control; the delta between the two
+//! tiers is the committed measurement of what the model coupling changes
+//! (EXPERIMENTS.md).
 
 use std::str::FromStr;
 
 use drom_bench::emit;
 use drom_metrics::{workload::percent_improvement, Table};
 use drom_sim::trace::{SCALE_OUT_JOBS, SCALE_OUT_NODES};
-use drom_sim::{mixed_hpc_trace, scale_out_trace, ClusterRunReport, ClusterSim};
+use drom_sim::{
+    mixed_hpc_trace, model_aware_trace, scale_out_trace, ClusterRunReport, ClusterSim,
+};
 use drom_slurm::policy::SchedulerPolicy;
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
 
@@ -60,7 +71,20 @@ fn main() {
             let jobs = arg::<usize>("--jobs", SCALE_OUT_JOBS);
             (SCALE_OUT_NODES, jobs, 1.15, scale_out_trace(seed, jobs))
         }
-        other => panic!("unknown tier {other:?} (use \"standing\" or \"scale-out\")"),
+        // The model-aware tier: the standing cluster shape with the
+        // calibrated app mix. `--nodes/--jobs/--load` still apply (CI smokes
+        // a reduced job count) — the tier differs from "standing" only in
+        // the attached speedup curves, which is exactly what makes the two
+        // tables comparable row by row.
+        "model-aware" => {
+            let nodes = arg::<usize>("--nodes", 128);
+            let jobs = arg::<usize>("--jobs", 2000);
+            let load = arg::<f64>("--load", 1.15);
+            (nodes, jobs, load, model_aware_trace(seed, jobs, nodes, node_cpus, load))
+        }
+        other => panic!(
+            "unknown tier {other:?} (use \"standing\", \"scale-out\" or \"model-aware\")"
+        ),
     };
 
     let trace = config.generate();

@@ -1,10 +1,11 @@
 //! CI perf-regression guard for the malleable scheduling pass.
 //!
 //! Re-measures the loaded 128-node `sched_scale/malleable_pass_128n` case
-//! (the exact snapshot the bench uses, via `drom_bench::sched_fixtures`) and
-//! fails — exit code 1 — when it exceeds the committed `BENCH_sched.json`
-//! baseline by more than the given factor (default 2×, `--factor F`
-//! overrides).
+//! (the exact snapshot the bench uses, via `drom_bench::sched_fixtures`) —
+//! and its model-aware twin `malleable_model_pass_128n`, the same view with
+//! calibrated speedup curves attached — and fails — exit code 1 — when
+//! either exceeds its committed `BENCH_sched.json` baseline by more than the
+//! given factor (default 2×, `--factor F` overrides).
 //!
 //! The committed baseline is an absolute wall-clock number from one machine;
 //! CI runners are arbitrarily faster or slower. To keep the threshold about
@@ -20,11 +21,12 @@
 
 use std::time::Instant;
 
-use drom_bench::sched_fixtures::{loaded_state, NODE_CPUS};
+use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, NODE_CPUS};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{MalleablePolicy, MalleableScanPolicy};
 
 const INDEXED_KEY: &str = "sched_scale/malleable_pass_128n";
+const MODEL_KEY: &str = "sched_scale/malleable_model_pass_128n";
 const SCAN_KEY: &str = "sched_scale/malleable_scan_pass_128n";
 
 /// Extracts `"<key>": { "mean_ns": N }` from the **`"benches"` section** of
@@ -73,6 +75,8 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
     let indexed_baseline = baseline_mean_ns(&json, INDEXED_KEY)
         .unwrap_or_else(|| panic!("no {INDEXED_KEY} mean_ns in {baseline_path}"));
+    let model_baseline = baseline_mean_ns(&json, MODEL_KEY)
+        .unwrap_or_else(|| panic!("no {MODEL_KEY} mean_ns in {baseline_path}"));
     let scan_baseline = baseline_mean_ns(&json, SCAN_KEY)
         .unwrap_or_else(|| panic!("no {SCAN_KEY} mean_ns in {baseline_path}"));
 
@@ -88,27 +92,47 @@ fn main() {
         index: None,
         ..view
     };
+    let (free_m, running_m, queue_m) = loaded_state_model(128);
+    let index_m = SchedIndex::rebuild(&free_m, &running_m);
+    let view_m = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_m,
+        running: &running_m,
+        index: Some(&index_m),
+    };
 
     let indexed_ns = measure(&mut MalleablePolicy, &view, &queue, 200);
+    let model_ns = measure(&mut MalleablePolicy, &view_m, &queue_m, 200);
     let scan_ns = measure(&mut MalleableScanPolicy, &view_no_index, &queue, 20);
 
     // How much slower/faster this machine is than the one that recorded the
     // baseline, judged by the reference implementation (whose cost this PR
     // class does not change).
     let machine = scan_ns / scan_baseline as f64;
-    let limit_ns = indexed_baseline as f64 * factor * machine;
     println!(
-        "sched_guard: {INDEXED_KEY} measured {indexed_ns:.0} ns \
-         (baseline {indexed_baseline} ns); reference scan {scan_ns:.0} ns \
-         (baseline {scan_baseline} ns, machine speed x{machine:.2}); \
-         limit {limit_ns:.0} ns ({factor:.1}x)"
+        "sched_guard: reference scan {scan_ns:.0} ns (baseline {scan_baseline} ns, \
+         machine speed x{machine:.2})"
     );
-    if indexed_ns > limit_ns {
-        eprintln!(
-            "sched_guard: FAIL — the loaded malleable pass is {:.1}x the \
-             committed baseline after machine-speed calibration",
-            indexed_ns / (indexed_baseline as f64 * machine)
+    let mut failed = false;
+    for (key, measured, baseline) in [
+        (INDEXED_KEY, indexed_ns, indexed_baseline),
+        (MODEL_KEY, model_ns, model_baseline),
+    ] {
+        let limit_ns = baseline as f64 * factor * machine;
+        println!(
+            "sched_guard: {key} measured {measured:.0} ns (baseline {baseline} ns); \
+             limit {limit_ns:.0} ns ({factor:.1}x)"
         );
+        if measured > limit_ns {
+            eprintln!(
+                "sched_guard: FAIL — {key} is {:.1}x the committed baseline \
+                 after machine-speed calibration",
+                measured / (baseline as f64 * machine)
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("sched_guard: OK");

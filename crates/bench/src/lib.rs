@@ -162,7 +162,11 @@ pub fn emit(table: &Table) {
 /// the CI perf-regression guard (`sched_guard`), so both measure exactly the
 /// same loaded cluster snapshot.
 pub mod sched_fixtures {
+    use std::collections::HashMap;
+
+    use drom_apps::AppKind;
     use drom_slurm::policy::{JobAllocation, QueuedJob, RunningJob};
+    use drom_slurm::SpeedupCurve;
 
     /// CPUs per node of the bench clusters.
     pub const NODE_CPUS: usize = 16;
@@ -229,6 +233,41 @@ pub mod sched_fixtures {
                     .with_expected_duration_us(500_000 + 1_000 * i as u64)
             })
             .collect();
+        (free, running, queue)
+    }
+
+    /// The same loaded snapshot with the calibrated application models
+    /// attached: every job — running and queued — carries the speedup curve
+    /// of a deterministically rotating application kind, so a pass over this
+    /// view pays the curve-scaled estimate arithmetic instead of the linear
+    /// `div_ceil`. This is the fixture of the `malleable_model_pass_128n`
+    /// bench and the model half of `sched_guard`.
+    pub fn loaded_state_model(nodes: usize) -> (Vec<usize>, Vec<RunningJob>, Vec<QueuedJob>) {
+        let (free, mut running, mut queue) = loaded_state(nodes);
+        let kinds = [
+            AppKind::Nest,
+            AppKind::CoreNeuron,
+            AppKind::Pils,
+            AppKind::Stream,
+        ];
+        let mut curves: HashMap<(AppKind, usize), SpeedupCurve> = HashMap::new();
+        let mut attach = |job: &mut QueuedJob, salt: u64| {
+            let kind = kinds[salt as usize % kinds.len()];
+            let width = job.cpus_per_node;
+            let curve = curves
+                .entry((kind, width))
+                .or_insert_with(|| drom_sim::speedup_curve(kind, width, width))
+                .clone();
+            job.speedup = Some(curve);
+        };
+        for r in running.iter_mut() {
+            let id = r.alloc.job_id;
+            attach(&mut r.job, id);
+        }
+        for q in queue.iter_mut() {
+            let id = q.id;
+            attach(q, id);
+        }
         (free, running, queue)
     }
 }

@@ -11,18 +11,26 @@
 //!
 //! # Progress model
 //!
-//! A trace job carries its duration *at full request width*. A running job
-//! progresses at `allocated / requested` of full speed (linear speedup —
-//! the paper's LeWI measurements show near-linear scaling for its
-//! applications; `docs/scheduling.md` discusses the limits of this
+//! A trace job carries its duration *at full request width*. A job without
+//! an application model progresses at `allocated / requested` of full speed
+//! (linear speedup — the paper's LeWI measurements show near-linear scaling
+//! for its applications; `docs/scheduling.md` discusses the limits of this
 //! assumption), so a shrink slows a job down exactly as much as it frees
 //! CPUs for someone else and the comparison between policies is purely
-//! about *scheduling*, not about modelled application efficiency. Resize
-//! overhead is not modelled: the paper measures DROM reconfiguration in
-//! microseconds against jobs that run for minutes.
+//! about *scheduling*. A job carrying a
+//! [`SpeedupCurve`](drom_slurm::SpeedupCurve) (the model-aware traces, see
+//! [`crate::rate`]) instead progresses at the calibrated per-width rate of
+//! its application — static data partitions make shrinking cost more than
+//! linear, memory-bound saturation makes expansion worthless — through
+//! exactly the same integer accounting, and the scheduler's duration
+//! estimates read the same curve, so estimates and simulated completions
+//! agree by construction. Resize overhead is not modelled: the paper
+//! measures DROM reconfiguration in microseconds against jobs that run for
+//! minutes.
 //!
-//! Progress is accounted **exactly**, in integer CPU-microseconds
-//! ([`JobProgress`]): the one rounding in the
+//! Progress is accounted **exactly**, in integer work units
+//! ([`JobProgress`]; CPU-microseconds for linear jobs, fixed-point units for
+//! model jobs): the one rounding in the
 //! engine is the completion event's wall-clock instant (rounded up to the
 //! next whole microsecond), so arbitrary resize sequences can never drift a
 //! job's completion away from the work actually delivered.
@@ -35,6 +43,7 @@ use drom_slurm::policy::{SchedulerAction, SchedulerPolicy};
 use drom_slurm::{PolicyScheduler, SchedulerStats, SlurmError};
 
 use crate::progress::JobProgress;
+use crate::rate::JobRate;
 use crate::trace::TraceJob;
 
 /// Hard cap on processed events per trace job: a scheduling policy that
@@ -157,9 +166,12 @@ impl ClusterSim {
             .iter()
             .map(|t| (t.job.id, t.duration_us))
             .collect();
-        let requests: HashMap<u64, usize> = trace
+        // One rate definition per job: linear CPU-µs for model-less jobs
+        // (the PR 3/4 arithmetic, bit for bit), the job's speedup curve
+        // otherwise — the same curve the scheduler's estimates consult.
+        let rates: HashMap<u64, JobRate> = trace
             .iter()
-            .map(|t| (t.job.id, t.job.total_cpus()))
+            .map(|t| (t.job.id, JobRate::for_job(&t.job)))
             .collect();
 
         // Min-heap of (time, sequence, event); the sequence keeps same-instant
@@ -230,9 +242,12 @@ impl ClusterSim {
                         node_indices,
                         cpus_per_node,
                     } => {
-                        let allocated = node_indices.len() * cpus_per_node;
-                        let progress =
-                            JobProgress::start(durations[&job_id], requests[&job_id], allocated, now);
+                        let spec = &rates[&job_id];
+                        let progress = JobProgress::start_scaled(
+                            spec.work(durations[&job_id]),
+                            spec.rate(node_indices.len(), cpus_per_node),
+                            now,
+                        );
                         gen_counter += 1;
                         let finish = progress.completion_us();
                         models.insert(
@@ -254,16 +269,16 @@ impl ClusterSim {
                         seq += 1;
                     }
                     SchedulerAction::Resize { job_id, .. } => {
-                        let alloc = sched
+                        let (nodes, width) = sched
                             .running()
                             .iter()
                             .find(|r| r.alloc.job_id == job_id)
-                            .map(|r| r.alloc.total_cpus())
+                            .map(|r| (r.alloc.node_indices.len(), r.alloc.cpus_per_node))
                             .expect("an applied resize names a running job");
                         let model = models
                             .get_mut(&job_id)
                             .expect("a running job has a run model");
-                        model.progress.resize(now, alloc);
+                        model.progress.set_rate(now, rates[&job_id].rate(nodes, width));
                         gen_counter += 1;
                         model.gen = gen_counter;
                         let finish = model.progress.completion_us();
@@ -299,9 +314,13 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::mixed_hpc_trace;
+    use crate::rate::speedup_curve;
+    use crate::trace::{mixed_hpc_trace, model_aware_trace};
+    use drom_apps::AppKind;
     use drom_slurm::policy::QueuedJob;
-    use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
+    use drom_slurm::{
+        BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy, SpeedupCurve,
+    };
 
     fn tiny_trace() -> Vec<TraceJob> {
         mixed_hpc_trace(11, 60, 8, 16, 1.2).generate()
@@ -515,6 +534,174 @@ mod tests {
             assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
             assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
         }
+    }
+
+    /// Differential: attaching an explicitly **linear** curve to every job
+    /// replays byte-identically to attaching no curve at all — the
+    /// model-aware path is purely additive over the PR 4 engine.
+    #[test]
+    fn linear_curves_replay_byte_identically_to_no_curves() {
+        let sim = ClusterSim::new(8, 16);
+        let base = tiny_trace();
+        let with_curves: Vec<TraceJob> = base
+            .iter()
+            .cloned()
+            .map(|mut t| {
+                t.job.speedup = Some(SpeedupCurve::linear(t.job.cpus_per_node));
+                t
+            })
+            .collect();
+        for policy in [
+            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy),
+            Box::new(MalleablePolicy),
+        ] {
+            let name = policy.name();
+            let plain = sim.run(policy, &base).unwrap();
+            let curved = match name {
+                "first-fit" => sim.run(Box::new(FirstFitPolicy), &with_curves),
+                "backfill" => sim.run(Box::new(BackfillPolicy), &with_curves),
+                _ => sim.run(Box::new(MalleablePolicy), &with_curves),
+            }
+            .unwrap();
+            assert_eq!(plain.report, curved.report, "{name}");
+            assert_eq!(plain.stats, curved.stats, "{name}");
+            assert_eq!(plain.events_processed, curved.events_processed, "{name}");
+        }
+    }
+
+    /// A policy that never resizes (first-fit) replays a model-aware trace
+    /// identically to its linear twin: at full width every curve delivers
+    /// exactly the declared duration, so the models only matter where
+    /// malleability does.
+    #[test]
+    fn first_fit_is_blind_to_the_app_models() {
+        let sim = ClusterSim::new(8, 16);
+        let linear = mixed_hpc_trace(11, 60, 8, 16, 1.2).generate();
+        let model = model_aware_trace(11, 60, 8, 16, 1.2).generate();
+        let a = sim.run(Box::new(FirstFitPolicy), &linear).unwrap();
+        let b = sim.run(Box::new(FirstFitPolicy), &model).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    /// Whole-scenario regression for the static-partition expansion
+    /// over-speedup: a NEST-like job *launched* with 8 threads per node
+    /// whose allocation request is 16 wide gains nothing from the extra
+    /// CPUs, so shrinking it back to its launch width is free — its
+    /// completion stays exactly at its full-width duration. Pre-fix,
+    /// `effective_parallelism` treated width 16 as twice width 8, so the
+    /// same shrink stretched the job's completion by ~50%.
+    #[test]
+    fn static_partition_job_shrinks_to_launch_width_for_free() {
+        let curve = speedup_curve(AppKind::Nest, 8, 16);
+        assert_eq!(
+            curve.rate(8),
+            curve.rate(16),
+            "the launch width is the whole-curve plateau post-fix"
+        );
+        let jobs = vec![
+            TraceJob {
+                job: QueuedJob::new(1, 1, 16)
+                    .malleable(8)
+                    .with_submit_us(0)
+                    .with_expected_duration_us(1_000)
+                    .with_speedup(curve),
+                duration_us: 1_000,
+            },
+            TraceJob {
+                job: QueuedJob::new(2, 1, 8)
+                    .with_submit_us(10)
+                    .with_expected_duration_us(500),
+                duration_us: 500,
+            },
+        ];
+        let report = ClusterSim::new(1, 16)
+            .run(Box::new(MalleablePolicy), &jobs)
+            .unwrap();
+        assert!(report.stats.shrinks >= 1, "job 1 is shrunk to admit job 2");
+        let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
+        assert_eq!(j2.start, 10, "job 2 is admitted by the shrink");
+        let j1 = report.jobs().iter().find(|j| j.name == "job1").unwrap();
+        assert_eq!(
+            j1.end, 1_000,
+            "shrinking to the launch width must not slow the job at all"
+        );
+    }
+
+    /// Model-aware estimate honesty, end to end: a static-partition job
+    /// admitted shrunk gets a curve-scaled completion estimate from the
+    /// controller, and the engine completes it at **exactly** that instant —
+    /// the estimate and the progress accounting read the same curve.
+    #[test]
+    fn model_estimates_match_engine_completions_exactly() {
+        let curve = speedup_curve(AppKind::Nest, 16, 16);
+        let jobs = vec![
+            TraceJob {
+                // Rigid 7-wide blocker that outlives everything: 9 CPUs
+                // stay free — an *uneven* share of the 16-chunk partition.
+                job: QueuedJob::new(1, 1, 7)
+                    .with_submit_us(0)
+                    .with_expected_duration_us(1_000_000),
+                duration_us: 1_000_000,
+            },
+            TraceJob {
+                // NEST-like: request 16, admitted shrunk at the 9 free CPUs
+                // and stuck there for its whole life.
+                job: QueuedJob::new(2, 1, 16)
+                    .malleable(8)
+                    .with_submit_us(10)
+                    .with_expected_duration_us(1_000)
+                    .with_speedup(curve.clone()),
+                duration_us: 1_000,
+            },
+        ];
+        let report = ClusterSim::new(1, 16)
+            .run(Box::new(MalleablePolicy), &jobs)
+            .unwrap();
+        let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
+        assert_eq!(j2.start, 10);
+        let predicted = 10 + curve.scaled_duration_us(1_000, 9);
+        assert_eq!(
+            j2.end, predicted,
+            "engine completion must equal the curve-scaled estimate"
+        );
+        // And the curve says the uneven 16→9 shrink costs *more* than the
+        // linear ⌈1000·16/9⌉ = 1778: nine threads carry sixteen chunks no
+        // faster than eight would, so the sub-linear penalty is visible end
+        // to end.
+        assert!(
+            curve.scaled_duration_us(1_000, 9) > 1_778,
+            "an uneven static shrink must cost more than linear, got {}",
+            curve.scaled_duration_us(1_000, 9)
+        );
+    }
+
+    /// The committed model-aware tier claim: under the calibrated app mix
+    /// the malleable policy's shrinks are no longer free (and its honest
+    /// estimates move every reservation), so the replay differs measurably
+    /// from its linear twin — same arrivals, same durations, same policy,
+    /// only the speedup curves differ. The *direction* of the shift is an
+    /// empirical result recorded in EXPERIMENTS.md, not a theorem: costlier
+    /// shrinks hurt, but the longer (honest) estimates also reshape
+    /// reservations and backfill.
+    #[test]
+    fn model_coupling_measurably_shifts_malleable_outcomes() {
+        let sim = ClusterSim::new(16, 16);
+        let linear = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
+        let model = model_aware_trace(3, 150, 16, 16, 1.2).generate();
+        let lin = sim.run(Box::new(MalleablePolicy), &linear).unwrap();
+        let modl = sim.run(Box::new(MalleablePolicy), &model).unwrap();
+        assert!(modl.stats.shrinks > 0, "malleability must still engage");
+        let delta = (modl.mean_response_s() - lin.mean_response_s()).abs()
+            / lin.mean_response_s();
+        assert!(
+            delta > 0.02,
+            "the model coupling must move mean response by a measurable \
+             amount: model {} vs linear {}",
+            modl.mean_response_s(),
+            lin.mean_response_s()
+        );
     }
 
     #[test]

@@ -186,11 +186,12 @@ impl WorkloadSimulator {
             let model = self.models.of(job.job.config.kind);
             job.cpus_per_task = cpus_per_task;
             job.oversub_factor = factor;
-            job.rate = if job.in_init() {
-                model.init_rate(&job.job.config, cpus_per_task) * factor
-            } else {
-                model.rate(&job.job.config, cpus_per_task) * factor
-            };
+            // The init-vs-steady rate switch lives in `crate::rate` — the
+            // same definition the cluster engine's speedup curves are
+            // compiled from, so the two engines cannot drift.
+            job.rate =
+                crate::rate::phase_rate(model, &job.job.config, cpus_per_task, job.in_init())
+                    * factor;
         }
     }
 

@@ -60,6 +60,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod progress;
+pub mod rate;
 pub mod report;
 pub mod scenario;
 pub mod trace;
@@ -67,9 +68,13 @@ pub mod trace;
 pub use cluster::{ClusterRunReport, ClusterSim};
 pub use engine::{JobSegment, SimulationResult, WorkloadSimulator};
 pub use progress::JobProgress;
+pub use rate::{phase_rate, speedup_curve, JobRate};
 pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
 pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
-pub use trace::{mixed_hpc_trace, scale_out_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob};
+pub use trace::{
+    default_app_mix, mixed_hpc_trace, model_aware_trace, scale_out_trace, ArrivalProcess,
+    JobClass, TraceConfig, TraceJob,
+};
 
 /// Re-export of the scenario enum shared with the metrics crate.
 pub use drom_metrics::Scenario;

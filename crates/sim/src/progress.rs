@@ -1,91 +1,130 @@
 //! Exact integer progress accounting for the trace-driven cluster engine.
 //!
-//! A trace job carries a duration at full request width; under the linear
-//! speedup model it is equivalent to a fixed amount of **work**, measured in
-//! CPU-microseconds: `duration_us × requested_cpus`. A running allocation
-//! delivers `allocated_cpus` work units per microsecond, so progress updates
-//! are exact integer arithmetic — no float, no per-resize re-quantization.
+//! A trace job carries a duration at full request width; it is equivalent to
+//! a fixed amount of **work** delivered at an integer **rate** of work units
+//! per microsecond. Two rate regimes share the same accounting:
 //!
-//! The previous implementation kept the remaining duration as an `f64` and
-//! re-derived the completion instant through `remaining / rate` with a
-//! `.ceil()` on **every resize**, so each resize could re-round the job's
-//! completion time: a sequence of resizes that delivered exactly the job's
-//! work could still drift its completion by a microsecond per event (e.g. a
-//! rate of 1/3 makes `100.0 / (1.0/3.0)` come out as `300.0000…06`, which
-//! ceils to 301). [`JobProgress`] makes the accounting exact:
+//! * **Linear speedup** (no application model): work is measured in
+//!   CPU-microseconds (`duration_us × requested_cpus`) and a running
+//!   allocation delivers `allocated_cpus` units per microsecond.
+//! * **Model-aware speedup** (a [`SpeedupCurve`](drom_slurm::SpeedupCurve)
+//!   from the calibrated `drom-apps` models): work is
+//!   `duration_us × curve.full_rate()` fixed-point units and an allocation
+//!   at per-node width `w` delivers `curve.rate(w)` units per microsecond —
+//!   sub-linear scaling (static partitions, memory-bound saturation, init
+//!   phases) folded into an integer rate table.
 //!
-//! * the remaining work is an integer, decremented by `allocated × elapsed`
+//! Either way, progress updates are exact integer arithmetic — no float, no
+//! per-resize re-quantization. (The pre-PR-4 implementation kept the
+//! remaining duration as an `f64` and re-derived the completion instant
+//! through `remaining / rate` with a `.ceil()` on **every resize**, so each
+//! resize could re-round the completion time: a rate of 1/3 makes
+//! `100.0 / (1.0/3.0)` come out as `300.0000…06`, which ceils to 301.)
+//! [`JobProgress`] makes the accounting exact:
+//!
+//! * the remaining work is an integer, decremented by `rate × elapsed`
 //!   (exact) at every rate change;
 //! * the **single** rounding in the model is the completion event's
-//!   wall-clock instant, `updated + ⌈remaining / allocated⌉` — the work runs
+//!   wall-clock instant, `updated + ⌈remaining / rate⌉` — the work runs
 //!   out partway through a microsecond and the discrete-event clock carries
 //!   whole microseconds. The rounding is *stable*: re-deriving the instant
 //!   after any number of intermediate no-op updates yields the same value,
 //!   because `⌈(r − a·dt) / a⌉ = ⌈r / a⌉ − dt` for integer `dt`.
 //!
-//! Consequently the total CPU-time delivered to a job equals its work
-//! exactly; the completion *event* may hold the allocation for the final
-//! fractional microsecond (strictly less than `allocated` CPU-µs of
-//! accounted busy time), which is the one documented rounding of the engine.
+//! Consequently the total delivered work equals the job's work exactly; the
+//! completion *event* may hold the allocation for the final fractional
+//! microsecond (strictly less than one rate-unit-µs of accounted busy
+//! time), which is the one documented rounding of the engine. Because the
+//! guarantees are properties of the integer `(work, rate)` pair and never
+//! mention CPUs, they survive sub-linear speedup unchanged — the property
+//! tests in `tests/progress_exact.rs` exercise both regimes.
 
 use drom_metrics::TimeUs;
 
-/// Exact progress state of one running job: remaining work in
-/// CPU-microseconds, the current delivery rate (allocated CPUs) and the
-/// virtual instant the two were last reconciled.
+/// Exact progress state of one running job: remaining work, the current
+/// integer delivery rate (work units per µs) and the virtual instant the two
+/// were last reconciled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobProgress {
     work_remaining: u128,
-    allocated: u64,
+    rate: u64,
     updated_us: TimeUs,
 }
 
 impl JobProgress {
-    /// Starts a job of `duration_us` at full `requested_cpus`, granted
-    /// `allocated_cpus`, at virtual time `now_us`. Widths are clamped to at
-    /// least one CPU (the engine never allocates zero).
+    /// Starts a **linear-speedup** job of `duration_us` at full
+    /// `requested_cpus`, granted `allocated_cpus`, at virtual time `now_us`:
+    /// work is CPU-µs, the rate is the allocated CPU count. Widths are
+    /// clamped to at least one CPU (the engine never allocates zero).
     pub fn start(
         duration_us: TimeUs,
         requested_cpus: usize,
         allocated_cpus: usize,
         now_us: TimeUs,
     ) -> Self {
+        Self::start_scaled(
+            duration_us as u128 * requested_cpus.max(1) as u128,
+            allocated_cpus.max(1) as u64,
+            now_us,
+        )
+    }
+
+    /// Starts a job of `work` integer units delivered at `rate` units per
+    /// microsecond — the general constructor the model-aware path uses (the
+    /// unit scale is the caller's; only ratios matter). `rate` is clamped to
+    /// at least 1 so the completion instant always exists.
+    pub fn start_scaled(work: u128, rate: u64, now_us: TimeUs) -> Self {
         JobProgress {
-            work_remaining: duration_us as u128 * requested_cpus.max(1) as u128,
-            allocated: allocated_cpus.max(1) as u64,
+            work_remaining: work,
+            rate: rate.max(1),
             updated_us: now_us,
         }
     }
 
     /// Accounts the work delivered since the last update and switches the
-    /// delivery rate to `allocated_cpus`. Exact: no rounding happens here,
-    /// so a resize to the *same* width (or any no-op sequence) leaves the
-    /// completion instant untouched.
+    /// delivery rate to `allocated_cpus` (linear-speedup flavour of
+    /// [`set_rate`](Self::set_rate)).
     pub fn resize(&mut self, now_us: TimeUs, allocated_cpus: usize) {
+        self.set_rate(now_us, allocated_cpus.max(1) as u64);
+    }
+
+    /// Accounts the work delivered since the last update and switches the
+    /// delivery rate to `rate` units per µs. Exact: no rounding happens
+    /// here, so a change to the *same* rate (or any no-op sequence) leaves
+    /// the completion instant untouched.
+    pub fn set_rate(&mut self, now_us: TimeUs, rate: u64) {
         let elapsed = now_us.saturating_sub(self.updated_us) as u128;
         self.work_remaining = self
             .work_remaining
-            .saturating_sub(self.allocated as u128 * elapsed);
+            .saturating_sub(self.rate as u128 * elapsed);
         self.updated_us = now_us;
-        self.allocated = allocated_cpus.max(1) as u64;
+        self.rate = rate.max(1);
     }
 
     /// The instant the remaining work runs out at the current rate, rounded
     /// up to the next whole microsecond — the engine's single rounding.
     pub fn completion_us(&self) -> TimeUs {
-        let ticks = self.work_remaining.div_ceil(self.allocated as u128);
+        let ticks = self.work_remaining.div_ceil(self.rate as u128);
         self.updated_us
             .saturating_add(TimeUs::try_from(ticks).unwrap_or(TimeUs::MAX))
     }
 
-    /// Work not yet delivered, in CPU-microseconds (as of the last update).
+    /// Work not yet delivered (as of the last update), in the unit scale the
+    /// job was started with (CPU-µs for linear jobs).
     pub fn work_remaining(&self) -> u128 {
         self.work_remaining
     }
 
-    /// CPUs currently delivering work.
+    /// The current delivery rate in work units per µs (the allocated CPU
+    /// count for linear jobs).
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// CPUs currently delivering work — only meaningful for linear-speedup
+    /// jobs, where the rate *is* the allocated CPU count.
     pub fn allocated_cpus(&self) -> usize {
-        self.allocated as usize
+        self.rate as usize
     }
 }
 
@@ -129,6 +168,25 @@ mod tests {
         p.resize(150, 4);
         assert_eq!(p.work_remaining(), 100);
         assert_eq!(p.completion_us(), 175);
+    }
+
+    #[test]
+    fn scaled_rates_follow_the_same_exact_arithmetic() {
+        // A model-aware job: 100 µs of work at fixed-point scale 1<<20,
+        // delivered at 3/8 of the full rate → ⌈100·8/3⌉ = 267 µs.
+        let fp: u64 = 1 << 20;
+        let mut p = JobProgress::start_scaled(100 as u128 * fp as u128, fp * 3 / 8, 0);
+        assert_eq!(p.completion_us(), 267);
+        // No-op rate changes never move the completion.
+        for t in [1, 50, 200] {
+            p.set_rate(t, fp * 3 / 8);
+            assert_eq!(p.completion_us(), 267);
+        }
+        // Restoring the full rate at t=200: delivered 200·(3FP/8) exactly;
+        // remaining 100·FP − 200·393216 = 26214400 at FP/µs → 25 µs.
+        p.set_rate(200, fp);
+        assert_eq!(p.completion_us(), 225);
+        assert_eq!(p.rate(), fp);
     }
 
     #[test]

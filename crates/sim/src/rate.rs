@@ -1,0 +1,258 @@
+//! The single model-aware rate definition shared by both engines.
+//!
+//! Before this module existed the repository had two drifting copies of "how
+//! fast does a job progress at a given CPU grant": the figure-replay engine
+//! ([`engine`](crate::engine)) picked between `AppModel::rate` and
+//! `AppModel::init_rate` inline, while the trace-driven cluster engine
+//! ([`cluster`](crate::cluster)) hard-coded linear speedup. Now:
+//!
+//! * [`phase_rate`] is the one init-vs-steady switch the figure engine
+//!   calls at every reallocation, and the curve builder derives its
+//!   per-width times from [`AppModel::execution_time`] — which integrates
+//!   the same `rate`/`init_rate` pair — so a change to the phase model
+//!   reaches both engines at once.
+//! * [`speedup_curve`] compiles a calibrated [`AppModel`] into the
+//!   fixed-point integer [`SpeedupCurve`] the scheduler's estimates
+//!   (`QueuedJob::scaled_duration_us`) and the cluster engine's exact
+//!   progress accounting ([`JobRate`] → `JobProgress::set_rate`) both
+//!   consume — one rate table, three consumers, no drift by construction
+//!   (`curve_ratios_match_model_execution_times` pins it).
+//!
+//! # Fixed-point representation
+//!
+//! A curve entry is `rates[w] = round(FP × T(request) / T(w))`, where `T(w)`
+//! is the model's whole-run execution time at a constant per-node width `w`
+//! (init phase plus steady state — an amortized single rate, so the exact
+//! integer progress accounting keeps its one-rounding guarantee). The
+//! request width holds exactly [`SpeedupCurve::FP`] (ratio 1), so a job
+//! running at full width for its declared duration delivers exactly
+//! `duration × FP` work units: the honest-estimates property of the traces
+//! is preserved bit for bit. Entries are clamped monotone non-decreasing —
+//! the [`SpeedupCurve`] invariant that an expand can never slow a job down.
+
+use drom_apps::perfmodel::AppModel;
+use drom_apps::{AppConfig, AppKind};
+use drom_metrics::TimeUs;
+use drom_slurm::policy::QueuedJob;
+use drom_slurm::SpeedupCurve;
+
+/// Work rate (core-seconds of work per second) of one task granted
+/// `cpus_per_task` CPUs, in the given phase — the single init-vs-steady
+/// switch both engines consume.
+pub fn phase_rate(
+    model: &AppModel,
+    config: &AppConfig,
+    cpus_per_task: usize,
+    in_init: bool,
+) -> f64 {
+    if in_init {
+        model.init_rate(config, cpus_per_task)
+    } else {
+        model.rate(config, cpus_per_task)
+    }
+}
+
+/// Whole-run execution time (seconds) of one task at a constant CPU grant —
+/// a pure delegation to [`AppModel::execution_time`], which integrates both
+/// phases over the same `rate`/`init_rate` pair [`phase_rate`] switches
+/// between, so there is exactly one phase-integration definition in the
+/// workspace. Absolute work scale cancels out of the curve ratios; only the
+/// shape matters.
+fn execution_time(model: &AppModel, config: &AppConfig, cpus_per_task: usize) -> f64 {
+    model.execution_time(config, cpus_per_task)
+}
+
+/// Compiles the calibrated model of `kind` into a [`SpeedupCurve`] for a job
+/// that launched `initial_threads` threads per node and requests
+/// `request_width` CPUs per node.
+///
+/// `initial_threads` is what a static partition is sized by (the Figure 5
+/// mechanism): widths below it pay the orphaned-chunk redistribution
+/// penalty, widths above it gain nothing. In the canonical traces the two
+/// are equal — the app launches at its request width; they differ only for
+/// jobs whose allocation request exceeds the app's configured thread count.
+pub fn speedup_curve(kind: AppKind, initial_threads: usize, request_width: usize) -> SpeedupCurve {
+    let model = AppModel::for_kind(kind);
+    // One task: MPI task counts multiply every rate equally and cancel out
+    // of the ratios, so the curve is per-node-width only.
+    let config = AppConfig {
+        kind,
+        conf: 0,
+        mpi_tasks: 1,
+        threads_per_task: initial_threads.max(1),
+        nodes: 1,
+    };
+    let request = request_width.max(1);
+    let t_full = execution_time(&model, &config, request);
+    let mut rates = Vec::with_capacity(request + 1);
+    rates.push(0u64);
+    let mut prev = 0u64;
+    for w in 1..=request {
+        let ratio = t_full / execution_time(&model, &config, w).max(1e-12);
+        let rate = ((SpeedupCurve::FP as f64) * ratio).round() as u64;
+        // Monotone clamp: the models in this repo are monotone already (the
+        // static-partition cap and init_rate fixes guarantee it), but a
+        // custom model must not be able to violate the curve invariant.
+        prev = rate.clamp(prev.max(1), u64::MAX);
+        rates.push(prev);
+    }
+    debug_assert_eq!(
+        rates[request],
+        SpeedupCurve::FP,
+        "the request width must hold exactly one fixed-point unit"
+    );
+    SpeedupCurve::from_rates(rates)
+}
+
+/// How a running trace job's integer delivery rate derives from its
+/// allocation — the cluster engine's side of the shared rate definition.
+/// Linear jobs reproduce the PR 3/4 arithmetic bit for bit (work in CPU-µs,
+/// rate = allocated CPUs); model jobs read the same [`SpeedupCurve`] the
+/// scheduler's estimates use, so an estimate and the engine completion it
+/// predicts can never disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobRate {
+    /// Linear speedup: work is CPU-µs, the rate is the allocated CPU count.
+    Linear {
+        /// Total CPUs of the full request (`nodes × cpus_per_node`).
+        requested_cpus: usize,
+    },
+    /// Model-aware speedup through the job's fixed-point curve.
+    Model {
+        /// The per-node-width rate table.
+        curve: SpeedupCurve,
+    },
+}
+
+impl JobRate {
+    /// The rate definition of `job`: its speedup curve when it carries one,
+    /// linear otherwise.
+    pub fn for_job(job: &QueuedJob) -> Self {
+        match &job.speedup {
+            Some(curve) => JobRate::Model {
+                curve: curve.clone(),
+            },
+            None => JobRate::Linear {
+                requested_cpus: job.total_cpus(),
+            },
+        }
+    }
+
+    /// Total work of a job declared to take `duration_us` at full width.
+    pub fn work(&self, duration_us: TimeUs) -> u128 {
+        match self {
+            JobRate::Linear { requested_cpus } => {
+                duration_us as u128 * (*requested_cpus).max(1) as u128
+            }
+            JobRate::Model { curve } => duration_us as u128 * curve.full_rate() as u128,
+        }
+    }
+
+    /// Delivery rate of an allocation spanning `nodes` nodes at `width` CPUs
+    /// per node. The per-node width drives the model curve (allocations are
+    /// width-uniform, so every node progresses in lockstep and the node
+    /// count cancels out of model-relative rates); for linear jobs the rate
+    /// is simply the allocated CPU total.
+    pub fn rate(&self, nodes: usize, width: usize) -> u64 {
+        match self {
+            JobRate::Linear { .. } => (nodes * width).max(1) as u64,
+            JobRate::Model { curve } => curve.rate(width).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The curve is a faithful compilation of the model: scaling a full-width
+    /// duration through the curve reproduces the model's execution time at
+    /// every width, within fixed-point quantization. The comparison target
+    /// is the model's *monotone envelope* (`min over w' ≤ w of T(w')`): at a
+    /// static-partition chunk plateau the raw model charges the per-thread
+    /// efficiency penalty for CPUs that add no parallelism, while a real
+    /// runtime — and therefore the curve — simply leaves those CPUs idle.
+    #[test]
+    fn curve_ratios_match_model_execution_times() {
+        for kind in [
+            AppKind::Nest,
+            AppKind::CoreNeuron,
+            AppKind::Pils,
+            AppKind::Stream,
+        ] {
+            let model = AppModel::for_kind(kind);
+            let config = AppConfig {
+                kind,
+                conf: 0,
+                mpi_tasks: 1,
+                threads_per_task: 16,
+                nodes: 1,
+            };
+            let curve = speedup_curve(kind, 16, 16);
+            let t_full = execution_time(&model, &config, 16);
+            let duration_us = (t_full * 1e6).round() as TimeUs;
+            let mut t_envelope = f64::INFINITY;
+            for w in 1..=16usize {
+                t_envelope = t_envelope.min(execution_time(&model, &config, w));
+                let est_s = curve.scaled_duration_us(duration_us, w) as f64 / 1e6;
+                assert!(
+                    (est_s - t_envelope).abs() / t_envelope < 1e-4,
+                    "{kind:?} width {w}: curve {est_s} vs model envelope {t_envelope}"
+                );
+            }
+        }
+    }
+
+    /// Static-partition shape: sub-linear below the launch width (removing
+    /// one of 16 threads costs ~20%), flat at the request.
+    #[test]
+    fn static_partition_curve_shape() {
+        let curve = speedup_curve(AppKind::Nest, 16, 16);
+        assert_eq!(curve.request_width(), 16);
+        assert_eq!(curve.full_rate(), SpeedupCurve::FP);
+        // Shrinking 16 → 15 drops the rate well below 15/16 of full.
+        assert!(curve.rate(15) < SpeedupCurve::FP * 15 / 16);
+        assert!(curve.rate(15) > SpeedupCurve::FP / 2);
+        // Half the threads divide the chunks evenly: about half speed.
+        let half = curve.rate(8) as f64 / SpeedupCurve::FP as f64;
+        assert!((0.45..0.55).contains(&half), "half-width rate {half}");
+    }
+
+    /// The expansion bug, at curve level: a static app launched with 8
+    /// threads whose allocation request is 16 wide gains nothing past width
+    /// 8 (pre-fix, the curve kept rising linearly).
+    #[test]
+    fn expansion_past_launch_threads_is_flat() {
+        let curve = speedup_curve(AppKind::CoreNeuron, 8, 16);
+        assert_eq!(curve.rate(8), curve.rate(16));
+        assert_eq!(curve.rate(12), curve.rate(16));
+        assert!(curve.rate(7) < curve.rate(8));
+    }
+
+    /// Memory-bound saturation: STREAM's curve is flat beyond 2 CPUs.
+    #[test]
+    fn saturated_curve_is_flat_beyond_the_saturation_point() {
+        let curve = speedup_curve(AppKind::Stream, 4, 4);
+        assert_eq!(curve.rate(2), curve.rate(4));
+        assert!(curve.rate(1) < curve.rate(2));
+    }
+
+    #[test]
+    fn job_rate_linear_reproduces_cpu_microsecond_arithmetic() {
+        let job = QueuedJob::new(1, 2, 8);
+        let rate = JobRate::for_job(&job);
+        assert_eq!(rate.work(100), 1600);
+        assert_eq!(rate.rate(2, 8), 16);
+        assert_eq!(rate.rate(2, 3), 6);
+    }
+
+    #[test]
+    fn job_rate_model_reads_the_attached_curve() {
+        let curve = speedup_curve(AppKind::Nest, 16, 16);
+        let job = QueuedJob::new(1, 2, 16).with_speedup(curve.clone());
+        let rate = JobRate::for_job(&job);
+        assert_eq!(rate.work(100), 100 * SpeedupCurve::FP as u128);
+        assert_eq!(rate.rate(2, 16), SpeedupCurve::FP);
+        assert_eq!(rate.rate(2, 15), curve.rate(15));
+    }
+}

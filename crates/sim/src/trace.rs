@@ -13,8 +13,14 @@
 //! are identical across platforms and runs — a trace is fully described by
 //! `(config, seed)`, which is what the committed experiment tables record.
 
+use std::collections::HashMap;
+
+use drom_apps::AppKind;
 use drom_metrics::TimeUs;
 use drom_slurm::policy::QueuedJob;
+use drom_slurm::SpeedupCurve;
+
+use crate::rate::speedup_curve;
 
 /// One job of a synthetic trace: its scheduler-visible shape plus the ground
 /// truth the simulator needs (the actual duration at full request width).
@@ -73,6 +79,14 @@ pub struct TraceConfig {
     pub arrival: ArrivalProcess,
     /// The job mix (must not be empty).
     pub classes: Vec<JobClass>,
+    /// Weighted application mix. Empty (the default) means every job scales
+    /// linearly — the PR 3/4 traces, reproduced byte for byte. Non-empty
+    /// assigns each generated job an application kind (weighted draw from a
+    /// *separate* RNG stream, so the base trace — arrivals, shapes,
+    /// durations — is identical to the linear trace of the same seed) and
+    /// attaches the matching calibrated [`SpeedupCurve`] from
+    /// [`crate::rate::speedup_curve`].
+    pub app_mix: Vec<(AppKind, f64)>,
 }
 
 impl TraceConfig {
@@ -111,7 +125,49 @@ impl TraceConfig {
             }
             jobs.push(TraceJob { job, duration_us });
         }
+        self.assign_apps(&mut jobs);
         jobs
+    }
+
+    /// Attaches a weighted-drawn application model to every job when
+    /// [`app_mix`](Self::app_mix) is non-empty. Uses its own RNG stream
+    /// (salted seed) so the base trace stays byte-identical to the linear
+    /// trace of the same `(config, seed)` — the model-aware path is purely
+    /// additive.
+    fn assign_apps(&self, jobs: &mut [TraceJob]) {
+        if self.app_mix.is_empty() {
+            return;
+        }
+        let total: f64 = self.app_mix.iter().map(|&(_, w)| w.max(0.0)).sum();
+        assert!(total > 0.0, "app mix weights must sum to a positive value");
+        let mut rng = XorShift64::new(self.seed ^ APP_MIX_STREAM_SALT);
+        // Curves depend only on (kind, request width): build each once.
+        let mut curves: HashMap<(AppKind, usize), SpeedupCurve> = HashMap::new();
+        for tj in jobs.iter_mut() {
+            let mut target = rng.next_f64() * total;
+            let mut picked = self.app_mix.last().expect("non-empty mix").0;
+            for &(kind, weight) in &self.app_mix {
+                target -= weight.max(0.0);
+                if target <= 0.0 {
+                    picked = kind;
+                    break;
+                }
+            }
+            let width = tj.job.cpus_per_node;
+            let curve = curves
+                .entry((picked, width))
+                .or_insert_with(|| speedup_curve(picked, width, width))
+                .clone();
+            tj.job.speedup = Some(curve);
+        }
+    }
+
+    /// Returns the configuration with the given application mix attached
+    /// (see [`app_mix`](Self::app_mix)); works on any trace, including
+    /// [`mixed_hpc_trace`] and [`scale_out_trace`].
+    pub fn with_app_mix(mut self, app_mix: Vec<(AppKind, f64)>) -> Self {
+        self.app_mix = app_mix;
+        self
     }
 
     fn pick_class(&self, rng: &mut XorShift64, total_weight: f64) -> &JobClass {
@@ -211,7 +267,42 @@ pub fn mixed_hpc_trace(seed: u64, num_jobs: usize, num_nodes: usize, node_cpus: 
             mean_interarrival_us: mean_interarrival_us.max(1),
         },
         classes,
+        app_mix: Vec::new(),
     }
+}
+
+/// Salt of the application-assignment RNG stream: keeps the model-aware
+/// draws independent of the base trace draws, so attaching an app mix never
+/// perturbs arrivals, shapes or durations.
+const APP_MIX_STREAM_SALT: u64 = 0xD20_60AE_57A7_1C3B;
+
+/// The canonical weighted application mix of the model-aware tier: the four
+/// calibrated paper applications, weighted so the two static-partition
+/// simulators dominate (as they do the paper's evaluation) with a
+/// compute-bound and a memory-bound minority.
+pub fn default_app_mix() -> Vec<(AppKind, f64)> {
+    vec![
+        (AppKind::Nest, 0.30),
+        (AppKind::CoreNeuron, 0.25),
+        (AppKind::Pils, 0.35),
+        (AppKind::Stream, 0.10),
+    ]
+}
+
+/// The model-aware tier: the canonical mixed-HPC trace with the
+/// [`default_app_mix`] attached — same arrivals, shapes and durations as the
+/// linear trace of the same `(seed, …)` arguments, but every job carries the
+/// calibrated speedup curve of its application, so shrinking a
+/// static-partition job is no longer free and memory-bound jobs gain nothing
+/// from expansion. `cluster_sweep --tier model-aware` drives it.
+pub fn model_aware_trace(
+    seed: u64,
+    num_jobs: usize,
+    num_nodes: usize,
+    node_cpus: usize,
+    load: f64,
+) -> TraceConfig {
+    mixed_hpc_trace(seed, num_jobs, num_nodes, node_cpus, load).with_app_mix(default_app_mix())
 }
 
 /// Nodes of the scale-out sweep tier (× 16 CPUs each).
@@ -318,6 +409,46 @@ mod tests {
         assert!(single.iter().all(|j| j.job.nodes == 1));
     }
 
+    /// Attaching an app mix must not perturb the base trace: arrivals,
+    /// shapes and durations are byte-identical to the linear trace of the
+    /// same seed — only the speedup curves differ.
+    #[test]
+    fn app_mix_leaves_the_base_trace_byte_identical() {
+        let linear = mixed_hpc_trace(2018, 300, 32, 16, 1.15).generate();
+        let model = model_aware_trace(2018, 300, 32, 16, 1.15).generate();
+        assert_eq!(linear.len(), model.len());
+        for (l, m) in linear.iter().zip(model.iter()) {
+            assert_eq!(l.duration_us, m.duration_us);
+            let mut stripped = m.job.clone();
+            assert!(stripped.speedup.is_some(), "every model job carries a curve");
+            stripped.speedup = None;
+            assert_eq!(l.job, stripped, "base job fields must not change");
+        }
+        // The assignment itself is deterministic…
+        assert_eq!(model, model_aware_trace(2018, 300, 32, 16, 1.15).generate());
+        // …and covers more than one application kind.
+        let distinct: std::collections::HashSet<_> = model
+            .iter()
+            .map(|t| t.job.speedup.as_ref().unwrap().clone())
+            .map(|c| c.rate(1))
+            .collect();
+        assert!(distinct.len() > 1, "the mix must actually mix");
+    }
+
+    /// The scale-out tier composes with the app mix too (the ISSUE's
+    /// "extend scale_out_trace" requirement): same base trace, curves on top.
+    #[test]
+    fn scale_out_trace_accepts_an_app_mix() {
+        let linear = scale_out_trace(7, 50).generate();
+        let model = scale_out_trace(7, 50).with_app_mix(default_app_mix()).generate();
+        for (l, m) in linear.iter().zip(model.iter()) {
+            assert_eq!(l.job.id, m.job.id);
+            assert_eq!(l.job.submit_us, m.job.submit_us);
+            assert_eq!(l.duration_us, m.duration_us);
+            assert!(m.job.speedup.is_some());
+        }
+    }
+
     #[test]
     fn uniform_arrivals_are_evenly_spaced() {
         let config = TraceConfig {
@@ -332,6 +463,7 @@ mod tests {
                 malleable: true,
                 duration_range_us: (100, 100),
             }],
+            app_mix: Vec::new(),
         };
         let jobs = config.generate();
         let submits: Vec<_> = jobs.iter().map(|j| j.job.submit_us).collect();

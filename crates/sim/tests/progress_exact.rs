@@ -92,6 +92,97 @@ proptest! {
         p.resize(end, alloc);
         prop_assert_eq!(p.work_remaining(), 0u128);
     }
+
+    /// The exactness guarantees are properties of the integer `(work, rate)`
+    /// pair, not of linear speedup: under an arbitrary **monotone non-linear
+    /// rate table** (the `SpeedupCurve` shape the model-aware path feeds the
+    /// engine), no-op rate changes never move the completion instant and the
+    /// delivered work equals the job's work within the single event
+    /// rounding.
+    #[test]
+    fn nonlinear_rates_preserve_exactness(
+        duration in 1u64..5_000,
+        increments in proptest::collection::vec(0u64..1_000_000u64, 1..16),
+        picks in proptest::collection::vec((1u64..500u64, 0usize..16usize), 0..10),
+    ) {
+        // A monotone rate table at an arbitrary fixed-point scale.
+        let mut rates: Vec<u64> = Vec::with_capacity(increments.len());
+        let mut acc = 0u64;
+        for inc in &increments {
+            acc += inc + 1;
+            rates.push(acc);
+        }
+        let full = *rates.last().unwrap();
+        let work = duration as u128 * full as u128;
+        let mut p = JobProgress::start_scaled(work, full, 0);
+        prop_assert_eq!(p.completion_us(), duration);
+        let mut delivered: u128 = 0;
+        let mut clock: u64 = 0;
+        let mut rate = full;
+        for (gap, pick) in picks {
+            let next = clock + gap;
+            if next >= p.completion_us() {
+                break;
+            }
+            delivered += rate as u128 * (next - clock) as u128;
+            // A no-op change at an arbitrary instant must not move the
+            // completion…
+            let before = p.completion_us();
+            p.set_rate(next, rate);
+            prop_assert_eq!(p.completion_us(), before, "no-op drift at t={}", next);
+            // …and then the real rate switch takes effect exactly.
+            p.set_rate(next, rates[pick % rates.len()]);
+            rate = rates[pick % rates.len()];
+            clock = next;
+        }
+        let end = p.completion_us();
+        delivered += rate as u128 * (end - clock) as u128;
+        prop_assert!(delivered >= work, "work lost: {} < {}", delivered, work);
+        prop_assert!(
+            delivered < work + rate as u128,
+            "more than one event-rounding of over-delivery: {} vs {}",
+            delivered,
+            work
+        );
+        p.set_rate(end, rate);
+        prop_assert_eq!(p.work_remaining(), 0u128);
+    }
+
+    /// A shrink/expand round-trip of a **static-partition** job — the
+    /// calibrated NEST curve, where shrinking costs more than linear —
+    /// conserves work exactly: the work delivered through the shrunk
+    /// interval plus the full-rate intervals equals the job's work within
+    /// the single event rounding.
+    #[test]
+    fn static_partition_round_trip_conserves_work(
+        duration in 100u64..5_000,
+        shrink_at in 0u64..2_000,
+        shrink_span in 1u64..4_000,
+        width in 8usize..16,
+    ) {
+        let curve = drom_sim::speedup_curve(drom_apps::AppKind::Nest, 16, 16);
+        let full = curve.full_rate();
+        let shrunk = curve.rate(width);
+        let work = duration as u128 * full as u128;
+        let mut p = JobProgress::start_scaled(work, full, 0);
+        prop_assert_eq!(p.completion_us(), duration);
+        let t1 = shrink_at.min(duration.saturating_sub(1));
+        p.set_rate(t1, shrunk);
+        let t2 = (t1 + shrink_span).min(p.completion_us().saturating_sub(1)).max(t1);
+        p.set_rate(t2, full);
+        let end = p.completion_us();
+        let delivered = full as u128 * t1 as u128
+            + shrunk as u128 * (t2 - t1) as u128
+            + full as u128 * (end - t2) as u128;
+        prop_assert!(delivered >= work, "work lost across the round trip");
+        prop_assert!(
+            delivered < work + full as u128,
+            "round trip over-delivered more than one event rounding"
+        );
+        // The shrunk stretch really ran sub-linearly (the curve is not a
+        // disguised linear table).
+        prop_assert!(shrunk < full);
+    }
 }
 
 /// Deterministic regression: a job running at 2/3 of its request completes

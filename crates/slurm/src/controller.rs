@@ -418,12 +418,13 @@ impl PolicyScheduler {
         let job = self.queue.remove(pos);
         self.index.on_start(&job, node_indices, width);
         // The initial completion estimate scales with the admitted width (a
-        // job started at half width needs ~2× its declared duration), so
+        // job started at half width needs ~2× its declared duration — more
+        // if its speedup curve says shrinking is worse than linear), so
         // backfill/drain reservations stay honest even when the driver never
         // refreshes estimates via set_expected_end.
-        let expected_end_us = job.expected_duration_us.map(|d| {
-            now_us.saturating_add(crate::policy::scaled_duration(d, job.cpus_per_node, width))
-        });
+        let expected_end_us = job
+            .expected_duration_us
+            .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width)));
         self.running.push(RunningJob {
             alloc: JobAllocation {
                 job_id,
@@ -662,6 +663,36 @@ mod tests {
             job2.expected_end_us,
             Some(142), // ⌈101 · 7 / 5⌉ = ⌈141.4⌉, not 141
             "estimate must round up, matching the engine's exact completion"
+        );
+    }
+
+    /// A shrunk start whose job carries a speedup curve records the
+    /// curve-scaled completion estimate, not the linear one — the controller
+    /// and the policy must plan around the same instant.
+    #[test]
+    fn shrunk_start_estimate_consults_the_speedup_curve() {
+        use crate::policy::SpeedupCurve;
+        let rates: Vec<u64> = (0..=7u64)
+            .map(|w| if w == 7 { SpeedupCurve::FP } else { w * SpeedupCurve::FP / 14 })
+            .collect();
+        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy));
+        sched.submit(QueuedJob::new(1, 1, 3)).unwrap();
+        sched.tick(0).unwrap();
+        sched
+            .submit(
+                QueuedJob::new(2, 1, 7)
+                    .malleable(1)
+                    .with_expected_duration_us(101)
+                    .with_speedup(SpeedupCurve::from_rates(rates)),
+            )
+            .unwrap();
+        sched.tick(0).unwrap();
+        let job2 = sched.running().iter().find(|r| r.alloc.job_id == 2).unwrap();
+        assert_eq!(job2.alloc.cpus_per_node, 5);
+        assert_eq!(
+            job2.expected_end_us,
+            Some(283), // ⌈101·FP / (5·FP/14)⌉, not the linear ⌈101·7/5⌉ = 142
+            "the controller's estimate must follow the job's curve"
         );
     }
 

@@ -131,6 +131,7 @@ pub use launcher::{LaunchedJob, LaunchedTask, Srun};
 pub use policy::{
     BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy,
     MalleableScanPolicy, QueuedJob, RunningJob, SchedIndex, SchedulerAction, SchedulerPolicy,
+    SpeedupCurve,
 };
 pub use slurmd::Slurmd;
 pub use stepd::SlurmStepd;

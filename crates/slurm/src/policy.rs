@@ -37,6 +37,98 @@ use drom_metrics::TimeUs;
 
 use crate::job::JobSpec;
 
+/// Fixed-point speedup curve of one job: how fast the job progresses at each
+/// per-node width, relative to its full request width.
+///
+/// `rates[w]` is the job's progress rate at `w` CPUs per node, in fixed-point
+/// work units per microsecond; index `rates.len() - 1` is the request width.
+/// A job running at full width for `duration_us` delivers exactly
+/// `duration_us × full_rate()` work units, so only rate *ratios* matter —
+/// the absolute scale is the curve builder's choice. The curve
+/// is application-agnostic — the scheduler never sees the model that
+/// produced it, only the integer rate table — which is what lets the
+/// calibrated `drom-apps` performance models (static data partitions,
+/// memory-bound saturation, init phases) drive scheduler estimates without a
+/// `drom-slurm → drom-apps` dependency edge. `drom_sim::rate` builds curves
+/// from the models; a job without a curve scales linearly
+/// (`rate ∝ width`), which reproduces the PR 3/4 behaviour bit for bit.
+///
+/// Invariants (checked by [`from_rates`](Self::from_rates)): rates are
+/// monotone non-decreasing in the width (an expand can never slow a job
+/// down), every rate above width 0 is non-zero, and `rates[0]` is 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeedupCurve {
+    rates: Vec<u64>,
+}
+
+impl SpeedupCurve {
+    /// Fixed-point unit: the rate at the full request width. 2^20 keeps the
+    /// quantization error of a rate ratio below one part per million while
+    /// `duration × FP` stays far from u64/u128 overflow for any virtual
+    /// duration the traces use.
+    pub const FP: u64 = 1 << 20;
+
+    /// Builds a curve from the per-width rate table (`rates[w]` = rate at
+    /// `w` CPUs per node; the last index is the request width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has fewer than two entries (a request width of at
+    /// least 1 plus the zero-width entry), if `rates[0] != 0`, if any rate
+    /// above width 0 is zero, or if the table is not monotone non-decreasing.
+    pub fn from_rates(rates: Vec<u64>) -> Self {
+        assert!(rates.len() >= 2, "a curve needs at least width 0 and 1");
+        assert_eq!(rates[0], 0, "zero CPUs deliver zero work");
+        for w in 1..rates.len() {
+            assert!(rates[w] > 0, "rate at width {w} must be positive");
+            assert!(
+                rates[w] >= rates[w - 1],
+                "rates must be monotone: expanding to width {w} may not slow the job"
+            );
+        }
+        SpeedupCurve { rates }
+    }
+
+    /// The linear curve for `request` CPUs per node: `rate(w) = w × FP`,
+    /// quantization-free at every width (`⌈d·request·FP / (w·FP)⌉` equals
+    /// `⌈d·request / w⌉` exactly), so a linear curve is byte-identical to no
+    /// curve at all. Only used by tests and differential checks — an absent
+    /// curve already means linear.
+    pub fn linear(request: usize) -> Self {
+        Self::from_rates((0..=request.max(1) as u64).map(|w| w * Self::FP).collect())
+    }
+
+    /// The request width the curve was built for.
+    pub fn request_width(&self) -> usize {
+        self.rates.len() - 1
+    }
+
+    /// Progress rate (fixed-point work units per µs) at `width` CPUs per
+    /// node. Widths beyond the request clamp to the full rate: per the
+    /// static-partition cap, CPUs beyond the launch width cannot speed the
+    /// job up further.
+    pub fn rate(&self, width: usize) -> u64 {
+        self.rates[width.min(self.rates.len() - 1)]
+    }
+
+    /// The rate at the full request width ([`Self::FP`] for curves built by
+    /// `drom_sim::rate`, `request × FP` for [`linear`](Self::linear) ones).
+    pub fn full_rate(&self) -> u64 {
+        *self.rates.last().expect("from_rates guarantees non-empty")
+    }
+
+    /// Expected duration at `width` CPUs per node of a job declared to take
+    /// `duration_us` at full width: `⌈duration × full_rate / rate(width)⌉`.
+    /// Rounds **up** for the same reason the linear estimate does — a
+    /// truncated estimate promises CPUs an instant before the engine's exact
+    /// completion releases them.
+    pub fn scaled_duration_us(&self, duration_us: TimeUs, width: usize) -> TimeUs {
+        let rate = self.rate(width).max(1);
+        let scaled = (duration_us as u128 * self.full_rate() as u128).div_ceil(rate as u128);
+        TimeUs::try_from(scaled).unwrap_or(TimeUs::MAX)
+    }
+}
+
 /// A job submission as the scheduling policies see it: pure resource shape,
 /// no application payload.
 ///
@@ -64,6 +156,12 @@ pub struct QueuedJob {
     /// Expected duration (virtual µs) at full request width, if declared.
     /// Backfill reservations treat `None` as "unbounded".
     pub expected_duration_us: Option<TimeUs>,
+    /// The job's speedup curve, when its application model is known. `None`
+    /// means linear speedup (`rate ∝ width`) — the PR 3/4 behaviour. Every
+    /// duration estimate the policies and the controller derive for a
+    /// non-full width consults this curve, so drain reservations stay honest
+    /// when shrinking a static-partition job costs more than linear.
+    pub speedup: Option<SpeedupCurve>,
 }
 
 impl QueuedJob {
@@ -78,6 +176,7 @@ impl QueuedJob {
             malleable: false,
             priority: 0,
             expected_duration_us: None,
+            speedup: None,
         }
     }
 
@@ -106,6 +205,25 @@ impl QueuedJob {
         self
     }
 
+    /// Attaches the job's speedup curve (model-aware scaling for every
+    /// shrunk-width duration estimate).
+    pub fn with_speedup(mut self, curve: SpeedupCurve) -> Self {
+        self.speedup = Some(curve);
+        self
+    }
+
+    /// Expected duration (µs) of this job granted `width` CPUs per node
+    /// instead of its full request: the speedup curve when the job carries
+    /// one, linear `⌈duration × request / width⌉` scaling otherwise. Rounds
+    /// **up** — a truncated (optimistic) estimate lets a drain reservation
+    /// promise an instant the shrunk job itself still occupies.
+    pub fn scaled_duration_us(&self, duration_us: TimeUs, width: usize) -> TimeUs {
+        match &self.speedup {
+            Some(curve) => curve.scaled_duration_us(duration_us, width),
+            None => scaled_duration(duration_us, self.cpus_per_node, width),
+        }
+    }
+
     /// Derives the policy-level shape from a [`JobSpec`]: the per-node width
     /// is the widest node's `tasks × threads`, the malleable floor is one CPU
     /// per task, and the expected duration is the declared time limit.
@@ -121,6 +239,7 @@ impl QueuedJob {
             malleable: spec.malleable,
             priority: spec.priority,
             expected_duration_us: spec.time_limit_us,
+            speedup: None,
         }
     }
 
@@ -736,11 +855,13 @@ impl Slot {
 }
 
 /// Expected duration of a malleable job granted `width` CPUs per node
-/// instead of its full `request`, under the linear-speedup model the trace
-/// engine uses. Rounds **up**: truncating here made the estimate optimistic,
-/// and an optimistic completion estimate lets the policy place a drain
-/// reservation at an instant the shrunk job itself still occupies — a
-/// reservation violated by the very job the policy shrank. Shared with
+/// instead of its full `request`, under the linear-speedup model — the
+/// fallback when a job carries no [`SpeedupCurve`] (all estimate sites go
+/// through [`QueuedJob::scaled_duration_us`], which dispatches). Rounds
+/// **up**: truncating here made the estimate optimistic, and an optimistic
+/// completion estimate lets the policy place a drain reservation at an
+/// instant the shrunk job itself still occupies — a reservation violated by
+/// the very job the policy shrank. Shared with
 /// `PolicyScheduler::apply_start` so the controller's recorded estimate can
 /// never diverge from the one the policy planned around.
 pub(crate) fn scaled_duration(duration_us: TimeUs, request: usize, width: usize) -> TimeUs {
@@ -875,7 +996,7 @@ impl PassState {
             malleable: job.malleable,
             expected_end_us: job
                 .expected_duration_us
-                .map(|d| now_us.saturating_add(scaled_duration(d, job.cpus_per_node, width))),
+                .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width))),
             reserved_overlap: false,
         };
         let spare = width.saturating_sub(slot.shrink_floor());
@@ -1254,7 +1375,7 @@ impl SchedulerPolicy for MalleableScanPolicy {
                 malleable: job.malleable,
                 expected_end_us: job
                     .expected_duration_us
-                    .map(|d| now_us.saturating_add(scaled_duration(d, job.cpus_per_node, width))),
+                    .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width))),
                 reserved_overlap: false,
             });
         }
@@ -1649,6 +1770,63 @@ mod tests {
         index.on_complete(&j1, &[0, 1], 5);
         index.on_complete(&j3, &[1, 2], 4);
         assert_eq!(index, SchedIndex::rebuild(&[16, 16, 7], &running[1..2]));
+    }
+
+    #[test]
+    fn speedup_curve_linear_matches_the_linear_fallback_exactly() {
+        let curve = SpeedupCurve::linear(4);
+        assert_eq!(curve.request_width(), 4);
+        assert_eq!(curve.rate(2), 2 * SpeedupCurve::FP);
+        assert_eq!(curve.rate(9), curve.full_rate(), "beyond request clamps");
+        for d in [1u64, 2, 3, 100, 101, 999_999] {
+            for w in 1..=4usize {
+                assert_eq!(
+                    curve.scaled_duration_us(d, w),
+                    scaled_duration(d, 4, w),
+                    "linear curve must be byte-identical to no curve (d={d}, w={w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn speedup_curve_rejects_non_monotone_rates() {
+        SpeedupCurve::from_rates(vec![0, SpeedupCurve::FP, SpeedupCurve::FP / 2]);
+    }
+
+    /// A job carrying a sub-linear curve gets curve-scaled (not linear)
+    /// estimates from every policy path that starts it shrunk.
+    #[test]
+    fn shrunk_admission_estimate_consults_the_speedup_curve() {
+        // Request 7, but shrinking costs double the linear slowdown:
+        // rate(w) = w·FP/14 below the request, FP at it.
+        let rates: Vec<u64> = (0..=7u64)
+            .map(|w| if w == 7 { SpeedupCurve::FP } else { w * SpeedupCurve::FP / 14 })
+            .collect();
+        let curve = SpeedupCurve::from_rates(rates);
+        let holders = vec![running(10, vec![0], 11, 11, 11)]; // rigid-in-effect
+        let free = [5];
+        let queue = vec![QueuedJob::new(1, 1, 7)
+            .malleable(1)
+            .with_expected_duration_us(101)
+            .with_speedup(curve.clone())];
+        for actions in [
+            MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0),
+            MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 0),
+        ] {
+            assert!(
+                actions.iter().any(|a| matches!(
+                    a,
+                    SchedulerAction::Start { job_id: 1, cpus_per_node: 5, .. }
+                )),
+                "job 1 admitted shrunk at width 5: {actions:?}"
+            );
+        }
+        // The estimate the policy plans around: ⌈101·FP / rate(5)⌉ = 283
+        // virtual µs — twice the linear ⌈101·7/5⌉ = 142 (minus rounding).
+        assert_eq!(curve.scaled_duration_us(101, 5), 283);
+        assert_eq!(scaled_duration(101, 7, 5), 142);
     }
 
     #[test]
