@@ -22,6 +22,12 @@
 //! The linear standing rows are the control; the delta between the two
 //! tiers is the committed measurement of what the model coupling changes
 //! (EXPERIMENTS.md).
+//!
+//! `--scan` replays the malleable row a second time under the O(nodes·jobs)
+//! reference scan (`MalleableScanPolicy`) and hard-fails on any divergence
+//! from the indexed pass — the differential harness the CI smoke runs on the
+//! model-aware tier, where the curve-driven donor ranking has the most
+//! surface to drift.
 
 use std::str::FromStr;
 
@@ -32,7 +38,7 @@ use drom_sim::{
     mixed_hpc_trace, model_aware_trace, scale_out_trace, ClusterRunReport, ClusterSim,
 };
 use drom_slurm::policy::SchedulerPolicy;
-use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy};
+use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
 
 /// Value of `flag` on the command line, or `default`. An unparsable value is
 /// a hard error: silently running the experiment at a default the user did
@@ -46,6 +52,11 @@ fn arg<T: FromStr>(flag: &str, default: T) -> T {
         }),
         Some(None) => panic!("{flag} needs a value"),
     }
+}
+
+/// `true` when the bare `name` flag is present on the command line.
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn main() {
@@ -103,6 +114,24 @@ fn main() {
         .into_iter()
         .map(|p| sim.run(p, &trace).expect("trace jobs all fit the cluster"))
         .collect();
+
+    if flag("--scan") {
+        let scan = sim
+            .run(Box::new(MalleableScanPolicy), &trace)
+            .expect("trace jobs all fit the cluster");
+        let indexed = &reports[2];
+        assert!(
+            scan.report == indexed.report
+                && scan.utilization == indexed.utilization
+                && scan.stats == indexed.stats
+                && scan.events_processed == indexed.events_processed,
+            "indexed malleable pass diverged from the reference scan \
+             (stats {:?} vs {:?})",
+            indexed.stats,
+            scan.stats,
+        );
+        println!("scan check: reference-scan replay identical to the indexed malleable pass\n");
+    }
 
     let mut table = Table::new(
         "Scheduling policies on one trace",

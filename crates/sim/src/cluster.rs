@@ -520,19 +520,58 @@ mod tests {
     }
 
     /// The indexed malleable policy and the pre-index reference scan replay
-    /// whole traces to byte-identical reports, stats and event counts.
+    /// whole traces to byte-identical reports, stats and event counts —
+    /// linear traces *and* model-aware ones, so the curve-driven donor
+    /// ranking, shrink economics and expansion targeting are exercised by
+    /// the differential too.
     #[test]
     fn indexed_policy_matches_reference_scan_on_traces() {
         for (seed, nodes, jobs, load) in
             [(11, 8, 60, 1.2), (3, 16, 150, 1.2), (2018, 32, 300, 1.15)]
         {
             let sim = ClusterSim::new(nodes, 16);
+            for trace in [
+                mixed_hpc_trace(seed, jobs, nodes, 16, load).generate(),
+                model_aware_trace(seed, jobs, nodes, 16, load).generate(),
+            ] {
+                let indexed = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+                let scanned = sim.run(Box::new(MalleableScanPolicy), &trace).unwrap();
+                assert_eq!(indexed.report, scanned.report, "seed {seed}");
+                assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
+                assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
+            }
+        }
+    }
+
+    /// Linear (curve-less) traces replay **byte-identically to PR 5** under
+    /// the curve-aware policy: these integer digests were captured from the
+    /// committed pre-curve implementation (the one behind the PR 5 sweep
+    /// tables in `BENCH_sched.json`), and the curve-driven donor ranking,
+    /// shrink economics and expansion targeting must all collapse to the old
+    /// rules when no job carries a curve. Any drift in a sum, stat or event
+    /// count here means model-blind behaviour changed.
+    #[test]
+    fn linear_replay_is_pinned_to_the_pr5_committed_digests() {
+        for (seed, nodes, jobs, load, digest) in [
+            (2018u64, 32usize, 300usize, 1.15f64,
+             (1_464_106_261_953u128, 1_740_934_542_902u128, 12_105_439_265u64, 87u64, 57u64, 744u64)),
+            (11, 8, 60, 1.2,
+             (214_581_415_225, 263_920_502_372, 7_774_986_649, 20, 13, 153)),
+        ] {
+            let sim = ClusterSim::new(nodes, 16);
             let trace = mixed_hpc_trace(seed, jobs, nodes, 16, load).generate();
-            let indexed = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
-            let scanned = sim.run(Box::new(MalleableScanPolicy), &trace).unwrap();
-            assert_eq!(indexed.report, scanned.report, "seed {seed}");
-            assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
-            assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
+            let r = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+            let sum_start: u128 = r.jobs().iter().map(|j| j.start as u128).sum();
+            let sum_end: u128 = r.jobs().iter().map(|j| j.end as u128).sum();
+            let got = (
+                sum_start,
+                sum_end,
+                r.report.total_run_time(),
+                r.stats.shrinks,
+                r.stats.expands,
+                r.events_processed,
+            );
+            assert_eq!(got, digest, "seed {seed}: linear replay drifted from PR 5");
         }
     }
 

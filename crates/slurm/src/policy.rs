@@ -127,6 +127,83 @@ impl SpeedupCurve {
         let scaled = (duration_us as u128 * self.full_rate() as u128).div_ceil(rate as u128);
         TimeUs::try_from(scaled).unwrap_or(TimeUs::MAX)
     }
+
+    /// Rate carried by the CPU that took the job from `width - 1` to `width`.
+    /// 0 at width 0 and beyond the request width (where the table clamps
+    /// flat); never negative, by the monotonicity invariant.
+    pub fn marginal_rate(&self, width: usize) -> u64 {
+        if width == 0 {
+            0
+        } else {
+            self.rate(width) - self.rate(width - 1)
+        }
+    }
+
+    /// Relative marginal cost (fixed-point) of the CPU that took the job
+    /// from `width - 1` to `width`:
+    /// `marginal_rate(width) × request_width × FP / full_rate`, normalised
+    /// so one CPU of a linear job is worth exactly [`Self::FP`].
+    ///
+    /// This is the malleable policy's victim-ranking and expansion-targeting
+    /// key: "what fraction of a linear CPU's throughput does this CPU
+    /// actually carry". The division truncates toward zero on the FP grid —
+    /// exact for linear curves (the numerator is a multiple of `full_rate`)
+    /// and at worst one FP-grid step (< 1 ppm of a CPU) low for model
+    /// curves, far below the gaps the ranking discriminates.
+    pub fn relative_marginal_cost(&self, width: usize) -> u64 {
+        let num = self.marginal_rate(width) as u128
+            * self.request_width() as u128
+            * Self::FP as u128;
+        (num / self.full_rate() as u128) as u64
+    }
+
+    /// Relative rate (fixed-point) at `width`:
+    /// `rate(width) × request_width × FP / full_rate`, truncating — exactly
+    /// `width × FP` for a linear curve. The gain side of the malleable
+    /// policy's shrink-economics comparison, in the same normalised units as
+    /// [`relative_marginal_cost`](Self::relative_marginal_cost).
+    pub fn relative_rate(&self, width: usize) -> u64 {
+        let num = self.rate(width) as u128 * self.request_width() as u128 * Self::FP as u128;
+        (num / self.full_rate() as u128) as u64
+    }
+
+    /// Length of the zero-marginal tail below `width`, capped at `limit`:
+    /// the largest `g ≤ limit` with `rate(width - g) == rate(width)` — CPUs
+    /// the job can give up without losing any throughput at all. 0 for a
+    /// linear curve.
+    pub fn zero_cost_run(&self, width: usize, limit: usize) -> usize {
+        let limit = limit.min(width);
+        let mut g = 0;
+        while g < limit && self.rate(width - g - 1) == self.rate(width) {
+            g += 1;
+        }
+        g
+    }
+
+    /// Length of the equal-marginal run below `width`, capped at `limit`:
+    /// the largest `g ≤ limit` such that each of the `g` CPUs donated on the
+    /// way from `width` down to `width - g` carries the same marginal rate
+    /// as the first one. The malleable carve-out shrinks a victim by whole
+    /// runs; for a linear curve the run is all of `limit`, which is exactly
+    /// the pre-curve chunked-donation behaviour.
+    pub fn equal_cost_run(&self, width: usize, limit: usize) -> usize {
+        let limit = limit.min(width);
+        if limit == 0 {
+            return 0;
+        }
+        let top = self.marginal_rate(width);
+        let mut g = 1;
+        while g < limit && self.marginal_rate(width - g) == top {
+            g += 1;
+        }
+        g
+    }
+
+    /// `true` when the curve is flat from `width` through the request: more
+    /// CPUs cannot speed the job up, so expansion must skip it.
+    pub fn saturated_at(&self, width: usize) -> bool {
+        self.rate(width) == self.full_rate()
+    }
 }
 
 /// A job submission as the scheduling policies see it: pure resource shape,
@@ -404,6 +481,11 @@ impl ClusterView<'_> {
 ///   over the running malleable jobs on `n`, where the floor is the
 ///   malleable policy's [`shrink bound`](MalleablePolicy) — its declared
 ///   floor, but never below half its request;
+/// * `cheap[n]` is the part of `reclaim[n]` the donors' speedup curves
+///   price at zero — the curve-aware ordering summary
+///   ([`SpeedupCurve::zero_cost_run`] under the same shrink bound, 0 for
+///   curve-less linear jobs) that lets `shrink_to_admit` prefer nodes whose
+///   reclaimable CPUs cost no throughput, without a per-pass curve scan;
 /// * `donors[n]` lists exactly the running malleable jobs on `n`, in the
 ///   order they appear in the driver's `running` vector (start order), which
 ///   is what keeps indexed victim selection byte-identical to the reference
@@ -417,6 +499,7 @@ impl ClusterView<'_> {
 pub struct SchedIndex {
     free: Vec<usize>,
     reclaim: Vec<usize>,
+    cheap: Vec<usize>,
     donors: Vec<Vec<u64>>,
 }
 
@@ -426,6 +509,7 @@ impl SchedIndex {
         SchedIndex {
             free: vec![node_cpus; num_nodes],
             reclaim: vec![0; num_nodes],
+            cheap: vec![0; num_nodes],
             donors: vec![Vec::new(); num_nodes],
         }
     }
@@ -459,17 +543,17 @@ impl SchedIndex {
         let mut index = SchedIndex {
             free: free.to_vec(),
             reclaim: vec![0; free.len()],
+            cheap: vec![0; free.len()],
             donors: vec![Vec::new(); free.len()],
         };
         for r in running {
             if r.job.malleable {
-                let spare = r
-                    .alloc
-                    .cpus_per_node
-                    .saturating_sub(shrink_floor(r.job.min_cpus_per_node, r.job.cpus_per_node));
+                let spare = Self::spare(&r.job, r.alloc.cpus_per_node);
+                let cheap = Self::cheap_spare(&r.job, r.alloc.cpus_per_node);
                 for &n in &r.alloc.node_indices {
                     index.donors[n].push(r.alloc.job_id);
                     index.reclaim[n] += spare;
+                    index.cheap[n] += cheap;
                 }
             }
         }
@@ -487,6 +571,13 @@ impl SchedIndex {
         &self.reclaim
     }
 
+    /// Zero-marginal-cost reclaimable CPUs on each node: the part of
+    /// [`reclaim`](Self::reclaim) the donors' speedup curves price at zero
+    /// (saturated tails). 0 everywhere on a curve-less cluster.
+    pub fn cheap(&self) -> &[usize] {
+        &self.cheap
+    }
+
     /// Ids of the running malleable jobs holding CPUs on `node`, in start
     /// order.
     pub fn donors(&self, node: usize) -> &[u64] {
@@ -498,14 +589,25 @@ impl SchedIndex {
         width.saturating_sub(shrink_floor(job.min_cpus_per_node, job.cpus_per_node))
     }
 
+    /// Per-job zero-marginal-cost part of [`spare`](Self::spare): what the
+    /// job's curve says it can donate for free at `width`.
+    fn cheap_spare(job: &QueuedJob, width: usize) -> usize {
+        match &job.speedup {
+            Some(curve) => curve.zero_cost_run(width, Self::spare(job, width)),
+            None => 0,
+        }
+    }
+
     /// A job started on `node_indices` at `width` CPUs per node.
     pub fn on_start(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
         let spare = Self::spare(job, width);
+        let cheap = Self::cheap_spare(job, width);
         for &n in node_indices {
             self.free[n] -= width;
             if job.malleable {
                 self.donors[n].push(job.id);
                 self.reclaim[n] += spare;
+                self.cheap[n] += cheap;
             }
         }
     }
@@ -520,10 +622,13 @@ impl SchedIndex {
     ) {
         let old_spare = Self::spare(job, old_width);
         let new_spare = Self::spare(job, new_width);
+        let old_cheap = Self::cheap_spare(job, old_width);
+        let new_cheap = Self::cheap_spare(job, new_width);
         for &n in node_indices {
             self.free[n] = self.free[n] + old_width - new_width;
             if job.malleable {
                 self.reclaim[n] = self.reclaim[n] + new_spare - old_spare;
+                self.cheap[n] = self.cheap[n] + new_cheap - old_cheap;
             }
         }
     }
@@ -531,11 +636,13 @@ impl SchedIndex {
     /// A running job completed, releasing `width` CPUs on each of its nodes.
     pub fn on_complete(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
         let spare = Self::spare(job, width);
+        let cheap = Self::cheap_spare(job, width);
         for &n in node_indices {
             self.free[n] += width;
             if job.malleable {
                 self.donors[n].retain(|&id| id != job.id);
                 self.reclaim[n] -= spare;
+                self.cheap[n] -= cheap;
             }
         }
     }
@@ -790,14 +897,24 @@ impl SchedulerPolicy for BackfillPolicy {
 /// Admission is FCFS. A queued job starts at full width when it fits; when
 /// it does not, the policy picks the nodes with the most *available* CPUs
 /// (free plus what running malleable jobs could give up), shrinks victims
-/// greedily — largest donor first — and starts the job at the widest
-/// per-node width the selection supports. Two bounds keep this healthy:
+/// greedily — cheapest marginal rate loss per reclaimed CPU first, per the
+/// donors' [`SpeedupCurve`]s, so a saturated job donates before one whose
+/// CPUs still carry throughput — and starts the job at the widest per-node
+/// width the selection supports. Three bounds keep this healthy:
 ///
 /// * **Shrink depth**: no job is ever pushed below half its request (nor
 ///   below its declared floor). Unbounded shrink-to-admit degenerates into
 ///   deep time-sharing that fragments the cluster and hurts every metric —
 ///   the bound is the paper's two-jobs-per-node equipartition generalised
 ///   to a width rule (measured in `docs/scheduling.md`).
+/// * **Shrink economics**: an admission that requires shrinking proceeds
+///   only when the newcomer's relative rate gain covers the donors'
+///   aggregate relative rate loss (both normalised so one linear CPU is
+///   worth [`SpeedupCurve::FP`]); otherwise the shrinks are rolled back and
+///   the job waits for a drain reservation instead. A curve-less cluster
+///   never fails the check — every donated CPU costs exactly what an
+///   admitted CPU gains — so linear traces replay the pre-curve policy
+///   byte for byte.
 /// * **Head reservation**: when even shrinking cannot admit the head job
 ///   (typically a rigid or cluster-wide one), the policy reserves the nodes
 ///   that drain soonest — no later start and no expansion may touch them
@@ -806,9 +923,12 @@ impl SchedulerPolicy for BackfillPolicy {
 ///   drain, a malleable-packed cluster never again offers a fully idle
 ///   node and rigid jobs starve behind it.
 ///
-/// After admissions, every malleable job running below its request is
-/// expanded round-robin into the remaining (non-reserved) free CPUs, which
-/// is how jobs regain their CPUs when a co-runner completes.
+/// After admissions, every unsaturated malleable job running below its
+/// request is expanded into the remaining (non-reserved) free CPUs, one CPU
+/// per node per sweep — steepest marginal gain first within a sweep, and
+/// jobs whose curve is flat at their current width are skipped entirely
+/// (free CPUs are never wasted on a saturated job). This is how jobs regain
+/// their CPUs when a co-runner completes.
 ///
 /// # Complexity
 ///
@@ -829,8 +949,10 @@ fn shrink_floor(declared_floor: usize, request: usize) -> usize {
 }
 
 /// Mutable working copy of one running (or newly started) job during a
-/// [`MalleablePolicy::schedule`] pass.
-struct Slot {
+/// [`MalleablePolicy::schedule`] pass. Borrows the job's speedup curve so
+/// both malleable implementations price donations and expansions through
+/// the exact same helpers — decision equivalence by construction.
+struct Slot<'a> {
     job_id: u64,
     node_indices: Vec<usize>,
     width: usize,
@@ -839,18 +961,75 @@ struct Slot {
     request: usize,
     malleable: bool,
     expected_end_us: Option<TimeUs>,
+    speedup: Option<&'a SpeedupCurve>,
     /// `true` once the pass reserved a node this job overlaps (cached so the
     /// indexed pass never re-scans `node_indices` per candidate victim).
     reserved_overlap: bool,
 }
 
-impl Slot {
+impl Slot<'_> {
     fn on_reserved(&self, reserved: Option<&[bool]>) -> bool {
         reserved.is_some_and(|r| self.node_indices.iter().any(|&n| r[n]))
     }
 
     fn shrink_floor(&self) -> usize {
         shrink_floor(self.floor, self.request)
+    }
+
+    /// CPUs per node above the shrink floor.
+    fn spare(&self) -> usize {
+        self.width.saturating_sub(self.shrink_floor())
+    }
+
+    /// Relative marginal cost of the next CPU this slot would donate —
+    /// [`SpeedupCurve::FP`] exactly for a curve-less linear job.
+    fn donor_cost(&self) -> u64 {
+        match self.speedup {
+            Some(curve) => curve.relative_marginal_cost(self.width),
+            None => SpeedupCurve::FP,
+        }
+    }
+
+    /// CPUs this slot donates per carve-out step: the equal-marginal run
+    /// under its shrink floor (all of its spare for a linear job, so the
+    /// curve-less donation chunks are unchanged).
+    fn donor_run(&self) -> usize {
+        match self.speedup {
+            Some(curve) => curve.equal_cost_run(self.width, self.spare()),
+            None => self.spare(),
+        }
+    }
+
+    /// CPUs this slot could give up without losing any throughput.
+    fn zero_cost_spare(&self) -> usize {
+        match self.speedup {
+            Some(curve) => curve.zero_cost_run(self.width, self.spare()),
+            None => 0,
+        }
+    }
+
+    /// Relative marginal gain of one more CPU per node —
+    /// [`SpeedupCurve::FP`] for a curve-less linear job.
+    fn expand_gain(&self) -> u64 {
+        match self.speedup {
+            Some(curve) => curve.relative_marginal_cost(self.width + 1),
+            None => SpeedupCurve::FP,
+        }
+    }
+
+    /// `true` when more CPUs cannot speed this job up at all.
+    fn saturated(&self) -> bool {
+        self.speedup.is_some_and(|c| c.saturated_at(self.width))
+    }
+}
+
+/// Relative rate (fixed-point) of `job` granted `width` CPUs per node —
+/// `width × FP` for a curve-less linear job. Multiplied by the job's node
+/// count, this is the gain side of the shrink-economics comparison.
+fn admission_gain(job: &QueuedJob, width: usize) -> u64 {
+    match &job.speedup {
+        Some(curve) => curve.relative_rate(width),
+        None => width as u64 * SpeedupCurve::FP,
     }
 }
 
@@ -880,16 +1059,17 @@ pub(crate) fn scaled_duration(duration_us: TimeUs, request: usize, width: usize)
 /// does not (hand-built views, benches). Either way the pass itself never
 /// rescans all running jobs per node again — victim selection reads
 /// `donors[node]`, availability reads `free[node] + reclaim[node]`.
-struct PassState {
+struct PassState<'a> {
     free: Vec<usize>,
     reclaim: Vec<usize>,
+    cheap: Vec<usize>,
     donors: Vec<Vec<usize>>,
-    slots: Vec<Slot>,
+    slots: Vec<Slot<'a>>,
 }
 
-impl PassState {
-    fn new(view: &ClusterView<'_>) -> Self {
-        let slots: Vec<Slot> = view
+impl<'a> PassState<'a> {
+    fn new(view: &ClusterView<'a>) -> Self {
+        let slots: Vec<Slot<'a>> = view
             .running
             .iter()
             .map(|r| Slot {
@@ -901,12 +1081,14 @@ impl PassState {
                 request: r.job.cpus_per_node,
                 malleable: r.job.malleable,
                 expected_end_us: r.expected_end_us,
+                speedup: r.job.speedup.as_ref(),
                 reserved_overlap: false,
             })
             .collect();
         let mut state = PassState {
             free: view.free.to_vec(),
             reclaim: vec![0; view.free.len()],
+            cheap: vec![0; view.free.len()],
             donors: vec![Vec::new(); view.free.len()],
             slots,
         };
@@ -925,6 +1107,7 @@ impl PassState {
                 .map(|(i, s)| (s.job_id, i))
                 .collect();
             state.reclaim.copy_from_slice(index.reclaim());
+            state.cheap.copy_from_slice(index.cheap());
             for (node, donors) in state.donors.iter_mut().enumerate() {
                 // Donor ids are kept in running order, so the mapped slot
                 // positions come out ascending — the tie-break order the
@@ -934,10 +1117,12 @@ impl PassState {
         } else {
             for (i, slot) in state.slots.iter().enumerate() {
                 if slot.malleable {
-                    let spare = slot.width.saturating_sub(slot.shrink_floor());
+                    let spare = slot.spare();
+                    let cheap = slot.zero_cost_spare();
                     for &n in &slot.node_indices {
                         state.donors[n].push(i);
                         state.reclaim[n] += spare;
+                        state.cheap[n] += cheap;
                     }
                 }
             }
@@ -945,10 +1130,14 @@ impl PassState {
         state
     }
 
-    /// The donor on `node` with the most CPUs to spare above its shrink
-    /// floor, excluding jobs overlapping a reserved node (slowing one down
-    /// would push its completion — and the reservation — later). Ties go to
-    /// the earliest-started job, exactly like the reference scan.
+    /// The donor on `node` whose next donated CPU costs the least relative
+    /// rate (per its [`SpeedupCurve`] — a saturated tail costs nothing),
+    /// excluding jobs overlapping a reserved node (slowing one down would
+    /// push its completion — and the reservation — later). Ties go to the
+    /// donor with the most spare above its shrink floor, then to the
+    /// earliest-started job — so on a curve-less cluster, where every cost
+    /// is FP, the rule reduces exactly to the pre-curve widest-donor order.
+    /// The reference scan uses the same key.
     fn best_donor(&self, node: usize) -> Option<usize> {
         self.donors[node]
             .iter()
@@ -957,9 +1146,9 @@ impl PassState {
                 let s = &self.slots[i];
                 s.width > s.shrink_floor() && !s.reserved_overlap
             })
-            .max_by_key(|&i| {
+            .min_by_key(|&i| {
                 let s = &self.slots[i];
-                (s.width - s.shrink_floor(), std::cmp::Reverse(i))
+                (s.donor_cost(), std::cmp::Reverse(s.spare()), i)
             })
     }
 
@@ -967,11 +1156,65 @@ impl PassState {
     /// of its nodes. Only ever called on unreserved donors, so the spare the
     /// victim loses is spare the reclaim summary was counting.
     fn shrink_victim(&mut self, victim: usize, give: usize) {
+        let old_cheap = self.slots[victim].zero_cost_spare();
         self.slots[victim].width -= give;
+        let new_cheap = self.slots[victim].zero_cost_spare();
         for &n in &self.slots[victim].node_indices {
             self.free[n] += give;
             self.reclaim[n] -= give;
+            self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
         }
+    }
+
+    /// Rolls one [`shrink_victim`](Self::shrink_victim) back — the undo side
+    /// of the shrink-economics check, restoring width, free, reclaim and the
+    /// cheap summary exactly.
+    fn unshrink_victim(&mut self, victim: usize, give: usize) {
+        let old_cheap = self.slots[victim].zero_cost_spare();
+        self.slots[victim].width += give;
+        let new_cheap = self.slots[victim].zero_cost_spare();
+        for &n in &self.slots[victim].node_indices {
+            self.free[n] -= give;
+            self.reclaim[n] += give;
+            self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
+        }
+    }
+
+    /// Carves `width` free CPUs out of every selected node by shrinking
+    /// donors — cheapest marginal cost first, whole equal-cost runs at a
+    /// time — then checks the shrink economics: `gain` (the newcomer's
+    /// relative rate × its node count, both sides FP-normalised) must cover
+    /// the donors' aggregate relative rate loss. On a failed check every
+    /// shrink is rolled back, the pass state is exactly as before, and the
+    /// caller falls through to the drain-reservation path.
+    ///
+    /// The loss counts each donated width-unit once (a donor's curve prices
+    /// per-node width; CPUs freed on its other nodes are reabsorbed by
+    /// expansion). On a curve-less cluster every donated CPU costs FP and
+    /// the gives sum to at most `nodes × width`, so `gain ≥ loss` always
+    /// holds — the check can only fire when curves are present.
+    fn carve_out(&mut self, node_indices: &[usize], width: usize, gain: u128) -> bool {
+        let mut donations: Vec<(usize, usize)> = Vec::new();
+        let mut loss: u128 = 0;
+        for &node in node_indices {
+            while self.free[node] < width {
+                let needed = width - self.free[node];
+                let Some(victim) = self.best_donor(node) else {
+                    unreachable!("plan_admission guaranteed the capacity");
+                };
+                let give = needed.min(self.slots[victim].donor_run());
+                loss += give as u128 * self.slots[victim].donor_cost() as u128;
+                self.shrink_victim(victim, give);
+                donations.push((victim, give));
+            }
+        }
+        if gain >= loss {
+            return true;
+        }
+        for &(victim, give) in donations.iter().rev() {
+            self.unshrink_victim(victim, give);
+        }
+        false
     }
 
     /// Starts `job` on `node_indices` at `width`, entering it into the free,
@@ -979,7 +1222,7 @@ impl PassState {
     /// same pass).
     fn start(
         &mut self,
-        job: &QueuedJob,
+        job: &'a QueuedJob,
         node_indices: Vec<usize>,
         width: usize,
         now_us: TimeUs,
@@ -997,15 +1240,18 @@ impl PassState {
             expected_end_us: job
                 .expected_duration_us
                 .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width))),
+            speedup: job.speedup.as_ref(),
             reserved_overlap: false,
         };
-        let spare = width.saturating_sub(slot.shrink_floor());
+        let spare = slot.spare();
+        let cheap = slot.zero_cost_spare();
         let overlap = slot.on_reserved(reserved);
         for &n in &slot.node_indices {
             self.free[n] -= width;
             if slot.malleable && !overlap {
                 self.donors[n].push(idx);
                 self.reclaim[n] += spare;
+                self.cheap[n] += cheap;
             }
         }
         self.slots.push(Slot {
@@ -1022,9 +1268,11 @@ impl PassState {
             if slot.node_indices.iter().any(|&n| mask[n]) {
                 slot.reserved_overlap = true;
                 if slot.malleable {
-                    let spare = slot.width.saturating_sub(slot.shrink_floor());
+                    let spare = slot.spare();
+                    let cheap = slot.zero_cost_spare();
                     for &n in &slot.node_indices {
                         self.reclaim[n] -= spare;
+                        self.cheap[n] -= cheap;
                     }
                 }
             }
@@ -1053,77 +1301,48 @@ impl SchedulerPolicy for MalleablePolicy {
 
         for job in queue_order(queue) {
             let placement = Self::plan_admission(job, &state, &reservation, now_us);
-            let Some((node_indices, width)) = placement else {
-                if reservation.is_some() {
-                    continue; // one reservation at a time; revisit next tick
-                }
-                match Self::earliest_full_fit(job, &state, now_us) {
-                    Some((at_us, nodes)) => {
-                        let mut mask = vec![false; state.free.len()];
-                        for &n in &nodes {
-                            mask[n] = true;
-                        }
-                        state.apply_reservation(&mask);
-                        reservation = Some((at_us, mask));
-                        continue;
-                    }
-                    // No provable drain (a holder lacks an estimate): stop
-                    // admitting rather than risk starving the head forever.
-                    None => break,
-                }
-            };
-            // Carve out the CPUs: shrink victims until every selected node
-            // has `width` free, then allocate.
-            for &node in &node_indices {
-                while state.free[node] < width {
-                    let needed = width - state.free[node];
-                    let Some(victim) = state.best_donor(node) else {
-                        unreachable!("plan_admission guaranteed the capacity");
-                    };
-                    let give = needed
-                        .min(state.slots[victim].width - state.slots[victim].shrink_floor());
-                    state.shrink_victim(victim, give);
+            let mut admitted = false;
+            if let Some((node_indices, width)) = placement {
+                // Carve out the CPUs: shrink victims until every selected
+                // node has `width` free, then allocate — unless the donors'
+                // aggregate rate loss exceeds the newcomer's gain, in which
+                // case the carve rolls itself back and the job falls through
+                // to the reservation path below.
+                let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
+                if state.carve_out(&node_indices, width, gain) {
+                    let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+                    state.start(job, node_indices, width, now_us, reserved_mask);
+                    admitted = true;
                 }
             }
-            let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
-            state.start(job, node_indices, width, now_us, reserved_mask);
+            if admitted {
+                continue;
+            }
+            if reservation.is_some() {
+                continue; // one reservation at a time; revisit next tick
+            }
+            match Self::earliest_full_fit(job, &state, now_us) {
+                Some((at_us, nodes)) => {
+                    let mut mask = vec![false; state.free.len()];
+                    for &n in &nodes {
+                        mask[n] = true;
+                    }
+                    state.apply_reservation(&mask);
+                    reservation = Some((at_us, mask));
+                }
+                // No provable drain (a holder lacks an estimate): stop
+                // admitting rather than risk starving the head forever.
+                None => break,
+            }
         }
 
-        // Expansion: hand the remaining free CPUs to shrunk malleable jobs,
-        // one CPU-per-node at a time so concurrent victims recover evenly.
-        // Reserved nodes do not participate: consuming their free CPUs could
-        // push the reserved job's start past its reservation.
         let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
-        let expandable = |n: usize| !reserved_mask.is_some_and(|m| m[n]);
         let PassState {
             ref mut free,
             ref mut slots,
             ..
         } = state;
-        let mut progressed = true;
-        while progressed {
-            progressed = false;
-            for slot in slots.iter_mut() {
-                if !slot.malleable || slot.width >= slot.request {
-                    continue;
-                }
-                let headroom = slot
-                    .node_indices
-                    .iter()
-                    .map(|&n| if expandable(n) { free[n] } else { 0 })
-                    .min()
-                    .unwrap_or(0);
-                if headroom == 0 {
-                    continue;
-                }
-                slot.width += 1;
-                for &n in &slot.node_indices {
-                    free[n] -= 1;
-                }
-                progressed = true;
-            }
-        }
-
+        expand_shrunk(slots, free, reserved_mask);
         emit_actions(slots)
     }
 }
@@ -1135,7 +1354,7 @@ impl MalleablePolicy {
     /// reserved nodes are off limits, for the start and for its victims.
     fn plan_admission(
         job: &QueuedJob,
-        state: &PassState,
+        state: &PassState<'_>,
         reservation: &Option<(TimeUs, Vec<bool>)>,
         now_us: TimeUs,
     ) -> Option<(Vec<usize>, usize)> {
@@ -1166,30 +1385,37 @@ impl MalleablePolicy {
     /// read straight off the pass indices — no rescan of the running jobs —
     /// and the top nodes are found with a linear-time selection instead of a
     /// full sort.
+    ///
+    /// Among equally available nodes, the one whose reclaimable CPUs cost
+    /// the least throughput wins (more zero-marginal-cost spare per the
+    /// donors' curves — the `cheap` summary). On a curve-less cluster every
+    /// `cheap` entry is 0 and the order reduces to the pre-curve
+    /// availability-then-index rule exactly.
     fn shrink_to_admit(
         job: &QueuedJob,
-        state: &PassState,
+        state: &PassState<'_>,
         reserved: Option<&[bool]>,
     ) -> Option<(Vec<usize>, usize)> {
-        let mut avail: Vec<(usize, usize)> = (0..state.free.len())
+        let mut avail: Vec<(usize, usize, usize)> = (0..state.free.len())
             .filter(|&node| !reserved.is_some_and(|m| m[node]))
-            .map(|node| (node, state.free[node] + state.reclaim[node]))
+            .map(|node| (node, state.free[node] + state.reclaim[node], state.cheap[node]))
             .collect();
         if avail.len() < job.nodes {
             return None;
         }
-        // Most available first; index order breaks ties deterministically.
-        // The ordering is total, so selecting the top `job.nodes` yields the
-        // same node set the reference scan's full sort produced.
+        // Most available first, cheapest reclaim next; index order breaks
+        // remaining ties deterministically. The ordering is total, so
+        // selecting the top `job.nodes` yields the same node set the
+        // reference scan's full sort produces.
         if avail.len() > job.nodes {
-            avail.select_nth_unstable_by_key(job.nodes - 1, |&(node, a)| {
-                (std::cmp::Reverse(a), node)
+            avail.select_nth_unstable_by_key(job.nodes - 1, |&(node, a, cheap)| {
+                (std::cmp::Reverse(a), std::cmp::Reverse(cheap), node)
             });
         }
         let selected = &avail[..job.nodes];
         let width = selected
             .iter()
-            .map(|&(_, a)| a)
+            .map(|&(_, a, _)| a)
             .min()
             .unwrap_or(0)
             .min(job.cpus_per_node);
@@ -1198,7 +1424,7 @@ impl MalleablePolicy {
         if width < shrink_floor(job.min_cpus_per_node, job.cpus_per_node) {
             return None;
         }
-        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _)| n).collect();
+        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _, _)| n).collect();
         node_indices.sort_unstable();
         Some((node_indices, width))
     }
@@ -1209,7 +1435,7 @@ impl MalleablePolicy {
     /// node has no completion estimate.
     fn earliest_full_fit(
         job: &QueuedJob,
-        state: &PassState,
+        state: &PassState<'_>,
         now_us: TimeUs,
     ) -> Option<(TimeUs, Vec<usize>)> {
         let holders: Vec<Holder<'_>> = state
@@ -1225,11 +1451,56 @@ impl MalleablePolicy {
     }
 }
 
+/// Expansion, shared by both malleable implementations: hands the remaining
+/// free CPUs on non-reserved nodes to shrunk malleable jobs, one CPU per
+/// node per sweep so concurrent victims recover evenly. Within a sweep the
+/// steepest relative marginal gain goes first (stable sort — slot order, the
+/// pre-curve round-robin, breaks ties) and saturated jobs are skipped
+/// entirely: a curve flat from the current width through the request cannot
+/// convert a CPU into progress, so the CPU goes to a job that can. A job on
+/// a zero-marginal plateau *below* saturation still participates (ranked
+/// last) — those stepping-stone CPUs are what reach the rising part of its
+/// curve on later sweeps. Reserved nodes do not participate: consuming
+/// their free CPUs could push the reserved job's start past its
+/// reservation. On a curve-less cluster every gain is FP and the sweep is
+/// byte-identical to the pre-curve round-robin.
+fn expand_shrunk(slots: &mut [Slot<'_>], free: &mut [usize], reserved: Option<&[bool]>) {
+    let expandable = |n: usize| !reserved.is_some_and(|m| m[n]);
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        let mut order: Vec<usize> = (0..slots.len())
+            .filter(|&i| {
+                let s = &slots[i];
+                s.malleable && s.width < s.request && !s.saturated()
+            })
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(slots[i].expand_gain()));
+        for i in order {
+            let slot = &mut slots[i];
+            let headroom = slot
+                .node_indices
+                .iter()
+                .map(|&n| if expandable(n) { free[n] } else { 0 })
+                .min()
+                .unwrap_or(0);
+            if headroom == 0 {
+                continue;
+            }
+            slot.width += 1;
+            for &n in &slot.node_indices {
+                free[n] -= 1;
+            }
+            progressed = true;
+        }
+    }
+}
+
 /// Emits the actions of a finished malleable pass from the FINAL slot state
 /// (a job admitted mid-pass may have been shrunk or expanded again by later
 /// admissions), in an order that is valid to apply sequentially: shrinks
 /// release CPUs, then starts consume them, then expands absorb the leftovers.
-fn emit_actions(slots: &[Slot]) -> Vec<SchedulerAction> {
+fn emit_actions(slots: &[Slot<'_>]) -> Vec<SchedulerAction> {
     let mut actions: Vec<SchedulerAction> = Vec::new();
     for slot in slots {
         if slot.original_width.is_some_and(|o| slot.width < o) {
@@ -1304,7 +1575,7 @@ impl SchedulerPolicy for MalleableScanPolicy {
         now_us: TimeUs,
     ) -> Vec<SchedulerAction> {
         let mut free = view.free.to_vec();
-        let mut slots: Vec<Slot> = view
+        let mut slots: Vec<Slot<'_>> = view
             .running
             .iter()
             .map(|r| Slot {
@@ -1316,6 +1587,7 @@ impl SchedulerPolicy for MalleableScanPolicy {
                 request: r.job.cpus_per_node,
                 malleable: r.job.malleable,
                 expected_end_us: r.expected_end_us,
+                speedup: r.job.speedup.as_ref(),
                 reserved_overlap: false,
             })
             .collect();
@@ -1323,89 +1595,60 @@ impl SchedulerPolicy for MalleableScanPolicy {
 
         for job in queue_order(queue) {
             let placement = Self::plan_admission(job, &free, &slots, &reservation, now_us);
-            let Some((node_indices, width)) = placement else {
-                if reservation.is_some() {
-                    continue;
-                }
-                let holders: Vec<Holder<'_>> = slots
-                    .iter()
-                    .map(|s| Holder {
-                        end_us: s.expected_end_us,
-                        node_indices: &s.node_indices,
-                        width: s.width,
-                    })
-                    .collect();
-                match earliest_release_fit(job.nodes, job.cpus_per_node, &free, &holders, now_us)
+            let mut admitted = false;
+            if let Some((node_indices, width)) = placement {
+                let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+                let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
+                if Self::carve_out(&mut free, &mut slots, &node_indices, width, reserved_mask, gain)
                 {
-                    Some((at_us, nodes)) => {
-                        let mut mask = vec![false; free.len()];
-                        for &n in &nodes {
-                            mask[n] = true;
-                        }
-                        reservation = Some((at_us, mask));
-                        continue;
+                    for &node in &node_indices {
+                        free[node] -= width;
                     }
-                    None => break,
-                }
-            };
-            let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
-            for &node in &node_indices {
-                while free[node] < width {
-                    let needed = width - free[node];
-                    let Some(victim) = Self::best_donor(&slots, node, reserved_mask) else {
-                        unreachable!("plan_admission guaranteed the capacity");
-                    };
-                    let give = needed.min(slots[victim].width - slots[victim].shrink_floor());
-                    slots[victim].width -= give;
-                    for &n in &slots[victim].node_indices {
-                        free[n] += give;
-                    }
+                    slots.push(Slot {
+                        job_id: job.id,
+                        node_indices,
+                        width,
+                        original_width: None,
+                        floor: job.min_cpus_per_node,
+                        request: job.cpus_per_node,
+                        malleable: job.malleable,
+                        expected_end_us: job
+                            .expected_duration_us
+                            .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width))),
+                        speedup: job.speedup.as_ref(),
+                        reserved_overlap: false,
+                    });
+                    admitted = true;
                 }
             }
-            for &node in &node_indices {
-                free[node] -= width;
+            if admitted {
+                continue;
             }
-            slots.push(Slot {
-                job_id: job.id,
-                node_indices,
-                width,
-                original_width: None,
-                floor: job.min_cpus_per_node,
-                request: job.cpus_per_node,
-                malleable: job.malleable,
-                expected_end_us: job
-                    .expected_duration_us
-                    .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width))),
-                reserved_overlap: false,
-            });
-        }
-
-        let reserved_mask = reservation.as_ref().map(|(_, m)| m.clone());
-        let expandable = |n: usize| !reserved_mask.as_ref().is_some_and(|m| m[n]);
-        let mut progressed = true;
-        while progressed {
-            progressed = false;
-            for slot in slots.iter_mut() {
-                if !slot.malleable || slot.width >= slot.request {
-                    continue;
+            if reservation.is_some() {
+                continue;
+            }
+            let holders: Vec<Holder<'_>> = slots
+                .iter()
+                .map(|s| Holder {
+                    end_us: s.expected_end_us,
+                    node_indices: &s.node_indices,
+                    width: s.width,
+                })
+                .collect();
+            match earliest_release_fit(job.nodes, job.cpus_per_node, &free, &holders, now_us) {
+                Some((at_us, nodes)) => {
+                    let mut mask = vec![false; free.len()];
+                    for &n in &nodes {
+                        mask[n] = true;
+                    }
+                    reservation = Some((at_us, mask));
                 }
-                let headroom = slot
-                    .node_indices
-                    .iter()
-                    .map(|&n| if expandable(n) { free[n] } else { 0 })
-                    .min()
-                    .unwrap_or(0);
-                if headroom == 0 {
-                    continue;
-                }
-                slot.width += 1;
-                for &n in &slot.node_indices {
-                    free[n] -= 1;
-                }
-                progressed = true;
+                None => break,
             }
         }
 
+        let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+        expand_shrunk(&mut slots, &mut free, reserved_mask);
         emit_actions(&slots)
     }
 }
@@ -1416,7 +1659,7 @@ impl MalleableScanPolicy {
     fn plan_admission(
         job: &QueuedJob,
         free: &[usize],
-        slots: &[Slot],
+        slots: &[Slot<'_>],
         reservation: &Option<(TimeUs, Vec<bool>)>,
         now_us: TimeUs,
     ) -> Option<(Vec<usize>, usize)> {
@@ -1446,8 +1689,10 @@ impl MalleableScanPolicy {
     }
 
     /// Reference victim selection: scans every slot, filtering by
-    /// `node_indices.contains` — the cost the donor index removes.
-    fn best_donor(slots: &[Slot], node: usize, reserved: Option<&[bool]>) -> Option<usize> {
+    /// `node_indices.contains` — the cost the donor index removes. Same
+    /// ranking key as [`PassState::best_donor`]: cheapest marginal cost,
+    /// then most spare, then earliest start.
+    fn best_donor(slots: &[Slot<'_>], node: usize, reserved: Option<&[bool]>) -> Option<usize> {
         slots
             .iter()
             .enumerate()
@@ -1457,48 +1702,91 @@ impl MalleableScanPolicy {
                     && s.node_indices.contains(&node)
                     && !s.on_reserved(reserved)
             })
-            .max_by_key(|(i, s)| (s.width - s.shrink_floor(), std::cmp::Reverse(*i)))
+            .min_by_key(|&(i, s)| (s.donor_cost(), std::cmp::Reverse(s.spare()), i))
             .map(|(i, _)| i)
     }
 
-    /// Reference shrink-to-admit: recomputes per-node availability by
-    /// scanning every slot for every node, then fully sorts.
+    /// Reference carve-out + shrink economics: the same decision rule as
+    /// [`PassState::carve_out`] — cheapest donors first, whole equal-cost
+    /// runs, full rollback when the donors' aggregate loss exceeds `gain` —
+    /// recomputed against the slot list.
+    fn carve_out(
+        free: &mut [usize],
+        slots: &mut [Slot<'_>],
+        node_indices: &[usize],
+        width: usize,
+        reserved: Option<&[bool]>,
+        gain: u128,
+    ) -> bool {
+        let mut donations: Vec<(usize, usize)> = Vec::new();
+        let mut loss: u128 = 0;
+        for &node in node_indices {
+            while free[node] < width {
+                let needed = width - free[node];
+                let Some(victim) = Self::best_donor(slots, node, reserved) else {
+                    unreachable!("plan_admission guaranteed the capacity");
+                };
+                let give = needed.min(slots[victim].donor_run());
+                loss += give as u128 * slots[victim].donor_cost() as u128;
+                slots[victim].width -= give;
+                for &n in &slots[victim].node_indices {
+                    free[n] += give;
+                }
+                donations.push((victim, give));
+            }
+        }
+        if gain >= loss {
+            return true;
+        }
+        for &(victim, give) in donations.iter().rev() {
+            slots[victim].width += give;
+            for &n in &slots[victim].node_indices {
+                free[n] -= give;
+            }
+        }
+        false
+    }
+
+    /// Reference shrink-to-admit: recomputes per-node availability (and the
+    /// zero-cost-reclaim tie-break) by scanning every slot for every node,
+    /// then fully sorts by the same key the indexed selection uses.
     fn shrink_to_admit(
         job: &QueuedJob,
         free: &[usize],
-        slots: &[Slot],
+        slots: &[Slot<'_>],
         reserved: Option<&[bool]>,
     ) -> Option<(Vec<usize>, usize)> {
-        let mut avail: Vec<(usize, usize)> = free
+        let mut avail: Vec<(usize, usize, usize)> = free
             .iter()
             .enumerate()
             .filter(|&(node, _)| !reserved.is_some_and(|m| m[node]))
             .map(|(node, &f)| {
-                let reclaimable: usize = slots
-                    .iter()
-                    .filter(|s| {
-                        s.malleable && s.node_indices.contains(&node) && !s.on_reserved(reserved)
-                    })
-                    .map(|s| s.width.saturating_sub(s.shrink_floor()))
-                    .sum();
-                (node, f + reclaimable)
+                let donors = slots.iter().filter(|s| {
+                    s.malleable && s.node_indices.contains(&node) && !s.on_reserved(reserved)
+                });
+                let (reclaimable, cheap) = donors.fold((0, 0), |(r, c), s| {
+                    (r + s.spare(), c + s.zero_cost_spare())
+                });
+                (node, f + reclaimable, cheap)
             })
             .collect();
-        avail.sort_by_key(|&(node, a)| (std::cmp::Reverse(a), node));
+        avail.sort_by_key(|&(node, a, cheap)| {
+            (std::cmp::Reverse(a), std::cmp::Reverse(cheap), node)
+        });
         if avail.len() < job.nodes {
             return None;
         }
         let selected = &avail[..job.nodes];
         let width = selected
             .iter()
-            .map(|&(_, a)| a)
+            .map(|&(_, a, _)| a)
             .min()
             .unwrap_or(0)
             .min(job.cpus_per_node);
         if width < shrink_floor(job.min_cpus_per_node, job.cpus_per_node) {
             return None;
         }
-        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _)| n).collect();
+        let mut node_indices: Vec<usize> = selected.iter().map(|&(n, _, _)| n).collect();
         node_indices.sort_unstable();
         Some((node_indices, width))
     }
@@ -1827,6 +2115,226 @@ mod tests {
         // virtual µs — twice the linear ⌈101·7/5⌉ = 142 (minus rounding).
         assert_eq!(curve.scaled_duration_us(101, 5), 283);
         assert_eq!(scaled_duration(101, 7, 5), 142);
+    }
+
+    /// STREAM-like saturated curve for `request` CPUs per node: half rate at
+    /// one CPU, full (memory-bound) rate from two CPUs on.
+    fn stream_curve(request: usize) -> SpeedupCurve {
+        let rates = (0..=request as u64)
+            .map(|w| match w {
+                0 => 0,
+                1 => SpeedupCurve::FP / 2,
+                _ => SpeedupCurve::FP,
+            })
+            .collect();
+        SpeedupCurve::from_rates(rates)
+    }
+
+    fn with_curve(mut r: RunningJob, curve: SpeedupCurve) -> RunningJob {
+        r.job.speedup = Some(curve);
+        r
+    }
+
+    /// Regression (model-blind expansion): a STREAM job saturated at its
+    /// current width must never be handed free CPUs while an unsaturated
+    /// job on the same node is below its request. Pre-fix the round-robin
+    /// sweep split the 8 free CPUs evenly between both.
+    #[test]
+    fn saturated_job_is_never_expanded_while_an_unsaturated_peer_wants_cpus() {
+        let holders = vec![
+            with_curve(running(1, vec![0], 4, 8, 4), stream_curve(8)),
+            running(2, vec![0], 4, 8, 4), // linear: every CPU still helps
+        ];
+        let free = [8];
+        for actions in [
+            MalleablePolicy.schedule(&view(16, &free, &holders), &[], 0),
+            MalleableScanPolicy.schedule(&view(16, &free, &holders), &[], 0),
+        ] {
+            assert_eq!(
+                actions,
+                vec![SchedulerAction::Resize { job_id: 2, cpus_per_node: 8 }],
+                "only the unsaturated job expands; the saturated STREAM job \
+                 gains nothing from more CPUs"
+            );
+        }
+    }
+
+    /// Regression (model-blind victim selection): a saturated STREAM job
+    /// donates its zero-marginal-cost tail before an uneven static-partition
+    /// job loses real throughput — even when the static job has the larger
+    /// raw spare, which is what the pre-fix widest-donor rule keyed on.
+    #[test]
+    fn saturated_stream_job_is_preferred_donor_over_uneven_static_partition() {
+        // Static-partition-like curve: every width below the request costs
+        // real rate (linear profile), so its marginal cost is FP per CPU.
+        let static_rates: Vec<u64> =
+            (0..=16u64).map(|w| w * (SpeedupCurve::FP / 16)).collect();
+        let holders = vec![
+            // STREAM at width 12 of 16, shrink floor 8: 4 CPUs of spare, all
+            // on the flat tail (zero marginal cost).
+            with_curve(running(1, vec![0], 12, 16, 1), stream_curve(16)),
+            // Static partition at width 16 of 16, shrink floor 8: 8 CPUs of
+            // spare (the pre-fix rule's pick), every one costing throughput.
+            with_curve(
+                running(2, vec![0], 16, 16, 1),
+                SpeedupCurve::from_rates(static_rates),
+            ),
+        ];
+        let free = [4];
+        let queue = vec![QueuedJob::new(3, 1, 8)];
+        for actions in [
+            MalleablePolicy.schedule(&view(32, &free, &holders), &queue, 0),
+            MalleableScanPolicy.schedule(&view(32, &free, &holders), &queue, 0),
+        ] {
+            assert!(
+                actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }),
+                "the free-to-shrink STREAM job donates: {actions:?}"
+            );
+            assert!(
+                !actions.iter().any(|a| matches!(a, SchedulerAction::Resize { job_id: 2, .. })),
+                "the static-partition job keeps its throughput: {actions:?}"
+            );
+            assert!(
+                actions.iter().any(|a| matches!(
+                    a,
+                    SchedulerAction::Start { job_id: 3, cpus_per_node: 8, .. }
+                )),
+                "the queued job still starts: {actions:?}"
+            );
+        }
+    }
+
+    /// Regression (shrink economics): an admission whose donors lose more
+    /// aggregate rate than the newcomer gains is refused. The donor's curve
+    /// cliffs at width 12 — the first donated CPU costs 3/4 of its full rate
+    /// (relative cost 12·FP) while the 8-CPU newcomer only brings 8·FP.
+    #[test]
+    fn admission_is_rejected_when_donor_loss_exceeds_newcomer_gain() {
+        let cliff_rates: Vec<u64> = (0..=16u64)
+            .map(|w| match w {
+                0 => 0,
+                1..=11 => SpeedupCurve::FP / 4,
+                _ => SpeedupCurve::FP,
+            })
+            .collect();
+        let holders = vec![with_curve(
+            running(1, vec![0], 12, 16, 1),
+            SpeedupCurve::from_rates(cliff_rates),
+        )];
+        let free = [4];
+        let queue = vec![QueuedJob::new(2, 1, 8)];
+        for actions in [
+            MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0),
+            MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 0),
+        ] {
+            assert!(
+                actions.is_empty(),
+                "shrinking off the cliff loses 12·FP to gain 8·FP — the \
+                 admission must be refused: {actions:?}"
+            );
+        }
+    }
+
+    /// Edge cases of the marginal-rate helpers: a flat single-entry curve
+    /// (request width 1), a zero-marginal STREAM tail, a zero shrink limit
+    /// (width already at the floor), and linear exactness.
+    #[test]
+    fn marginal_rate_helpers_handle_degenerate_curves() {
+        // Request width 1: the one CPU carries the whole rate, nothing below
+        // it, and the table clamps flat beyond it.
+        let single = SpeedupCurve::from_rates(vec![0, SpeedupCurve::FP]);
+        assert_eq!(single.marginal_rate(0), 0);
+        assert_eq!(single.marginal_rate(1), SpeedupCurve::FP);
+        assert_eq!(single.marginal_rate(5), 0, "beyond the request the curve is flat");
+        assert_eq!(single.relative_marginal_cost(1), SpeedupCurve::FP);
+        assert_eq!(single.zero_cost_run(1, 1), 0);
+        assert_eq!(single.equal_cost_run(1, 1), 1);
+        assert!(single.saturated_at(1));
+        assert!(!single.saturated_at(0));
+
+        // Zero-marginal tail: every STREAM CPU past the second is free to
+        // donate, and a zero-cost run is in particular an equal-cost run.
+        let stream = stream_curve(8);
+        assert_eq!(stream.marginal_rate(8), 0);
+        assert_eq!(stream.relative_marginal_cost(8), 0);
+        assert_eq!(stream.zero_cost_run(8, 6), 6);
+        assert_eq!(stream.zero_cost_run(8, 3), 3, "the tail is capped by the limit");
+        assert_eq!(stream.equal_cost_run(8, 6), 6);
+        assert!(stream.saturated_at(2));
+        assert!(!stream.saturated_at(1));
+
+        // Width already at the shrink floor (`min_cpus_per_node`): the limit
+        // is 0 and both runs are empty — such a slot is never a donor.
+        assert_eq!(stream.zero_cost_run(2, 0), 0);
+        assert_eq!(stream.equal_cost_run(2, 0), 0);
+
+        // Linear curves are exact on the FP grid at every width: one CPU is
+        // always worth exactly FP, and nothing is ever free.
+        let linear = SpeedupCurve::linear(4);
+        for w in 1..=4usize {
+            assert_eq!(linear.relative_marginal_cost(w), SpeedupCurve::FP);
+            assert_eq!(linear.relative_rate(w), w as u64 * SpeedupCurve::FP);
+            assert_eq!(linear.zero_cost_run(w, w), 0);
+            assert_eq!(linear.equal_cost_run(w, w), w);
+            assert!(!linear.saturated_at(w) || w == 4);
+        }
+    }
+
+    /// Fixed-point rounding at a saturation knee: the documented truncation
+    /// of `relative_marginal_cost` / `relative_rate`, pinned on a curve
+    /// whose full rate (9) does not divide the FP numerator.
+    #[test]
+    fn marginal_cost_truncates_on_the_fp_grid_at_the_knee() {
+        // rates 0, 3, 7, 9 at request width 3: marginals 3, 4, 2.
+        let knee = SpeedupCurve::from_rates(vec![0, 3, 7, 9]);
+        // Cost of the knee CPU: 2 · 3 · FP / 9 = 699050.666… → 699050.
+        assert_eq!(knee.relative_marginal_cost(3), 699_050);
+        assert_eq!(knee.relative_marginal_cost(2), 4 * 3 * SpeedupCurve::FP / 9);
+        // The request width itself is exact (rate == full_rate cancels).
+        assert_eq!(knee.relative_rate(3), 3 * SpeedupCurve::FP);
+        // Below it the same truncation applies: 7 · 3 · FP / 9 → 2446677.
+        assert_eq!(knee.relative_rate(2), 2_446_677);
+        // The knee bounds the equal-cost run: marginal(3) = 2 ≠ marginal(2).
+        assert_eq!(knee.equal_cost_run(3, 3), 1);
+        assert_eq!(knee.zero_cost_run(3, 3), 0);
+    }
+
+    /// The incrementally-maintained zero-cost reclaim summary
+    /// (`SchedIndex::cheap`) matches a from-scratch rebuild through starts,
+    /// resizes and completions of curved and curve-less jobs alike.
+    #[test]
+    fn sched_index_cheap_summary_matches_rebuild() {
+        let mut index = SchedIndex::new(2, 32);
+        let linear = QueuedJob::new(1, 2, 8).malleable(2); // shrink floor 4
+        let stream = QueuedJob::new(2, 1, 16)
+            .malleable(1) // shrink floor 8
+            .with_speedup(stream_curve(16));
+        index.on_start(&linear, &[0, 1], 8);
+        assert_eq!(index.cheap(), &[0, 0], "linear spare is never cheap");
+        index.on_start(&stream, &[0], 12);
+        assert_eq!(index.cheap(), &[4, 0], "all 4 spare CPUs sit on the flat tail");
+        index.on_resize(&stream, &[0], 12, 9);
+        let running = vec![
+            RunningJob {
+                alloc: JobAllocation { job_id: 1, node_indices: vec![0, 1], cpus_per_node: 8 },
+                job: linear.clone(),
+                start_us: 0,
+                expected_end_us: None,
+            },
+            RunningJob {
+                alloc: JobAllocation { job_id: 2, node_indices: vec![0], cpus_per_node: 9 },
+                job: stream.clone(),
+                start_us: 0,
+                expected_end_us: None,
+            },
+        ];
+        assert_eq!(index, SchedIndex::rebuild(&[15, 24], &running));
+        assert_eq!(index.cheap(), &[1, 0]);
+        index.on_resize(&stream, &[0], 9, 16);
+        assert_eq!(index.cheap(), &[8, 0]);
+        index.on_complete(&stream, &[0], 16);
+        assert_eq!(index, SchedIndex::rebuild(&[24, 24], &running[..1]));
+        assert_eq!(index.cheap(), &[0, 0]);
     }
 
     #[test]
