@@ -14,7 +14,9 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, NODE_CPUS};
+use drom_bench::sched_fixtures::{
+    loaded_state, loaded_state_model, reservation_stress_state, NODE_CPUS,
+};
 use drom_sim::{mixed_hpc_trace, ClusterSim};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
@@ -50,14 +52,14 @@ fn bench_sched_scale(c: &mut Criterion) {
     });
 
     group.bench_function("malleable_pass_128n", |b| {
-        let mut policy = MalleablePolicy;
+        let mut policy = MalleablePolicy::default();
         b.iter(|| black_box(policy.schedule(&view, &queue, 1_000)));
     });
 
     // The pre-index reference on the same view (it ignores the index): this
     // is the committed 2 ms baseline the indexed pass is measured against.
     group.bench_function("malleable_scan_pass_128n", |b| {
-        let mut policy = MalleableScanPolicy;
+        let mut policy = MalleableScanPolicy::default();
         b.iter(|| black_box(policy.schedule(&view_no_index, &queue, 1_000)));
     });
 
@@ -74,7 +76,7 @@ fn bench_sched_scale(c: &mut Criterion) {
         index: Some(&index_m),
     };
     group.bench_function("malleable_model_pass_128n", |b| {
-        let mut policy = MalleablePolicy;
+        let mut policy = MalleablePolicy::default();
         b.iter(|| black_box(policy.schedule(&view_m, &queue_m, 1_000)));
     });
 
@@ -95,13 +97,44 @@ fn bench_sched_scale(c: &mut Criterion) {
     };
 
     group.bench_function("malleable_pass_1024n", |b| {
-        let mut policy = MalleablePolicy;
+        let mut policy = MalleablePolicy::default();
         b.iter(|| black_box(policy.schedule(&view_xl, &queue_xl, 1_000)));
     });
 
     group.bench_function("malleable_scan_pass_1024n", |b| {
-        let mut policy = MalleableScanPolicy;
+        let mut policy = MalleableScanPolicy::default();
         b.iter(|| black_box(policy.schedule(&view_xl_no_index, &queue_xl, 1_000)));
+    });
+
+    // The reservation-stress view: 1024 rigid holders with distinct
+    // completion estimates and one cluster-wide queued job, so the pass cost
+    // *is* the drain-reservation forecast (the fit only succeeds at the very
+    // last release). The indexed pass walks the release timeline; the scan
+    // keeps the per-candidate replay, so the pair records the timeline's
+    // speedup the way malleable_* vs malleable_scan_* records the index's.
+    let (free_r, running_r, queue_r) = reservation_stress_state(1024);
+    let index_r = SchedIndex::rebuild(&free_r, &running_r);
+    let view_r = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_r,
+        running: &running_r,
+        index: Some(&index_r),
+    };
+    let view_r_no_index = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_r,
+        running: &running_r,
+        index: None,
+    };
+
+    group.bench_function("malleable_reservation_pass_1024n", |b| {
+        let mut policy = MalleablePolicy::default();
+        b.iter(|| black_box(policy.schedule(&view_r, &queue_r, 1_000)));
+    });
+
+    group.bench_function("malleable_scan_reservation_pass_1024n", |b| {
+        let mut policy = MalleableScanPolicy::default();
+        b.iter(|| black_box(policy.schedule(&view_r_no_index, &queue_r, 1_000)));
     });
 
     // End-to-end: a full 300-job trace on 32 nodes, malleable policy. The
@@ -112,7 +145,7 @@ fn bench_sched_scale(c: &mut Criterion) {
         let trace = mixed_hpc_trace(7, 300, 32, NODE_CPUS, 1.15).generate();
         let sim = ClusterSim::new(32, NODE_CPUS);
         b.iter(|| {
-            let report = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+            let report = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
             black_box(report.events_processed)
         });
     });

@@ -28,16 +28,22 @@
 //! from the indexed pass — the differential harness the CI smoke runs on the
 //! model-aware tier, where the curve-driven donor ranking has the most
 //! surface to drift.
+//!
+//! `--loss-tolerance F` adds one more malleable row replayed with the
+//! shrink-economics gate relaxed to `gain × F ≥ loss` (`F = 1.0` is the
+//! default strict gate), so the utilization/response trade of admitting
+//! throughput-losing shrinks is a committed measurement rather than a guess.
 
 use std::str::FromStr;
 
 use drom_bench::emit;
 use drom_metrics::{workload::percent_improvement, Table};
-use drom_sim::trace::{SCALE_OUT_JOBS, SCALE_OUT_NODES};
+use drom_sim::trace::{MEGA_JOBS, MEGA_NODES, SCALE_OUT_JOBS, SCALE_OUT_NODES};
 use drom_sim::{
-    mixed_hpc_trace, model_aware_trace, scale_out_trace, ClusterRunReport, ClusterSim,
+    mega_trace, mixed_hpc_trace, model_aware_trace, reservation_heavy_trace, scale_out_trace,
+    ClusterRunReport, ClusterSim,
 };
-use drom_slurm::policy::SchedulerPolicy;
+use drom_slurm::policy::{SchedulerPolicy, SpeedupCurve};
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
 
 /// Value of `flag` on the command line, or `default`. An unparsable value is
@@ -93,8 +99,37 @@ fn main() {
             let load = arg::<f64>("--load", 1.15);
             (nodes, jobs, load, model_aware_trace(seed, jobs, nodes, node_cpus, load))
         }
+        // The reservation-dense tier: wide rigid job classes keep the head
+        // of the queue blocked, so almost every malleable pass forecasts a
+        // drain reservation — the workload the release-timeline index
+        // exists for. Standing cluster shape, standing overrides apply.
+        "reservation-heavy" => {
+            let nodes = arg::<usize>("--nodes", 128);
+            let jobs = arg::<usize>("--jobs", 2000);
+            let load = arg::<f64>("--load", 1.15);
+            (
+                nodes,
+                jobs,
+                load,
+                reservation_heavy_trace(seed, jobs, nodes, node_cpus, load),
+            )
+        }
+        // The mega tier pins the cluster shape like scale-out: 10k nodes ×
+        // 100k jobs, feasible end-to-end only with the release-timeline
+        // reservations and the histogram admission guards. `--jobs` still
+        // overrides for CI smoke runs.
+        "mega" => {
+            assert!(
+                std::env::args().all(|a| a != "--nodes" && a != "--load"),
+                "--tier mega pins the cluster shape; use the standing tier \
+                 with --nodes/--load instead"
+            );
+            let jobs = arg::<usize>("--jobs", MEGA_JOBS);
+            (MEGA_NODES, jobs, 1.15, mega_trace(seed, jobs))
+        }
         other => panic!(
-            "unknown tier {other:?} (use \"standing\", \"scale-out\" or \"model-aware\")"
+            "unknown tier {other:?} (use \"standing\", \"scale-out\", \
+             \"model-aware\", \"reservation-heavy\" or \"mega\")"
         ),
     };
 
@@ -108,16 +143,31 @@ fn main() {
     let policies: Vec<Box<dyn SchedulerPolicy>> = vec![
         Box::new(FirstFitPolicy),
         Box::new(BackfillPolicy),
-        Box::new(MalleablePolicy),
+        Box::new(MalleablePolicy::default()),
     ];
     let reports: Vec<ClusterRunReport> = policies
         .into_iter()
         .map(|p| sim.run(p, &trace).expect("trace jobs all fit the cluster"))
         .collect();
 
+    // Optional extra malleable row with the shrink-economics gate relaxed to
+    // `gain × tolerance ≥ loss`; labelled with the tolerance so committed
+    // tables stay self-describing.
+    let tolerance_run: Option<(String, ClusterRunReport)> = std::env::args()
+        .any(|a| a == "--loss-tolerance")
+        .then(|| {
+            let t = arg::<f64>("--loss-tolerance", 1.0);
+            assert!(t.is_finite() && t > 0.0, "--loss-tolerance must be positive");
+            let tol_fp = (t * SpeedupCurve::FP as f64).round() as u64;
+            let r = sim
+                .run(Box::new(MalleablePolicy::with_loss_tolerance(tol_fp)), &trace)
+                .expect("trace jobs all fit the cluster");
+            (format!("malleable(tol={t:.2})"), r)
+        });
+
     if flag("--scan") {
         let scan = sim
-            .run(Box::new(MalleableScanPolicy), &trace)
+            .run(Box::new(MalleableScanPolicy::default()), &trace)
             .expect("trace jobs all fit the cluster");
         let indexed = &reports[2];
         assert!(
@@ -146,9 +196,13 @@ fn main() {
             "expands",
         ],
     );
-    for r in &reports {
+    let labelled = reports
+        .iter()
+        .map(|r| (r.policy.to_string(), r))
+        .chain(tolerance_run.iter().map(|(label, r)| (label.clone(), r)));
+    for (label, r) in labelled.clone() {
         table.add_row(&[
-            r.policy.to_string(),
+            label,
             format!("{:.0}", r.makespan_s()),
             format!("{:.0}", r.mean_response_s()),
             format!("{:.0}", r.p95_response_s()),
@@ -165,9 +219,9 @@ fn main() {
         "Improvement over first-fit [%] (positive = better)",
         &["policy", "makespan", "mean resp", "P95 resp", "utilization"],
     );
-    for r in &reports[1..] {
+    for (label, r) in labelled.skip(1) {
         vs.add_row(&[
-            r.policy.to_string(),
+            label,
             format!(
                 "{:+.1}",
                 percent_improvement(baseline.makespan_s(), r.makespan_s())

@@ -1,11 +1,13 @@
 //! CI perf-regression guard for the malleable scheduling pass.
 //!
 //! Re-measures the loaded 128-node `sched_scale/malleable_pass_128n` case
-//! (the exact snapshot the bench uses, via `drom_bench::sched_fixtures`) —
-//! and its model-aware twin `malleable_model_pass_128n`, the same view with
-//! calibrated speedup curves attached — and fails — exit code 1 — when
-//! either exceeds its committed `BENCH_sched.json` baseline by more than the
-//! given factor (default 2×, `--factor F` overrides).
+//! (the exact snapshot the bench uses, via `drom_bench::sched_fixtures`),
+//! its model-aware twin `malleable_model_pass_128n` (the same view with
+//! calibrated speedup curves attached), and the 1024-node
+//! `malleable_reservation_pass_1024n` drain-forecast case (the
+//! release-timeline walk that replaced the per-attempt replay), and fails —
+//! exit code 1 — when any exceeds its committed `BENCH_sched.json` baseline
+//! by more than the given factor (default 2×, `--factor F` overrides).
 //!
 //! The committed baseline is an absolute wall-clock number from one machine;
 //! CI runners are arbitrarily faster or slower. To keep the threshold about
@@ -21,12 +23,13 @@
 
 use std::time::Instant;
 
-use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, NODE_CPUS};
+use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, reservation_stress_state, NODE_CPUS};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{MalleablePolicy, MalleableScanPolicy};
 
 const INDEXED_KEY: &str = "sched_scale/malleable_pass_128n";
 const MODEL_KEY: &str = "sched_scale/malleable_model_pass_128n";
+const RESERVATION_KEY: &str = "sched_scale/malleable_reservation_pass_1024n";
 const SCAN_KEY: &str = "sched_scale/malleable_scan_pass_128n";
 
 /// Extracts `"<key>": { "mean_ns": N }` from the **`"benches"` section** of
@@ -77,6 +80,8 @@ fn main() {
         .unwrap_or_else(|| panic!("no {INDEXED_KEY} mean_ns in {baseline_path}"));
     let model_baseline = baseline_mean_ns(&json, MODEL_KEY)
         .unwrap_or_else(|| panic!("no {MODEL_KEY} mean_ns in {baseline_path}"));
+    let reservation_baseline = baseline_mean_ns(&json, RESERVATION_KEY)
+        .unwrap_or_else(|| panic!("no {RESERVATION_KEY} mean_ns in {baseline_path}"));
     let scan_baseline = baseline_mean_ns(&json, SCAN_KEY)
         .unwrap_or_else(|| panic!("no {SCAN_KEY} mean_ns in {baseline_path}"));
 
@@ -100,10 +105,19 @@ fn main() {
         running: &running_m,
         index: Some(&index_m),
     };
+    let (free_r, running_r, queue_r) = reservation_stress_state(1024);
+    let index_r = SchedIndex::rebuild(&free_r, &running_r);
+    let view_r = ClusterView {
+        node_cpus: NODE_CPUS,
+        free: &free_r,
+        running: &running_r,
+        index: Some(&index_r),
+    };
 
-    let indexed_ns = measure(&mut MalleablePolicy, &view, &queue, 200);
-    let model_ns = measure(&mut MalleablePolicy, &view_m, &queue_m, 200);
-    let scan_ns = measure(&mut MalleableScanPolicy, &view_no_index, &queue, 20);
+    let indexed_ns = measure(&mut MalleablePolicy::default(), &view, &queue, 200);
+    let model_ns = measure(&mut MalleablePolicy::default(), &view_m, &queue_m, 200);
+    let reservation_ns = measure(&mut MalleablePolicy::default(), &view_r, &queue_r, 200);
+    let scan_ns = measure(&mut MalleableScanPolicy::default(), &view_no_index, &queue, 20);
 
     // How much slower/faster this machine is than the one that recorded the
     // baseline, judged by the reference implementation (whose cost this PR
@@ -117,6 +131,7 @@ fn main() {
     for (key, measured, baseline) in [
         (INDEXED_KEY, indexed_ns, indexed_baseline),
         (MODEL_KEY, model_ns, model_baseline),
+        (RESERVATION_KEY, reservation_ns, reservation_baseline),
     ] {
         let limit_ns = baseline as f64 * factor * machine;
         println!(

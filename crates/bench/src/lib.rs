@@ -236,6 +236,40 @@ pub mod sched_fixtures {
         (free, running, queue)
     }
 
+    /// A reservation-stress snapshot: every node runs one rigid
+    /// three-quarter-width job with a *distinct* completion estimate, and the
+    /// queue holds a single cluster-wide full-width rigid job. Nothing can be
+    /// shrunk (no donors), so the whole pass cost is the drain-reservation
+    /// forecast — which only succeeds at the very last release, making the
+    /// pass walk every candidate instant. Under the pre-timeline replay that
+    /// is O(running × nodes) fit probes; under the release-timeline walk it
+    /// is O(running) delta applications plus one probe. This is the fixture
+    /// behind `malleable_reservation_pass_1024n` and the reservation half of
+    /// `sched_guard`.
+    pub fn reservation_stress_state(nodes: usize) -> (Vec<usize>, Vec<RunningJob>, Vec<QueuedJob>) {
+        let width = NODE_CPUS * 3 / 4;
+        let free = vec![NODE_CPUS - width; nodes];
+        let running: Vec<RunningJob> = (0..nodes)
+            .map(|n| {
+                let id = n as u64 + 1;
+                RunningJob {
+                    job: QueuedJob::new(id, 1, width)
+                        .with_expected_duration_us(1_000_000 + 10_000 * id),
+                    alloc: JobAllocation {
+                        job_id: id,
+                        node_indices: vec![n],
+                        cpus_per_node: width,
+                    },
+                    start_us: 0,
+                    expected_end_us: Some(1_000_000 + 10_000 * id),
+                }
+            })
+            .collect();
+        let queue = vec![QueuedJob::new(100_000, nodes, NODE_CPUS)
+            .with_expected_duration_us(600_000_000)];
+        (free, running, queue)
+    }
+
     /// The same loaded snapshot with the calibrated application models
     /// attached: every job — running and queued — carries the speedup curve
     /// of a deterministically rotating application kind, so a pass over this

@@ -315,7 +315,7 @@ impl ClusterSim {
 mod tests {
     use super::*;
     use crate::rate::speedup_curve;
-    use crate::trace::{mixed_hpc_trace, model_aware_trace};
+    use crate::trace::{mixed_hpc_trace, model_aware_trace, reservation_heavy_trace};
     use drom_apps::AppKind;
     use drom_slurm::policy::QueuedJob;
     use drom_slurm::{
@@ -333,7 +333,7 @@ mod tests {
         for policy in [
             Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
             Box::new(BackfillPolicy),
-            Box::new(MalleablePolicy),
+            Box::new(MalleablePolicy::default()),
         ] {
             let report = sim.run(policy, &trace).unwrap();
             assert_eq!(report.jobs().len(), trace.len(), "{}", report.policy);
@@ -351,8 +351,8 @@ mod tests {
     fn runs_are_deterministic() {
         let sim = ClusterSim::new(8, 16);
         let trace = tiny_trace();
-        let a = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
-        let b = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+        let a = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+        let b = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
         assert_eq!(a.report, b.report);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.events_processed, b.events_processed);
@@ -363,7 +363,7 @@ mod tests {
         let sim = ClusterSim::new(16, 16);
         let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
         let ff = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
-        let mall = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+        let mall = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
         assert!(
             mall.makespan_s() < ff.makespan_s(),
             "malleable {} vs first-fit {}",
@@ -410,7 +410,7 @@ mod tests {
         for policy in [
             Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
             Box::new(BackfillPolicy),
-            Box::new(MalleablePolicy),
+            Box::new(MalleablePolicy::default()),
         ] {
             let err = ClusterSim::new(4, 16).run(policy, &jobs).unwrap_err();
             assert!(matches!(err, SlurmError::Unschedulable { job_id: 1, .. }));
@@ -446,7 +446,7 @@ mod tests {
             },
         ];
         let report = ClusterSim::new(1, 16)
-            .run(Box::new(MalleablePolicy), &jobs)
+            .run(Box::new(MalleablePolicy::default()), &jobs)
             .unwrap();
         assert_eq!(report.jobs().len(), 3);
         // Jobs 2 and 3 start in the same pass, so job 2's shrink folds into a
@@ -505,7 +505,7 @@ mod tests {
             rigid(8, 1, 2, 3, 188),                    // ends exactly at the reservation
         ];
         let report = ClusterSim::new(4, 16)
-            .run(Box::new(MalleablePolicy), &jobs)
+            .run(Box::new(MalleablePolicy::default()), &jobs)
             .unwrap();
         let j6 = report.jobs().iter().find(|j| j.name == "job6").unwrap();
         assert_eq!(j6.start, 10, "job 6 is admitted (shrunk) at the release");
@@ -533,9 +533,13 @@ mod tests {
             for trace in [
                 mixed_hpc_trace(seed, jobs, nodes, 16, load).generate(),
                 model_aware_trace(seed, jobs, nodes, 16, load).generate(),
+                // The reservation-dense stream: wide rigid jobs force a
+                // drain reservation in most passes, so the timeline walk and
+                // the replay reference disagree loudly if either drifts.
+                reservation_heavy_trace(seed, jobs, nodes, 16, load).generate(),
             ] {
-                let indexed = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
-                let scanned = sim.run(Box::new(MalleableScanPolicy), &trace).unwrap();
+                let indexed = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+                let scanned = sim.run(Box::new(MalleableScanPolicy::default()), &trace).unwrap();
                 assert_eq!(indexed.report, scanned.report, "seed {seed}");
                 assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
                 assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
@@ -560,7 +564,7 @@ mod tests {
         ] {
             let sim = ClusterSim::new(nodes, 16);
             let trace = mixed_hpc_trace(seed, jobs, nodes, 16, load).generate();
-            let r = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+            let r = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
             let sum_start: u128 = r.jobs().iter().map(|j| j.start as u128).sum();
             let sum_end: u128 = r.jobs().iter().map(|j| j.end as u128).sum();
             let got = (
@@ -573,6 +577,29 @@ mod tests {
             );
             assert_eq!(got, digest, "seed {seed}: linear replay drifted from PR 5");
         }
+
+        // The reservation-dense stream, pinned the same way *before* the
+        // release-timeline rewrite of `earliest_release_fit`: every pass on
+        // this trace forecasts a drain reservation, so these digests are the
+        // strongest byte-identity witness the timeline walk must reproduce.
+        let sim = ClusterSim::new(32, 16);
+        let trace = reservation_heavy_trace(2018, 300, 32, 16, 1.15).generate();
+        let r = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+        let sum_start: u128 = r.jobs().iter().map(|j| j.start as u128).sum();
+        let sum_end: u128 = r.jobs().iter().map(|j| j.end as u128).sum();
+        let got = (
+            sum_start,
+            sum_end,
+            r.report.total_run_time(),
+            r.stats.shrinks,
+            r.stats.expands,
+            r.events_processed,
+        );
+        assert_eq!(
+            got,
+            (1_051_586_406_371u128, 1_187_645_406_137u128, 8_044_835_231u64, 119u64, 96u64, 815u64),
+            "reservation-dense replay drifted from the pre-timeline digests"
+        );
     }
 
     /// Differential: attaching an explicitly **linear** curve to every job
@@ -593,14 +620,14 @@ mod tests {
         for policy in [
             Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
             Box::new(BackfillPolicy),
-            Box::new(MalleablePolicy),
+            Box::new(MalleablePolicy::default()),
         ] {
             let name = policy.name();
             let plain = sim.run(policy, &base).unwrap();
             let curved = match name {
                 "first-fit" => sim.run(Box::new(FirstFitPolicy), &with_curves),
                 "backfill" => sim.run(Box::new(BackfillPolicy), &with_curves),
-                _ => sim.run(Box::new(MalleablePolicy), &with_curves),
+                _ => sim.run(Box::new(MalleablePolicy::default()), &with_curves),
             }
             .unwrap();
             assert_eq!(plain.report, curved.report, "{name}");
@@ -656,7 +683,7 @@ mod tests {
             },
         ];
         let report = ClusterSim::new(1, 16)
-            .run(Box::new(MalleablePolicy), &jobs)
+            .run(Box::new(MalleablePolicy::default()), &jobs)
             .unwrap();
         assert!(report.stats.shrinks >= 1, "job 1 is shrunk to admit job 2");
         let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
@@ -696,7 +723,7 @@ mod tests {
             },
         ];
         let report = ClusterSim::new(1, 16)
-            .run(Box::new(MalleablePolicy), &jobs)
+            .run(Box::new(MalleablePolicy::default()), &jobs)
             .unwrap();
         let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
         assert_eq!(j2.start, 10);
@@ -729,8 +756,8 @@ mod tests {
         let sim = ClusterSim::new(16, 16);
         let linear = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
         let model = model_aware_trace(3, 150, 16, 16, 1.2).generate();
-        let lin = sim.run(Box::new(MalleablePolicy), &linear).unwrap();
-        let modl = sim.run(Box::new(MalleablePolicy), &model).unwrap();
+        let lin = sim.run(Box::new(MalleablePolicy::default()), &linear).unwrap();
+        let modl = sim.run(Box::new(MalleablePolicy::default()), &model).unwrap();
         assert!(modl.stats.shrinks > 0, "malleability must still engage");
         let delta = (modl.mean_response_s() - lin.mean_response_s()).abs()
             / lin.mean_response_s();

@@ -49,7 +49,7 @@
 //! let trace = mixed_hpc_trace(42, 40, 8, 16, 1.2).generate();
 //! let sim = ClusterSim::new(8, 16);
 //! let first_fit = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
-//! let malleable = sim.run(Box::new(MalleablePolicy), &trace).unwrap();
+//! let malleable = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
 //! // Shrinking running jobs to admit queued work cuts the queue wait.
 //! assert!(malleable.mean_response_s() <= first_fit.mean_response_s());
 //! assert!(malleable.stats.started == 40 && malleable.stats.completed == 40);
@@ -72,8 +72,8 @@ pub use rate::{phase_rate, speedup_curve, JobRate};
 pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
 pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
 pub use trace::{
-    default_app_mix, mixed_hpc_trace, model_aware_trace, scale_out_trace, ArrivalProcess,
-    JobClass, TraceConfig, TraceJob,
+    default_app_mix, mega_trace, mixed_hpc_trace, model_aware_trace, reservation_heavy_trace,
+    scale_out_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob,
 };
 
 /// Re-export of the scenario enum shared with the metrics crate.

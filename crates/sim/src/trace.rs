@@ -305,6 +305,87 @@ pub fn model_aware_trace(
     mixed_hpc_trace(seed, num_jobs, num_nodes, node_cpus, load).with_app_mix(default_app_mix())
 }
 
+/// A reservation-dense job stream: a heavy rigid minority — including
+/// cluster-quarter-wide full-width jobs that can never be shrunk into a
+/// packed cluster — keeps the queue head blocked, so almost every scheduling
+/// pass computes a drain reservation. This is the workload that makes
+/// `earliest_release_fit` the dominant pass cost, which is exactly what the
+/// release-timeline differentials and the pinned reservation digests need to
+/// exercise; the malleable filler classes keep the cluster packed enough
+/// that the rigid jobs never fit immediately.
+pub fn reservation_heavy_trace(
+    seed: u64,
+    num_jobs: usize,
+    num_nodes: usize,
+    node_cpus: usize,
+    load: f64,
+) -> TraceConfig {
+    let full = node_cpus;
+    let half = (node_cpus / 2).max(1);
+    let quarter = (node_cpus / 4).max(1);
+    let capped = |nodes: usize| nodes.clamp(1, num_nodes.max(1));
+    let classes = vec![
+        // Rigid and a quarter of the cluster wide at full width: the drain
+        // generator — it only ever starts into a reservation.
+        JobClass {
+            weight: 0.20,
+            nodes: (num_nodes / 4).max(1),
+            cpus_per_node: full,
+            min_cpus_per_node: full,
+            malleable: false,
+            duration_range_us: (120_000_000, 600_000_000),
+        },
+        // Rigid two-node full-width jobs: block often, drain quickly.
+        JobClass {
+            weight: 0.15,
+            nodes: capped(2),
+            cpus_per_node: full,
+            min_cpus_per_node: full,
+            malleable: false,
+            duration_range_us: (120_000_000, 900_000_000),
+        },
+        // Malleable filler keeping the cluster packed between drains.
+        JobClass {
+            weight: 0.35,
+            nodes: 1,
+            cpus_per_node: quarter,
+            min_cpus_per_node: 1,
+            malleable: true,
+            duration_range_us: (120_000_000, 900_000_000),
+        },
+        JobClass {
+            weight: 0.30,
+            nodes: capped(2),
+            cpus_per_node: half,
+            min_cpus_per_node: (half / 4).max(1),
+            malleable: true,
+            duration_range_us: (120_000_000, 1_200_000_000),
+        },
+    ];
+    let mean_cpu_us: f64 = {
+        let total_weight: f64 = classes.iter().map(|c| c.weight).sum();
+        classes
+            .iter()
+            .map(|c| {
+                let (lo, hi) = (c.duration_range_us.0 as f64, c.duration_range_us.1 as f64);
+                let mean_duration = (hi - lo) / (hi / lo).ln();
+                c.weight / total_weight * mean_duration * (c.nodes * c.cpus_per_node) as f64
+            })
+            .sum()
+    };
+    let capacity = (num_nodes * node_cpus) as f64;
+    let mean_interarrival_us = (mean_cpu_us / (capacity * load.max(0.01))).round() as TimeUs;
+    TraceConfig {
+        seed,
+        num_jobs,
+        arrival: ArrivalProcess::Poisson {
+            mean_interarrival_us: mean_interarrival_us.max(1),
+        },
+        classes,
+        app_mix: Vec::new(),
+    }
+}
+
 /// Nodes of the scale-out sweep tier (× 16 CPUs each).
 pub const SCALE_OUT_NODES: usize = 1024;
 
@@ -323,6 +404,26 @@ pub const SCALE_OUT_JOBS: usize = 10_000;
 /// `docs/scheduling.md`), while the indexed pass finishes it in seconds.
 pub fn scale_out_trace(seed: u64, num_jobs: usize) -> TraceConfig {
     mixed_hpc_trace(seed, num_jobs, SCALE_OUT_NODES, 16, 1.15)
+}
+
+/// Nodes of the mega sweep tier (× 16 CPUs each).
+pub const MEGA_NODES: usize = 10_000;
+
+/// Jobs of the full mega sweep tier.
+pub const MEGA_JOBS: usize = 100_000;
+
+/// The mega sweep tier: the canonical mixed-HPC job stream against a
+/// 10 000-node × 16-CPU cluster at ~1.15× offered load — [`MEGA_JOBS`] jobs
+/// at full size; `cluster_sweep --tier mega` drives it (CI smokes a reduced
+/// `num_jobs` on the same cluster shape).
+///
+/// This is the tier the release-timeline index exists for: at 10k nodes a
+/// single drain-reservation replay costs O(running × nodes) ≈ 10⁷ node
+/// visits, and a 100k-job replay computes hundreds of thousands of them —
+/// the timeline walk plus the histogram-guarded admission probes keep the
+/// whole three-policy sweep in minutes (see `docs/scheduling.md`).
+pub fn mega_trace(seed: u64, num_jobs: usize) -> TraceConfig {
+    mixed_hpc_trace(seed, num_jobs, MEGA_NODES, 16, 1.15)
 }
 
 /// Small, fast, platform-independent PRNG (xorshift64*). Not cryptographic;

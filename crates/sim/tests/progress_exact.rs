@@ -210,7 +210,7 @@ fn two_thirds_rate_completes_exactly() {
         },
     ];
     let report = ClusterSim::new(1, 16)
-        .run(Box::new(MalleablePolicy), &jobs)
+        .run(Box::new(MalleablePolicy::default()), &jobs)
         .unwrap();
     let j2 = report.jobs().iter().find(|j| j.name == "job2").unwrap();
     assert_eq!(j2.start, 5);

@@ -292,6 +292,14 @@ impl PolicyScheduler {
     pub fn set_expected_end(&mut self, job_id: u64, end_us: Option<TimeUs>) {
         if let Some(job) = self.running.iter_mut().find(|r| r.alloc.job_id == job_id) {
             job.expected_end_us = end_us;
+            // Re-key the job in the index's release timeline so the next
+            // pass's drain forecast walks the refreshed estimate.
+            self.index.on_estimate(
+                job.alloc.job_id,
+                &job.alloc.node_indices,
+                job.alloc.cpus_per_node,
+                end_us,
+            );
         }
     }
 
@@ -416,15 +424,17 @@ impl PolicyScheduler {
             )));
         }
         let job = self.queue.remove(pos);
-        self.index.on_start(&job, node_indices, width);
         // The initial completion estimate scales with the admitted width (a
         // job started at half width needs ~2× its declared duration — more
         // if its speedup curve says shrinking is worse than linear), so
         // backfill/drain reservations stay honest even when the driver never
-        // refreshes estimates via set_expected_end.
+        // refreshes estimates via set_expected_end. Computed before the
+        // index hook: the timeline must key the job at the same estimate
+        // the running entry records.
         let expected_end_us = job
             .expected_duration_us
             .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width)));
+        self.index.on_start(&job, node_indices, width, expected_end_us);
         self.running.push(RunningJob {
             alloc: JobAllocation {
                 job_id,
@@ -604,7 +614,7 @@ mod tests {
 
     #[test]
     fn policy_scheduler_malleable_shrink_and_reexpand() {
-        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy::default()));
         sched
             .submit(QueuedJob::new(1, 2, 16).malleable(4).with_submit_us(0))
             .unwrap();
@@ -645,7 +655,7 @@ mod tests {
     /// job still holds.
     #[test]
     fn shrunk_start_estimate_is_never_optimistic() {
-        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy));
+        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy::default()));
         sched.submit(QueuedJob::new(1, 1, 3)).unwrap();
         sched.tick(0).unwrap();
         // 5 CPUs free: job 2 (7 wide, floor 1, 101 µs) is admitted at 5.
@@ -675,7 +685,7 @@ mod tests {
         let rates: Vec<u64> = (0..=7u64)
             .map(|w| if w == 7 { SpeedupCurve::FP } else { w * SpeedupCurve::FP / 14 })
             .collect();
-        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy));
+        let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy::default()));
         sched.submit(QueuedJob::new(1, 1, 3)).unwrap();
         sched.tick(0).unwrap();
         sched
@@ -700,7 +710,7 @@ mod tests {
     /// rebuild across a start / shrink / expand / complete lifecycle.
     #[test]
     fn policy_scheduler_keeps_index_consistent() {
-        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy::default()));
         sched
             .submit(QueuedJob::new(1, 2, 16).malleable(4).with_submit_us(0))
             .unwrap();

@@ -33,6 +33,9 @@
 //! complexity budget, and how a shrink composes with the registry's
 //! pending-mask rules.
 
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+
 use drom_metrics::TimeUs;
 
 use crate::job::JobSpec;
@@ -459,9 +462,136 @@ impl ClusterView<'_> {
     }
 }
 
+/// The release timeline: per-node CPU release deltas keyed by estimated
+/// completion instant, over the running jobs that carry an estimate.
+///
+/// This is the input of the drain-reservation forecast shared by
+/// [`BackfillPolicy`] and [`MalleablePolicy`]: instead of re-sorting every
+/// running allocation by end time and replaying the releases with a
+/// first-fit probe per candidate instant (O(candidates × nodes) per
+/// forecast — the reservation-heavy scaling wall at 1024+ nodes), the
+/// forecast walks these pre-aggregated deltas in end order and maintains a
+/// *count* of nodes satisfying the probe width, probing placement exactly
+/// once (`earliest_timeline_fit`). [`SchedIndex`] keeps one up to date in
+/// O(job's nodes × log running) per applied start / resize / completion /
+/// estimate change, so a pass never pays the sort either.
+///
+/// Canonical form (what [`PartialEq`] compares, and what the debug rebuild
+/// oracle re-derives from the running set): one entry per distinct estimated
+/// end instant, mapping each node to the **sum** of the estimated widths
+/// releasing there; zero-width node entries and empty instants are never
+/// stored. Jobs without an estimate simply do not appear — the walk treats
+/// their CPUs as never released, exactly like the replay it replaces.
+/// Widths are positive by construction (no allocation is zero-wide).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReleaseTimeline {
+    /// `by_end[t][node]` = CPUs released on `node` at estimated instant `t`.
+    by_end: BTreeMap<TimeUs, BTreeMap<usize, usize>>,
+    /// The instant each estimated job is currently keyed under — what lets
+    /// an estimate change re-key the job without knowing its old estimate.
+    ends: HashMap<u64, TimeUs>,
+}
+
+impl ReleaseTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of estimated jobs on the timeline.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` when no job carries an estimate.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    fn add_deltas(&mut self, end_us: TimeUs, node_indices: &[usize], width: usize) {
+        let at = self.by_end.entry(end_us).or_default();
+        for &n in node_indices {
+            *at.entry(n).or_insert(0) += width;
+        }
+    }
+
+    fn sub_deltas(&mut self, end_us: TimeUs, node_indices: &[usize], width: usize) {
+        let at = self
+            .by_end
+            .get_mut(&end_us)
+            .expect("an indexed job's end instant is on the timeline");
+        for &n in node_indices {
+            let d = at.get_mut(&n).expect("an indexed job's nodes carry deltas");
+            *d -= width;
+            if *d == 0 {
+                at.remove(&n);
+            }
+        }
+        if at.is_empty() {
+            self.by_end.remove(&end_us);
+        }
+    }
+
+    /// Enters a job holding `width` CPUs on each of `node_indices` until
+    /// `end_us`. A job without an estimate (`None`) is not tracked — call
+    /// [`set_end`](Self::set_end) when it gains one.
+    pub fn add(
+        &mut self,
+        job_id: u64,
+        node_indices: &[usize],
+        width: usize,
+        end_us: Option<TimeUs>,
+    ) {
+        if let Some(end) = end_us {
+            self.ends.insert(job_id, end);
+            self.add_deltas(end, node_indices, width);
+        }
+    }
+
+    /// Removes a job (no-op when it carried no estimate). `node_indices` and
+    /// `width` must be the allocation currently on the timeline.
+    pub fn remove(&mut self, job_id: u64, node_indices: &[usize], width: usize) {
+        if let Some(end) = self.ends.remove(&job_id) {
+            self.sub_deltas(end, node_indices, width);
+        }
+    }
+
+    /// Re-prices a tracked job's release from `old_width` to `new_width` at
+    /// its current end instant — the resize hook (a resize keeps the node
+    /// set; the estimate is refreshed separately via
+    /// [`set_end`](Self::set_end)). No-op for unestimated jobs.
+    pub fn update_width(
+        &mut self,
+        job_id: u64,
+        node_indices: &[usize],
+        old_width: usize,
+        new_width: usize,
+    ) {
+        if let Some(&end) = self.ends.get(&job_id) {
+            self.sub_deltas(end, node_indices, old_width);
+            self.add_deltas(end, node_indices, new_width);
+        }
+    }
+
+    /// Re-keys a job's release to a new estimate (in place: remove at the
+    /// old instant, insert at the new), `None` dropping it from the
+    /// timeline. `node_indices`/`width` are the job's current allocation.
+    pub fn set_end(
+        &mut self,
+        job_id: u64,
+        node_indices: &[usize],
+        width: usize,
+        end_us: Option<TimeUs>,
+    ) {
+        self.remove(job_id, node_indices, width);
+        self.add(job_id, node_indices, width, end_us);
+    }
+}
+
 /// Incrementally maintained, per-node indexed scheduler state: free CPUs,
-/// the reclaimable-CPU summary and the donor index (which running malleable
-/// jobs hold CPUs on each node).
+/// the reclaimable-CPU summary, the donor index (which running malleable
+/// jobs hold CPUs on each node) and the [`ReleaseTimeline`] over the
+/// estimated completions.
 ///
 /// [`PolicyScheduler`](crate::PolicyScheduler) owns one and updates it on
 /// every start / resize / completion **event** instead of letting policies
@@ -489,7 +619,12 @@ impl ClusterView<'_> {
 /// * `donors[n]` lists exactly the running malleable jobs on `n`, in the
 ///   order they appear in the driver's `running` vector (start order), which
 ///   is what keeps indexed victim selection byte-identical to the reference
-///   scan.
+///   scan;
+/// * `timeline` holds exactly `{(r.expected_end_us, r.alloc.node_indices,
+///   r.alloc.cpus_per_node)}` over the running jobs whose estimate is
+///   `Some`, in [`ReleaseTimeline`] canonical form — kept current by
+///   [`on_estimate`](SchedIndex::on_estimate) whenever the driver refreshes
+///   an estimate.
 ///
 /// Completion consistency is the driver's job: the trace engine tags its
 /// completion events with a generation counter and drops stale ones *before*
@@ -501,6 +636,7 @@ pub struct SchedIndex {
     reclaim: Vec<usize>,
     cheap: Vec<usize>,
     donors: Vec<Vec<u64>>,
+    timeline: ReleaseTimeline,
 }
 
 impl SchedIndex {
@@ -511,6 +647,7 @@ impl SchedIndex {
             reclaim: vec![0; num_nodes],
             cheap: vec![0; num_nodes],
             donors: vec![Vec::new(); num_nodes],
+            timeline: ReleaseTimeline::new(),
         }
     }
 
@@ -545,6 +682,7 @@ impl SchedIndex {
             reclaim: vec![0; free.len()],
             cheap: vec![0; free.len()],
             donors: vec![Vec::new(); free.len()],
+            timeline: ReleaseTimeline::new(),
         };
         for r in running {
             if r.job.malleable {
@@ -556,6 +694,12 @@ impl SchedIndex {
                     index.cheap[n] += cheap;
                 }
             }
+            index.timeline.add(
+                r.alloc.job_id,
+                &r.alloc.node_indices,
+                r.alloc.cpus_per_node,
+                r.expected_end_us,
+            );
         }
         index
     }
@@ -584,6 +728,11 @@ impl SchedIndex {
         &self.donors[node]
     }
 
+    /// The end-time-ordered release timeline over the estimated completions.
+    pub fn timeline(&self) -> &ReleaseTimeline {
+        &self.timeline
+    }
+
     /// Per-job clamped spare width under the shrink bound.
     fn spare(job: &QueuedJob, width: usize) -> usize {
         width.saturating_sub(shrink_floor(job.min_cpus_per_node, job.cpus_per_node))
@@ -598,8 +747,16 @@ impl SchedIndex {
         }
     }
 
-    /// A job started on `node_indices` at `width` CPUs per node.
-    pub fn on_start(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
+    /// A job started on `node_indices` at `width` CPUs per node, with the
+    /// driver's completion estimate (entered on the release timeline when
+    /// `Some`).
+    pub fn on_start(
+        &mut self,
+        job: &QueuedJob,
+        node_indices: &[usize],
+        width: usize,
+        end_us: Option<TimeUs>,
+    ) {
         let spare = Self::spare(job, width);
         let cheap = Self::cheap_spare(job, width);
         for &n in node_indices {
@@ -610,6 +767,7 @@ impl SchedIndex {
                 self.cheap[n] += cheap;
             }
         }
+        self.timeline.add(job.id, node_indices, width, end_us);
     }
 
     /// A running job resized from `old_width` to `new_width` CPUs per node.
@@ -631,6 +789,22 @@ impl SchedIndex {
                 self.cheap[n] = self.cheap[n] + new_cheap - old_cheap;
             }
         }
+        // The release the timeline promises at the job's (unchanged) end
+        // instant is the new width; the driver refreshes the estimate itself
+        // afterwards via `on_estimate`.
+        self.timeline.update_width(job.id, node_indices, old_width, new_width);
+    }
+
+    /// The driver refreshed a running job's completion estimate:
+    /// re-keys its release (current allocation) to the new instant in place.
+    pub fn on_estimate(
+        &mut self,
+        job_id: u64,
+        node_indices: &[usize],
+        width: usize,
+        end_us: Option<TimeUs>,
+    ) {
+        self.timeline.set_end(job_id, node_indices, width, end_us);
     }
 
     /// A running job completed, releasing `width` CPUs on each of its nodes.
@@ -645,6 +819,7 @@ impl SchedIndex {
                 self.cheap[n] -= cheap;
             }
         }
+        self.timeline.remove(job.id, node_indices, width);
     }
 }
 
@@ -685,6 +860,13 @@ struct Holder<'a> {
 /// replaying the holders' expected releases onto a copy of `free`. Returns
 /// the time and the node set; `None` when the fit is never provable (a
 /// holder on needed CPUs has no completion estimate).
+///
+/// This is the **reference replay**: it re-sorts the holders and probes a
+/// first-fit per candidate instant, O(holders log holders + candidates ×
+/// nodes) per forecast. The production forecast is
+/// [`earliest_timeline_fit`], which walks a maintained [`ReleaseTimeline`]
+/// instead; [`MalleableScanPolicy`] and the oracle tests keep this one so
+/// the two stay differentially testable.
 fn earliest_release_fit(
     nodes: usize,
     width: usize,
@@ -722,19 +904,192 @@ fn earliest_release_fit(
     None
 }
 
+/// One pass-local adjustment layered over a base [`ReleaseTimeline`] during
+/// a forecast walk: at `end_us`, each node of `node_indices` releases
+/// `delta` more (new starts of this pass, `+width`) or fewer (victims this
+/// pass shrank, `width − original_width` ≤ 0) CPUs than the base promises.
+struct TimelineDelta<'a> {
+    end_us: TimeUs,
+    node_indices: &'a [usize],
+    delta: i64,
+}
+
+/// Earliest time ≥ `now_us` at which a `nodes × width` allocation fits:
+/// the [`earliest_release_fit`] forecast computed by walking a maintained
+/// [`ReleaseTimeline`] (plus a sorted pass-local `overlay`) with a running
+/// count of nodes at ≥ `width` free CPUs, instead of sorting the holders
+/// and probing a first-fit per candidate instant.
+///
+/// Decision equivalence with the replay, instant by instant: the candidate
+/// instants are the distinct estimated ends (base keys ∪ overlay ends —
+/// exactly the estimated holders' ends); all deltas at one instant apply
+/// before it is probed (the replay's equal-end grouping); instants ≤
+/// `now_us` release without becoming candidates (overdue estimates); and a
+/// first-fit at `width` succeeds **iff** at least `nodes` nodes carry ≥
+/// `width` free CPUs — so the count crossing the threshold at a future
+/// instant is exactly the replay's first successful probe, and placement is
+/// computed once, there. Base deltas apply before overlay deltas within an
+/// instant: a shrunk victim's negative overlay correction lands on top of
+/// the base release it corrects, so the running free count never
+/// underflows. O(nodes + total deltas) per forecast.
+fn earliest_timeline_fit(
+    nodes: usize,
+    width: usize,
+    free: &[usize],
+    timeline: &ReleaseTimeline,
+    overlay: &[TimelineDelta<'_>],
+    now_us: TimeUs,
+) -> Option<(TimeUs, Vec<usize>)> {
+    if nodes == 0 {
+        return None; // a zero-node fit is never satisfied, like fit_first
+    }
+    let mut eligible = free.iter().filter(|&&f| f >= width).count();
+    if eligible >= nodes {
+        let found = fit_first(free, nodes, width).expect("eligible count is exact");
+        return Some((now_us, found));
+    }
+    let mut free_at = free.to_vec();
+    let raise = |free_at: &mut [usize], eligible: &mut usize, n: usize, delta: i64| {
+        let was = free_at[n] >= width;
+        free_at[n] = (free_at[n] as i64 + delta) as usize;
+        match (was, free_at[n] >= width) {
+            (false, true) => *eligible += 1,
+            (true, false) => *eligible -= 1,
+            _ => {}
+        }
+    };
+    let mut base = timeline.by_end.iter().peekable();
+    let mut over = overlay.iter().peekable();
+    loop {
+        let t = match (base.peek(), over.peek()) {
+            (None, None) => return None,
+            (Some((&bt, _)), None) => bt,
+            (None, Some(o)) => o.end_us,
+            (Some((&bt, _)), Some(o)) => bt.min(o.end_us),
+        };
+        if let Some((&bt, deltas)) = base.peek() {
+            if bt == t {
+                for (&n, &w) in deltas.iter() {
+                    raise(&mut free_at, &mut eligible, n, w as i64);
+                }
+                base.next();
+            }
+        }
+        while let Some(o) = over.peek() {
+            if o.end_us != t {
+                break;
+            }
+            for &n in o.node_indices {
+                raise(&mut free_at, &mut eligible, n, o.delta);
+            }
+            over.next();
+        }
+        if t > now_us && eligible >= nodes {
+            let found = fit_first(&free_at, nodes, width).expect("eligible count is exact");
+            return Some((t, found));
+        }
+    }
+}
+
+/// A one-shot [`ReleaseTimeline`] over `running` — the fallback when the
+/// view carries no trustworthy driver index (hand-built views). The walk
+/// code is shared, so decisions are identical either way.
+fn timeline_from_running(running: &[RunningJob]) -> ReleaseTimeline {
+    let mut timeline = ReleaseTimeline::new();
+    for r in running {
+        timeline.add(
+            r.alloc.job_id,
+            &r.alloc.node_indices,
+            r.alloc.cpus_per_node,
+            r.expected_end_us,
+        );
+    }
+    timeline
+}
+
+/// The driver's event-maintained index, when the view carries one that
+/// matches the view's free vector (a mismatch means the index belongs to
+/// some other state and must be ignored). Shared trust guard of every
+/// indexed policy path; the debug oracle re-derives the whole index — the
+/// release timeline included — from the running set.
+fn trusted_index<'a>(view: &ClusterView<'a>) -> Option<&'a SchedIndex> {
+    let index = view.index.filter(|i| i.free() == view.free)?;
+    debug_assert_eq!(
+        *index,
+        SchedIndex::rebuild(view.free, view.running),
+        "event-maintained index diverged from the running set"
+    );
+    Some(index)
+}
+
+/// Exact per-value histogram over a bounded CPU-count vector (free CPUs, or
+/// free + reclaimable; both are ≤ the node capacity): `counts[v]` nodes
+/// currently carry value `v`. [`count_ge`](Self::count_ge) answers "how many
+/// nodes offer at least `w`" in O(node capacity) — the O(1)-per-node-count
+/// admission guard that lets a scheduling pass reject a doomed fit or
+/// shrink probe without an O(nodes) scan. The guard is exact in the reject
+/// direction (a first-fit at `width` succeeds iff ≥ `nodes` nodes qualify),
+/// so skipping the scan never changes a decision.
+#[derive(Clone)]
+struct FreeHist {
+    counts: Vec<usize>,
+}
+
+impl FreeHist {
+    /// Histogram of `values` (each ≤ `cap`), counting only nodes where
+    /// `tracked` holds.
+    fn new(values: &[usize], cap: usize, tracked: impl Fn(usize) -> bool) -> Self {
+        let mut counts = vec![0; cap + 1];
+        for (n, &v) in values.iter().enumerate() {
+            if tracked(n) {
+                counts[v] += 1;
+            }
+        }
+        FreeHist { counts }
+    }
+
+    /// Number of tracked nodes with value ≥ `v` (0 when `v` exceeds the
+    /// capacity bound).
+    fn count_ge(&self, v: usize) -> usize {
+        self.counts.get(v..).map_or(0, |tail| tail.iter().sum())
+    }
+
+    /// A tracked node's value changed from `old` to `new`.
+    fn update(&mut self, old: usize, new: usize) {
+        self.counts[old] -= 1;
+        self.counts[new] += 1;
+    }
+}
+
 /// First-fit placement: the first `nodes` nodes (in index order) with at
-/// least `width` free CPUs.
+/// least `width` free CPUs. Two passes — find the last needed node first,
+/// then collect — so a failed probe performs no allocation at all (the
+/// malleable pass probes far more often than it places).
 fn fit_first(free: &[usize], nodes: usize, width: usize) -> Option<Vec<usize>> {
-    let mut selected = Vec::with_capacity(nodes);
+    if nodes == 0 {
+        return None;
+    }
+    let mut seen = 0;
+    let mut last = 0;
     for (idx, &f) in free.iter().enumerate() {
         if f >= width {
-            selected.push(idx);
-            if selected.len() == nodes {
-                return Some(selected);
+            seen += 1;
+            if seen == nodes {
+                last = idx;
+                break;
             }
         }
     }
-    None
+    if seen < nodes {
+        return None;
+    }
+    let mut selected = Vec::with_capacity(nodes);
+    for (idx, &f) in free[..=last].iter().enumerate() {
+        if f >= width {
+            selected.push(idx);
+        }
+    }
+    Some(selected)
 }
 
 /// The baseline: FCFS order, first-fit placement, head-of-line blocking.
@@ -789,29 +1144,6 @@ impl SchedulerPolicy for FirstFitPolicy {
 #[derive(Debug, Default, Clone)]
 pub struct BackfillPolicy;
 
-impl BackfillPolicy {
-    /// Earliest time ≥ `now` at which `job` fits, replaying the expected
-    /// completions of `holders` (allocations with estimated end times) on top
-    /// of the current free vector. `None` if it never provably fits.
-    fn earliest_fit(
-        job: &QueuedJob,
-        free_now: &[usize],
-        holders: &[(Option<TimeUs>, JobAllocation)],
-        now_us: TimeUs,
-    ) -> Option<TimeUs> {
-        let holders: Vec<Holder<'_>> = holders
-            .iter()
-            .map(|(end, alloc)| Holder {
-                end_us: *end,
-                node_indices: &alloc.node_indices,
-                width: alloc.cpus_per_node,
-            })
-            .collect();
-        earliest_release_fit(job.nodes, job.cpus_per_node, free_now, &holders, now_us)
-            .map(|(t, _)| t)
-    }
-}
-
 impl SchedulerPolicy for BackfillPolicy {
     fn name(&self) -> &'static str {
         "backfill"
@@ -824,36 +1156,48 @@ impl SchedulerPolicy for BackfillPolicy {
         now_us: TimeUs,
     ) -> Vec<SchedulerAction> {
         let mut free = view.free.to_vec();
+        // Exact per-pass reject guard: a fit at `width` exists iff enough
+        // nodes carry ≥ `width` free CPUs, so a failed count skips the
+        // O(nodes) probe without changing any decision.
+        let mut hist = FreeHist::new(&free, view.node_cpus, |_| true);
         let mut actions = Vec::new();
-        // Allocations that will still hold CPUs: running jobs plus the jobs
-        // this very call decides to start.
-        let mut holders: Vec<(Option<TimeUs>, JobAllocation)> = view
-            .running
-            .iter()
-            .map(|r| (r.expected_end_us, r.alloc.clone()))
-            .collect();
+        // Only the jobs this very call starts are tracked here — the running
+        // jobs' releases come off the release timeline below, so the pass no
+        // longer clones every running allocation up front.
+        let mut started: Vec<(Option<TimeUs>, Vec<usize>, usize)> = Vec::new();
+        let start =
+            |job: &QueuedJob,
+             node_indices: Vec<usize>,
+             free: &mut [usize],
+             hist: &mut FreeHist,
+             actions: &mut Vec<SchedulerAction>,
+             started: &mut Vec<(Option<TimeUs>, Vec<usize>, usize)>| {
+                for &idx in &node_indices {
+                    hist.update(free[idx], free[idx] - job.cpus_per_node);
+                    free[idx] -= job.cpus_per_node;
+                }
+                started.push((
+                    job.expected_duration_us.map(|d| now_us.saturating_add(d)),
+                    node_indices.clone(),
+                    job.cpus_per_node,
+                ));
+                actions.push(SchedulerAction::Start {
+                    job_id: job.id,
+                    node_indices,
+                    cpus_per_node: job.cpus_per_node,
+                });
+            };
         let ordered = queue_order(queue);
         let mut blocked_at = ordered.len();
         for (pos, job) in ordered.iter().enumerate() {
-            match fit_first(&free, job.nodes, job.cpus_per_node) {
+            let fit = if hist.count_ge(job.cpus_per_node) >= job.nodes {
+                fit_first(&free, job.nodes, job.cpus_per_node)
+            } else {
+                None
+            };
+            match fit {
                 Some(node_indices) => {
-                    for &idx in &node_indices {
-                        free[idx] -= job.cpus_per_node;
-                    }
-                    let alloc = JobAllocation {
-                        job_id: job.id,
-                        node_indices: node_indices.clone(),
-                        cpus_per_node: job.cpus_per_node,
-                    };
-                    holders.push((
-                        job.expected_duration_us.map(|d| now_us.saturating_add(d)),
-                        alloc,
-                    ));
-                    actions.push(SchedulerAction::Start {
-                        job_id: job.id,
-                        node_indices,
-                        cpus_per_node: job.cpus_per_node,
-                    });
+                    start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
                 }
                 None => {
                     blocked_at = pos;
@@ -864,8 +1208,37 @@ impl SchedulerPolicy for BackfillPolicy {
         if blocked_at >= ordered.len() {
             return actions;
         }
+        // Reserve the head job's start at the earliest provable fit: walk
+        // the maintained release timeline (or a one-shot rebuild for
+        // hand-built views) overlaid with this pass's own starts.
         let head = ordered[blocked_at];
-        let Some(reservation_us) = Self::earliest_fit(head, &free, &holders, now_us) else {
+        let one_shot;
+        let timeline = match trusted_index(view) {
+            Some(index) => index.timeline(),
+            None => {
+                one_shot = timeline_from_running(view.running);
+                &one_shot
+            }
+        };
+        let mut overlay: Vec<TimelineDelta<'_>> = started
+            .iter()
+            .filter_map(|(end, node_indices, width)| {
+                end.map(|end_us| TimelineDelta {
+                    end_us,
+                    node_indices,
+                    delta: *width as i64,
+                })
+            })
+            .collect();
+        overlay.sort_by_key(|d| d.end_us);
+        let Some((reservation_us, _)) = earliest_timeline_fit(
+            head.nodes,
+            head.cpus_per_node,
+            &free,
+            timeline,
+            &overlay,
+            now_us,
+        ) else {
             return actions; // no provable reservation: nothing may jump
         };
         for job in ordered.iter().skip(blocked_at + 1) {
@@ -875,15 +1248,11 @@ impl SchedulerPolicy for BackfillPolicy {
             if now_us.saturating_add(duration) > reservation_us {
                 continue;
             }
+            if hist.count_ge(job.cpus_per_node) < job.nodes {
+                continue; // exact reject: no fit exists, skip the probe
+            }
             if let Some(node_indices) = fit_first(&free, job.nodes, job.cpus_per_node) {
-                for &idx in &node_indices {
-                    free[idx] -= job.cpus_per_node;
-                }
-                actions.push(SchedulerAction::Start {
-                    job_id: job.id,
-                    node_indices,
-                    cpus_per_node: job.cpus_per_node,
-                });
+                start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
             }
         }
         actions
@@ -939,8 +1308,34 @@ impl SchedulerPolicy for BackfillPolicy {
 /// attempt. One pass is O(running + queue × nodes) instead of the reference
 /// scan's O(queue × nodes × running) — see [`MalleableScanPolicy`] and
 /// `docs/scheduling.md` for the measured difference.
-#[derive(Debug, Default, Clone)]
-pub struct MalleablePolicy;
+#[derive(Debug, Clone)]
+pub struct MalleablePolicy {
+    /// Fixed-point tolerance on the shrink-economics gate
+    /// ([`SpeedupCurve::FP`] = 1.0): a shrinking admission is kept when
+    /// `gain × tolerance ≥ loss`. The default, exactly `FP`, reduces to the
+    /// strict `gain ≥ loss` rule; a larger tolerance trades aggregate
+    /// throughput for admitting (and thus responding to) more jobs sooner.
+    loss_tolerance_fp: u64,
+}
+
+impl Default for MalleablePolicy {
+    fn default() -> Self {
+        MalleablePolicy {
+            loss_tolerance_fp: SpeedupCurve::FP,
+        }
+    }
+}
+
+impl MalleablePolicy {
+    /// A policy whose shrink-economics gate accepts up to
+    /// `tolerance_fp / FP` of relative-rate loss per unit of admission gain.
+    /// `with_loss_tolerance(SpeedupCurve::FP)` is exactly the default gate.
+    pub fn with_loss_tolerance(tolerance_fp: u64) -> Self {
+        MalleablePolicy {
+            loss_tolerance_fp: tolerance_fp,
+        }
+    }
+}
 
 /// The width below which the malleable policy will not push a job: its
 /// declared floor, but never less than half its request.
@@ -951,10 +1346,13 @@ fn shrink_floor(declared_floor: usize, request: usize) -> usize {
 /// Mutable working copy of one running (or newly started) job during a
 /// [`MalleablePolicy::schedule`] pass. Borrows the job's speedup curve so
 /// both malleable implementations price donations and expansions through
-/// the exact same helpers — decision equivalence by construction.
+/// the exact same helpers — decision equivalence by construction. Node sets
+/// are borrowed from the view for already-running jobs (a pass never moves
+/// a job between nodes, and cloning ~running Vecs per pass dominated the
+/// seeding cost at 1024+ nodes) and owned only for jobs started this pass.
 struct Slot<'a> {
     job_id: u64,
-    node_indices: Vec<usize>,
+    node_indices: Cow<'a, [usize]>,
     width: usize,
     original_width: Option<usize>, // None for jobs started this pass
     floor: usize,
@@ -1060,11 +1458,28 @@ pub(crate) fn scaled_duration(duration_us: TimeUs, request: usize, width: usize)
 /// rescans all running jobs per node again — victim selection reads
 /// `donors[node]`, availability reads `free[node] + reclaim[node]`.
 struct PassState<'a> {
+    node_cpus: usize,
     free: Vec<usize>,
     reclaim: Vec<usize>,
     cheap: Vec<usize>,
     donors: Vec<Vec<usize>>,
     slots: Vec<Slot<'a>>,
+    /// The driver's maintained release timeline, when the view's index is
+    /// trusted — the drain-reservation forecast walks it directly instead of
+    /// replaying every slot (hand-built views fall back to a one-shot
+    /// rebuild from the slots).
+    base_timeline: Option<&'a ReleaseTimeline>,
+    /// Per-value histograms of free and free+reclaimable CPUs — the exact
+    /// reject guards that let admission attempts skip O(nodes) probes. The
+    /// `open_*` pair is restricted to non-reserved nodes; until
+    /// [`apply_reservation`](Self::apply_reservation) rebuilds them they
+    /// track all nodes, identically to the unrestricted pair.
+    free_hist: FreeHist,
+    avail_hist: FreeHist,
+    open_free_hist: FreeHist,
+    open_avail_hist: FreeHist,
+    /// Number of non-reserved nodes (all of them until a reservation lands).
+    open_nodes: usize,
 }
 
 impl<'a> PassState<'a> {
@@ -1074,7 +1489,7 @@ impl<'a> PassState<'a> {
             .iter()
             .map(|r| Slot {
                 job_id: r.alloc.job_id,
-                node_indices: r.alloc.node_indices.clone(),
+                node_indices: Cow::Borrowed(r.alloc.node_indices.as_slice()),
                 width: r.alloc.cpus_per_node,
                 original_width: Some(r.alloc.cpus_per_node),
                 floor: r.job.min_cpus_per_node,
@@ -1086,40 +1501,49 @@ impl<'a> PassState<'a> {
             })
             .collect();
         let mut state = PassState {
+            node_cpus: view.node_cpus,
             free: view.free.to_vec(),
             reclaim: vec![0; view.free.len()],
             cheap: vec![0; view.free.len()],
             donors: vec![Vec::new(); view.free.len()],
             slots,
+            base_timeline: None,
+            free_hist: FreeHist { counts: Vec::new() },
+            avail_hist: FreeHist { counts: Vec::new() },
+            open_free_hist: FreeHist { counts: Vec::new() },
+            open_avail_hist: FreeHist { counts: Vec::new() },
+            open_nodes: view.free.len(),
         };
         // Prefer the driver's event-maintained index; `free` must agree or
         // the index belongs to some other state and is ignored.
-        if let Some(index) = view.index.filter(|i| i.free() == view.free) {
-            debug_assert_eq!(
-                *index,
-                SchedIndex::rebuild(view.free, view.running),
-                "event-maintained index diverged from the running set"
-            );
-            let by_id: std::collections::HashMap<u64, usize> = state
-                .slots
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (s.job_id, i))
-                .collect();
+        if let Some(index) = trusted_index(view) {
+            state.base_timeline = Some(index.timeline());
             state.reclaim.copy_from_slice(index.reclaim());
             state.cheap.copy_from_slice(index.cheap());
+            // The id → slot-position map costs O(running) hashing, so it is
+            // built only on the first node that actually lists donors (a
+            // rigid-heavy cluster skips it entirely).
+            let slots = &state.slots;
+            let mut by_id: Option<HashMap<u64, usize>> = None;
             for (node, donors) in state.donors.iter_mut().enumerate() {
+                let ids = index.donors(node);
+                if ids.is_empty() {
+                    continue;
+                }
+                let by_id = by_id.get_or_insert_with(|| {
+                    slots.iter().enumerate().map(|(i, s)| (s.job_id, i)).collect()
+                });
                 // Donor ids are kept in running order, so the mapped slot
                 // positions come out ascending — the tie-break order the
                 // reference scan uses.
-                donors.extend(index.donors(node).iter().map(|id| by_id[id]));
+                donors.extend(ids.iter().map(|id| by_id[id]));
             }
         } else {
             for (i, slot) in state.slots.iter().enumerate() {
                 if slot.malleable {
                     let spare = slot.spare();
                     let cheap = slot.zero_cost_spare();
-                    for &n in &slot.node_indices {
+                    for &n in slot.node_indices.iter() {
                         state.donors[n].push(i);
                         state.reclaim[n] += spare;
                         state.cheap[n] += cheap;
@@ -1127,7 +1551,36 @@ impl<'a> PassState<'a> {
                 }
             }
         }
+        let avail: Vec<usize> = state.free.iter().zip(&state.reclaim).map(|(f, r)| f + r).collect();
+        state.free_hist = FreeHist::new(&state.free, view.node_cpus, |_| true);
+        state.avail_hist = FreeHist::new(&avail, view.node_cpus, |_| true);
+        state.open_free_hist = state.free_hist.clone();
+        state.open_avail_hist = state.avail_hist.clone();
         state
+    }
+
+    /// [`fit_first`] behind the exact histogram reject guard: when fewer
+    /// than `nodes` nodes carry ≥ `width` free CPUs, no first-fit exists and
+    /// the O(nodes) probe is skipped without changing any decision.
+    fn guarded_fit_first(&self, nodes: usize, width: usize) -> Option<Vec<usize>> {
+        if self.free_hist.count_ge(width) < nodes {
+            return None;
+        }
+        fit_first(&self.free, nodes, width)
+    }
+
+    /// [`fit_first_masked`] behind the same guard, counted over open
+    /// (non-reserved) nodes only.
+    fn guarded_fit_first_masked(
+        &self,
+        reserved: &[bool],
+        nodes: usize,
+        width: usize,
+    ) -> Option<Vec<usize>> {
+        if self.open_free_hist.count_ge(width) < nodes {
+            return None;
+        }
+        fit_first_masked(&self.free, reserved, nodes, width)
     }
 
     /// The donor on `node` whose next donated CPU costs the least relative
@@ -1154,12 +1607,16 @@ impl<'a> PassState<'a> {
 
     /// Shrinks `victim` by `give` CPUs per node, releasing them on every one
     /// of its nodes. Only ever called on unreserved donors, so the spare the
-    /// victim loses is spare the reclaim summary was counting.
+    /// victim loses is spare the reclaim summary was counting — and every
+    /// node it touches is open, so both free histograms move (availability,
+    /// free + reclaim, is unchanged by a shrink).
     fn shrink_victim(&mut self, victim: usize, give: usize) {
         let old_cheap = self.slots[victim].zero_cost_spare();
         self.slots[victim].width -= give;
         let new_cheap = self.slots[victim].zero_cost_spare();
-        for &n in &self.slots[victim].node_indices {
+        for &n in self.slots[victim].node_indices.iter() {
+            self.free_hist.update(self.free[n], self.free[n] + give);
+            self.open_free_hist.update(self.free[n], self.free[n] + give);
             self.free[n] += give;
             self.reclaim[n] -= give;
             self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
@@ -1167,13 +1624,15 @@ impl<'a> PassState<'a> {
     }
 
     /// Rolls one [`shrink_victim`](Self::shrink_victim) back — the undo side
-    /// of the shrink-economics check, restoring width, free, reclaim and the
-    /// cheap summary exactly.
+    /// of the shrink-economics check, restoring width, free, reclaim, the
+    /// cheap summary and the histograms exactly.
     fn unshrink_victim(&mut self, victim: usize, give: usize) {
         let old_cheap = self.slots[victim].zero_cost_spare();
         self.slots[victim].width += give;
         let new_cheap = self.slots[victim].zero_cost_spare();
-        for &n in &self.slots[victim].node_indices {
+        for &n in self.slots[victim].node_indices.iter() {
+            self.free_hist.update(self.free[n], self.free[n] - give);
+            self.open_free_hist.update(self.free[n], self.free[n] - give);
             self.free[n] -= give;
             self.reclaim[n] += give;
             self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
@@ -1191,9 +1650,16 @@ impl<'a> PassState<'a> {
     /// The loss counts each donated width-unit once (a donor's curve prices
     /// per-node width; CPUs freed on its other nodes are reabsorbed by
     /// expansion). On a curve-less cluster every donated CPU costs FP and
-    /// the gives sum to at most `nodes × width`, so `gain ≥ loss` always
-    /// holds — the check can only fire when curves are present.
-    fn carve_out(&mut self, node_indices: &[usize], width: usize, gain: u128) -> bool {
+    /// the gives sum to at most `nodes × width`, so at the default tolerance
+    /// `gain ≥ loss` always holds — the check can only fire when curves are
+    /// present (or the tolerance is set below `FP`).
+    fn carve_out(
+        &mut self,
+        node_indices: &[usize],
+        width: usize,
+        gain: u128,
+        tolerance_fp: u64,
+    ) -> bool {
         let mut donations: Vec<(usize, usize)> = Vec::new();
         let mut loss: u128 = 0;
         for &node in node_indices {
@@ -1208,7 +1674,10 @@ impl<'a> PassState<'a> {
                 donations.push((victim, give));
             }
         }
-        if gain >= loss {
+        // Both sides carry one FP factor already; scaling gain by the
+        // tolerance and loss by FP keeps the comparison in the same
+        // fixed-point units (and exactly `gain ≥ loss` at the default).
+        if gain * tolerance_fp as u128 >= loss * SpeedupCurve::FP as u128 {
             return true;
         }
         for &(victim, give) in donations.iter().rev() {
@@ -1231,7 +1700,7 @@ impl<'a> PassState<'a> {
         let idx = self.slots.len();
         let slot = Slot {
             job_id: job.id,
-            node_indices,
+            node_indices: Cow::Owned(node_indices),
             width,
             original_width: None,
             floor: job.min_cpus_per_node,
@@ -1246,12 +1715,23 @@ impl<'a> PassState<'a> {
         let spare = slot.spare();
         let cheap = slot.zero_cost_spare();
         let overlap = slot.on_reserved(reserved);
-        for &n in &slot.node_indices {
+        for &n in slot.node_indices.iter() {
+            let old_free = self.free[n];
+            let old_avail = self.free[n] + self.reclaim[n];
             self.free[n] -= width;
             if slot.malleable && !overlap {
                 self.donors[n].push(idx);
                 self.reclaim[n] += spare;
                 self.cheap[n] += cheap;
+            }
+            let new_avail = self.free[n] + self.reclaim[n];
+            self.free_hist.update(old_free, self.free[n]);
+            self.avail_hist.update(old_avail, new_avail);
+            // An ends-before-the-reservation start may land on reserved
+            // nodes; those are absent from the open histograms.
+            if !reserved.is_some_and(|m| m[n]) {
+                self.open_free_hist.update(old_free, self.free[n]);
+                self.open_avail_hist.update(old_avail, new_avail);
             }
         }
         self.slots.push(Slot {
@@ -1263,6 +1743,9 @@ impl<'a> PassState<'a> {
     /// Records a freshly placed reservation: overlapping jobs stop donating
     /// (their reclaimable spare leaves the summary, they are filtered from
     /// victim selection) and reserved nodes stop being admission targets.
+    /// Runs at most once per pass, so the availability histograms are simply
+    /// rebuilt in one O(nodes) sweep (free CPUs are untouched here, the
+    /// all-node free histogram stands).
     fn apply_reservation(&mut self, mask: &[bool]) {
         for slot in self.slots.iter_mut() {
             if slot.node_indices.iter().any(|&n| mask[n]) {
@@ -1270,13 +1753,18 @@ impl<'a> PassState<'a> {
                 if slot.malleable {
                     let spare = slot.spare();
                     let cheap = slot.zero_cost_spare();
-                    for &n in &slot.node_indices {
+                    for &n in slot.node_indices.iter() {
                         self.reclaim[n] -= spare;
                         self.cheap[n] -= cheap;
                     }
                 }
             }
         }
+        let avail: Vec<usize> = self.free.iter().zip(&self.reclaim).map(|(f, r)| f + r).collect();
+        self.avail_hist = FreeHist::new(&avail, self.node_cpus, |_| true);
+        self.open_free_hist = FreeHist::new(&self.free, self.node_cpus, |n| !mask[n]);
+        self.open_avail_hist = FreeHist::new(&avail, self.node_cpus, |n| !mask[n]);
+        self.open_nodes = mask.iter().filter(|&&m| !m).count();
     }
 }
 
@@ -1309,7 +1797,7 @@ impl SchedulerPolicy for MalleablePolicy {
                 // case the carve rolls itself back and the job falls through
                 // to the reservation path below.
                 let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
-                if state.carve_out(&node_indices, width, gain) {
+                if state.carve_out(&node_indices, width, gain, self.loss_tolerance_fp) {
                     let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
                     state.start(job, node_indices, width, now_us, reserved_mask);
                     admitted = true;
@@ -1359,7 +1847,8 @@ impl MalleablePolicy {
         now_us: TimeUs,
     ) -> Option<(Vec<usize>, usize)> {
         match reservation {
-            None => fit_first(&state.free, job.nodes, job.cpus_per_node)
+            None => state
+                .guarded_fit_first(job.nodes, job.cpus_per_node)
                 .map(|nodes| (nodes, job.cpus_per_node))
                 .or_else(|| Self::shrink_to_admit(job, state, None)),
             Some((reserved_at, mask)) => {
@@ -1367,12 +1856,13 @@ impl MalleablePolicy {
                     .expected_duration_us
                     .is_some_and(|d| now_us.saturating_add(d) <= *reserved_at);
                 if ends_first {
-                    if let Some(nodes) = fit_first(&state.free, job.nodes, job.cpus_per_node) {
+                    if let Some(nodes) = state.guarded_fit_first(job.nodes, job.cpus_per_node) {
                         return Some((nodes, job.cpus_per_node));
                     }
                 }
                 // Reserved nodes are off limits for the start and its victims.
-                fit_first_masked(&state.free, mask, job.nodes, job.cpus_per_node)
+                state
+                    .guarded_fit_first_masked(mask, job.nodes, job.cpus_per_node)
                     .map(|nodes| (nodes, job.cpus_per_node))
                     .or_else(|| Self::shrink_to_admit(job, state, Some(mask)))
             }
@@ -1396,6 +1886,19 @@ impl MalleablePolicy {
         state: &PassState<'_>,
         reserved: Option<&[bool]>,
     ) -> Option<(Vec<usize>, usize)> {
+        // Exact histogram reject: the k-th most available open node offers
+        // ≥ the shrink floor iff at least k open nodes do, so a failed
+        // count means the selection below cannot reach the floor either —
+        // skip the O(nodes) gather entirely (the common case on a loaded
+        // cluster, where most queued jobs cannot be admitted at all).
+        let floor = shrink_floor(job.min_cpus_per_node, job.cpus_per_node);
+        let (hist, open) = match reserved {
+            None => (&state.avail_hist, state.free.len()),
+            Some(_) => (&state.open_avail_hist, state.open_nodes),
+        };
+        if open < job.nodes || hist.count_ge(floor) < job.nodes {
+            return None;
+        }
         let mut avail: Vec<(usize, usize, usize)> = (0..state.free.len())
             .filter(|&node| !reserved.is_some_and(|m| m[node]))
             .map(|node| (node, state.free[node] + state.reclaim[node], state.cheap[node]))
@@ -1429,26 +1932,75 @@ impl MalleablePolicy {
         Some((node_indices, width))
     }
 
-    /// Earliest time ≥ `now` at which `job` fits at full width, replaying the
-    /// expected completions of every slot on top of the current free vector.
-    /// Returns the time and the node set; `None` when a holder on a needed
-    /// node has no completion estimate.
+    /// Earliest time ≥ `now` at which `job` fits at full width — the
+    /// drain-reservation forecast. Returns the time and the node set; `None`
+    /// when a holder on a needed node has no completion estimate.
+    ///
+    /// Computed as a [`earliest_timeline_fit`] walk over the driver's
+    /// maintained [`ReleaseTimeline`] plus a pass-local overlay: jobs this
+    /// pass started release their full current width at their estimated
+    /// end, and victims this pass shrank release `width − original_width`
+    /// **less** than the base timeline promises at theirs. Base + overlay
+    /// releases sum to each slot's current width at its estimated end —
+    /// exactly what the reference replay
+    /// ([`MalleableScanPolicy`]'s `earliest_release_fit` over the slots)
+    /// accumulates, so the forecast is decision-identical. A slot's
+    /// estimated end never changes mid-pass (re-estimates happen in the
+    /// controller after a resize is applied), so shrink corrections always
+    /// land on the instant the base already keys.
     fn earliest_full_fit(
         job: &QueuedJob,
         state: &PassState<'_>,
         now_us: TimeUs,
     ) -> Option<(TimeUs, Vec<usize>)> {
-        let holders: Vec<Holder<'_>> = state
+        let mut overlay: Vec<TimelineDelta<'_>> = state
             .slots
             .iter()
-            .map(|s| Holder {
-                end_us: s.expected_end_us,
-                node_indices: &s.node_indices,
-                width: s.width,
+            .filter_map(|s| {
+                let end_us = s.expected_end_us?;
+                let delta = match s.original_width {
+                    None => s.width as i64,
+                    Some(original) => s.width as i64 - original as i64,
+                };
+                (delta != 0).then_some(TimelineDelta {
+                    end_us,
+                    node_indices: &s.node_indices[..],
+                    delta,
+                })
             })
             .collect();
-        earliest_release_fit(job.nodes, job.cpus_per_node, &state.free, &holders, now_us)
+        overlay.sort_by_key(|d| d.end_us);
+        let one_shot;
+        let base = match state.base_timeline {
+            Some(timeline) => timeline,
+            None => {
+                one_shot = base_timeline_from_slots(&state.slots);
+                &one_shot
+            }
+        };
+        earliest_timeline_fit(
+            job.nodes,
+            job.cpus_per_node,
+            &state.free,
+            base,
+            &overlay,
+            now_us,
+        )
     }
+}
+
+/// A one-shot base [`ReleaseTimeline`] equivalent to the one the driver
+/// maintains: every slot that was already running when the pass began, at
+/// its **original** width (the pass's own shrinks and starts ride in the
+/// overlay). The fallback when the view carries no trustworthy index.
+fn base_timeline_from_slots(slots: &[Slot<'_>]) -> ReleaseTimeline {
+    let mut timeline = ReleaseTimeline::new();
+    for s in slots {
+        if let Some(original) = s.original_width {
+            timeline.add(s.job_id, &s.node_indices, original, s.expected_end_us);
+        }
+    }
+    timeline
 }
 
 /// Expansion, shared by both malleable implementations: hands the remaining
@@ -1488,7 +2040,7 @@ fn expand_shrunk(slots: &mut [Slot<'_>], free: &mut [usize], reserved: Option<&[
                 continue;
             }
             slot.width += 1;
-            for &n in &slot.node_indices {
+            for &n in slot.node_indices.iter() {
                 free[n] -= 1;
             }
             progressed = true;
@@ -1514,7 +2066,7 @@ fn emit_actions(slots: &[Slot<'_>]) -> Vec<SchedulerAction> {
         if slot.original_width.is_none() {
             actions.push(SchedulerAction::Start {
                 job_id: slot.job_id,
-                node_indices: slot.node_indices.clone(),
+                node_indices: slot.node_indices.to_vec(),
                 cpus_per_node: slot.width,
             });
         }
@@ -1539,16 +2091,30 @@ fn fit_first_masked(
     nodes: usize,
     width: usize,
 ) -> Option<Vec<usize>> {
-    let mut selected = Vec::with_capacity(nodes);
+    if nodes == 0 {
+        return None;
+    }
+    let mut seen = 0;
+    let mut last = 0;
     for (idx, &f) in free.iter().enumerate() {
         if !reserved[idx] && f >= width {
-            selected.push(idx);
-            if selected.len() == nodes {
-                return Some(selected);
+            seen += 1;
+            if seen == nodes {
+                last = idx;
+                break;
             }
         }
     }
-    None
+    if seen < nodes {
+        return None;
+    }
+    let mut selected = Vec::with_capacity(nodes);
+    for (idx, &f) in free[..=last].iter().enumerate() {
+        if !reserved[idx] && f >= width {
+            selected.push(idx);
+        }
+    }
+    Some(selected)
 }
 
 /// The pre-index reference implementation of the malleable policy: identical
@@ -1560,8 +2126,32 @@ fn fit_first_masked(
 /// traces under both implementations and require byte-identical reports, and
 /// the `sched_scale` bench measures it next to the indexed pass so the
 /// speedup stays visible (`BENCH_sched.json` records both).
-#[derive(Debug, Default, Clone)]
-pub struct MalleableScanPolicy;
+#[derive(Debug, Clone)]
+pub struct MalleableScanPolicy {
+    /// Same shrink-economics tolerance as
+    /// [`MalleablePolicy::with_loss_tolerance`] — the reference must apply
+    /// the identical gate for the differential replays to stay meaningful
+    /// at non-default tolerances.
+    loss_tolerance_fp: u64,
+}
+
+impl Default for MalleableScanPolicy {
+    fn default() -> Self {
+        MalleableScanPolicy {
+            loss_tolerance_fp: SpeedupCurve::FP,
+        }
+    }
+}
+
+impl MalleableScanPolicy {
+    /// Reference-scan counterpart of
+    /// [`MalleablePolicy::with_loss_tolerance`].
+    pub fn with_loss_tolerance(tolerance_fp: u64) -> Self {
+        MalleableScanPolicy {
+            loss_tolerance_fp: tolerance_fp,
+        }
+    }
+}
 
 impl SchedulerPolicy for MalleableScanPolicy {
     fn name(&self) -> &'static str {
@@ -1580,7 +2170,7 @@ impl SchedulerPolicy for MalleableScanPolicy {
             .iter()
             .map(|r| Slot {
                 job_id: r.alloc.job_id,
-                node_indices: r.alloc.node_indices.clone(),
+                node_indices: Cow::Borrowed(r.alloc.node_indices.as_slice()),
                 width: r.alloc.cpus_per_node,
                 original_width: Some(r.alloc.cpus_per_node),
                 floor: r.job.min_cpus_per_node,
@@ -1599,14 +2189,21 @@ impl SchedulerPolicy for MalleableScanPolicy {
             if let Some((node_indices, width)) = placement {
                 let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
                 let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
-                if Self::carve_out(&mut free, &mut slots, &node_indices, width, reserved_mask, gain)
-                {
+                if Self::carve_out(
+                    &mut free,
+                    &mut slots,
+                    &node_indices,
+                    width,
+                    reserved_mask,
+                    gain,
+                    self.loss_tolerance_fp,
+                ) {
                     for &node in &node_indices {
                         free[node] -= width;
                     }
                     slots.push(Slot {
                         job_id: job.id,
-                        node_indices,
+                        node_indices: Cow::Owned(node_indices),
                         width,
                         original_width: None,
                         floor: job.min_cpus_per_node,
@@ -1631,7 +2228,7 @@ impl SchedulerPolicy for MalleableScanPolicy {
                 .iter()
                 .map(|s| Holder {
                     end_us: s.expected_end_us,
-                    node_indices: &s.node_indices,
+                    node_indices: &s.node_indices[..],
                     width: s.width,
                 })
                 .collect();
@@ -1717,6 +2314,7 @@ impl MalleableScanPolicy {
         width: usize,
         reserved: Option<&[bool]>,
         gain: u128,
+        tolerance_fp: u64,
     ) -> bool {
         let mut donations: Vec<(usize, usize)> = Vec::new();
         let mut loss: u128 = 0;
@@ -1729,18 +2327,18 @@ impl MalleableScanPolicy {
                 let give = needed.min(slots[victim].donor_run());
                 loss += give as u128 * slots[victim].donor_cost() as u128;
                 slots[victim].width -= give;
-                for &n in &slots[victim].node_indices {
+                for &n in slots[victim].node_indices.iter() {
                     free[n] += give;
                 }
                 donations.push((victim, give));
             }
         }
-        if gain >= loss {
+        if gain * tolerance_fp as u128 >= loss * SpeedupCurve::FP as u128 {
             return true;
         }
         for &(victim, give) in donations.iter().rev() {
             slots[victim].width += give;
-            for &n in &slots[victim].node_indices {
+            for &n in slots[victim].node_indices.iter() {
                 free[n] -= give;
             }
         }
@@ -1882,7 +2480,7 @@ mod tests {
         let holders = vec![running(1, vec![0, 1], 16, 16, 4)];
         let free = [0, 0];
         let queue = vec![QueuedJob::new(2, 1, 8)];
-        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         // Shrink job 1 (on both nodes), start job 2 on one node, and re-expand
         // job 1 by the slack the shrink left on the other node? The width is
         // uniform, so job 1 stays at 8 and node 1 keeps 8 CPUs free.
@@ -1908,7 +2506,7 @@ mod tests {
         // A shrunk malleable job and an empty queue: pure expansion.
         let holders = vec![running(1, vec![0, 1], 8, 16, 4)];
         let free = [8, 8];
-        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &[], 0);
+        let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &[], 0);
         assert_eq!(
             actions,
             vec![SchedulerAction::Resize { job_id: 1, cpus_per_node: 16 }]
@@ -1922,7 +2520,7 @@ mod tests {
         let holders = vec![running(1, vec![0], 16, 16, 12)];
         let free = [0];
         let queue = vec![QueuedJob::new(2, 1, 8).malleable(4)];
-        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert!(actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 12 }));
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -1935,7 +2533,7 @@ mod tests {
         let holders = vec![running(1, vec![0], 16, 16, 16)]; // rigid-in-effect
         let free = [0];
         let queue = vec![QueuedJob::new(2, 1, 8)];
-        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert!(actions.is_empty());
     }
 
@@ -1970,7 +2568,7 @@ mod tests {
                 .with_submit_us(2)
                 .with_expected_duration_us(142),
         ];
-        let actions = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert!(
             actions.iter().any(|a| matches!(
                 a,
@@ -2010,8 +2608,8 @@ mod tests {
             QueuedJob::new(12, 1, 4).with_submit_us(2).with_expected_duration_us(100),
             QueuedJob::new(13, 1, 2).malleable(1).with_submit_us(3),
         ];
-        let indexed = MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 50);
-        let scanned = MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 50);
+        let indexed = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 50);
+        let scanned = MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &queue, 50);
         assert_eq!(indexed, scanned);
     }
 
@@ -2023,23 +2621,25 @@ mod tests {
         let j1 = QueuedJob::new(1, 2, 8).malleable(2);
         let j2 = QueuedJob::new(2, 1, 16).malleable(4);
         let j3 = QueuedJob::new(3, 2, 4); // rigid: never a donor
-        index.on_start(&j1, &[0, 1], 8);
-        index.on_start(&j2, &[2], 12);
-        index.on_start(&j3, &[1, 2], 4);
+        index.on_start(&j1, &[0, 1], 8, Some(1_000));
+        index.on_start(&j2, &[2], 12, Some(2_000));
+        index.on_start(&j3, &[1, 2], 4, None);
         index.on_resize(&j2, &[2], 12, 9);
         index.on_resize(&j1, &[0, 1], 8, 5);
+        // A resize refresh re-keys j1's releases in the timeline in place.
+        index.on_estimate(1, &[0, 1], 5, Some(1_500));
         let running = vec![
             RunningJob {
                 alloc: JobAllocation { job_id: 1, node_indices: vec![0, 1], cpus_per_node: 5 },
                 job: j1.clone(),
                 start_us: 0,
-                expected_end_us: None,
+                expected_end_us: Some(1_500),
             },
             RunningJob {
                 alloc: JobAllocation { job_id: 2, node_indices: vec![2], cpus_per_node: 9 },
                 job: j2.clone(),
                 start_us: 0,
-                expected_end_us: None,
+                expected_end_us: Some(2_000),
             },
             RunningJob {
                 alloc: JobAllocation { job_id: 3, node_indices: vec![1, 2], cpus_per_node: 4 },
@@ -2100,8 +2700,8 @@ mod tests {
             .with_expected_duration_us(101)
             .with_speedup(curve.clone())];
         for actions in [
-            MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0),
-            MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 0),
+            MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0),
+            MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &queue, 0),
         ] {
             assert!(
                 actions.iter().any(|a| matches!(
@@ -2147,8 +2747,8 @@ mod tests {
         ];
         let free = [8];
         for actions in [
-            MalleablePolicy.schedule(&view(16, &free, &holders), &[], 0),
-            MalleableScanPolicy.schedule(&view(16, &free, &holders), &[], 0),
+            MalleablePolicy::default().schedule(&view(16, &free, &holders), &[], 0),
+            MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &[], 0),
         ] {
             assert_eq!(
                 actions,
@@ -2183,8 +2783,8 @@ mod tests {
         let free = [4];
         let queue = vec![QueuedJob::new(3, 1, 8)];
         for actions in [
-            MalleablePolicy.schedule(&view(32, &free, &holders), &queue, 0),
-            MalleableScanPolicy.schedule(&view(32, &free, &holders), &queue, 0),
+            MalleablePolicy::default().schedule(&view(32, &free, &holders), &queue, 0),
+            MalleableScanPolicy::default().schedule(&view(32, &free, &holders), &queue, 0),
         ] {
             assert!(
                 actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }),
@@ -2224,8 +2824,8 @@ mod tests {
         let free = [4];
         let queue = vec![QueuedJob::new(2, 1, 8)];
         for actions in [
-            MalleablePolicy.schedule(&view(16, &free, &holders), &queue, 0),
-            MalleableScanPolicy.schedule(&view(16, &free, &holders), &queue, 0),
+            MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0),
+            MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &queue, 0),
         ] {
             assert!(
                 actions.is_empty(),
@@ -2309,9 +2909,9 @@ mod tests {
         let stream = QueuedJob::new(2, 1, 16)
             .malleable(1) // shrink floor 8
             .with_speedup(stream_curve(16));
-        index.on_start(&linear, &[0, 1], 8);
+        index.on_start(&linear, &[0, 1], 8, None);
         assert_eq!(index.cheap(), &[0, 0], "linear spare is never cheap");
-        index.on_start(&stream, &[0], 12);
+        index.on_start(&stream, &[0], 12, None);
         assert_eq!(index.cheap(), &[4, 0], "all 4 spare CPUs sit on the flat tail");
         index.on_resize(&stream, &[0], 12, 9);
         let running = vec![
@@ -2348,6 +2948,139 @@ mod tests {
         assert_eq!(v.total_free(), 32);
     }
 
+    /// The whole current state expressed as a base [`ReleaseTimeline`] (the
+    /// indexed forecast's input when the pass changed nothing).
+    fn timeline_of(holders: &[Holder<'_>]) -> ReleaseTimeline {
+        let mut timeline = ReleaseTimeline::new();
+        for (id, h) in holders.iter().enumerate() {
+            timeline.add(id as u64, h.node_indices, h.width, h.end_us);
+        }
+        timeline
+    }
+
+    /// The timeline walk and the reference replay must agree — time, node
+    /// set and unprovability alike — on the same holder state.
+    fn assert_timeline_matches_replay(
+        nodes: usize,
+        width: usize,
+        free: &[usize],
+        holders: &[Holder<'_>],
+        now_us: TimeUs,
+    ) {
+        assert_eq!(
+            earliest_timeline_fit(nodes, width, free, &timeline_of(holders), &[], now_us),
+            earliest_release_fit(nodes, width, free, holders, now_us),
+            "timeline walk diverged from the reference replay \
+             (nodes={nodes}, width={width}, now={now_us})"
+        );
+    }
+
+    /// A holder with no completion estimate never releases: a fit that needs
+    /// its CPUs is unprovable (`None`) no matter how many estimated holders
+    /// release around it — but CPUs it does not hold stay provable.
+    #[test]
+    fn release_fit_unestimated_holder_blocks_only_its_own_cpus() {
+        // Node 0 is held half by an estimated job, half by one without an
+        // estimate: a full-width fit on node 0 is never provable.
+        let free = [0usize, 0];
+        let holders = [
+            Holder { end_us: Some(100), node_indices: &[0], width: 8 },
+            Holder { end_us: None, node_indices: &[0], width: 8 },
+            Holder { end_us: None, node_indices: &[1], width: 16 },
+        ];
+        assert_eq!(earliest_release_fit(1, 16, &free, &holders, 10), None);
+        // The estimated half of node 0 is still provable, at its end.
+        assert_eq!(
+            earliest_release_fit(1, 8, &free, &holders, 10),
+            Some((100, vec![0]))
+        );
+        assert_timeline_matches_replay(1, 16, &free, &holders, 10);
+        assert_timeline_matches_replay(1, 8, &free, &holders, 10);
+    }
+
+    /// Overdue estimates (end ≤ now) release before the first future
+    /// candidate, but their own end instant is never a candidate start time —
+    /// and when *no* future end exists, the fit stays unprovable even though
+    /// the overdue releases alone would satisfy it.
+    #[test]
+    fn release_fit_overdue_estimates_release_but_are_no_candidates() {
+        let free = [0usize];
+        let holders = [
+            Holder { end_us: Some(50), node_indices: &[0], width: 8 },
+            Holder { end_us: Some(100), node_indices: &[0], width: 4 },
+            Holder { end_us: Some(200), node_indices: &[0], width: 4 },
+        ];
+        // now = 100: the ends at 50 and 100 are overdue — their CPUs count,
+        // but the earliest candidate instant is the first future end.
+        assert_eq!(
+            earliest_release_fit(1, 16, &free, &holders, 100),
+            Some((200, vec![0]))
+        );
+        // Drop the future holder: 12 CPUs would be free once the overdue
+        // holders release, but with no future end there is no candidate.
+        assert_eq!(earliest_release_fit(1, 12, &free, &holders[..2], 100), None);
+        assert_timeline_matches_replay(1, 16, &free, &holders, 100);
+        assert_timeline_matches_replay(1, 12, &free, &holders[..2], 100);
+    }
+
+    /// Holders sharing an end instant release together *before* the fit is
+    /// probed at that instant — each release alone is too small here, so any
+    /// probe-per-holder implementation would miss the fit or place it later.
+    #[test]
+    fn release_fit_groups_holders_sharing_an_end_instant() {
+        let free = [0usize, 0, 16];
+        let holders = [
+            Holder { end_us: Some(100), node_indices: &[0], width: 16 },
+            Holder { end_us: Some(100), node_indices: &[1], width: 16 },
+        ];
+        assert_eq!(
+            earliest_release_fit(3, 16, &free, &holders, 10),
+            Some((100, vec![0, 1, 2]))
+        );
+        // The shared instant is one candidate: a 2×16 fit lands there too,
+        // on the first two nodes in index order.
+        assert_eq!(
+            earliest_release_fit(2, 16, &free, &holders, 10),
+            Some((100, vec![0, 1]))
+        );
+        assert_timeline_matches_replay(3, 16, &free, &holders, 10);
+        assert_timeline_matches_replay(2, 16, &free, &holders, 10);
+    }
+
+    /// A base timeline at pass-start widths plus an overlay of the pass's
+    /// own changes — a shrink correction and a fresh start — walks to the
+    /// same forecast as replaying the current widths directly.
+    #[test]
+    fn timeline_overlay_corrections_match_replay_of_current_widths() {
+        // Pass start: A held 16 on node 0 (end 100), B holds 8 on node 1
+        // (end 200). The pass shrank A to 10 (its 6 CPUs were consumed by
+        // C, started 6-wide on node 1 with estimated end 150).
+        let free = [6usize, 2];
+        let mut base = ReleaseTimeline::new();
+        base.add(1, &[0], 16, Some(100));
+        base.add(2, &[1], 8, Some(200));
+        let overlay = [
+            TimelineDelta { end_us: 100, node_indices: &[0][..], delta: -6 },
+            TimelineDelta { end_us: 150, node_indices: &[1][..], delta: 6 },
+        ];
+        let current = [
+            Holder { end_us: Some(100), node_indices: &[0], width: 10 },
+            Holder { end_us: Some(150), node_indices: &[1], width: 6 },
+            Holder { end_us: Some(200), node_indices: &[1], width: 8 },
+        ];
+        for nodes in 0..=2 {
+            for width in [1usize, 4, 6, 8, 10, 16, 17] {
+                for now in [0u64, 99, 100, 149, 150, 250] {
+                    assert_eq!(
+                        earliest_timeline_fit(nodes, width, &free, &base, &overlay, now),
+                        earliest_release_fit(nodes, width, &free, &current, now),
+                        "overlaid walk diverged (nodes={nodes}, width={width}, now={now})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn from_spec_derives_widths() {
         let spec = JobSpec::new(9, "hybrid")
@@ -2365,5 +3098,110 @@ mod tests {
 
         let rigid = QueuedJob::from_spec(&JobSpec::new(1, "r").with_tasks(2).rigid());
         assert_eq!(rigid.min_cpus_per_node, rigid.cpus_per_node);
+    }
+
+    mod timeline_replay_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One running-or-started job as the property generator sees it:
+        /// `original − shrink` is its current width; `fresh` marks a job the
+        /// pass started itself (absent from the base timeline, its full
+        /// current width rides in the overlay).
+        #[derive(Debug, Clone)]
+        struct PropHolder {
+            nodes: Vec<usize>,
+            original: usize,
+            shrink: usize,
+            end: Option<TimeUs>,
+            fresh: bool,
+        }
+
+        fn holder(num_nodes: usize) -> impl Strategy<Value = PropHolder> {
+            (
+                proptest::collection::btree_set(0..num_nodes, 1..=3),
+                1..=8usize,
+                0..8usize,
+                (any::<bool>(), 0u64..300),
+                any::<bool>(),
+            )
+                .prop_map(|(nodes, original, shrink, (estimated, end), fresh)| PropHolder {
+                    nodes: nodes.into_iter().collect(),
+                    original,
+                    shrink: shrink % original, // keep the current width ≥ 1
+                    end: estimated.then_some(end),
+                    fresh,
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// On arbitrary holder sets, the timeline walk equals the
+            /// reference replay under BOTH production formulations: the
+            /// whole current state as the base (empty overlay), and the
+            /// pass-start state as the base with the pass's own shrinks and
+            /// starts as overlay corrections.
+            #[test]
+            fn walk_matches_replay_on_arbitrary_holders(
+                holders in proptest::collection::vec(holder(6), 0..8),
+                free in proptest::collection::vec(0..=8usize, 6),
+                nodes in 0..=4usize,
+                width in 1..=10usize,
+                now in 0u64..250,
+            ) {
+                let current: Vec<Holder<'_>> = holders
+                    .iter()
+                    .map(|h| Holder {
+                        end_us: h.end,
+                        node_indices: &h.nodes,
+                        width: h.original - h.shrink,
+                    })
+                    .collect();
+                let replay = earliest_release_fit(nodes, width, &free, &current, now);
+
+                // Formulation 1: current state as base, nothing overlaid.
+                let mut base_all = ReleaseTimeline::new();
+                for (id, h) in holders.iter().enumerate() {
+                    base_all.add(id as u64, &h.nodes, h.original - h.shrink, h.end);
+                }
+                prop_assert_eq!(
+                    earliest_timeline_fit(nodes, width, &free, &base_all, &[], now),
+                    replay.clone()
+                );
+
+                // Formulation 2: pass-start widths as base, the pass's own
+                // shrinks (negative) and fresh starts (positive) overlaid.
+                let mut base = ReleaseTimeline::new();
+                let mut overlay: Vec<TimelineDelta<'_>> = Vec::new();
+                for (id, h) in holders.iter().enumerate() {
+                    if h.fresh {
+                        if let Some(end_us) = h.end {
+                            overlay.push(TimelineDelta {
+                                end_us,
+                                node_indices: &h.nodes,
+                                delta: (h.original - h.shrink) as i64,
+                            });
+                        }
+                    } else {
+                        base.add(id as u64, &h.nodes, h.original, h.end);
+                        if h.shrink > 0 {
+                            if let Some(end_us) = h.end {
+                                overlay.push(TimelineDelta {
+                                    end_us,
+                                    node_indices: &h.nodes,
+                                    delta: -(h.shrink as i64),
+                                });
+                            }
+                        }
+                    }
+                }
+                overlay.sort_by_key(|d| d.end_us);
+                prop_assert_eq!(
+                    earliest_timeline_fit(nodes, width, &free, &base, &overlay, now),
+                    replay
+                );
+            }
+        }
     }
 }

@@ -218,8 +218,8 @@ proptest! {
 
         let free_vec = [free];
         let view = ClusterView { node_cpus: NODE_CPUS, free: &free_vec, running: &holders, index: None };
-        let indexed = MalleablePolicy.schedule(&view, &queue, 0);
-        let scanned = MalleableScanPolicy.schedule(&view, &queue, 0);
+        let indexed = MalleablePolicy::default().schedule(&view, &queue, 0);
+        let scanned = MalleableScanPolicy::default().schedule(&view, &queue, 0);
         prop_assert_eq!(&indexed, &expected, "indexed policy diverged from the oracle");
         prop_assert_eq!(&scanned, &expected, "scan reference diverged from the oracle");
     }

@@ -19,7 +19,7 @@ fn malleable_policy_decisions_apply_through_the_drom_machinery() {
     let cluster = Arc::new(Cluster::marenostrum3(2));
     let srun = Srun::new(Arc::clone(&cluster), true);
     let node_names = cluster.node_names();
-    let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy));
+    let mut sched = PolicyScheduler::new(2, 16, Box::new(MalleablePolicy::default()));
 
     // Job 1: malleable, both nodes, full width, one 16-thread task per node.
     sched
