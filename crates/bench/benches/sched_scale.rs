@@ -10,6 +10,12 @@
 //! event-maintained `SchedIndex`); `malleable_scan_*` measures the pre-index
 //! reference implementation, so the speedup of the donor/availability
 //! indices stays visible. Baselines are recorded in `BENCH_sched.json`.
+//!
+//! The per-pass benches use the `always_probe` policy variants: they call
+//! `schedule` thousands of times on one frozen view, and the production
+//! probe memo would turn every iteration after the first into a skip-path
+//! no-op. The dirty-tracked path is measured end-to-end instead (the
+//! events/sec guard in `sched_guard`), where state actually evolves.
 
 use std::time::Duration;
 
@@ -33,26 +39,28 @@ fn bench_sched_scale(c: &mut Criterion) {
         free: &free,
         running: &running,
         index: Some(&index),
+        order: None,
     };
     let view_no_index = ClusterView {
         node_cpus: NODE_CPUS,
         free: &free,
         running: &running,
         index: None,
+        order: None,
     };
 
     group.bench_function("first_fit_pass_128n", |b| {
-        let mut policy = FirstFitPolicy;
+        let mut policy = FirstFitPolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view, &queue, 1_000)));
     });
 
     group.bench_function("backfill_pass_128n", |b| {
-        let mut policy = BackfillPolicy;
+        let mut policy = BackfillPolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view, &queue, 1_000)));
     });
 
     group.bench_function("malleable_pass_128n", |b| {
-        let mut policy = MalleablePolicy::default();
+        let mut policy = MalleablePolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view, &queue, 1_000)));
     });
 
@@ -74,9 +82,10 @@ fn bench_sched_scale(c: &mut Criterion) {
         free: &free_m,
         running: &running_m,
         index: Some(&index_m),
+        order: None,
     };
     group.bench_function("malleable_model_pass_128n", |b| {
-        let mut policy = MalleablePolicy::default();
+        let mut policy = MalleablePolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view_m, &queue_m, 1_000)));
     });
 
@@ -88,16 +97,18 @@ fn bench_sched_scale(c: &mut Criterion) {
         free: &free_xl,
         running: &running_xl,
         index: Some(&index_xl),
+        order: None,
     };
     let view_xl_no_index = ClusterView {
         node_cpus: NODE_CPUS,
         free: &free_xl,
         running: &running_xl,
         index: None,
+        order: None,
     };
 
     group.bench_function("malleable_pass_1024n", |b| {
-        let mut policy = MalleablePolicy::default();
+        let mut policy = MalleablePolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view_xl, &queue_xl, 1_000)));
     });
 
@@ -119,16 +130,18 @@ fn bench_sched_scale(c: &mut Criterion) {
         free: &free_r,
         running: &running_r,
         index: Some(&index_r),
+        order: None,
     };
     let view_r_no_index = ClusterView {
         node_cpus: NODE_CPUS,
         free: &free_r,
         running: &running_r,
         index: None,
+        order: None,
     };
 
     group.bench_function("malleable_reservation_pass_1024n", |b| {
-        let mut policy = MalleablePolicy::default();
+        let mut policy = MalleablePolicy::always_probe();
         b.iter(|| black_box(policy.schedule(&view_r, &queue_r, 1_000)));
     });
 

@@ -40,7 +40,8 @@ use drom_bench::emit;
 use drom_metrics::{workload::percent_improvement, Table};
 use drom_sim::trace::{MEGA_JOBS, MEGA_NODES, SCALE_OUT_JOBS, SCALE_OUT_NODES};
 use drom_sim::{
-    mega_trace, mixed_hpc_trace, model_aware_trace, reservation_heavy_trace, scale_out_trace,
+    mega_trace, mixed_hpc_trace, model_aware_trace, queue_churn_trace, reservation_heavy_trace,
+    scale_out_trace,
     ClusterRunReport, ClusterSim,
 };
 use drom_slurm::policy::{SchedulerPolicy, SpeedupCurve};
@@ -114,6 +115,22 @@ fn main() {
                 reservation_heavy_trace(seed, jobs, nodes, node_cpus, load),
             )
         }
+        // The queue-churn tier: short over-subscribing jobs keep the
+        // waiting queue deep, so the run is admission-bound — the surface
+        // the incremental admission order and the dirty-tracked probe memo
+        // serve. Standing cluster shape, standing overrides apply; `--scan`
+        // replays it against the always-re-sort/always-probe reference.
+        "queue-churn" => {
+            let nodes = arg::<usize>("--nodes", 128);
+            let jobs = arg::<usize>("--jobs", 2000);
+            let load = arg::<f64>("--load", 1.3);
+            (
+                nodes,
+                jobs,
+                load,
+                queue_churn_trace(seed, jobs, nodes, node_cpus, load),
+            )
+        }
         // The mega tier pins the cluster shape like scale-out: 10k nodes ×
         // 100k jobs, feasible end-to-end only with the release-timeline
         // reservations and the histogram admission guards. `--jobs` still
@@ -129,7 +146,8 @@ fn main() {
         }
         other => panic!(
             "unknown tier {other:?} (use \"standing\", \"scale-out\", \
-             \"model-aware\", \"reservation-heavy\" or \"mega\")"
+             \"model-aware\", \"reservation-heavy\", \"queue-churn\" or \
+             \"mega\")"
         ),
     };
 
@@ -141,8 +159,8 @@ fn main() {
     );
 
     let policies: Vec<Box<dyn SchedulerPolicy>> = vec![
-        Box::new(FirstFitPolicy),
-        Box::new(BackfillPolicy),
+        Box::new(FirstFitPolicy::default()),
+        Box::new(BackfillPolicy::default()),
         Box::new(MalleablePolicy::default()),
     ];
     let reports: Vec<ClusterRunReport> = policies

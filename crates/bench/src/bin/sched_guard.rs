@@ -5,9 +5,11 @@
 //! its model-aware twin `malleable_model_pass_128n` (the same view with
 //! calibrated speedup curves attached), and the 1024-node
 //! `malleable_reservation_pass_1024n` drain-forecast case (the
-//! release-timeline walk that replaced the per-attempt replay), and fails —
-//! exit code 1 — when any exceeds its committed `BENCH_sched.json` baseline
-//! by more than the given factor (default 2×, `--factor F` overrides).
+//! release-timeline walk that replaced the per-attempt replay), plus the
+//! mega-shape queue-churn events/sec replay (the dirty-tracked production
+//! path, end to end), and fails — exit code 1 — when any exceeds its
+//! committed `BENCH_sched.json` baseline by more than the given factor
+//! (default 2×, `--factor F` overrides).
 //!
 //! The committed baseline is an absolute wall-clock number from one machine;
 //! CI runners are arbitrarily faster or slower. To keep the threshold about
@@ -24,6 +26,7 @@
 use std::time::Instant;
 
 use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, reservation_stress_state, NODE_CPUS};
+use drom_sim::{queue_churn_trace, ClusterSim};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{MalleablePolicy, MalleableScanPolicy};
 
@@ -31,6 +34,24 @@ const INDEXED_KEY: &str = "sched_scale/malleable_pass_128n";
 const MODEL_KEY: &str = "sched_scale/malleable_model_pass_128n";
 const RESERVATION_KEY: &str = "sched_scale/malleable_reservation_pass_1024n";
 const SCAN_KEY: &str = "sched_scale/malleable_scan_pass_128n";
+/// Whole-trace replay of the queue-churn trace at the mega node count with
+/// the *production* (dirty-tracked) malleable policy — the only key where
+/// state evolves between passes, so the probe memo and admission order are
+/// actually exercised. Stored as mean ns **per event**.
+const EVENTS_KEY: &str = "sched_guard/queue_churn_events_mega";
+
+/// Events-per-second probe: one end-to-end replay of a queue-heavy trace on
+/// the mega node count. Returns (ns per event, events processed).
+fn measure_events() -> (f64, u64) {
+    let trace = queue_churn_trace(2018, 3_000, 10_000, 16, 1.3).generate();
+    let sim = ClusterSim::new(10_000, 16);
+    let started = Instant::now();
+    let report = sim
+        .run(Box::new(MalleablePolicy::default()), &trace)
+        .expect("queue-churn replay failed");
+    let elapsed = started.elapsed().as_nanos() as f64;
+    (elapsed / report.events_processed as f64, report.events_processed)
+}
 
 /// Extracts `"<key>": { "mean_ns": N }` from the **`"benches"` section** of
 /// the baseline JSON. The vendored serde stand-in has no JSON parser, so
@@ -84,6 +105,8 @@ fn main() {
         .unwrap_or_else(|| panic!("no {RESERVATION_KEY} mean_ns in {baseline_path}"));
     let scan_baseline = baseline_mean_ns(&json, SCAN_KEY)
         .unwrap_or_else(|| panic!("no {SCAN_KEY} mean_ns in {baseline_path}"));
+    let events_baseline = baseline_mean_ns(&json, EVENTS_KEY)
+        .unwrap_or_else(|| panic!("no {EVENTS_KEY} mean_ns in {baseline_path}"));
 
     let (free, running, queue) = loaded_state(128);
     let index = SchedIndex::rebuild(&free, &running);
@@ -92,6 +115,7 @@ fn main() {
         free: &free,
         running: &running,
         index: Some(&index),
+        order: None,
     };
     let view_no_index = ClusterView {
         index: None,
@@ -104,6 +128,7 @@ fn main() {
         free: &free_m,
         running: &running_m,
         index: Some(&index_m),
+        order: None,
     };
     let (free_r, running_r, queue_r) = reservation_stress_state(1024);
     let index_r = SchedIndex::rebuild(&free_r, &running_r);
@@ -112,12 +137,23 @@ fn main() {
         free: &free_r,
         running: &running_r,
         index: Some(&index_r),
+        order: None,
     };
 
-    let indexed_ns = measure(&mut MalleablePolicy::default(), &view, &queue, 200);
-    let model_ns = measure(&mut MalleablePolicy::default(), &view_m, &queue_m, 200);
-    let reservation_ns = measure(&mut MalleablePolicy::default(), &view_r, &queue_r, 200);
+    // The latency keys use the always-probe variant: `measure` replays one
+    // frozen view, and the production probe memo would collapse every
+    // iteration after the first into a skip-path no-op. The dirty-tracked
+    // production path is what the events/sec key below measures, end to end.
+    let indexed_ns = measure(&mut MalleablePolicy::always_probe(), &view, &queue, 200);
+    let model_ns = measure(&mut MalleablePolicy::always_probe(), &view_m, &queue_m, 200);
+    let reservation_ns = measure(&mut MalleablePolicy::always_probe(), &view_r, &queue_r, 200);
     let scan_ns = measure(&mut MalleableScanPolicy::default(), &view_no_index, &queue, 20);
+    let (events_ns, events) = measure_events();
+    println!(
+        "sched_guard: queue-churn mega replay {events} events at {events_ns:.0} ns/event \
+         ({:.0} events/s)",
+        1e9 / events_ns
+    );
 
     // How much slower/faster this machine is than the one that recorded the
     // baseline, judged by the reference implementation (whose cost this PR
@@ -132,6 +168,7 @@ fn main() {
         (INDEXED_KEY, indexed_ns, indexed_baseline),
         (MODEL_KEY, model_ns, model_baseline),
         (RESERVATION_KEY, reservation_ns, reservation_baseline),
+        (EVENTS_KEY, events_ns, events_baseline),
     ] {
         let limit_ns = baseline as f64 * factor * machine;
         println!(

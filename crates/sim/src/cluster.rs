@@ -315,7 +315,9 @@ impl ClusterSim {
 mod tests {
     use super::*;
     use crate::rate::speedup_curve;
-    use crate::trace::{mixed_hpc_trace, model_aware_trace, reservation_heavy_trace};
+    use crate::trace::{
+        mixed_hpc_trace, model_aware_trace, queue_churn_trace, reservation_heavy_trace,
+    };
     use drom_apps::AppKind;
     use drom_slurm::policy::QueuedJob;
     use drom_slurm::{
@@ -331,8 +333,8 @@ mod tests {
         let sim = ClusterSim::new(8, 16);
         let trace = tiny_trace();
         for policy in [
-            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
-            Box::new(BackfillPolicy),
+            Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy::default()),
             Box::new(MalleablePolicy::default()),
         ] {
             let report = sim.run(policy, &trace).unwrap();
@@ -362,7 +364,7 @@ mod tests {
     fn malleable_beats_first_fit_on_a_loaded_cluster() {
         let sim = ClusterSim::new(16, 16);
         let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
-        let ff = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
+        let ff = sim.run(Box::new(FirstFitPolicy::default()), &trace).unwrap();
         let mall = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
         assert!(
             mall.makespan_s() < ff.makespan_s(),
@@ -392,7 +394,7 @@ mod tests {
             },
         ];
         let report = ClusterSim::new(1, 16)
-            .run(Box::new(FirstFitPolicy), &jobs)
+            .run(Box::new(FirstFitPolicy::default()), &jobs)
             .unwrap();
         assert_eq!(report.jobs().len(), 2);
         let zero = report.jobs().iter().find(|j| j.name == "job1").unwrap();
@@ -408,8 +410,8 @@ mod tests {
             duration_us: 100,
         }];
         for policy in [
-            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
-            Box::new(BackfillPolicy),
+            Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy::default()),
             Box::new(MalleablePolicy::default()),
         ] {
             let err = ClusterSim::new(4, 16).run(policy, &jobs).unwrap_err();
@@ -537,6 +539,13 @@ mod tests {
                 // drain reservation in most passes, so the timeline walk and
                 // the replay reference disagree loudly if either drifts.
                 reservation_heavy_trace(seed, jobs, nodes, 16, load).generate(),
+                // The queue-churn stream: short jobs over-subscribe the
+                // cluster so the waiting queue stays deep and every pass is
+                // admission-bound — the surface where the incremental
+                // admission order and the probe memo do their work. The scan
+                // reference keeps the full re-sort and re-probes everything,
+                // so a tie-break slip or an unsound skip diverges here first.
+                queue_churn_trace(seed, jobs, nodes, 16, load + 0.1).generate(),
             ] {
                 let indexed = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
                 let scanned = sim.run(Box::new(MalleableScanPolicy::default()), &trace).unwrap();
@@ -602,6 +611,91 @@ mod tests {
         );
     }
 
+    /// Integer digest of a whole replay: start/end sums, total run time,
+    /// shrink/expand counts and the event count. Two replays with equal
+    /// digests on these traces are byte-identical for every purpose the
+    /// sweep tables report.
+    fn replay_digest(r: &ClusterRunReport) -> (u128, u128, u64, u64, u64, u64) {
+        (
+            r.jobs().iter().map(|j| j.start as u128).sum(),
+            r.jobs().iter().map(|j| j.end as u128).sum(),
+            r.report.total_run_time(),
+            r.stats.shrinks,
+            r.stats.expands,
+            r.events_processed,
+        )
+    }
+
+    /// The queue-churn stream replays byte-identically to the **pre-PR-8**
+    /// full-re-sort / always-probe implementation under all three policies.
+    /// These digests were captured from the committed code *before* the
+    /// incremental admission order and the dirty-tracked probe memo existed,
+    /// so any skip the memo takes that an always-probe pass would not have
+    /// taken — or any ordering slip in the incremental index — breaks a sum
+    /// here. This trace keeps the queue deep on purpose: it is the
+    /// admission-bound surface the machinery was built for.
+    #[test]
+    fn queue_churn_replay_is_pinned_for_all_policies() {
+        let sim = ClusterSim::new(32, 16);
+        let trace = queue_churn_trace(2018, 300, 32, 16, 1.3).generate();
+        for (policy, digest) in [
+            (
+                Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
+                (126_393_560_709u128, 140_234_781_524u128, 988_475_237u64, 0u64, 0u64, 600u64),
+            ),
+            (
+                Box::new(BackfillPolicy::default()),
+                (115_757_635_249, 129_598_856_064, 970_711_602, 0, 0, 600),
+            ),
+            (
+                Box::new(MalleablePolicy::default()),
+                (105_120_910_445, 124_091_405_167, 934_436_021, 81, 87, 768),
+            ),
+        ] {
+            let name = policy.name();
+            let r = sim.run(policy, &trace).unwrap();
+            assert_eq!(
+                replay_digest(&r),
+                digest,
+                "{name}: queue-churn replay drifted from the pre-admission-index digests"
+            );
+        }
+    }
+
+    /// Mega-tier smoke: the 10 000-node cluster replaying a 2 000-job slice
+    /// of the mega trace, pinned to pre-PR-8 digests for all three policies.
+    /// Release-only — the debug-mode `debug_assert` oracles re-sort and
+    /// rebuild on every pass, which is exactly the O(cluster) work this tier
+    /// exists to avoid paying.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn mega_replay_smoke_is_pinned_for_all_policies() {
+        let sim = ClusterSim::new(10_000, 16);
+        let trace = crate::trace::mega_trace(2018, 2_000).generate();
+        for (policy, digest) in [
+            (
+                Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
+                (8_079_087_724_395u128, 9_222_464_302_415u128, 10_038_384_031u64, 0u64, 0u64, 4_000u64),
+            ),
+            (
+                Box::new(BackfillPolicy::default()),
+                (8_036_766_279_801, 9_180_142_857_821, 10_038_384_031, 0, 0, 4_000),
+            ),
+            (
+                Box::new(MalleablePolicy::default()),
+                (7_316_703_157_087, 9_031_261_469_692, 9_549_445_946, 956, 888, 5_844),
+            ),
+        ] {
+            let name = policy.name();
+            let r = sim.run(policy, &trace).unwrap();
+            assert_eq!(
+                replay_digest(&r),
+                digest,
+                "{name}: mega replay drifted from the pre-admission-index digests"
+            );
+        }
+    }
+
     /// Differential: attaching an explicitly **linear** curve to every job
     /// replays byte-identically to attaching no curve at all — the
     /// model-aware path is purely additive over the PR 4 engine.
@@ -618,15 +712,15 @@ mod tests {
             })
             .collect();
         for policy in [
-            Box::new(FirstFitPolicy) as Box<dyn SchedulerPolicy>,
-            Box::new(BackfillPolicy),
+            Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
+            Box::new(BackfillPolicy::default()),
             Box::new(MalleablePolicy::default()),
         ] {
             let name = policy.name();
             let plain = sim.run(policy, &base).unwrap();
             let curved = match name {
-                "first-fit" => sim.run(Box::new(FirstFitPolicy), &with_curves),
-                "backfill" => sim.run(Box::new(BackfillPolicy), &with_curves),
+                "first-fit" => sim.run(Box::new(FirstFitPolicy::default()), &with_curves),
+                "backfill" => sim.run(Box::new(BackfillPolicy::default()), &with_curves),
                 _ => sim.run(Box::new(MalleablePolicy::default()), &with_curves),
             }
             .unwrap();
@@ -645,8 +739,8 @@ mod tests {
         let sim = ClusterSim::new(8, 16);
         let linear = mixed_hpc_trace(11, 60, 8, 16, 1.2).generate();
         let model = model_aware_trace(11, 60, 8, 16, 1.2).generate();
-        let a = sim.run(Box::new(FirstFitPolicy), &linear).unwrap();
-        let b = sim.run(Box::new(FirstFitPolicy), &model).unwrap();
+        let a = sim.run(Box::new(FirstFitPolicy::default()), &linear).unwrap();
+        let b = sim.run(Box::new(FirstFitPolicy::default()), &model).unwrap();
         assert_eq!(a.report, b.report);
         assert_eq!(a.events_processed, b.events_processed);
     }
@@ -774,8 +868,8 @@ mod tests {
     fn backfill_beats_first_fit_on_response_time() {
         let sim = ClusterSim::new(16, 16);
         let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
-        let ff = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
-        let bf = sim.run(Box::new(BackfillPolicy), &trace).unwrap();
+        let ff = sim.run(Box::new(FirstFitPolicy::default()), &trace).unwrap();
+        let bf = sim.run(Box::new(BackfillPolicy::default()), &trace).unwrap();
         assert!(
             bf.mean_response_s() <= ff.mean_response_s(),
             "backfill {} vs first-fit {}",

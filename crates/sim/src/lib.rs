@@ -48,7 +48,7 @@
 //! // A small loaded cluster: 8 nodes × 16 CPUs, 40 jobs at ~1.2× capacity.
 //! let trace = mixed_hpc_trace(42, 40, 8, 16, 1.2).generate();
 //! let sim = ClusterSim::new(8, 16);
-//! let first_fit = sim.run(Box::new(FirstFitPolicy), &trace).unwrap();
+//! let first_fit = sim.run(Box::new(FirstFitPolicy::default()), &trace).unwrap();
 //! let malleable = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
 //! // Shrinking running jobs to admit queued work cuts the queue wait.
 //! assert!(malleable.mean_response_s() <= first_fit.mean_response_s());
@@ -72,8 +72,8 @@ pub use rate::{phase_rate, speedup_curve, JobRate};
 pub use report::{comparison_row, ipc_samples, job_cycles_series, ComparisonRow};
 pub use scenario::{high_priority_workload, in_situ_workload, SimJob};
 pub use trace::{
-    default_app_mix, mega_trace, mixed_hpc_trace, model_aware_trace, reservation_heavy_trace,
-    scale_out_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob,
+    default_app_mix, mega_trace, mixed_hpc_trace, model_aware_trace, queue_churn_trace,
+    reservation_heavy_trace, scale_out_trace, ArrivalProcess, JobClass, TraceConfig, TraceJob,
 };
 
 /// Re-export of the scenario enum shared with the metrics crate.

@@ -386,6 +386,101 @@ pub fn reservation_heavy_trace(
     }
 }
 
+/// A queue-churn-heavy job stream: **short** durations (tens of virtual
+/// seconds instead of tens of minutes) at an offered load well above
+/// capacity, so completions — and with them scheduling passes — fire at a
+/// high rate against a queue that stays thousands of jobs deep. A rigid
+/// full-width minority (including a cluster-quarter-wide blocker class)
+/// keeps the queue head blocked most of the time, so the passes are
+/// dominated by *failed* admission probes over the whole waiting queue —
+/// exactly the per-pass O(queue log queue) sort + O(queue) re-probe cost
+/// the admission-order index and the dirty-tracked probing exist to remove.
+/// `cluster_sweep --tier queue-churn` drives it; the CI `--scan` smoke
+/// replays it differentially against the reference scan.
+pub fn queue_churn_trace(
+    seed: u64,
+    num_jobs: usize,
+    num_nodes: usize,
+    node_cpus: usize,
+    load: f64,
+) -> TraceConfig {
+    let full = node_cpus;
+    let half = (node_cpus / 2).max(1);
+    let quarter = (node_cpus / 4).max(1);
+    let capped = |nodes: usize| nodes.clamp(1, num_nodes.max(1));
+    let classes = vec![
+        // Short narrow filler: the churn generator — admitted and completed
+        // at a high rate whenever the head unblocks.
+        JobClass {
+            weight: 0.40,
+            nodes: 1,
+            cpus_per_node: quarter,
+            min_cpus_per_node: 1,
+            malleable: true,
+            duration_range_us: (10_000_000, 60_000_000),
+        },
+        // Two-node half-width malleable mid class.
+        JobClass {
+            weight: 0.25,
+            nodes: capped(2),
+            cpus_per_node: half,
+            min_cpus_per_node: (half / 4).max(1),
+            malleable: true,
+            duration_range_us: (10_000_000, 120_000_000),
+        },
+        // Rigid single-node full-width jobs: frequent short head blockers.
+        JobClass {
+            weight: 0.15,
+            nodes: 1,
+            cpus_per_node: full,
+            min_cpus_per_node: full,
+            malleable: false,
+            duration_range_us: (20_000_000, 120_000_000),
+        },
+        // Wide malleable jobs an eighth of the cluster across.
+        JobClass {
+            weight: 0.12,
+            nodes: (num_nodes / 8).max(1),
+            cpus_per_node: half,
+            min_cpus_per_node: (half / 4).max(1),
+            malleable: true,
+            duration_range_us: (30_000_000, 180_000_000),
+        },
+        // Rigid cluster-quarter-wide blockers: force drain reservations, so
+        // the churn exercises the masked/post-reservation probe paths too.
+        JobClass {
+            weight: 0.08,
+            nodes: (num_nodes / 4).max(1),
+            cpus_per_node: full,
+            min_cpus_per_node: full,
+            malleable: false,
+            duration_range_us: (30_000_000, 120_000_000),
+        },
+    ];
+    let mean_cpu_us: f64 = {
+        let total_weight: f64 = classes.iter().map(|c| c.weight).sum();
+        classes
+            .iter()
+            .map(|c| {
+                let (lo, hi) = (c.duration_range_us.0 as f64, c.duration_range_us.1 as f64);
+                let mean_duration = (hi - lo) / (hi / lo).ln();
+                c.weight / total_weight * mean_duration * (c.nodes * c.cpus_per_node) as f64
+            })
+            .sum()
+    };
+    let capacity = (num_nodes * node_cpus) as f64;
+    let mean_interarrival_us = (mean_cpu_us / (capacity * load.max(0.01))).round() as TimeUs;
+    TraceConfig {
+        seed,
+        num_jobs,
+        arrival: ArrivalProcess::Poisson {
+            mean_interarrival_us: mean_interarrival_us.max(1),
+        },
+        classes,
+        app_mix: Vec::new(),
+    }
+}
+
 /// Nodes of the scale-out sweep tier (× 16 CPUs each).
 pub const SCALE_OUT_NODES: usize = 1024;
 

@@ -27,8 +27,8 @@ use drom_metrics::TimeUs;
 use crate::error::SlurmError;
 use crate::job::JobSpec;
 use crate::policy::{
-    ClusterView, JobAllocation, QueuedJob, RunningJob, SchedIndex, SchedulerAction,
-    SchedulerPolicy,
+    AdmissionOrder, ClusterView, JobAllocation, QueuedJob, RunningJob, SchedIndex,
+    SchedulerAction, SchedulerPolicy,
 };
 
 /// Admission rule used by the controller.
@@ -173,6 +173,9 @@ pub struct SchedulerStats {
     /// were dropped. Benign: the policy decided on a snapshot that a
     /// same-instant completion invalidated.
     pub resize_races: u64,
+    /// Running jobs put back into the waiting queue via
+    /// [`PolicyScheduler::requeue`].
+    pub requeues: u64,
 }
 
 /// A CPU-granular cluster controller driven by a pluggable scheduling policy.
@@ -198,7 +201,15 @@ pub struct PolicyScheduler {
     node_cpus: usize,
     index: SchedIndex,
     running: Vec<RunningJob>,
+    /// Waiting jobs, in arbitrary storage order — `order` below holds the
+    /// admission sequence, so removal is a `swap_remove` + one position
+    /// fixup instead of an O(queue) shift.
     queue: Vec<QueuedJob>,
+    /// The incrementally maintained admission order over `queue` (sort key
+    /// → queue position), updated in O(log queue) at submission, admitted
+    /// start and requeue, and handed to the policy through the view so a
+    /// scheduling pass never re-sorts the queue.
+    order: AdmissionOrder,
     policy: Box<dyn SchedulerPolicy>,
     stats: SchedulerStats,
 }
@@ -212,6 +223,7 @@ impl PolicyScheduler {
             index: SchedIndex::new(num_nodes.max(1), node_cpus.max(1)),
             running: Vec::new(),
             queue: Vec::new(),
+            order: AdmissionOrder::new(),
             policy,
             stats: SchedulerStats::default(),
         }
@@ -253,6 +265,18 @@ impl PolicyScheduler {
         self.queue.len()
     }
 
+    /// The waiting jobs, in **storage** order (arbitrary): index into it
+    /// with [`admission_order`](Self::admission_order) positions to walk the
+    /// admission sequence.
+    pub fn queue(&self) -> &[QueuedJob] {
+        &self.queue
+    }
+
+    /// The maintained admission order over [`queue`](Self::queue).
+    pub fn admission_order(&self) -> &AdmissionOrder {
+        &self.order
+    }
+
     /// Counters of applied actions.
     pub fn stats(&self) -> SchedulerStats {
         self.stats
@@ -265,6 +289,7 @@ impl PolicyScheduler {
             free: self.index.free(),
             running: &self.running,
             index: Some(&self.index),
+            order: Some(&self.order),
         }
     }
 
@@ -282,7 +307,33 @@ impl PolicyScheduler {
                 reason,
             });
         }
+        self.order.insert(&job, self.queue.len());
         self.queue.push(job);
+        Ok(())
+    }
+
+    /// Puts a running job back into the waiting queue (e.g. a node failure
+    /// or a preemption on the execution path): its allocation is unwound
+    /// from the cluster state exactly like a completion, and it re-enters
+    /// the admission order under its **original** priority and submission
+    /// time — a requeue never changes the job's place in line relative to
+    /// jobs it already outranked.
+    ///
+    /// # Errors
+    ///
+    /// [`SlurmError::UnknownJob`] if the job is not running.
+    pub fn requeue(&mut self, job_id: u64) -> Result<(), SlurmError> {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.alloc.job_id == job_id)
+            .ok_or(SlurmError::UnknownJob { job_id })?;
+        let job = self.running.remove(pos);
+        self.index
+            .on_complete(&job.job, &job.alloc.node_indices, job.alloc.cpus_per_node);
+        self.stats.requeues += 1;
+        self.order.insert(&job.job, self.queue.len());
+        self.queue.push(job.job);
         Ok(())
     }
 
@@ -351,6 +402,7 @@ impl PolicyScheduler {
             free: self.index.free(),
             running: &self.running,
             index: Some(&self.index),
+            order: Some(&self.order),
         };
         let actions = self.policy.schedule(&view, &self.queue, now_us);
         let mut applied = Vec::with_capacity(actions.len());
@@ -385,10 +437,14 @@ impl PolicyScheduler {
         now_us: TimeUs,
     ) -> Result<(), SlurmError> {
         let invalid = |reason: String| SlurmError::InvalidAction { job_id, reason };
+        // The admission order doubles as the queue-position lookup; the
+        // mapping is verified (and falls back to a linear scan) so a stale
+        // or corrupt order can reject a valid start only by not finding it.
         let pos = self
-            .queue
-            .iter()
-            .position(|j| j.id == job_id)
+            .order
+            .position_of(job_id)
+            .filter(|&p| self.queue.get(p).is_some_and(|j| j.id == job_id))
+            .or_else(|| self.queue.iter().position(|j| j.id == job_id))
             .ok_or_else(|| invalid("start of a job that is not queued".into()))?;
         let job = &self.queue[pos];
         if node_indices.len() != job.nodes {
@@ -423,7 +479,15 @@ impl PolicyScheduler {
                 job.cpus_per_node
             )));
         }
-        let job = self.queue.remove(pos);
+        // All validation passed: remove the admitted job in O(1) — the
+        // queue's storage order carries no meaning (the admission order
+        // does), so `swap_remove` plus one position fixup for the moved
+        // tail job replaces the O(queue) shifting `remove`.
+        let job = self.queue.swap_remove(pos);
+        self.order.remove(job_id);
+        if let Some(moved) = self.queue.get(pos) {
+            self.order.set_pos(moved.id, pos);
+        }
         // The initial completion estimate scales with the admitted width (a
         // job started at half width needs ~2× its declared duration — more
         // if its speedup curve says shrinking is worse than linear), so
@@ -578,7 +642,7 @@ mod tests {
 
     #[test]
     fn policy_scheduler_first_fit_lifecycle() {
-        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy));
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy::default()));
         assert_eq!(sched.policy_name(), "first-fit");
         assert_eq!(sched.node_cpus(), 16);
         sched.submit(QueuedJob::new(1, 2, 16)).unwrap();
@@ -604,7 +668,7 @@ mod tests {
 
     #[test]
     fn policy_scheduler_rejects_impossible_jobs() {
-        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy));
+        let mut sched = PolicyScheduler::new(2, 16, Box::new(FirstFitPolicy::default()));
         let err = sched.submit(QueuedJob::new(1, 1, 32)).unwrap_err();
         assert!(matches!(err, SlurmError::Unschedulable { job_id: 1, .. }));
         let err = sched.submit(QueuedJob::new(2, 4, 1)).unwrap_err();

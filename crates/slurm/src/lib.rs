@@ -129,7 +129,7 @@ pub use error::SlurmError;
 pub use job::{JobSpec, JobState};
 pub use launcher::{LaunchedJob, LaunchedTask, Srun};
 pub use policy::{
-    BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy,
+    AdmissionOrder, BackfillPolicy, ClusterView, FirstFitPolicy, JobAllocation, MalleablePolicy,
     MalleableScanPolicy, QueuedJob, RunningJob, SchedIndex, SchedulerAction, SchedulerPolicy,
     SpeedupCurve,
 };

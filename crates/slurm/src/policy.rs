@@ -35,6 +35,7 @@
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use drom_metrics::TimeUs;
 
@@ -419,6 +420,12 @@ pub struct ClusterView<'a> {
     /// one-shot rebuild from `running`, so decisions are identical either way
     /// — the index only removes the per-pass recomputation cost.
     pub index: Option<&'a SchedIndex>,
+    /// The incrementally maintained admission order over the queue, when the
+    /// driver keeps one ([`PolicyScheduler`](crate::PolicyScheduler) always
+    /// does). `None` for hand-built views; policies fall back to a one-shot
+    /// `queue_order` sort, so decisions are identical either way — the
+    /// maintained order only removes the per-pass O(queue log queue) sort.
+    pub order: Option<&'a AdmissionOrder>,
 }
 
 impl ClusterView<'_> {
@@ -630,14 +637,69 @@ impl ReleaseTimeline {
 /// completion events with a generation counter and drops stale ones *before*
 /// calling [`PolicyScheduler::job_finished`](crate::PolicyScheduler::job_finished),
 /// so a completion superseded by a resize can never unwind the index twice.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// On top of the per-node state the index keeps **per-width-class dirty
+/// generations** for the probe memo ([`free_gen`](Self::free_gen) /
+/// [`avail_gen`](Self::avail_gen)): `free_gen[w]` is bumped every time any
+/// node's free-CPU count rises from below `w` to at least `w`, and
+/// `avail_gen[w]` the same for free + reclaimable. An unchanged generation
+/// therefore proves no node entered width class `w` since it was read —
+/// the per-class count of qualifying nodes cannot have increased — which is
+/// what makes skipping a re-probe sound (see `docs/scheduling.md`). The
+/// generations are *not* part of the index's value ([`PartialEq`] ignores
+/// them): two equal cluster states reached through different event
+/// histories carry different generations by design.
+#[derive(Debug, Clone)]
 pub struct SchedIndex {
     free: Vec<usize>,
     reclaim: Vec<usize>,
     cheap: Vec<usize>,
     donors: Vec<Vec<u64>>,
     timeline: ReleaseTimeline,
+    /// `free_gen[w]`: bumped when any node's free CPUs cross up into ≥ `w`.
+    /// Grown on demand — a class never crossed is generation 0.
+    free_gen: Vec<u64>,
+    /// `avail_gen[w]`: same for free + reclaimable CPUs.
+    avail_gen: Vec<u64>,
+    /// Unique per index instance (fresh on every `new`/`rebuild`), so a
+    /// probe memo recorded against one index can never validate against the
+    /// zeroed generations of a freshly rebuilt one.
+    epoch: u64,
 }
+
+/// Source of unique [`SchedIndex::epoch`] values. Starts at 1 so an epoch of
+/// 0 can mean "no index seen yet" in a probe memo.
+static INDEX_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_index_epoch() -> u64 {
+    INDEX_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Bumps the generations of every width class the value `old → new` crossed
+/// up into (`old+1 ..= new`); a downward or flat move bumps nothing. The
+/// generation vector grows on demand, so rebuilt indices need no capacity.
+fn bump_gens(gens: &mut Vec<u64>, old: usize, new: usize) {
+    if new > old {
+        if gens.len() <= new {
+            gens.resize(new + 1, 0);
+        }
+        for g in &mut gens[old + 1..=new] {
+            *g += 1;
+        }
+    }
+}
+
+impl PartialEq for SchedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.free == other.free
+            && self.reclaim == other.reclaim
+            && self.cheap == other.cheap
+            && self.donors == other.donors
+            && self.timeline == other.timeline
+    }
+}
+
+impl Eq for SchedIndex {}
 
 impl SchedIndex {
     /// An index over `num_nodes` empty nodes of `node_cpus` CPUs.
@@ -648,6 +710,9 @@ impl SchedIndex {
             cheap: vec![0; num_nodes],
             donors: vec![Vec::new(); num_nodes],
             timeline: ReleaseTimeline::new(),
+            free_gen: Vec::new(),
+            avail_gen: Vec::new(),
+            epoch: next_index_epoch(),
         }
     }
 
@@ -683,6 +748,9 @@ impl SchedIndex {
             cheap: vec![0; free.len()],
             donors: vec![Vec::new(); free.len()],
             timeline: ReleaseTimeline::new(),
+            free_gen: Vec::new(),
+            avail_gen: Vec::new(),
+            epoch: next_index_epoch(),
         };
         for r in running {
             if r.job.malleable {
@@ -733,6 +801,25 @@ impl SchedIndex {
         &self.timeline
     }
 
+    /// Dirty generation of free-CPU width class `width`: bumped whenever any
+    /// node's free count crosses up into ≥ `width`. Unchanged ⟹ the number
+    /// of nodes with ≥ `width` free CPUs has not increased since it was read.
+    pub fn free_gen(&self, width: usize) -> u64 {
+        self.free_gen.get(width).copied().unwrap_or(0)
+    }
+
+    /// Dirty generation of availability (free + reclaimable) width class
+    /// `width` — same contract as [`free_gen`](Self::free_gen).
+    pub fn avail_gen(&self, width: usize) -> u64 {
+        self.avail_gen.get(width).copied().unwrap_or(0)
+    }
+
+    /// Unique instance epoch — what lets a probe memo detect that the index
+    /// it recorded against was rebuilt (fresh generations, all zero).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Per-job clamped spare width under the shrink bound.
     fn spare(job: &QueuedJob, width: usize) -> usize {
         width.saturating_sub(shrink_floor(job.min_cpus_per_node, job.cpus_per_node))
@@ -767,6 +854,9 @@ impl SchedIndex {
                 self.cheap[n] += cheap;
             }
         }
+        // No generation bumps: a start lowers free CPUs, and lowers
+        // availability too (the malleable spare it adds, `width − floor`,
+        // never exceeds the `width` it takes), so no width-class count rises.
         self.timeline.add(job.id, node_indices, width, end_us);
     }
 
@@ -783,11 +873,15 @@ impl SchedIndex {
         let old_cheap = Self::cheap_spare(job, old_width);
         let new_cheap = Self::cheap_spare(job, new_width);
         for &n in node_indices {
+            let old_free = self.free[n];
+            let old_avail = old_free + self.reclaim[n];
             self.free[n] = self.free[n] + old_width - new_width;
             if job.malleable {
                 self.reclaim[n] = self.reclaim[n] + new_spare - old_spare;
                 self.cheap[n] = self.cheap[n] + new_cheap - old_cheap;
             }
+            bump_gens(&mut self.free_gen, old_free, self.free[n]);
+            bump_gens(&mut self.avail_gen, old_avail, self.free[n] + self.reclaim[n]);
         }
         // The release the timeline promises at the job's (unchanged) end
         // instant is the new width; the driver refreshes the estimate itself
@@ -812,12 +906,16 @@ impl SchedIndex {
         let spare = Self::spare(job, width);
         let cheap = Self::cheap_spare(job, width);
         for &n in node_indices {
+            let old_free = self.free[n];
+            let old_avail = old_free + self.reclaim[n];
             self.free[n] += width;
             if job.malleable {
                 self.donors[n].retain(|&id| id != job.id);
                 self.reclaim[n] -= spare;
                 self.cheap[n] -= cheap;
             }
+            bump_gens(&mut self.free_gen, old_free, self.free[n]);
+            bump_gens(&mut self.avail_gen, old_avail, self.free[n] + self.reclaim[n]);
         }
         self.timeline.remove(job.id, node_indices, width);
     }
@@ -842,10 +940,163 @@ pub trait SchedulerPolicy: Send {
 
 /// Queue order shared by all built-in policies: priority (desc), submission
 /// time, id.
+///
+/// This is the **reference sort**: it collects and sorts a fresh
+/// `Vec<&QueuedJob>` on every call, O(queue log queue) per pass. The
+/// production policies walk the driver's maintained [`AdmissionOrder`]
+/// instead (via [`admission_iter`]); the scan references and hand-built
+/// views keep this one so the two stay differentially testable.
 fn queue_order(queue: &[QueuedJob]) -> Vec<&QueuedJob> {
     let mut ordered: Vec<&QueuedJob> = queue.iter().collect();
     ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit_us, j.id));
     ordered
+}
+
+/// The admission key: priority (desc), submission time, id — identical to
+/// the `queue_order` sort key. The id component makes the key total and
+/// unique per job, so the ordered map below never collides.
+type AdmissionKey = (std::cmp::Reverse<u32>, TimeUs, u64);
+
+fn admission_key(job: &QueuedJob) -> AdmissionKey {
+    (std::cmp::Reverse(job.priority), job.submit_us, job.id)
+}
+
+/// Incrementally maintained admission order over the waiting queue:
+/// an ordered map from `queue_order`'s exact sort key —
+/// `(Reverse(priority), submit_us, id)` — to the job's position in the
+/// driver's queue vector.
+///
+/// The key of a waiting job is invariant between submission and
+/// admission/requeue (priority and submit time never change while it
+/// waits), so the order is maintained in O(log queue) per queue **event**
+/// (submit / admitted start / requeue) and a scheduling pass never pays the
+/// O(queue log queue) re-sort: it walks [`positions`](Self::positions) —
+/// exactly the `queue_order` sequence. The mapped positions let the
+/// driver store its queue as an unordered `Vec` (and remove admitted jobs
+/// with a `swap_remove` + one [`set_pos`](Self::set_pos) fixup).
+///
+/// [`PolicyScheduler`](crate::PolicyScheduler) owns one next to its
+/// [`SchedIndex`] and hands it to policies through
+/// [`ClusterView::order`]; policies trust it only when its size matches the
+/// queue (see `trusted_order`), falling back to the reference sort
+/// otherwise, so hand-built views keep byte-identical decisions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionOrder {
+    by_key: BTreeMap<AdmissionKey, usize>,
+    key_by_id: HashMap<u64, AdmissionKey>,
+}
+
+impl AdmissionOrder {
+    /// An empty order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked jobs.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// `true` when no job is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Tracks `job`, stored at position `pos` of the driver's queue vector.
+    ///
+    /// Re-inserting an id drops its stale entry first, leaving the two maps
+    /// out of step with a queue that still holds both copies — which the
+    /// size-based trust check then rejects, so a corrupt driver degrades to
+    /// the reference sort instead of a wrong order.
+    pub fn insert(&mut self, job: &QueuedJob, pos: usize) {
+        let key = admission_key(job);
+        if let Some(stale) = self.key_by_id.insert(job.id, key) {
+            self.by_key.remove(&stale);
+        }
+        self.by_key.insert(key, pos);
+    }
+
+    /// Stops tracking `job_id`, returning the queue position it mapped to.
+    pub fn remove(&mut self, job_id: u64) -> Option<usize> {
+        let key = self.key_by_id.remove(&job_id)?;
+        self.by_key.remove(&key)
+    }
+
+    /// Records that `job_id` now lives at `pos` of the queue vector (the
+    /// `swap_remove` fixup for the job moved into the freed hole).
+    pub fn set_pos(&mut self, job_id: u64, pos: usize) {
+        if let Some(key) = self.key_by_id.get(&job_id) {
+            if let Some(p) = self.by_key.get_mut(key) {
+                *p = pos;
+            }
+        }
+    }
+
+    /// The queue position of `job_id`, when tracked.
+    pub fn position_of(&self, job_id: u64) -> Option<usize> {
+        self.by_key.get(self.key_by_id.get(&job_id)?).copied()
+    }
+
+    /// Queue positions in admission order — the `queue_order` sequence
+    /// without the sort.
+    pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.by_key.values().copied()
+    }
+}
+
+/// The driver's maintained admission order, when the view carries one whose
+/// size matches the queue (a mismatch means it belongs to some other queue
+/// state — or an id collision corrupted it — and must be ignored). The
+/// debug oracle checks the maintained sequence against the reference sort
+/// job by job.
+fn trusted_order<'a>(view: &ClusterView<'a>, queue: &[QueuedJob]) -> Option<&'a AdmissionOrder> {
+    let order = view
+        .order
+        .filter(|o| o.by_key.len() == queue.len() && o.key_by_id.len() == queue.len())?;
+    debug_assert!(
+        order
+            .by_key
+            .iter()
+            .zip(queue_order(queue))
+            .all(|((&(_, _, id), &pos), expected)| {
+                expected.id == id && queue.get(pos).is_some_and(|j| j.id == id)
+            }),
+        "maintained admission order diverged from the reference sort"
+    );
+    Some(order)
+}
+
+/// The admission-order walk of one scheduling pass: the maintained
+/// [`AdmissionOrder`] when the view carries a trusted one (no allocation,
+/// no sort), the `queue_order` reference sort otherwise. Either way the
+/// jobs come out in exactly the `(Reverse(priority), submit_us, id)`
+/// sequence.
+enum AdmissionIter<'q, 'a> {
+    Indexed(std::collections::btree_map::Values<'a, AdmissionKey, usize>, &'q [QueuedJob]),
+    Sorted(std::vec::IntoIter<&'q QueuedJob>),
+}
+
+impl<'q> Iterator for AdmissionIter<'q, '_> {
+    type Item = &'q QueuedJob;
+
+    fn next(&mut self) -> Option<&'q QueuedJob> {
+        match self {
+            AdmissionIter::Indexed(positions, queue) => {
+                positions.next().map(|&pos| &queue[pos])
+            }
+            AdmissionIter::Sorted(ordered) => ordered.next(),
+        }
+    }
+}
+
+fn admission_iter<'q, 'a>(
+    view: &ClusterView<'a>,
+    queue: &'q [QueuedJob],
+) -> AdmissionIter<'q, 'a> {
+    match trusted_order(view, queue) {
+        Some(order) => AdmissionIter::Indexed(order.by_key.values(), queue),
+        None => AdmissionIter::Sorted(queue_order(queue).into_iter()),
+    }
 }
 
 /// One allocation holding CPUs until an (optionally) estimated end time —
@@ -1022,6 +1273,136 @@ fn trusted_index<'a>(view: &ClusterView<'a>) -> Option<&'a SchedIndex> {
     Some(index)
 }
 
+/// How a policy treats its probe memo — the dirty-tracked re-probe skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Probing {
+    /// Production: skip re-probing a waiting job whose recorded failure
+    /// signature is provably still valid (no width class it needs gained
+    /// nodes since the probe failed).
+    #[default]
+    DirtyTracked,
+    /// Conservative mode: never skip a probe. The byte-identical replay
+    /// surface the differential battery compares against.
+    AlwaysProbe,
+    /// TEST ONLY — the "missed release" hazard: trust any recorded
+    /// signature, ignoring the generations entirely.
+    #[cfg(test)]
+    UnsoundStaleSkip,
+    /// TEST ONLY — the "widened skip" hazard (backfill): on a memo-valid
+    /// blocked head, keep admitting FCFS followers instead of stopping,
+    /// letting a later candidate leapfrog the head without the
+    /// end-before-reservation proof.
+    #[cfg(test)]
+    UnsoundSkipContinues,
+}
+
+/// One recorded probe failure: the dirty generations of the width classes
+/// whose node counts proved the job could not start. Valid (skippable)
+/// while those generations are unchanged — no node has crossed up into a
+/// class the job needs, so the counts cannot have grown and the failure
+/// still holds.
+#[derive(Debug, Clone, Copy)]
+struct ProbeSig {
+    /// [`SchedIndex::free_gen`] at the job's request width when the
+    /// count-proven fit failure was recorded.
+    fit_gen: u64,
+    /// [`SchedIndex::avail_gen`] at the job's shrink floor when the
+    /// count-proven shrink-admission failure was recorded (malleable pass
+    /// only; `None` for first-fit/backfill signatures).
+    avail_gen: Option<u64>,
+}
+
+/// Fibonacci-mix hasher for the probe memo's job-id keys. The memo is
+/// consulted once per waiting job per pass, so on a deep queue the default
+/// SipHash costs more than the histogram-guarded probe the memo exists to
+/// skip; one multiply plus an xor-shift (to feed the table's low bucket
+/// bits) is collision-adequate for sequential ids at a fraction of the
+/// cost.
+#[derive(Clone, Default)]
+struct JobIdHasher(u64);
+
+impl std::hash::Hasher for JobIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type JobIdBuildHasher = std::hash::BuildHasherDefault<JobIdHasher>;
+
+/// Per-policy memo of the waiting jobs' last failed probes, keyed by job id.
+/// Sound only against the index instance it recorded from — `sync_epoch`
+/// clears it when the driver's index was rebuilt.
+#[derive(Debug, Clone, Default)]
+struct ProbeMemo {
+    epoch: u64,
+    sigs: HashMap<u64, ProbeSig, JobIdBuildHasher>,
+}
+
+impl ProbeMemo {
+    /// Drops every signature when `epoch` is not the one they were recorded
+    /// against (a fresh index has fresh, all-zero generations that must not
+    /// validate old signatures).
+    fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.sigs.clear();
+        }
+    }
+
+    fn record(&mut self, job_id: u64, fit_gen: u64, avail_gen: Option<u64>) {
+        self.sigs.insert(job_id, ProbeSig { fit_gen, avail_gen });
+    }
+
+    fn forget(&mut self, job_id: u64) {
+        self.sigs.remove(&job_id);
+    }
+
+    /// `true` when `job`'s recorded probe failure is provably still valid:
+    /// a signature exists, the free generation at its request width is
+    /// unchanged, no pass-local shrink raised free CPUs into that class
+    /// (`raised`, the malleable pass's in-pass counters), and — for a
+    /// malleable signature — the availability generation at its shrink
+    /// floor is unchanged too.
+    fn still_blocked(
+        &self,
+        job: &QueuedJob,
+        index: &SchedIndex,
+        raised: Option<&[u64]>,
+        ignore_gens: bool,
+    ) -> bool {
+        let Some(sig) = self.sigs.get(&job.id) else {
+            return false;
+        };
+        if ignore_gens {
+            return true; // TEST ONLY: the unsound stale-skip hazard
+        }
+        if index.free_gen(job.cpus_per_node) != sig.fit_gen {
+            return false;
+        }
+        if raised.is_some_and(|r| r.get(job.cpus_per_node).copied().unwrap_or(0) != 0) {
+            return false;
+        }
+        match sig.avail_gen {
+            None => true,
+            Some(gen) => {
+                let floor = shrink_floor(job.min_cpus_per_node, job.cpus_per_node);
+                index.avail_gen(floor) == gen
+            }
+        }
+    }
+}
+
 /// Exact per-value histogram over a bounded CPU-count vector (free CPUs, or
 /// free + reclaimable; both are ≤ the node capacity): `counts[v]` nodes
 /// currently carry value `v`. [`count_ge`](Self::count_ge) answers "how many
@@ -1097,8 +1478,38 @@ fn fit_first(free: &[usize], nodes: usize, width: usize) -> Option<Vec<usize>> {
 /// This is the unmodified-controller behaviour of the paper's Section 5
 /// lifted to CPU granularity: a job starts only at its full request width,
 /// and a blocked head job blocks everything behind it.
+///
+/// The pass walks the maintained [`AdmissionOrder`] (no queue sort) and
+/// keeps a `ProbeMemo`: when the head's fit failure was count-proven
+/// (`fit_first` fails iff fewer than `nodes` nodes carry ≥ `width` free
+/// CPUs) and the free generation of its width class is unchanged, the pass
+/// ends without re-probing — head-of-line blocking means a still-blocked
+/// head blocks exactly as before, so the skip is decision-identical.
 #[derive(Debug, Default, Clone)]
-pub struct FirstFitPolicy;
+pub struct FirstFitPolicy {
+    probing: Probing,
+    memo: ProbeMemo,
+}
+
+impl FirstFitPolicy {
+    /// The conservative variant that never skips a probe — the
+    /// byte-identical differential surface for the dirty-tracked default.
+    pub fn always_probe() -> Self {
+        FirstFitPolicy {
+            probing: Probing::AlwaysProbe,
+            memo: ProbeMemo::default(),
+        }
+    }
+
+    /// TEST ONLY: trusts stale signatures (hazard: a missed release).
+    #[cfg(test)]
+    fn unsound_stale_skip() -> Self {
+        FirstFitPolicy {
+            probing: Probing::UnsoundStaleSkip,
+            memo: ProbeMemo::default(),
+        }
+    }
+}
 
 impl SchedulerPolicy for FirstFitPolicy {
     fn name(&self) -> &'static str {
@@ -1111,13 +1522,35 @@ impl SchedulerPolicy for FirstFitPolicy {
         queue: &[QueuedJob],
         _now_us: TimeUs,
     ) -> Vec<SchedulerAction> {
-        let mut free = view.free.to_vec();
+        let memo_ix = match self.probing {
+            Probing::AlwaysProbe => None,
+            _ => trusted_index(view),
+        };
+        if let Some(index) = memo_ix {
+            self.memo.sync_epoch(index.epoch());
+        }
+        #[cfg(test)]
+        let ignore_gens = matches!(self.probing, Probing::UnsoundStaleSkip);
+        #[cfg(not(test))]
+        let ignore_gens = false;
+        // Borrowed until the first start: a fully blocked pass (the common
+        // case under load) allocates nothing at all.
+        let mut free: Cow<'_, [usize]> = Cow::Borrowed(view.free);
         let mut actions = Vec::new();
-        for job in queue_order(queue) {
+        for job in admission_iter(view, queue) {
+            if let Some(index) = memo_ix {
+                if self.memo.still_blocked(job, index, None, ignore_gens) {
+                    break; // provably still the blocked head
+                }
+            }
             match fit_first(&free, job.nodes, job.cpus_per_node) {
                 Some(node_indices) => {
+                    let free = free.to_mut();
                     for &idx in &node_indices {
                         free[idx] -= job.cpus_per_node;
+                    }
+                    if memo_ix.is_some() {
+                        self.memo.forget(job.id);
                     }
                     actions.push(SchedulerAction::Start {
                         job_id: job.id,
@@ -1125,7 +1558,16 @@ impl SchedulerPolicy for FirstFitPolicy {
                         cpus_per_node: job.cpus_per_node,
                     });
                 }
-                None => break,
+                None => {
+                    if let Some(index) = memo_ix {
+                        // The failure is count-proven (fit_first is exact),
+                        // and this pass's own starts only lowered free CPUs,
+                        // so the recorded generation over-approximates the
+                        // blocked state — sound to skip on while unchanged.
+                        self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                    }
+                    break;
+                }
             }
         }
         actions
@@ -1141,8 +1583,40 @@ impl SchedulerPolicy for FirstFitPolicy {
 /// guaranteed to finish before that reservation — so the head job is never
 /// delayed. If any running job on the needed CPUs has no completion
 /// estimate, no reservation exists and nothing is backfilled.
+///
+/// The pass walks the maintained [`AdmissionOrder`] (no queue sort) and
+/// keeps a `ProbeMemo` over count-proven fit failures: a memo-valid FCFS
+/// job ends the FCFS phase exactly like a re-probed failure would (it
+/// becomes the reserved head — never leapfrogged, because the reservation
+/// and the end-before-it guarantee are recomputed every pass), and a
+/// memo-valid backfill candidate is passed over exactly like its re-probed
+/// count failure would be.
 #[derive(Debug, Default, Clone)]
-pub struct BackfillPolicy;
+pub struct BackfillPolicy {
+    probing: Probing,
+    memo: ProbeMemo,
+}
+
+impl BackfillPolicy {
+    /// The conservative variant that never skips a probe — the
+    /// byte-identical differential surface for the dirty-tracked default.
+    pub fn always_probe() -> Self {
+        BackfillPolicy {
+            probing: Probing::AlwaysProbe,
+            memo: ProbeMemo::default(),
+        }
+    }
+
+    /// TEST ONLY: on a memo-valid blocked head, keeps admitting followers
+    /// (hazard: a stale-signature candidate leapfrogs the EASY head).
+    #[cfg(test)]
+    fn unsound_skip_continues() -> Self {
+        BackfillPolicy {
+            probing: Probing::UnsoundSkipContinues,
+            memo: ProbeMemo::default(),
+        }
+    }
+}
 
 impl SchedulerPolicy for BackfillPolicy {
     fn name(&self) -> &'static str {
@@ -1155,6 +1629,21 @@ impl SchedulerPolicy for BackfillPolicy {
         queue: &[QueuedJob],
         now_us: TimeUs,
     ) -> Vec<SchedulerAction> {
+        let memo_ix = match self.probing {
+            Probing::AlwaysProbe => None,
+            _ => trusted_index(view),
+        };
+        if let Some(index) = memo_ix {
+            self.memo.sync_epoch(index.epoch());
+        }
+        #[cfg(test)]
+        let ignore_gens = matches!(self.probing, Probing::UnsoundStaleSkip);
+        #[cfg(not(test))]
+        let ignore_gens = false;
+        #[cfg(test)]
+        let continue_past_head = matches!(self.probing, Probing::UnsoundSkipContinues);
+        #[cfg(not(test))]
+        let continue_past_head = false;
         let mut free = view.free.to_vec();
         // Exact per-pass reject guard: a fit at `width` exists iff enough
         // nodes carry ≥ `width` free CPUs, so a failed count skips the
@@ -1187,9 +1676,18 @@ impl SchedulerPolicy for BackfillPolicy {
                     cpus_per_node: job.cpus_per_node,
                 });
             };
-        let ordered = queue_order(queue);
-        let mut blocked_at = ordered.len();
-        for (pos, job) in ordered.iter().enumerate() {
+        let mut ordered = admission_iter(view, queue);
+        let mut head = None;
+        while let Some(job) = ordered.next() {
+            if let Some(index) = memo_ix {
+                if self.memo.still_blocked(job, index, None, ignore_gens) {
+                    if continue_past_head {
+                        continue; // TEST ONLY: the widened-skip hazard
+                    }
+                    head = Some(job); // still blocked: FCFS phase ends here
+                    break;
+                }
+            }
             let fit = if hist.count_ge(job.cpus_per_node) >= job.nodes {
                 fit_first(&free, job.nodes, job.cpus_per_node)
             } else {
@@ -1197,21 +1695,28 @@ impl SchedulerPolicy for BackfillPolicy {
             };
             match fit {
                 Some(node_indices) => {
+                    if memo_ix.is_some() {
+                        self.memo.forget(job.id);
+                    }
                     start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
                 }
                 None => {
-                    blocked_at = pos;
+                    if let Some(index) = memo_ix {
+                        // Count-proven: the guard and fit_first agree
+                        // exactly, and this pass only lowered free CPUs.
+                        self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                    }
+                    head = Some(job);
                     break;
                 }
             }
         }
-        if blocked_at >= ordered.len() {
+        let Some(head) = head else {
             return actions;
-        }
+        };
         // Reserve the head job's start at the earliest provable fit: walk
         // the maintained release timeline (or a one-shot rebuild for
         // hand-built views) overlaid with this pass's own starts.
-        let head = ordered[blocked_at];
         let one_shot;
         let timeline = match trusted_index(view) {
             Some(index) => index.timeline(),
@@ -1241,17 +1746,33 @@ impl SchedulerPolicy for BackfillPolicy {
         ) else {
             return actions; // no provable reservation: nothing may jump
         };
-        for job in ordered.iter().skip(blocked_at + 1) {
+        for job in ordered {
             let Some(duration) = job.expected_duration_us else {
                 continue; // no limit declared: could delay the reservation
             };
             if now_us.saturating_add(duration) > reservation_us {
                 continue;
             }
+            // The memo check sits behind the per-pass duration/window tests
+            // (those depend on the reservation, recomputed every pass, and
+            // cannot be memoized) and replaces only the count/fit probe — a
+            // memo-valid candidate is passed over exactly like a re-probed
+            // count failure, so the outcome is identical either way.
+            if let Some(index) = memo_ix {
+                if self.memo.still_blocked(job, index, None, ignore_gens) {
+                    continue;
+                }
+            }
             if hist.count_ge(job.cpus_per_node) < job.nodes {
+                if let Some(index) = memo_ix {
+                    self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                }
                 continue; // exact reject: no fit exists, skip the probe
             }
             if let Some(node_indices) = fit_first(&free, job.nodes, job.cpus_per_node) {
+                if memo_ix.is_some() {
+                    self.memo.forget(job.id);
+                }
                 start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
             }
         }
@@ -1316,12 +1837,16 @@ pub struct MalleablePolicy {
     /// strict `gain ≥ loss` rule; a larger tolerance trades aggregate
     /// throughput for admitting (and thus responding to) more jobs sooner.
     loss_tolerance_fp: u64,
+    probing: Probing,
+    memo: ProbeMemo,
 }
 
 impl Default for MalleablePolicy {
     fn default() -> Self {
         MalleablePolicy {
             loss_tolerance_fp: SpeedupCurve::FP,
+            probing: Probing::DirtyTracked,
+            memo: ProbeMemo::default(),
         }
     }
 }
@@ -1333,6 +1858,25 @@ impl MalleablePolicy {
     pub fn with_loss_tolerance(tolerance_fp: u64) -> Self {
         MalleablePolicy {
             loss_tolerance_fp: tolerance_fp,
+            ..Self::default()
+        }
+    }
+
+    /// The conservative variant that never skips a probe — the
+    /// byte-identical differential surface for the dirty-tracked default.
+    pub fn always_probe() -> Self {
+        MalleablePolicy {
+            probing: Probing::AlwaysProbe,
+            ..Self::default()
+        }
+    }
+
+    /// TEST ONLY: trusts stale signatures (hazard: a missed release).
+    #[cfg(test)]
+    fn unsound_stale_skip() -> Self {
+        MalleablePolicy {
+            probing: Probing::UnsoundStaleSkip,
+            ..Self::default()
         }
     }
 }
@@ -1480,6 +2024,26 @@ struct PassState<'a> {
     open_avail_hist: FreeHist,
     /// Number of non-reserved nodes (all of them until a reservation lands).
     open_nodes: usize,
+    /// The trusted driver index behind this pass (`None` for hand-built
+    /// views) — resolved once here so the probe memo and the timeline reuse
+    /// the same trust decision.
+    index: Option<&'a SchedIndex>,
+    /// In-pass dirty counters, mirroring [`SchedIndex::free_gen`] for the
+    /// pass-local free vector: `raised[w]` counts the upward crossings into
+    /// width class `w` this pass's own shrinks caused. A memo skip is valid
+    /// only while `raised[request] == 0` — the index generations cannot see
+    /// pass-local movement. Never decremented: an unshrink leaves the
+    /// counter high, which can only disable a skip (conservative).
+    raised: Vec<u64>,
+    /// Plain (unreserved) availability — per-node free + reclaim as the
+    /// *index* accounts it, i.e. ignoring the reservation's donor stripping
+    /// — plus its histogram. `None` until a reservation lands (before that,
+    /// `avail_hist` *is* plain). Probe-memo availability failures must be
+    /// proven against this state, not the stripped one: the reservation
+    /// mask is recomputed every pass and can change with no generation
+    /// bump, so a stripped-count failure is not stable — a plain-count
+    /// failure is (plain availability only falls as jobs start).
+    plain_avail: Option<(Vec<usize>, FreeHist)>,
 }
 
 impl<'a> PassState<'a> {
@@ -1513,10 +2077,13 @@ impl<'a> PassState<'a> {
             open_free_hist: FreeHist { counts: Vec::new() },
             open_avail_hist: FreeHist { counts: Vec::new() },
             open_nodes: view.free.len(),
+            index: trusted_index(view),
+            raised: vec![0; view.node_cpus + 1],
+            plain_avail: None,
         };
         // Prefer the driver's event-maintained index; `free` must agree or
         // the index belongs to some other state and is ignored.
-        if let Some(index) = trusted_index(view) {
+        if let Some(index) = state.index {
             state.base_timeline = Some(index.timeline());
             state.reclaim.copy_from_slice(index.reclaim());
             state.cheap.copy_from_slice(index.cheap());
@@ -1617,6 +2184,10 @@ impl<'a> PassState<'a> {
         for &n in self.slots[victim].node_indices.iter() {
             self.free_hist.update(self.free[n], self.free[n] + give);
             self.open_free_hist.update(self.free[n], self.free[n] + give);
+            // The only pass-local upward free movement: flag the crossed
+            // width classes so the probe memo stops skipping on them
+            // (availability, free + reclaim, is unchanged by a shrink).
+            bump_gens(&mut self.raised, self.free[n], self.free[n] + give);
             self.free[n] += give;
             self.reclaim[n] -= give;
             self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
@@ -1733,6 +2304,13 @@ impl<'a> PassState<'a> {
                 self.open_free_hist.update(old_free, self.free[n]);
                 self.open_avail_hist.update(old_avail, new_avail);
             }
+            // Plain availability follows index semantics: a malleable start
+            // donates its spare whether or not it overlaps the reservation.
+            if let Some((plain, plain_hist)) = &mut self.plain_avail {
+                let new_plain = plain[n] - width + if slot.malleable { spare } else { 0 };
+                plain_hist.update(plain[n], new_plain);
+                plain[n] = new_plain;
+            }
         }
         self.slots.push(Slot {
             reserved_overlap: overlap,
@@ -1747,6 +2325,14 @@ impl<'a> PassState<'a> {
     /// rebuilt in one O(nodes) sweep (free CPUs are untouched here, the
     /// all-node free histogram stands).
     fn apply_reservation(&mut self, mask: &[bool]) {
+        // Snapshot the plain availability before the donor stripping below:
+        // at this point `avail_hist` still histograms exactly free + reclaim
+        // (starts so far updated it plain, shrinks leave it unchanged), so
+        // the clone *is* the plain histogram. The probe memo records
+        // availability failures against this state — the only one whose
+        // failures are stable across passes (see the field's doc).
+        let plain: Vec<usize> = self.free.iter().zip(&self.reclaim).map(|(f, r)| f + r).collect();
+        self.plain_avail = Some((plain, self.avail_hist.clone()));
         for slot in self.slots.iter_mut() {
             if slot.node_indices.iter().any(|&n| mask[n]) {
                 slot.reserved_overlap = true;
@@ -1766,6 +2352,16 @@ impl<'a> PassState<'a> {
         self.open_avail_hist = FreeHist::new(&avail, self.node_cpus, |n| !mask[n]);
         self.open_nodes = mask.iter().filter(|&&m| !m).count();
     }
+
+    /// Number of nodes whose **plain** availability (free + reclaim under
+    /// index semantics, no reservation stripping) is ≥ `width` — the count
+    /// the probe memo's availability failures are proven against.
+    fn plain_avail_count_ge(&self, width: usize) -> usize {
+        match &self.plain_avail {
+            Some((_, hist)) => hist.count_ge(width),
+            None => self.avail_hist.count_ge(width),
+        }
+    }
 }
 
 impl SchedulerPolicy for MalleablePolicy {
@@ -1780,6 +2376,17 @@ impl SchedulerPolicy for MalleablePolicy {
         now_us: TimeUs,
     ) -> Vec<SchedulerAction> {
         let mut state = PassState::new(view);
+        let memo_ix = match self.probing {
+            Probing::AlwaysProbe => None,
+            _ => state.index,
+        };
+        if let Some(index) = memo_ix {
+            self.memo.sync_epoch(index.epoch());
+        }
+        #[cfg(test)]
+        let ignore_gens = matches!(self.probing, Probing::UnsoundStaleSkip);
+        #[cfg(not(test))]
+        let ignore_gens = false;
         // Reservation for the first job that could not be admitted at all:
         // (earliest provable start time, per-node reserved flag). The flag
         // vector is shared by every later admission attempt of the pass —
@@ -1787,20 +2394,50 @@ impl SchedulerPolicy for MalleablePolicy {
         // rebuilding a masked free vector per queued job.
         let mut reservation: Option<(TimeUs, Vec<bool>)> = None;
 
-        for job in queue_order(queue) {
-            let placement = Self::plan_admission(job, &state, &reservation, now_us);
+        for job in admission_iter(view, queue) {
+            // A memo-valid job is provably still unadmittable (no width
+            // class it needs gained nodes since its count-proven failure,
+            // neither in the index nor from this pass's own shrinks), so it
+            // falls straight through to the not-admitted flow below — the
+            // reservation forecast is still paid, exactly as a re-probed
+            // failure would.
+            let skip = memo_ix.is_some_and(|index| {
+                self.memo.still_blocked(job, index, Some(&state.raised), ignore_gens)
+            });
             let mut admitted = false;
-            if let Some((node_indices, width)) = placement {
-                // Carve out the CPUs: shrink victims until every selected
-                // node has `width` free, then allocate — unless the donors'
-                // aggregate rate loss exceeds the newcomer's gain, in which
-                // case the carve rolls itself back and the job falls through
-                // to the reservation path below.
-                let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
-                if state.carve_out(&node_indices, width, gain, self.loss_tolerance_fp) {
-                    let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
-                    state.start(job, node_indices, width, now_us, reserved_mask);
-                    admitted = true;
+            if !skip {
+                let placement = Self::plan_admission(job, &state, &reservation, now_us);
+                if let Some((node_indices, width)) = placement {
+                    // Carve out the CPUs: shrink victims until every selected
+                    // node has `width` free, then allocate — unless the donors'
+                    // aggregate rate loss exceeds the newcomer's gain, in which
+                    // case the carve rolls itself back and the job falls through
+                    // to the reservation path below.
+                    let gain = node_indices.len() as u128 * admission_gain(job, width) as u128;
+                    if state.carve_out(&node_indices, width, gain, self.loss_tolerance_fp) {
+                        let reserved_mask = reservation.as_ref().map(|(_, m)| m.as_slice());
+                        state.start(job, node_indices, width, now_us, reserved_mask);
+                        if memo_ix.is_some() {
+                            self.memo.forget(job.id);
+                        }
+                        admitted = true;
+                    }
+                } else if let Some(index) = memo_ix {
+                    // Record only *count-proven* failures: the plain fit
+                    // count and the plain availability count at the shrink
+                    // floor both fall short. Mask- or economics-induced
+                    // failures are never recorded — they depend on per-pass
+                    // state the generations cannot witness.
+                    let floor = shrink_floor(job.min_cpus_per_node, job.cpus_per_node);
+                    if state.free_hist.count_ge(job.cpus_per_node) < job.nodes
+                        && state.plain_avail_count_ge(floor) < job.nodes
+                    {
+                        self.memo.record(
+                            job.id,
+                            index.free_gen(job.cpus_per_node),
+                            Some(index.avail_gen(floor)),
+                        );
+                    }
                 }
             }
             if admitted {
@@ -2400,6 +3037,7 @@ mod tests {
             free,
             running,
             index: None,
+            order: None,
         }
     }
 
@@ -2424,7 +3062,7 @@ mod tests {
             QueuedJob::new(2, 2, 16), // does not fit once job 1 holds a node
             QueuedJob::new(3, 1, 1),  // would fit, but the head blocks it
         ];
-        let actions = FirstFitPolicy.schedule(&view(16, &free, &[]), &queue, 0);
+        let actions = FirstFitPolicy::default().schedule(&view(16, &free, &[]), &queue, 0);
         assert_eq!(actions.len(), 1);
         assert!(matches!(
             &actions[0],
@@ -2439,7 +3077,7 @@ mod tests {
             QueuedJob::new(1, 1, 16),
             QueuedJob::new(2, 1, 16).with_priority(5),
         ];
-        let actions = FirstFitPolicy.schedule(&view(16, &free, &[]), &queue, 0);
+        let actions = FirstFitPolicy::default().schedule(&view(16, &free, &[]), &queue, 0);
         assert_eq!(actions.len(), 1);
         assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
     }
@@ -2457,7 +3095,7 @@ mod tests {
             QueuedJob::new(3, 1, 8).with_expected_duration_us(200_000_000), // would delay head
             QueuedJob::new(4, 1, 8), // no estimate: never backfilled
         ];
-        let actions = BackfillPolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = BackfillPolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert_eq!(actions.len(), 1, "only the safe job jumps: {actions:?}");
         assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
     }
@@ -2470,7 +3108,7 @@ mod tests {
             QueuedJob::new(1, 2, 16),
             QueuedJob::new(2, 1, 4).with_expected_duration_us(1),
         ];
-        let actions = BackfillPolicy.schedule(&view(16, &free, &holders), &queue, 0);
+        let actions = BackfillPolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert!(actions.is_empty(), "no reservation, no backfill: {actions:?}");
     }
 
@@ -3098,6 +3736,177 @@ mod tests {
 
         let rigid = QueuedJob::from_spec(&JobSpec::new(1, "r").with_tasks(2).rigid());
         assert_eq!(rigid.min_cpus_per_node, rigid.cpus_per_node);
+    }
+
+    /// Regression battery for the two ways a dirty-tracked skip could go
+    /// wrong, each reproduced by a `#[cfg(test)]`-only policy variant that
+    /// reintroduces the hazard on purpose. The sound (default) pass and the
+    /// deliberately broken one run the same scenario: the broken one takes
+    /// the wrong decision, proving the generation checks in
+    /// [`ProbeMemo::still_blocked`] are what prevents it — with them
+    /// bypassed, these tests fail exactly as a pre-fix implementation did.
+    mod dirty_tracking_hazards {
+        use super::*;
+
+        /// A rigid holder at full width with an optional completion estimate.
+        fn rigid_holder(
+            id: u64,
+            nodes: Vec<usize>,
+            width: usize,
+            end_us: Option<TimeUs>,
+        ) -> RunningJob {
+            RunningJob {
+                job: QueuedJob::new(id, nodes.len(), width),
+                alloc: JobAllocation {
+                    job_id: id,
+                    node_indices: nodes,
+                    cpus_per_node: width,
+                },
+                start_us: 0,
+                expected_end_us: end_us,
+            }
+        }
+
+        fn iview<'a>(
+            free: &'a [usize],
+            running: &'a [RunningJob],
+            index: &'a SchedIndex,
+        ) -> ClusterView<'a> {
+            ClusterView {
+                node_cpus: 16,
+                free,
+                running,
+                index: Some(index),
+                order: None,
+            }
+        }
+
+        /// Hazard (a), first-fit: a job is recorded blocked, then a release
+        /// lands on its nodes. The sound pass re-probes (the release bumped
+        /// the free generation of its width class) and starts it; a pass
+        /// that trusts the stale signature skips the job forever.
+        #[test]
+        fn missed_release_must_invalidate_a_recorded_block_first_fit() {
+            let holder = [rigid_holder(10, vec![0], 16, None)];
+            let free_before = [0usize];
+            let mut index = SchedIndex::rebuild(&free_before, &holder);
+            let queue = vec![QueuedJob::new(1, 1, 16)];
+
+            let mut sound = FirstFitPolicy::default();
+            let mut probe = FirstFitPolicy::always_probe();
+            let mut unsound = FirstFitPolicy::unsound_stale_skip();
+            let before = iview(&free_before, &holder, &index);
+            assert!(sound.schedule(&before, &queue, 0).is_empty());
+            assert!(probe.schedule(&before, &queue, 0).is_empty());
+            assert!(unsound.schedule(&before, &queue, 0).is_empty());
+
+            // The holder completes: the driver frees the node and feeds the
+            // event to the index, bumping every width class the release
+            // crossed (1..=16) — the recorded signature is now stale.
+            index.on_complete(&holder[0].job, &[0], 16);
+            let free_after = [16usize];
+            let after = iview(&free_after, &[], &index);
+
+            let expected = probe.schedule(&after, &queue, 1);
+            assert_eq!(
+                expected.len(),
+                1,
+                "the always-probe reference starts the job after the release"
+            );
+            assert_eq!(
+                sound.schedule(&after, &queue, 1),
+                expected,
+                "the dirty-tracked pass must re-probe after the release"
+            );
+            assert!(
+                unsound.schedule(&after, &queue, 1).is_empty(),
+                "hazard reproduced: trusting the stale signature skips the \
+                 now-startable job — the generation check is load-bearing"
+            );
+        }
+
+        /// Hazard (a), malleable: same missed-release shape through the
+        /// malleable pass (whose signatures also witness the availability
+        /// generation at the shrink floor).
+        #[test]
+        fn missed_release_must_invalidate_a_recorded_block_malleable() {
+            let holder = [rigid_holder(10, vec![0], 16, None)];
+            let free_before = [0usize];
+            let mut index = SchedIndex::rebuild(&free_before, &holder);
+            let queue = vec![QueuedJob::new(1, 1, 16)];
+
+            let mut sound = MalleablePolicy::default();
+            let mut probe = MalleablePolicy::always_probe();
+            let mut unsound = MalleablePolicy::unsound_stale_skip();
+            let before = iview(&free_before, &holder, &index);
+            assert!(sound.schedule(&before, &queue, 0).is_empty());
+            assert!(probe.schedule(&before, &queue, 0).is_empty());
+            assert!(unsound.schedule(&before, &queue, 0).is_empty());
+
+            index.on_complete(&holder[0].job, &[0], 16);
+            let free_after = [16usize];
+            let after = iview(&free_after, &[], &index);
+
+            let expected = probe.schedule(&after, &queue, 1);
+            assert_eq!(expected.len(), 1);
+            assert_eq!(
+                sound.schedule(&after, &queue, 1),
+                expected,
+                "the dirty-tracked malleable pass must re-probe after the release"
+            );
+            assert!(
+                unsound.schedule(&after, &queue, 1).is_empty(),
+                "hazard reproduced: the stale signature skips the startable job"
+            );
+        }
+
+        /// Hazard (b), backfill: a memo-valid blocked FCFS job must *end the
+        /// FCFS phase* (become the reserved head), exactly like a re-probed
+        /// failure. A pass that instead skips onwards lets a later candidate
+        /// — whose declared duration overruns the head's reservation — start
+        /// in the head's place: the EASY guarantee is violated and the head
+        /// is leapfrogged.
+        #[test]
+        fn memo_valid_head_must_not_be_leapfrogged() {
+            let holder = [rigid_holder(10, vec![0], 8, Some(100_000_000))];
+            let free = [8usize];
+            let index = SchedIndex::rebuild(&free, &holder);
+            // Head wants the whole node (reserved at the holder's release,
+            // t = 100 s); the candidate fits *now* but runs 500 s — far past
+            // the reservation, so EASY must refuse it.
+            let queue = vec![
+                QueuedJob::new(1, 1, 16).with_expected_duration_us(1_000_000_000),
+                QueuedJob::new(2, 1, 8).with_expected_duration_us(500_000_000),
+            ];
+            let view = iview(&free, &holder, &index);
+            let now = 10_000_000;
+
+            let mut sound = BackfillPolicy::default();
+            let mut unsound = BackfillPolicy::unsound_skip_continues();
+            // Pass 1 probes the head fresh and records its count-proven
+            // failure; the candidate is refused by the reservation window.
+            assert!(sound.schedule(&view, &queue, now).is_empty());
+            assert!(unsound.schedule(&view, &queue, now).is_empty());
+            // Pass 2, unchanged state: the head's signature is memo-valid.
+            assert!(
+                sound.schedule(&view, &queue, now).is_empty(),
+                "the memo-valid head stays the reserved head — nothing starts"
+            );
+            let leapfrog = unsound.schedule(&view, &queue, now);
+            assert_eq!(
+                leapfrog.len(),
+                1,
+                "hazard reproduced: skipping past the memo-valid head admits \
+                 a candidate the reservation window forbids: {leapfrog:?}"
+            );
+            assert!(
+                matches!(
+                    leapfrog[0],
+                    SchedulerAction::Start { job_id: 2, .. }
+                ),
+                "the overrunning candidate leapfrogged the EASY head"
+            );
+        }
     }
 
     mod timeline_replay_equivalence {

@@ -217,7 +217,13 @@ proptest! {
         let expected = oracle(&requests, &floors, &curves, free, need);
 
         let free_vec = [free];
-        let view = ClusterView { node_cpus: NODE_CPUS, free: &free_vec, running: &holders, index: None };
+        let view = ClusterView {
+            node_cpus: NODE_CPUS,
+            free: &free_vec,
+            running: &holders,
+            index: None,
+            order: None,
+        };
         let indexed = MalleablePolicy::default().schedule(&view, &queue, 0);
         let scanned = MalleableScanPolicy::default().schedule(&view, &queue, 0);
         prop_assert_eq!(&indexed, &expected, "indexed policy diverged from the oracle");
