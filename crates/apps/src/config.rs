@@ -61,7 +61,12 @@ pub struct AppConfig {
 
 impl AppConfig {
     /// Creates a two-node configuration.
-    pub const fn new(kind: AppKind, conf: usize, mpi_tasks: usize, threads_per_task: usize) -> Self {
+    pub const fn new(
+        kind: AppKind,
+        conf: usize,
+        mpi_tasks: usize,
+        threads_per_task: usize,
+    ) -> Self {
         AppConfig {
             kind,
             conf,

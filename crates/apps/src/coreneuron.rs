@@ -104,8 +104,8 @@ mod tests {
     #[test]
     fn init_phase_runs_before_iterations() {
         let rt = OmpRuntime::new(4);
-        let sim = CoreNeuronSim::new(AppConfig::new(AppKind::CoreNeuron, 1, 1, 4))
-            .scaled(3, 400, 5_000);
+        let sim =
+            CoreNeuronSim::new(AppConfig::new(AppKind::CoreNeuron, 1, 1, 4)).scaled(3, 400, 5_000);
         let report = sim.run_rank(&rt, None, None, 0);
         assert_eq!(report.iterations_done, 3);
         // The team size during the iterations is back to the full pool.

@@ -26,6 +26,8 @@
 //! application), and [`driver`] the generic "malleable iterative application"
 //! loop of Listing 1 (init DLB, poll DROM each iteration, adapt, compute).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod coreneuron;
 pub mod driver;

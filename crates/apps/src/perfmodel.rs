@@ -178,9 +178,8 @@ impl AppModel {
     /// Work completed per second by the whole job when every task owns
     /// `cpus_per_task` CPUs (steady, non-initialization phase).
     pub fn rate(&self, config: &AppConfig, cpus_per_task: usize) -> f64 {
-        let per_task =
-            self.effective_parallelism(cpus_per_task, config.threads_per_task)
-                * self.efficiency(cpus_per_task.min(config.threads_per_task) as f64);
+        let per_task = self.effective_parallelism(cpus_per_task, config.threads_per_task)
+            * self.efficiency(cpus_per_task.min(config.threads_per_task) as f64);
         per_task * config.mpi_tasks as f64
     }
 
@@ -215,8 +214,7 @@ impl AppModel {
 
     /// Modelled IPC of a thread when its task runs `threads_per_task` threads.
     pub fn ipc(&self, threads_per_task: usize) -> f64 {
-        (self.base_ipc
-            - self.ipc_locality_penalty * (threads_per_task.saturating_sub(1)) as f64)
+        (self.base_ipc - self.ipc_locality_penalty * (threads_per_task.saturating_sub(1)) as f64)
             .max(0.1)
     }
 
@@ -311,7 +309,10 @@ mod tests {
         let model = AppModel::for_kind(AppKind::Stream);
         let t2 = model.execution_time(&Table1::STREAM_CONF1, 2);
         let t8 = model.execution_time(&Table1::STREAM_CONF1, 8);
-        assert!((t2 - t8).abs() < 1e-6, "extra CPUs must not speed STREAM up");
+        assert!(
+            (t2 - t8).abs() < 1e-6,
+            "extra CPUs must not speed STREAM up"
+        );
         let t1 = model.execution_time(&Table1::STREAM_CONF1, 1);
         assert!(t1 > t2, "one CPU per task is slower than two");
     }
@@ -324,7 +325,10 @@ mod tests {
         assert!((full - 16.0).abs() < 1e-9);
         // Removing one thread costs more than one thread's worth of throughput.
         let fifteen = model.effective_parallelism(15, 16);
-        assert!(fifteen < 13.0, "15 CPUs should be well below 15 effective, got {fifteen}");
+        assert!(
+            fifteen < 13.0,
+            "15 CPUs should be well below 15 effective, got {fifteen}"
+        );
         // Exactly half the threads divides evenly: no imbalance beyond the halving.
         let eight = model.effective_parallelism(8, 16);
         assert!((eight - 8.0).abs() < 1e-9);
@@ -437,8 +441,7 @@ mod tests {
         let nest = AppModel::for_kind(AppKind::Nest);
         let conf = Table1::NEST_CONF1;
         assert!(
-            nest.init_rate(&conf, 16)
-                < nest.init_parallelism * conf.mpi_tasks as f64,
+            nest.init_rate(&conf, 16) < nest.init_parallelism * conf.mpi_tasks as f64,
             "16 busy threads pay the same locality penalty during init"
         );
     }
@@ -495,7 +498,10 @@ mod tests {
             pils_alone + (nest.total_work(&nest_conf) - work_during_overlap) / full_rate;
         let drom_total = nest_drom.max(pils_alone);
 
-        assert!(drom_total < serial_total, "DROM must improve total run time");
+        assert!(
+            drom_total < serial_total,
+            "DROM must improve total run time"
+        );
         let improvement = (serial_total - drom_total) / serial_total * 100.0;
         assert!(
             (1.0..20.0).contains(&improvement),

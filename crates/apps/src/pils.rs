@@ -89,12 +89,15 @@ impl Pils {
                 Schedule::Dynamic { chunk: 1 },
                 |_pkg| {
                     busy_work(self.work_per_package);
+                    // SAFETY(ordering): independent progress counter; the
+                    // parallel_for join publishes it before the final read.
                     packages_done.fetch_add(1, Ordering::Relaxed);
                 },
             );
         }
         PilsReport {
             duration_us: start.elapsed().as_micros() as u64,
+            // SAFETY(ordering): read after all worker joins; no concurrency.
             packages_done: packages_done.load(Ordering::Relaxed),
             team_sizes,
         }
@@ -131,8 +134,9 @@ mod tests {
     #[test]
     fn expansion_is_picked_up_at_the_next_step() {
         let shmem = Arc::new(NodeShmem::new("n", 8));
-        let process =
-            Arc::new(DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap());
+        let process = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
         let rt = OmpRuntime::new(8);
         let tool = drom_ompsim::DromOmptTool::new(Arc::clone(&process), Arc::clone(rt.settings()));
         // The job starts on 2 CPUs; the manager later gives it 6.
@@ -141,7 +145,10 @@ mod tests {
             .set_process_mask(1, &CpuSet::from_range(0..6).unwrap(), DromFlags::default())
             .unwrap();
         let report = Pils::conf2().scaled(2, 16, 100).run_rank(&rt, Some(&tool));
-        assert_eq!(report.team_sizes[0], 6, "the first step already sees the grant");
+        assert_eq!(
+            report.team_sizes[0], 6,
+            "the first step already sees the grant"
+        );
         assert_eq!(report.packages_done, 32);
     }
 }

@@ -154,10 +154,8 @@ impl StaticPartitionSim {
         let pool = runtime.settings().pool_size();
         let busy_us: Vec<AtomicU64> = (0..pool).map(|_| AtomicU64::new(0)).collect();
         let subchunk_counts: Vec<AtomicU64> = (0..pool).map(|_| AtomicU64::new(0)).collect();
-        let mut neurons: Vec<Vec<f64>> =
-            vec![vec![0.5; self.neurons_per_chunk]; self.chunks];
-        let neuron_chunks: Vec<Mutex<&mut Vec<f64>>> =
-            neurons.iter_mut().map(Mutex::new).collect();
+        let mut neurons: Vec<Vec<f64>> = vec![vec![0.5; self.neurons_per_chunk]; self.chunks];
+        let neuron_chunks: Vec<Mutex<&mut Vec<f64>>> = neurons.iter_mut().map(Mutex::new).collect();
         let mut team_sizes = Vec::with_capacity(self.iterations);
         let total_spikes = AtomicU64::new(0);
 
@@ -210,13 +208,16 @@ impl StaticPartitionSim {
                         let len = chunk_state.len();
                         let lo = (sub % SUBCHUNKS_PER_CHUNK) * len / SUBCHUNKS_PER_CHUNK;
                         let hi = ((sub % SUBCHUNKS_PER_CHUNK) + 1) * len / SUBCHUNKS_PER_CHUNK;
-                        spikes_local +=
-                            lif_step(&mut chunk_state[lo..hi], 0.35, 1.0) as u64;
+                        spikes_local += lif_step(&mut chunk_state[lo..hi], 0.35, 1.0) as u64;
                     }
                     busy_work(self.work_per_subchunk);
+                    // SAFETY(ordering): per-thread work counters; the
+                    // parallel-region join publishes them before the report
+                    // reads below.
                     subchunk_counts[ctx.thread_num].fetch_add(1, Ordering::Relaxed);
                     sub += ctx.team_size;
                 }
+                // SAFETY(ordering): accumulators only; published by the join.
                 total_spikes.fetch_add(spikes_local, Ordering::Relaxed);
                 busy_us[ctx.thread_num]
                     .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -234,6 +235,8 @@ impl StaticPartitionSim {
 
         SimReport {
             duration: start.elapsed(),
+            // SAFETY(ordering): all reads below happen after the last
+            // parallel-region join; no thread is still writing.
             per_thread_busy_us: busy_us.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             per_thread_subchunks: subchunk_counts
                 .iter()
@@ -241,6 +244,7 @@ impl StaticPartitionSim {
                 .collect(),
             team_sizes,
             iterations_done: self.iterations,
+            // SAFETY(ordering): read after the region join, as above.
             total_spikes: total_spikes.load(Ordering::Relaxed),
         }
     }

@@ -113,8 +113,7 @@ impl Stream {
         StreamReport {
             duration_us,
             bytes_moved,
-            bandwidth_mib_s: bytes_moved as f64 / (1024.0 * 1024.0)
-                / (duration_us as f64 / 1e6),
+            bandwidth_mib_s: bytes_moved as f64 / (1024.0 * 1024.0) / (duration_us as f64 / 1e6),
             team_sizes,
         }
     }

@@ -41,8 +41,16 @@ fn bench_cpuset(c: &mut Criterion) {
 
     group.bench_function("co_allocate_2_running_2_new", |b| {
         let running = vec![
-            RunningTask { job_id: 1, task_id: 0, mask: CpuSet::from_range(0..8).unwrap() },
-            RunningTask { job_id: 1, task_id: 1, mask: CpuSet::from_range(8..16).unwrap() },
+            RunningTask {
+                job_id: 1,
+                task_id: 0,
+                mask: CpuSet::from_range(0..8).unwrap(),
+            },
+            RunningTask {
+                job_id: 1,
+                task_id: 1,
+                mask: CpuSet::from_range(8..16).unwrap(),
+            },
         ];
         b.iter(|| {
             co_allocate(

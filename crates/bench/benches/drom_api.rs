@@ -25,8 +25,12 @@ fn bench_drom_api(c: &mut Criterion) {
         let shmem = Arc::new(NodeShmem::new("n", 16));
         let _procs: Vec<_> = (0..8)
             .map(|i| {
-                DromProcess::init(i as u32 + 1, CpuSet::from_cpus([i * 2, i * 2 + 1]).unwrap(), Arc::clone(&shmem))
-                    .unwrap()
+                DromProcess::init(
+                    i as u32 + 1,
+                    CpuSet::from_cpus([i * 2, i * 2 + 1]).unwrap(),
+                    Arc::clone(&shmem),
+                )
+                .unwrap()
             })
             .collect();
         let admin = DromAdmin::attach(Arc::clone(&shmem));
@@ -50,7 +54,9 @@ fn bench_drom_api(c: &mut Criterion) {
         b.iter(|| {
             let mask = if flip { &full } else { &small };
             flip = !flip;
-            admin.set_process_mask(1, mask, DromFlags::default()).unwrap();
+            admin
+                .set_process_mask(1, mask, DromFlags::default())
+                .unwrap();
             proc.poll_drom().unwrap();
         });
     });
@@ -62,7 +68,11 @@ fn bench_drom_api(c: &mut Criterion) {
         b.iter(|| {
             pid += 1;
             let (environ, _) = admin
-                .pre_init(pid, &CpuSet::from_range(0..4).unwrap(), DromFlags::default())
+                .pre_init(
+                    pid,
+                    &CpuSet::from_range(0..4).unwrap(),
+                    DromFlags::default(),
+                )
                 .unwrap();
             let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
             child.finalize().unwrap();

@@ -29,7 +29,8 @@ fn bench_overhead(c: &mut Criterion) {
 
     group.bench_function("nest_rank_with_idle_drom", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 4));
-        let process = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
         let rt = OmpRuntime::new(4);
         let tool = DromOmptTool::attach(&rt, process);
         let nest = small_nest();

@@ -13,7 +13,9 @@ fn bench_lewi(c: &mut Criterion) {
 
     group.bench_function("lend_reclaim_cycle", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let a = Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
+        let a = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
         let lewi = Lewi::new(Arc::clone(&a));
         b.iter(|| {
             lewi.enter_blocking(1).unwrap();
@@ -23,8 +25,12 @@ fn bench_lewi(c: &mut Criterion) {
 
     group.bench_function("lend_borrow_reclaim_two_processes", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let a = Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
-        let bb = Arc::new(DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap());
+        let a = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
+        let bb = Arc::new(
+            DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
         let lewi_a = Lewi::new(Arc::clone(&a));
         let lewi_b = Lewi::new(Arc::clone(&bb));
         b.iter(|| {

@@ -32,7 +32,8 @@ fn bench_mpisim(c: &mut Criterion) {
             MpiWorld::new(4).run(move |comm| {
                 let pid = 10 + comm.rank() as u32;
                 let mask = CpuSet::from_cpus([comm.rank()]).unwrap();
-                let process = Arc::new(DromProcess::init(pid, mask, Arc::clone(shmem_ref)).unwrap());
+                let process =
+                    Arc::new(DromProcess::init(pid, mask, Arc::clone(shmem_ref)).unwrap());
                 comm.add_hook(DromPmpiHook::for_process(process));
                 for _ in 0..100 {
                     comm.barrier();

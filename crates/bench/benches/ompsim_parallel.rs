@@ -32,7 +32,8 @@ fn bench_ompsim(c: &mut Criterion) {
 
     group.bench_function("fork_join_with_idle_drom_tool", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 4));
-        let process = Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
+        let process =
+            Arc::new(DromProcess::init(1, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap());
         let rt = OmpRuntime::new(4);
         let _tool = DromOmptTool::attach(&rt, process);
         b.iter(|| rt.parallel(|_ctx| {}));

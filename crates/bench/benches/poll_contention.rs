@@ -36,6 +36,8 @@ fn spawn_admin_load(
         let narrow = wide.truncated(wide.count() / 2);
         let mut flip = false;
         let mut updates = 0u64;
+        // SAFETY(ordering): stop flag; a few extra iterations after the
+        // store are harmless, the join is the real synchronization.
         while !stop.load(Ordering::Relaxed) {
             let mask = if flip { &wide } else { &narrow };
             flip = !flip;
@@ -56,6 +58,7 @@ fn spawn_admin_load(
 fn spawn_background_poller(proc: DromProcess, stop: Arc<AtomicBool>) -> JoinHandle<u64> {
     std::thread::spawn(move || {
         let mut polls = 0u64;
+        // SAFETY(ordering): stop flag, as above; the join synchronizes.
         while !stop.load(Ordering::Relaxed) {
             let _ = proc.poll_drom();
             polls += 1;
@@ -71,13 +74,15 @@ fn bench_poll_contention(c: &mut Criterion) {
     // Baseline: the uncontended fast path (no admin attached at all).
     group.bench_function("poll_uncontended", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let proc =
+            DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
         b.iter(|| proc.poll_drom().unwrap());
     });
 
     group.bench_function("has_pending_uncontended", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let proc =
+            DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
         b.iter(|| proc.has_pending_update().unwrap());
     });
 
@@ -85,24 +90,28 @@ fn bench_poll_contention(c: &mut Criterion) {
     // node while the measured process polls its own (empty) slot.
     group.bench_function("poll_vs_1_admin", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let proc =
+            DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
         let victim =
             DromProcess::init(2, CpuSet::from_range(4..12).unwrap(), Arc::clone(&shmem)).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let admin = spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop));
         b.iter(|| proc.poll_drom().unwrap());
+        // SAFETY(ordering): stop flag; the join below synchronizes.
         stop.store(true, Ordering::Relaxed);
         admin.join().unwrap();
     });
 
     group.bench_function("has_pending_vs_1_admin", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let proc = DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
+        let proc =
+            DromProcess::init(1, CpuSet::from_range(0..4).unwrap(), Arc::clone(&shmem)).unwrap();
         let victim =
             DromProcess::init(2, CpuSet::from_range(4..12).unwrap(), Arc::clone(&shmem)).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let admin = spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop));
         b.iter(|| proc.has_pending_update().unwrap());
+        // SAFETY(ordering): stop flag; the join below synchronizes.
         stop.store(true, Ordering::Relaxed);
         admin.join().unwrap();
     });
@@ -111,11 +120,16 @@ fn bench_poll_contention(c: &mut Criterion) {
     // pollers hammer their own slots while the measured thread polls a fourth.
     group.bench_function("poll_vs_1_admin_4_pollers", |b| {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let proc = DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap();
+        let proc =
+            DromProcess::init(1, CpuSet::from_range(0..2).unwrap(), Arc::clone(&shmem)).unwrap();
         let victim =
             DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
-        let mut threads = vec![spawn_admin_load(Arc::clone(&shmem), victim, Arc::clone(&stop))];
+        let mut threads = vec![spawn_admin_load(
+            Arc::clone(&shmem),
+            victim,
+            Arc::clone(&stop),
+        )];
         for i in 0..3u32 {
             let lo = 2 + 2 * i as usize;
             let peer = DromProcess::init(
@@ -127,6 +141,7 @@ fn bench_poll_contention(c: &mut Criterion) {
             threads.push(spawn_background_poller(peer, Arc::clone(&stop)));
         }
         b.iter(|| proc.poll_drom().unwrap());
+        // SAFETY(ordering): stop flag; the joins below synchronize.
         stop.store(true, Ordering::Relaxed);
         for t in threads {
             t.join().unwrap();

@@ -29,7 +29,9 @@ fn bench_poll(c: &mut Criterion) {
         b.iter(|| {
             let mask = if flip { &full } else { &small };
             flip = !flip;
-            admin.set_process_mask(1, mask, DromFlags::default()).unwrap();
+            admin
+                .set_process_mask(1, mask, DromFlags::default())
+                .unwrap();
             proc.poll_drom().unwrap().unwrap()
         });
     });

@@ -158,7 +158,9 @@ fn bench_sched_scale(c: &mut Criterion) {
         let trace = mixed_hpc_trace(7, 300, 32, NODE_CPUS, 1.15).generate();
         let sim = ClusterSim::new(32, NODE_CPUS);
         b.iter(|| {
-            let report = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+            let report = sim
+                .run(Box::new(MalleablePolicy::default()), &trace)
+                .unwrap();
             black_box(report.events_processed)
         });
     });

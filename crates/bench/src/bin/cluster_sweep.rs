@@ -41,8 +41,7 @@ use drom_metrics::{workload::percent_improvement, Table};
 use drom_sim::trace::{MEGA_JOBS, MEGA_NODES, SCALE_OUT_JOBS, SCALE_OUT_NODES};
 use drom_sim::{
     mega_trace, mixed_hpc_trace, model_aware_trace, queue_churn_trace, reservation_heavy_trace,
-    scale_out_trace,
-    ClusterRunReport, ClusterSim,
+    scale_out_trace, ClusterRunReport, ClusterSim,
 };
 use drom_slurm::policy::{SchedulerPolicy, SpeedupCurve};
 use drom_slurm::{BackfillPolicy, FirstFitPolicy, MalleablePolicy, MalleableScanPolicy};
@@ -75,7 +74,12 @@ fn main() {
             let nodes = arg::<usize>("--nodes", 128);
             let jobs = arg::<usize>("--jobs", 2000);
             let load = arg::<f64>("--load", 1.15); // ratio of capacity
-            (nodes, jobs, load, mixed_hpc_trace(seed, jobs, nodes, node_cpus, load))
+            (
+                nodes,
+                jobs,
+                load,
+                mixed_hpc_trace(seed, jobs, nodes, node_cpus, load),
+            )
         }
         // The scale-out tier pins the cluster shape and load so committed
         // results always mean the same experiment; only the job count (CI
@@ -98,7 +102,12 @@ fn main() {
             let nodes = arg::<usize>("--nodes", 128);
             let jobs = arg::<usize>("--jobs", 2000);
             let load = arg::<f64>("--load", 1.15);
-            (nodes, jobs, load, model_aware_trace(seed, jobs, nodes, node_cpus, load))
+            (
+                nodes,
+                jobs,
+                load,
+                model_aware_trace(seed, jobs, nodes, node_cpus, load),
+            )
         }
         // The reservation-dense tier: wide rigid job classes keep the head
         // of the queue blocked, so almost every malleable pass forecasts a
@@ -171,14 +180,19 @@ fn main() {
     // Optional extra malleable row with the shrink-economics gate relaxed to
     // `gain × tolerance ≥ loss`; labelled with the tolerance so committed
     // tables stay self-describing.
-    let tolerance_run: Option<(String, ClusterRunReport)> = std::env::args()
-        .any(|a| a == "--loss-tolerance")
-        .then(|| {
+    let tolerance_run: Option<(String, ClusterRunReport)> =
+        std::env::args().any(|a| a == "--loss-tolerance").then(|| {
             let t = arg::<f64>("--loss-tolerance", 1.0);
-            assert!(t.is_finite() && t > 0.0, "--loss-tolerance must be positive");
+            assert!(
+                t.is_finite() && t > 0.0,
+                "--loss-tolerance must be positive"
+            );
             let tol_fp = (t * SpeedupCurve::FP as f64).round() as u64;
             let r = sim
-                .run(Box::new(MalleablePolicy::with_loss_tolerance(tol_fp)), &trace)
+                .run(
+                    Box::new(MalleablePolicy::with_loss_tolerance(tol_fp)),
+                    &trace,
+                )
                 .expect("trace jobs all fit the cluster");
             (format!("malleable(tol={t:.2})"), r)
         });
@@ -255,10 +269,7 @@ fn main() {
             format!(
                 "{:+.1}",
                 // Higher is better for utilization: flip the sign convention.
-                -percent_improvement(
-                    baseline.utilization_fraction(),
-                    r.utilization_fraction()
-                )
+                -percent_improvement(baseline.utilization_fraction(), r.utilization_fraction())
             ),
         ]);
     }

@@ -11,7 +11,10 @@ fn main() {
     let sweep = use_case1_sweep(AppKind::Nest);
     let mut rows = Vec::new();
     for r in filter_analytics(&sweep, AppKind::Pils) {
-        for job in [r.simulation_name().to_string(), r.analytics_name().to_string()] {
+        for job in [
+            r.simulation_name().to_string(),
+            r.analytics_name().to_string(),
+        ] {
             rows.push((
                 format!("{} / {}", r.label(), job),
                 r.response_s(Scenario::Serial, &job),

@@ -29,7 +29,10 @@ fn main() {
 
     let mut response_rows = Vec::new();
     for r in &stream_pairs {
-        for job in [r.simulation_name().to_string(), r.analytics_name().to_string()] {
+        for job in [
+            r.simulation_name().to_string(),
+            r.analytics_name().to_string(),
+        ] {
             response_rows.push((
                 format!("{} / {}", r.label(), job),
                 r.response_s(Scenario::Serial, &job),

@@ -23,7 +23,13 @@ fn main() {
     // high-priority job starts (and finishes) much earlier under DROM.
     let mut per_job = Table::new(
         "Per-job response times",
-        &["job", "Serial [s]", "DROM [s]", "Serial wait [s]", "DROM wait [s]"],
+        &[
+            "job",
+            "Serial [s]",
+            "DROM [s]",
+            "Serial wait [s]",
+            "DROM wait [s]",
+        ],
     );
     for job in &workload {
         let serial_record = serial.report.jobs.iter().find(|j| j.name == job.name);
@@ -32,19 +38,27 @@ fn main() {
             job.name.clone(),
             format!(
                 "{:.0}",
-                serial_record.map(|j| j.response_time() as f64 / 1e6).unwrap_or(0.0)
+                serial_record
+                    .map(|j| j.response_time() as f64 / 1e6)
+                    .unwrap_or(0.0)
             ),
             format!(
                 "{:.0}",
-                drom_record.map(|j| j.response_time() as f64 / 1e6).unwrap_or(0.0)
+                drom_record
+                    .map(|j| j.response_time() as f64 / 1e6)
+                    .unwrap_or(0.0)
             ),
             format!(
                 "{:.0}",
-                serial_record.map(|j| j.wait_time() as f64 / 1e6).unwrap_or(0.0)
+                serial_record
+                    .map(|j| j.wait_time() as f64 / 1e6)
+                    .unwrap_or(0.0)
             ),
             format!(
                 "{:.0}",
-                drom_record.map(|j| j.wait_time() as f64 / 1e6).unwrap_or(0.0)
+                drom_record
+                    .map(|j| j.wait_time() as f64 / 1e6)
+                    .unwrap_or(0.0)
             ),
         ]);
     }

@@ -25,7 +25,9 @@
 
 use std::time::Instant;
 
-use drom_bench::sched_fixtures::{loaded_state, loaded_state_model, reservation_stress_state, NODE_CPUS};
+use drom_bench::sched_fixtures::{
+    loaded_state, loaded_state_model, reservation_stress_state, NODE_CPUS,
+};
 use drom_sim::{queue_churn_trace, ClusterSim};
 use drom_slurm::policy::{ClusterView, SchedIndex, SchedulerPolicy};
 use drom_slurm::{MalleablePolicy, MalleableScanPolicy};
@@ -50,7 +52,10 @@ fn measure_events() -> (f64, u64) {
         .run(Box::new(MalleablePolicy::default()), &trace)
         .expect("queue-churn replay failed");
     let elapsed = started.elapsed().as_nanos() as f64;
-    (elapsed / report.events_processed as f64, report.events_processed)
+    (
+        elapsed / report.events_processed as f64,
+        report.events_processed,
+    )
 }
 
 /// Extracts `"<key>": { "mean_ns": N }` from the **`"benches"` section** of
@@ -74,12 +79,19 @@ fn baseline_mean_ns(json: &str, key: &str) -> Option<u64> {
 
 fn arg(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Mean ns of one `schedule` call over `iters` timed iterations (after a
 /// short warm-up).
-fn measure(policy: &mut dyn SchedulerPolicy, view: &ClusterView<'_>, queue: &[drom_slurm::QueuedJob], iters: u32) -> f64 {
+fn measure(
+    policy: &mut dyn SchedulerPolicy,
+    view: &ClusterView<'_>,
+    queue: &[drom_slurm::QueuedJob],
+    iters: u32,
+) -> f64 {
     for _ in 0..iters.div_ceil(10).max(3) {
         std::hint::black_box(policy.schedule(view, queue, 1_000));
     }
@@ -93,7 +105,8 @@ fn measure(policy: &mut dyn SchedulerPolicy, view: &ClusterView<'_>, queue: &[dr
 fn main() {
     let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_sched.json".to_string());
     let factor: f64 = arg("--factor").map_or(2.0, |v| {
-        v.parse().unwrap_or_else(|_| panic!("invalid value {v:?} for --factor"))
+        v.parse()
+            .unwrap_or_else(|_| panic!("invalid value {v:?} for --factor"))
     });
     let json = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
@@ -147,7 +160,12 @@ fn main() {
     let indexed_ns = measure(&mut MalleablePolicy::always_probe(), &view, &queue, 200);
     let model_ns = measure(&mut MalleablePolicy::always_probe(), &view_m, &queue_m, 200);
     let reservation_ns = measure(&mut MalleablePolicy::always_probe(), &view_r, &queue_r, 200);
-    let scan_ns = measure(&mut MalleableScanPolicy::default(), &view_no_index, &queue, 20);
+    let scan_ns = measure(
+        &mut MalleableScanPolicy::default(),
+        &view_no_index,
+        &queue,
+        20,
+    );
     let (events_ns, events) = measure_events();
     println!(
         "sched_guard: queue-churn mega replay {events} events at {events_ns:.0} ns/event \

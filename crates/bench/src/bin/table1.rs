@@ -10,7 +10,13 @@ use drom_metrics::Table;
 fn main() {
     let mut table = Table::new(
         "Table 1: use case application configurations",
-        &["Application", "Conf.", "MPI tasks", "OpenMP threads", "CPUs/node"],
+        &[
+            "Application",
+            "Conf.",
+            "MPI tasks",
+            "OpenMP threads",
+            "CPUs/node",
+        ],
     );
     for config in Table1::all() {
         table.add_row(&[

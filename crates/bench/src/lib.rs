@@ -5,6 +5,8 @@
 //! sweep logic once; the `fig*` binaries in `src/bin/` select the slice of the
 //! sweep their figure plots and print it as a table (and CSV on request).
 
+#![forbid(unsafe_code)]
+
 use drom_apps::{AppConfig, AppKind, Table1};
 use drom_metrics::{Scenario, Table};
 use drom_sim::{
@@ -265,8 +267,8 @@ pub mod sched_fixtures {
                 }
             })
             .collect();
-        let queue = vec![QueuedJob::new(100_000, nodes, NODE_CPUS)
-            .with_expected_duration_us(600_000_000)];
+        let queue =
+            vec![QueuedJob::new(100_000, nodes, NODE_CPUS).with_expected_duration_us(600_000_000)];
         (free, running, queue)
     }
 

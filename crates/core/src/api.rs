@@ -130,8 +130,12 @@ impl DromAdmin {
     ) -> DromResult<SetMaskReport> {
         self.check_attached()?;
         let outcome = if flags.sync() {
-            self.shmem
-                .set_pending_mask_sync(pid, mask.clone(), flags.steal(), flags.sync_timeout())?
+            self.shmem.set_pending_mask_sync(
+                pid,
+                mask.clone(),
+                flags.steal(),
+                flags.sync_timeout(),
+            )?
         } else {
             self.shmem
                 .set_pending_mask(pid, mask.clone(), flags.steal())?
@@ -155,9 +159,7 @@ impl DromAdmin {
         flags: DromFlags,
     ) -> DromResult<(DromEnviron, Vec<MaskUpdate>)> {
         self.check_attached()?;
-        let victims = self
-            .shmem
-            .preregister(pid, mask.clone(), flags.steal())?;
+        let victims = self.shmem.preregister(pid, mask.clone(), flags.steal())?;
         Ok((
             DromEnviron {
                 pid,
@@ -219,7 +221,13 @@ mod tests {
         let admin = DromAdmin::attach(Arc::clone(&shmem));
         assert_eq!(admin.node_name(), "test-node");
         assert_eq!(admin.get_pid_list().unwrap(), vec![1]);
-        assert_eq!(admin.get_process_mask(1, DromFlags::default()).unwrap().count(), 16);
+        assert_eq!(
+            admin
+                .get_process_mask(1, DromFlags::default())
+                .unwrap()
+                .count(),
+            16
+        );
         admin.detach().unwrap();
         assert_eq!(admin.get_pid_list(), Err(DromError::Finalized));
         assert_eq!(admin.detach(), Err(DromError::Finalized));
@@ -255,8 +263,10 @@ mod tests {
     #[test]
     fn set_mask_with_steal_reports_victims() {
         let shmem = node();
-        let app1 = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
-        let _app2 = DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
+        let app1 =
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let _app2 =
+            DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
         let admin = DromAdmin::attach(Arc::clone(&shmem));
         // Growing pid 2 into pid 1's CPUs requires the steal flag.
         let err = admin
@@ -273,7 +283,10 @@ mod tests {
         assert!(report.updated);
         assert_eq!(report.victims.len(), 1);
         assert_eq!(report.victims[0].pid, 1);
-        assert_eq!(app1.poll_drom().unwrap().unwrap(), CpuSet::from_range(0..4).unwrap());
+        assert_eq!(
+            app1.poll_drom().unwrap().unwrap(),
+            CpuSet::from_range(0..4).unwrap()
+        );
     }
 
     #[test]
@@ -296,8 +309,7 @@ mod tests {
         assert_eq!(sim.poll_drom().unwrap().unwrap().count(), 8);
 
         // The child registers through the environ and adopts the reservation.
-        let child =
-            DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
+        let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
         assert_eq!(child.current_mask().count(), 8);
 
         // The child finishes; the scheduler calls post_finalize and pid 10 is
@@ -312,10 +324,15 @@ mod tests {
     #[test]
     fn post_finalize_cleans_entry_when_child_did_not() {
         let shmem = node();
-        let _sim = DromProcess::init(10, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let _sim =
+            DromProcess::init(10, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
         let admin = DromAdmin::attach(Arc::clone(&shmem));
         admin
-            .pre_init(30, &CpuSet::from_range(8..16).unwrap(), DromFlags::default())
+            .pre_init(
+                30,
+                &CpuSet::from_range(8..16).unwrap(),
+                DromFlags::default(),
+            )
             .unwrap();
         // The child never started; the scheduler still cleans the entry.
         assert!(admin.get_pid_list().unwrap().contains(&30));
@@ -326,9 +343,13 @@ mod tests {
     #[test]
     fn free_cpus_and_stats() {
         let shmem = node();
-        let _app = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let _app =
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
         let admin = DromAdmin::attach(Arc::clone(&shmem));
-        assert_eq!(admin.free_cpus().unwrap(), CpuSet::from_range(8..16).unwrap());
+        assert_eq!(
+            admin.free_cpus().unwrap(),
+            CpuSet::from_range(8..16).unwrap()
+        );
         assert_eq!(admin.stats().unwrap().registers, 1);
     }
 

@@ -114,7 +114,11 @@ impl fmt::Display for DromError {
                 write!(f, "{}: pid {pid} already initialized", self.name())
             }
             DromError::PendingDirty { pid } => {
-                write!(f, "{}: pid {pid} has an unconsumed pending mask", self.name())
+                write!(
+                    f,
+                    "{}: pid {pid} has an unconsumed pending mask",
+                    self.name()
+                )
             }
             DromError::Permission { cpu, owner } => {
                 write!(f, "{}: cpu {cpu} owned by pid {owner}", self.name())
@@ -125,10 +129,18 @@ impl fmt::Display for DromError {
                 self.name()
             ),
             DromError::Timeout { pid } => {
-                write!(f, "{}: pid {pid} did not reach a malleability point", self.name())
+                write!(
+                    f,
+                    "{}: pid {pid} did not reach a malleability point",
+                    self.name()
+                )
             }
             DromError::WouldStarve { pid } => {
-                write!(f, "{}: operation would leave pid {pid} with no CPUs", self.name())
+                write!(
+                    f,
+                    "{}: operation would leave pid {pid} with no CPUs",
+                    self.name()
+                )
             }
             DromError::NotInitialized => write!(f, "{}: not attached/initialized", self.name()),
             DromError::Finalized => write!(f, "{}: handle already finalized", self.name()),
@@ -150,9 +162,7 @@ impl From<ShmemError> for DromError {
             ShmemError::AlreadyRegistered { pid } => DromError::AlreadyInitialized { pid },
             ShmemError::PendingMaskNotConsumed { pid } => DromError::PendingDirty { pid },
             ShmemError::CpuConflict { cpu, owner } => DromError::Permission { cpu, owner },
-            ShmemError::CpuOutOfNode { cpu, node_cpus } => {
-                DromError::OutOfNode { cpu, node_cpus }
-            }
+            ShmemError::CpuOutOfNode { cpu, node_cpus } => DromError::OutOfNode { cpu, node_cpus },
             ShmemError::Timeout { pid } => DromError::Timeout { pid },
             ShmemError::EmptyMask { pid } => DromError::WouldStarve { pid },
             ShmemError::NodeFull { pid, capacity } => DromError::NodeFull { pid, capacity },
@@ -172,7 +182,10 @@ mod tests {
             DromError::AlreadyInitialized { pid: 1 },
             DromError::PendingDirty { pid: 1 },
             DromError::Permission { cpu: 0, owner: 1 },
-            DromError::OutOfNode { cpu: 0, node_cpus: 1 },
+            DromError::OutOfNode {
+                cpu: 0,
+                node_cpus: 1,
+            },
             DromError::Timeout { pid: 1 },
             DromError::WouldStarve { pid: 1 },
             DromError::NotInitialized,

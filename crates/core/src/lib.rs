@@ -41,6 +41,8 @@
 //! assert_eq!(update.count(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod callbacks;
 pub mod error;

@@ -101,7 +101,7 @@ pub fn choose_victims(
     // Emit one request per process whose mask actually changed.
     working
         .into_iter()
-        .zip(original.into_iter())
+        .zip(original)
         .filter(|((_, new_mask, _), (_, old_mask))| new_mask != old_mask)
         .map(|((pid, new_mask, _), (_, old_mask))| ShrinkRequest {
             taken: old_mask.difference(&new_mask),
@@ -124,7 +124,10 @@ mod tests {
                 .register(*pid, CpuSet::from_range(range.clone()).unwrap())
                 .unwrap();
         }
-        masks.iter().map(|(pid, _)| shmem.entry(*pid).unwrap()).collect()
+        masks
+            .iter()
+            .map(|(pid, _)| shmem.entry(*pid).unwrap())
+            .collect()
     }
 
     fn total_taken(requests: &[ShrinkRequest]) -> usize {
@@ -141,7 +144,9 @@ mod tests {
         assert_eq!(requests[0].pid, 1);
         assert_eq!(requests[0].new_mask.count(), 8);
         // The kept mask is a prefix of the original.
-        assert!(requests[0].new_mask.is_subset_of(&CpuSet::from_range(0..12).unwrap()));
+        assert!(requests[0]
+            .new_mask
+            .is_subset_of(&CpuSet::from_range(0..12).unwrap()));
     }
 
     #[test]

@@ -109,9 +109,12 @@ impl DromProcess {
     /// administrator traffic on the node.
     pub fn poll_drom(&self) -> DromResult<Option<CpuSet>> {
         self.check_live()?;
+        // SAFETY(ordering): statistics counters; nothing synchronizes on
+        // their values and stats() only needs eventual totals.
         self.polls.fetch_add(1, Ordering::Relaxed);
         match self.shmem.poll_hinted(self.slot, self.pid)? {
             Some(mask) => {
+                // SAFETY(ordering): statistics counter, as above.
                 self.updates.fetch_add(1, Ordering::Relaxed);
                 *self.mask.lock() = mask.clone();
                 Ok(Some(mask))
@@ -141,6 +144,8 @@ impl DromProcess {
     /// Interaction counters for this handle.
     pub fn stats(&self) -> ProcessStats {
         ProcessStats {
+            // SAFETY(ordering): statistics snapshot; approximate totals are
+            // acceptable and nothing orders against them.
             polls: self.polls.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
         }
@@ -191,6 +196,8 @@ impl std::fmt::Debug for DromProcess {
             .field("pid", &self.pid)
             .field("node", &self.shmem.node_name())
             .field("mask", &self.current_mask())
+            // SAFETY(ordering): debug formatting; a stale flag only affects
+            // the printed text.
             .field("finalized", &self.finalized.load(Ordering::Relaxed))
             .finish()
     }
@@ -237,7 +244,8 @@ mod tests {
         let shmem = node();
         let _a = DromProcess::init(5, CpuSet::first_n(4), Arc::clone(&shmem)).unwrap();
         assert_eq!(
-            DromProcess::init(5, CpuSet::from_range(4..8).unwrap(), Arc::clone(&shmem)).unwrap_err(),
+            DromProcess::init(5, CpuSet::from_range(4..8).unwrap(), Arc::clone(&shmem))
+                .unwrap_err(),
             DromError::AlreadyInitialized { pid: 5 }
         );
     }
@@ -255,8 +263,10 @@ mod tests {
     #[test]
     fn lend_borrow_reclaim_through_process() {
         let shmem = node();
-        let a = DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
-        let b = DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
+        let a =
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap();
+        let b =
+            DromProcess::init(2, CpuSet::from_range(8..16).unwrap(), Arc::clone(&shmem)).unwrap();
 
         let lent = a.lend_cpus(&CpuSet::from_range(4..8).unwrap()).unwrap();
         assert_eq!(lent.count(), 4);
@@ -278,7 +288,11 @@ mod tests {
         let _running = DromProcess::init(1, CpuSet::first_n(16), Arc::clone(&shmem)).unwrap();
         let admin = DromAdmin::attach(Arc::clone(&shmem));
         let (environ, _) = admin
-            .pre_init(2, &CpuSet::from_range(12..16).unwrap(), DromFlags::default().with_steal())
+            .pre_init(
+                2,
+                &CpuSet::from_range(12..16).unwrap(),
+                DromFlags::default().with_steal(),
+            )
             .unwrap();
         let child = DromProcess::init_from_environ(&environ, Arc::clone(&shmem)).unwrap();
         assert_eq!(child.current_mask(), CpuSet::from_range(12..16).unwrap());

@@ -25,7 +25,7 @@ use crate::cpuset::CpuSet;
 use crate::topology::Topology;
 
 /// How CPUs are laid out when a mask is split into parts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DistributionPolicy {
     /// Contiguous assignment in CPU-id order, ignoring sockets.
     Packed,
@@ -34,13 +34,8 @@ pub enum DistributionPolicy {
     RoundRobinSockets,
     /// Align parts to socket boundaries whenever a part fits entirely in the
     /// free space of one socket. This is the policy described in the paper.
+    #[default]
     SocketAware,
-}
-
-impl Default for DistributionPolicy {
-    fn default() -> Self {
-        DistributionPolicy::SocketAware
-    }
 }
 
 /// A task already running on the node, identified by job and task index.
@@ -324,8 +319,9 @@ pub fn co_allocate(
                 // whatever is still free on the node.
                 let free = node_mask.difference(&taken).difference(&mask);
                 let extra = size - mask.count();
-                let top_up =
-                    split_with_sizes(&free, &[extra], topo, policy).pop().unwrap_or_default();
+                let top_up = split_with_sizes(&free, &[extra], topo, policy)
+                    .pop()
+                    .unwrap_or_default();
                 mask = mask.union(&top_up);
             }
             taken = taken.union(&mask);
@@ -372,7 +368,7 @@ pub fn redistribute_freed(
         .map(|(t, c)| t.saturating_sub(*c))
         .collect();
     let chunks = split_with_sizes(freed, &extras, topo, policy);
-    for (task, chunk) in updated.iter_mut().zip(chunks.into_iter()) {
+    for (task, chunk) in updated.iter_mut().zip(chunks) {
         task.mask = task.mask.union(&chunk);
     }
     updated
@@ -575,7 +571,11 @@ mod tests {
             DistributionPolicy::SocketAware,
         );
         // 16 CPUs among 3 jobs: 6, 5, 5 (new job gets the last share of 5).
-        let mut counts: Vec<usize> = plan.updated_running.iter().map(|t| t.mask.count()).collect();
+        let mut counts: Vec<usize> = plan
+            .updated_running
+            .iter()
+            .map(|t| t.mask.count())
+            .collect();
         counts.push(plan.new_tasks[0].count());
         assert_eq!(counts.iter().sum::<usize>(), 16);
         assert_eq!(*counts.iter().max().unwrap(), 6);

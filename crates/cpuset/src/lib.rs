@@ -27,12 +27,14 @@
 //! assert!(parts[0].intersection(&parts[1]).is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cpuset;
 pub mod distribution;
 pub mod parse;
 pub mod topology;
 
 pub use cpuset::{CpuSet, CpuSetError, MAX_CPUS};
-pub use distribution::{DistributionPolicy, DistributionPlan};
+pub use distribution::{DistributionPlan, DistributionPolicy};
 pub use parse::{format_cpu_list, parse_cpu_list};
 pub use topology::{Socket, Topology, TopologyError};

@@ -63,7 +63,11 @@ pub fn events_to_csv(events: &[TraceEvent]) -> String {
             EventKind::MaskChange { mask } => ("mask", mask.count() as i64, 0),
             EventKind::User { key, value } => ("user", *key as i64, *value),
         };
-        let _ = writeln!(out, "{},{},{},{},{},{}", e.time, e.process, e.thread, kind, a, b);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            e.time, e.process, e.thread, kind, a, b
+        );
     }
     out
 }
@@ -144,9 +148,33 @@ mod tests {
 
     fn sample_timeline() -> Timeline {
         let mut t = Timeline::new(100);
-        t.push(0, 0, StateInterval { start: 0, end: 100, state: ThreadState::Running });
-        t.push(0, 1, StateInterval { start: 0, end: 50, state: ThreadState::Running });
-        t.push(0, 1, StateInterval { start: 50, end: 100, state: ThreadState::Idle });
+        t.push(
+            0,
+            0,
+            StateInterval {
+                start: 0,
+                end: 100,
+                state: ThreadState::Running,
+            },
+        );
+        t.push(
+            0,
+            1,
+            StateInterval {
+                start: 0,
+                end: 50,
+                state: ThreadState::Running,
+            },
+        );
+        t.push(
+            0,
+            1,
+            StateInterval {
+                start: 50,
+                end: 100,
+                state: ThreadState::Idle,
+            },
+        );
         t
     }
 

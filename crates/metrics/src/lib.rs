@@ -19,6 +19,8 @@
 //!   experiment harnesses.
 //! * [`table`] — aligned text tables used by every `fig*` harness binary.
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod export;
 pub mod histogram;

@@ -32,7 +32,8 @@ impl Table {
 
     /// Appends a row of string slices.
     pub fn add_row_str(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Number of data rows.

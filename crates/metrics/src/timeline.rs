@@ -90,22 +90,30 @@ impl Timeline {
             };
             if let Some((start, prev_state)) = open.insert(key, (event.time, *state)) {
                 if event.time > start {
-                    timeline.push(key.0, key.1, StateInterval {
-                        start,
-                        end: event.time,
-                        state: prev_state,
-                    });
+                    timeline.push(
+                        key.0,
+                        key.1,
+                        StateInterval {
+                            start,
+                            end: event.time,
+                            state: prev_state,
+                        },
+                    );
                 }
             }
         }
         // Close every open interval at the horizon.
         for ((process, thread), (start, state)) in open {
             if horizon > start {
-                timeline.push(process, thread, StateInterval {
-                    start,
-                    end: horizon,
-                    state,
-                });
+                timeline.push(
+                    process,
+                    thread,
+                    StateInterval {
+                        start,
+                        end: horizon,
+                        state,
+                    },
+                );
             }
         }
         timeline
@@ -229,15 +237,55 @@ mod tests {
     #[test]
     fn imbalance_detects_uneven_work() {
         let mut timeline = Timeline::new(100);
-        timeline.push(0, 0, StateInterval { start: 0, end: 100, state: ThreadState::Running });
-        timeline.push(0, 1, StateInterval { start: 0, end: 50, state: ThreadState::Running });
-        timeline.push(0, 1, StateInterval { start: 50, end: 100, state: ThreadState::Idle });
+        timeline.push(
+            0,
+            0,
+            StateInterval {
+                start: 0,
+                end: 100,
+                state: ThreadState::Running,
+            },
+        );
+        timeline.push(
+            0,
+            1,
+            StateInterval {
+                start: 0,
+                end: 50,
+                state: ThreadState::Running,
+            },
+        );
+        timeline.push(
+            0,
+            1,
+            StateInterval {
+                start: 50,
+                end: 100,
+                state: ThreadState::Idle,
+            },
+        );
         // max = 100, avg = 75 -> imbalance = 1.333…
         assert!((timeline.imbalance() - 100.0 / 75.0).abs() < 1e-9);
         // Perfectly balanced case.
         let mut even = Timeline::new(10);
-        even.push(0, 0, StateInterval { start: 0, end: 10, state: ThreadState::Running });
-        even.push(0, 1, StateInterval { start: 0, end: 10, state: ThreadState::Running });
+        even.push(
+            0,
+            0,
+            StateInterval {
+                start: 0,
+                end: 10,
+                state: ThreadState::Running,
+            },
+        );
+        even.push(
+            0,
+            1,
+            StateInterval {
+                start: 0,
+                end: 10,
+                state: ThreadState::Running,
+            },
+        );
         assert!((even.imbalance() - 1.0).abs() < 1e-12);
     }
 
@@ -254,8 +302,18 @@ mod tests {
     #[test]
     fn unordered_events_are_sorted() {
         let events = vec![
-            TraceEvent { time: 50, process: 0, thread: 0, kind: EventKind::State(ThreadState::Blocked) },
-            TraceEvent { time: 0, process: 0, thread: 0, kind: EventKind::State(ThreadState::Running) },
+            TraceEvent {
+                time: 50,
+                process: 0,
+                thread: 0,
+                kind: EventKind::State(ThreadState::Blocked),
+            },
+            TraceEvent {
+                time: 0,
+                process: 0,
+                thread: 0,
+                kind: EventKind::State(ThreadState::Running),
+            },
         ];
         let timeline = Timeline::from_events(&events, 80);
         assert_eq!(timeline.time_in_state(0, 0, ThreadState::Running), 50);

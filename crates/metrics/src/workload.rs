@@ -140,7 +140,10 @@ impl WorkloadReport {
 
     /// Run time of the job named `name`, if present.
     pub fn run_time_of(&self, name: &str) -> Option<TimeUs> {
-        self.jobs.iter().find(|j| j.name == name).map(|j| j.run_time())
+        self.jobs
+            .iter()
+            .find(|j| j.name == name)
+            .map(|j| j.run_time())
     }
 
     /// The `p`-th percentile (0–100, nearest-rank) of job response times, in
@@ -257,7 +260,10 @@ mod tests {
         assert!((serial.average_response_time() - 2050.0).abs() < 1e-9);
         // waits: 0 and 1900 -> 950
         assert!((serial.average_wait_time() - 950.0).abs() < 1e-9);
-        assert_eq!(WorkloadReport::new(Scenario::Drom, vec![]).average_wait_time(), 0.0);
+        assert_eq!(
+            WorkloadReport::new(Scenario::Drom, vec![]).average_wait_time(),
+            0.0
+        );
         assert_eq!(serial.response_time_of("analytics"), Some(2100));
         assert_eq!(serial.run_time_of("analytics"), Some(200));
         assert_eq!(serial.response_time_of("missing"), None);
@@ -271,10 +277,8 @@ mod tests {
             ],
         );
         assert_eq!(drom.total_run_time(), 2050);
-        let improvement = percent_improvement(
-            serial.average_response_time(),
-            drom.average_response_time(),
-        );
+        let improvement =
+            percent_improvement(serial.average_response_time(), drom.average_response_time());
         // The analytics response collapses, so the average improves a lot.
         assert!(improvement > 40.0, "improvement was {improvement}");
     }
@@ -332,10 +336,7 @@ mod tests {
         for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
             assert_eq!(percentile(&[13.0], p), 13.0, "p = {p}");
         }
-        let report = WorkloadReport::new(
-            Scenario::Drom,
-            vec![record("only", 0, 10, 110)],
-        );
+        let report = WorkloadReport::new(Scenario::Drom, vec![record("only", 0, 10, 110)]);
         assert_eq!(report.p95_response_time(), 110.0);
     }
 
@@ -376,7 +377,10 @@ mod tests {
             .collect();
         let report = WorkloadReport::new(Scenario::Drom, jobs);
         assert_eq!(report.p95_response_time(), 950.0);
-        assert_eq!(WorkloadReport::new(Scenario::Drom, vec![]).p95_response_time(), 0.0);
+        assert_eq!(
+            WorkloadReport::new(Scenario::Drom, vec![]).p95_response_time(),
+            0.0
+        );
     }
 
     #[test]

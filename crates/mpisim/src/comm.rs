@@ -119,7 +119,10 @@ impl MpiComm {
     // ------------------------------------------------------------------
 
     fn send_raw<T: Send + 'static>(&self, dest: usize, tag: i32, value: T) {
-        assert!(dest < self.shared.size, "destination rank {dest} out of range");
+        assert!(
+            dest < self.shared.size,
+            "destination rank {dest} out of range"
+        );
         let mailbox = &self.shared.mailboxes[dest];
         mailbox.queue.lock().push_back(Envelope {
             src: self.rank,
@@ -136,12 +139,9 @@ impl MpiComm {
         loop {
             if let Some(pos) = queue.iter().position(|e| e.src == src && e.tag == tag) {
                 let envelope = queue.remove(pos).expect("position found above");
-                return *envelope
-                    .payload
-                    .downcast::<T>()
-                    .unwrap_or_else(|_| panic!(
-                        "type mismatch receiving message from rank {src} tag {tag}"
-                    ));
+                return *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("type mismatch receiving message from rank {src} tag {tag}")
+                });
             }
             mailbox.available.wait(&mut queue);
         }
@@ -208,12 +208,17 @@ impl MpiComm {
             if self.rank == root {
                 let mut slots: Vec<Option<T>> = (0..self.shared.size).map(|_| None).collect();
                 slots[root] = Some(value);
-                for src in 0..self.shared.size {
+                for (src, slot) in slots.iter_mut().enumerate() {
                     if src != root {
-                        slots[src] = Some(self.recv_raw::<T>(src, TAG_COLLECT));
+                        *slot = Some(self.recv_raw::<T>(src, TAG_COLLECT));
                     }
                 }
-                Some(slots.into_iter().map(|v| v.expect("all ranks gathered")).collect())
+                Some(
+                    slots
+                        .into_iter()
+                        .map(|v| v.expect("all ranks gathered"))
+                        .collect(),
+                )
             } else {
                 self.send_raw(root, TAG_COLLECT, value);
                 None

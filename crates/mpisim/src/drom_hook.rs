@@ -65,12 +65,15 @@ impl DromPmpiHook {
                 move || (inner.poller)()
             }),
             lewi: Some(lewi),
+            // SAFETY(ordering): statistics counter carried over; approximate
+            // totals suffice and nothing orders against them.
             polls: AtomicU64::new(self.polls.load(Ordering::Relaxed)),
         })
     }
 
     /// Number of polls performed through this hook.
     pub fn polls(&self) -> u64 {
+        // SAFETY(ordering): statistics read; approximate totals suffice.
         self.polls.load(Ordering::Relaxed)
     }
 }
@@ -83,6 +86,7 @@ impl PmpiHook for DromPmpiHook {
             }
         }
         (self.poller)();
+        // SAFETY(ordering): statistics counter; nothing synchronizes on it.
         self.polls.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -93,6 +97,7 @@ impl PmpiHook for DromPmpiHook {
             }
         }
         (self.poller)();
+        // SAFETY(ordering): statistics counter; nothing synchronizes on it.
         self.polls.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -142,7 +147,11 @@ mod tests {
             comm.add_hook(DromPmpiHook::for_process(Arc::clone(&running)));
             comm.barrier();
         });
-        assert_eq!(running.num_cpus(), 4, "the MPI interception applied the new mask");
+        assert_eq!(
+            running.num_cpus(),
+            4,
+            "the MPI interception applied the new mask"
+        );
     }
 
     #[test]

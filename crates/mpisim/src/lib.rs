@@ -34,6 +34,8 @@
 //! assert_eq!(sums, vec![6.0, 6.0, 6.0, 6.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod drom_hook;
 pub mod pmpi;

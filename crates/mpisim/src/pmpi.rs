@@ -37,7 +37,11 @@ impl MpiCall {
     pub fn is_blocking(&self) -> bool {
         matches!(
             self,
-            MpiCall::Recv | MpiCall::Barrier | MpiCall::Bcast | MpiCall::Gather | MpiCall::Allreduce
+            MpiCall::Recv
+                | MpiCall::Barrier
+                | MpiCall::Bcast
+                | MpiCall::Gather
+                | MpiCall::Allreduce
         )
     }
 }

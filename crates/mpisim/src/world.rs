@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn block_distribution_over_nodes() {
         let world = MpiWorld::new(4).with_nodes(&["node0", "node1"]);
-        assert_eq!(
-            world.rank_nodes(),
-            &["node0", "node0", "node1", "node1"]
-        );
+        assert_eq!(world.rank_nodes(), &["node0", "node0", "node1", "node1"]);
         let nodes = world.run(|comm| comm.node().to_string());
         assert_eq!(nodes, vec!["node0", "node0", "node1", "node1"]);
     }
@@ -137,14 +134,13 @@ mod tests {
 
     #[test]
     fn explicit_mapping() {
-        let world =
-            MpiWorld::new(2).with_rank_nodes(vec!["x".to_string(), "y".to_string()]);
+        let world = MpiWorld::new(2).with_rank_nodes(vec!["x".to_string(), "y".to_string()]);
         assert_eq!(world.rank_nodes(), &["x", "y"]);
     }
 
     #[test]
     fn run_can_borrow_caller_data() {
-        let data = vec![10u64, 20, 30, 40];
+        let data = [10u64, 20, 30, 40];
         let world = MpiWorld::new(4);
         let out = world.run(|comm| data[comm.rank()] * 2);
         assert_eq!(out, vec![20, 40, 60, 80]);

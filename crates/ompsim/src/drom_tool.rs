@@ -59,21 +59,25 @@ impl DromOmptTool {
 
     /// Number of mask changes applied so far.
     pub fn mask_changes(&self) -> u64 {
+        // SAFETY(ordering): statistics read; approximate totals suffice.
         self.mask_changes.load(Ordering::Relaxed)
     }
 
     /// Number of DROM polls performed so far.
     pub fn polls(&self) -> u64 {
+        // SAFETY(ordering): statistics read; approximate totals suffice.
         self.polls.load(Ordering::Relaxed)
     }
 
     /// Polls DROM once and applies any pending mask (also usable outside the
     /// OMPT callbacks, e.g. from an explicit `DLB_PollDROM` call site).
     pub fn poll_and_apply(&self) -> bool {
+        // SAFETY(ordering): statistics counter; nothing synchronizes on it.
         self.polls.fetch_add(1, Ordering::Relaxed);
         match self.process.poll_drom() {
             Ok(Some(mask)) => {
                 self.settings.apply_mask(&mask);
+                // SAFETY(ordering): statistics counter, as above.
                 self.mask_changes.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -142,8 +146,9 @@ mod tests {
     #[test]
     fn binding_follows_the_new_mask() {
         let shmem = Arc::new(NodeShmem::new("n", 16));
-        let process =
-            Arc::new(DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap());
+        let process = Arc::new(
+            DromProcess::init(1, CpuSet::from_range(0..8).unwrap(), Arc::clone(&shmem)).unwrap(),
+        );
         let rt = OmpRuntime::new(8);
         let _tool = DromOmptTool::attach(&rt, Arc::clone(&process));
 

@@ -30,6 +30,8 @@
 //! assert_eq!(sum, (0..100).sum());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod drom_tool;
 pub mod ompt;
 pub mod runtime;

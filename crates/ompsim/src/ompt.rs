@@ -97,7 +97,9 @@ impl OmptTool for OmptRecorder {
     }
 
     fn parallel_end(&self, region_id: u64) {
-        self.events.lock().push(OmptEvent::ParallelEnd { region_id });
+        self.events
+            .lock()
+            .push(OmptEvent::ParallelEnd { region_id });
     }
 }
 

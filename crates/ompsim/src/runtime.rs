@@ -241,6 +241,7 @@ impl OmpRuntime {
 
     /// Number of parallel regions executed so far.
     pub fn regions_executed(&self) -> u64 {
+        // SAFETY(ordering): statistics read; approximate totals suffice.
         self.regions_executed.load(Ordering::Relaxed)
     }
 
@@ -254,6 +255,8 @@ impl OmpRuntime {
     where
         F: Fn(&ParallelContext) + Sync,
     {
+        // SAFETY(ordering): region ids only need uniqueness, and the regions
+        // counter is statistics; neither orders any other memory access.
         let region_id = self.next_region.fetch_add(1, Ordering::Relaxed);
         self.regions_executed.fetch_add(1, Ordering::Relaxed);
 
@@ -277,17 +280,14 @@ impl OmpRuntime {
         // applied in parallel_begin is honoured by this very region.
         let team_size = self.settings.max_threads().min(self.settings.pool_size);
         let binding_mask = self.settings.binding();
-        let binding: Vec<Option<usize>> = (0..team_size)
-            .map(|i| binding_mask.nth(i))
-            .collect();
+        let binding: Vec<Option<usize>> = (0..team_size).map(|i| binding_mask.nth(i)).collect();
 
-        // SAFETY: the reference to `f` is erased to 'static so it can travel to
-        // the worker threads, but `parallel` blocks until every team member has
-        // finished running it (wait_workers below), so the reference never
-        // outlives the closure.
         let func: &(dyn Fn(&ParallelContext) + Sync) = &f;
-        let func: &'static (dyn Fn(&ParallelContext) + Sync) =
-            unsafe { std::mem::transmute(func) };
+        // SAFETY: the reference to `f` is erased to 'static so it can travel
+        // to the worker threads, but `parallel` blocks until every team
+        // member has run it (wait_workers below), so it never outlives `f`.
+        #[allow(unsafe_code)]
+        let func: &'static (dyn Fn(&ParallelContext) + Sync) = unsafe { std::mem::transmute(func) };
 
         let job = Arc::new(RegionJob {
             func,
@@ -339,6 +339,9 @@ impl OmpRuntime {
             Schedule::Dynamic { chunk } => {
                 let chunk = chunk.max(1);
                 let cursor = AtomicUsize::new(0);
+                // SAFETY(ordering): the cursor only partitions indexes (the
+                // fetch_add makes claims disjoint); workers never read each
+                // other's data through it.
                 self.parallel(|_ctx| loop {
                     let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= total {
@@ -352,12 +355,16 @@ impl OmpRuntime {
             }
             Schedule::Guided => {
                 let cursor = AtomicUsize::new(0);
+                // SAFETY(ordering): as in Dynamic — the cursor partitions
+                // indexes, the preview load is only a chunk-size heuristic,
+                // and the fetch_add is what makes claims disjoint.
                 self.parallel(|ctx| loop {
                     let lo = cursor.load(Ordering::Relaxed);
                     if lo >= total {
                         break;
                     }
                     let chunk = Schedule::guided_chunk(total - lo, ctx.team_size);
+                    // SAFETY(ordering): the fetch_add makes claims disjoint.
                     let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= total {
                         break;
@@ -414,11 +421,14 @@ mod tests {
         let rt = OmpRuntime::new(4);
         let counter = AtomicUsize::new(0);
         let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        // SAFETY(ordering): test counter; the region join publishes it
+        // before the assertion reads it.
         rt.parallel(|ctx| {
             counter.fetch_add(1, Ordering::Relaxed);
             seen.lock().push(ctx.thread_num);
             assert_eq!(ctx.team_size, 4);
         });
+        // SAFETY(ordering): read after the region join; no thread is writing.
         assert_eq!(counter.load(Ordering::Relaxed), 4);
         let mut threads = seen.into_inner();
         threads.sort_unstable();
@@ -476,11 +486,18 @@ mod tests {
             Schedule::Guided,
         ] {
             let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+            // SAFETY(ordering): test counters; the region join publishes
+            // them before the assertions read them.
             rt.parallel_for(0..200, schedule, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
             for (i, h) in hits.iter().enumerate() {
-                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} schedule {schedule:?}");
+                // SAFETY(ordering): read after the region join, as above.
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "index {i} schedule {schedule:?}"
+                );
             }
         }
     }
@@ -496,10 +513,12 @@ mod tests {
     fn single_thread_pool_works() {
         let rt = OmpRuntime::new(1);
         let counter = AtomicUsize::new(0);
+        // SAFETY(ordering): test counter; published by the region join.
         rt.parallel(|ctx| {
             assert_eq!(ctx.team_size, 1);
             counter.fetch_add(1, Ordering::Relaxed);
         });
+        // SAFETY(ordering): read after the region join; no thread is writing.
         assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
 
@@ -529,10 +548,7 @@ mod tests {
         });
         let mut b = bindings.into_inner();
         b.sort_unstable();
-        assert_eq!(
-            b,
-            vec![(0, Some(2)), (1, Some(5)), (2, Some(9))]
-        );
+        assert_eq!(b, vec![(0, Some(2)), (1, Some(5)), (2, Some(9))]);
     }
 
     #[test]
@@ -546,7 +562,10 @@ mod tests {
             events[0],
             OmptEvent::ParallelBegin { team_size: 8, .. }
         ));
-        assert!(matches!(events.last().unwrap(), OmptEvent::ParallelEnd { .. }));
+        assert!(matches!(
+            events.last().unwrap(),
+            OmptEvent::ParallelEnd { .. }
+        ));
         let implicit = events
             .iter()
             .filter(|e| matches!(e, OmptEvent::ImplicitTask { .. }))
@@ -564,10 +583,12 @@ mod tests {
         }
         rt.register_tool(Arc::new(Shrinker(Arc::clone(rt.settings()))));
         let count = AtomicUsize::new(0);
+        // SAFETY(ordering): test counter; published by the region join.
         rt.parallel(|ctx| {
             assert_eq!(ctx.team_size, 2);
             count.fetch_add(1, Ordering::Relaxed);
         });
+        // SAFETY(ordering): read after the region join; no thread is writing.
         assert_eq!(count.load(Ordering::Relaxed), 2);
         rt.unregister_tool();
     }

@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// How the iterations of a `parallel_for` are distributed over the team.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Schedule {
     /// Contiguous blocks of `total / team_size` iterations per thread
     /// (OpenMP `schedule(static)`).
+    #[default]
     Static,
     /// Threads grab fixed-size chunks from a shared counter
     /// (OpenMP `schedule(dynamic, chunk)`).
@@ -23,12 +24,6 @@ pub enum Schedule {
     /// Threads grab exponentially decreasing chunks
     /// (OpenMP `schedule(guided)`).
     Guided,
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Static
-    }
 }
 
 impl Schedule {

@@ -1,0 +1,68 @@
+//! Seeded protocol mutants for the model-check mutation tests (only compiled
+//! under `--cfg drom_verify`; see `docs/verification.md`).
+//!
+//! Each knob weakens one load-bearing piece of the registry protocol — a
+//! memory ordering or a handshake step. The mutation tests in
+//! `tests/model_check.rs` flip a knob and assert that the model checker
+//! reports a concrete failing interleaving; with all knobs off the same
+//! tests prove the real protocol correct. Runtime knobs (rather than cfg'd
+//! code variants) keep every mutant in one test binary.
+//!
+//! The knobs are process-global: tests that use them serialize through a
+//! common mutex and reset them when done (`HazardGuard` in the test file).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `insert_entry` publishes the occupied slot stamp with `Relaxed` instead
+/// of `Release`: observing the new entry no longer proves the victims'
+/// pending shrinks (posted earlier in the same steal) are visible.
+pub static PUBLISH_STAMP_RELAXED: AtomicBool = AtomicBool::new(false);
+
+/// `find_slot` scans stamps with `Relaxed` instead of `Acquire`: the scan
+/// no longer synchronizes with the publishing store, severing the same
+/// publication chain from the reader side.
+pub static FIND_SLOT_RELAXED: AtomicBool = AtomicBool::new(false);
+
+/// `poll_slot` skips the pass through `inner` before signalling `consumed`:
+/// a synchronous setter that checked the stamp just before can miss the
+/// wakeup and sleep forever.
+pub static SKIP_CONSUME_HANDSHAKE: AtomicBool = AtomicBool::new(false);
+
+/// `sync_pending_stamp` bumps the stamp unconditionally instead of only on
+/// parity mismatch: a pending-preserving operation (e.g. a partial lend)
+/// flips the stamp to "consumed" while a mask is still pending.
+pub static UNCONDITIONAL_STAMP_BUMP: AtomicBool = AtomicBool::new(false);
+
+/// `steal_cpus` phase 2 reuses the cancel-vs-post decision computed in phase
+/// 1 instead of re-deciding on the live payload under the slot lock: a poll
+/// racing between the phases makes it drop the victim's shrink entirely.
+pub static STALE_STEAL_DECISION: AtomicBool = AtomicBool::new(false);
+
+/// `steal_cpus` applies each victim's shrink while still validating the rest
+/// instead of in a separate second phase: a failed steal is no longer
+/// all-or-nothing.
+pub static EAGER_STEAL_APPLY: AtomicBool = AtomicBool::new(false);
+
+/// Reads a knob.
+/// (The knobs are test-control state, not part of the modeled protocol, so
+/// they use real `std` atomics.)
+pub fn on(knob: &AtomicBool) -> bool {
+    // SAFETY(ordering): test-control flag set before the checker spawns any
+    // model thread; never raced with the modeled protocol.
+    knob.load(Ordering::Relaxed)
+}
+
+/// Switches every knob off.
+pub fn reset() {
+    for knob in [
+        &PUBLISH_STAMP_RELAXED,
+        &FIND_SLOT_RELAXED,
+        &SKIP_CONSUME_HANDSHAKE,
+        &UNCONDITIONAL_STAMP_BUMP,
+        &STALE_STEAL_DECISION,
+        &EAGER_STEAL_APPLY,
+    ] {
+        // SAFETY(ordering): test-control flag, as above.
+        knob.store(false, Ordering::Relaxed);
+    }
+}

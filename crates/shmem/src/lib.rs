@@ -39,10 +39,15 @@
 //! assert_eq!(shmem.process_state(100).unwrap(), ProcessState::Active);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
+#[cfg(drom_verify)]
+pub mod hazards;
 pub mod node;
 pub mod registry;
 pub mod stats;
+pub mod sync;
 
 pub use error::ShmemError;
 pub use node::ShmemManager;

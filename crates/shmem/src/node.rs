@@ -105,7 +105,10 @@ mod tests {
         let mgr = ShmemManager::new();
         mgr.get_or_create("node2", 16);
         mgr.get_or_create("node1", 16);
-        assert_eq!(mgr.node_names(), vec!["node1".to_string(), "node2".to_string()]);
+        assert_eq!(
+            mgr.node_names(),
+            vec!["node1".to_string(), "node2".to_string()]
+        );
         assert!(mgr.remove("node1").is_some());
         assert!(mgr.remove("node1").is_none());
         assert_eq!(mgr.len(), 1);

@@ -23,13 +23,19 @@
 //! with synchronous setters).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 
 use drom_cpuset::CpuSet;
+
+// Sync primitives come through the facade so model-check builds
+// (`--cfg drom_verify`) can swap in the drom-verify recording shims.
+use crate::sync::{AtomicU64, Condvar, Mutex};
+
+#[cfg(drom_verify)]
+use crate::hazards;
 
 use crate::error::ShmemError;
 use crate::stats::ShmemStats;
@@ -153,6 +159,32 @@ fn stamp_bump(stamp: u64) -> u64 {
     (stamp & !GEN_MASK) | ((stamp + 1) & GEN_MASK)
 }
 
+/// Ordering for the stamp store that publishes a newly occupied slot: the
+/// `Release` pairs with [`probe_ordering`] scans, so a scanner that observes
+/// the new entry also observes every earlier stamp write of the publishing
+/// thread (in particular the pending shrinks a steal posted to its victims).
+/// Weakenable to `Relaxed` by the model-check mutation tests.
+#[inline]
+fn publish_ordering() -> Ordering {
+    #[cfg(drom_verify)]
+    if hazards::on(&hazards::PUBLISH_STAMP_RELAXED) {
+        return Ordering::Relaxed;
+    }
+    Ordering::Release
+}
+
+/// Ordering for the stamp scan in `find_slot` (the `Acquire` side of
+/// [`publish_ordering`]). Weakenable to `Relaxed` by the model-check
+/// mutation tests.
+#[inline]
+fn probe_ordering() -> Ordering {
+    #[cfg(drom_verify)]
+    if hazards::on(&hazards::FIND_SLOT_RELAXED) {
+        return Ordering::Relaxed;
+    }
+    Ordering::Acquire
+}
+
 /// The lock-protected part of one process slot.
 #[derive(Debug)]
 struct SlotPayload {
@@ -195,6 +227,11 @@ impl Slot {
     /// (while holding the payload lock) after every pending-mask change.
     fn sync_pending_stamp(&self, payload: &SlotPayload) {
         let stamp = self.stamp.load(Ordering::Relaxed);
+        #[cfg(drom_verify)]
+        if hazards::on(&hazards::UNCONDITIONAL_STAMP_BUMP) {
+            self.stamp.store(stamp_bump(stamp), Ordering::Release);
+            return;
+        }
         if stamp_pending(stamp) != payload.pending_mask.is_some() {
             self.stamp.store(stamp_bump(stamp), Ordering::Release);
         }
@@ -215,6 +252,31 @@ impl StolenCpus {
     fn cancelled_pending(&self) -> bool {
         !self.corrections.is_empty()
     }
+}
+
+/// One victim shrink validated by `steal_cpus` phase 1, applied in phase 2.
+struct PlannedShrink {
+    seq: u64,
+    pid: Pid,
+    idx: usize,
+    shrunk: CpuSet,
+    /// Phase-1 snapshot of the cancel-vs-post decision. The real protocol
+    /// re-makes this decision on the live payload in phase 2 (a poll can
+    /// race between the phases); this field exists only so the
+    /// `STALE_STEAL_DECISION` model-check mutant can use the stale value.
+    #[cfg_attr(not(drom_verify), allow(dead_code))]
+    cancels: bool,
+}
+
+/// Occupied slots in pid order. `HashMap` iteration order varies per map and
+/// per process; every path that visits multiple slots uses this instead, so
+/// identical registry contents produce identical operation sequences —
+/// required by the replaying model checker, and it makes multi-victim error
+/// reporting deterministic.
+fn sorted_index(inner: &Inner) -> Vec<(Pid, usize)> {
+    let mut pairs: Vec<(Pid, usize)> = inner.index.iter().map(|(&p, &i)| (p, i)).collect();
+    pairs.sort_unstable();
+    pairs
 }
 
 struct Inner {
@@ -315,7 +377,7 @@ impl NodeShmem {
     /// Lock-free pid → slot scan; returns the index and the observed stamp.
     fn find_slot(&self, pid: Pid) -> Option<(usize, u64)> {
         for (idx, slot) in self.slots.iter().enumerate() {
-            let stamp = slot.stamp.load(Ordering::Acquire);
+            let stamp = slot.stamp.load(probe_ordering());
             if stamp_pid(stamp) == Some(pid) {
                 return Some((idx, stamp));
             }
@@ -497,6 +559,9 @@ impl NodeShmem {
             }
         }
         let mut updates = Vec::new();
+        let mut per_owner: Vec<(Pid, CpuSet)> = per_owner.into_iter().collect();
+        // Deterministic owner visit order (see `sorted_index`).
+        per_owner.sort_unstable_by_key(|(owner, _)| *owner);
         for (owner, cpus) in per_owner {
             let oidx = inner.index[&owner];
             let update = self.with_payload(oidx, |oslot, op| {
@@ -538,7 +603,14 @@ impl NodeShmem {
     /// Fills the free slot `idx` (from [`find_free_slot`](Self::find_free_slot),
     /// resolved before any mutation so a full table errors out with the
     /// registry unchanged) and publishes it to lock-free scanners.
-    fn insert_entry(&self, inner: &mut Inner, idx: usize, pid: Pid, mask: CpuSet, state: ProcessState) {
+    fn insert_entry(
+        &self,
+        inner: &mut Inner,
+        idx: usize,
+        pid: Pid,
+        mask: CpuSet,
+        state: ProcessState,
+    ) {
         for cpu in mask.iter() {
             inner.cpu_owner.entry(cpu).or_insert(pid);
         }
@@ -560,12 +632,12 @@ impl NodeShmem {
         slot.polls.store(0, Ordering::Relaxed);
         slot.mask_updates.store(0, Ordering::Relaxed);
         // Publish the occupied slot to lock-free scanners last.
-        slot.stamp.store(stamp_pack(pid, 0), Ordering::Release);
+        slot.stamp.store(stamp_pack(pid, 0), publish_ordering());
         inner.index.insert(pid, idx);
     }
 
     fn check_conflicts(&self, inner: &Inner, pid: Pid, mask: &CpuSet) -> Result<(), ShmemError> {
-        for (&other, &idx) in inner.index.iter() {
+        for (other, idx) in sorted_index(inner) {
             if other == pid {
                 continue;
             }
@@ -600,15 +672,14 @@ impl NodeShmem {
         beneficiary: Pid,
         mask: &CpuSet,
     ) -> Result<StolenCpus, ShmemError> {
-        struct PlannedShrink {
-            seq: u64,
-            pid: Pid,
-            idx: usize,
-            shrunk: CpuSet,
-        }
+        #[cfg(drom_verify)]
+        let eager_apply = hazards::on(&hazards::EAGER_STEAL_APPLY);
+        #[cfg(not(drom_verify))]
+        let eager_apply = false;
         // Phase 1: validate.
         let mut plan: Vec<PlannedShrink> = Vec::new();
-        for (&vpid, &idx) in inner.index.iter() {
+        let mut stolen = StolenCpus::default();
+        for (vpid, idx) in sorted_index(inner) {
             if vpid == beneficiary {
                 continue;
             }
@@ -630,48 +701,69 @@ impl NodeShmem {
                     seq: p.registration_seq,
                     pid: vpid,
                     idx,
-                    shrunk,
+                    shrunk: shrunk.clone(),
+                    cancels: p.pending_mask.is_some() && shrunk == p.current_mask,
                 }))
             })?;
             if let Some(planned) = planned {
-                plan.push(planned);
+                if eager_apply {
+                    // EAGER_STEAL_APPLY mutant: mutate the victim while later
+                    // candidates are still unvalidated (breaks all-or-nothing).
+                    self.apply_planned_shrink(&planned, &mut stolen);
+                } else {
+                    plan.push(planned);
+                }
             }
         }
         // Phase 2: apply, in registration order for deterministic victim
-        // lists. The planned shrink stays valid across the two phases — a
-        // racing poll moves pending → current but never changes the
-        // *effective* mask it was computed from — but whether it cancels the
-        // victim's pending or posts a shrink depends on the *current* mask,
-        // which a poll does change. Decide that under the slot lock, on the
-        // live payload, so a consume racing between the phases downgrades a
-        // planned cancel into a posted shrink instead of dropping it.
+        // lists.
         plan.sort_by_key(|p| p.seq);
-        let mut stolen = StolenCpus::default();
         for planned in plan {
-            self.with_payload(planned.idx, |slot, p| {
-                if p.pending_mask.is_some() && planned.shrunk == p.current_mask {
-                    p.pending_mask = None;
-                    slot.sync_pending_stamp(p);
-                    // Subscribers already heard the now-revoked update; tell
-                    // them the current mask is authoritative again.
-                    stolen.corrections.push(MaskUpdate {
-                        pid: planned.pid,
-                        mask: p.current_mask.clone(),
-                    });
-                } else {
-                    p.pending_mask = Some(planned.shrunk.clone());
-                    slot.sync_pending_stamp(p);
-                    stolen.victims.push(MaskUpdate {
-                        pid: planned.pid,
-                        mask: planned.shrunk.clone(),
-                    });
-                }
-            });
+            self.apply_planned_shrink(&planned, &mut stolen);
         }
         if !stolen.victims.is_empty() || stolen.cancelled_pending() {
             inner.stats.steals += 1;
         }
         Ok(stolen)
+    }
+
+    /// Applies one validated shrink to its victim. The planned shrink stays
+    /// valid across the two phases — a racing poll moves pending → current
+    /// but never changes the *effective* mask it was computed from — but
+    /// whether it cancels the victim's pending or posts a shrink depends on
+    /// the *current* mask, which a poll does change. Decide that under the
+    /// slot lock, on the live payload, so a consume racing between the
+    /// phases downgrades a planned cancel into a posted shrink instead of
+    /// dropping it.
+    fn apply_planned_shrink(&self, planned: &PlannedShrink, stolen: &mut StolenCpus) {
+        self.with_payload(planned.idx, |slot, p| {
+            #[cfg(drom_verify)]
+            let cancels = if hazards::on(&hazards::STALE_STEAL_DECISION) {
+                // Mutant: trust the phase-1 snapshot instead of re-deciding.
+                planned.cancels
+            } else {
+                p.pending_mask.is_some() && planned.shrunk == p.current_mask
+            };
+            #[cfg(not(drom_verify))]
+            let cancels = p.pending_mask.is_some() && planned.shrunk == p.current_mask;
+            if cancels {
+                p.pending_mask = None;
+                slot.sync_pending_stamp(p);
+                // Subscribers already heard the now-revoked update; tell
+                // them the current mask is authoritative again.
+                stolen.corrections.push(MaskUpdate {
+                    pid: planned.pid,
+                    mask: p.current_mask.clone(),
+                });
+            } else {
+                p.pending_mask = Some(planned.shrunk.clone());
+                slot.sync_pending_stamp(p);
+                stolen.victims.push(MaskUpdate {
+                    pid: planned.pid,
+                    mask: planned.shrunk.clone(),
+                });
+            }
+        });
     }
 
     fn notify(inner: &Inner, update: &MaskUpdate) {
@@ -710,9 +802,7 @@ impl NodeShmem {
         let mut pids: Vec<Pid> = inner
             .index
             .iter()
-            .filter(|&(_, &idx)| {
-                self.with_payload(idx, |_, p| p.state != ProcessState::Finished)
-            })
+            .filter(|&(_, &idx)| self.with_payload(idx, |_, p| p.state != ProcessState::Finished))
             .map(|(&pid, _)| pid)
             .collect();
         pids.sort_unstable();
@@ -734,8 +824,11 @@ impl NodeShmem {
     /// the registry untouched.
     pub fn entries(&self) -> Vec<ProcessEntry> {
         let inner = self.inner.lock();
-        let mut entries: Vec<ProcessEntry> =
-            inner.index.values().map(|&idx| self.entry_at(idx)).collect();
+        let mut entries: Vec<ProcessEntry> = inner
+            .index
+            .values()
+            .map(|&idx| self.entry_at(idx))
+            .collect();
         entries.sort_by_key(|e| e.pid);
         entries
     }
@@ -999,7 +1092,13 @@ impl NodeShmem {
         // under `inner`, so passing through the lock before signalling
         // guarantees they are either not yet waiting (and will see the bit
         // cleared) or already parked (and will be woken).
-        drop(self.inner.lock());
+        #[cfg(drom_verify)]
+        let skip_handshake = hazards::on(&hazards::SKIP_CONSUME_HANDSHAKE);
+        #[cfg(not(drom_verify))]
+        let skip_handshake = false;
+        if !skip_handshake {
+            drop(self.inner.lock());
+        }
         self.consumed.notify_all();
         Ok(Some(mask))
     }
@@ -1108,8 +1207,9 @@ impl NodeShmem {
             .index
             .get(&pid)
             .ok_or(ShmemError::ProcessNotFound { pid })?;
-        let (owned, effective) =
-            self.with_payload(idx, |_, p| (p.owned_cpus.clone(), p.effective_mask().clone()));
+        let (owned, effective) = self.with_payload(idx, |_, p| {
+            (p.owned_cpus.clone(), p.effective_mask().clone())
+        });
         let missing = owned.difference(&effective);
         if missing.is_empty() {
             return Ok(CpuSet::new());
@@ -1120,7 +1220,7 @@ impl NodeShmem {
         // CPUs held by borrowers get a pending shrink.
         let from_borrowers = missing.difference(&from_pool);
         if !from_borrowers.is_empty() {
-            for (&bpid, &bidx) in inner.index.iter() {
+            for (bpid, bidx) in sorted_index(&inner) {
                 if bpid == pid {
                     continue;
                 }
@@ -1159,6 +1259,43 @@ impl NodeShmem {
     /// CPUs currently sitting in the LeWI idle pool.
     pub fn idle_pool(&self) -> CpuSet {
         self.inner.lock().idle_pool.clone()
+    }
+
+    /// Model-check epilogue invariant: every slot's stamp agrees with its
+    /// payload — packed pid matches, pending parity matches
+    /// `pending_mask.is_some()`, and empty slots read zero. Only meaningful
+    /// once all protocol threads have been joined.
+    #[cfg(drom_verify)]
+    pub fn debug_stamp_consistency(&self) -> Result<(), String> {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            let guard = slot.payload.lock();
+            match guard.as_ref() {
+                None => {
+                    if stamp != 0 {
+                        return Err(format!("slot {idx}: empty payload but stamp {stamp:#x}"));
+                    }
+                }
+                Some(p) => {
+                    if stamp_pid(stamp) != Some(p.pid) {
+                        return Err(format!(
+                            "slot {idx}: stamp pid {:?} != payload pid {}",
+                            stamp_pid(stamp),
+                            p.pid
+                        ));
+                    }
+                    if stamp_pending(stamp) != p.pending_mask.is_some() {
+                        return Err(format!(
+                            "slot {idx} (pid {}): stamp parity says pending={}, payload says {}",
+                            p.pid,
+                            stamp_pending(stamp),
+                            p.pending_mask.is_some()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1205,7 +1342,9 @@ mod tests {
     #[test]
     fn register_twice_fails() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         assert_eq!(
             shmem.register(10, CpuSet::from_range(8..16).unwrap()),
             Err(ShmemError::AlreadyRegistered { pid: 10 })
@@ -1215,7 +1354,9 @@ mod tests {
     #[test]
     fn register_conflicting_mask_fails() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         let err = shmem
             .register(11, CpuSet::from_range(4..12).unwrap())
             .unwrap_err();
@@ -1293,17 +1434,18 @@ mod tests {
             shmem.set_pending_mask(99, full_mask(), false),
             Err(ShmemError::ProcessNotFound { pid: 99 })
         );
-        assert_eq!(
-            shmem.poll(99),
-            Err(ShmemError::ProcessNotFound { pid: 99 })
-        );
+        assert_eq!(shmem.poll(99), Err(ShmemError::ProcessNotFound { pid: 99 }));
     }
 
     #[test]
     fn grow_mask_requires_free_or_steal() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         // Growing pid 10 into pid 11's CPUs without steal fails.
         let err = shmem
             .set_pending_mask(10, CpuSet::from_range(0..12).unwrap(), false)
@@ -1327,8 +1469,12 @@ mod tests {
     #[test]
     fn steal_never_leaves_victim_empty() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         // Stealing *all* of pid 11's CPUs must be refused.
         let err = shmem
             .set_pending_mask(10, CpuSet::first_n(16), true)
@@ -1341,9 +1487,15 @@ mod tests {
         let shmem = NodeShmem::new("n1", 16);
         // Three processes; a steal that would survive on the first victim but
         // empty the second must leave *both* untouched.
-        shmem.register(10, CpuSet::from_range(0..6).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(6..8).unwrap()).unwrap();
-        shmem.register(12, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..6).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(6..8).unwrap())
+            .unwrap();
+        shmem
+            .register(12, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         let before = shmem.entries();
 
         // Growing pid 12 over CPUs 4..8 shrinks pid 10 to 0..4 (fine) but
@@ -1352,7 +1504,11 @@ mod tests {
             .set_pending_mask(12, CpuSet::from_range(4..16).unwrap(), true)
             .unwrap_err();
         assert_eq!(err, ShmemError::EmptyMask { pid: 11 });
-        assert_eq!(shmem.entries(), before, "failed steal must not mutate any entry");
+        assert_eq!(
+            shmem.entries(),
+            before,
+            "failed steal must not mutate any entry"
+        );
         assert!(!shmem.has_pending(10).unwrap());
         assert!(!shmem.has_pending(12).unwrap());
 
@@ -1368,8 +1524,12 @@ mod tests {
     #[test]
     fn steal_composes_with_victims_pending() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(12..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(12..16).unwrap())
+            .unwrap();
         // Pid 10 has an unconsumed pending grow onto CPU 8.
         shmem
             .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
@@ -1381,16 +1541,23 @@ mod tests {
             .unwrap();
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].pid, 10);
-        let expected = CpuSet::from_range(0..9).unwrap().difference(&CpuSet::from_cpus([5]).unwrap());
+        let expected = CpuSet::from_range(0..9)
+            .unwrap()
+            .difference(&CpuSet::from_cpus([5]).unwrap());
         assert_eq!(victims[0].mask, expected);
-        assert_eq!(shmem.entry(10).unwrap().pending_mask, Some(expected.clone()));
+        assert_eq!(
+            shmem.entry(10).unwrap().pending_mask,
+            Some(expected.clone())
+        );
         assert_eq!(shmem.poll(10).unwrap().unwrap(), expected);
     }
 
     #[test]
     fn steal_cancels_pending_when_composition_equals_current() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         // Pending grow onto exactly CPU 8...
         shmem
             .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
@@ -1401,23 +1568,34 @@ mod tests {
         let victims = shmem
             .preregister(20, CpuSet::from_cpus([8]).unwrap(), true)
             .unwrap();
-        assert!(victims.is_empty(), "a cancelled update is not a posted shrink");
+        assert!(
+            victims.is_empty(),
+            "a cancelled update is not a posted shrink"
+        );
         assert!(!shmem.has_pending(10).unwrap());
         assert_eq!(shmem.entry(10).unwrap().pending_mask, None);
         assert_eq!(shmem.poll(10).unwrap(), None);
-        assert_eq!(shmem.current_mask(10).unwrap(), CpuSet::from_range(0..8).unwrap());
+        assert_eq!(
+            shmem.current_mask(10).unwrap(),
+            CpuSet::from_range(0..8).unwrap()
+        );
     }
 
     #[test]
     fn cancelled_pending_sends_corrective_notification() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         let rx = shmem.subscribe(10);
         // Grow posted (and heard by the subscriber)...
         shmem
             .set_pending_mask(10, CpuSet::from_range(0..9).unwrap(), false)
             .unwrap();
-        assert_eq!(rx.try_recv().unwrap().mask, CpuSet::from_range(0..9).unwrap());
+        assert_eq!(
+            rx.try_recv().unwrap().mask,
+            CpuSet::from_range(0..9).unwrap()
+        );
         // ...then revoked by a steal of the granted CPU: the subscriber is
         // told the current mask is authoritative again.
         shmem
@@ -1433,7 +1611,9 @@ mod tests {
     fn cancelling_steal_wakes_synchronous_setter() {
         use std::sync::Arc;
         let shmem = Arc::new(NodeShmem::new("n1", 16));
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         let setter = {
             let shmem = Arc::clone(&shmem);
             std::thread::spawn(move || {
@@ -1462,7 +1642,9 @@ mod tests {
     fn unregister_wakes_synchronous_setter() {
         use std::sync::Arc;
         let shmem = Arc::new(NodeShmem::new("n1", 16));
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
         let setter = {
             let shmem = Arc::clone(&shmem);
             std::thread::spawn(move || {
@@ -1531,7 +1713,7 @@ mod tests {
             .unwrap();
         shmem.register(20, CpuSet::new()).unwrap();
         shmem.poll(10).unwrap(); // pid 10 shrinks to 0-7
-        // pid 20 finishes: its CPUs go back to pid 10 (the original owner).
+                                 // pid 20 finishes: its CPUs go back to pid 10 (the original owner).
         let updates = shmem.unregister(20).unwrap();
         assert_eq!(updates.len(), 1);
         assert_eq!(updates[0].pid, 10);
@@ -1633,14 +1815,21 @@ mod tests {
             .unwrap();
         assert!(outcome.updated);
         poller.join().unwrap();
-        assert_eq!(shmem.current_mask(10).unwrap(), CpuSet::from_range(0..8).unwrap());
+        assert_eq!(
+            shmem.current_mask(10).unwrap(),
+            CpuSet::from_range(0..8).unwrap()
+        );
     }
 
     #[test]
     fn lend_and_borrow_cycle() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         // pid 10 lends its upper 4 CPUs to the idle pool.
         let lent = shmem
             .lend_cpus(10, &CpuSet::from_range(4..8).unwrap())
@@ -1672,7 +1861,9 @@ mod tests {
     #[test]
     fn lend_swallowing_pending_cancels_it() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..2).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..2).unwrap())
+            .unwrap();
         // Admin posts a shrink to CPU 0 only...
         shmem
             .set_pending_mask(10, CpuSet::from_cpus([0]).unwrap(), false)
@@ -1680,7 +1871,9 @@ mod tests {
         // ...then the process lends both its CPUs away: the pending mask
         // would become empty, so it is cancelled instead of starving the
         // process at its next poll.
-        let lent = shmem.lend_cpus(10, &CpuSet::from_range(0..2).unwrap()).unwrap();
+        let lent = shmem
+            .lend_cpus(10, &CpuSet::from_range(0..2).unwrap())
+            .unwrap();
         assert_eq!(lent.count(), 2);
         assert!(!shmem.has_pending(10).unwrap());
         assert_eq!(shmem.poll(10).unwrap(), None);
@@ -1694,8 +1887,12 @@ mod tests {
     #[test]
     fn lend_only_own_cpus() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        let lent = shmem.lend_cpus(10, &CpuSet::from_range(4..12).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        let lent = shmem
+            .lend_cpus(10, &CpuSet::from_range(4..12).unwrap())
+            .unwrap();
         assert_eq!(lent, CpuSet::from_range(4..8).unwrap());
     }
 
@@ -1727,7 +1924,10 @@ mod tests {
         let before = shmem.entries();
         assert_eq!(
             shmem.register(5, CpuSet::first_n(1)),
-            Err(ShmemError::NodeFull { pid: 5, capacity: 4 })
+            Err(ShmemError::NodeFull {
+                pid: 5,
+                capacity: 4
+            })
         );
         assert_eq!(shmem.entries(), before);
         // Finalizing one frees its slot again.
@@ -1738,8 +1938,12 @@ mod tests {
     #[test]
     fn slot_hints_poll_and_survive_reregistration() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         let hint = shmem.slot_hint(11).unwrap();
         assert_eq!(shmem.poll_hinted(hint, 11).unwrap(), None);
         assert!(!shmem.has_pending_hinted(hint, 11).unwrap());
@@ -1754,8 +1958,12 @@ mod tests {
         // Unregister, let another pid take the slot, re-register elsewhere:
         // the stale hint transparently falls back to the scanning path.
         shmem.unregister(11).unwrap();
-        shmem.register(12, CpuSet::from_range(12..16).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..12).unwrap()).unwrap();
+        shmem
+            .register(12, CpuSet::from_range(12..16).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..12).unwrap())
+            .unwrap();
         assert_eq!(shmem.poll_hinted(hint, 11).unwrap(), None);
         assert!(!shmem.has_pending_hinted(hint, 11).unwrap());
         // A hint for a gone pid errors.
@@ -1769,14 +1977,22 @@ mod tests {
     #[test]
     fn entries_snapshot_includes_finished() {
         let shmem = NodeShmem::new("n1", 16);
-        shmem.register(10, CpuSet::from_range(0..8).unwrap()).unwrap();
-        shmem.register(11, CpuSet::from_range(8..16).unwrap()).unwrap();
+        shmem
+            .register(10, CpuSet::from_range(0..8).unwrap())
+            .unwrap();
+        shmem
+            .register(11, CpuSet::from_range(8..16).unwrap())
+            .unwrap();
         shmem.mark_finished(11).unwrap();
         let entries = shmem.entries();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].pid, 10);
         assert_eq!(entries[1].pid, 11);
         assert_eq!(entries[1].state, ProcessState::Finished);
-        assert_eq!(shmem.pid_list(), vec![10], "pid_list hides finished entries");
+        assert_eq!(
+            shmem.pid_list(),
+            vec![10],
+            "pid_list hides finished entries"
+        );
     }
 }

@@ -1,0 +1,17 @@
+//! Synchronization-primitive facade for the registry protocol.
+//!
+//! The registry (`crate::registry`) imports its atomics, mutexes and condvars
+//! from here instead of from `std`/`parking_lot` directly. In a normal build
+//! these re-export the real primitives; under `--cfg drom_verify` they swap
+//! to the recording shims of the `drom-verify` model checker, so the
+//! model-check tests in `tests/model_check.rs` can exhaustively explore the
+//! protocol's interleavings. Production code paths are byte-identical: the
+//! cfg'd build is only ever produced by the model-check CI step.
+
+#[cfg(not(drom_verify))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+#[cfg(not(drom_verify))]
+pub use std::sync::atomic::AtomicU64;
+
+#[cfg(drom_verify)]
+pub use drom_verify::sync::{AtomicU64, Condvar, Mutex, MutexGuard};

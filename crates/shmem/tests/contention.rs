@@ -46,6 +46,7 @@ fn pollers_race_synchronous_steals() {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut polls = 0u64;
+                // SAFETY(ordering): stop flag; the join synchronizes.
                 while !stop.load(Ordering::Relaxed) {
                     shmem.poll(pid).unwrap();
                     polls += 1;
@@ -73,12 +74,12 @@ fn pollers_race_synchronous_steals() {
             }
             // Starving a victim or colliding with an unconsumed victim shrink
             // is a legitimate rejection; a timeout with live pollers is not.
-            Err(ShmemError::EmptyMask { .. })
-            | Err(ShmemError::PendingMaskNotConsumed { .. }) => {}
+            Err(ShmemError::EmptyMask { .. }) | Err(ShmemError::PendingMaskNotConsumed { .. }) => {}
             Err(err) => panic!("unexpected administrator error: {err}"),
         }
     }
 
+    // SAFETY(ordering): stop flag; the joins below synchronize.
     stop.store(true, Ordering::Relaxed);
     let total_polls: u64 = pollers.into_iter().map(|p| p.join().unwrap()).sum();
     assert!(accepted > 0, "no synchronous update was ever accepted");
@@ -88,7 +89,10 @@ fn pollers_race_synchronous_steals() {
     let stats = shmem.stats();
     assert!(stats.polls >= total_polls);
     assert!(stats.poll_updates <= stats.polls);
-    assert!(stats.poll_updates >= accepted, "an accepted sync update was lost");
+    assert!(
+        stats.poll_updates >= accepted,
+        "an accepted sync update was lost"
+    );
 }
 
 /// Two administrators race synchronous updates against the same target while
@@ -97,13 +101,16 @@ fn pollers_race_synchronous_steals() {
 #[test]
 fn competing_synchronous_setters_on_one_target() {
     let shmem = Arc::new(NodeShmem::new("stress2", 16));
-    shmem.register(1, CpuSet::from_range(0..8).unwrap()).unwrap();
+    shmem
+        .register(1, CpuSet::from_range(0..8).unwrap())
+        .unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
     let poller = {
         let shmem = Arc::clone(&shmem);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
+            // SAFETY(ordering): stop flag; the join synchronizes.
             while !stop.load(Ordering::Relaxed) {
                 shmem.poll(1).unwrap();
             }
@@ -130,13 +137,17 @@ fn competing_synchronous_setters_on_one_target() {
         .collect();
 
     let wins: u32 = setters.into_iter().map(|s| s.join().unwrap()).sum();
+    // SAFETY(ordering): stop flag; the joins below synchronize.
     stop.store(true, Ordering::Relaxed);
     poller.join().unwrap();
 
     assert!(wins > 0, "no setter ever won");
     drain_and_check(&shmem, &[1]);
     let width = shmem.current_mask(1).unwrap().count();
-    assert!(width == 2 || width == 4, "final mask must be one of the requests");
+    assert!(
+        width == 2 || width == 4,
+        "final mask must be one of the requests"
+    );
 }
 
 /// The hinted fast path stays correct when updates land mid-stream: every
@@ -144,7 +155,9 @@ fn competing_synchronous_setters_on_one_target() {
 #[test]
 fn hinted_polls_never_miss_updates() {
     let shmem = Arc::new(NodeShmem::new("stress3", 16));
-    shmem.register(7, CpuSet::from_range(0..8).unwrap()).unwrap();
+    shmem
+        .register(7, CpuSet::from_range(0..8).unwrap())
+        .unwrap();
     let hint = shmem.slot_hint(7).unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -153,6 +166,7 @@ fn hinted_polls_never_miss_updates() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut applied = 0u64;
+            // SAFETY(ordering): stop flag; the join synchronizes.
             while !stop.load(Ordering::Relaxed) {
                 if shmem.poll_hinted(hint, 7).unwrap().is_some() {
                     applied += 1;
@@ -177,6 +191,7 @@ fn hinted_polls_never_miss_updates() {
         }
     }
 
+    // SAFETY(ordering): stop flag; the joins below synchronize.
     stop.store(true, Ordering::Relaxed);
     let applied = poller.join().unwrap();
     // Synchronous posting means every accepted update was consumed before the
@@ -194,13 +209,16 @@ fn hinted_polls_never_miss_updates() {
 #[test]
 fn steal_racing_poll_never_oversubscribes() {
     let shmem = Arc::new(NodeShmem::new("stress4", 16));
-    shmem.register(1, CpuSet::from_range(0..8).unwrap()).unwrap();
+    shmem
+        .register(1, CpuSet::from_range(0..8).unwrap())
+        .unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
     let poller = {
         let shmem = Arc::clone(&shmem);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
+            // SAFETY(ordering): stop flag; the join synchronizes.
             while !stop.load(Ordering::Relaxed) {
                 shmem.poll(1).unwrap();
             }
@@ -236,6 +254,7 @@ fn steal_racing_poll_never_oversubscribes() {
         }
     }
 
+    // SAFETY(ordering): stop flag; the joins below synchronize.
     stop.store(true, Ordering::Relaxed);
     poller.join().unwrap();
 }

@@ -1,0 +1,393 @@
+//! Exhaustive model-check tests for the registry's lock-free stamp protocol.
+//!
+//! Only compiled and run under the model-check configuration:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg drom_verify" cargo test -p drom-shmem --release --test model_check
+//! ```
+//!
+//! Each protocol property has two kinds of tests: the clean run, which must
+//! pass in *every* interleaving the checker explores, and mutation runs,
+//! which flip one `drom_shmem::hazards` knob (an ordering weakening or a
+//! skipped handshake step) and assert the checker reports a concrete failing
+//! interleaving. See `docs/verification.md` for the memory model and what a
+//! pass does and does not prove.
+#![cfg(drom_verify)]
+
+use drom_cpuset::CpuSet;
+use drom_shmem::hazards;
+use drom_shmem::{NodeShmem, ShmemError};
+use drom_verify::{thread, Builder};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// The hazard knobs are process-global, so every test (clean or mutant)
+/// serializes through this lock; dropping the guard resets all knobs.
+struct HazardGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn hazard_guard() -> HazardGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    hazards::reset();
+    HazardGuard(guard)
+}
+
+impl Drop for HazardGuard {
+    fn drop(&mut self) {
+        hazards::reset();
+    }
+}
+
+fn cpus(bits: &[usize]) -> CpuSet {
+    bits.iter().copied().collect()
+}
+
+fn checker() -> Builder {
+    Builder::new().preemption_bound(2)
+}
+
+/// Runs `scenario` with `knob` enabled and asserts the checker finds a
+/// failing interleaving (and renders a non-empty trace for it).
+fn assert_mutant_caught(knob: &'static AtomicBool, scenario: fn()) {
+    // SAFETY(ordering): test-control flag set before the checker spawns any
+    // model thread; never raced with the modeled protocol.
+    knob.store(true, std::sync::atomic::Ordering::Relaxed);
+    let failure = checker()
+        .check(scenario)
+        .expect_err("the seeded mutant must produce a failing interleaving");
+    assert!(
+        !failure.trace.is_empty(),
+        "failure must carry a concrete interleaving: {failure}"
+    );
+    // The rendered report names the schedule step by step.
+    let rendered = failure.to_string();
+    assert!(rendered.contains("interleaving ("), "{rendered}");
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: poll vs lend stamp-parity resync.
+//
+// A partial lend rewrites current and pending masks but must leave the stamp
+// parity aligned with "a pending mask exists"; `sync_pending_stamp` bumps
+// only on mismatch. A concurrent poller must never lose the update or see a
+// stamp that disagrees with the payload.
+// ---------------------------------------------------------------------------
+
+fn poll_vs_lend_scenario() {
+    let reg = Arc::new(NodeShmem::new("model", 2));
+    reg.register(10, cpus(&[0, 1])).unwrap();
+    // Pending shrink to {0}; parity goes odd.
+    assert!(reg.set_pending_mask(10, cpus(&[0]), false).unwrap().updated);
+    let hint = reg.slot_hint(10).unwrap();
+
+    let lender = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            // Partial lend: pending stays {0} (non-empty), so the parity is
+            // already correct and sync_pending_stamp must not bump it.
+            reg.lend_cpus(10, &cpus(&[1])).unwrap();
+        })
+    };
+    let poller = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            let _ = reg.poll_hinted(hint, 10).unwrap();
+            let _ = reg.poll_hinted(hint, 10).unwrap();
+        })
+    };
+    lender.join();
+    poller.join();
+
+    // Drain: consume anything still pending, then the registry must be
+    // parity-consistent with the process on exactly its post-shrink mask.
+    let _ = reg.poll_hinted(hint, 10).unwrap();
+    assert_eq!(reg.current_mask(10).unwrap(), cpus(&[0]));
+    assert!(!reg.has_pending(10).unwrap());
+    reg.debug_stamp_consistency().unwrap();
+}
+
+#[test]
+fn poll_vs_lend_parity_holds() {
+    let _g = hazard_guard();
+    let report = checker()
+        .check(poll_vs_lend_scenario)
+        .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.executions > 10, "explored {}", report.executions);
+}
+
+#[test]
+fn mutant_unconditional_stamp_bump_is_caught() {
+    let _g = hazard_guard();
+    assert_mutant_caught(&hazards::UNCONDITIONAL_STAMP_BUMP, poll_vs_lend_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: steal publication chain.
+//
+// `preregister(steal)` posts the victims' pending shrinks (Release stamp
+// bumps) *before* publishing the thief's slot (Release store), and lock-free
+// scanners read stamps with Acquire. So any observer that sees the thief
+// registered must also see the victim's pending shrink — entirely lock-free
+// on the observer side. Weakening either side of the Release/Acquire pair
+// severs the chain.
+// ---------------------------------------------------------------------------
+
+fn steal_publication_scenario() {
+    let reg = Arc::new(NodeShmem::new("model", 2));
+    reg.register(11, cpus(&[0, 1])).unwrap();
+
+    let thief = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            let victims = reg.preregister(12, cpus(&[1]), true).unwrap();
+            assert_eq!(victims.len(), 1);
+            assert_eq!(victims[0].mask, cpus(&[0]));
+        })
+    };
+    let observer = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            // Lock-free observation only: slot_hint/has_pending scan stamps
+            // without touching `inner` (a lock would smuggle in the
+            // happens-before edge this property is about).
+            if reg.slot_hint(12).is_ok() {
+                assert!(
+                    reg.has_pending(11).unwrap(),
+                    "observed the thief registered but not the victim's pending shrink"
+                );
+            }
+        })
+    };
+    thief.join();
+    observer.join();
+
+    assert_eq!(reg.effective_mask(11).unwrap(), cpus(&[0]));
+    assert_eq!(reg.effective_mask(12).unwrap(), cpus(&[1]));
+    reg.debug_stamp_consistency().unwrap();
+}
+
+#[test]
+fn steal_publication_chain_holds() {
+    let _g = hazard_guard();
+    let report = checker()
+        .check(steal_publication_scenario)
+        .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.executions > 10, "explored {}", report.executions);
+}
+
+#[test]
+fn mutant_publish_stamp_relaxed_is_caught() {
+    let _g = hazard_guard();
+    assert_mutant_caught(&hazards::PUBLISH_STAMP_RELAXED, steal_publication_scenario);
+}
+
+#[test]
+fn mutant_find_slot_relaxed_is_caught() {
+    let _g = hazard_guard();
+    assert_mutant_caught(&hazards::FIND_SLOT_RELAXED, steal_publication_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: the set_pending_mask_sync missed-wakeup window.
+//
+// The synchronous setter checks the (lock-free) pending bit under `inner`
+// and then waits on `consumed`; the consumer clears the stamp, passes
+// through `inner`, and only then signals. Skipping that pass lets the signal
+// fire in the window between the setter's check and its wait — a lost
+// wakeup the checker reports as a deadlock.
+// ---------------------------------------------------------------------------
+
+fn sync_setter_scenario() {
+    let reg = Arc::new(NodeShmem::new("model", 2));
+    reg.register(10, cpus(&[0])).unwrap();
+    let hint = reg.slot_hint(10).unwrap();
+
+    let setter = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            let outcome = reg
+                .set_pending_mask_sync(10, cpus(&[0, 1]), false, Duration::from_secs(3600))
+                .unwrap();
+            assert!(outcome.updated);
+        })
+    };
+    let consumer = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            let mut spins = 0;
+            loop {
+                if reg.poll_hinted(hint, 10).unwrap().is_some() {
+                    break;
+                }
+                thread::yield_now();
+                spins += 1;
+                assert!(spins < 100, "consumer spin did not converge");
+            }
+        })
+    };
+    setter.join();
+    consumer.join();
+
+    assert_eq!(reg.current_mask(10).unwrap(), cpus(&[0, 1]));
+    assert!(!reg.has_pending(10).unwrap());
+    reg.debug_stamp_consistency().unwrap();
+}
+
+#[test]
+fn sync_setter_never_misses_the_wakeup() {
+    let _g = hazard_guard();
+    let report = checker()
+        .check(sync_setter_scenario)
+        .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.executions > 10, "explored {}", report.executions);
+}
+
+#[test]
+fn mutant_skip_consume_handshake_is_caught() {
+    let _g = hazard_guard();
+    // SAFETY(ordering): test-control flag, set before the check starts.
+    hazards::SKIP_CONSUME_HANDSHAKE.store(true, std::sync::atomic::Ordering::Relaxed);
+    let failure = checker()
+        .check(sync_setter_scenario)
+        .expect_err("skipping the inner pass must lose a wakeup in some interleaving");
+    assert!(
+        failure.cause.contains("deadlock"),
+        "a missed wakeup shows up as a deadlock: {failure}"
+    );
+    assert!(!failure.trace.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Property 4a: the cancel-vs-post steal decision is re-made under the slot
+// lock.
+//
+// Phase 1 of a steal may plan to cancel the victim's pending update (the
+// composed mask equals its current one), but a poll racing between the
+// phases consumes that pending mask; deciding on the stale snapshot would
+// drop the victim's shrink entirely and leave the thief and victim sharing
+// CPUs.
+// ---------------------------------------------------------------------------
+
+fn cancel_vs_post_scenario() {
+    let reg = Arc::new(NodeShmem::new("model", 2));
+    reg.register(11, cpus(&[0])).unwrap();
+    // Pending grow to {0,1}: stealing CPU 1 composes back to exactly {0},
+    // the cancel case — unless a racing poll consumes the grow first.
+    assert!(
+        reg.set_pending_mask(11, cpus(&[0, 1]), false)
+            .unwrap()
+            .updated
+    );
+    let hint = reg.slot_hint(11).unwrap();
+
+    let thief = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            reg.preregister(12, cpus(&[1]), true).unwrap();
+        })
+    };
+    let poller = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            let _ = reg.poll_hinted(hint, 11).unwrap();
+        })
+    };
+    thief.join();
+    poller.join();
+
+    // Drain 11's queue, then the masks must have converged: the victim on
+    // {0}, the thief on {1}, disjoint.
+    for _ in 0..3 {
+        if reg.poll_hinted(hint, 11).unwrap().is_none() {
+            break;
+        }
+    }
+    let victim = reg.effective_mask(11).unwrap();
+    let thief_mask = reg.effective_mask(12).unwrap();
+    assert_eq!(victim, cpus(&[0]));
+    assert_eq!(thief_mask, cpus(&[1]));
+    assert!(
+        victim.intersection(&thief_mask).is_empty(),
+        "victim and thief share CPUs: {victim:?} vs {thief_mask:?}"
+    );
+    reg.debug_stamp_consistency().unwrap();
+}
+
+#[test]
+fn cancel_vs_post_decision_holds() {
+    let _g = hazard_guard();
+    let report = checker()
+        .check(cancel_vs_post_scenario)
+        .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.executions > 10, "explored {}", report.executions);
+}
+
+#[test]
+fn mutant_stale_steal_decision_is_caught() {
+    let _g = hazard_guard();
+    assert_mutant_caught(&hazards::STALE_STEAL_DECISION, cancel_vs_post_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Property 4b: a failed steal is all-or-nothing.
+//
+// Phase 1 validates every victim before phase 2 mutates any; a steal that
+// would leave some victim empty-masked fails with the registry untouched,
+// even with a poller racing the attempt.
+// ---------------------------------------------------------------------------
+
+fn all_or_nothing_scenario() {
+    let reg = Arc::new(NodeShmem::new("model", 3));
+    reg.register(10, cpus(&[0, 1])).unwrap();
+    reg.register(11, cpus(&[2])).unwrap();
+    let hint = reg.slot_hint(10).unwrap();
+
+    let thief = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            // Stealing {1,2} would empty pid 11 ({2} is its whole mask):
+            // the attempt must fail and must not have shrunk pid 10.
+            match reg.preregister(12, cpus(&[1, 2]), true) {
+                Err(ShmemError::EmptyMask { pid: 11 }) => {}
+                other => panic!("expected EmptyMask for pid 11, got {other:?}"),
+            }
+        })
+    };
+    let poller = {
+        let reg = reg.clone();
+        thread::spawn(move || {
+            // Nothing may ever be posted to pid 10 by the failed steal.
+            assert_eq!(reg.poll_hinted(hint, 10).unwrap(), None);
+        })
+    };
+    thief.join();
+    poller.join();
+
+    assert_eq!(reg.effective_mask(10).unwrap(), cpus(&[0, 1]));
+    assert_eq!(reg.effective_mask(11).unwrap(), cpus(&[2]));
+    assert!(!reg.has_pending(10).unwrap());
+    assert!(
+        reg.slot_hint(12).is_err(),
+        "failed preregister left pid 12 behind"
+    );
+    reg.debug_stamp_consistency().unwrap();
+}
+
+#[test]
+fn failed_steal_is_all_or_nothing() {
+    let _g = hazard_guard();
+    let report = checker()
+        .check(all_or_nothing_scenario)
+        .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.executions > 10, "explored {}", report.executions);
+}
+
+#[test]
+fn mutant_eager_steal_apply_is_caught() {
+    let _g = hazard_guard();
+    assert_mutant_caught(&hazards::EAGER_STEAL_APPLY, all_or_nothing_scenario);
+}

@@ -24,15 +24,44 @@ const NODE_CPUS: usize = 16;
 /// steals, unknown pids, double registrations, out-of-node masks...).
 #[derive(Debug, Clone)]
 enum Op {
-    Register { pid: u32, lo: usize, hi: usize },
-    Preregister { pid: u32, lo: usize, hi: usize, steal: bool },
-    SetMask { pid: u32, lo: usize, hi: usize, steal: bool },
-    Poll { pid: u32 },
-    Unregister { pid: u32 },
-    MarkFinished { pid: u32 },
-    Lend { pid: u32, lo: usize, hi: usize },
-    Borrow { pid: u32, max: usize },
-    Reclaim { pid: u32 },
+    Register {
+        pid: u32,
+        lo: usize,
+        hi: usize,
+    },
+    Preregister {
+        pid: u32,
+        lo: usize,
+        hi: usize,
+        steal: bool,
+    },
+    SetMask {
+        pid: u32,
+        lo: usize,
+        hi: usize,
+        steal: bool,
+    },
+    Poll {
+        pid: u32,
+    },
+    Unregister {
+        pid: u32,
+    },
+    MarkFinished {
+        pid: u32,
+    },
+    Lend {
+        pid: u32,
+        lo: usize,
+        hi: usize,
+    },
+    Borrow {
+        pid: u32,
+        max: usize,
+    },
+    Reclaim {
+        pid: u32,
+    },
     Detach,
 }
 
@@ -48,12 +77,23 @@ fn range_strategy() -> impl Strategy<Value = (usize, usize)> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (pid_strategy(), range_strategy())
-            .prop_map(|(pid, (lo, hi))| Op::Register { pid, lo, hi }),
-        (pid_strategy(), range_strategy(), (0usize..2))
-            .prop_map(|(pid, (lo, hi), s)| Op::Preregister { pid, lo, hi, steal: s == 1 }),
-        (pid_strategy(), range_strategy(), (0usize..2))
-            .prop_map(|(pid, (lo, hi), s)| Op::SetMask { pid, lo, hi, steal: s == 1 }),
+        (pid_strategy(), range_strategy()).prop_map(|(pid, (lo, hi))| Op::Register { pid, lo, hi }),
+        (pid_strategy(), range_strategy(), (0usize..2)).prop_map(|(pid, (lo, hi), s)| {
+            Op::Preregister {
+                pid,
+                lo,
+                hi,
+                steal: s == 1,
+            }
+        }),
+        (pid_strategy(), range_strategy(), (0usize..2)).prop_map(|(pid, (lo, hi), s)| {
+            Op::SetMask {
+                pid,
+                lo,
+                hi,
+                steal: s == 1,
+            }
+        }),
         pid_strategy().prop_map(|pid| Op::Poll { pid }),
         pid_strategy().prop_map(|pid| Op::Unregister { pid }),
         pid_strategy().prop_map(|pid| Op::MarkFinished { pid }),

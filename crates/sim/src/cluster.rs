@@ -162,10 +162,8 @@ impl ClusterSim {
     ) -> Result<ClusterRunReport, SlurmError> {
         let mut sched = PolicyScheduler::new(self.num_nodes, self.node_cpus, policy);
         let policy_name = sched.policy_name();
-        let durations: HashMap<u64, TimeUs> = trace
-            .iter()
-            .map(|t| (t.job.id, t.duration_us))
-            .collect();
+        let durations: HashMap<u64, TimeUs> =
+            trace.iter().map(|t| (t.job.id, t.duration_us)).collect();
         // One rate definition per job: linear CPU-µs for model-less jobs
         // (the PR 3/4 arithmetic, bit for bit), the job's speedup curve
         // otherwise — the same curve the scheduler's estimates consult.
@@ -215,8 +213,7 @@ impl ClusterSim {
                 }
             }
             // Account the CPU time of the interval that just elapsed.
-            busy_cpu_us +=
-                sched.allocated_cpus() as u128 * (now.saturating_sub(last_t)) as u128;
+            busy_cpu_us += sched.allocated_cpus() as u128 * (now.saturating_sub(last_t)) as u128;
             last_t = now;
 
             match event {
@@ -278,7 +275,9 @@ impl ClusterSim {
                         let model = models
                             .get_mut(&job_id)
                             .expect("a running job has a run model");
-                        model.progress.set_rate(now, rates[&job_id].rate(nodes, width));
+                        model
+                            .progress
+                            .set_rate(now, rates[&job_id].rate(nodes, width));
                         gen_counter += 1;
                         model.gen = gen_counter;
                         let finish = model.progress.completion_us();
@@ -353,8 +352,12 @@ mod tests {
     fn runs_are_deterministic() {
         let sim = ClusterSim::new(8, 16);
         let trace = tiny_trace();
-        let a = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
-        let b = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+        let a = sim
+            .run(Box::new(MalleablePolicy::default()), &trace)
+            .unwrap();
+        let b = sim
+            .run(Box::new(MalleablePolicy::default()), &trace)
+            .unwrap();
         assert_eq!(a.report, b.report);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.events_processed, b.events_processed);
@@ -364,8 +367,12 @@ mod tests {
     fn malleable_beats_first_fit_on_a_loaded_cluster() {
         let sim = ClusterSim::new(16, 16);
         let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
-        let ff = sim.run(Box::new(FirstFitPolicy::default()), &trace).unwrap();
-        let mall = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+        let ff = sim
+            .run(Box::new(FirstFitPolicy::default()), &trace)
+            .unwrap();
+        let mall = sim
+            .run(Box::new(MalleablePolicy::default()), &trace)
+            .unwrap();
         assert!(
             mall.makespan_s() < ff.makespan_s(),
             "malleable {} vs first-fit {}",
@@ -373,7 +380,10 @@ mod tests {
             ff.makespan_s()
         );
         assert!(mall.mean_response_s() < ff.mean_response_s());
-        assert!(mall.stats.shrinks > 0, "the win must come from malleability");
+        assert!(
+            mall.stats.shrinks > 0,
+            "the win must come from malleability"
+        );
         assert!(mall.stats.expands > 0, "shrunk jobs must re-expand");
     }
 
@@ -482,8 +492,8 @@ mod tests {
             duration_us: dur,
         };
         let jobs = vec![
-            rigid(1, 1, 16, 0, 50_000),                // node 0, blocks it for good
-            rigid(2, 3, 2, 0, 10),                     // nodes 1–3: releases 2 CPUs each at t=10
+            rigid(1, 1, 16, 0, 50_000), // node 0, blocks it for good
+            rigid(2, 3, 2, 0, 10),      // nodes 1–3: releases 2 CPUs each at t=10
             TraceJob {
                 // node 1 donor: full width 13, floor 9 → 4 reclaimable
                 job: QueuedJob::new(3, 1, 13)
@@ -492,8 +502,8 @@ mod tests {
                     .with_expected_duration_us(40_000),
                 duration_us: 40_000,
             },
-            rigid(4, 1, 13, 0, 50_000),                // node 2 filler
-            rigid(5, 1, 13, 0, 50_000),                // node 3 filler
+            rigid(4, 1, 13, 0, 50_000), // node 2 filler
+            rigid(5, 1, 13, 0, 50_000), // node 3 filler
             TraceJob {
                 // Admitted shrunk at t=10: avail on node 1 = 3 free + 4
                 // reclaimable = 7 ≥ its shrink floor ⌈13/2⌉ = 7.
@@ -503,8 +513,8 @@ mod tests {
                     .with_expected_duration_us(101),
                 duration_us: 101,
             },
-            rigid(7, 3, 3, 2, 1_000),                  // reserved at job 6's end
-            rigid(8, 1, 2, 3, 188),                    // ends exactly at the reservation
+            rigid(7, 3, 3, 2, 1_000), // reserved at job 6's end
+            rigid(8, 1, 2, 3, 188),   // ends exactly at the reservation
         ];
         let report = ClusterSim::new(4, 16)
             .run(Box::new(MalleablePolicy::default()), &jobs)
@@ -547,11 +557,18 @@ mod tests {
                 // so a tie-break slip or an unsound skip diverges here first.
                 queue_churn_trace(seed, jobs, nodes, 16, load + 0.1).generate(),
             ] {
-                let indexed = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
-                let scanned = sim.run(Box::new(MalleableScanPolicy::default()), &trace).unwrap();
+                let indexed = sim
+                    .run(Box::new(MalleablePolicy::default()), &trace)
+                    .unwrap();
+                let scanned = sim
+                    .run(Box::new(MalleableScanPolicy::default()), &trace)
+                    .unwrap();
                 assert_eq!(indexed.report, scanned.report, "seed {seed}");
                 assert_eq!(indexed.stats, scanned.stats, "seed {seed}");
-                assert_eq!(indexed.events_processed, scanned.events_processed, "seed {seed}");
+                assert_eq!(
+                    indexed.events_processed, scanned.events_processed,
+                    "seed {seed}"
+                );
             }
         }
     }
@@ -566,14 +583,33 @@ mod tests {
     #[test]
     fn linear_replay_is_pinned_to_the_pr5_committed_digests() {
         for (seed, nodes, jobs, load, digest) in [
-            (2018u64, 32usize, 300usize, 1.15f64,
-             (1_464_106_261_953u128, 1_740_934_542_902u128, 12_105_439_265u64, 87u64, 57u64, 744u64)),
-            (11, 8, 60, 1.2,
-             (214_581_415_225, 263_920_502_372, 7_774_986_649, 20, 13, 153)),
+            (
+                2018u64,
+                32usize,
+                300usize,
+                1.15f64,
+                (
+                    1_464_106_261_953u128,
+                    1_740_934_542_902u128,
+                    12_105_439_265u64,
+                    87u64,
+                    57u64,
+                    744u64,
+                ),
+            ),
+            (
+                11,
+                8,
+                60,
+                1.2,
+                (214_581_415_225, 263_920_502_372, 7_774_986_649, 20, 13, 153),
+            ),
         ] {
             let sim = ClusterSim::new(nodes, 16);
             let trace = mixed_hpc_trace(seed, jobs, nodes, 16, load).generate();
-            let r = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+            let r = sim
+                .run(Box::new(MalleablePolicy::default()), &trace)
+                .unwrap();
             let sum_start: u128 = r.jobs().iter().map(|j| j.start as u128).sum();
             let sum_end: u128 = r.jobs().iter().map(|j| j.end as u128).sum();
             let got = (
@@ -593,7 +629,9 @@ mod tests {
         // strongest byte-identity witness the timeline walk must reproduce.
         let sim = ClusterSim::new(32, 16);
         let trace = reservation_heavy_trace(2018, 300, 32, 16, 1.15).generate();
-        let r = sim.run(Box::new(MalleablePolicy::default()), &trace).unwrap();
+        let r = sim
+            .run(Box::new(MalleablePolicy::default()), &trace)
+            .unwrap();
         let sum_start: u128 = r.jobs().iter().map(|j| j.start as u128).sum();
         let sum_end: u128 = r.jobs().iter().map(|j| j.end as u128).sum();
         let got = (
@@ -606,7 +644,14 @@ mod tests {
         );
         assert_eq!(
             got,
-            (1_051_586_406_371u128, 1_187_645_406_137u128, 8_044_835_231u64, 119u64, 96u64, 815u64),
+            (
+                1_051_586_406_371u128,
+                1_187_645_406_137u128,
+                8_044_835_231u64,
+                119u64,
+                96u64,
+                815u64
+            ),
             "reservation-dense replay drifted from the pre-timeline digests"
         );
     }
@@ -641,7 +686,14 @@ mod tests {
         for (policy, digest) in [
             (
                 Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
-                (126_393_560_709u128, 140_234_781_524u128, 988_475_237u64, 0u64, 0u64, 600u64),
+                (
+                    126_393_560_709u128,
+                    140_234_781_524u128,
+                    988_475_237u64,
+                    0u64,
+                    0u64,
+                    600u64,
+                ),
             ),
             (
                 Box::new(BackfillPolicy::default()),
@@ -675,15 +727,36 @@ mod tests {
         for (policy, digest) in [
             (
                 Box::new(FirstFitPolicy::default()) as Box<dyn SchedulerPolicy>,
-                (8_079_087_724_395u128, 9_222_464_302_415u128, 10_038_384_031u64, 0u64, 0u64, 4_000u64),
+                (
+                    8_079_087_724_395u128,
+                    9_222_464_302_415u128,
+                    10_038_384_031u64,
+                    0u64,
+                    0u64,
+                    4_000u64,
+                ),
             ),
             (
                 Box::new(BackfillPolicy::default()),
-                (8_036_766_279_801, 9_180_142_857_821, 10_038_384_031, 0, 0, 4_000),
+                (
+                    8_036_766_279_801,
+                    9_180_142_857_821,
+                    10_038_384_031,
+                    0,
+                    0,
+                    4_000,
+                ),
             ),
             (
                 Box::new(MalleablePolicy::default()),
-                (7_316_703_157_087, 9_031_261_469_692, 9_549_445_946, 956, 888, 5_844),
+                (
+                    7_316_703_157_087,
+                    9_031_261_469_692,
+                    9_549_445_946,
+                    956,
+                    888,
+                    5_844,
+                ),
             ),
         ] {
             let name = policy.name();
@@ -739,8 +812,12 @@ mod tests {
         let sim = ClusterSim::new(8, 16);
         let linear = mixed_hpc_trace(11, 60, 8, 16, 1.2).generate();
         let model = model_aware_trace(11, 60, 8, 16, 1.2).generate();
-        let a = sim.run(Box::new(FirstFitPolicy::default()), &linear).unwrap();
-        let b = sim.run(Box::new(FirstFitPolicy::default()), &model).unwrap();
+        let a = sim
+            .run(Box::new(FirstFitPolicy::default()), &linear)
+            .unwrap();
+        let b = sim
+            .run(Box::new(FirstFitPolicy::default()), &model)
+            .unwrap();
         assert_eq!(a.report, b.report);
         assert_eq!(a.events_processed, b.events_processed);
     }
@@ -850,11 +927,14 @@ mod tests {
         let sim = ClusterSim::new(16, 16);
         let linear = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
         let model = model_aware_trace(3, 150, 16, 16, 1.2).generate();
-        let lin = sim.run(Box::new(MalleablePolicy::default()), &linear).unwrap();
-        let modl = sim.run(Box::new(MalleablePolicy::default()), &model).unwrap();
+        let lin = sim
+            .run(Box::new(MalleablePolicy::default()), &linear)
+            .unwrap();
+        let modl = sim
+            .run(Box::new(MalleablePolicy::default()), &model)
+            .unwrap();
         assert!(modl.stats.shrinks > 0, "malleability must still engage");
-        let delta = (modl.mean_response_s() - lin.mean_response_s()).abs()
-            / lin.mean_response_s();
+        let delta = (modl.mean_response_s() - lin.mean_response_s()).abs() / lin.mean_response_s();
         assert!(
             delta > 0.02,
             "the model coupling must move mean response by a measurable \
@@ -868,8 +948,12 @@ mod tests {
     fn backfill_beats_first_fit_on_response_time() {
         let sim = ClusterSim::new(16, 16);
         let trace = mixed_hpc_trace(3, 150, 16, 16, 1.2).generate();
-        let ff = sim.run(Box::new(FirstFitPolicy::default()), &trace).unwrap();
-        let bf = sim.run(Box::new(BackfillPolicy::default()), &trace).unwrap();
+        let ff = sim
+            .run(Box::new(FirstFitPolicy::default()), &trace)
+            .unwrap();
+        let bf = sim
+            .run(Box::new(BackfillPolicy::default()), &trace)
+            .unwrap();
         assert!(
             bf.mean_response_s() <= ff.mean_response_s(),
             "backfill {} vs first-fit {}",

@@ -59,10 +59,7 @@ impl SimulationResult {
 
     /// End of the workload in seconds.
     pub fn makespan_s(&self) -> f64 {
-        self.segments
-            .iter()
-            .map(|s| s.end_s)
-            .fold(0.0, f64::max)
+        self.segments.iter().map(|s| s.end_s).fold(0.0, f64::max)
     }
 }
 
@@ -180,7 +177,7 @@ impl WorkloadSimulator {
             .collect();
         let grants = self.node_grants(&requests);
         let factor = self.oversubscription_factor(&requests);
-        for (job, grant_per_node) in running.iter_mut().zip(grants.into_iter()) {
+        for (job, grant_per_node) in running.iter_mut().zip(grants) {
             let tasks_per_node = job.job.config.tasks_per_node().max(1);
             let cpus_per_task = (grant_per_node / tasks_per_node).max(1);
             let model = self.models.of(job.job.config.kind);
@@ -205,12 +202,7 @@ impl WorkloadSimulator {
     /// Runs the workload to completion and returns the metrics.
     pub fn run(&self, jobs: &[SimJob]) -> SimulationResult {
         let mut pending: Vec<SimJob> = jobs.to_vec();
-        pending.sort_by(|a, b| {
-            a.submit_s
-                .partial_cmp(&b.submit_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
+        pending.sort_by(submit_order);
         let mut running: Vec<RunningJob> = Vec::new();
         let mut segments: Vec<JobSegment> = Vec::new();
         let mut records: Vec<JobRecord> = Vec::new();
@@ -261,9 +253,7 @@ impl WorkloadSimulator {
                 if let Some(next) = pending
                     .iter()
                     .map(|j| j.submit_s)
-                    .fold(None::<f64>, |acc, s| {
-                        Some(acc.map_or(s, |a| a.min(s)))
-                    })
+                    .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.min(s))))
                 {
                     now = now.max(next);
                     continue;
@@ -349,6 +339,16 @@ impl WorkloadSimulator {
     }
 }
 
+/// Submission order: by submit time, ties broken by job id.
+///
+/// Uses `total_cmp` so a NaN submit time (e.g. from a bad workload file)
+/// sorts deterministically (after every real time) instead of silently
+/// comparing `Equal` to everything and leaving the order
+/// partition-dependent.
+fn submit_order(a: &SimJob, b: &SimJob) -> std::cmp::Ordering {
+    a.submit_s.total_cmp(&b.submit_s).then(a.id.cmp(&b.id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +358,26 @@ mod tests {
 
     fn seconds(us: u64) -> f64 {
         us as f64 / 1e6
+    }
+
+    #[test]
+    fn submit_order_is_total_under_nan_and_ties() {
+        let job = |id, submit_s| crate::scenario::SimJob::new(id, Table1::NEST_CONF1, submit_s);
+        // Equal submit times fall back to the id, both ways round.
+        let mut jobs = [job(2, 5.0), job(1, 5.0), job(3, 1.0)];
+        jobs.sort_by(submit_order);
+        let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+        // A NaN submit time sorts after every real time — deterministically,
+        // regardless of the input permutation.
+        let with_nan = vec![job(4, f64::NAN), job(5, 2.0), job(6, f64::NAN)];
+        let mut a = with_nan.clone();
+        let mut b: Vec<_> = with_nan.into_iter().rev().collect();
+        a.sort_by(submit_order);
+        b.sort_by(submit_order);
+        let order = |v: &[crate::scenario::SimJob]| v.iter().map(|j| j.id).collect::<Vec<_>>();
+        assert_eq!(order(&a), vec![5, 4, 6]);
+        assert_eq!(order(&a), order(&b));
     }
 
     #[test]
@@ -463,7 +483,10 @@ mod tests {
             serial.report.total_run_time() as f64,
             drom.report.total_run_time() as f64,
         );
-        assert!(rt_improvement > 0.0 && rt_improvement < 20.0, "got {rt_improvement:.1}%");
+        assert!(
+            rt_improvement > 0.0 && rt_improvement < 20.0,
+            "got {rt_improvement:.1}%"
+        );
 
         // Fig. 15: average response time improves (paper: 10%).
         let avg_improvement = percent_improvement(

@@ -55,6 +55,7 @@
 //! assert!(malleable.stats.started == 40 && malleable.stats.completed == 40);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cluster;

@@ -175,7 +175,7 @@ mod tests {
         // A model-aware job: 100 µs of work at fixed-point scale 1<<20,
         // delivered at 3/8 of the full rate → ⌈100·8/3⌉ = 267 µs.
         let fp: u64 = 1 << 20;
-        let mut p = JobProgress::start_scaled(100 as u128 * fp as u128, fp * 3 / 8, 0);
+        let mut p = JobProgress::start_scaled(100_u128 * fp as u128, fp * 3 / 8, 0);
         assert_eq!(p.completion_us(), 267);
         // No-op rate changes never move the completion.
         for t in [1, 50, 200] {

@@ -44,12 +44,7 @@ pub fn job_cycles_series(result: &SimulationResult, job_id: u64, bin_s: f64) -> 
         let cycles = NOMINAL_CYCLES_PER_US * seg.utilization;
         let first_bin = (seg.start_s / bin_s).floor().max(0.0) as usize;
         let last_bin = ((seg.end_s / bin_s).ceil() as usize).min(nbins);
-        for (bin, slot) in series
-            .iter_mut()
-            .enumerate()
-            .take(last_bin)
-            .skip(first_bin)
-        {
+        for (bin, slot) in series.iter_mut().enumerate().take(last_bin).skip(first_bin) {
             let bin_start = bin as f64 * bin_s;
             let bin_end = bin_start + bin_s;
             let overlap = (seg.end_s.min(bin_end) - seg.start_s.max(bin_start)).max(0.0);

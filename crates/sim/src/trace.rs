@@ -97,15 +97,23 @@ impl TraceConfig {
     ///
     /// Panics if `classes` is empty or all weights are non-positive.
     pub fn generate(&self) -> Vec<TraceJob> {
-        assert!(!self.classes.is_empty(), "a trace needs at least one job class");
+        assert!(
+            !self.classes.is_empty(),
+            "a trace needs at least one job class"
+        );
         let total_weight: f64 = self.classes.iter().map(|c| c.weight.max(0.0)).sum();
-        assert!(total_weight > 0.0, "job class weights must sum to a positive value");
+        assert!(
+            total_weight > 0.0,
+            "job class weights must sum to a positive value"
+        );
         let mut rng = XorShift64::new(self.seed);
         let mut jobs = Vec::with_capacity(self.num_jobs);
         let mut clock: TimeUs = 0;
         for id in 1..=self.num_jobs as u64 {
             clock += match self.arrival {
-                ArrivalProcess::Poisson { mean_interarrival_us } => {
+                ArrivalProcess::Poisson {
+                    mean_interarrival_us,
+                } => {
                     // Inverse-CDF exponential; clamp u away from 0 so ln is finite.
                     let u = rng.next_f64().max(1e-12);
                     (-(u.ln()) * mean_interarrival_us as f64).round() as TimeUs
@@ -115,8 +123,9 @@ impl TraceConfig {
             let class = self.pick_class(&mut rng, total_weight);
             let (lo, hi) = class.duration_range_us;
             let (lo, hi) = (lo.max(1) as f64, hi.max(1) as f64);
-            let duration_us =
-                (lo.ln() + rng.next_f64() * (hi.ln() - lo.ln())).exp().round() as TimeUs;
+            let duration_us = (lo.ln() + rng.next_f64() * (hi.ln() - lo.ln()))
+                .exp()
+                .round() as TimeUs;
             let mut job = QueuedJob::new(id, class.nodes, class.cpus_per_node)
                 .with_submit_us(clock)
                 .with_expected_duration_us(duration_us);
@@ -190,7 +199,13 @@ impl TraceConfig {
 /// set so the offered load is roughly `load` times the capacity of a
 /// `num_nodes`-node cluster, which for `load ≈ 1.1` keeps a deep queue
 /// without degenerating into pure saturation.
-pub fn mixed_hpc_trace(seed: u64, num_jobs: usize, num_nodes: usize, node_cpus: usize, load: f64) -> TraceConfig {
+pub fn mixed_hpc_trace(
+    seed: u64,
+    num_jobs: usize,
+    num_nodes: usize,
+    node_cpus: usize,
+    load: f64,
+) -> TraceConfig {
     let full = node_cpus;
     let half = (node_cpus / 2).max(1);
     let quarter = (node_cpus / 4).max(1);
@@ -616,7 +631,10 @@ mod tests {
         for (l, m) in linear.iter().zip(model.iter()) {
             assert_eq!(l.duration_us, m.duration_us);
             let mut stripped = m.job.clone();
-            assert!(stripped.speedup.is_some(), "every model job carries a curve");
+            assert!(
+                stripped.speedup.is_some(),
+                "every model job carries a curve"
+            );
             stripped.speedup = None;
             assert_eq!(l.job, stripped, "base job fields must not change");
         }
@@ -636,7 +654,9 @@ mod tests {
     #[test]
     fn scale_out_trace_accepts_an_app_mix() {
         let linear = scale_out_trace(7, 50).generate();
-        let model = scale_out_trace(7, 50).with_app_mix(default_app_mix()).generate();
+        let model = scale_out_trace(7, 50)
+            .with_app_mix(default_app_mix())
+            .generate();
         for (l, m) in linear.iter().zip(model.iter()) {
             assert_eq!(l.job.id, m.job.id);
             assert_eq!(l.job.submit_us, m.job.submit_us);
@@ -650,7 +670,9 @@ mod tests {
         let config = TraceConfig {
             seed: 1,
             num_jobs: 5,
-            arrival: ArrivalProcess::Uniform { interarrival_us: 10 },
+            arrival: ArrivalProcess::Uniform {
+                interarrival_us: 10,
+            },
             classes: vec![JobClass {
                 weight: 1.0,
                 nodes: 1,

@@ -130,16 +130,17 @@ impl AffinityPlugin {
             union = union.union(&task.mask);
         }
         let keep = union.truncated(target_cpus);
-        Ok(equipartition(&keep, tasks.len(), &self.topology, self.policy))
+        Ok(equipartition(
+            &keep,
+            tasks.len(),
+            &self.topology,
+            self.policy,
+        ))
     }
 
     /// Redistributes the CPUs freed by a finished job among the tasks that
     /// keep running (`release_resources` in the paper's Figure 2).
-    pub fn release_resources(
-        &self,
-        running: &[RunningTask],
-        freed: &CpuSet,
-    ) -> Vec<RunningTask> {
+    pub fn release_resources(&self, running: &[RunningTask], freed: &CpuSet) -> Vec<RunningTask> {
         redistribute_freed(running, freed, &self.topology, self.policy)
     }
 }

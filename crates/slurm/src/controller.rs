@@ -27,8 +27,8 @@ use drom_metrics::TimeUs;
 use crate::error::SlurmError;
 use crate::job::JobSpec;
 use crate::policy::{
-    AdmissionOrder, ClusterView, JobAllocation, QueuedJob, RunningJob, SchedIndex,
-    SchedulerAction, SchedulerPolicy,
+    AdmissionOrder, ClusterView, JobAllocation, QueuedJob, RunningJob, SchedIndex, SchedulerAction,
+    SchedulerPolicy,
 };
 
 /// Admission rule used by the controller.
@@ -122,13 +122,7 @@ impl SlurmCtld {
         }
         // Least-loaded first, then declaration order (stable for ties).
         eligible.sort_by_key(|n| self.jobs_on(n));
-        Some(
-            eligible
-                .into_iter()
-                .take(job.nodes)
-                .cloned()
-                .collect(),
-        )
+        Some(eligible.into_iter().take(job.nodes).cloned().collect())
     }
 
     /// Records that a job started on the given nodes.
@@ -498,7 +492,8 @@ impl PolicyScheduler {
         let expected_end_us = job
             .expected_duration_us
             .map(|d| now_us.saturating_add(job.scaled_duration_us(d, width)));
-        self.index.on_start(&job, node_indices, width, expected_end_us);
+        self.index
+            .on_start(&job, node_indices, width, expected_end_us);
         self.running.push(RunningJob {
             alloc: JobAllocation {
                 job_id,
@@ -617,7 +612,9 @@ mod tests {
         let pending = vec![
             JobSpec::new(1, "old").with_submit_time(0),
             JobSpec::new(2, "new").with_submit_time(10),
-            JobSpec::new(3, "urgent").with_submit_time(20).with_priority(9),
+            JobSpec::new(3, "urgent")
+                .with_submit_time(20)
+                .with_priority(9),
         ];
         let (id, _) = ctld.next_startable(&pending).unwrap();
         assert_eq!(id, 3, "priority beats submission order");
@@ -636,7 +633,9 @@ mod tests {
         assert_eq!(ctld.mode(), SchedulingMode::Serial);
         assert_eq!(
             SchedulingMode::drom_default(),
-            SchedulingMode::DromShared { max_jobs_per_node: 2 }
+            SchedulingMode::DromShared {
+                max_jobs_per_node: 2
+            }
         );
     }
 
@@ -673,7 +672,11 @@ mod tests {
         assert!(matches!(err, SlurmError::Unschedulable { job_id: 1, .. }));
         let err = sched.submit(QueuedJob::new(2, 4, 1)).unwrap_err();
         assert!(matches!(err, SlurmError::Unschedulable { job_id: 2, .. }));
-        assert_eq!(sched.queue_len(), 0, "impossible jobs never enter the queue");
+        assert_eq!(
+            sched.queue_len(),
+            0,
+            "impossible jobs never enter the queue"
+        );
     }
 
     #[test]
@@ -686,7 +689,9 @@ mod tests {
         assert_eq!(sched.allocated_cpus(), 32);
 
         // A rigid half-node job arrives: job 1 shrinks to admit it.
-        sched.submit(QueuedJob::new(2, 1, 8).with_submit_us(5)).unwrap();
+        sched
+            .submit(QueuedJob::new(2, 1, 8).with_submit_us(5))
+            .unwrap();
         sched.tick(5).unwrap();
         assert_eq!(sched.stats().shrinks, 1);
         assert_eq!(sched.running().len(), 2);
@@ -731,7 +736,11 @@ mod tests {
             )
             .unwrap();
         sched.tick(0).unwrap();
-        let job2 = sched.running().iter().find(|r| r.alloc.job_id == 2).unwrap();
+        let job2 = sched
+            .running()
+            .iter()
+            .find(|r| r.alloc.job_id == 2)
+            .unwrap();
         assert_eq!(job2.alloc.cpus_per_node, 5);
         assert_eq!(
             job2.expected_end_us,
@@ -747,7 +756,13 @@ mod tests {
     fn shrunk_start_estimate_consults_the_speedup_curve() {
         use crate::policy::SpeedupCurve;
         let rates: Vec<u64> = (0..=7u64)
-            .map(|w| if w == 7 { SpeedupCurve::FP } else { w * SpeedupCurve::FP / 14 })
+            .map(|w| {
+                if w == 7 {
+                    SpeedupCurve::FP
+                } else {
+                    w * SpeedupCurve::FP / 14
+                }
+            })
             .collect();
         let mut sched = PolicyScheduler::new(1, 8, Box::new(MalleablePolicy::default()));
         sched.submit(QueuedJob::new(1, 1, 3)).unwrap();
@@ -761,7 +776,11 @@ mod tests {
             )
             .unwrap();
         sched.tick(0).unwrap();
-        let job2 = sched.running().iter().find(|r| r.alloc.job_id == 2).unwrap();
+        let job2 = sched
+            .running()
+            .iter()
+            .find(|r| r.alloc.job_id == 2)
+            .unwrap();
         assert_eq!(job2.alloc.cpus_per_node, 5);
         assert_eq!(
             job2.expected_end_us,
@@ -779,7 +798,9 @@ mod tests {
             .submit(QueuedJob::new(1, 2, 16).malleable(4).with_submit_us(0))
             .unwrap();
         sched.tick(0).unwrap();
-        sched.submit(QueuedJob::new(2, 1, 8).with_submit_us(5)).unwrap();
+        sched
+            .submit(QueuedJob::new(2, 1, 8).with_submit_us(5))
+            .unwrap();
         sched.tick(5).unwrap(); // shrinks job 1 to admit job 2
         let expected = SchedIndex::rebuild_from_capacity(2, 16, sched.running());
         assert_eq!(*sched.sched_index(), expected);

@@ -101,7 +101,9 @@ mod tests {
         assert!(SlurmError::NodeBusy { node: "n1".into() }
             .to_string()
             .contains("busy"));
-        assert!(SlurmError::UnknownJob { job_id: 42 }.to_string().contains("42"));
+        assert!(SlurmError::UnknownJob { job_id: 42 }
+            .to_string()
+            .contains("42"));
         let unsched = SlurmError::Unschedulable {
             job_id: 7,
             reason: "wants 32 CPUs per node, nodes have 16".into(),

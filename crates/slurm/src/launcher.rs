@@ -126,6 +126,7 @@ impl Srun {
             let slurmd = self.slurmd(node)?;
             let plan = slurmd.launch_request(job.id, ntasks)?;
             for mask in plan.task_masks.iter() {
+                // SAFETY(ordering): pid allocator; only uniqueness matters.
                 let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
                 let environ = slurmd.pre_launch(job.id, pid, mask)?;
                 tasks.push(LaunchedTask {
@@ -316,7 +317,10 @@ mod tests {
         procs[0].poll_drom().unwrap();
         let err = srun.shrink(&launched, 4).unwrap_err();
         assert!(
-            matches!(err, SlurmError::Drom(drom_core::DromError::PendingDirty { .. })),
+            matches!(
+                err,
+                SlurmError::Drom(drom_core::DromError::PendingDirty { .. })
+            ),
             "got {err:?}"
         );
         // Nothing was applied anywhere: node0's task has no new pending and

@@ -110,6 +110,7 @@
 //! assert_eq!(sched.queue_len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod affinity;

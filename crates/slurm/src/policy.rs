@@ -155,9 +155,8 @@ impl SpeedupCurve {
     /// and at worst one FP-grid step (< 1 ppm of a CPU) low for model
     /// curves, far below the gaps the ranking discriminates.
     pub fn relative_marginal_cost(&self, width: usize) -> u64 {
-        let num = self.marginal_rate(width) as u128
-            * self.request_width() as u128
-            * Self::FP as u128;
+        let num =
+            self.marginal_rate(width) as u128 * self.request_width() as u128 * Self::FP as u128;
         (num / self.full_rate() as u128) as u64
     }
 
@@ -316,7 +315,11 @@ impl QueuedJob {
             submit_us: spec.submit_time,
             nodes: spec.nodes.max(1),
             cpus_per_node: request,
-            min_cpus_per_node: if spec.malleable { tasks_widest } else { request },
+            min_cpus_per_node: if spec.malleable {
+                tasks_widest
+            } else {
+                request
+            },
             malleable: spec.malleable,
             priority: spec.priority,
             expected_duration_us: spec.time_limit_us,
@@ -373,7 +376,9 @@ impl RunningJob {
     /// CPUs per node this job could still give up (0 for rigid jobs).
     pub fn reclaimable_per_node(&self) -> usize {
         if self.job.malleable {
-            self.alloc.cpus_per_node.saturating_sub(self.job.min_cpus_per_node)
+            self.alloc
+                .cpus_per_node
+                .saturating_sub(self.job.min_cpus_per_node)
         } else {
             0
         }
@@ -672,6 +677,7 @@ pub struct SchedIndex {
 static INDEX_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 fn next_index_epoch() -> u64 {
+    // SAFETY(ordering): epoch allocator; only uniqueness matters.
     INDEX_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -881,12 +887,17 @@ impl SchedIndex {
                 self.cheap[n] = self.cheap[n] + new_cheap - old_cheap;
             }
             bump_gens(&mut self.free_gen, old_free, self.free[n]);
-            bump_gens(&mut self.avail_gen, old_avail, self.free[n] + self.reclaim[n]);
+            bump_gens(
+                &mut self.avail_gen,
+                old_avail,
+                self.free[n] + self.reclaim[n],
+            );
         }
         // The release the timeline promises at the job's (unchanged) end
         // instant is the new width; the driver refreshes the estimate itself
         // afterwards via `on_estimate`.
-        self.timeline.update_width(job.id, node_indices, old_width, new_width);
+        self.timeline
+            .update_width(job.id, node_indices, old_width, new_width);
     }
 
     /// The driver refreshed a running job's completion estimate:
@@ -915,7 +926,11 @@ impl SchedIndex {
                 self.cheap[n] -= cheap;
             }
             bump_gens(&mut self.free_gen, old_free, self.free[n]);
-            bump_gens(&mut self.avail_gen, old_avail, self.free[n] + self.reclaim[n]);
+            bump_gens(
+                &mut self.avail_gen,
+                old_avail,
+                self.free[n] + self.reclaim[n],
+            );
         }
         self.timeline.remove(job.id, node_indices, width);
     }
@@ -1072,7 +1087,10 @@ fn trusted_order<'a>(view: &ClusterView<'a>, queue: &[QueuedJob]) -> Option<&'a 
 /// jobs come out in exactly the `(Reverse(priority), submit_us, id)`
 /// sequence.
 enum AdmissionIter<'q, 'a> {
-    Indexed(std::collections::btree_map::Values<'a, AdmissionKey, usize>, &'q [QueuedJob]),
+    Indexed(
+        std::collections::btree_map::Values<'a, AdmissionKey, usize>,
+        &'q [QueuedJob],
+    ),
     Sorted(std::vec::IntoIter<&'q QueuedJob>),
 }
 
@@ -1081,18 +1099,13 @@ impl<'q> Iterator for AdmissionIter<'q, '_> {
 
     fn next(&mut self) -> Option<&'q QueuedJob> {
         match self {
-            AdmissionIter::Indexed(positions, queue) => {
-                positions.next().map(|&pos| &queue[pos])
-            }
+            AdmissionIter::Indexed(positions, queue) => positions.next().map(|&pos| &queue[pos]),
             AdmissionIter::Sorted(ordered) => ordered.next(),
         }
     }
 }
 
-fn admission_iter<'q, 'a>(
-    view: &ClusterView<'a>,
-    queue: &'q [QueuedJob],
-) -> AdmissionIter<'q, 'a> {
+fn admission_iter<'q, 'a>(view: &ClusterView<'a>, queue: &'q [QueuedJob]) -> AdmissionIter<'q, 'a> {
     match trusted_order(view, queue) {
         Some(order) => AdmissionIter::Indexed(order.by_key.values(), queue),
         None => AdmissionIter::Sorted(queue_order(queue).into_iter()),
@@ -1564,7 +1577,8 @@ impl SchedulerPolicy for FirstFitPolicy {
                         // and this pass's own starts only lowered free CPUs,
                         // so the recorded generation over-approximates the
                         // blocked state — sound to skip on while unchanged.
-                        self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                        self.memo
+                            .record(job.id, index.free_gen(job.cpus_per_node), None);
                     }
                     break;
                 }
@@ -1654,31 +1668,30 @@ impl SchedulerPolicy for BackfillPolicy {
         // jobs' releases come off the release timeline below, so the pass no
         // longer clones every running allocation up front.
         let mut started: Vec<(Option<TimeUs>, Vec<usize>, usize)> = Vec::new();
-        let start =
-            |job: &QueuedJob,
-             node_indices: Vec<usize>,
-             free: &mut [usize],
-             hist: &mut FreeHist,
-             actions: &mut Vec<SchedulerAction>,
-             started: &mut Vec<(Option<TimeUs>, Vec<usize>, usize)>| {
-                for &idx in &node_indices {
-                    hist.update(free[idx], free[idx] - job.cpus_per_node);
-                    free[idx] -= job.cpus_per_node;
-                }
-                started.push((
-                    job.expected_duration_us.map(|d| now_us.saturating_add(d)),
-                    node_indices.clone(),
-                    job.cpus_per_node,
-                ));
-                actions.push(SchedulerAction::Start {
-                    job_id: job.id,
-                    node_indices,
-                    cpus_per_node: job.cpus_per_node,
-                });
-            };
+        let start = |job: &QueuedJob,
+                     node_indices: Vec<usize>,
+                     free: &mut [usize],
+                     hist: &mut FreeHist,
+                     actions: &mut Vec<SchedulerAction>,
+                     started: &mut Vec<(Option<TimeUs>, Vec<usize>, usize)>| {
+            for &idx in &node_indices {
+                hist.update(free[idx], free[idx] - job.cpus_per_node);
+                free[idx] -= job.cpus_per_node;
+            }
+            started.push((
+                job.expected_duration_us.map(|d| now_us.saturating_add(d)),
+                node_indices.clone(),
+                job.cpus_per_node,
+            ));
+            actions.push(SchedulerAction::Start {
+                job_id: job.id,
+                node_indices,
+                cpus_per_node: job.cpus_per_node,
+            });
+        };
         let mut ordered = admission_iter(view, queue);
         let mut head = None;
-        while let Some(job) = ordered.next() {
+        for job in ordered.by_ref() {
             if let Some(index) = memo_ix {
                 if self.memo.still_blocked(job, index, None, ignore_gens) {
                     if continue_past_head {
@@ -1698,13 +1711,21 @@ impl SchedulerPolicy for BackfillPolicy {
                     if memo_ix.is_some() {
                         self.memo.forget(job.id);
                     }
-                    start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
+                    start(
+                        job,
+                        node_indices,
+                        &mut free,
+                        &mut hist,
+                        &mut actions,
+                        &mut started,
+                    );
                 }
                 None => {
                     if let Some(index) = memo_ix {
                         // Count-proven: the guard and fit_first agree
                         // exactly, and this pass only lowered free CPUs.
-                        self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                        self.memo
+                            .record(job.id, index.free_gen(job.cpus_per_node), None);
                     }
                     head = Some(job);
                     break;
@@ -1765,7 +1786,8 @@ impl SchedulerPolicy for BackfillPolicy {
             }
             if hist.count_ge(job.cpus_per_node) < job.nodes {
                 if let Some(index) = memo_ix {
-                    self.memo.record(job.id, index.free_gen(job.cpus_per_node), None);
+                    self.memo
+                        .record(job.id, index.free_gen(job.cpus_per_node), None);
                 }
                 continue; // exact reject: no fit exists, skip the probe
             }
@@ -1773,7 +1795,14 @@ impl SchedulerPolicy for BackfillPolicy {
                 if memo_ix.is_some() {
                     self.memo.forget(job.id);
                 }
-                start(job, node_indices, &mut free, &mut hist, &mut actions, &mut started);
+                start(
+                    job,
+                    node_indices,
+                    &mut free,
+                    &mut hist,
+                    &mut actions,
+                    &mut started,
+                );
             }
         }
         actions
@@ -2098,7 +2127,11 @@ impl<'a> PassState<'a> {
                     continue;
                 }
                 let by_id = by_id.get_or_insert_with(|| {
-                    slots.iter().enumerate().map(|(i, s)| (s.job_id, i)).collect()
+                    slots
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (s.job_id, i))
+                        .collect()
                 });
                 // Donor ids are kept in running order, so the mapped slot
                 // positions come out ascending — the tie-break order the
@@ -2118,7 +2151,12 @@ impl<'a> PassState<'a> {
                 }
             }
         }
-        let avail: Vec<usize> = state.free.iter().zip(&state.reclaim).map(|(f, r)| f + r).collect();
+        let avail: Vec<usize> = state
+            .free
+            .iter()
+            .zip(&state.reclaim)
+            .map(|(f, r)| f + r)
+            .collect();
         state.free_hist = FreeHist::new(&state.free, view.node_cpus, |_| true);
         state.avail_hist = FreeHist::new(&avail, view.node_cpus, |_| true);
         state.open_free_hist = state.free_hist.clone();
@@ -2183,7 +2221,8 @@ impl<'a> PassState<'a> {
         let new_cheap = self.slots[victim].zero_cost_spare();
         for &n in self.slots[victim].node_indices.iter() {
             self.free_hist.update(self.free[n], self.free[n] + give);
-            self.open_free_hist.update(self.free[n], self.free[n] + give);
+            self.open_free_hist
+                .update(self.free[n], self.free[n] + give);
             // The only pass-local upward free movement: flag the crossed
             // width classes so the probe memo stops skipping on them
             // (availability, free + reclaim, is unchanged by a shrink).
@@ -2203,7 +2242,8 @@ impl<'a> PassState<'a> {
         let new_cheap = self.slots[victim].zero_cost_spare();
         for &n in self.slots[victim].node_indices.iter() {
             self.free_hist.update(self.free[n], self.free[n] - give);
-            self.open_free_hist.update(self.free[n], self.free[n] - give);
+            self.open_free_hist
+                .update(self.free[n], self.free[n] - give);
             self.free[n] -= give;
             self.reclaim[n] += give;
             self.cheap[n] = self.cheap[n] - old_cheap + new_cheap;
@@ -2331,7 +2371,12 @@ impl<'a> PassState<'a> {
         // the clone *is* the plain histogram. The probe memo records
         // availability failures against this state — the only one whose
         // failures are stable across passes (see the field's doc).
-        let plain: Vec<usize> = self.free.iter().zip(&self.reclaim).map(|(f, r)| f + r).collect();
+        let plain: Vec<usize> = self
+            .free
+            .iter()
+            .zip(&self.reclaim)
+            .map(|(f, r)| f + r)
+            .collect();
         self.plain_avail = Some((plain, self.avail_hist.clone()));
         for slot in self.slots.iter_mut() {
             if slot.node_indices.iter().any(|&n| mask[n]) {
@@ -2346,7 +2391,12 @@ impl<'a> PassState<'a> {
                 }
             }
         }
-        let avail: Vec<usize> = self.free.iter().zip(&self.reclaim).map(|(f, r)| f + r).collect();
+        let avail: Vec<usize> = self
+            .free
+            .iter()
+            .zip(&self.reclaim)
+            .map(|(f, r)| f + r)
+            .collect();
         self.avail_hist = FreeHist::new(&avail, self.node_cpus, |_| true);
         self.open_free_hist = FreeHist::new(&self.free, self.node_cpus, |n| !mask[n]);
         self.open_avail_hist = FreeHist::new(&avail, self.node_cpus, |n| !mask[n]);
@@ -2402,7 +2452,8 @@ impl SchedulerPolicy for MalleablePolicy {
             // reservation forecast is still paid, exactly as a re-probed
             // failure would.
             let skip = memo_ix.is_some_and(|index| {
-                self.memo.still_blocked(job, index, Some(&state.raised), ignore_gens)
+                self.memo
+                    .still_blocked(job, index, Some(&state.raised), ignore_gens)
             });
             let mut admitted = false;
             if !skip {
@@ -2538,7 +2589,13 @@ impl MalleablePolicy {
         }
         let mut avail: Vec<(usize, usize, usize)> = (0..state.free.len())
             .filter(|&node| !reserved.is_some_and(|m| m[node]))
-            .map(|node| (node, state.free[node] + state.reclaim[node], state.cheap[node]))
+            .map(|node| {
+                (
+                    node,
+                    state.free[node] + state.reclaim[node],
+                    state.cheap[node],
+                )
+            })
             .collect();
         if avail.len() < job.nodes {
             return None;
@@ -2999,9 +3056,8 @@ impl MalleableScanPolicy {
                 let donors = slots.iter().filter(|s| {
                     s.malleable && s.node_indices.contains(&node) && !s.on_reserved(reserved)
                 });
-                let (reclaimable, cheap) = donors.fold((0, 0), |(r, c), s| {
-                    (r + s.spare(), c + s.zero_cost_spare())
-                });
+                let (reclaimable, cheap) =
+                    donors.fold((0, 0), |(r, c), s| (r + s.spare(), c + s.zero_cost_spare()));
                 (node, f + reclaimable, cheap)
             })
             .collect();
@@ -3041,7 +3097,13 @@ mod tests {
         }
     }
 
-    fn running(id: u64, nodes: Vec<usize>, width: usize, request: usize, floor: usize) -> RunningJob {
+    fn running(
+        id: u64,
+        nodes: Vec<usize>,
+        width: usize,
+        request: usize,
+        floor: usize,
+    ) -> RunningJob {
         RunningJob {
             job: QueuedJob::new(id, nodes.len(), request).malleable(floor),
             alloc: JobAllocation {
@@ -3066,7 +3128,11 @@ mod tests {
         assert_eq!(actions.len(), 1);
         assert!(matches!(
             &actions[0],
-            SchedulerAction::Start { job_id: 1, cpus_per_node: 16, .. }
+            SchedulerAction::Start {
+                job_id: 1,
+                cpus_per_node: 16,
+                ..
+            }
         ));
     }
 
@@ -3079,7 +3145,10 @@ mod tests {
         ];
         let actions = FirstFitPolicy::default().schedule(&view(16, &free, &[]), &queue, 0);
         assert_eq!(actions.len(), 1);
-        assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
+        assert!(matches!(
+            &actions[0],
+            SchedulerAction::Start { job_id: 2, .. }
+        ));
     }
 
     #[test]
@@ -3093,11 +3162,14 @@ mod tests {
             QueuedJob::new(1, 2, 16), // head: blocked until t=100s
             QueuedJob::new(2, 1, 8).with_expected_duration_us(50_000_000), // safe
             QueuedJob::new(3, 1, 8).with_expected_duration_us(200_000_000), // would delay head
-            QueuedJob::new(4, 1, 8), // no estimate: never backfilled
+            QueuedJob::new(4, 1, 8),  // no estimate: never backfilled
         ];
         let actions = BackfillPolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
         assert_eq!(actions.len(), 1, "only the safe job jumps: {actions:?}");
-        assert!(matches!(&actions[0], SchedulerAction::Start { job_id: 2, .. }));
+        assert!(matches!(
+            &actions[0],
+            SchedulerAction::Start { job_id: 2, .. }
+        ));
     }
 
     #[test]
@@ -3109,7 +3181,10 @@ mod tests {
             QueuedJob::new(2, 1, 4).with_expected_duration_us(1),
         ];
         let actions = BackfillPolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
-        assert!(actions.is_empty(), "no reservation, no backfill: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "no reservation, no backfill: {actions:?}"
+        );
     }
 
     #[test]
@@ -3122,10 +3197,17 @@ mod tests {
         // Shrink job 1 (on both nodes), start job 2 on one node, and re-expand
         // job 1 by the slack the shrink left on the other node? The width is
         // uniform, so job 1 stays at 8 and node 1 keeps 8 CPUs free.
-        assert!(actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }));
+        assert!(actions.contains(&SchedulerAction::Resize {
+            job_id: 1,
+            cpus_per_node: 8
+        }));
         assert!(actions.iter().any(|a| matches!(
             a,
-            SchedulerAction::Start { job_id: 2, cpus_per_node: 8, .. }
+            SchedulerAction::Start {
+                job_id: 2,
+                cpus_per_node: 8,
+                ..
+            }
         )));
         // Shrinks come before starts.
         let shrink_pos = actions
@@ -3147,7 +3229,10 @@ mod tests {
         let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &[], 0);
         assert_eq!(
             actions,
-            vec![SchedulerAction::Resize { job_id: 1, cpus_per_node: 16 }]
+            vec![SchedulerAction::Resize {
+                job_id: 1,
+                cpus_per_node: 16
+            }]
         );
     }
 
@@ -3159,10 +3244,17 @@ mod tests {
         let free = [0];
         let queue = vec![QueuedJob::new(2, 1, 8).malleable(4)];
         let actions = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 0);
-        assert!(actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 12 }));
+        assert!(actions.contains(&SchedulerAction::Resize {
+            job_id: 1,
+            cpus_per_node: 12
+        }));
         assert!(actions.iter().any(|a| matches!(
             a,
-            SchedulerAction::Start { job_id: 2, cpus_per_node: 4, .. }
+            SchedulerAction::Start {
+                job_id: 2,
+                cpus_per_node: 4,
+                ..
+            }
         )));
     }
 
@@ -3210,20 +3302,30 @@ mod tests {
         assert!(
             actions.iter().any(|a| matches!(
                 a,
-                SchedulerAction::Start { job_id: 1, cpus_per_node: 5, .. }
+                SchedulerAction::Start {
+                    job_id: 1,
+                    cpus_per_node: 5,
+                    ..
+                }
             )),
             "job 1 admitted shrunk: {actions:?}"
         );
         assert!(
             actions.iter().any(|a| matches!(
                 a,
-                SchedulerAction::Start { job_id: 3, cpus_per_node: 2, .. }
+                SchedulerAction::Start {
+                    job_id: 3,
+                    cpus_per_node: 2,
+                    ..
+                }
             )),
             "job 3 ends exactly at the (rounded-up) reservation and must \
              backfill: {actions:?}"
         );
         assert!(
-            !actions.iter().any(|a| matches!(a, SchedulerAction::Start { job_id: 2, .. })),
+            !actions
+                .iter()
+                .any(|a| matches!(a, SchedulerAction::Start { job_id: 2, .. })),
             "job 2 stays reserved: {actions:?}"
         );
     }
@@ -3241,13 +3343,20 @@ mod tests {
         holders[2].expected_end_us = Some(900);
         let free = [0, 3, 3, 16];
         let queue = vec![
-            QueuedJob::new(10, 2, 12).malleable(3).with_expected_duration_us(500),
-            QueuedJob::new(11, 4, 16).with_submit_us(1).with_expected_duration_us(400),
-            QueuedJob::new(12, 1, 4).with_submit_us(2).with_expected_duration_us(100),
+            QueuedJob::new(10, 2, 12)
+                .malleable(3)
+                .with_expected_duration_us(500),
+            QueuedJob::new(11, 4, 16)
+                .with_submit_us(1)
+                .with_expected_duration_us(400),
+            QueuedJob::new(12, 1, 4)
+                .with_submit_us(2)
+                .with_expected_duration_us(100),
             QueuedJob::new(13, 1, 2).malleable(1).with_submit_us(3),
         ];
         let indexed = MalleablePolicy::default().schedule(&view(16, &free, &holders), &queue, 50);
-        let scanned = MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &queue, 50);
+        let scanned =
+            MalleableScanPolicy::default().schedule(&view(16, &free, &holders), &queue, 50);
         assert_eq!(indexed, scanned);
     }
 
@@ -3268,19 +3377,31 @@ mod tests {
         index.on_estimate(1, &[0, 1], 5, Some(1_500));
         let running = vec![
             RunningJob {
-                alloc: JobAllocation { job_id: 1, node_indices: vec![0, 1], cpus_per_node: 5 },
+                alloc: JobAllocation {
+                    job_id: 1,
+                    node_indices: vec![0, 1],
+                    cpus_per_node: 5,
+                },
                 job: j1.clone(),
                 start_us: 0,
                 expected_end_us: Some(1_500),
             },
             RunningJob {
-                alloc: JobAllocation { job_id: 2, node_indices: vec![2], cpus_per_node: 9 },
+                alloc: JobAllocation {
+                    job_id: 2,
+                    node_indices: vec![2],
+                    cpus_per_node: 9,
+                },
                 job: j2.clone(),
                 start_us: 0,
                 expected_end_us: Some(2_000),
             },
             RunningJob {
-                alloc: JobAllocation { job_id: 3, node_indices: vec![1, 2], cpus_per_node: 4 },
+                alloc: JobAllocation {
+                    job_id: 3,
+                    node_indices: vec![1, 2],
+                    cpus_per_node: 4,
+                },
                 job: j3.clone(),
                 start_us: 0,
                 expected_end_us: None,
@@ -3328,7 +3449,13 @@ mod tests {
         // Request 7, but shrinking costs double the linear slowdown:
         // rate(w) = w·FP/14 below the request, FP at it.
         let rates: Vec<u64> = (0..=7u64)
-            .map(|w| if w == 7 { SpeedupCurve::FP } else { w * SpeedupCurve::FP / 14 })
+            .map(|w| {
+                if w == 7 {
+                    SpeedupCurve::FP
+                } else {
+                    w * SpeedupCurve::FP / 14
+                }
+            })
             .collect();
         let curve = SpeedupCurve::from_rates(rates);
         let holders = vec![running(10, vec![0], 11, 11, 11)]; // rigid-in-effect
@@ -3344,7 +3471,11 @@ mod tests {
             assert!(
                 actions.iter().any(|a| matches!(
                     a,
-                    SchedulerAction::Start { job_id: 1, cpus_per_node: 5, .. }
+                    SchedulerAction::Start {
+                        job_id: 1,
+                        cpus_per_node: 5,
+                        ..
+                    }
                 )),
                 "job 1 admitted shrunk at width 5: {actions:?}"
             );
@@ -3390,7 +3521,10 @@ mod tests {
         ] {
             assert_eq!(
                 actions,
-                vec![SchedulerAction::Resize { job_id: 2, cpus_per_node: 8 }],
+                vec![SchedulerAction::Resize {
+                    job_id: 2,
+                    cpus_per_node: 8
+                }],
                 "only the unsaturated job expands; the saturated STREAM job \
                  gains nothing from more CPUs"
             );
@@ -3405,8 +3539,7 @@ mod tests {
     fn saturated_stream_job_is_preferred_donor_over_uneven_static_partition() {
         // Static-partition-like curve: every width below the request costs
         // real rate (linear profile), so its marginal cost is FP per CPU.
-        let static_rates: Vec<u64> =
-            (0..=16u64).map(|w| w * (SpeedupCurve::FP / 16)).collect();
+        let static_rates: Vec<u64> = (0..=16u64).map(|w| w * (SpeedupCurve::FP / 16)).collect();
         let holders = vec![
             // STREAM at width 12 of 16, shrink floor 8: 4 CPUs of spare, all
             // on the flat tail (zero marginal cost).
@@ -3425,17 +3558,26 @@ mod tests {
             MalleableScanPolicy::default().schedule(&view(32, &free, &holders), &queue, 0),
         ] {
             assert!(
-                actions.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }),
+                actions.contains(&SchedulerAction::Resize {
+                    job_id: 1,
+                    cpus_per_node: 8
+                }),
                 "the free-to-shrink STREAM job donates: {actions:?}"
             );
             assert!(
-                !actions.iter().any(|a| matches!(a, SchedulerAction::Resize { job_id: 2, .. })),
+                !actions
+                    .iter()
+                    .any(|a| matches!(a, SchedulerAction::Resize { job_id: 2, .. })),
                 "the static-partition job keeps its throughput: {actions:?}"
             );
             assert!(
                 actions.iter().any(|a| matches!(
                     a,
-                    SchedulerAction::Start { job_id: 3, cpus_per_node: 8, .. }
+                    SchedulerAction::Start {
+                        job_id: 3,
+                        cpus_per_node: 8,
+                        ..
+                    }
                 )),
                 "the queued job still starts: {actions:?}"
             );
@@ -3483,7 +3625,11 @@ mod tests {
         let single = SpeedupCurve::from_rates(vec![0, SpeedupCurve::FP]);
         assert_eq!(single.marginal_rate(0), 0);
         assert_eq!(single.marginal_rate(1), SpeedupCurve::FP);
-        assert_eq!(single.marginal_rate(5), 0, "beyond the request the curve is flat");
+        assert_eq!(
+            single.marginal_rate(5),
+            0,
+            "beyond the request the curve is flat"
+        );
         assert_eq!(single.relative_marginal_cost(1), SpeedupCurve::FP);
         assert_eq!(single.zero_cost_run(1, 1), 0);
         assert_eq!(single.equal_cost_run(1, 1), 1);
@@ -3496,7 +3642,11 @@ mod tests {
         assert_eq!(stream.marginal_rate(8), 0);
         assert_eq!(stream.relative_marginal_cost(8), 0);
         assert_eq!(stream.zero_cost_run(8, 6), 6);
-        assert_eq!(stream.zero_cost_run(8, 3), 3, "the tail is capped by the limit");
+        assert_eq!(
+            stream.zero_cost_run(8, 3),
+            3,
+            "the tail is capped by the limit"
+        );
         assert_eq!(stream.equal_cost_run(8, 6), 6);
         assert!(stream.saturated_at(2));
         assert!(!stream.saturated_at(1));
@@ -3550,17 +3700,29 @@ mod tests {
         index.on_start(&linear, &[0, 1], 8, None);
         assert_eq!(index.cheap(), &[0, 0], "linear spare is never cheap");
         index.on_start(&stream, &[0], 12, None);
-        assert_eq!(index.cheap(), &[4, 0], "all 4 spare CPUs sit on the flat tail");
+        assert_eq!(
+            index.cheap(),
+            &[4, 0],
+            "all 4 spare CPUs sit on the flat tail"
+        );
         index.on_resize(&stream, &[0], 12, 9);
         let running = vec![
             RunningJob {
-                alloc: JobAllocation { job_id: 1, node_indices: vec![0, 1], cpus_per_node: 8 },
+                alloc: JobAllocation {
+                    job_id: 1,
+                    node_indices: vec![0, 1],
+                    cpus_per_node: 8,
+                },
                 job: linear.clone(),
                 start_us: 0,
                 expected_end_us: None,
             },
             RunningJob {
-                alloc: JobAllocation { job_id: 2, node_indices: vec![0], cpus_per_node: 9 },
+                alloc: JobAllocation {
+                    job_id: 2,
+                    node_indices: vec![0],
+                    cpus_per_node: 9,
+                },
                 job: stream.clone(),
                 start_us: 0,
                 expected_end_us: None,
@@ -3622,9 +3784,21 @@ mod tests {
         // estimate: a full-width fit on node 0 is never provable.
         let free = [0usize, 0];
         let holders = [
-            Holder { end_us: Some(100), node_indices: &[0], width: 8 },
-            Holder { end_us: None, node_indices: &[0], width: 8 },
-            Holder { end_us: None, node_indices: &[1], width: 16 },
+            Holder {
+                end_us: Some(100),
+                node_indices: &[0],
+                width: 8,
+            },
+            Holder {
+                end_us: None,
+                node_indices: &[0],
+                width: 8,
+            },
+            Holder {
+                end_us: None,
+                node_indices: &[1],
+                width: 16,
+            },
         ];
         assert_eq!(earliest_release_fit(1, 16, &free, &holders, 10), None);
         // The estimated half of node 0 is still provable, at its end.
@@ -3644,9 +3818,21 @@ mod tests {
     fn release_fit_overdue_estimates_release_but_are_no_candidates() {
         let free = [0usize];
         let holders = [
-            Holder { end_us: Some(50), node_indices: &[0], width: 8 },
-            Holder { end_us: Some(100), node_indices: &[0], width: 4 },
-            Holder { end_us: Some(200), node_indices: &[0], width: 4 },
+            Holder {
+                end_us: Some(50),
+                node_indices: &[0],
+                width: 8,
+            },
+            Holder {
+                end_us: Some(100),
+                node_indices: &[0],
+                width: 4,
+            },
+            Holder {
+                end_us: Some(200),
+                node_indices: &[0],
+                width: 4,
+            },
         ];
         // now = 100: the ends at 50 and 100 are overdue — their CPUs count,
         // but the earliest candidate instant is the first future end.
@@ -3668,8 +3854,16 @@ mod tests {
     fn release_fit_groups_holders_sharing_an_end_instant() {
         let free = [0usize, 0, 16];
         let holders = [
-            Holder { end_us: Some(100), node_indices: &[0], width: 16 },
-            Holder { end_us: Some(100), node_indices: &[1], width: 16 },
+            Holder {
+                end_us: Some(100),
+                node_indices: &[0],
+                width: 16,
+            },
+            Holder {
+                end_us: Some(100),
+                node_indices: &[1],
+                width: 16,
+            },
         ];
         assert_eq!(
             earliest_release_fit(3, 16, &free, &holders, 10),
@@ -3698,13 +3892,33 @@ mod tests {
         base.add(1, &[0], 16, Some(100));
         base.add(2, &[1], 8, Some(200));
         let overlay = [
-            TimelineDelta { end_us: 100, node_indices: &[0][..], delta: -6 },
-            TimelineDelta { end_us: 150, node_indices: &[1][..], delta: 6 },
+            TimelineDelta {
+                end_us: 100,
+                node_indices: &[0][..],
+                delta: -6,
+            },
+            TimelineDelta {
+                end_us: 150,
+                node_indices: &[1][..],
+                delta: 6,
+            },
         ];
         let current = [
-            Holder { end_us: Some(100), node_indices: &[0], width: 10 },
-            Holder { end_us: Some(150), node_indices: &[1], width: 6 },
-            Holder { end_us: Some(200), node_indices: &[1], width: 8 },
+            Holder {
+                end_us: Some(100),
+                node_indices: &[0],
+                width: 10,
+            },
+            Holder {
+                end_us: Some(150),
+                node_indices: &[1],
+                width: 6,
+            },
+            Holder {
+                end_us: Some(200),
+                node_indices: &[1],
+                width: 8,
+            },
         ];
         for nodes in 0..=2 {
             for width in [1usize, 4, 6, 8, 10, 16, 17] {
@@ -3900,10 +4114,7 @@ mod tests {
                  a candidate the reservation window forbids: {leapfrog:?}"
             );
             assert!(
-                matches!(
-                    leapfrog[0],
-                    SchedulerAction::Start { job_id: 2, .. }
-                ),
+                matches!(leapfrog[0], SchedulerAction::Start { job_id: 2, .. }),
                 "the overrunning candidate leapfrogged the EASY head"
             );
         }
@@ -3934,12 +4145,14 @@ mod tests {
                 (any::<bool>(), 0u64..300),
                 any::<bool>(),
             )
-                .prop_map(|(nodes, original, shrink, (estimated, end), fresh)| PropHolder {
-                    nodes: nodes.into_iter().collect(),
-                    original,
-                    shrink: shrink % original, // keep the current width ≥ 1
-                    end: estimated.then_some(end),
-                    fresh,
+                .prop_map(|(nodes, original, shrink, (estimated, end), fresh)| {
+                    PropHolder {
+                        nodes: nodes.into_iter().collect(),
+                        original,
+                        shrink: shrink % original, // keep the current width ≥ 1
+                        end: estimated.then_some(end),
+                        fresh,
+                    }
                 })
         }
 

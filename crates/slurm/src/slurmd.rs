@@ -127,7 +127,8 @@ impl Slurmd {
             });
         }
         let _ = job_id;
-        self.plugin.launch_request(&self.node.name, &running, new_tasks)
+        self.plugin
+            .launch_request(&self.node.name, &running, new_tasks)
     }
 
     /// Reserves `mask` for task `pid` of `job_id` through the step daemon and
@@ -385,7 +386,10 @@ mod tests {
         proc1.finalize().unwrap();
         slurmd.post_term(1, 100).unwrap();
         let handed = slurmd.release_resources(1).unwrap();
-        assert_eq!(handed, 8, "the survivor acquires the freed half of the node");
+        assert_eq!(
+            handed, 8,
+            "the survivor acquires the freed half of the node"
+        );
         assert_eq!(proc2.poll_drom().unwrap().unwrap().count(), 16);
     }
 

@@ -43,9 +43,11 @@ impl SlurmStepd {
     /// process id `pid`, shrinking any running process that currently holds
     /// those CPUs, and returns the environment the task will register with.
     pub fn pre_launch(&self, pid: Pid, mask: &CpuSet) -> Result<DromEnviron, SlurmError> {
-        let (environ, _victims) = self
-            .admin
-            .pre_init(pid, mask, DromFlags::default().with_steal().with_return_stolen())?;
+        let (environ, _victims) = self.admin.pre_init(
+            pid,
+            mask,
+            DromFlags::default().with_steal().with_return_stolen(),
+        )?;
         Ok(environ)
     }
 
@@ -53,7 +55,10 @@ impl SlurmStepd {
     /// shared memory. A task that already finalized itself is not an error —
     /// the paper notes the scheduler cannot know and should call it anyway.
     pub fn post_term(&self, pid: Pid) -> Result<(), SlurmError> {
-        match self.admin.post_finalize(pid, DromFlags::default().with_return_stolen()) {
+        match self
+            .admin
+            .post_finalize(pid, DromFlags::default().with_return_stolen())
+        {
             Ok(_) => Ok(()),
             Err(drom_core::DromError::NoSuchProcess { .. }) => Ok(()),
             Err(err) => Err(err.into()),

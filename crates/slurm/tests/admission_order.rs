@@ -40,8 +40,13 @@ enum Op {
 
 fn decode(kind: u8, a: u64, b: u64) -> Op {
     match kind {
-        0 | 1 => Op::Submit { fuel_a: a, fuel_b: b },
-        2 => Op::Tick { advance: a % 1_000 + 1 },
+        0 | 1 => Op::Submit {
+            fuel_a: a,
+            fuel_b: b,
+        },
+        2 => Op::Tick {
+            advance: a % 1_000 + 1,
+        },
         3 => Op::Finish { pick: a },
         _ => Op::Requeue { pick: a },
     }
@@ -91,7 +96,9 @@ fn apply(sched: &mut PolicyScheduler, op: Op, next_id: &mut u64, now: &mut u64) 
         }
         Op::Tick { advance } => {
             *now += advance;
-            sched.tick(*now).expect("tick never fails on policy actions");
+            sched
+                .tick(*now)
+                .expect("tick never fails on policy actions");
             // Refresh completion estimates the way the simulator driver
             // does, deterministically from the job id so paired schedulers
             // stay identical.

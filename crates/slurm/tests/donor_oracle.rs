@@ -109,7 +109,10 @@ fn oracle(
             let better = match victim {
                 None => true,
                 Some(v) => {
-                    let (cv, sv) = (cost(curves[v].as_ref(), requests[v], widths[v]), widths[v] - floors[v]);
+                    let (cv, sv) = (
+                        cost(curves[v].as_ref(), requests[v], widths[v]),
+                        widths[v] - floors[v],
+                    );
                     let ci = cost(curves[i].as_ref(), requests[i], widths[i]);
                     // Tie-break order: cheaper cost, then wider spare, then
                     // lower index (strict — the first minimum wins, so the
@@ -134,7 +137,10 @@ fn oracle(
     }
     let mut actions: Vec<SchedulerAction> = (0..n)
         .filter(|&i| widths[i] < requests[i])
-        .map(|i| SchedulerAction::Resize { job_id: i as u64 + 1, cpus_per_node: widths[i] })
+        .map(|i| SchedulerAction::Resize {
+            job_id: i as u64 + 1,
+            cpus_per_node: widths[i],
+        })
         .collect();
     actions.push(SchedulerAction::Start {
         job_id: 100,

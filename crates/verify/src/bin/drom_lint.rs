@@ -1,0 +1,35 @@
+//! Workspace lint driver: `cargo run -p drom-verify --bin drom_lint`.
+//!
+//! Scans every `.rs` file under `crates/` (skipping `target/` and lint
+//! fixture directories) and exits non-zero if any rule is violated. Rules
+//! are documented in `drom_verify::lint` and `docs/verification.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // The binary lives at <root>/crates/verify; default to the
+        // workspace root it belongs to.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let root = root.canonicalize().unwrap_or(root);
+    match drom_verify::lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("drom_lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("drom_lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("drom_lint: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `drom-verify`: correctness tooling for the DROM workspace.
+//!
+//! Two prongs:
+//!
+//! * [`model`] + [`sync`] + [`thread`] — a vendored mini-`loom`: a bounded,
+//!   exhaustive concurrency model checker. `drom-shmem` is generic over its
+//!   sync primitives (`cfg(drom_verify)` swaps `std`/`parking_lot` for the
+//!   shims here), letting model-check tests in `crates/shmem/tests/`
+//!   exhaustively explore the registry protocol's interleavings.
+//! * [`lint`] — source-level workspace lints (`cargo run -p drom-verify
+//!   --bin drom_lint`) for invariants the compiler can't enforce: justified
+//!   `Ordering::Relaxed`, no `partial_cmp`-fallback sorting, no floats in
+//!   scheduler decision paths, `// SAFETY:` comments on `unsafe`.
+//!
+//! See `docs/verification.md` for the memory model, its limits, and how to
+//! add a model-check test.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{check, Builder, Failure, Report};

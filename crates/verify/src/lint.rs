@@ -1,0 +1,458 @@
+//! Source-level workspace lints for invariants the compiler can't enforce.
+//!
+//! Rules (see `docs/verification.md` for rationale and examples):
+//!
+//! * **relaxed-ordering-justification** — every `Ordering::Relaxed` outside
+//!   the audited registry fast path (`crates/shmem/src/registry.rs`) must
+//!   carry a `// SAFETY(ordering):` comment on the same line or within the
+//!   five preceding lines.
+//! * **partial-cmp-fallback** — no `partial_cmp(...)` with an
+//!   `unwrap_or`/`unwrap_or_else` fallback: NaN-tolerant sorting must use
+//!   `total_cmp` (the PR-4 metrics bug class).
+//! * **float-in-decision-path** — no `f64`/`f32` types or float literals in
+//!   scheduler decision paths (`crates/slurm/src/policy.rs`): decisions use
+//!   the fixed-point `SpeedupCurve` discipline so replays are byte-stable.
+//! * **unsafe-needs-safety-comment** — every `unsafe` keyword must carry a
+//!   `// SAFETY:` comment on the same line or within the five preceding
+//!   lines.
+//!
+//! The scanner is line-based over comment-stripped code: string/char
+//! literals and `//`/`/* */` comments (including nested block comments) are
+//! removed before rules run, and comment text is kept separately for the
+//! justification searches.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an occurrence a justification comment may sit.
+const JUSTIFICATION_WINDOW: usize = 5;
+
+/// Files (relative to the workspace root) whose `Ordering::Relaxed` uses are
+/// exempt from per-site justification: the registry fast path's orderings
+/// are audited wholesale by the model checker and `docs/verification.md`,
+/// and the checker's own self-tests use `Relaxed` *as the subject under
+/// test* (each occurrence is deliberate test input, not a shortcut).
+const RELAXED_EXEMPT: &[&str] = &[
+    "crates/shmem/src/registry.rs",
+    "crates/verify/tests/model_self.rs",
+];
+
+/// Scheduler decision-path files that must stay free of float arithmetic.
+const DECISION_PATH_FILES: &[&str] = &["crates/slurm/src/policy.rs"];
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// One source line split into code and comment parts.
+#[derive(Debug, Default, Clone)]
+struct SplitLine {
+    /// The line with comments, string literals and char literals blanked.
+    code: String,
+    /// The concatenated comment text of the line.
+    comment: String,
+}
+
+/// Splits `source` into per-line (code, comment) pairs, blanking string and
+/// char literals in the code part. Handles nested block comments, raw
+/// strings (`r"…"`, `r#"…"#`, …) and escapes; it is a scanner, not a full
+/// lexer, but is exact for the constructs used in this workspace.
+fn split_lines(source: &str) -> Vec<SplitLine> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Code,
+        Block(usize),  // nesting depth
+        Str,           // inside "…"
+        RawStr(usize), // inside r#…"…"#… with N hashes
+    }
+
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw_line in source.lines() {
+        let mut line = SplitLine::default();
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        line.comment.push_str("*/ ");
+                        i += 2;
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL for \<newline>)
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"'
+                        && bytes[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        line.comment
+                            .push_str(raw_line[char_byte_idx(raw_line, i)..].trim());
+                        i = bytes.len();
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if c == '"' {
+                        line.code.push(' ');
+                        i += 1;
+                        mode = Mode::Str;
+                    } else if c == 'r'
+                        && !prev_is_ident(&bytes, i)
+                        && matches!(next, Some('"') | Some('#'))
+                        && raw_string_hashes(&bytes, i).is_some()
+                    {
+                        let hashes = raw_string_hashes(&bytes, i).expect("checked above");
+                        line.code.push(' ');
+                        i += 2 + hashes; // r + hashes + opening quote
+                        mode = Mode::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Char literal or lifetime. A lifetime has an
+                        // identifier after the quote and no closing quote.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            line.code.push(' ');
+                            i += len;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Byte index of the `idx`-th char of `s`.
+fn char_byte_idx(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If position `i` (at an `r`) starts a raw string, returns its hash count.
+fn raw_string_hashes(bytes: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// If position `i` (at a `'`) starts a char literal, returns its char length
+/// including quotes; `None` for lifetimes.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != '\'' {
+                j += 1;
+            }
+            (j < bytes.len()).then_some(j - i + 1)
+        }
+        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime ('a) or dangling quote
+    }
+}
+
+/// Does any of lines `start..=at` (0-based) carry `marker` in its comment?
+fn justified(lines: &[SplitLine], at: usize, marker: &str) -> bool {
+    let start = at.saturating_sub(JUSTIFICATION_WINDOW);
+    lines[start..=at].iter().any(|l| l.comment.contains(marker))
+}
+
+/// Finds `word` in `code` at identifier boundaries (so `unsafe_code` does not
+/// match `unsafe`).
+fn has_word(code: &str, word: &str) -> bool {
+    let mut rest = code;
+    let mut offset = 0;
+    while let Some(pos) = rest.find(word) {
+        let abs = offset + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        offset = abs + word.len();
+        rest = &code[offset..];
+    }
+    false
+}
+
+/// Lints one file's source. `rel` is the path relative to the workspace root
+/// (used for rule exemptions and reporting).
+pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
+    let lines = split_lines(source);
+    let mut violations = Vec::new();
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let relaxed_exempt = RELAXED_EXEMPT.iter().any(|e| rel_str == *e);
+    let decision_path = DECISION_PATH_FILES.iter().any(|e| rel_str == *e);
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let code = line.code.as_str();
+
+        // relaxed-ordering-justification
+        if !relaxed_exempt
+            && (code.contains("Ordering::Relaxed") || code.contains("atomic::Ordering::Relaxed"))
+            && !justified(&lines, i, "SAFETY(ordering):")
+        {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "relaxed-ordering-justification",
+                message: "Ordering::Relaxed outside the audited registry fast path needs a \
+                          `// SAFETY(ordering):` comment within the 5 preceding lines"
+                    .to_string(),
+            });
+        }
+
+        // partial-cmp-fallback: partial_cmp with an unwrap_or* fallback on
+        // the same or following two lines (the sort-comparator shape).
+        if code.contains("partial_cmp") {
+            let window_end = (i + 3).min(lines.len());
+            if lines[i..window_end]
+                .iter()
+                .any(|l| l.code.contains("unwrap_or"))
+            {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "partial-cmp-fallback",
+                    message: "partial_cmp with an unwrap_or fallback is order-dependent under \
+                              NaN; use total_cmp"
+                        .to_string(),
+                });
+            }
+        }
+
+        // float-in-decision-path
+        if decision_path && (has_word(code, "f64") || has_word(code, "f32")) {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "float-in-decision-path",
+                message: "float arithmetic in a scheduler decision path breaks byte-stable \
+                          replay; use the fixed-point SpeedupCurve discipline"
+                    .to_string(),
+            });
+        }
+
+        // unsafe-needs-safety-comment
+        if has_word(code, "unsafe") && !justified(&lines, i, "SAFETY:") {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "unsafe-needs-safety-comment",
+                message: "`unsafe` needs a `// SAFETY:` comment within the 5 preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target` and
+/// fixture directories. Results are sorted for deterministic reports.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `<root>/crates`, returning all violations.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)?;
+    let mut violations = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        violations.extend(lint_file(rel, &source));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, src: &str) -> Vec<Violation> {
+        lint_file(Path::new(rel), src)
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lines = split_lines(
+            "let x = \"Ordering::Relaxed\"; // Ordering::Relaxed in comment\nlet y = 'u'; /* unsafe */ let z = 1;",
+        );
+        assert!(!lines[0].code.contains("Relaxed"));
+        assert!(lines[0].comment.contains("Relaxed"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = split_lines("/* a /* b */ still comment */ let ok = 1;");
+        assert!(lines[0].code.contains("let ok"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let lines = split_lines("let p = r#\"unsafe Ordering::Relaxed\"#; let q = 2;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let q"));
+    }
+
+    #[test]
+    fn relaxed_requires_justification() {
+        let v = lint_str("crates/x/src/lib.rs", "a.load(Ordering::Relaxed);");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-ordering-justification");
+
+        let ok = lint_str(
+            "crates/x/src/lib.rs",
+            "// SAFETY(ordering): monotonic counter, no data depends on it.\na.load(Ordering::Relaxed);",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn registry_fast_path_exempt() {
+        let v = lint_str("crates/shmem/src/registry.rs", "a.load(Ordering::Relaxed);");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_fallback_flagged() {
+        let v = lint_str(
+            "crates/x/src/lib.rs",
+            "xs.sort_by(|a, b| a.partial_cmp(b)\n    .unwrap_or(std::cmp::Ordering::Equal));",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "partial-cmp-fallback");
+
+        let ok = lint_str("crates/x/src/lib.rs", "xs.sort_by(|a, b| a.total_cmp(b));");
+        assert!(ok.is_empty());
+        // partial_cmp without a fallback (e.g. returning Option) is fine.
+        let ok = lint_str("crates/x/src/lib.rs", "let o = a.partial_cmp(&b);");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn float_in_decision_path_flagged() {
+        let v = lint_str("crates/slurm/src/policy.rs", "let x: f64 = 1.0;");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-in-decision-path");
+        // Same code elsewhere is fine.
+        let ok = lint_str("crates/metrics/src/lib.rs", "let x: f64 = 1.0;");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let v = lint_str("crates/x/src/lib.rs", "unsafe { do_it() }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-needs-safety-comment");
+
+        let ok = lint_str(
+            "crates/x/src/lib.rs",
+            "// SAFETY: pointer is valid for the call.\nunsafe { do_it() }",
+        );
+        assert!(ok.is_empty());
+        // `unsafe_code` (the lint name) must not match the keyword.
+        let ok = lint_str("crates/x/src/lib.rs", "#![forbid(unsafe_code)]");
+        assert!(ok.is_empty());
+    }
+}

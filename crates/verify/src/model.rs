@@ -1,0 +1,1060 @@
+//! The bounded concurrency model checker: a depth-first, preemption-bounded
+//! exhaustive exploration of thread interleavings over the shim primitives in
+//! [`crate::sync`] and [`crate::thread`].
+//!
+//! # Architecture
+//!
+//! Code under test runs on real OS threads, but every synchronization
+//! operation (atomic load/store/rmw, mutex lock/unlock, condvar wait/notify,
+//! spawn/join/yield) is a *yield point*: the thread parks and a driver (the
+//! thread that called [`check`]) decides which thread performs its pending
+//! operation next. Each such decision is a choice point in a depth-first
+//! search; after an execution completes, the driver backtracks to the deepest
+//! choice point with an unexplored alternative and replays. Exploration is
+//! exhaustive up to the configured preemption bound (the CHESS result: most
+//! concurrency bugs manifest within very few preemptions).
+//!
+//! # The simplified memory model
+//!
+//! Each atomic location keeps its full modification order (the list of values
+//! ever stored). Which of those values a load may observe is governed by
+//! per-thread vector clocks:
+//!
+//! * A thread always observes its **own** stores, and never re-reads a value
+//!   older than one it has already read from the same location.
+//! * A store (of **any** ordering) that *happens before* a load — through
+//!   spawn/join edges, mutex hand-offs, or acquired `Release` messages — is a
+//!   visibility floor: the load cannot observe anything older (C11 write-read
+//!   coherence).
+//! * A **`Release`-class store** additionally carries a *message*: the
+//!   storing thread's full vector clock. An **`Acquire`-class load** that
+//!   reads it joins that clock (it synchronizes-with the store), extending
+//!   happens-before — and with it, the visibility floors for *other*
+//!   locations. A `Relaxed` store carries no message and a `Relaxed` load
+//!   joins nothing: weakening either side severs the edge, and the checker
+//!   then explores executions where dependent locations read stale values.
+//! * Absent happens-before, a load may observe stale values — but only
+//!   boundedly often per location (the *bounded staleness* rule,
+//!   [`Builder::stale_read_bound`]): stores become visible in finite time,
+//!   so spin loops terminate and exploration stays finite.
+//! * Read-modify-writes always operate on the newest value in modification
+//!   order and continue the release sequence of the store they replace.
+//! * `SeqCst` is treated as `AcqRel`; no total order over `SeqCst` accesses
+//!   is modeled, and there are no stand-alone fences.
+//!
+//! A blocked state with no runnable thread (including a condvar wait that no
+//! remaining thread can ever notify — a missed wakeup) is reported as a
+//! deadlock, with the full interleaving that led to it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsMutexGuard, OnceLock,
+};
+
+/// Name prefix of the OS threads running model executions; the process-wide
+/// panic hook suppresses default panic output for these threads (panics are
+/// reported through [`Failure`] instead).
+const MODEL_THREAD_PREFIX: &str = "drom-verify-model";
+
+// ---------------------------------------------------------------------------
+// Public configuration and results
+// ---------------------------------------------------------------------------
+
+/// Exploration limits. The defaults suit small protocol tests (2–4 threads,
+/// a few dozen yield points per thread).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptions* per execution: context switches away
+    /// from a thread that was still runnable and had not yielded. Exploration
+    /// is exhaustive over all schedules within this bound.
+    pub preemption_bound: usize,
+    /// Hard cap on the number of executions; exceeding it is an error (the
+    /// test is too big to be exhaustively checked within budget).
+    pub max_executions: u64,
+    /// Hard cap on yield points in a single execution (livelock guard).
+    pub max_steps: usize,
+    /// Bounded staleness: how many consecutive times a thread may re-read a
+    /// non-newest value from the same location before the checker forces the
+    /// newest one. Models the C11 forward-progress assumption that stores
+    /// become visible in finite time (keeps spin loops finite).
+    pub stale_read_bound: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_executions: 2_000_000,
+            max_steps: 20_000,
+            stale_read_bound: 2,
+        }
+    }
+}
+
+/// Successful exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of complete executions explored.
+    pub executions: u64,
+    /// Deepest schedule (yield-point count) seen.
+    pub max_depth: usize,
+}
+
+/// A property violation, with the concrete interleaving that produced it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong: a panic message, a deadlock description, or an
+    /// exploration-budget overrun.
+    pub cause: String,
+    /// The interleaving trace: one line per executed operation.
+    pub trace: Vec<String>,
+    /// Executions completed before the failing one.
+    pub executions: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model check failed after {} execution(s): {}",
+            self.executions, self.cause
+        )?;
+        writeln!(f, "interleaving ({} steps):", self.trace.len())?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:4}  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+impl Builder {
+    /// New builder with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the execution budget.
+    pub fn max_executions(mut self, max: u64) -> Self {
+        self.max_executions = max;
+        self
+    }
+
+    /// Explores every interleaving of `f` (within the preemption bound).
+    ///
+    /// `f` is re-run once per execution and must create all shared state
+    /// inside the closure (state captured from outside the closure leaks
+    /// across executions). Returns the first violation found, or exploration
+    /// statistics if every interleaving satisfies the program's assertions.
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_filter();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut schedule: Vec<ChoicePoint> = Vec::new();
+        let mut executions: u64 = 0;
+        let mut max_depth = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                return Err(Failure {
+                    cause: format!(
+                        "execution budget ({}) exhausted before exploration completed; \
+                         raise max_executions or shrink the test",
+                        self.max_executions
+                    ),
+                    trace: Vec::new(),
+                    executions: executions - 1,
+                });
+            }
+            match run_execution(self, &mut schedule, &f) {
+                ExecEnd::Ok { depth } => max_depth = max_depth.max(depth),
+                ExecEnd::Failed { cause, trace } => {
+                    return Err(Failure {
+                        cause,
+                        trace,
+                        executions: executions - 1,
+                    })
+                }
+            }
+            // Backtrack: bump the deepest choice point with an unexplored
+            // alternative; drop exhausted tail points.
+            loop {
+                match schedule.last_mut() {
+                    None => {
+                        return Ok(Report {
+                            executions,
+                            max_depth,
+                        })
+                    }
+                    Some(cp) if cp.chosen + 1 < cp.n_options => {
+                        cp.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        schedule.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`Builder::check`] with default limits.
+pub fn check<F>(f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------------
+
+/// One store in a location's modification order.
+#[derive(Debug)]
+struct StoreRecord {
+    value: u64,
+    tid: usize,
+    /// The writer's clock component for itself at store time (happens-before
+    /// test: the store is ordered before a load iff the loader's clock covers
+    /// this stamp).
+    when_stamp: u64,
+    /// `Some` for `Release`-class stores: the full clock published with the
+    /// store, joined by `Acquire` loads that read it.
+    msg: Option<VClock>,
+}
+
+#[derive(Debug, Default)]
+struct LocationState {
+    stores: Vec<StoreRecord>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    holder: Option<usize>,
+    /// Clock released by the last unlocker; joined on every acquisition.
+    clock: VClock,
+}
+
+#[derive(Debug, Default)]
+struct CondvarState {
+    waiters: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingOp {
+    AtomicLoad { loc: usize, ord: Ordering },
+    AtomicStore { loc: usize, ord: Ordering, val: u64 },
+    AtomicRmw { loc: usize, ord: Ordering, add: u64 },
+    MutexLock { id: usize },
+    MutexUnlock { id: usize },
+    CondWait { cv: usize, mutex: usize },
+    CondNotifyAll { cv: usize },
+    CondNotifyOne { cv: usize },
+    Join { target: usize },
+    Yield,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing user code between yield points (counted in `in_flight`).
+    Running,
+    /// Parked with a pending operation, waiting to be scheduled.
+    Ready,
+    /// Parked inside a condvar wait; not runnable until notified.
+    Waiting {
+        mutex: usize,
+    },
+    /// Notified; runnable as soon as its mutex is free.
+    Reacquiring {
+        mutex: usize,
+    },
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    clock: VClock,
+    status: Status,
+    pending: Option<PendingOp>,
+    /// Result of the last executed operation (load/rmw value), delivered to
+    /// the thread on grant.
+    result: u64,
+    /// Set by `yield_now`; cleared when any other thread executes a step.
+    yielded: bool,
+    /// Per-location index of the newest modification-order entry this thread
+    /// has read (read coherence floor).
+    read_floors: HashMap<usize, usize>,
+    /// Per-location count of consecutive stale (non-newest) reads, for the
+    /// bounded-staleness rule.
+    stale_reads: HashMap<usize, usize>,
+}
+
+impl ThreadInfo {
+    fn new(clock: VClock) -> Self {
+        ThreadInfo {
+            clock,
+            status: Status::Running,
+            pending: None,
+            result: 0,
+            yielded: false,
+            read_floors: HashMap::new(),
+            stale_reads: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ModelState {
+    threads: Vec<ThreadInfo>,
+    locations: Vec<LocationState>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    /// Thread currently granted permission to run (consumed by that thread).
+    granted: Option<usize>,
+    /// Number of threads currently executing user code; the driver only makes
+    /// scheduling decisions when this reaches zero.
+    in_flight: usize,
+    abort: bool,
+    failure: Option<String>,
+    trace: Vec<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Shared {
+    state: OsMutex<ModelState>,
+    /// Signalled when `in_flight` drops to zero or a failure is recorded.
+    driver_cv: OsCondvar,
+    /// Broadcast to parked controlled threads on every grant or abort.
+    grant_cv: OsCondvar,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            state: OsMutex::new(ModelState::default()),
+            driver_cv: OsCondvar::new(),
+            grant_cv: OsCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> OsMutexGuard<'_, ModelState> {
+        // The model state mutex is only poisoned if the *driver* panics;
+        // controlled threads never panic while holding it.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-side context (used by the shims)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct ThreadCtx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<ThreadCtx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Token unwound through controlled threads when an execution is aborted.
+struct AbortToken;
+
+fn current_ctx() -> ThreadCtx {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("drom-verify shim primitive used outside model::check")
+    })
+}
+
+/// Parks the calling controlled thread with `op` pending and returns the
+/// operation's result once the driver has scheduled and executed it.
+fn yield_op(op: PendingOp) -> u64 {
+    let ctx = current_ctx();
+    let me = ctx.tid;
+    let mut st = ctx.shared.lock();
+    if st.abort {
+        drop(st);
+        panic::panic_any(AbortToken);
+    }
+    st.threads[me].pending = Some(op);
+    st.threads[me].status = Status::Ready;
+    st.in_flight -= 1;
+    ctx.shared.driver_cv.notify_all();
+    loop {
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        if st.granted == Some(me) {
+            st.granted = None;
+            break;
+        }
+        st = ctx
+            .shared
+            .grant_cv
+            .wait(st)
+            .unwrap_or_else(|p| p.into_inner());
+    }
+    st.threads[me].result
+}
+
+// Shim entry points ---------------------------------------------------------
+
+pub(crate) fn atomic_new(init: u64) -> usize {
+    let ctx = current_ctx();
+    let mut st = ctx.shared.lock();
+    let me = ctx.tid;
+    let id = st.locations.len();
+    let mut clock = st.threads[me].clock.clone();
+    clock.bump(me);
+    st.threads[me].clock = clock.clone();
+    let when_stamp = clock.get(me);
+    // The initial value is visible to everyone who can reach the atomic:
+    // treat creation as a Release publish by the creating thread.
+    st.locations.push(LocationState {
+        stores: vec![StoreRecord {
+            value: init,
+            tid: me,
+            when_stamp,
+            msg: Some(clock),
+        }],
+    });
+    id
+}
+
+pub(crate) fn atomic_load(loc: usize, ord: Ordering) -> u64 {
+    yield_op(PendingOp::AtomicLoad { loc, ord })
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, ord: Ordering) {
+    yield_op(PendingOp::AtomicStore { loc, ord, val });
+}
+
+pub(crate) fn atomic_rmw_add(loc: usize, add: u64, ord: Ordering) -> u64 {
+    yield_op(PendingOp::AtomicRmw { loc, ord, add })
+}
+
+pub(crate) fn mutex_new() -> usize {
+    let ctx = current_ctx();
+    let mut st = ctx.shared.lock();
+    let id = st.mutexes.len();
+    st.mutexes.push(MutexState::default());
+    id
+}
+
+pub(crate) fn mutex_lock(id: usize) {
+    yield_op(PendingOp::MutexLock { id });
+}
+
+pub(crate) fn mutex_unlock(id: usize) {
+    yield_op(PendingOp::MutexUnlock { id });
+}
+
+pub(crate) fn condvar_new() -> usize {
+    let ctx = current_ctx();
+    let mut st = ctx.shared.lock();
+    let id = st.condvars.len();
+    st.condvars.push(CondvarState::default());
+    id
+}
+
+/// Atomically releases `mutex` and waits on `cv`; returns with the mutex
+/// reacquired. Never times out (deadline-based waits are modeled as infinite:
+/// a lost wakeup shows up as a reported deadlock, not a silent timeout).
+pub(crate) fn condvar_wait(cv: usize, mutex: usize) {
+    yield_op(PendingOp::CondWait { cv, mutex });
+}
+
+pub(crate) fn condvar_notify_all(cv: usize) {
+    yield_op(PendingOp::CondNotifyAll { cv });
+}
+
+pub(crate) fn condvar_notify_one(cv: usize) {
+    yield_op(PendingOp::CondNotifyOne { cv });
+}
+
+pub(crate) fn thread_yield_now() {
+    yield_op(PendingOp::Yield);
+}
+
+pub(crate) fn thread_join(target: usize) {
+    yield_op(PendingOp::Join { target });
+}
+
+/// Spawns a controlled thread running `body`. Runs inline in the parent's
+/// window (spawning itself is not a schedulable step; the child's first yield
+/// point is).
+pub(crate) fn thread_spawn(body: Box<dyn FnOnce() + Send>) -> usize {
+    let ctx = current_ctx();
+    let mut st = ctx.shared.lock();
+    let parent = ctx.tid;
+    let tid = st.threads.len();
+    let mut clock = st.threads[parent].clock.clone();
+    clock.bump(parent);
+    st.threads[parent].clock = clock.clone();
+    clock.bump(tid);
+    st.threads.push(ThreadInfo::new(clock));
+    st.in_flight += 1;
+    st.trace.push(format!("t{parent}: spawn t{tid}"));
+    let shared = ctx.shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("{MODEL_THREAD_PREFIX}-{tid}"))
+        .spawn(move || controlled_main(shared, tid, body))
+        .expect("failed to spawn model thread");
+    st.os_handles.push(handle);
+    tid
+}
+
+fn controlled_main(shared: Arc<Shared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(ThreadCtx {
+            shared: shared.clone(),
+            tid,
+        });
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    let mut st = shared.lock();
+    let final_clock = {
+        let t = &mut st.threads[tid];
+        t.status = Status::Finished;
+        t.pending = None;
+        t.clock.bump(tid);
+        t.clock.clone()
+    };
+    st.threads[tid].clock = final_clock;
+    st.in_flight -= 1;
+    if let Err(payload) = result {
+        if !payload.is::<AbortToken>() {
+            // Prefer the formatted message captured by the panic hook
+            // (assert_eq! and friends carry lazily-formatted payloads that
+            // can't be downcast to a string).
+            let msg = LAST_PANIC_MSG
+                .with(|m| m.borrow_mut().take())
+                .unwrap_or_else(|| panic_message(&payload));
+            st.trace.push(format!("t{tid}: panicked: {msg}"));
+            if st.failure.is_none() {
+                st.failure = Some(format!("t{tid} panicked: {msg}"));
+            }
+        }
+    }
+    shared.driver_cv.notify_all();
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// One recorded scheduling decision. Every yield point gets an entry (even
+/// forced ones) so replays can verify the execution is deterministic.
+#[derive(Debug, Clone, Copy)]
+struct ChoicePoint {
+    n_options: usize,
+    chosen: usize,
+}
+
+/// A schedulable option: run `tid`'s pending op; for loads, read modification
+/// order entry `read_idx`.
+#[derive(Debug, Clone, Copy)]
+struct Opt {
+    tid: usize,
+    read_idx: usize,
+}
+
+enum ExecEnd {
+    Ok { depth: usize },
+    Failed { cause: String, trace: Vec<String> },
+}
+
+fn run_execution(
+    b: &Builder,
+    schedule: &mut Vec<ChoicePoint>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> ExecEnd {
+    let shared = Arc::new(Shared::new());
+    {
+        let mut st = shared.lock();
+        let mut clock = VClock::default();
+        clock.bump(0);
+        st.threads.push(ThreadInfo::new(clock));
+        st.in_flight = 1;
+        let f = f.clone();
+        let shared2 = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{MODEL_THREAD_PREFIX}-0"))
+            .spawn(move || controlled_main(shared2, 0, Box::new(move || f())))
+            .expect("failed to spawn model thread");
+        st.os_handles.push(handle);
+    }
+
+    let mut last: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let mut depth = 0usize;
+
+    loop {
+        let mut st = shared.lock();
+        while st.in_flight > 0 {
+            st = shared.driver_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        if let Some(cause) = st.failure.take() {
+            return finish_failed(&shared, st, cause);
+        }
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            let handles = std::mem::take(&mut st.os_handles);
+            drop(st);
+            for h in handles {
+                let _ = h.join();
+            }
+            return ExecEnd::Ok { depth };
+        }
+        if depth >= b.max_steps {
+            return finish_failed(
+                &shared,
+                st,
+                format!("step budget ({}) exceeded: possible livelock", b.max_steps),
+            );
+        }
+
+        let at_bound = preemptions >= b.preemption_bound;
+        let options = enumerate_options(&st, last, at_bound, b.stale_read_bound);
+        if options.is_empty() {
+            let blocked = describe_blocked(&st);
+            return finish_failed(&shared, st, format!("deadlock: {blocked}"));
+        }
+
+        let choice = if depth < schedule.len() {
+            let cp = schedule[depth];
+            if cp.n_options != options.len() {
+                return finish_failed(
+                    &shared,
+                    st,
+                    format!(
+                        "nondeterministic execution: replay step {depth} offered {} options, \
+                         recorded {} — the code under test must be deterministic given a schedule",
+                        options.len(),
+                        cp.n_options
+                    ),
+                );
+            }
+            cp.chosen
+        } else {
+            schedule.push(ChoicePoint {
+                n_options: options.len(),
+                chosen: 0,
+            });
+            0
+        };
+        let opt = options[choice];
+        depth += 1;
+
+        if let Some(l) = last {
+            if opt.tid != l && is_enabled(&st, l) && !st.threads[l].yielded {
+                preemptions += 1;
+            }
+        }
+
+        execute_op(&shared, &mut st, opt);
+        last = Some(opt.tid);
+    }
+}
+
+fn finish_failed(
+    shared: &Arc<Shared>,
+    mut st: OsMutexGuard<'_, ModelState>,
+    cause: String,
+) -> ExecEnd {
+    st.abort = true;
+    let trace = st.trace.clone();
+    let handles = std::mem::take(&mut st.os_handles);
+    shared.grant_cv.notify_all();
+    drop(st);
+    for h in handles {
+        shared.grant_cv.notify_all();
+        let _ = h.join();
+    }
+    ExecEnd::Failed { cause, trace }
+}
+
+/// Is `tid` able to execute its pending operation right now?
+fn is_enabled(st: &ModelState, tid: usize) -> bool {
+    let t = &st.threads[tid];
+    match t.status {
+        Status::Ready => match t.pending {
+            Some(PendingOp::MutexLock { id }) => st.mutexes[id].holder.is_none(),
+            Some(PendingOp::Join { target }) => st.threads[target].status == Status::Finished,
+            Some(_) => true,
+            None => false,
+        },
+        Status::Reacquiring { mutex } => st.mutexes[mutex].holder.is_none(),
+        _ => false,
+    }
+}
+
+fn enumerate_options(
+    st: &ModelState,
+    last: Option<usize>,
+    at_bound: bool,
+    stale_bound: usize,
+) -> Vec<Opt> {
+    let enabled: Vec<usize> = (0..st.threads.len())
+        .filter(|&tid| is_enabled(st, tid))
+        .collect();
+    // At the preemption bound, the previously running thread must continue if
+    // it can (switching away would be one preemption too many).
+    let mut candidates: Vec<usize> = match last {
+        Some(l) if at_bound && enabled.contains(&l) && !st.threads[l].yielded => vec![l],
+        _ => enabled.clone(),
+    };
+    // A thread that called `yield_now` asked not to run until someone else
+    // has; honor that whenever an alternative exists (bounds spin loops).
+    if candidates.iter().any(|&t| !st.threads[t].yielded) {
+        candidates.retain(|&t| !st.threads[t].yielded);
+    }
+    // Baseline schedule: keep running the last thread (minimizes preemptions,
+    // approximates a sequentially consistent, run-to-completion execution);
+    // for loads, read the newest value first.
+    if let Some(l) = last {
+        if let Some(pos) = candidates.iter().position(|&t| t == l) {
+            candidates.remove(pos);
+            candidates.insert(0, l);
+        }
+    }
+    let mut options = Vec::new();
+    for &tid in &candidates {
+        match (st.threads[tid].status, st.threads[tid].pending) {
+            (Status::Ready, Some(PendingOp::AtomicLoad { loc, .. })) => {
+                let newest = st.locations[loc].stores.len() - 1;
+                // Bounded staleness: after `stale_bound` consecutive stale
+                // reads of this location, only the newest value is offered.
+                let stale = st.threads[tid].stale_reads.get(&loc).copied().unwrap_or(0);
+                let floor = if stale >= stale_bound {
+                    newest
+                } else {
+                    readable_floor(st, tid, loc)
+                };
+                for idx in (floor..=newest).rev() {
+                    options.push(Opt { tid, read_idx: idx });
+                }
+            }
+            _ => options.push(Opt { tid, read_idx: 0 }),
+        }
+    }
+    options
+}
+
+/// The oldest modification-order index a load by `tid` may observe.
+fn readable_floor(st: &ModelState, tid: usize, loc: usize) -> usize {
+    let t = &st.threads[tid];
+    let mut floor = t.read_floors.get(&loc).copied().unwrap_or(0);
+    for (idx, s) in st.locations[loc].stores.iter().enumerate().skip(floor) {
+        // Write-read coherence: a store that happens-before the load (of any
+        // ordering — the loader's clock covers the writer's stamp) cannot be
+        // skipped over. Release vs Relaxed differ in the *message* an
+        // Acquire load joins, not in this floor.
+        if s.tid == tid || t.clock.get(s.tid) >= s.when_stamp {
+            floor = idx;
+        }
+    }
+    floor
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn execute_op(shared: &Arc<Shared>, st: &mut ModelState, opt: Opt) {
+    let tid = opt.tid;
+    // Another thread making progress re-arms previously yielded spinners.
+    for (i, t) in st.threads.iter_mut().enumerate() {
+        if i != tid {
+            t.yielded = false;
+        }
+    }
+
+    if let Status::Reacquiring { mutex } = st.threads[tid].status {
+        st.mutexes[mutex].holder = Some(tid);
+        let mclock = st.mutexes[mutex].clock.clone();
+        st.threads[tid].clock.join(&mclock);
+        st.trace.push(format!(
+            "t{tid}: condvar wait resumed (mutex#{mutex} reacquired)"
+        ));
+        grant(shared, st, tid);
+        return;
+    }
+
+    let op = st.threads[tid]
+        .pending
+        .take()
+        .expect("scheduled thread has a pending op");
+    match op {
+        PendingOp::AtomicLoad { loc, ord } => {
+            let idx = opt.read_idx;
+            let newest = st.locations[loc].stores.len() - 1;
+            let (value, msg) = {
+                let s = &st.locations[loc].stores[idx];
+                (s.value, s.msg.clone())
+            };
+            if is_acquire(ord) {
+                if let Some(msg) = &msg {
+                    st.threads[tid].clock.join(msg);
+                }
+            }
+            let entry = st.threads[tid].read_floors.entry(loc).or_insert(0);
+            *entry = (*entry).max(idx);
+            let stale = st.threads[tid].stale_reads.entry(loc).or_insert(0);
+            if idx < newest {
+                *stale += 1;
+            } else {
+                *stale = 0;
+            }
+            st.threads[tid].result = value;
+            st.trace.push(format!(
+                "t{tid}: load a{loc} -> {value} ({ord:?}, mo#{idx} of {newest})"
+            ));
+            grant(shared, st, tid);
+        }
+        PendingOp::AtomicStore { loc, ord, val } => {
+            st.threads[tid].clock.bump(tid);
+            let clock = st.threads[tid].clock.clone();
+            let when_stamp = clock.get(tid);
+            let msg = is_release(ord).then_some(clock);
+            let mo = st.locations[loc].stores.len();
+            st.locations[loc].stores.push(StoreRecord {
+                value: val,
+                tid,
+                when_stamp,
+                msg,
+            });
+            st.trace
+                .push(format!("t{tid}: store a{loc} <- {val} ({ord:?}, mo#{mo})"));
+            grant(shared, st, tid);
+        }
+        PendingOp::AtomicRmw { loc, ord, add } => {
+            // RMWs always read the newest value and continue the release
+            // sequence of the store they replace.
+            let newest = st.locations[loc].stores.len() - 1;
+            let (old, prev_msg) = {
+                let s = &st.locations[loc].stores[newest];
+                (s.value, s.msg.clone())
+            };
+            if is_acquire(ord) {
+                if let Some(msg) = &prev_msg {
+                    st.threads[tid].clock.join(msg);
+                }
+            }
+            st.threads[tid].clock.bump(tid);
+            let clock = st.threads[tid].clock.clone();
+            let when_stamp = clock.get(tid);
+            let msg = if is_release(ord) {
+                Some(clock)
+            } else {
+                prev_msg
+            };
+            let new = old.wrapping_add(add);
+            st.locations[loc].stores.push(StoreRecord {
+                value: new,
+                tid,
+                when_stamp,
+                msg,
+            });
+            let entry = st.threads[tid].read_floors.entry(loc).or_insert(0);
+            *entry = (*entry).max(newest + 1);
+            st.threads[tid].result = old;
+            st.trace.push(format!(
+                "t{tid}: rmw a{loc} {old} -> {new} ({ord:?}, mo#{})",
+                newest + 1
+            ));
+            grant(shared, st, tid);
+        }
+        PendingOp::MutexLock { id } => {
+            debug_assert!(st.mutexes[id].holder.is_none());
+            st.mutexes[id].holder = Some(tid);
+            let mclock = st.mutexes[id].clock.clone();
+            st.threads[tid].clock.join(&mclock);
+            st.trace.push(format!("t{tid}: lock mutex#{id}"));
+            grant(shared, st, tid);
+        }
+        PendingOp::MutexUnlock { id } => {
+            st.mutexes[id].holder = None;
+            st.threads[tid].clock.bump(tid);
+            let clock = st.threads[tid].clock.clone();
+            st.mutexes[id].clock.join(&clock);
+            st.trace.push(format!("t{tid}: unlock mutex#{id}"));
+            grant(shared, st, tid);
+        }
+        PendingOp::CondWait { cv, mutex } => {
+            // Atomically: release the mutex and park on the condvar. The
+            // thread is *not* granted; it resumes only after a notification
+            // and reacquisition.
+            st.mutexes[mutex].holder = None;
+            st.threads[tid].clock.bump(tid);
+            let clock = st.threads[tid].clock.clone();
+            st.mutexes[mutex].clock.join(&clock);
+            st.threads[tid].status = Status::Waiting { mutex };
+            st.condvars[cv].waiters.push(tid);
+            st.trace.push(format!(
+                "t{tid}: wait condvar#{cv} (released mutex#{mutex})"
+            ));
+        }
+        PendingOp::CondNotifyAll { cv } => {
+            let waiters = std::mem::take(&mut st.condvars[cv].waiters);
+            st.trace.push(format!(
+                "t{tid}: notify_all condvar#{cv} (woke {:?})",
+                waiters
+            ));
+            for w in waiters {
+                if let Status::Waiting { mutex } = st.threads[w].status {
+                    st.threads[w].status = Status::Reacquiring { mutex };
+                }
+            }
+            grant(shared, st, tid);
+        }
+        PendingOp::CondNotifyOne { cv } => {
+            let woke = if st.condvars[cv].waiters.is_empty() {
+                None
+            } else {
+                Some(st.condvars[cv].waiters.remove(0))
+            };
+            st.trace
+                .push(format!("t{tid}: notify_one condvar#{cv} (woke {woke:?})"));
+            if let Some(w) = woke {
+                if let Status::Waiting { mutex } = st.threads[w].status {
+                    st.threads[w].status = Status::Reacquiring { mutex };
+                }
+            }
+            grant(shared, st, tid);
+        }
+        PendingOp::Join { target } => {
+            let tclock = st.threads[target].clock.clone();
+            st.threads[tid].clock.join(&tclock);
+            st.trace.push(format!("t{tid}: join t{target}"));
+            grant(shared, st, tid);
+        }
+        PendingOp::Yield => {
+            st.threads[tid].yielded = true;
+            st.trace.push(format!("t{tid}: yield"));
+            grant(shared, st, tid);
+        }
+    }
+}
+
+fn grant(shared: &Arc<Shared>, st: &mut ModelState, tid: usize) {
+    st.threads[tid].status = Status::Running;
+    st.granted = Some(tid);
+    st.in_flight += 1;
+    shared.grant_cv.notify_all();
+}
+
+fn describe_blocked(st: &ModelState) -> String {
+    let mut parts = Vec::new();
+    for (tid, t) in st.threads.iter().enumerate() {
+        let what = match (t.status, t.pending) {
+            (Status::Finished, _) => continue,
+            (Status::Waiting { mutex }, _) => {
+                format!("t{tid} waiting on a condvar (mutex#{mutex}) with no future notifier")
+            }
+            (Status::Reacquiring { mutex }, _) => {
+                format!("t{tid} reacquiring mutex#{mutex}")
+            }
+            (_, Some(PendingOp::MutexLock { id })) => {
+                format!("t{tid} blocked locking mutex#{id}")
+            }
+            (_, Some(PendingOp::Join { target })) => {
+                format!("t{tid} joining unfinished t{target}")
+            }
+            (s, p) => format!("t{tid} in state {s:?} pending {p:?}"),
+        };
+        parts.push(what);
+    }
+    parts.join("; ")
+}
+
+// ---------------------------------------------------------------------------
+// Panic-output suppression for model threads
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The formatted message of the last panic on this (model) thread,
+    /// captured by the hook because formatted panic payloads are not
+    /// downcastable to a string.
+    static LAST_PANIC_MSG: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn install_panic_filter() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let model_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(MODEL_THREAD_PREFIX));
+            if model_thread {
+                // Suppress default output (the checker reports the failure
+                // with its interleaving instead), but keep the message.
+                LAST_PANIC_MSG.with(|m| *m.borrow_mut() = Some(info.to_string()));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,190 @@
+//! Shim synchronization primitives for model checking.
+//!
+//! API-compatible (for the subset this workspace uses) with
+//! `std::sync::atomic` and `parking_lot`, but every operation is routed
+//! through the model-checker driver in [`crate::model`], which decides when
+//! it executes and (for loads) which value in modification order it observes.
+//!
+//! These types only work inside a [`crate::model::check`] closure; using them
+//! outside one panics.
+
+use crate::model;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Model-checked stand-in for `std::sync::atomic::AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    id: usize,
+}
+
+impl AtomicU64 {
+    pub fn new(v: u64) -> Self {
+        AtomicU64 {
+            id: model::atomic_new(v),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> u64 {
+        model::atomic_load(self.id, ord)
+    }
+
+    pub fn store(&self, v: u64, ord: Ordering) {
+        model::atomic_store(self.id, v, ord);
+    }
+
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        model::atomic_rmw_add(self.id, v, ord)
+    }
+}
+
+/// Model-checked stand-in for `std::sync::atomic::AtomicUsize`.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    id: usize,
+}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            id: model::atomic_new(v as u64),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> usize {
+        model::atomic_load(self.id, ord) as usize
+    }
+
+    pub fn store(&self, v: usize, ord: Ordering) {
+        model::atomic_store(self.id, v as u64, ord);
+    }
+
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        model::atomic_rmw_add(self.id, v as u64, ord) as usize
+    }
+}
+
+/// Model-checked stand-in for `parking_lot::Mutex`.
+///
+/// Lock acquisition and release are yield points; the driver tracks the
+/// holder and hands the releaser's vector clock to the next acquirer. The
+/// protected data itself lives in a plain `std` mutex — by construction only
+/// the model-granted holder ever touches it, so it never contends.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: model::mutex_new(),
+            data: std::sync::Mutex::new(data),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        model::mutex_lock(self.id);
+        MutexGuard {
+            mutex: self,
+            inner: Some(self.data.lock().unwrap_or_else(|p| p.into_inner())),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model-level lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real guard before the model-level unlock so the next
+        // granted thread finds the std mutex free.
+        self.inner.take();
+        // While unwinding (an assertion failure or an execution abort) the
+        // model run is over; re-entering the driver would double-panic.
+        if !std::thread::panicking() {
+            model::mutex_unlock(self.mutex.id);
+        }
+    }
+}
+
+/// Result of a timed condvar wait (`parking_lot` API shape).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-checked stand-in for `parking_lot::Condvar`.
+///
+/// `wait_until` ignores its deadline: waits are modeled as infinite, so a
+/// missed wakeup surfaces as a reported deadlock instead of being masked by
+/// a timeout. This is deliberate — the protocol must not *rely* on timeouts
+/// for progress.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            id: model::condvar_new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_model(guard);
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _deadline: Instant,
+    ) -> WaitTimeoutResult {
+        self.wait_model(guard);
+        WaitTimeoutResult { timed_out: false }
+    }
+
+    fn wait_model<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Mirror a real condvar: drop the data guard, park (the model
+        // releases the mutex and reacquires it before waking us), retake the
+        // data guard. Between take and park no other model thread runs — the
+        // park call itself is the atomic release point in the model.
+        drop(guard.inner.take().expect("guard taken"));
+        model::condvar_wait(self.id, guard.mutex.id);
+        guard.inner = Some(guard.mutex.data.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+
+    pub fn notify_all(&self) {
+        model::condvar_notify_all(self.id);
+    }
+
+    pub fn notify_one(&self) {
+        model::condvar_notify_one(self.id);
+    }
+}

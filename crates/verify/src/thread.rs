@@ -1,0 +1,52 @@
+//! Shim threading primitives for model checking: `spawn`, `JoinHandle::join`
+//! and `yield_now`, mirroring the `std::thread` subset the tests use.
+//!
+//! Spawned closures run on real OS threads but are serialized by the model
+//! driver; `join` establishes a happens-before edge from everything the
+//! joined thread did, and `yield_now` tells the scheduler to prefer other
+//! threads (bounding spin loops during exploration).
+
+use crate::model;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model-controlled thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (at model level) until the thread finishes and returns its
+    /// result. Unlike `std`, panics in the child are reported by the model
+    /// checker directly, so `join` returns `T`, not `Result`.
+    pub fn join(self) -> T {
+        model::thread_join(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("joined thread did not produce a result (it panicked)")
+    }
+}
+
+/// Spawns a model-controlled thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let tid = model::thread_spawn(Box::new(move || {
+        let out = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+    }));
+    JoinHandle { tid, result }
+}
+
+/// Scheduler hint: prefer running other threads before this one's next step.
+/// Makes bounded spin loops (`while poll().is_none() { yield_now() }`)
+/// tractable to explore.
+pub fn yield_now() {
+    model::thread_yield_now();
+}

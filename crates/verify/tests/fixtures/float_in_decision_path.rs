@@ -1,0 +1,11 @@
+// Lint fixture: float arithmetic in a scheduler decision path. The test
+// feeds this source to `lint_file` under a decision-path file name.
+// Never compiled.
+
+pub fn pick(widths: &[usize]) -> Option<usize> {
+    let score = |w: usize| w as f64 * 1.5; // line 6: f64 in a decision path
+    widths
+        .iter()
+        .copied()
+        .max_by(|a, b| score(*a).total_cmp(&score(*b)))
+}

@@ -1,0 +1,13 @@
+// Lint fixture: NaN-swallowing sort comparator.
+// Never compiled; fed to `lint_file` by tests/lint_fixtures.rs.
+
+pub fn sort_by_score(items: &mut [(f64, u64)]) {
+    items.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal) // line 7: NaN compares Equal to everything
+    });
+}
+
+pub fn sort_total(items: &mut [(f64, u64)]) {
+    items.sort_by(|a, b| a.0.total_cmp(&b.0)); // fine: total order
+}

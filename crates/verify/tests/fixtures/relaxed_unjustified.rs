@@ -1,0 +1,15 @@
+// Lint fixture: one justified and one unjustified Relaxed access.
+// Never compiled; fed to `lint_file` by tests/lint_fixtures.rs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(a: &AtomicU64) {
+    // SAFETY(ordering): statistics counter; nothing synchronizes on it.
+    a.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn padding() {}
+
+pub fn unjustified(b: &AtomicU64) -> u64 {
+    b.load(Ordering::Relaxed) // line 14: unjustified
+}

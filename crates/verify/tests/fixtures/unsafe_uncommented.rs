@@ -1,0 +1,13 @@
+// Lint fixture: one documented and one undocumented unsafe block.
+// Never compiled; fed to `lint_file` by tests/lint_fixtures.rs.
+
+pub fn documented(ptr: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `ptr` is valid and aligned.
+    unsafe { *ptr }
+}
+
+pub fn padding() {}
+
+pub fn undocumented(ptr: *const u64) -> u64 {
+    unsafe { *ptr } // line 12: no SAFETY comment
+}

@@ -1,0 +1,268 @@
+//! Self-tests for the model checker: toy programs with known-good and
+//! known-broken synchronization, checking that the explorer (a) accepts
+//! correct protocols, (b) reports a concrete interleaving for broken ones,
+//! and (c) actually explores the schedules/read-values it claims to.
+
+use drom_verify::sync::{AtomicU64, Condvar, Mutex};
+use drom_verify::{thread, Builder};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Message passing with Release/Acquire: the reader either sees the flag
+/// unset, or sees it set AND observes the data written before the release
+/// store. Must hold in every interleaving.
+#[test]
+fn release_acquire_message_passing_passes() {
+    let report = Builder::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join();
+        })
+        .expect("release/acquire message passing must verify");
+    // Sanity: more than one interleaving actually explored.
+    assert!(report.executions > 1, "explored {}", report.executions);
+}
+
+/// Same program with the publish weakened to Relaxed: under the model's
+/// memory model the reader may see the flag set but stale data. The checker
+/// must report a concrete interleaving.
+#[test]
+fn relaxed_publish_is_caught() {
+    let failure = Builder::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // BUG: publish must be Release
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join();
+        })
+        .expect_err("relaxed publish must be flagged");
+    assert!(
+        failure.cause.contains("panicked"),
+        "cause: {}",
+        failure.cause
+    );
+    assert!(!failure.trace.is_empty());
+    // The printed trace names the stale read.
+    let rendered = failure.to_string();
+    assert!(rendered.contains("interleaving"), "{rendered}");
+}
+
+/// A Relaxed flag with an Acquire *load* is equally broken — the store
+/// carries no message to acquire.
+#[test]
+fn relaxed_store_acquire_load_is_caught() {
+    Builder::new()
+        .check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(7, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Acquire), 7);
+            }
+            t.join();
+        })
+        .expect_err("no release store to synchronize with");
+}
+
+/// Exhaustiveness of stale reads: a Relaxed-published value may be observed
+/// as either old or new; both observations must occur across the
+/// exploration. (The collector atomic is std — checker-external state.)
+#[test]
+fn explores_both_stale_and_fresh_reads() {
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    let seen = Arc::new(StdAtomicU64::new(0));
+    let seen2 = seen.clone();
+    Builder::new()
+        .check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = x.clone();
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+            });
+            let v = x.load(Ordering::Relaxed);
+            seen2.fetch_or(1 << v, Ordering::SeqCst);
+            t.join();
+        })
+        .expect("no assertions to violate");
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        0b11,
+        "both the stale (0) and fresh (1) value must be observed"
+    );
+}
+
+/// Lost update: two Relaxed load-then-store increments can interleave; the
+/// final count may be 1. The checker must find it.
+#[test]
+fn lost_update_is_found() {
+    Builder::new()
+        .check(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = c.clone();
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::Relaxed);
+                c2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = c.load(Ordering::Relaxed);
+            c.store(v + 1, Ordering::Relaxed);
+            t.join();
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        })
+        .expect_err("non-atomic increment must lose an update in some schedule");
+}
+
+/// The same increments as atomic RMWs always sum correctly.
+#[test]
+fn rmw_increments_pass() {
+    Builder::new()
+        .check(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = c.clone();
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            c.fetch_add(1, Ordering::Relaxed);
+            t.join();
+            assert_eq!(c.load(Ordering::Acquire), 2);
+        })
+        .expect("atomic RMWs never lose updates");
+}
+
+/// Mutexes order their critical sections: a counter incremented under a lock
+/// never loses updates, and the lock hand-off publishes plain (model-atomic
+/// but Relaxed) data.
+#[test]
+fn mutex_protects_counter() {
+    Builder::new()
+        .check(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = m.clone();
+            let t = thread::spawn(move || {
+                *m2.lock() += 1;
+            });
+            *m.lock() += 1;
+            t.join();
+            assert_eq!(*m.lock(), 2);
+        })
+        .expect("mutex-protected increments must verify");
+}
+
+/// Classic missed wakeup: the waiter checks the predicate, the notifier sets
+/// it and notifies *before* the waiter starts waiting — with the check
+/// outside the lock, the notification is lost and the waiter sleeps forever.
+/// The checker must report this as a deadlock with a trace.
+#[test]
+fn missed_wakeup_is_reported_as_deadlock() {
+    let failure = Builder::new()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = pair.clone();
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            // BUG: predicate checked once outside the wait loop.
+            if !*m.lock() {
+                let mut g = m.lock();
+                cv.wait(&mut g);
+                assert!(*g);
+            }
+            t.join();
+        })
+        .expect_err("missed wakeup must be reported");
+    assert!(
+        failure.cause.contains("deadlock"),
+        "cause: {}",
+        failure.cause
+    );
+    assert!(!failure.trace.is_empty());
+}
+
+/// The correct predicate-loop version of the same handshake verifies.
+#[test]
+fn predicate_loop_wakeup_passes() {
+    Builder::new()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = pair.clone();
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            drop(g);
+            t.join();
+        })
+        .expect("predicate-loop wait must verify");
+}
+
+/// Spin loops with `yield_now` terminate under the yield reduction: the
+/// consumer spins until the producer's Release store lands.
+#[test]
+fn yielding_spin_loop_terminates() {
+    let report = Builder::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let f2 = flag.clone();
+            let t = thread::spawn(move || {
+                f2.store(1, Ordering::Release);
+            });
+            let mut spins = 0;
+            while flag.load(Ordering::Acquire) == 0 {
+                thread::yield_now();
+                spins += 1;
+                assert!(spins < 1000, "spin loop did not converge");
+            }
+            t.join();
+        })
+        .expect("yielding spin loop must verify");
+    assert!(report.executions >= 1);
+}
+
+/// Three threads, preemption bound 2: the checker stays exhaustive within
+/// budget and join edges publish every thread's writes.
+#[test]
+fn three_thread_joins_publish() {
+    let report = Builder::new()
+        .check(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::new(AtomicU64::new(0));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t1 = thread::spawn(move || a2.store(1, Ordering::Relaxed));
+            let t2 = thread::spawn(move || b2.store(2, Ordering::Relaxed));
+            t1.join();
+            t2.join();
+            // Join edges alone (no Release stores) must make these visible.
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+            assert_eq!(b.load(Ordering::Relaxed), 2);
+        })
+        .expect("join edges must publish");
+    assert!(report.executions > 1);
+}

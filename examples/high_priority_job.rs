@@ -52,10 +52,7 @@ fn main() {
     println!("\n{}", table.render());
 
     // Per-job response times.
-    let mut per_job = Table::new(
-        "Per-job response times",
-        &["job", "Serial [s]", "DROM [s]"],
-    );
+    let mut per_job = Table::new("Per-job response times", &["job", "Serial [s]", "DROM [s]"]);
     for job in &workload {
         per_job.add_row(&[
             job.name.clone(),
@@ -88,8 +85,14 @@ fn main() {
     }
     println!(
         "DROM starts the high-priority job {:.0}s earlier than Serial.",
-        (serial.report.jobs[1].start as f64 - drom.report.jobs.iter()
-            .find(|j| j.name.contains("CoreNeuron")).map(|j| j.start as f64).unwrap_or(0.0))
+        (serial.report.jobs[1].start as f64
+            - drom
+                .report
+                .jobs
+                .iter()
+                .find(|j| j.name.contains("CoreNeuron"))
+                .map(|j| j.start as f64)
+                .unwrap_or(0.0))
             / 1e6
     );
 }

@@ -23,7 +23,10 @@ fn main() {
     let launched_sim = srun.launch(&sim_spec, &nodes).unwrap();
     println!("launched {}:", sim_spec.name);
     for task in &launched_sim.tasks {
-        println!("  task {} on {} mask {}", task.task_index, task.node, task.mask);
+        println!(
+            "  task {} on {} mask {}",
+            task.task_index, task.node, task.mask
+        );
     }
 
     // Each task gets a DROM process, an OpenMP-like runtime and the DROM OMPT
@@ -55,7 +58,10 @@ fn main() {
     let launched_ana = srun.launch(&ana_spec, &nodes).unwrap();
     println!("co-allocated {}:", ana_spec.name);
     for task in &launched_ana.tasks {
-        println!("  task {} on {} mask {}", task.task_index, task.node, task.mask);
+        println!(
+            "  task {} on {} mask {}",
+            task.task_index, task.node, task.mask
+        );
     }
 
     // The simulation keeps iterating; its next parallel constructs run on the
@@ -100,6 +106,8 @@ fn main() {
         process.finalize().unwrap();
     }
     srun.complete(&launched_sim).unwrap();
-    println!("workload finished; node utilization now {:.0}%",
-        srun.slurmd(&nodes[0]).unwrap().utilization() * 100.0);
+    println!(
+        "workload finished; node utilization now {:.0}%",
+        srun.slurmd(&nodes[0]).unwrap().utilization() * 100.0
+    );
 }

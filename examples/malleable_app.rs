@@ -64,7 +64,11 @@ fn main() {
             "  iteration {:>2}: team of {} threads{}",
             it.iteration,
             it.team_size,
-            if it.mask_changed { "  <- mask change applied" } else { "" }
+            if it.mask_changed {
+                "  <- mask change applied"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -35,11 +35,19 @@ fn main() {
 
     // 3. The administrator shrinks the simulation to half the node.
     admin
-        .set_process_mask(100, &CpuSet::from_range(0..8).unwrap(), DromFlags::default())
+        .set_process_mask(
+            100,
+            &CpuSet::from_range(0..8).unwrap(),
+            DromFlags::default(),
+        )
         .unwrap();
     // The application observes the change at its next malleability point.
     let new_mask = simulation.poll_drom().unwrap().expect("pending update");
-    println!("simulation shrank to {} ({} CPUs)", new_mask, new_mask.count());
+    println!(
+        "simulation shrank to {} ({} CPUs)",
+        new_mask,
+        new_mask.count()
+    );
 
     // 4. A second process is pre-initialised on the freed CPUs and started.
     let (environ, _victims) = admin
@@ -73,10 +81,7 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    println!(
-        "simulation runs on {} CPUs again",
-        simulation.num_cpus()
-    );
+    println!("simulation runs on {} CPUs again", simulation.num_cpus());
     let applied = listener.stop();
     println!("helper thread applied {applied} asynchronous update(s)");
 

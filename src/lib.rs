@@ -40,6 +40,8 @@
 //! assert_eq!(app.poll_drom().unwrap().unwrap().count(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use drom_apps as apps;
 pub use drom_core as core;
 pub use drom_cpuset as cpuset;

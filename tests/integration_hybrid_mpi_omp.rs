@@ -93,7 +93,11 @@ fn administrator_shrink_reaches_a_running_rank() {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         admin
-            .set_process_mask(100, &CpuSet::from_range(0..2).unwrap(), DromFlags::default())
+            .set_process_mask(
+                100,
+                &CpuSet::from_range(0..2).unwrap(),
+                DromFlags::default(),
+            )
             .unwrap();
     });
 

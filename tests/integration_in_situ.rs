@@ -79,7 +79,7 @@ fn in_situ_analytics_shrinks_and_restores_the_simulation() {
     for (i, (process, runtime, tool)) in sim_ranks.iter().enumerate() {
         let report = nest.run_rank(runtime, Some(tool), None, i);
         assert!(
-            report.team_sizes.iter().any(|&t| t == 16),
+            report.team_sizes.contains(&16),
             "rank {i} should be back to 16 threads, got {:?}",
             report.team_sizes
         );

@@ -32,7 +32,12 @@ fn malleable_policy_decisions_apply_through_the_drom_machinery() {
         .unwrap();
     let applied = sched.tick(0).unwrap();
     assert_eq!(applied.len(), 1);
-    let SchedulerAction::Start { node_indices, cpus_per_node, .. } = &applied[0] else {
+    let SchedulerAction::Start {
+        node_indices,
+        cpus_per_node,
+        ..
+    } = &applied[0]
+    else {
         panic!("expected a start, got {applied:?}");
     };
     assert_eq!(cpus_per_node, &16);
@@ -61,16 +66,26 @@ fn malleable_policy_decisions_apply_through_the_drom_machinery() {
     // Job 2 arrives: rigid, one node, half width. The policy shrinks job 1.
     sched
         .submit(QueuedJob::from_spec(
-            &JobSpec::new(2, "analytics").with_tasks(1).with_threads_per_task(8).rigid(),
+            &JobSpec::new(2, "analytics")
+                .with_tasks(1)
+                .with_threads_per_task(8)
+                .rigid(),
         ))
         .unwrap();
     let applied = sched.tick(10).unwrap();
     // First the shrink of job 1, then the start of job 2.
     assert!(matches!(
         applied[0],
-        SchedulerAction::Resize { job_id: 1, cpus_per_node: 8 }
+        SchedulerAction::Resize {
+            job_id: 1,
+            cpus_per_node: 8
+        }
     ));
-    let SchedulerAction::Start { job_id: 2, node_indices, cpus_per_node: 8 } = &applied[1]
+    let SchedulerAction::Start {
+        job_id: 2,
+        node_indices,
+        cpus_per_node: 8,
+    } = &applied[1]
     else {
         panic!("expected job 2 to start at width 8, got {:?}", applied[1]);
     };
@@ -87,7 +102,9 @@ fn malleable_policy_decisions_apply_through_the_drom_machinery() {
         .with_tasks(1)
         .with_threads_per_task(8)
         .rigid();
-    let launched_ana = srun.launch(&ana_spec, &[ana_node.clone()]).unwrap();
+    let launched_ana = srun
+        .launch(&ana_spec, std::slice::from_ref(&ana_node))
+        .unwrap();
     let ana_proc = DromProcess::init_from_environ(
         &launched_ana.tasks[0].environ,
         cluster.shmem(&ana_node).unwrap(),
@@ -109,7 +126,10 @@ fn malleable_policy_decisions_apply_through_the_drom_machinery() {
     sched.job_finished(2).unwrap();
     let applied = sched.tick(100).unwrap();
     assert!(
-        applied.contains(&SchedulerAction::Resize { job_id: 1, cpus_per_node: 16 }),
+        applied.contains(&SchedulerAction::Resize {
+            job_id: 1,
+            cpus_per_node: 16
+        }),
         "the policy re-expands job 1: {applied:?}"
     );
     for node in &node_names {

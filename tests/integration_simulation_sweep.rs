@@ -96,8 +96,7 @@ fn oversubscription_loses_to_drom_under_heavy_sharing() {
         let drom = WorkloadSimulator::new(Scenario::Drom).run(&workload);
         let oversub = WorkloadSimulator::new(Scenario::Oversubscribed).run(&workload);
         assert!(
-            oversub.report.total_run_time() as f64
-                >= drom.report.total_run_time() as f64 * 0.999,
+            oversub.report.total_run_time() as f64 >= drom.report.total_run_time() as f64 * 0.999,
             "{} + {}: oversubscription unexpectedly beat DROM",
             sim_config.label(),
             ana_config.label()

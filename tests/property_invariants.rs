@@ -7,8 +7,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use drom::core::{DromAdmin, DromError, DromFlags, DromProcess};
-use drom::cpuset::{CpuSet, Topology};
 use drom::cpuset::distribution::{co_allocate, DistributionPolicy, RunningTask};
+use drom::cpuset::{CpuSet, Topology};
 use drom::shmem::NodeShmem;
 
 /// An administrator / application action drawn by proptest.

@@ -12,6 +12,8 @@
 //! exactly once as a smoke test. Swapping the path dependency for crates.io
 //! `criterion` restores full statistics without source changes.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Returns the argument, hindering the optimizer from deleting the value.
@@ -44,7 +46,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { mode: mode_from_args() }
+        Self {
+            mode: mode_from_args(),
+        }
     }
 }
 
@@ -103,7 +107,10 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         match self.mode {
             Mode::Test => {
-                let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+                let mut bencher = Bencher {
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                };
                 f(&mut bencher);
             }
             Mode::Bench => {
@@ -111,7 +118,10 @@ impl BenchmarkGroup<'_> {
                 let mut total = Duration::ZERO;
                 let mut iters: u64 = 0;
                 for _ in 0..self.sample_size {
-                    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+                    let mut bencher = Bencher {
+                        iters: 1,
+                        elapsed: Duration::ZERO,
+                    };
                     f(&mut bencher);
                     total += bencher.elapsed;
                     iters += bencher.iters;
@@ -119,8 +129,15 @@ impl BenchmarkGroup<'_> {
                         break;
                     }
                 }
-                let mean = if iters > 0 { total / iters as u32 } else { Duration::ZERO };
-                println!("{}/{:<40} mean {:>12.3?} ({} iters)", self.name, id, mean, iters);
+                let mean = if iters > 0 {
+                    total / iters as u32
+                } else {
+                    Duration::ZERO
+                };
+                println!(
+                    "{}/{:<40} mean {:>12.3?} ({} iters)",
+                    self.name, id, mean, iters
+                );
             }
         }
         self
@@ -177,7 +194,10 @@ mod tests {
 
     #[test]
     fn bencher_counts_iterations() {
-        let mut b = Bencher { iters: 3, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
         let mut runs = 0;
         b.iter(|| runs += 1);
         assert_eq!(runs, 3);
@@ -188,7 +208,9 @@ mod tests {
         let mut c = Criterion { mode: Mode::Test };
         let mut group = c.benchmark_group("g");
         let mut ran = false;
-        group.sample_size(10).measurement_time(Duration::from_millis(1));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
         group.bench_function("b", |b| b.iter(|| ran = true));
         group.finish();
         assert!(ran);

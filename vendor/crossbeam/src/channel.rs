@@ -82,7 +82,12 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -119,7 +124,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.senders.fetch_add(1, Ordering::SeqCst);
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -231,7 +238,9 @@ impl<T> Receiver<T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

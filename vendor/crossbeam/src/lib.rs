@@ -6,4 +6,6 @@
 //! `mpsc::Receiver` cannot be shared, so this is a small Mutex+Condvar queue
 //! rather than a wrapper).
 
+#![forbid(unsafe_code)]
+
 pub mod channel;

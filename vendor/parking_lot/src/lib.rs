@@ -6,6 +6,8 @@
 //! crate. Lock poisoning is deliberately swallowed (`parking_lot` has no
 //! poisoning); a panicked writer simply leaves the last written state.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
@@ -24,11 +26,15 @@ pub struct MutexGuard<'a, T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::Mutex::new(value) }
+        Self {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -41,9 +47,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(guard) => Some(MutexGuard { guard: Some(guard) }),
-            Err(sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { guard: Some(e.into_inner()) })
-            }
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                guard: Some(e.into_inner()),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -71,13 +77,17 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_deref().expect("guard taken during condvar wait")
+        self.guard
+            .as_deref()
+            .expect("guard taken during condvar wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_deref_mut().expect("guard taken during condvar wait")
+        self.guard
+            .as_deref_mut()
+            .expect("guard taken during condvar wait")
     }
 }
 
@@ -100,12 +110,17 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Self { inner: sync::Condvar::new() }
+        Self {
+            inner: sync::Condvar::new(),
+        }
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.guard.take().expect("guard already taken");
-        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.guard = Some(inner);
     }
 
@@ -161,11 +176,15 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::RwLock::new(value) }
+        Self {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 

@@ -25,19 +25,28 @@ impl SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(len: usize) -> Self {
-        Self { start: len, end: len + 1 }
+        Self {
+            start: len,
+            end: len + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        Self { start: r.start, end: r.end }
+        Self {
+            start: r.start,
+            end: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        Self { start: *r.start(), end: r.end().saturating_add(1) }
+        Self {
+            start: *r.start(),
+            end: r.end().saturating_add(1),
+        }
     }
 }
 
@@ -49,7 +58,10 @@ pub struct VecStrategy<S> {
 
 /// `proptest::collection::vec(element, size_range)`.
 pub fn vec<S: Strategy>(element: S, sizes: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, sizes: sizes.into() }
+    VecStrategy {
+        element,
+        sizes: sizes.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -75,7 +87,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, sizes: sizes.into() }
+    BTreeSetStrategy {
+        element,
+        sizes: sizes.into(),
+    }
 }
 
 impl<S> Strategy for BTreeSetStrategy<S>

@@ -12,15 +12,19 @@
 //! across runs. Swapping this path dependency for the crates.io `proptest`
 //! restores shrinking without source changes.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
-    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
     pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// `any::<T>()` for the primitive types the workspace samples.
     pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {

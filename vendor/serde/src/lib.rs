@@ -7,6 +7,8 @@
 //! `vendor/serde*` path dependencies with the real crates.io packages restores
 //! full serialization support with no source changes.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker form of [`serde::Serialize`](https://docs.rs/serde).

@@ -7,6 +7,8 @@
 //! crates.io; swapping the `vendor/serde*` path dependencies for the real
 //! crates restores full serde behaviour without touching any other source.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Extract the type identifier following the `struct`/`enum`/`union` keyword.
