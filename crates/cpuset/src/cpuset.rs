@@ -244,6 +244,7 @@ impl CpuSet {
     }
 
     /// Iterates over the CPU ids in ascending order.
+    // PANIC: the word array has a fixed nonzero length, so words[0] exists.
     pub fn iter(&self) -> CpuSetIter<'_> {
         CpuSetIter {
             set: self,
@@ -253,6 +254,7 @@ impl CpuSet {
     }
 
     /// Collects the CPU ids into a vector, in ascending order.
+    // ALLOC(pass): snapshots the mask into a vector for plan output.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
@@ -309,6 +311,7 @@ pub struct CpuSetIter<'a> {
 impl<'a> Iterator for CpuSetIter<'a> {
     type Item = usize;
 
+    // PANIC: `word` stays below NUM_WORDS by the loop guard above the access.
     fn next(&mut self) -> Option<usize> {
         loop {
             if self.bits != 0 {

@@ -388,6 +388,8 @@ impl NodeShmem {
     /// Runs `f` on the payload of an occupied slot. Callers must hold the
     /// registry lock and have obtained `idx` from `inner.index` (slots listed
     /// there are occupied by invariant).
+    // PANIC: callers hold the registry lock and take `idx` from `inner.index`,
+    // whose slots are in range and occupied by invariant (see doc above).
     fn with_payload<R>(&self, idx: usize, f: impl FnOnce(&Slot, &mut SlotPayload) -> R) -> R {
         let slot = &self.slots[idx];
         let mut guard = slot.payload.lock();
@@ -778,6 +780,8 @@ impl NodeShmem {
     // ------------------------------------------------------------------
 
     /// Builds the public snapshot of an indexed slot. Callers hold `inner`.
+    // ALLOC(pass): the snapshot clones the slot's masks into the query result.
+    // PANIC: indexed slots are in range by the `inner.index` invariant.
     fn entry_at(&self, idx: usize) -> ProcessEntry {
         let slot = &self.slots[idx];
         self.with_payload(idx, |_, p| ProcessEntry {

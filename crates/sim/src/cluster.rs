@@ -155,6 +155,9 @@ impl ClusterSim {
     ///   node can ever host — the engine refuses to livelock on it.
     /// * [`SlurmError::InvalidAction`] if the policy emits an action the
     ///   cluster state cannot honour.
+    // PANIC: the rate/duration maps are keyed by every traced job id, and the
+    // convergence guard flags a policy that stopped making progress — failing
+    // fast on a broken engine invariant is the error contract here.
     pub fn run(
         &self,
         policy: Box<dyn SchedulerPolicy>,
@@ -239,7 +242,7 @@ impl ClusterSim {
                         node_indices,
                         cpus_per_node,
                     } => {
-                        let spec = &rates[&job_id];
+                        let spec: &JobRate = &rates[&job_id];
                         let progress = JobProgress::start_scaled(
                             spec.work(durations[&job_id]),
                             spec.rate(node_indices.len(), cpus_per_node),
@@ -275,9 +278,8 @@ impl ClusterSim {
                         let model = models
                             .get_mut(&job_id)
                             .expect("a running job has a run model");
-                        model
-                            .progress
-                            .set_rate(now, rates[&job_id].rate(nodes, width));
+                        let spec: &JobRate = &rates[&job_id];
+                        model.progress.set_rate(now, spec.rate(nodes, width));
                         gen_counter += 1;
                         model.gen = gen_counter;
                         let finish = model.progress.completion_us();

@@ -423,6 +423,7 @@ impl PolicyScheduler {
         Ok(applied)
     }
 
+    // PANIC: validated actions index the controller's own free vector.
     fn apply_start(
         &mut self,
         job_id: u64,
@@ -510,6 +511,7 @@ impl PolicyScheduler {
 
     /// Applies a resize; `Ok(false)` means the action was dropped as a benign
     /// completion race.
+    // PANIC: validated actions index the controller's own free vector.
     fn apply_resize(&mut self, job_id: u64, width: usize) -> Result<bool, SlurmError> {
         let invalid = |reason: String| SlurmError::InvalidAction { job_id, reason };
         let Some(pos) = self.running.iter().position(|r| r.alloc.job_id == job_id) else {

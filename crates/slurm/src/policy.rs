@@ -111,12 +111,14 @@ impl SpeedupCurve {
     /// node. Widths beyond the request clamp to the full rate: per the
     /// static-partition cap, CPUs beyond the launch width cannot speed the
     /// job up further.
+    // PANIC: the width clamps to the table's last index, never out of bounds.
     pub fn rate(&self, width: usize) -> u64 {
         self.rates[width.min(self.rates.len() - 1)]
     }
 
     /// The rate at the full request width ([`Self::FP`] for curves built by
     /// `drom_sim::rate`, `request × FP` for [`linear`](Self::linear) ones).
+    // PANIC: `from_rates` rejects empty tables.
     pub fn full_rate(&self) -> u64 {
         *self.rates.last().expect("from_rates guarantees non-empty")
     }
@@ -527,6 +529,8 @@ impl ReleaseTimeline {
         }
     }
 
+    // PANIC: callers subtract exactly what `add` inserted, so the end instant
+    // and its per-node deltas are present (the SchedIndex timeline invariant).
     fn sub_deltas(&mut self, end_us: TimeUs, node_indices: &[usize], width: usize) {
         let at = self
             .by_end
@@ -684,6 +688,7 @@ fn next_index_epoch() -> u64 {
 /// Bumps the generations of every width class the value `old → new` crossed
 /// up into (`old+1 ..= new`); a downward or flat move bumps nothing. The
 /// generation vector grows on demand, so rebuilt indices need no capacity.
+// PANIC: the vector is resized to `new + 1` right above the indexed range.
 fn bump_gens(gens: &mut Vec<u64>, old: usize, new: usize) {
     if new > old {
         if gens.len() <= new {
@@ -730,6 +735,8 @@ impl SchedIndex {
     /// cannot escape this one.
     ///
     /// [`rebuild`]: SchedIndex::rebuild
+    // PANIC: running allocations name nodes within the capacity they were
+    // validated against.
     pub fn rebuild_from_capacity(
         num_nodes: usize,
         node_cpus: usize,
@@ -747,6 +754,10 @@ impl SchedIndex {
     /// Rebuilds the index from a free vector and the running jobs — the
     /// one-shot fallback for hand-built views (where the view's free vector
     /// is the source of truth).
+    // ALLOC(pass): O(nodes) full rebuild — per-node columns, donor lists and
+    // the release timeline from scratch; the incremental on_* path exists so
+    // steady-state ticks never pay this.
+    // PANIC: running allocations index nodes inside the free vector.
     pub fn rebuild(free: &[usize], running: &[RunningJob]) -> Self {
         let mut index = SchedIndex {
             free: free.to_vec(),
@@ -843,6 +854,7 @@ impl SchedIndex {
     /// A job started on `node_indices` at `width` CPUs per node, with the
     /// driver's completion estimate (entered on the release timeline when
     /// `Some`).
+    // PANIC: started allocations name nodes inside the driver's free vector.
     pub fn on_start(
         &mut self,
         job: &QueuedJob,
@@ -867,6 +879,7 @@ impl SchedIndex {
     }
 
     /// A running job resized from `old_width` to `new_width` CPUs per node.
+    // PANIC: resized allocations name nodes inside the driver's free vector.
     pub fn on_resize(
         &mut self,
         job: &QueuedJob,
@@ -913,6 +926,7 @@ impl SchedIndex {
     }
 
     /// A running job completed, releasing `width` CPUs on each of its nodes.
+    // PANIC: completed allocations name nodes inside the driver's free vector.
     pub fn on_complete(&mut self, job: &QueuedJob, node_indices: &[usize], width: usize) {
         let spare = Self::spare(job, width);
         let cheap = Self::cheap_spare(job, width);
@@ -961,6 +975,8 @@ pub trait SchedulerPolicy: Send {
 /// production policies walk the driver's maintained [`AdmissionOrder`]
 /// instead (via [`admission_iter`]); the scan references and hand-built
 /// views keep this one so the two stay differentially testable.
+// ALLOC(pass): O(queue) admission ordering; the trusted incremental index
+// order is borrowed instead when the view carries one.
 fn queue_order(queue: &[QueuedJob]) -> Vec<&QueuedJob> {
     let mut ordered: Vec<&QueuedJob> = queue.iter().collect();
     ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority), j.submit_us, j.id));
@@ -1097,6 +1113,8 @@ enum AdmissionIter<'q, 'a> {
 impl<'q> Iterator for AdmissionIter<'q, '_> {
     type Item = &'q QueuedJob;
 
+    // PANIC: indexed positions come from the admission order built over this
+    // exact queue.
     fn next(&mut self) -> Option<&'q QueuedJob> {
         match self {
             AdmissionIter::Indexed(positions, queue) => positions.next().map(|&pos| &queue[pos]),
@@ -1131,6 +1149,9 @@ struct Holder<'a> {
 /// [`earliest_timeline_fit`], which walks a maintained [`ReleaseTimeline`]
 /// instead; [`MalleableScanPolicy`] and the oracle tests keep this one so
 /// the two stay differentially testable.
+// ALLOC(pass): O(nodes) scratch free vector per reservation probe.
+// PANIC: timeline deltas index nodes within the scratch vector they were
+// recorded for; the eligibility count is exact before `fit_first` runs.
 fn earliest_release_fit(
     nodes: usize,
     width: usize,
@@ -1196,6 +1217,9 @@ struct TimelineDelta<'a> {
 /// instant: a shrunk victim's negative overlay correction lands on top of
 /// the base release it corrects, so the running free count never
 /// underflows. O(nodes + total deltas) per forecast.
+// ALLOC(pass): O(nodes) scratch free vector per timeline probe.
+// PANIC: timeline deltas index nodes within the scratch vector they were
+// recorded for; the eligibility count is exact before `fit_first` runs.
 fn earliest_timeline_fit(
     nodes: usize,
     width: usize,
@@ -1432,6 +1456,8 @@ struct FreeHist {
 impl FreeHist {
     /// Histogram of `values` (each ≤ `cap`), counting only nodes where
     /// `tracked` holds.
+    // ALLOC(pass): bucket vector sized by the node-CPU cap, once per memo.
+    // PANIC: every tracked value is ≤ cap by the caller contract.
     fn new(values: &[usize], cap: usize, tracked: impl Fn(usize) -> bool) -> Self {
         let mut counts = vec![0; cap + 1];
         for (n, &v) in values.iter().enumerate() {
@@ -1449,6 +1475,7 @@ impl FreeHist {
     }
 
     /// A tracked node's value changed from `old` to `new`.
+    // PANIC: old/new widths stay within the cap the histogram was sized with.
     fn update(&mut self, old: usize, new: usize) {
         self.counts[old] -= 1;
         self.counts[new] += 1;
@@ -1459,6 +1486,8 @@ impl FreeHist {
 /// least `width` free CPUs. Two passes — find the last needed node first,
 /// then collect — so a failed probe performs no allocation at all (the
 /// malleable pass probes far more often than it places).
+// ALLOC(pass): the result vector, sized to the requested node count.
+// PANIC: scans indices below `free.len()`.
 fn fit_first(free: &[usize], nodes: usize, width: usize) -> Option<Vec<usize>> {
     if nodes == 0 {
         return None;
@@ -1529,6 +1558,8 @@ impl SchedulerPolicy for FirstFitPolicy {
         "first-fit"
     }
 
+    // ALLOC(pass): one candidate node vector per admission attempt.
+    // PANIC: fit results index the view's free vector.
     fn schedule(
         &mut self,
         view: &ClusterView<'_>,
@@ -1637,6 +1668,9 @@ impl SchedulerPolicy for BackfillPolicy {
         "backfill"
     }
 
+    // ALLOC(pass): backfill working set — queue order, shadow free vector and
+    // reservation mask are rebuilt per pass.
+    // PANIC: reservation and fit indices stay within the shadow free vector.
     fn schedule(
         &mut self,
         view: &ClusterView<'_>,
@@ -1939,6 +1973,7 @@ struct Slot<'a> {
 }
 
 impl Slot<'_> {
+    // PANIC: reservation masks are node-count sized like every per-node vector.
     fn on_reserved(&self, reserved: Option<&[bool]>) -> bool {
         reserved.is_some_and(|r| self.node_indices.iter().any(|&n| r[n]))
     }
@@ -2076,6 +2111,11 @@ struct PassState<'a> {
 }
 
 impl<'a> PassState<'a> {
+    // ALLOC(pass): the O(nodes) pass seeding ROADMAP names as the next perf
+    // wall — clones the view's free vector, reclaim/cheap columns, donor
+    // lists and slot table every pass; the work-list is a reusable scratch
+    // arena so steady-state passes stop paying this.
+    // PANIC: seeded vectors index nodes of the fixed cluster size.
     fn new(view: &ClusterView<'a>) -> Self {
         let slots: Vec<Slot<'a>> = view
             .running
@@ -2196,6 +2236,7 @@ impl<'a> PassState<'a> {
     /// earliest-started job — so on a curve-less cluster, where every cost
     /// is FP, the rule reduces exactly to the pre-curve widest-donor order.
     /// The reference scan uses the same key.
+    // PANIC: per-node columns are sized to the cluster's node count.
     fn best_donor(&self, node: usize) -> Option<usize> {
         self.donors[node]
             .iter()
@@ -2215,6 +2256,8 @@ impl<'a> PassState<'a> {
     /// victim loses is spare the reclaim summary was counting — and every
     /// node it touches is open, so both free histograms move (availability,
     /// free + reclaim, is unchanged by a shrink).
+    // PANIC: victim slot positions and node indices were recorded while
+    // seeding this very pass.
     fn shrink_victim(&mut self, victim: usize, give: usize) {
         let old_cheap = self.slots[victim].zero_cost_spare();
         self.slots[victim].width -= give;
@@ -2236,6 +2279,8 @@ impl<'a> PassState<'a> {
     /// Rolls one [`shrink_victim`](Self::shrink_victim) back — the undo side
     /// of the shrink-economics check, restoring width, free, reclaim, the
     /// cheap summary and the histograms exactly.
+    // PANIC: victim slot positions and node indices were recorded while
+    // seeding this very pass.
     fn unshrink_victim(&mut self, victim: usize, give: usize) {
         let old_cheap = self.slots[victim].zero_cost_spare();
         self.slots[victim].width += give;
@@ -2264,6 +2309,9 @@ impl<'a> PassState<'a> {
     /// the gives sum to at most `nodes × width`, so at the default tolerance
     /// `gain ≥ loss` always holds — the check can only fire when curves are
     /// present (or the tolerance is set below `FP`).
+    // ALLOC(pass): one carve vector per admission candidate.
+    // PANIC: carving walks node-count-sized columns; the unreachable! arm
+    // guards an eligibility count proven exact before the walk.
     fn carve_out(
         &mut self,
         node_indices: &[usize],
@@ -2300,6 +2348,7 @@ impl<'a> PassState<'a> {
     /// Starts `job` on `node_indices` at `width`, entering it into the free,
     /// reclaim and donor indices (it may donate to later admissions of the
     /// same pass).
+    // PANIC: start updates per-node columns at indices from the carve result.
     fn start(
         &mut self,
         job: &'a QueuedJob,
@@ -2364,6 +2413,8 @@ impl<'a> PassState<'a> {
     /// Runs at most once per pass, so the availability histograms are simply
     /// rebuilt in one O(nodes) sweep (free CPUs are untouched here, the
     /// all-node free histogram stands).
+    // ALLOC(pass): rebuilds the masked donor view when a reservation overlaps.
+    // PANIC: the reservation mask is node-count sized.
     fn apply_reservation(&mut self, mask: &[bool]) {
         // Snapshot the plain availability before the donor stripping below:
         // at this point `avail_hist` still histograms exactly free + reclaim
@@ -2419,6 +2470,8 @@ impl SchedulerPolicy for MalleablePolicy {
         "malleable"
     }
 
+    // ALLOC(pass): the per-pass action list.
+    // PANIC: indices address PassState's node-count-sized columns.
     fn schedule(
         &mut self,
         view: &ClusterView<'_>,
@@ -2569,6 +2622,8 @@ impl MalleablePolicy {
     /// donors' curves — the `cheap` summary). On a curve-less cluster every
     /// `cheap` entry is 0 and the order reduces to the pre-curve
     /// availability-then-index rule exactly.
+    // ALLOC(pass): candidate shrink plans are collected per admission attempt.
+    // PANIC: plan indices address pass-local slot and node vectors.
     fn shrink_to_admit(
         job: &QueuedJob,
         state: &PassState<'_>,
@@ -2642,6 +2697,8 @@ impl MalleablePolicy {
     /// estimated end never changes mid-pass (re-estimates happen in the
     /// controller after a resize is applied), so shrink corrections always
     /// land on the instant the base already keys.
+    // ALLOC(pass): scratch future-free vector per estimate probe.
+    // PANIC: the timeline walk indexes the scratch vector it sized.
     fn earliest_full_fit(
         job: &QueuedJob,
         state: &PassState<'_>,
@@ -2710,6 +2767,8 @@ fn base_timeline_from_slots(slots: &[Slot<'_>]) -> ReleaseTimeline {
 /// their free CPUs could push the reserved job's start past its
 /// reservation. On a curve-less cluster every gain is FP and the sweep is
 /// byte-identical to the pre-curve round-robin.
+// ALLOC(pass): collects expandable slot positions once per pass tail.
+// PANIC: slot positions and node indices are pass-local by construction.
 fn expand_shrunk(slots: &mut [Slot<'_>], free: &mut [usize], reserved: Option<&[bool]>) {
     let expandable = |n: usize| !reserved.is_some_and(|m| m[n]);
     let mut progressed = true;
@@ -2746,6 +2805,8 @@ fn expand_shrunk(slots: &mut [Slot<'_>], free: &mut [usize], reserved: Option<&[
 /// (a job admitted mid-pass may have been shrunk or expanded again by later
 /// admissions), in an order that is valid to apply sequentially: shrinks
 /// release CPUs, then starts consume them, then expands absorb the leftovers.
+// ALLOC(pass): the emitted action list plus per-start node vectors — the
+// pass's output, proportional to the jobs it admitted.
 fn emit_actions(slots: &[Slot<'_>]) -> Vec<SchedulerAction> {
     let mut actions: Vec<SchedulerAction> = Vec::new();
     for slot in slots {
@@ -2779,6 +2840,8 @@ fn emit_actions(slots: &[Slot<'_>]) -> Vec<SchedulerAction> {
 /// First-fit placement that skips reserved nodes — the shared-mask
 /// equivalent of masking the free vector to zero, without materialising a
 /// masked copy per queued job.
+// ALLOC(pass): the result vector, sized to the requested node count.
+// PANIC: scans indices below `free.len()`; the mask is node-count sized.
 fn fit_first_masked(
     free: &[usize],
     reserved: &[bool],
@@ -2852,6 +2915,9 @@ impl SchedulerPolicy for MalleableScanPolicy {
         "malleable-scan"
     }
 
+    // ALLOC(pass): scan working set — slot table and donor columns are seeded
+    // per pass (same O(nodes) seeding as PassState::new).
+    // PANIC: indices address the pass-local node-count-sized vectors.
     fn schedule(
         &mut self,
         view: &ClusterView<'_>,
@@ -2947,6 +3013,8 @@ impl SchedulerPolicy for MalleableScanPolicy {
 impl MalleableScanPolicy {
     /// Reference `plan_admission`: same decisions as
     /// [`MalleablePolicy::plan_admission`], recomputed from scratch.
+    // ALLOC(pass): one admission plan per candidate.
+    // PANIC: plan indices are pass-local.
     fn plan_admission(
         job: &QueuedJob,
         free: &[usize],
@@ -3001,6 +3069,9 @@ impl MalleableScanPolicy {
     /// [`PassState::carve_out`] — cheapest donors first, whole equal-cost
     /// runs, full rollback when the donors' aggregate loss exceeds `gain` —
     /// recomputed against the slot list.
+    // ALLOC(pass): one carve vector per admission candidate.
+    // PANIC: carving walks node-count-sized columns; the unreachable! arm
+    // guards an eligibility count proven exact before the walk.
     fn carve_out(
         free: &mut [usize],
         slots: &mut [Slot<'_>],
@@ -3042,6 +3113,8 @@ impl MalleableScanPolicy {
     /// Reference shrink-to-admit: recomputes per-node availability (and the
     /// zero-cost-reclaim tie-break) by scanning every slot for every node,
     /// then fully sorts by the same key the indexed selection uses.
+    // ALLOC(pass): candidate shrink plans are collected per admission attempt.
+    // PANIC: plan indices address pass-local slot and node vectors.
     fn shrink_to_admit(
         job: &QueuedJob,
         free: &[usize],

@@ -1,0 +1,698 @@
+//! Approximate intra-workspace call graph and reachability.
+//!
+//! Calls are extracted token-wise from every function body and resolved with
+//! a deliberately simple, *over-approximating* discipline (documented in
+//! `docs/verification.md`):
+//!
+//! * `Type::func(…)` / `Self::func(…)` — resolved to the workspace methods
+//!   of that type; if the "type" is a trait with that method, to every impl
+//!   of it. Unknown types (`Vec`, `std` machinery) are opaque.
+//! * `recv.method(…)` — the receiver chain is typed through `self`, struct
+//!   fields, typed `let` bindings and typed fn parameters. A known
+//!   workspace type resolves precisely; a known *foreign* type (e.g. a
+//!   `Vec` field) is opaque; an unknown receiver falls back to **every**
+//!   workspace method of that name, bounded by the caller crate's
+//!   dependency closure — reachability may over-approximate, never
+//!   silently under-approximate along this axis.
+//! * `func(…)` — free functions by name: same file first, then same crate,
+//!   then the dependency closure.
+//! * Calls resolving to a bodyless trait-method declaration fan out to all
+//!   impls of that trait method (dynamic dispatch, e.g.
+//!   `Box<dyn SchedulerPolicy>`).
+//!
+//! Test-only functions (`#[cfg(test)]`, `#[test]`, `tests/`, `examples/`,
+//! `benches/`) are never resolution targets: production reachability must
+//! not flow through test scaffolding.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+
+use crate::items::{is_keyword, FileItems, FnItem, SourceFile};
+use crate::lex::{Tok, Token};
+
+/// One extracted call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `a::b::f(…)` — path with at least two segments.
+    Path {
+        /// Path segments, last is the function name.
+        segments: Vec<String>,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `recv.m(…)`.
+    Method {
+        /// Method name.
+        name: String,
+        /// Receiver identifier chain (`self.index.x` → `["self","index","x"]`),
+        /// empty when the receiver is an expression (`f().m(…)`).
+        receiver: Vec<String>,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `f(…)` — single-segment call.
+    Bare {
+        /// Function name.
+        name: String,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `m!(…)` — macro invocation.
+    Macro {
+        /// Macro name (without `!`).
+        name: String,
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `x[...]` — raw index expression.
+    Index {
+        /// 1-based line of the expression.
+        line: usize,
+    },
+}
+
+/// Extracts the call sites (and raw index expressions) of one token range.
+pub fn extract_calls(tokens: &[Token], range: Range<usize>) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in range.clone() {
+        let t = &tokens[i];
+        if t.is_punct('(') && i > range.start {
+            let j = i - 1;
+            if let Some(name) = tokens[j].ident() {
+                if is_keyword(name) {
+                    continue;
+                }
+                let line = tokens[j].line;
+                // Qualified path?
+                if j >= 2
+                    && j.checked_sub(2).is_some()
+                    && tokens[j - 1].is_punct(':')
+                    && tokens[j - 2].is_punct(':')
+                {
+                    let mut segments = vec![name.to_string()];
+                    let mut k = j;
+                    while k >= 2 && tokens[k - 1].is_punct(':') && tokens[k - 2].is_punct(':') {
+                        // Skip a turbofish group: `Vec::<u8>::new`.
+                        let mut p = k - 2;
+                        if p > 0 && tokens[p - 1].is_punct('>') {
+                            let mut depth = 0usize;
+                            while p > 0 {
+                                p -= 1;
+                                if tokens[p].is_punct('>') {
+                                    depth += 1;
+                                } else if tokens[p].is_punct('<') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        match p.checked_sub(1).and_then(|q| tokens[q].ident()) {
+                            Some(seg) => {
+                                segments.push(seg.to_string());
+                                k = p - 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    segments.reverse();
+                    if segments.len() >= 2 {
+                        out.push(Call::Path { segments, line });
+                        continue;
+                    }
+                }
+                // Method call?
+                if j >= 1 && tokens[j - 1].is_punct('.') {
+                    let mut receiver = Vec::new();
+                    let mut k = j - 1; // at the '.'
+                    loop {
+                        if k == 0 {
+                            break;
+                        }
+                        let prev = &tokens[k - 1];
+                        if let Some(id) = prev.ident() {
+                            receiver.push(id.to_string());
+                            if k >= 3
+                                && tokens[k - 2].is_punct('.')
+                                && tokens[k - 3].ident().is_some()
+                            {
+                                k -= 2;
+                                continue;
+                            }
+                            // `foo().bar.m(…)`: the chain head is a call
+                            // result, so the receiver type is unknown.
+                            if k >= 2 && tokens[k - 2].is_punct('.') {
+                                receiver.clear();
+                            }
+                        } else {
+                            // `)`/`]`/literal receiver — expression result.
+                            receiver.clear();
+                        }
+                        break;
+                    }
+                    receiver.reverse();
+                    out.push(Call::Method {
+                        name: name.to_string(),
+                        receiver,
+                        line,
+                    });
+                    continue;
+                }
+                // `fn name(` definitions are excluded by the keyword check on
+                // the token *before* the name.
+                if j >= 1 && tokens[j - 1].ident() == Some("fn") {
+                    continue;
+                }
+                out.push(Call::Bare {
+                    name: name.to_string(),
+                    line,
+                });
+            }
+        } else if t.is_punct('!') && i > range.start && i + 1 < range.end {
+            if let (Some(name), true) = (
+                tokens[i - 1].ident(),
+                tokens[i + 1].is_punct('(')
+                    || tokens[i + 1].is_punct('[')
+                    || tokens[i + 1].is_punct('{'),
+            ) {
+                if !is_keyword(name) {
+                    out.push(Call::Macro {
+                        name: name.to_string(),
+                        line: tokens[i - 1].line,
+                    });
+                }
+            }
+        } else if t.is_punct('[') && i > range.start {
+            let prev = &tokens[i - 1];
+            if prev.ident().is_some_and(|n| !is_keyword(n))
+                || prev.is_punct(')')
+                || prev.is_punct(']')
+            {
+                out.push(Call::Index { line: t.line });
+            }
+        }
+    }
+    out
+}
+
+/// Foreign container types whose methods are opaque (no workspace fallback):
+/// resolving `self.free.clone()` to a workspace `clone` would be noise.
+const FOREIGN_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "str",
+    "Box",
+    "Rc",
+    "Arc",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "Option",
+    "Result",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicBool",
+    "AtomicU32",
+    "Reverse",
+    "Range",
+    "Instant",
+    "Duration",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "bool",
+    "char",
+    "f32",
+    "f64",
+    "Ordering",
+    "PathBuf",
+    "Path",
+];
+
+/// The resolved call graph plus the typing maps used to build it.
+pub struct CallGraph {
+    /// `edges[f]` — indices of functions `f` may call.
+    pub edges: Vec<BTreeSet<usize>>,
+    /// Per-function typed locals (`let x: T`, `let x = T::new(…)`, typed
+    /// params), exposed for the rules' receiver typing.
+    pub local_types: Vec<BTreeMap<String, String>>,
+    /// `(owner, field)` → type head, workspace-wide.
+    pub field_types: BTreeMap<(String, String), String>,
+    /// field name → set of type heads (owner-agnostic fallback).
+    pub field_types_any: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Builds typed-local maps for a function: `let [mut] x: T`, typed params
+/// from the signature, and `let [mut] x = T::…(…)` constructor bindings.
+fn typed_locals(tokens: &[Token], f: &FnItem) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    // Params: `name: Type` pairs at paren depth 1 in the signature.
+    let mut depth = 0isize;
+    let mut i = f.sig.start;
+    while i < f.sig.end {
+        match tokens[i].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            _ => {}
+        }
+        if depth == 1 {
+            if let Some(name) = tokens[i].ident() {
+                if !is_keyword(name)
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    if let Some(head) = crate::items::type_head_pub(tokens, i + 2, f.sig.end) {
+                        map.insert(name.to_string(), head);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // Locals in the body.
+    if let Some(body) = &f.body {
+        let mut i = body.start;
+        while i < body.end {
+            if tokens[i].ident() == Some("let") {
+                let mut j = i + 1;
+                if tokens.get(j).and_then(|t| t.ident()) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(|t| t.ident()) {
+                    if tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && !tokens.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                    {
+                        if let Some(head) = crate::items::type_head_pub(tokens, j + 2, body.end) {
+                            map.insert(name.to_string(), head);
+                        }
+                    } else if tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        // `let x = Type::ctor(…)` or `let x = Type { … }`.
+                        if let Some(first) = tokens.get(j + 2).and_then(|t| t.ident()) {
+                            if first.chars().next().is_some_and(|c| c.is_uppercase()) {
+                                let (segs, after) = read_path_fwd(tokens, j + 2);
+                                if segs.len() >= 2
+                                    && tokens.get(after).is_some_and(|t| t.is_punct('('))
+                                {
+                                    map.insert(name.to_string(), segs[segs.len() - 2].clone());
+                                } else if tokens.get(after).is_some_and(|t| t.is_punct('{')) {
+                                    map.insert(name.to_string(), segs[segs.len() - 1].clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    map
+}
+
+/// Forward path read used for `let x = Type::ctor(…)` typing.
+fn read_path_fwd(tokens: &[Token], mut i: usize) -> (Vec<String>, usize) {
+    let mut segs = Vec::new();
+    while let Some(seg) = tokens.get(i).and_then(|t| t.ident()) {
+        segs.push(seg.to_string());
+        i += 1;
+        if tokens.get(i).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (segs, i)
+}
+
+impl CallGraph {
+    /// Builds the graph over `fns` extracted from `files`, bounding
+    /// name-fallback resolution by `crate_deps` (crate → transitive
+    /// dependency closure, each including the crate itself).
+    pub fn build(
+        files: &[SourceFile],
+        items: &[FileItems],
+        fns: &[FnItem],
+        crate_deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> CallGraph {
+        // Indexes over non-test functions (resolution targets).
+        let mut by_ty_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut trait_method_impls: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            if let Some(ty) = &f.self_ty {
+                by_ty_name.entry((ty, &f.name)).or_default().push(idx);
+                by_name.entry(&f.name).or_default().push(idx);
+                if let Some(tr) = &f.trait_name {
+                    trait_method_impls
+                        .entry((tr, &f.name))
+                        .or_default()
+                        .push(idx);
+                }
+            } else {
+                free_by_name.entry(&f.name).or_default().push(idx);
+                by_name.entry(&f.name).or_default().push(idx);
+            }
+        }
+
+        let mut field_types: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut field_types_any: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for items in items.iter() {
+            for (owner, field, ty) in &items.fields {
+                field_types.insert((owner.clone(), field.clone()), ty.clone());
+                field_types_any
+                    .entry(field.clone())
+                    .or_default()
+                    .insert(ty.clone());
+            }
+        }
+
+        let local_types: Vec<BTreeMap<String, String>> = fns
+            .iter()
+            .map(|f| typed_locals(&files[f.file].tokens, f))
+            .collect();
+
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+        for (idx, f) in fns.iter().enumerate() {
+            let Some(body) = &f.body else { continue };
+            let tokens = &files[f.file].tokens;
+            let caller_crate = &files[f.file].crate_name;
+            let dep_ok = |callee: usize| -> bool {
+                let callee_crate = &files[fns[callee].file].crate_name;
+                callee_crate == caller_crate
+                    || crate_deps
+                        .get(caller_crate)
+                        .is_some_and(|deps| deps.contains(callee_crate))
+            };
+            let add_with_dispatch = |targets: &mut BTreeSet<usize>, callee: usize| {
+                targets.insert(callee);
+                // Bodyless trait declaration → every impl (dyn dispatch).
+                let cf = &fns[callee];
+                if cf.body.is_none() {
+                    if let Some(tr) = &cf.trait_name {
+                        if let Some(impls) =
+                            trait_method_impls.get(&(tr.as_str(), cf.name.as_str()))
+                        {
+                            targets.extend(impls.iter().copied());
+                        }
+                    }
+                }
+            };
+
+            let mut targets: BTreeSet<usize> = BTreeSet::new();
+            for call in extract_calls(tokens, body.clone()) {
+                match call {
+                    Call::Path { segments, .. } => {
+                        let name = segments.last().expect("path has segments").as_str();
+                        let qual = segments[segments.len() - 2].as_str();
+                        let qual_ty = if qual == "Self" {
+                            f.self_ty.as_deref().unwrap_or(qual)
+                        } else {
+                            qual
+                        };
+                        if let Some(found) = by_ty_name.get(&(qual_ty, name)) {
+                            for &c in found.iter().filter(|&&c| dep_ok(c)) {
+                                add_with_dispatch(&mut targets, c);
+                            }
+                        } else if let Some(impls) = trait_method_impls.get(&(qual_ty, name)) {
+                            for &c in impls.iter().filter(|&&c| dep_ok(c)) {
+                                targets.insert(c);
+                            }
+                        } else if qual_ty.chars().next().is_some_and(|c| c.is_lowercase()) {
+                            // Module-qualified free function.
+                            if let Some(found) = free_by_name.get(name) {
+                                for &c in found.iter().filter(|&&c| dep_ok(c)) {
+                                    add_with_dispatch(&mut targets, c);
+                                }
+                            }
+                        }
+                        // Unknown uppercase qualifier (Vec, std types): opaque.
+                    }
+                    Call::Method { name, receiver, .. } => {
+                        let recv_ty =
+                            Self::receiver_type(&receiver, f, &local_types[idx], &field_types);
+                        match recv_ty {
+                            Some(ty) if FOREIGN_TYPES.contains(&ty.as_str()) => {
+                                // Opaque std container — no workspace edge.
+                            }
+                            Some(ty) => {
+                                if let Some(found) = by_ty_name.get(&(ty.as_str(), name.as_str())) {
+                                    for &c in found.iter().filter(|&&c| dep_ok(c)) {
+                                        add_with_dispatch(&mut targets, c);
+                                    }
+                                } else if let Some(found) = by_name.get(name.as_str()) {
+                                    // Typed receiver without a matching
+                                    // workspace method: could be a trait
+                                    // method via generics — fall back.
+                                    for &c in found.iter().filter(|&&c| dep_ok(c)) {
+                                        add_with_dispatch(&mut targets, c);
+                                    }
+                                }
+                            }
+                            None => {
+                                if let Some(found) = by_name.get(name.as_str()) {
+                                    for &c in found.iter().filter(|&&c| dep_ok(c)) {
+                                        add_with_dispatch(&mut targets, c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Call::Bare { name, .. } => {
+                        // Same file first, then crate, then dep closure.
+                        if let Some(found) = free_by_name.get(name.as_str()) {
+                            let same_file: Vec<usize> = found
+                                .iter()
+                                .copied()
+                                .filter(|&c| fns[c].file == f.file)
+                                .collect();
+                            let pick: Vec<usize> = if !same_file.is_empty() {
+                                same_file
+                            } else {
+                                let same_crate: Vec<usize> = found
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| files[fns[c].file].crate_name == *caller_crate)
+                                    .collect();
+                                if !same_crate.is_empty() {
+                                    same_crate
+                                } else {
+                                    found.iter().copied().filter(|&c| dep_ok(c)).collect()
+                                }
+                            };
+                            for c in pick {
+                                add_with_dispatch(&mut targets, c);
+                            }
+                        }
+                    }
+                    Call::Macro { .. } | Call::Index { .. } => {}
+                }
+            }
+            edges[idx] = targets;
+        }
+
+        CallGraph {
+            edges,
+            local_types,
+            field_types,
+            field_types_any,
+        }
+    }
+
+    /// Types a receiver chain: `self` → the impl type, then struct fields;
+    /// a single name is looked up among typed locals/params, then as a field
+    /// of the impl type.
+    pub fn receiver_type(
+        receiver: &[String],
+        f: &FnItem,
+        locals: &BTreeMap<String, String>,
+        field_types: &BTreeMap<(String, String), String>,
+    ) -> Option<String> {
+        let mut iter = receiver.iter();
+        let first = iter.next()?;
+        let mut ty: String = if first == "self" {
+            f.self_ty.clone()?
+        } else if let Some(t) = locals.get(first) {
+            t.clone()
+        } else if let Some(self_ty) = &f.self_ty {
+            // Unqualified field use inside methods is not legal Rust, but a
+            // destructured field keeps its field name more often than not —
+            // try the impl type's field table before giving up.
+            field_types.get(&(self_ty.clone(), first.clone()))?.clone()
+        } else {
+            return None;
+        };
+        for seg in iter {
+            ty = field_types.get(&(ty.clone(), seg.clone()))?.clone();
+        }
+        Some(ty)
+    }
+
+    /// BFS reachability from `entries`; returns the closure and a parent map
+    /// (`reached fn` → the fn it was first reached from) for path reporting.
+    pub fn reachable(&self, entries: &[usize]) -> (BTreeSet<usize>, BTreeMap<usize, usize>) {
+        let mut seen: BTreeSet<usize> = entries.iter().copied().collect();
+        let mut parent = BTreeMap::new();
+        let mut queue: VecDeque<usize> = entries.iter().copied().collect();
+        while let Some(f) = queue.pop_front() {
+            for &c in &self.edges[f] {
+                if seen.insert(c) {
+                    parent.insert(c, f);
+                    queue.push_back(c);
+                }
+            }
+        }
+        (seen, parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract_items;
+
+    fn build(src: &str) -> (Vec<SourceFile>, Vec<FileItems>, Vec<FnItem>, CallGraph) {
+        let files = vec![SourceFile::new("crates/x/src/lib.rs", "x", false, src)];
+        let items: Vec<FileItems> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| extract_items(i, f))
+            .collect();
+        let fns: Vec<FnItem> = items.iter().flat_map(|it| it.fns.iter().cloned()).collect();
+        let deps = BTreeMap::new();
+        let graph = CallGraph::build(&files, &items, &fns, &deps);
+        (files, items, fns, graph)
+    }
+
+    fn idx(fns: &[FnItem], name: &str) -> usize {
+        fns.iter()
+            .position(|f| f.qualified() == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve() {
+        let (_, _, fns, g) = build(
+            "fn a() { b(); Helper::make(); }\nfn b() {}\n\
+             struct Helper;\nimpl Helper { fn make() {} }\n",
+        );
+        let a = idx(&fns, "a");
+        assert!(g.edges[a].contains(&idx(&fns, "b")));
+        assert!(g.edges[a].contains(&idx(&fns, "Helper::make")));
+    }
+
+    #[test]
+    fn self_and_field_receivers_resolve_precisely() {
+        let (_, _, fns, g) = build(
+            "struct Inner;\nimpl Inner { fn poke(&self) {} }\n\
+             struct Outer { inner: Inner }\n\
+             impl Outer {\n  fn go(&self) { self.inner.poke(); self.step(); }\n  fn step(&self) {}\n}\n\
+             struct Decoy;\nimpl Decoy { fn poke(&self) { decoy_only(); } }\nfn decoy_only() {}\n",
+        );
+        let go = idx(&fns, "Outer::go");
+        assert!(g.edges[go].contains(&idx(&fns, "Inner::poke")));
+        assert!(g.edges[go].contains(&idx(&fns, "Outer::step")));
+        // Precise receiver typing must NOT fall back to Decoy::poke.
+        assert!(!g.edges[go].contains(&idx(&fns, "Decoy::poke")));
+    }
+
+    #[test]
+    fn foreign_receivers_are_opaque() {
+        let (_, _, fns, g) = build(
+            "struct S { xs: Vec<usize> }\n\
+             impl S { fn go(&self) { self.xs.clone(); } }\n\
+             struct T;\nimpl T { fn clone(&self) {} }\n",
+        );
+        let go = idx(&fns, "S::go");
+        assert!(
+            g.edges[go].is_empty(),
+            "Vec::clone must not resolve into the workspace: {:?}",
+            g.edges[go]
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_falls_back_to_all_methods_of_that_name() {
+        let (_, _, fns, g) = build(
+            "fn a(x: &Mystery) { x.frob(); }\n\
+             struct P;\nimpl P { fn frob(&self) {} }\n\
+             struct Q;\nimpl Q { fn frob(&self) {} }\n",
+        );
+        let a = idx(&fns, "a");
+        assert!(g.edges[a].contains(&idx(&fns, "P::frob")));
+        assert!(g.edges[a].contains(&idx(&fns, "Q::frob")));
+    }
+
+    #[test]
+    fn dyn_dispatch_through_trait_decl() {
+        let (_, _, fns, g) = build(
+            "trait Policy { fn schedule(&self); }\n\
+             struct A;\nimpl Policy for A { fn schedule(&self) {} }\n\
+             struct B;\nimpl Policy for B { fn schedule(&self) {} }\n\
+             struct Driver { policy: Box<dyn Policy> }\n\
+             impl Driver { fn tick(&self) { self.policy.schedule(); } }\n",
+        );
+        let tick = idx(&fns, "Driver::tick");
+        assert!(g.edges[tick].contains(&idx(&fns, "A::schedule")));
+        assert!(g.edges[tick].contains(&idx(&fns, "B::schedule")));
+    }
+
+    #[test]
+    fn typed_locals_resolve_constructor_bindings() {
+        let (_, _, fns, g) = build(
+            "struct Sched;\nimpl Sched { fn new() -> Self { Sched } fn tick(&self) {} }\n\
+             struct Decoy;\nimpl Decoy { fn tick(&self) {} }\n\
+             fn run() { let s = Sched::new(); s.tick(); }\n",
+        );
+        let run = idx(&fns, "run");
+        assert!(g.edges[run].contains(&idx(&fns, "Sched::tick")));
+        assert!(!g.edges[run].contains(&idx(&fns, "Decoy::tick")));
+    }
+
+    #[test]
+    fn test_functions_are_not_targets() {
+        let (_, _, fns, g) = build(
+            "fn a(x: &Mystery) { x.frob(); }\n\
+             #[cfg(test)]\nmod tests {\n    struct P;\n    impl P { fn frob(&self) {} }\n}\n",
+        );
+        let a = idx(&fns, "a");
+        assert!(g.edges[a].is_empty(), "{:?}", g.edges[a]);
+    }
+
+    #[test]
+    fn reachability_with_parents() {
+        let (_, _, fns, g) = build("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn d() {}\n");
+        let (seen, parent) = g.reachable(&[idx(&fns, "a")]);
+        assert!(seen.contains(&idx(&fns, "c")));
+        assert!(!seen.contains(&idx(&fns, "d")));
+        assert_eq!(parent[&idx(&fns, "c")], idx(&fns, "b"));
+    }
+
+    #[test]
+    fn raw_index_sites_are_extracted() {
+        let (files, _, fns, _) = build("fn a(xs: &[usize], i: usize) -> usize { xs[i] }\n");
+        let f = &fns[idx(&fns, "a")];
+        let calls = extract_calls(&files[0].tokens, f.body.clone().unwrap());
+        assert!(calls.iter().any(|c| matches!(c, Call::Index { .. })));
+    }
+}

@@ -1,0 +1,449 @@
+//! Token-level lexing for the workspace lints and the static analyzer.
+//!
+//! Two layers:
+//!
+//! * [`split_lines`] — the PR-9 comment/string stripper: each source line is
+//!   split into a code part (string, char and byte-string literals blanked,
+//!   comments removed) and the concatenated comment text (kept for the
+//!   justification-marker searches). It understands nested block comments,
+//!   raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`) and
+//!   byte char literals (`b'x'`).
+//! * [`tokenize`] — a token stream over the stripped code: identifiers
+//!   (keywords included), numeric literals with a float/integer
+//!   classification, and single-character punctuation, each carrying its
+//!   1-based source line. This is what the item extractor and call-graph
+//!   builder consume.
+//!
+//! It is a scanner, not a full Rust lexer: literals are blanked rather than
+//! preserved, and multi-character operators arrive as adjacent punctuation
+//! tokens (`::` is two `:`). That is exact enough for every construct the
+//! rules look for, and `docs/verification.md` documents the known
+//! approximations.
+
+/// One source line split into code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct SplitLine {
+    /// The line with comments, string literals and char literals blanked.
+    pub code: String,
+    /// The concatenated comment text of the line.
+    pub comment: String,
+}
+
+/// Splits `source` into per-line (code, comment) pairs, blanking string and
+/// char literals in the code part. Handles nested block comments, raw
+/// strings (`r"…"`, `r#"…"#`, …), byte strings (`b"…"`, `br#"…"#`), byte
+/// char literals (`b'x'`) and escapes; it is a scanner, not a full lexer,
+/// but is exact for the constructs used in this workspace.
+pub fn split_lines(source: &str) -> Vec<SplitLine> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Code,
+        Block(usize),  // nesting depth
+        Str,           // inside "…" or b"…"
+        RawStr(usize), // inside r#…"…"#… or br#…"…"#… with N hashes
+    }
+
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw_line in source.lines() {
+        let mut line = SplitLine::default();
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        line.comment.push_str("*/ ");
+                        i += 2;
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL for \<newline>)
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"'
+                        && bytes[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    // `br#"…"#` / `b"…"` / `b'x'`: the byte prefix must be
+                    // recognized here, or the `r` of `br` fails the
+                    // identifier-boundary guard below and the body leaks
+                    // into the code channel (the PR-10 satellite fix).
+                    let (prefix_len, after) = if c == 'b' && !prev_is_ident(&bytes, i) {
+                        (1, next)
+                    } else {
+                        (0, Some(c))
+                    };
+                    let j = i + prefix_len;
+                    if c == '/' && next == Some('/') {
+                        line.comment
+                            .push_str(raw_line[char_byte_idx(raw_line, i)..].trim());
+                        i = bytes.len();
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if after == Some('"') && (prefix_len == 1 || c == '"') {
+                        line.code.push(' ');
+                        i = j + 1;
+                        mode = Mode::Str;
+                    } else if after == Some('r')
+                        && (prefix_len == 1 || !prev_is_ident(&bytes, i))
+                        && raw_string_hashes(&bytes, j).is_some()
+                    {
+                        let hashes = raw_string_hashes(&bytes, j).expect("checked above");
+                        line.code.push(' ');
+                        i = j + 2 + hashes; // [b] + r + hashes + opening quote
+                        mode = Mode::RawStr(hashes);
+                    } else if after == Some('\'') && (prefix_len == 1 || c == '\'') {
+                        // Char / byte-char literal, or a lifetime. A lifetime
+                        // has an identifier after the quote and no closing
+                        // quote; `b'…'` is always a literal.
+                        if let Some(len) = char_literal_len(&bytes, j) {
+                            line.code.push(' ');
+                            i = j + len;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Byte index of the `idx`-th char of `s`.
+fn char_byte_idx(s: &str, idx: usize) -> usize {
+    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If position `i` (at an `r`) starts a raw string, returns its hash count.
+fn raw_string_hashes(bytes: &[char], i: usize) -> Option<usize> {
+    if bytes.get(i) != Some(&'r') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// If position `i` (at a `'`) starts a char literal, returns its char length
+/// including quotes; `None` for lifetimes.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != '\'' {
+                j += 1;
+            }
+            (j < bytes.len()).then_some(j - i + 1)
+        }
+        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime ('a) or dangling quote
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal; `float` is true for `1.0`, `1e6`, `2.5f64`, `3f32`.
+    Number {
+        /// Whether the literal lexes as a floating-point number.
+        float: bool,
+    },
+    /// Single punctuation character (multi-char operators arrive split).
+    Punct(char),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is this token the given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Lexes the comment-stripped code channel of `lines` into a token stream.
+///
+/// Literals were already blanked by [`split_lines`], so only identifiers,
+/// numbers and punctuation remain. Whitespace is dropped.
+pub fn tokenize(lines: &[SplitLine]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: lineno + 1,
+                });
+            } else if c.is_ascii_digit() {
+                let (len, float) = lex_number(&chars[i..]);
+                i += len;
+                out.push(Token {
+                    tok: Tok::Number { float },
+                    line: lineno + 1,
+                });
+            } else {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line: lineno + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a numeric literal at the start of `chars`; returns (length, float).
+fn lex_number(chars: &[char]) -> (usize, bool) {
+    let mut i = 0;
+    // Leading alphanumeric run: digits, hex digits, suffixes, exponents.
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    let head: String = chars[..i].iter().collect();
+    let radix_prefixed = head.starts_with("0x") || head.starts_with("0b") || head.starts_with("0o");
+    let mut float = false;
+    // Fractional part: `.` followed by a digit (so `1.max(2)` and `0..n`
+    // stay integers).
+    if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        i += 1;
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    // Signed exponent (`1e-6`): the run so far ends in e/E and a signed
+    // digit sequence follows.
+    if !radix_prefixed
+        && chars
+            .get(i.saturating_sub(1))
+            .is_some_and(|c| *c == 'e' || *c == 'E')
+        && matches!(chars.get(i), Some('+') | Some('-'))
+        && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        float = true;
+        i += 2;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text: String = chars[..i].iter().collect();
+    // Unsigned exponent (`1e6`) or an explicit float suffix (`3f64`).
+    if !radix_prefixed {
+        let digits_then_e = text
+            .bytes()
+            .position(|b| b == b'e' || b == b'E')
+            .is_some_and(|p| {
+                p > 0
+                    && text.as_bytes()[..p].iter().all(|b| b.is_ascii_digit())
+                    && text.as_bytes()[p + 1..].iter().all(|b| b.is_ascii_digit())
+                    && text.len() > p + 1
+            });
+        if digits_then_e || text.ends_with("f32") || text.ends_with("f64") {
+            float = true;
+        }
+    }
+    (i, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lines = split_lines(
+            "let x = \"Ordering::Relaxed\"; // Ordering::Relaxed in comment\nlet y = 'u'; /* unsafe */ let z = 1;",
+        );
+        assert!(!lines[0].code.contains("Relaxed"));
+        assert!(lines[0].comment.contains("Relaxed"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = split_lines("/* a /* b */ still comment */ let ok = 1;");
+        assert!(lines[0].code.contains("let ok"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let lines = split_lines("let p = r#\"unsafe Ordering::Relaxed\"#; let q = 2;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let q"));
+    }
+
+    #[test]
+    fn raw_byte_strings_blanked() {
+        // The PR-10 satellite regression: `br#"…"#` used to fail the
+        // identifier-boundary guard at the `r` (its predecessor is the `b`
+        // prefix), so the body was scanned as code and could leak fake
+        // keywords into the rules.
+        let lines = split_lines("let p = br#\"unsafe \"quote\" Ordering::Relaxed\"#; let q = 2;");
+        assert!(
+            !lines[0].code.contains("unsafe") && !lines[0].code.contains("Relaxed"),
+            "byte raw string leaked into code: {:?}",
+            lines[0].code
+        );
+        assert!(lines[0].code.contains("let q"));
+    }
+
+    #[test]
+    fn plain_byte_strings_and_byte_chars_blanked() {
+        let lines = split_lines("let p = b\"unsafe\"; let c = b'x'; let q = 3;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[0].code.contains("let q"));
+    }
+
+    #[test]
+    fn ident_ending_in_b_or_r_is_not_a_literal_prefix() {
+        // `hub"..."` is not valid Rust, but `numb` / `har` followed by other
+        // code must not trigger the byte/raw prefix path.
+        let lines = split_lines("let numb = 1; let har = numb; let s = \"x\";");
+        assert!(lines[0].code.contains("numb"));
+        assert!(lines[0].code.contains("har"));
+        assert!(!lines[0].code.contains('x') || lines[0].code.contains("let s"));
+    }
+
+    #[test]
+    fn multiline_raw_byte_string_spans_lines() {
+        let lines = split_lines("let p = br#\"line one\nunsafe line two\"#;\nlet q = 1;");
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[2].code.contains("let q"));
+    }
+
+    #[test]
+    fn tokenizes_idents_numbers_punct() {
+        let toks = tokenize(&split_lines("let x = foo(1, 2.5); // c"));
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, vec!["let", "x", "foo"]);
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Number { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![false, true]);
+    }
+
+    #[test]
+    fn float_literal_shapes() {
+        for (src, want) in [
+            ("1.0", true),
+            ("1e6", true),
+            ("1e-6", true),
+            ("2.5f64", true),
+            ("3f32", true),
+            ("42", false),
+            ("0xE6", false),
+            ("0x1f", false),
+            ("1_000", false),
+            ("7u64", false),
+        ] {
+            let toks = tokenize(&split_lines(src));
+            let float = toks
+                .iter()
+                .find_map(|t| match t.tok {
+                    Tok::Number { float } => Some(float),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("no number lexed from {src}"));
+            assert_eq!(float, want, "literal {src}");
+        }
+    }
+
+    #[test]
+    fn method_on_number_and_ranges_stay_integer() {
+        let toks = tokenize(&split_lines("let a = 1.max(2); for i in 0..n {}"));
+        assert!(toks.iter().all(|t| t.tok != Tok::Number { float: true }));
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(idents.contains(&"max"));
+    }
+
+    #[test]
+    fn lines_are_one_based_and_tracked() {
+        let toks = tokenize(&split_lines("a\nb\n\nc"));
+        let lines: Vec<_> = toks.iter().map(|t| (t.ident().unwrap(), t.line)).collect();
+        assert_eq!(lines, vec![("a", 1), ("b", 2), ("c", 4)]);
+    }
+}

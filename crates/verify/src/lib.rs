@@ -7,18 +7,27 @@
 //!   sync primitives (`cfg(drom_verify)` swaps `std`/`parking_lot` for the
 //!   shims here), letting model-check tests in `crates/shmem/tests/`
 //!   exhaustively explore the registry protocol's interleavings.
-//! * [`lint`] — source-level workspace lints (`cargo run -p drom-verify
-//!   --bin drom_lint`) for invariants the compiler can't enforce: justified
-//!   `Ordering::Relaxed`, no `partial_cmp`-fallback sorting, no floats in
-//!   scheduler decision paths, `// SAFETY:` comments on `unsafe`.
+//! * [`lint`] + [`lex`] + [`items`] + [`callgraph`] + [`rules`] — a
+//!   source-level static analysis engine (`cargo run -p drom-verify --bin
+//!   drom_lint`) for invariants the compiler can't enforce. Line rules check
+//!   justified `Ordering::Relaxed`, no `partial_cmp`-fallback sorting, and
+//!   `// SAFETY:` comments on `unsafe`; graph rules lex the workspace, build
+//!   an approximate call graph, and check the *transitive closure* of the
+//!   scheduler decision entry points for determinism taint, hot-path
+//!   allocations, and panic-freedom, ratcheting against a committed
+//!   baseline.
 //!
-//! See `docs/verification.md` for the memory model, its limits, and how to
-//! add a model-check test.
+//! See `docs/verification.md` for the memory model, the static-analysis
+//! taint model, and how to add a rule or model-check test.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod items;
+pub mod lex;
 pub mod lint;
 pub mod model;
+pub mod rules;
 pub mod sync;
 pub mod thread;
 

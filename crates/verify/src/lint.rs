@@ -1,4 +1,5 @@
-//! Source-level workspace lints for invariants the compiler can't enforce.
+//! Source-level workspace line lints for invariants the compiler can't
+//! enforce.
 //!
 //! Rules (see `docs/verification.md` for rationale and examples):
 //!
@@ -9,20 +10,24 @@
 //! * **partial-cmp-fallback** — no `partial_cmp(...)` with an
 //!   `unwrap_or`/`unwrap_or_else` fallback: NaN-tolerant sorting must use
 //!   `total_cmp` (the PR-4 metrics bug class).
-//! * **float-in-decision-path** — no `f64`/`f32` types or float literals in
-//!   scheduler decision paths (`crates/slurm/src/policy.rs`): decisions use
-//!   the fixed-point `SpeedupCurve` discipline so replays are byte-stable.
 //! * **unsafe-needs-safety-comment** — every `unsafe` keyword must carry a
 //!   `// SAFETY:` comment on the same line or within the five preceding
 //!   lines.
 //!
-//! The scanner is line-based over comment-stripped code: string/char
-//! literals and `//`/`/* */` comments (including nested block comments) are
-//! removed before rules run, and comment text is kept separately for the
-//! justification searches.
+//! The old **float-in-decision-path** rule (a per-file allowlist over
+//! `crates/slurm/src/policy.rs`) is subsumed by the call-graph-aware
+//! determinism-taint rule in [`crate::rules`], which checks the *transitive
+//! closure* of the decision entry points instead of a hardcoded file list.
+//!
+//! The scanner is line-based over comment-stripped code from
+//! [`crate::lex::split_lines`]: string/char literals and `//`/`/* */`
+//! comments (including nested block comments) are removed before rules run,
+//! and comment text is kept separately for the justification searches.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{split_lines, SplitLine};
 
 /// How many lines above an occurrence a justification comment may sit.
 const JUSTIFICATION_WINDOW: usize = 5;
@@ -36,9 +41,6 @@ const RELAXED_EXEMPT: &[&str] = &[
     "crates/shmem/src/registry.rs",
     "crates/verify/tests/model_self.rs",
 ];
-
-/// Scheduler decision-path files that must stay free of float arithmetic.
-const DECISION_PATH_FILES: &[&str] = &["crates/slurm/src/policy.rs"];
 
 /// A single lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,162 +61,6 @@ impl fmt::Display for Violation {
             self.rule,
             self.message
         )
-    }
-}
-
-/// One source line split into code and comment parts.
-#[derive(Debug, Default, Clone)]
-struct SplitLine {
-    /// The line with comments, string literals and char literals blanked.
-    code: String,
-    /// The concatenated comment text of the line.
-    comment: String,
-}
-
-/// Splits `source` into per-line (code, comment) pairs, blanking string and
-/// char literals in the code part. Handles nested block comments, raw
-/// strings (`r"…"`, `r#"…"#`, …) and escapes; it is a scanner, not a full
-/// lexer, but is exact for the constructs used in this workspace.
-fn split_lines(source: &str) -> Vec<SplitLine> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mode {
-        Code,
-        Block(usize),  // nesting depth
-        Str,           // inside "…"
-        RawStr(usize), // inside r#…"…"#… with N hashes
-    }
-
-    let mut out = Vec::new();
-    let mut mode = Mode::Code;
-    for raw_line in source.lines() {
-        let mut line = SplitLine::default();
-        let bytes: Vec<char> = raw_line.chars().collect();
-        let mut i = 0;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            match mode {
-                Mode::Block(depth) => {
-                    if c == '*' && next == Some('/') {
-                        line.comment.push_str("*/ ");
-                        i += 2;
-                        mode = if depth == 1 {
-                            Mode::Code
-                        } else {
-                            Mode::Block(depth - 1)
-                        };
-                    } else if c == '/' && next == Some('*') {
-                        line.comment.push_str("/*");
-                        i += 2;
-                        mode = Mode::Block(depth + 1);
-                    } else {
-                        line.comment.push(c);
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    if c == '\\' {
-                        i += 2; // skip the escaped char (may run past EOL for \<newline>)
-                    } else if c == '"' {
-                        mode = Mode::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                Mode::RawStr(hashes) => {
-                    if c == '"'
-                        && bytes[i + 1..]
-                            .iter()
-                            .take(hashes)
-                            .filter(|&&h| h == '#')
-                            .count()
-                            == hashes
-                    {
-                        i += 1 + hashes;
-                        mode = Mode::Code;
-                    } else {
-                        i += 1;
-                    }
-                }
-                Mode::Code => {
-                    if c == '/' && next == Some('/') {
-                        line.comment
-                            .push_str(raw_line[char_byte_idx(raw_line, i)..].trim());
-                        i = bytes.len();
-                    } else if c == '/' && next == Some('*') {
-                        line.comment.push_str("/*");
-                        i += 2;
-                        mode = Mode::Block(1);
-                    } else if c == '"' {
-                        line.code.push(' ');
-                        i += 1;
-                        mode = Mode::Str;
-                    } else if c == 'r'
-                        && !prev_is_ident(&bytes, i)
-                        && matches!(next, Some('"') | Some('#'))
-                        && raw_string_hashes(&bytes, i).is_some()
-                    {
-                        let hashes = raw_string_hashes(&bytes, i).expect("checked above");
-                        line.code.push(' ');
-                        i += 2 + hashes; // r + hashes + opening quote
-                        mode = Mode::RawStr(hashes);
-                    } else if c == '\'' {
-                        // Char literal or lifetime. A lifetime has an
-                        // identifier after the quote and no closing quote.
-                        if let Some(len) = char_literal_len(&bytes, i) {
-                            line.code.push(' ');
-                            i += len;
-                        } else {
-                            line.code.push(c);
-                            i += 1;
-                        }
-                    } else {
-                        line.code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        out.push(line);
-    }
-    out
-}
-
-/// Byte index of the `idx`-th char of `s`.
-fn char_byte_idx(s: &str, idx: usize) -> usize {
-    s.char_indices().nth(idx).map(|(b, _)| b).unwrap_or(s.len())
-}
-
-fn prev_is_ident(bytes: &[char], i: usize) -> bool {
-    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
-}
-
-/// If position `i` (at an `r`) starts a raw string, returns its hash count.
-fn raw_string_hashes(bytes: &[char], i: usize) -> Option<usize> {
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (bytes.get(j) == Some(&'"')).then_some(hashes)
-}
-
-/// If position `i` (at a `'`) starts a char literal, returns its char length
-/// including quotes; `None` for lifetimes.
-fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
-    match bytes.get(i + 1) {
-        Some('\\') => {
-            // Escaped char: find the closing quote.
-            let mut j = i + 2;
-            while j < bytes.len() && bytes[j] != '\'' {
-                j += 1;
-            }
-            (j < bytes.len()).then_some(j - i + 1)
-        }
-        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
-        _ => None, // lifetime ('a) or dangling quote
     }
 }
 
@@ -257,7 +103,6 @@ pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
     let mut violations = Vec::new();
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let relaxed_exempt = RELAXED_EXEMPT.iter().any(|e| rel_str == *e);
-    let decision_path = DECISION_PATH_FILES.iter().any(|e| rel_str == *e);
 
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
@@ -295,18 +140,6 @@ pub fn lint_file(rel: &Path, source: &str) -> Vec<Violation> {
                         .to_string(),
                 });
             }
-        }
-
-        // float-in-decision-path
-        if decision_path && (has_word(code, "f64") || has_word(code, "f32")) {
-            violations.push(Violation {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "float-in-decision-path",
-                message: "float arithmetic in a scheduler decision path breaks byte-stable \
-                          replay; use the fixed-point SpeedupCurve discipline"
-                    .to_string(),
-            });
         }
 
         // unsafe-needs-safety-comment
@@ -349,10 +182,17 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under `<root>/crates`, returning all violations.
+/// Lints every `.rs` file under `<root>/crates` plus the workspace root
+/// package's `src/`, `tests/` and `examples/`, returning all violations.
+/// (`vendor/` stubs stand in for external crates and are not our code.)
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files)?;
+    for sub in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
     let mut violations = Vec::new();
     for path in &files {
         let source = std::fs::read_to_string(path)?;
@@ -431,12 +271,10 @@ mod tests {
     }
 
     #[test]
-    fn float_in_decision_path_flagged() {
-        let v = lint_str("crates/slurm/src/policy.rs", "let x: f64 = 1.0;");
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "float-in-decision-path");
-        // Same code elsewhere is fine.
-        let ok = lint_str("crates/metrics/src/lib.rs", "let x: f64 = 1.0;");
+    fn float_rule_moved_to_graph_analysis() {
+        // The old per-file float rule is subsumed by the determinism-taint
+        // graph rule; plain float code must not trip the line lints anywhere.
+        let ok = lint_str("crates/slurm/src/policy.rs", "let x: f64 = 1.0;");
         assert!(ok.is_empty());
     }
 

@@ -1,0 +1,105 @@
+//! Seeded-violation workspace for the graph-rule fixture tests and the CI
+//! fail-path check. Every graph rule must fire at least once here:
+//! determinism taint (float, hash-iter, random-hash, wall-clock, env-read),
+//! hot-path allocation, and panic-freedom. All five entry-registry shapes
+//! are present so analysis reports no registry drift — failures come from
+//! the seeded findings alone. This file is never compiled; it only has to
+//! lex.
+
+use std::collections::HashMap;
+
+pub struct View {
+    pub free: Vec<usize>,
+    pub widths: HashMap<u64, usize>,
+}
+
+pub enum Action {
+    Start(u64),
+}
+
+pub trait SchedulerPolicy {
+    fn schedule(&mut self, view: &View) -> Vec<Action>;
+}
+
+pub struct SeededPolicy {
+    pub table: HashMap<u64, usize>,
+}
+
+impl SchedulerPolicy for SeededPolicy {
+    fn schedule(&mut self, view: &View) -> Vec<Action> {
+        // Seed: hash-iter through a HashMap-typed field (non-deterministic
+        // visit order).
+        for width in self.table.values() {
+            let _ = width;
+        }
+        // Seed: float arithmetic inside the decision closure.
+        let score = view.free.len() as f64 * 0.5;
+        let _ = score;
+        // Seed: per-pass allocations (vector + formatted label).
+        let mut out = Vec::new();
+        let label = format!("pass-{}", view.free.len());
+        let _ = label;
+        // Seed: raw index into the free list.
+        let first = view.free[0];
+        out.push(Action::Start(first as u64));
+        out
+    }
+}
+
+pub struct PolicyScheduler {
+    pub free: Vec<usize>,
+}
+
+impl PolicyScheduler {
+    pub fn apply_start(&mut self, node: usize) {
+        // Seed: wall-clock read while applying an action.
+        let stamp = std::time::Instant::now();
+        let _ = stamp;
+        // Seed: raw index in the decision closure.
+        self.free[node] = 0;
+    }
+
+    pub fn tick(&mut self) {
+        // Seed: environment read steering a decision.
+        let knob = std::env::var("SEEDED_KNOB");
+        // Seed: unwrap in the decision closure.
+        let _ = knob.unwrap();
+        self.helper();
+    }
+
+    fn helper(&self) {
+        // Seed: RandomState reached transitively (tick -> helper).
+        let state = std::collections::hash_map::RandomState::new();
+        let _ = state;
+    }
+}
+
+pub struct SchedIndex;
+
+impl SchedIndex {
+    pub fn on_start(&mut self, job: u64) {
+        // PANIC: seeded *justified* finding — the mutation test strips this
+        // line and expects the verdict to flip to unjustified.
+        let _ = checked(job).expect("seeded justification");
+    }
+}
+
+fn checked(job: u64) -> Option<u64> {
+    Some(job)
+}
+
+pub struct ClusterSim;
+
+impl ClusterSim {
+    pub fn run(&self) {
+        // MUTATION: the closure-extension test splices a call to
+        // off_path_float() over the next line.
+        let _ = self;
+    }
+}
+
+/// Unreachable from every entry until the mutation test splices in a call;
+/// its float must produce no finding in the base tree.
+fn off_path_float() -> f64 {
+    1.5
+}

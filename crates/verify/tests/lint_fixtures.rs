@@ -39,23 +39,6 @@ fn partial_cmp_fallback_trips() {
 }
 
 #[test]
-fn float_in_decision_path_trips_only_there() {
-    let source = fixture("float_in_decision_path.rs");
-    // Under a decision-path file name the float use is a violation...
-    let in_path = lint_file(Path::new("crates/slurm/src/policy.rs"), &source);
-    assert!(
-        in_path.iter().any(|v| v.rule == "float-in-decision-path"),
-        "{in_path:?}"
-    );
-    // ...under any other path it is not.
-    let elsewhere = lint_file(Path::new("crates/fixture/src/lib.rs"), &source);
-    assert!(
-        !elsewhere.iter().any(|v| v.rule == "float-in-decision-path"),
-        "{elsewhere:?}"
-    );
-}
-
-#[test]
 fn unsafe_without_safety_comment_trips() {
     let violations = lint_fixture("unsafe_uncommented.rs");
     assert_eq!(
